@@ -1,0 +1,321 @@
+(* smec — shared-memory-emulation storage-cost toolbox.
+
+   Subcommands expose the reproduction entry points:
+
+     smec bounds   -n 21 -f 10 --nu 3     closed-form bounds for a system
+     smec figure1  -n 21 -f 10            the paper's Figure 1 series
+     smec measured -n 21 -f 10 --nu-max 6 measured storage of CAS/ABD-MW
+     smec census --theorem b1|41|51|65    the counting experiments
+     smec simulate --algo abd ...         run a workload, check consistency *)
+
+open Cmdliner
+
+let n_arg =
+  Arg.(value & opt int 21 & info [ "n" ] ~docv:"N" ~doc:"Number of servers.")
+
+let f_arg =
+  Arg.(value & opt int 10 & info [ "f" ] ~docv:"F" ~doc:"Failure tolerance.")
+
+let nu_arg =
+  Arg.(value & opt int 3 & info [ "nu" ] ~docv:"NU" ~doc:"Active write operations.")
+
+let nu_max_arg =
+  Arg.(value & opt int 16 & info [ "nu-max" ] ~docv:"NU" ~doc:"Largest nu plotted.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+
+(* ----- bounds ----- *)
+
+let bounds_cmd =
+  let run n f nu v_bits =
+    let p = Bounds.params ~n ~f in
+    Printf.printf "N=%d f=%d nu=%d value=%g bits\n\n" n f nu v_bits;
+    Printf.printf "%-42s %12s %14s\n" "bound" "normalized" "exact (bits)";
+    Printf.printf "%-42s %12.4f %14.1f\n" "Thm B.1 (regular, universal)"
+      (Bounds.norm_singleton p)
+      (Bounds.singleton_total p ~v_bits);
+    if f >= 2 then
+      Printf.printf "%-42s %12.4f %14.1f\n" "Thm 4.1 (no gossip)"
+        (Bounds.norm_no_gossip p)
+        (Bounds.no_gossip_total p ~v_bits);
+    Printf.printf "%-42s %12.4f %14.1f\n" "Thm 5.1 (universal, gossip ok)"
+      (Bounds.norm_universal p)
+      (Bounds.universal_total p ~v_bits);
+    Printf.printf "%-42s %12.4f %14.1f\n" "Thm 6.5 (single value phase)"
+      (Bounds.norm_single_phase p ~nu)
+      (Bounds.single_phase_total p ~nu ~v_bits);
+    Printf.printf "%-42s %12.4f %14.1f\n" "upper: replication (f+1)"
+      (Bounds.norm_abd p) (Bounds.abd_total p ~v_bits);
+    Printf.printf "%-42s %12.4f %14.1f\n" "upper: erasure coding"
+      (Bounds.norm_erasure p ~nu)
+      (Bounds.erasure_total p ~nu ~v_bits);
+    Printf.printf "\nEC/replication crossover: nu = %d; gap in the 6.5 class at this nu: %.3f\n"
+      (Bounds.crossover_nu p)
+      (Bounds.gap_single_phase p ~nu)
+  in
+  let v_bits_arg =
+    Arg.(
+      value & opt float 8192.0
+      & info [ "v-bits" ] ~docv:"BITS" ~doc:"log2 |V|, the value size in bits.")
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Evaluate every bound of the paper for one system.")
+    Term.(const run $ n_arg $ f_arg $ nu_arg $ v_bits_arg)
+
+(* ----- figure1 ----- *)
+
+let figure1_cmd =
+  let run n f nu_max =
+    let p = Bounds.params ~n ~f in
+    Format.printf "%a@." Bounds.pp_figure1 (Bounds.figure1 p ~nu_max)
+  in
+  Cmd.v
+    (Cmd.info "figure1" ~doc:"Print the series of the paper's Figure 1.")
+    Term.(const run $ n_arg $ f_arg $ nu_max_arg)
+
+(* ----- measured ----- *)
+
+let measured_cmd =
+  let run n f nu_max seed =
+    let rows = Core.figure1_measured ~n ~f ~nu_max ~value_len:256 ~seed () in
+    Printf.printf "%4s  %12s  %12s  %12s  %12s\n" "nu" "CAS meas." "CAS model"
+      "ABD-MW meas." "repl. model";
+    List.iter
+      (fun (r : Core.measured_row) ->
+        Printf.printf "%4d  %12.3f  %12.3f  %12.3f  %12.3f\n" r.Core.nu
+          r.Core.cas r.Core.cas_model r.Core.abd r.Core.abd_model)
+      rows
+  in
+  let nu_max = Arg.(value & opt int 6 & info [ "nu-max" ] ~docv:"NU") in
+  Cmd.v
+    (Cmd.info "measured"
+       ~doc:"Measure peak storage of CAS and multi-writer ABD vs concurrency.")
+    Term.(const run $ n_arg $ f_arg $ nu_max $ seed_arg)
+
+(* ----- census ----- *)
+
+let census_cmd =
+  let run theorem =
+    match theorem with
+    | "b1" -> Format.printf "%a@." Valency.Singleton.pp (Core.experiment_b1 ())
+    | "41" -> Format.printf "%a@." Valency.Critical.pp (Core.experiment_41 ())
+    | "51" -> Format.printf "%a@." Valency.Critical.pp (Core.experiment_51 ())
+    | "65" -> Format.printf "%a@." Valency.Multi.pp (Core.experiment_65 ())
+    | other ->
+        Printf.eprintf "unknown theorem %S (use b1, 41, 51 or 65)\n" other;
+        exit 1
+  in
+  let theorem =
+    Arg.(
+      value & opt string "b1"
+      & info [ "theorem" ] ~docv:"THM" ~doc:"One of b1, 41, 51, 65.")
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:"Run a counting experiment that verifies a theorem's argument.")
+    Term.(const run $ theorem)
+
+(* ----- simulate ----- *)
+
+let simulate_cmd =
+  let run algo_name n f writers readers seed =
+    let params = Engine.Types.params ~n ~f ~k:(max 1 (n - (2 * f))) ~delta:writers ~value_len:8 () in
+    let values = Workload.unique_values ~count:(3 * writers) ~len:8 ~seed in
+    let scripts =
+      Workload.mixed_scripts ~writers ~readers ~values ~reads_per_reader:3
+    in
+    let clients = writers + readers in
+    let check (type ss cs m) (algo : (ss, cs, m) Engine.Types.algo) checker =
+      let c = Engine.Config.make algo params ~clients in
+      let peak = Storage.create_peak () in
+      let observer = Storage.peak_observer algo peak in
+      let c = Workload.run_scripts ~observer algo c scripts ~seed in
+      let h = Consistency.History.of_events (Engine.Config.history c) in
+      Format.printf "%a@." Consistency.History.pp h;
+      Format.printf "consistency: %a@."
+        Consistency.Checker.pp_verdict
+        (checker (Algorithms.Common.initial_value params) h);
+      Printf.printf "peak storage: %d bits total, %d bits max per server\n"
+        (Storage.peak_total peak)
+        (Storage.peak_max_server peak)
+    in
+    match algo_name with
+    | "abd" ->
+        check Algorithms.Abd.algo (fun init h -> Consistency.Checker.atomic ~init h)
+    | "abd-mw" ->
+        check Algorithms.Abd_mw.algo (fun init h ->
+            Consistency.Checker.atomic ~init h)
+    | "cas" ->
+        check Algorithms.Cas.algo (fun init h -> Consistency.Checker.atomic ~init h)
+    | "gossip" ->
+        check Algorithms.Gossip_rep.algo (fun init h ->
+            Consistency.Checker.regular ~init h)
+    | "swsr" ->
+        check Algorithms.Abd.regular_algo (fun init h ->
+            Consistency.Checker.regular ~init h)
+    | other ->
+        Printf.eprintf
+          "unknown algorithm %S (use abd, abd-mw, cas, gossip or swsr)\n" other;
+        exit 1
+  in
+  let algo =
+    Arg.(
+      value & opt string "abd"
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"abd, abd-mw, cas, gossip or swsr.")
+  in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~docv:"N") in
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~docv:"F") in
+  let writers = Arg.(value & opt int 2 & info [ "writers" ] ~docv:"W") in
+  let readers = Arg.(value & opt int 2 & info [ "readers" ] ~docv:"R") in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a workload against an algorithm and check its history.")
+    Term.(const run $ algo $ n $ f $ writers $ readers $ seed_arg)
+
+(* ----- sweep ----- *)
+
+let sweep_cmd =
+  let run which =
+    let grids =
+      match which with
+      | "b1" -> [ Valency.Sweep.singleton () ]
+      | "41" -> [ Valency.Sweep.critical () ]
+      | "65" -> [ Valency.Sweep.multi () ]
+      | "all" ->
+          [ Valency.Sweep.singleton (); Valency.Sweep.critical (); Valency.Sweep.multi () ]
+      | other ->
+          Printf.eprintf "unknown sweep %S (use b1, 41, 65 or all)\n" other;
+          exit 1
+    in
+    List.iter
+      (fun g ->
+        Format.printf "%a@." Valency.Sweep.pp g;
+        Printf.printf "all cells pass: %b\n\n" (Valency.Sweep.all_pass g))
+      grids
+  in
+  let which =
+    Arg.(value & opt string "all" & info [ "experiment" ] ~docv:"EXP" ~doc:"b1, 41, 65 or all.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Run a census experiment across an (n, f, |V|) grid.")
+    Term.(const run $ which)
+
+(* ----- conjecture ----- *)
+
+let conjecture_cmd =
+  let run () =
+    let unmodified, modified = Core.experiment_65_conjecture () in
+    Printf.printf
+      "Theorem 6.5 adversary (unmodified) vs the two-phase protocol:\n\
+       %d/%d vectors deadlock -- the protocol is outside the theorem's class.\n\n"
+      (List.length unmodified.Valency.Multi.anomalies)
+      unmodified.Valency.Multi.vectors;
+    Format.printf
+      "Modified adversary (withhold only the Theta(|V|)-sized messages):@.%a@."
+      Valency.Multi.pp modified
+  in
+  Cmd.v
+    (Cmd.info "conjecture"
+       ~doc:"Probe the Section 6.5 conjecture on the two-phase-value protocol.")
+    Term.(const run $ const ())
+
+(* ----- explore ----- *)
+
+let explore_cmd =
+  let run n f max_states =
+    let params = Engine.Types.params ~n ~f ~value_len:1 () in
+    let algo = Algorithms.Abd.algo in
+    let config = Engine.Config.make algo params ~clients:2 in
+    let scripts = [ (0, [ Engine.Types.Write "a" ]); (1, [ Engine.Types.Read ]) ] in
+    let init = Algorithms.Common.initial_value params in
+    let check events =
+      let h = Consistency.History.of_events events in
+      match Consistency.Checker.atomic ~init h with
+      | Consistency.Checker.Valid -> Ok ()
+      | Consistency.Checker.Invalid why -> Error why
+    in
+    let stats, failures =
+      Engine.Explore.explore_check ~max_states algo config ~scripts ~check
+    in
+    Printf.printf
+      "ABD n=%d f=%d, write || read: %d states, %d terminal histories, \
+       closed=%b, violations=%d\n"
+      n f stats.Engine.Explore.states_explored stats.Engine.Explore.terminals
+      (not stats.Engine.Explore.truncated)
+      (List.length failures);
+    List.iter (fun (why, _) -> Printf.printf "  violation: %s\n" why) failures
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~docv:"F") in
+  let max_states =
+    Arg.(value & opt int 250_000 & info [ "max-states" ] ~docv:"MAX")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Exhaustively model-check a small ABD instance over all interleavings.")
+    Term.(const run $ n $ f $ max_states)
+
+(* ----- trace ----- *)
+
+let trace_cmd =
+  let run algo_name n f seed =
+    let params = Engine.Types.params ~n ~f ~k:(max 1 (n - (2 * f))) ~value_len:2 () in
+    let chart (type ss cs m) (algo : (ss, cs, m) Engine.Types.algo) =
+      let c = Engine.Config.make algo params ~clients:2 in
+      let _, c = Engine.Config.invoke algo c ~client:0 (Engine.Types.Write "hi") in
+      let _, c = Engine.Config.invoke algo c ~client:1 Engine.Types.Read in
+      let rng = Engine.Driver.rng_of_seed seed in
+      let trace, _ =
+        Engine.Driver.run_trace algo c ~rng ~stop:(fun c ->
+            Engine.Config.pending_op c 0 = None
+            && Engine.Config.pending_op c 1 = None)
+      in
+      Printf.printf
+        "%s: write(\"hi\") at c0 concurrent with a read at c1 (seed %d)\n\n"
+        algo.Engine.Types.name seed;
+      print_string (Engine.Viz.render_chart algo trace);
+      Printf.printf "\nstorage: %s\n" (Engine.Viz.storage_sparkline algo trace)
+    in
+    match algo_name with
+    | "abd" -> chart Algorithms.Abd.algo
+    | "abd-mw" -> chart Algorithms.Abd_mw.algo
+    | "cas" -> chart Algorithms.Cas.algo
+    | "gossip" -> chart Algorithms.Gossip_rep.algo
+    | "swsr" -> chart Algorithms.Abd.regular_algo
+    | "awe" -> chart Algorithms.Awe.algo
+    | other ->
+        Printf.eprintf "unknown algorithm %S\n" other;
+        exit 1
+  in
+  let algo =
+    Arg.(
+      value & opt string "abd"
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"abd, abd-mw, cas, gossip, swsr or awe.")
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~docv:"F") in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Draw one execution as an ASCII message-sequence chart.")
+    Term.(const run $ algo $ n $ f $ seed_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "smec" ~version:Core.version
+       ~doc:
+         "Storage lower bounds for shared memory emulation \
+          (Cadambe-Wang-Lynch, PODC 2016): bounds, experiments, simulations.")
+    [
+      bounds_cmd;
+      figure1_cmd;
+      measured_cmd;
+      census_cmd;
+      simulate_cmd;
+      sweep_cmd;
+      conjecture_cmd;
+      explore_cmd;
+      trace_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/coded_storage.ml: Algorithms Array Bounds Bytes Char Core Engine Erasure List Printf Storage String Workload

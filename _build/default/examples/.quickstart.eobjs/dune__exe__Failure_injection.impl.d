@@ -1,0 +1,1 @@
+examples/failure_injection.ml: Algorithms Consistency Core Engine Format List Printf Workload

@@ -1,0 +1,1 @@
+examples/lower_bounds.ml: Array Bounds Float List Printf String Sys

@@ -1,0 +1,1 @@
+examples/model_checking.ml: Algorithms Consistency Core Engine Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Algorithms Bounds Consistency Core Engine Format List Printf String Valency

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithms Bounds Consistency Core Engine Format Printf

@@ -1,0 +1,1 @@
+examples/quorum_tour.ml: Bounds Format List Printf Quorum String

@@ -1,0 +1,1 @@
+examples/valency_demo.ml: Algorithms Array Core Engine Format List Printf String Valency

@@ -1,0 +1,89 @@
+(* Lower-bound explorer: evaluates every bound of the paper for a
+   given system and draws an ASCII rendition of Figure 1.
+
+   Run with: dune exec examples/lower_bounds.exe [-- N F [NU_MAX]] *)
+
+let () =
+  let n, f, nu_max =
+    match Array.to_list Sys.argv with
+    | _ :: n :: f :: rest ->
+        ( int_of_string n,
+          int_of_string f,
+          match rest with x :: _ -> int_of_string x | [] -> 16 )
+    | _ -> (21, 10, 16)
+  in
+  let p = Bounds.params ~n ~f in
+  Printf.printf "System: N = %d servers, f = %d tolerated failures\n\n" n f;
+
+  Printf.printf "Normalized total-storage lower bounds (x log2 |V|):\n";
+  Printf.printf "  Theorem B.1 (any regular algorithm)      : %8.3f\n"
+    (Bounds.norm_singleton p);
+  if f >= 2 then
+    Printf.printf "  Theorem 4.1 (no server gossip)           : %8.3f\n"
+      (Bounds.norm_no_gossip p);
+  Printf.printf "  Theorem 5.1 (universal)                  : %8.3f\n"
+    (Bounds.norm_universal p);
+  List.iter
+    (fun nu ->
+      Printf.printf "  Theorem 6.5 (single value phase, nu=%2d)  : %8.3f\n" nu
+        (Bounds.norm_single_phase p ~nu))
+    [ 1; 2; 4; f + 1 ];
+  Printf.printf "\nUpper bounds:\n";
+  Printf.printf "  replication (ABD-style, f+1 copies)      : %8.3f\n"
+    (Bounds.norm_abd p);
+  Printf.printf "  erasure coding at nu=1 / nu=%d            : %8.3f / %.3f\n"
+    (f + 1)
+    (Bounds.norm_erasure p ~nu:1)
+    (Bounds.norm_erasure p ~nu:(f + 1));
+  Printf.printf "  EC-replication crossover at nu = %d\n\n" (Bounds.crossover_nu p);
+
+  (* exact (finite |V|) forms *)
+  let v_bits = 8192.0 in
+  Printf.printf "Exact bounds for 1-KiB values (bits):\n";
+  Printf.printf "  Thm B.1 total  : %12.1f\n" (Bounds.singleton_total p ~v_bits);
+  if f >= 2 then
+    Printf.printf "  Thm 4.1 total  : %12.1f\n" (Bounds.no_gossip_total p ~v_bits);
+  Printf.printf "  Thm 5.1 total  : %12.1f\n" (Bounds.universal_total p ~v_bits);
+  Printf.printf "  Thm 6.5 (nu=3) : %12.1f\n"
+    (Bounds.single_phase_total p ~nu:3 ~v_bits);
+  Printf.printf "  ABD total      : %12.1f\n\n" (Bounds.abd_total p ~v_bits);
+
+  (* ASCII figure 1 *)
+  let rows = Bounds.figure1 p ~nu_max in
+  let ymax =
+    List.fold_left
+      (fun acc (r : Bounds.figure1_row) ->
+        Float.max acc (Float.min r.erasure_coding (r.abd +. 5.0)))
+      0.0 rows
+  in
+  let height = 16 in
+  let scale y = int_of_float (Float.round (y /. ymax *. float_of_int height)) in
+  Printf.printf "Figure 1 (ASCII): x = nu (1..%d), y = normalized storage (max %.1f)\n"
+    nu_max ymax;
+  Printf.printf "  6=Thm6.5  E=erasure coding  A=ABD  U=Thm5.1  B=ThmB.1\n\n";
+  for row = height downto 0 do
+    Printf.printf "  %6.2f |"
+      (float_of_int row *. ymax /. float_of_int height);
+    List.iter
+      (fun (r : Bounds.figure1_row) ->
+        let marks =
+          [
+            (scale r.erasure_coding, 'E');
+            (scale r.abd, 'A');
+            (scale r.thm_65, '6');
+            (scale r.thm_51, 'U');
+            (scale r.thm_b1, 'B');
+          ]
+        in
+        let c =
+          match List.find_opt (fun (y, _) -> y = row) marks with
+          | Some (_, c) -> c
+          | None -> ' '
+        in
+        Printf.printf " %c " c)
+      rows;
+    print_newline ()
+  done;
+  Printf.printf "         +%s\n          " (String.make (3 * nu_max) '-');
+  List.iter (fun (r : Bounds.figure1_row) -> Printf.printf "%2d " r.nu) rows;
+  print_newline ()

@@ -1,0 +1,80 @@
+(* Valency demo: watch the Theorem 4.1 proof happen on a real
+   algorithm.  We build the two-write execution alpha(v1,v2), probe
+   every point for 1-valency, locate the critical pair, and show the
+   server-state tuple the counting argument hinges on.
+
+   Run with: dune exec examples/valency_demo.exe *)
+
+open Core
+
+let () =
+  let params = Engine.Types.params ~n:3 ~f:1 ~value_len:1 () in
+  let algo = Algorithms.Abd.regular_algo in
+  let v1 = "a" and v2 = "b" in
+  Printf.printf
+    "Theorem 4.1 walkthrough: %s on n=%d servers, f=%d, writes %S then %S\n\n"
+    algo.Engine.Types.name params.Engine.Types.n params.Engine.Types.f v1 v2;
+
+  (* build alpha(v1,v2) by hand, mirroring Valency.Critical.run_pair *)
+  let c = Engine.Config.make algo params ~clients:2 in
+  let c = Engine.Config.fail_server c 2 in
+  let rng = Engine.Driver.rng_of_seed 1 in
+  let c = Engine.Driver.write_exn algo c ~client:0 ~value:v1 ~rng in
+  let p0, _ = Engine.Driver.run_to_quiescence algo c ~rng in
+  Printf.printf "P0 (after write %S terminates): servers = [%s]\n" v1
+    (String.concat "; "
+       (Array.to_list (Engine.Config.server_encodings algo p0)));
+
+  let _, c = Engine.Config.invoke algo p0 ~client:0 (Engine.Types.Write v2) in
+  let trace, _ =
+    Engine.Driver.run_trace algo c ~rng ~stop:(fun c ->
+        Engine.Config.pending_op c 0 = None)
+  in
+  let points = Array.of_list (p0 :: trace) in
+  Printf.printf "traced %d points of the write-%S interval\n\n" (Array.length points) v2;
+
+  Array.iteri
+    (fun i point ->
+      let vs =
+        Valency.Probe.returnable algo point ~reader:1
+          ~frozen:[ Engine.Types.Client 0 ] ~gossip_drain:false
+      in
+      let tags =
+        String.concat ","
+          (List.map
+             (fun v -> if v = v1 then "1-valent" else if v = v2 then "2-valent" else v)
+             (Valency.Probe.String_set.elements vs))
+      in
+      Printf.printf "  P%-2d servers=[%s]  %s\n" i
+        (String.concat "; "
+           (Array.to_list (Engine.Config.server_encodings algo point)))
+        tags)
+    points;
+
+  (match
+     Valency.Critical.run_pair algo params ~mode:Valency.Critical.No_gossip
+       (v1, v2)
+   with
+  | Error why -> Printf.printf "\nno critical pair: %s\n" why
+  | Ok (pr, q1, q2) ->
+      Printf.printf
+        "\ncritical pair found at (P%d, P%d); server %s changed state\n"
+        pr.Valency.Critical.critical_index
+        (pr.Valency.Critical.critical_index + 1)
+        (String.concat ","
+           (List.map string_of_int pr.Valency.Critical.changed));
+      Printf.printf "  Q1 states: [%s]\n"
+        (String.concat "; " (Array.to_list q1));
+      Printf.printf "  Q2 states: [%s]\n"
+        (String.concat "; " (Array.to_list q2)));
+
+  (* and the full census over a 3-value domain *)
+  let r =
+    Valency.Critical.run algo params ~mode:Valency.Critical.No_gossip
+      ~domain:[ "a"; "b"; "c" ]
+  in
+  Format.printf "@.%a@." Valency.Critical.pp r;
+  print_endline
+    "\nEvery ordered pair of values produced a distinct state tuple, so the\n\
+     servers must jointly hold at least log2(|V|(|V|-1)) - log2(n-f) bits:\n\
+     the paper's Theorem 4.1, observed on a running protocol."

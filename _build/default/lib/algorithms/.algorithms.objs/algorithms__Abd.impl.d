@@ -1,0 +1,1 @@
+lib/algorithms/abd.ml: Common Engine Int_set Printf

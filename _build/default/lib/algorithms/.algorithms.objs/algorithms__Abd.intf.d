@@ -1,0 +1,1 @@
+lib/algorithms/abd.mli: Common Engine Int_set

@@ -1,0 +1,1 @@
+lib/algorithms/abd_mw.ml: Common Engine Int_set Printf

@@ -1,0 +1,1 @@
+lib/algorithms/abd_mw.mli: Common Engine Int_set

@@ -1,0 +1,1 @@
+lib/algorithms/awe.ml: Array Bytes Cas Char Common Engine Erasure Int_set List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/algorithms/awe.mli: Common Engine Int_set Map

@@ -1,0 +1,1 @@
+lib/algorithms/cas.ml: Array Bytes Char Common Engine Erasure Hashtbl Int_set List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/algorithms/cas.mli: Common Engine Erasure Int_set Map

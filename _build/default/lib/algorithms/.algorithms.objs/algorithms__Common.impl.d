@@ -1,0 +1,1 @@
+lib/algorithms/common.ml: Char Engine Format Int Int64 List Printf Set String

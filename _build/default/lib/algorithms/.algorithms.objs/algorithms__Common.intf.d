@@ -1,0 +1,1 @@
+lib/algorithms/common.mli: Engine Format Set

@@ -1,0 +1,1 @@
+lib/algorithms/gossip_rep.ml: Common Engine Fun Int_set List Printf

@@ -1,0 +1,1 @@
+lib/algorithms/gossip_rep.mli: Common Engine Int_set

@@ -1,0 +1,178 @@
+(** The Attiya-Bar-Noy-Dolev replication protocol [3], single-writer
+    multi-reader form, emulating an atomic register over [n] servers
+    with up to [f < n/2] crash failures.
+
+    - Server: stores one (tag, value) pair; overwrites on higher tag.
+    - Write: one phase — send (tag, value) to all, await [n - f] acks.
+    - Read: query phase (collect [n - f] (tag, value) pairs, pick the
+      max) followed by a write-back phase that propagates the chosen
+      pair to [n - f] servers before returning; the write-back is what
+      upgrades regularity to atomicity.
+
+    [make ~write_back:false] yields the classical regular SWSR/SWMR
+    variant that skips the write-back — the weakest algorithm class the
+    paper's Theorems B.1 and 4.1 apply to.
+
+    Storage: [tag_bits + 8 * value_len] bits per server, independent of
+    the number of active writes — the paper's replication upper-bound
+    curve [Theta(f) log2 |V|]. *)
+
+open Engine.Types
+open Common
+
+type server_state = { tag : tag; value : string }
+
+type msg =
+  | Put of { rid : int; tag : tag; value : string }
+  | Put_ack of { rid : int }
+  | Get of { rid : int }
+  | Get_resp of { rid : int; tag : tag; value : string }
+
+type client_phase =
+  | Idle
+  | Writing of { rid : int; acks : Int_set.t }
+  | Reading_query of {
+      rid : int;
+      from : Int_set.t;
+      best_tag : tag;
+      best_value : string;
+    }
+  | Reading_wb of { rid : int; value : string; acks : Int_set.t }
+
+type client_state = { next_rid : int; last_seq : int; phase : client_phase }
+
+let init_server p _i = { tag = tag0; value = initial_value p }
+let init_client _p _i = { next_rid = 0; last_seq = 0; phase = Idle }
+
+let server_id_exn = function
+  | Server i -> i
+  | Client _ -> invalid_arg "Abd: expected a message from a server"
+
+let on_invoke p ~me:_ cs op =
+  match (op, cs.phase) with
+  | _, (Writing _ | Reading_query _ | Reading_wb _) ->
+      invalid_arg "Abd.on_invoke: operation already in progress"
+  | Write v, Idle ->
+      let rid = cs.next_rid in
+      let tag = { seq = cs.last_seq + 1; cid = 0 } in
+      let cs =
+        {
+          next_rid = rid + 1;
+          last_seq = cs.last_seq + 1;
+          phase = Writing { rid; acks = Int_set.empty };
+        }
+      in
+      (cs, to_all_servers p (Put { rid; tag; value = v }))
+  | Read, Idle ->
+      let rid = cs.next_rid in
+      let cs =
+        {
+          cs with
+          next_rid = rid + 1;
+          phase =
+            Reading_query
+              {
+                rid;
+                from = Int_set.empty;
+                best_tag = tag0;
+                best_value = initial_value p;
+              };
+        }
+      in
+      (cs, to_all_servers p (Get { rid }))
+
+let on_client_msg ~write_back p ~me:_ cs ~src msg =
+  let q = majority_quorum p in
+  match (msg, cs.phase) with
+  | Put_ack { rid }, Writing w when rid = w.rid ->
+      let acks = Int_set.add (server_id_exn src) w.acks in
+      if Int_set.cardinal acks >= q then
+        ({ cs with phase = Idle }, [], Some Write_ack)
+      else ({ cs with phase = Writing { w with acks } }, [], None)
+  | Get_resp { rid; tag; value }, Reading_query r when rid = r.rid ->
+      let sid = server_id_exn src in
+      if Int_set.mem sid r.from then (cs, [], None)
+      else begin
+        let from = Int_set.add sid r.from in
+        let best_tag, best_value =
+          if tag_lt r.best_tag tag then (tag, value) else (r.best_tag, r.best_value)
+        in
+        if Int_set.cardinal from >= q then
+          if write_back then begin
+            let rid' = cs.next_rid in
+            let cs =
+              {
+                cs with
+                next_rid = rid' + 1;
+                phase =
+                  Reading_wb { rid = rid'; value = best_value; acks = Int_set.empty };
+              }
+            in
+            (cs, to_all_servers p (Put { rid = rid'; tag = best_tag; value = best_value }), None)
+          end
+          else ({ cs with phase = Idle }, [], Some (Read_ack best_value))
+        else
+          ( { cs with phase = Reading_query { r with from; best_tag; best_value } },
+            [],
+            None )
+      end
+  | Put_ack { rid }, Reading_wb r when rid = r.rid ->
+      let acks = Int_set.add (server_id_exn src) r.acks in
+      if Int_set.cardinal acks >= q then
+        ({ cs with phase = Idle }, [], Some (Read_ack r.value))
+      else ({ cs with phase = Reading_wb { r with acks } }, [], None)
+  | (Put_ack _ | Get_resp _), _ ->
+      (cs, [], None) (* stale round: ignore *)
+  | (Put _ | Get _), _ -> invalid_arg "Abd.on_client_msg: client got a request"
+
+let on_server_msg _p ~me:_ ss ~src msg =
+  match msg with
+  | Put { rid; tag; value } ->
+      let ss = if tag_lt ss.tag tag then { tag; value } else ss in
+      (ss, [ send src (Put_ack { rid }) ])
+  | Get { rid } ->
+      (ss, [ send src (Get_resp { rid; tag = ss.tag; value = ss.value }) ])
+  | Put_ack _ | Get_resp _ ->
+      invalid_arg "Abd.on_server_msg: server got a response"
+
+let server_bits p (_ss : server_state) = tag_bits + (8 * p.value_len)
+
+let encode_server ss =
+  Printf.sprintf "%s:%s" (tag_to_string ss.tag) ss.value
+
+let encode_msg = function
+  | Put { rid; tag; value } ->
+      Printf.sprintf "put(%d,%s,%s)" rid (tag_to_string tag) value
+  | Put_ack { rid } -> Printf.sprintf "put_ack(%d)" rid
+  | Get { rid } -> Printf.sprintf "get(%d)" rid
+  | Get_resp { rid; tag; value } ->
+      Printf.sprintf "get_resp(%d,%s,%s)" rid (tag_to_string tag) value
+
+let is_value_dependent = function
+  | Put _ | Get_resp _ -> true
+  | Put_ack _ | Get _ -> false
+
+let make ~write_back ~name : (server_state, client_state, msg) algo =
+  {
+    name;
+    uses_gossip = false;
+    single_value_phase = true;
+    init_server =
+      (fun p i ->
+        check_replication_params p;
+        init_server p i);
+    init_client;
+    on_invoke;
+    on_client_msg = on_client_msg ~write_back;
+    on_server_msg;
+    server_bits;
+    encode_server;
+    encode_msg;
+    is_value_dependent;
+  }
+
+let algo = make ~write_back:true ~name:"abd-swmr"
+(** Atomic SWMR ABD (reads write back). *)
+
+let regular_algo = make ~write_back:false ~name:"swsr-regular"
+(** Regular variant without read write-back (SWSR usage). *)

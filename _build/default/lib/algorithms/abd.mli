@@ -1,0 +1,51 @@
+(** The Attiya-Bar-Noy-Dolev replication protocol [3], single-writer
+    multi-reader form.
+
+    - Server: one (tag, value) pair, overwritten on higher tags.
+    - Write: one phase — send (tag, value) to all, await [n-f] acks.
+    - Read: query [n-f] servers, pick the max tag, then {e write back}
+      the chosen pair to [n-f] servers before returning.  The
+      write-back upgrades regularity to atomicity.
+
+    [regular_algo] skips the write-back: the classical regular
+    SWSR/SWMR register — the weakest class Theorems B.1 and 4.1 apply
+    to.  Storage per server is [tag_bits + 8 value_len], independent of
+    concurrency: the replication curve of Figure 1. *)
+
+open Common
+
+type server_state = { tag : tag; value : string }
+
+type msg =
+  | Put of { rid : int; tag : tag; value : string }
+      (** writer propagation, and reader write-back (value-dependent) *)
+  | Put_ack of { rid : int }
+  | Get of { rid : int }
+  | Get_resp of { rid : int; tag : tag; value : string }
+
+(** Client operation phases.  [rid] is a client-local round id echoed
+    by servers so stale responses are ignored. *)
+type client_phase =
+  | Idle
+  | Writing of { rid : int; acks : Int_set.t }
+  | Reading_query of {
+      rid : int;
+      from : Int_set.t;
+      best_tag : tag;
+      best_value : string;
+    }
+  | Reading_wb of { rid : int; value : string; acks : Int_set.t }
+
+type client_state = { next_rid : int; last_seq : int; phase : client_phase }
+
+val make :
+  write_back:bool ->
+  name:string ->
+  (server_state, client_state, msg) Engine.Types.algo
+(** Build an instance; [write_back:false] yields the regular variant. *)
+
+val algo : (server_state, client_state, msg) Engine.Types.algo
+(** Atomic SWMR ABD (reads write back). *)
+
+val regular_algo : (server_state, client_state, msg) Engine.Types.algo
+(** Regular variant without read write-back (SWSR usage). *)

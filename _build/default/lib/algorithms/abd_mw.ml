@@ -1,0 +1,178 @@
+(** Multi-writer ABD [3]: replication-based atomic MWMR register.
+
+    Writers run two phases — a tag query (value-independent) followed
+    by a propagation of [(max_tag + 1, value)] — so exactly one phase
+    sends value-dependent messages: the protocol is in the class of
+    Theorem 6.5.  Readers query and write back as in {!Abd}.
+
+    Storage per server is one (tag, value) pair, independent of the
+    number of concurrent writers: the replication upper bound of
+    Figure 1. *)
+
+open Engine.Types
+open Common
+
+type server_state = { tag : tag; value : string }
+
+type msg =
+  | Get_tag of { rid : int }
+  | Tag_resp of { rid : int; tag : tag }
+  | Put of { rid : int; tag : tag; value : string }
+  | Put_ack of { rid : int }
+  | Get of { rid : int }
+  | Get_resp of { rid : int; tag : tag; value : string }
+
+type client_phase =
+  | Idle
+  | W_query of { rid : int; value : string; from : Int_set.t; best : tag }
+  | W_put of { rid : int; acks : Int_set.t }
+  | R_query of { rid : int; from : Int_set.t; best_tag : tag; best_value : string }
+  | R_wb of { rid : int; value : string; acks : Int_set.t }
+
+type client_state = { next_rid : int; phase : client_phase }
+
+let init_server p _i = { tag = tag0; value = initial_value p }
+let init_client _p _i = { next_rid = 0; phase = Idle }
+
+let server_id_exn = function
+  | Server i -> i
+  | Client _ -> invalid_arg "Abd_mw: expected a message from a server"
+
+let on_invoke p ~me:_ cs op =
+  match (op, cs.phase) with
+  | _, (W_query _ | W_put _ | R_query _ | R_wb _) ->
+      invalid_arg "Abd_mw.on_invoke: operation already in progress"
+  | Write v, Idle ->
+      let rid = cs.next_rid in
+      let cs =
+        {
+          next_rid = rid + 1;
+          phase = W_query { rid; value = v; from = Int_set.empty; best = tag0 };
+        }
+      in
+      (cs, to_all_servers p (Get_tag { rid }))
+  | Read, Idle ->
+      let rid = cs.next_rid in
+      let cs =
+        {
+          next_rid = rid + 1;
+          phase =
+            R_query
+              {
+                rid;
+                from = Int_set.empty;
+                best_tag = tag0;
+                best_value = initial_value p;
+              };
+        }
+      in
+      (cs, to_all_servers p (Get { rid }))
+
+let on_client_msg p ~me cs ~src msg =
+  let q = majority_quorum p in
+  match (msg, cs.phase) with
+  | Tag_resp { rid; tag }, W_query w when rid = w.rid ->
+      let sid = server_id_exn src in
+      if Int_set.mem sid w.from then (cs, [], None)
+      else begin
+        let from = Int_set.add sid w.from in
+        let best = tag_max w.best tag in
+        if Int_set.cardinal from >= q then begin
+          let rid' = cs.next_rid in
+          let tag = next_tag best ~cid:me in
+          let cs =
+            {
+              next_rid = rid' + 1;
+              phase = W_put { rid = rid'; acks = Int_set.empty };
+            }
+          in
+          (cs, to_all_servers p (Put { rid = rid'; tag; value = w.value }), None)
+        end
+        else ({ cs with phase = W_query { w with from; best } }, [], None)
+      end
+  | Put_ack { rid }, W_put w when rid = w.rid ->
+      let acks = Int_set.add (server_id_exn src) w.acks in
+      if Int_set.cardinal acks >= q then
+        ({ cs with phase = Idle }, [], Some Write_ack)
+      else ({ cs with phase = W_put { w with acks } }, [], None)
+  | Get_resp { rid; tag; value }, R_query r when rid = r.rid ->
+      let sid = server_id_exn src in
+      if Int_set.mem sid r.from then (cs, [], None)
+      else begin
+        let from = Int_set.add sid r.from in
+        let best_tag, best_value =
+          if tag_lt r.best_tag tag then (tag, value) else (r.best_tag, r.best_value)
+        in
+        if Int_set.cardinal from >= q then begin
+          let rid' = cs.next_rid in
+          let cs =
+            {
+              next_rid = rid' + 1;
+              phase = R_wb { rid = rid'; value = best_value; acks = Int_set.empty };
+            }
+          in
+          ( cs,
+            to_all_servers p (Put { rid = rid'; tag = best_tag; value = best_value }),
+            None )
+        end
+        else
+          ( { cs with phase = R_query { r with from; best_tag; best_value } },
+            [],
+            None )
+      end
+  | Put_ack { rid }, R_wb r when rid = r.rid ->
+      let acks = Int_set.add (server_id_exn src) r.acks in
+      if Int_set.cardinal acks >= q then
+        ({ cs with phase = Idle }, [], Some (Read_ack r.value))
+      else ({ cs with phase = R_wb { r with acks } }, [], None)
+  | (Tag_resp _ | Put_ack _ | Get_resp _), _ -> (cs, [], None)
+  | (Get_tag _ | Put _ | Get _), _ ->
+      invalid_arg "Abd_mw.on_client_msg: client got a request"
+
+let on_server_msg _p ~me:_ ss ~src msg =
+  match msg with
+  | Get_tag { rid } -> (ss, [ send src (Tag_resp { rid; tag = ss.tag }) ])
+  | Put { rid; tag; value } ->
+      let ss = if tag_lt ss.tag tag then { tag; value } else ss in
+      (ss, [ send src (Put_ack { rid }) ])
+  | Get { rid } ->
+      (ss, [ send src (Get_resp { rid; tag = ss.tag; value = ss.value }) ])
+  | Tag_resp _ | Put_ack _ | Get_resp _ ->
+      invalid_arg "Abd_mw.on_server_msg: server got a response"
+
+let server_bits p (_ss : server_state) = tag_bits + (8 * p.value_len)
+
+let encode_server ss = Printf.sprintf "%s:%s" (tag_to_string ss.tag) ss.value
+
+let encode_msg = function
+  | Get_tag { rid } -> Printf.sprintf "get_tag(%d)" rid
+  | Tag_resp { rid; tag } -> Printf.sprintf "tag_resp(%d,%s)" rid (tag_to_string tag)
+  | Put { rid; tag; value } ->
+      Printf.sprintf "put(%d,%s,%s)" rid (tag_to_string tag) value
+  | Put_ack { rid } -> Printf.sprintf "put_ack(%d)" rid
+  | Get { rid } -> Printf.sprintf "get(%d)" rid
+  | Get_resp { rid; tag; value } ->
+      Printf.sprintf "get_resp(%d,%s,%s)" rid (tag_to_string tag) value
+
+let is_value_dependent = function
+  | Put _ | Get_resp _ -> true
+  | Get_tag _ | Tag_resp _ | Put_ack _ | Get _ -> false
+
+let algo : (server_state, client_state, msg) algo =
+  {
+    name = "abd-mwmr";
+    uses_gossip = false;
+    single_value_phase = true;
+    init_server =
+      (fun p i ->
+        check_replication_params p;
+        init_server p i);
+    init_client;
+    on_invoke;
+    on_client_msg;
+    on_server_msg;
+    server_bits;
+    encode_server;
+    encode_msg;
+    is_value_dependent;
+  }

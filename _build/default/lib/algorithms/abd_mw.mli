@@ -1,0 +1,30 @@
+(** Multi-writer ABD [3]: replication-based atomic MWMR register.
+
+    Writers run a value-independent tag query followed by one
+    propagation phase of [(max_tag + 1, value)] — exactly one
+    value-dependent phase, so the protocol is in the class of Theorem
+    6.5.  Readers query and write back as in {!Abd}.  Storage per
+    server is one (tag, value) pair regardless of concurrency. *)
+
+open Common
+
+type server_state = { tag : tag; value : string }
+
+type msg =
+  | Get_tag of { rid : int }
+  | Tag_resp of { rid : int; tag : tag }
+  | Put of { rid : int; tag : tag; value : string }  (** value-dependent *)
+  | Put_ack of { rid : int }
+  | Get of { rid : int }
+  | Get_resp of { rid : int; tag : tag; value : string }
+
+type client_phase =
+  | Idle
+  | W_query of { rid : int; value : string; from : Int_set.t; best : tag }
+  | W_put of { rid : int; acks : Int_set.t }
+  | R_query of { rid : int; from : Int_set.t; best_tag : tag; best_value : string }
+  | R_wb of { rid : int; value : string; acks : Int_set.t }
+
+type client_state = { next_rid : int; phase : client_phase }
+
+val algo : (server_state, client_state, msg) Engine.Types.algo

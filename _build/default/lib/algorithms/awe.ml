@@ -1,0 +1,346 @@
+(* Two-phase-value protocol in the style of AWE / PoWerStore [2, 15]:
+   erasure-coded storage where the writer sends value-dependent
+   messages in TWO phases — a digest announcement and the coded
+   symbols.  See awe.mli for the protocol description and its role in
+   the Section 6.5 conjecture. *)
+
+open Engine.Types
+open Common
+
+module Tag_map = Map.Make (struct
+  type t = tag
+
+  let compare = tag_compare
+end)
+
+type entry = { digest : int64 option; symbol : bytes option; fin : bool }
+
+type server_state = { entries : entry Tag_map.t }
+
+type msg =
+  | Query_fin of { rid : int }
+  | Query_resp of { rid : int; tag : tag }
+  | Announce of { rid : int; tag : tag; digest : int64 }
+  | Announce_ack of { rid : int }
+  | Pre of { rid : int; tag : tag; symbol : bytes }
+  | Pre_ack of { rid : int }
+  | Fin of { rid : int; tag : tag }
+  | Fin_ack of { rid : int }
+  | Read_fin of { rid : int; tag : tag }
+  | Read_resp of { rid : int; symbol : bytes option; digest : int64 option }
+
+type client_phase =
+  | Idle
+  | W_query of { rid : int; value : string; from : Int_set.t; best : tag }
+  | W_announce of { rid : int; tag : tag; value : string; acks : Int_set.t }
+  | W_pre of { rid : int; tag : tag; acks : Int_set.t }
+  | W_fin of { rid : int; acks : Int_set.t }
+  | R_query of { rid : int; from : Int_set.t; best : tag }
+  | R_collect of {
+      rid : int;
+      tag : tag;
+      from : Int_set.t;
+      symbols : (int * bytes) list;
+      digest : int64 option;
+    }
+
+type client_state = { next_rid : int; phase : client_phase }
+
+let code_of = Cas.code_of
+
+let highest_fin entries =
+  Tag_map.fold (fun t e acc -> if e.fin then Some t else acc) entries None
+
+let empty_entry = { digest = None; symbol = None; fin = false }
+
+(* Same windowing rule as CAS: keep the delta+1 highest tags plus the
+   highest finalized one. *)
+let gc (p : params) entries =
+  let tags_desc = Tag_map.fold (fun t _ acc -> t :: acc) entries [] in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let keep = take (p.delta + 1) tags_desc in
+  let keep = match highest_fin entries with Some t -> t :: keep | None -> keep in
+  Tag_map.filter
+    (fun t _ -> List.exists (fun t' -> tag_compare t t' = 0) keep)
+    entries
+
+let init_server p i =
+  check_cas_params p;
+  let code = code_of p in
+  let v0 = initial_value p in
+  let symbol = Erasure.encode_symbol code ~index:i v0 in
+  {
+    entries =
+      Tag_map.singleton tag0
+        { digest = Some (fnv1a64 v0); symbol = Some symbol; fin = true };
+  }
+
+let init_client _p _i = { next_rid = 0; phase = Idle }
+
+let server_id_exn = function
+  | Server i -> i
+  | Client _ -> invalid_arg "Awe: expected a message from a server"
+
+let quorum = cas_quorum
+
+let on_invoke p ~me:_ cs op =
+  match (op, cs.phase) with
+  | ( _,
+      ( W_query _ | W_announce _ | W_pre _ | W_fin _ | R_query _ | R_collect _ ) )
+    ->
+      invalid_arg "Awe.on_invoke: operation already in progress"
+  | Write v, Idle ->
+      if String.length v <> p.value_len then
+        invalid_arg "Awe.on_invoke: value has wrong length";
+      let rid = cs.next_rid in
+      let cs =
+        {
+          next_rid = rid + 1;
+          phase = W_query { rid; value = v; from = Int_set.empty; best = tag0 };
+        }
+      in
+      (cs, to_all_servers p (Query_fin { rid }))
+  | Read, Idle ->
+      let rid = cs.next_rid in
+      let cs =
+        {
+          next_rid = rid + 1;
+          phase = R_query { rid; from = Int_set.empty; best = tag0 };
+        }
+      in
+      (cs, to_all_servers p (Query_fin { rid }))
+
+let on_client_msg p ~me cs ~src msg =
+  let q = quorum p in
+  match (msg, cs.phase) with
+  | Query_resp { rid; tag }, W_query w when rid = w.rid ->
+      let sid = server_id_exn src in
+      if Int_set.mem sid w.from then (cs, [], None)
+      else begin
+        let from = Int_set.add sid w.from in
+        let best = tag_max w.best tag in
+        if Int_set.cardinal from >= q then begin
+          let rid' = cs.next_rid in
+          let tag = next_tag best ~cid:me in
+          let cs =
+            {
+              next_rid = rid' + 1;
+              phase =
+                W_announce { rid = rid'; tag; value = w.value; acks = Int_set.empty };
+            }
+          in
+          ( cs,
+            to_all_servers p
+              (Announce { rid = rid'; tag; digest = fnv1a64 w.value }),
+            None )
+        end
+        else ({ cs with phase = W_query { w with from; best } }, [], None)
+      end
+  | Announce_ack { rid }, W_announce w when rid = w.rid ->
+      let acks = Int_set.add (server_id_exn src) w.acks in
+      if Int_set.cardinal acks >= q then begin
+        let rid' = cs.next_rid in
+        let code = code_of p in
+        let symbols = Erasure.encode code w.value in
+        let outs =
+          List.init p.n (fun i ->
+              send (Server i) (Pre { rid = rid'; tag = w.tag; symbol = symbols.(i) }))
+        in
+        let cs =
+          {
+            next_rid = rid' + 1;
+            phase = W_pre { rid = rid'; tag = w.tag; acks = Int_set.empty };
+          }
+        in
+        (cs, outs, None)
+      end
+      else ({ cs with phase = W_announce { w with acks } }, [], None)
+  | Pre_ack { rid }, W_pre w when rid = w.rid ->
+      let acks = Int_set.add (server_id_exn src) w.acks in
+      if Int_set.cardinal acks >= q then begin
+        let rid' = cs.next_rid in
+        let cs =
+          { next_rid = rid' + 1; phase = W_fin { rid = rid'; acks = Int_set.empty } }
+        in
+        (cs, to_all_servers p (Fin { rid = rid'; tag = w.tag }), None)
+      end
+      else ({ cs with phase = W_pre { w with acks } }, [], None)
+  | Fin_ack { rid }, W_fin w when rid = w.rid ->
+      let acks = Int_set.add (server_id_exn src) w.acks in
+      if Int_set.cardinal acks >= q then
+        ({ cs with phase = Idle }, [], Some Write_ack)
+      else ({ cs with phase = W_fin { w with acks } }, [], None)
+  | Query_resp { rid; tag }, R_query r when rid = r.rid ->
+      let sid = server_id_exn src in
+      if Int_set.mem sid r.from then (cs, [], None)
+      else begin
+        let from = Int_set.add sid r.from in
+        let best = tag_max r.best tag in
+        if Int_set.cardinal from >= q then begin
+          let rid' = cs.next_rid in
+          let cs =
+            {
+              next_rid = rid' + 1;
+              phase =
+                R_collect
+                  {
+                    rid = rid';
+                    tag = best;
+                    from = Int_set.empty;
+                    symbols = [];
+                    digest = None;
+                  };
+            }
+          in
+          (cs, to_all_servers p (Read_fin { rid = rid'; tag = best }), None)
+        end
+        else ({ cs with phase = R_query { r with from; best } }, [], None)
+      end
+  | Read_resp { rid; symbol; digest }, R_collect r when rid = r.rid ->
+      let sid = server_id_exn src in
+      if Int_set.mem sid r.from then (cs, [], None)
+      else begin
+        let from = Int_set.add sid r.from in
+        let symbols =
+          match symbol with Some s -> (sid, s) :: r.symbols | None -> r.symbols
+        in
+        let digest = match r.digest with Some _ -> r.digest | None -> digest in
+        if Int_set.cardinal from >= q && List.length symbols >= p.k then begin
+          let code = code_of p in
+          match Erasure.decode code ~value_len:p.value_len symbols with
+          | Some value ->
+              (* integrity check against the announced digest: this is
+                 the client-verification step of [2, 15] *)
+              (match digest with
+              | Some d when d <> fnv1a64 value ->
+                  invalid_arg "Awe: decoded value fails digest verification"
+              | _ -> ());
+              ({ cs with phase = Idle }, [], Some (Read_ack value))
+          | None -> invalid_arg "Awe: decode failed with k symbols"
+        end
+        else ({ cs with phase = R_collect { r with from; symbols; digest } }, [], None)
+      end
+  | (Query_resp _ | Announce_ack _ | Pre_ack _ | Fin_ack _ | Read_resp _), _ ->
+      (cs, [], None)
+  | (Query_fin _ | Announce _ | Pre _ | Fin _ | Read_fin _), _ ->
+      invalid_arg "Awe.on_client_msg: client got a request"
+
+let update_entry entries tag f =
+  Tag_map.add tag (f (Tag_map.find_opt tag entries)) entries
+
+let on_server_msg p ~me:_ ss ~src msg =
+  match msg with
+  | Query_fin { rid } ->
+      let tag = Option.value ~default:tag0 (highest_fin ss.entries) in
+      (ss, [ send src (Query_resp { rid; tag }) ])
+  | Announce { rid; tag; digest } ->
+      let entries =
+        update_entry ss.entries tag (function
+          | Some e -> { e with digest = Some digest }
+          | None -> { empty_entry with digest = Some digest })
+      in
+      ({ entries = gc p entries }, [ send src (Announce_ack { rid }) ])
+  | Pre { rid; tag; symbol } ->
+      let entries =
+        update_entry ss.entries tag (function
+          | Some e -> { e with symbol = Some symbol }
+          | None -> { empty_entry with symbol = Some symbol })
+      in
+      ({ entries = gc p entries }, [ send src (Pre_ack { rid }) ])
+  | Fin { rid; tag } ->
+      let entries =
+        update_entry ss.entries tag (function
+          | Some e -> { e with fin = true }
+          | None -> { empty_entry with fin = true })
+      in
+      ({ entries = gc p entries }, [ send src (Fin_ack { rid }) ])
+  | Read_fin { rid; tag } ->
+      let entries =
+        update_entry ss.entries tag (function
+          | Some e -> { e with fin = true }
+          | None -> { empty_entry with fin = true })
+      in
+      let symbol, digest =
+        match Tag_map.find_opt tag entries with
+        | Some { symbol; digest; _ } -> (symbol, digest)
+        | None -> (None, None)
+      in
+      ({ entries = gc p entries }, [ send src (Read_resp { rid; symbol; digest }) ])
+  | Query_resp _ | Announce_ack _ | Pre_ack _ | Fin_ack _ | Read_resp _ ->
+      invalid_arg "Awe.on_server_msg: server got a response"
+
+let digest_bits = 64
+
+let server_bits p ss =
+  let code = code_of p in
+  let sym_bits = Erasure.symbol_bits code ~value_len:p.value_len in
+  Tag_map.fold
+    (fun _ e acc ->
+      acc + tag_bits + 1
+      + (match e.digest with Some _ -> digest_bits | None -> 0)
+      + (match e.symbol with Some _ -> sym_bits | None -> 0))
+    ss.entries 0
+
+let hex b =
+  String.concat ""
+    (List.map
+       (Printf.sprintf "%02x")
+       (List.init (Bytes.length b) (fun i -> Char.code (Bytes.get b i))))
+
+let encode_server ss =
+  Tag_map.bindings ss.entries
+  |> List.map (fun (t, e) ->
+         Printf.sprintf "%s:%s:%s:%b" (tag_to_string t)
+           (match e.digest with Some d -> Printf.sprintf "%Lx" d | None -> "-")
+           (match e.symbol with Some s -> hex s | None -> "-")
+           e.fin)
+  |> String.concat ";"
+
+let encode_msg = function
+  | Query_fin { rid } -> Printf.sprintf "query_fin(%d)" rid
+  | Query_resp { rid; tag } ->
+      Printf.sprintf "query_resp(%d,%s)" rid (tag_to_string tag)
+  | Announce { rid; tag; digest } ->
+      Printf.sprintf "announce(%d,%s,%Lx)" rid (tag_to_string tag) digest
+  | Announce_ack { rid } -> Printf.sprintf "announce_ack(%d)" rid
+  | Pre { rid; tag; symbol } ->
+      Printf.sprintf "pre(%d,%s,%s)" rid (tag_to_string tag) (hex symbol)
+  | Pre_ack { rid } -> Printf.sprintf "pre_ack(%d)" rid
+  | Fin { rid; tag } -> Printf.sprintf "fin(%d,%s)" rid (tag_to_string tag)
+  | Fin_ack { rid } -> Printf.sprintf "fin_ack(%d)" rid
+  | Read_fin { rid; tag } -> Printf.sprintf "read_fin(%d,%s)" rid (tag_to_string tag)
+  | Read_resp { rid; symbol; digest } ->
+      Printf.sprintf "read_resp(%d,%s,%s)" rid
+        (match symbol with Some s -> hex s | None -> "-")
+        (match digest with Some d -> Printf.sprintf "%Lx" d | None -> "-")
+
+(* Both the digest announcement and the coded symbols depend on the
+   value: two value-dependent phases, hence single_value_phase =
+   false.  Theorem 6.5 as stated does not cover this protocol; the
+   paper's Section 6.5 conjectures the bound still applies because the
+   digest phase carries only o(log |V|) bits. *)
+let is_value_dependent = function
+  | Announce _ | Pre _ | Read_resp _ -> true
+  | Query_fin _ | Query_resp _ | Pre_ack _ | Announce_ack _ | Fin _ | Fin_ack _
+  | Read_fin _ ->
+      false
+
+let algo : (server_state, client_state, msg) algo =
+  {
+    name = "awe-two-phase";
+    uses_gossip = false;
+    single_value_phase = false;
+    init_server;
+    init_client;
+    on_invoke;
+    on_client_msg;
+    on_server_msg;
+    server_bits;
+    encode_server;
+    encode_msg;
+    is_value_dependent;
+  }

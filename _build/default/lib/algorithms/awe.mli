@@ -1,0 +1,58 @@
+(** A two-phase-value erasure-coded register in the style of
+    AWE / PoWerStore [2, 15]: the writer sends value-dependent messages
+    in {e two} phases — a digest announcement (used by readers for
+    client-integrity verification in the Byzantine setting of [2, 15])
+    and the coded symbols themselves.
+
+    This is precisely the protocol shape Theorem 6.5 does {e not}
+    cover ([single_value_phase = false]); Section 6.5 of the paper
+    conjectures the bound still applies because the extra
+    value-dependent phase carries only [o(log |V|)] bits.  The
+    repository's Theorem 6.5 machinery can be pointed at this protocol
+    to probe that conjecture empirically.
+
+    Structure: tag query -> announce (tag, digest) -> pre-write coded
+    symbols -> finalize; reads as in {!Cas}, plus digest verification
+    of the decoded value.  Quorums and garbage collection as in
+    {!Cas}. *)
+
+open Common
+
+module Tag_map : Map.S with type key = tag
+
+type entry = { digest : int64 option; symbol : bytes option; fin : bool }
+
+type server_state = { entries : entry Tag_map.t }
+
+type msg =
+  | Query_fin of { rid : int }
+  | Query_resp of { rid : int; tag : tag }
+  | Announce of { rid : int; tag : tag; digest : int64 }
+      (** value-dependent phase 1: the o(log |V|)-sized digest *)
+  | Announce_ack of { rid : int }
+  | Pre of { rid : int; tag : tag; symbol : bytes }
+      (** value-dependent phase 2: the coded symbol *)
+  | Pre_ack of { rid : int }
+  | Fin of { rid : int; tag : tag }
+  | Fin_ack of { rid : int }
+  | Read_fin of { rid : int; tag : tag }
+  | Read_resp of { rid : int; symbol : bytes option; digest : int64 option }
+
+type client_phase =
+  | Idle
+  | W_query of { rid : int; value : string; from : Int_set.t; best : tag }
+  | W_announce of { rid : int; tag : tag; value : string; acks : Int_set.t }
+  | W_pre of { rid : int; tag : tag; acks : Int_set.t }
+  | W_fin of { rid : int; acks : Int_set.t }
+  | R_query of { rid : int; from : Int_set.t; best : tag }
+  | R_collect of {
+      rid : int;
+      tag : tag;
+      from : Int_set.t;
+      symbols : (int * bytes) list;
+      digest : int64 option;
+    }
+
+type client_state = { next_rid : int; phase : client_phase }
+
+val algo : (server_state, client_state, msg) Engine.Types.algo

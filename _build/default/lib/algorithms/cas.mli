@@ -1,0 +1,68 @@
+(** Coded Atomic Storage (CAS) in the style of
+    Cadambe-Lynch-Medard-Musial [5]: an erasure-coded atomic MWMR
+    register.
+
+    Servers store per-version Reed-Solomon {e symbols} (1/k of the
+    value each) rather than replicas; concurrently written versions
+    must coexist, which is the storage-vs-concurrency trade-off of the
+    paper's Figure 1.  Quorums of size [ceil (n+k)/2] pairwise
+    intersect in [k] servers; liveness under [f] failures needs
+    [k <= n - 2f].
+
+    Write: tag query (value-independent), {e pre-write} of the coded
+    symbols, {e finalize}.  Only the pre-write phase is
+    value-dependent: CAS is in the Theorem 6.5 class.  Read: query the
+    max finalized tag, ask servers to finalize-and-return their symbol,
+    decode from [k] symbols.
+
+    Garbage collection: a server keeps entries only for the
+    [delta + 1] highest tags seen plus its highest finalized tag;
+    [delta] bounds concurrent writes (a liveness assumption, as
+    in [5]). *)
+
+open Common
+
+module Tag_map : Map.S with type key = tag
+
+type entry = { symbol : bytes option; fin : bool }
+(** One stored version: the server's codeword symbol (absent when only
+    a finalize marker arrived) and the finalized flag. *)
+
+type server_state = { entries : entry Tag_map.t }
+
+type msg =
+  | Query_fin of { rid : int }
+  | Query_resp of { rid : int; tag : tag }
+  | Pre of { rid : int; tag : tag; symbol : bytes }  (** value-dependent *)
+  | Pre_ack of { rid : int }
+  | Fin of { rid : int; tag : tag }
+  | Fin_ack of { rid : int }
+  | Read_fin of { rid : int; tag : tag }
+  | Read_resp of { rid : int; symbol : bytes option }
+
+type client_phase =
+  | Idle
+  | W_query of { rid : int; value : string; from : Int_set.t; best : tag }
+  | W_pre of { rid : int; tag : tag; acks : Int_set.t }
+  | W_fin of { rid : int; acks : Int_set.t }
+  | R_query of { rid : int; from : Int_set.t; best : tag }
+  | R_collect of {
+      rid : int;
+      tag : tag;
+      from : Int_set.t;
+      symbols : (int * bytes) list;
+    }
+
+type client_state = { next_rid : int; phase : client_phase }
+
+val algo : (server_state, client_state, msg) Engine.Types.algo
+
+val code_of : Engine.Types.params -> Erasure.t
+(** The (memoized) erasure-code instance the protocol uses for the
+    given parameters. *)
+
+val highest_fin : entry Tag_map.t -> tag option
+(** The largest finalized tag among the stored entries, if any. *)
+
+val gc : Engine.Types.params -> entry Tag_map.t -> entry Tag_map.t
+(** The garbage-collection rule; exposed for unit tests. *)

@@ -1,0 +1,73 @@
+(** Shared vocabulary of the emulation protocols: tags (logical
+    timestamps), quorum sizes, the initial register value, and storage
+    accounting conventions. *)
+
+open Engine.Types
+
+(** Multi-writer tags: lexicographically ordered (sequence, client id).
+    Single-writer protocols use client id 0. *)
+type tag = { seq : int; cid : int }
+
+let tag0 = { seq = 0; cid = -1 }
+
+let tag_compare a b =
+  match compare a.seq b.seq with 0 -> compare a.cid b.cid | c -> c
+
+let tag_max a b = if tag_compare a b >= 0 then a else b
+let tag_lt a b = tag_compare a b < 0
+
+let next_tag t ~cid = { seq = t.seq + 1; cid }
+
+let pp_tag fmt t = Format.fprintf fmt "(%d,%d)" t.seq t.cid
+
+let tag_to_string t = Printf.sprintf "%d.%d" t.seq t.cid
+
+(** Metadata size convention: a tag costs 64 bits.  The paper treats
+    all metadata as [o(log |V|)]; a fixed convention keeps measured
+    storage comparable across algorithms. *)
+let tag_bits = 64
+
+(** The register's initial value: [value_len] zero bytes.  Reads that
+    precede every write return it. *)
+let initial_value (p : params) = String.make p.value_len '\000'
+
+(** Quorum size for replication protocols: wait for [n - f] responses.
+    Safety (quorum intersection) additionally needs [n >= 2f + 1]. *)
+let majority_quorum (p : params) = p.n - p.f
+
+let check_replication_params (p : params) =
+  if p.n < (2 * p.f) + 1 then
+    invalid_arg
+      (Printf.sprintf
+         "replication protocol requires n >= 2f + 1 (got n=%d f=%d)" p.n p.f)
+
+(** CAS quorum size: [ceil (n + k) / 2].  Any two quorums intersect in
+    at least [k] servers; liveness under [f] failures requires
+    [k <= n - 2f]. *)
+let cas_quorum (p : params) = (p.n + p.k + 1) / 2
+
+let check_cas_params (p : params) =
+  if p.k > p.n - (2 * p.f) then
+    invalid_arg
+      (Printf.sprintf "CAS requires k <= n - 2f (got n=%d f=%d k=%d)" p.n p.f
+         p.k)
+
+(** Broadcast an identical payload to all servers. *)
+let to_all_servers (p : params) payload =
+  List.init p.n (fun i -> send (Server i) payload)
+
+module Int_set = Set.Make (Int)
+
+(** FNV-1a 64-bit hash.  Stands in for the cryptographic digests the
+    Byzantine-tolerant algorithms [2, 15] attach to values: what
+    matters for the storage analysis is only that the digest is
+    value-dependent yet of size [o(log |V|)]. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h

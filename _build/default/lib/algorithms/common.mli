@@ -1,0 +1,52 @@
+(** Shared vocabulary of the emulation protocols: tags (logical
+    timestamps), quorum sizes, the initial register value, and storage
+    accounting conventions. *)
+
+(** Multi-writer tags, ordered lexicographically by (sequence, client).
+    Single-writer protocols use client id 0. *)
+type tag = { seq : int; cid : int }
+
+val tag0 : tag
+(** The initial tag, smaller than any tag a write produces. *)
+
+val tag_compare : tag -> tag -> int
+val tag_max : tag -> tag -> tag
+val tag_lt : tag -> tag -> bool
+
+val next_tag : tag -> cid:int -> tag
+(** [(t.seq + 1, cid)]: the tag a writer picks after observing [t]. *)
+
+val pp_tag : Format.formatter -> tag -> unit
+val tag_to_string : tag -> string
+
+val tag_bits : int
+(** Metadata accounting convention: a tag costs 64 bits.  The paper
+    treats metadata as [o(log |V|)]; a fixed convention keeps measured
+    storage comparable across algorithms. *)
+
+val initial_value : Engine.Types.params -> string
+(** The register's initial value: [value_len] zero bytes. *)
+
+val majority_quorum : Engine.Types.params -> int
+(** Replication quorum: wait for [n - f] responses.  Safety needs
+    [n >= 2f + 1] ({!check_replication_params}). *)
+
+val check_replication_params : Engine.Types.params -> unit
+(** @raise Invalid_argument unless [n >= 2f + 1]. *)
+
+val cas_quorum : Engine.Types.params -> int
+(** CAS quorum [ceil (n + k) / 2]: two quorums intersect in at least
+    [k] servers; liveness under [f] failures needs [k <= n - 2f]. *)
+
+val check_cas_params : Engine.Types.params -> unit
+(** @raise Invalid_argument unless [k <= n - 2f]. *)
+
+val to_all_servers :
+  Engine.Types.params -> 'm -> 'm Engine.Types.envelope list
+(** Broadcast one payload to every server. *)
+
+module Int_set : Set.S with type elt = int
+
+val fnv1a64 : string -> int64
+(** FNV-1a 64-bit hash; the value digest of the two-phase protocols
+    [2, 15] ({!Awe}).  Value-dependent but [o(log |V|)]-sized. *)

@@ -1,0 +1,152 @@
+(** Replication with server gossip: a regular SWMR register in the
+    algorithm class of Theorem 5.1 (which, unlike Theorem 4.1, must
+    account for server-to-server channels).
+
+    The writer propagates (tag, value) to all servers and awaits
+    [n - f] acks.  A server adopting a new maximum additionally gossips
+    the pair to every other server (one hop; gossiped pairs are adopted
+    but not re-gossiped, so executions stay finite).  Readers collect
+    [n - f] (tag, value) pairs and return the maximum without writing
+    back — gossip performs the propagation that ABD's read write-back
+    would. *)
+
+open Engine.Types
+open Common
+
+type server_state = { tag : tag; value : string }
+
+type msg =
+  | Put of { rid : int; tag : tag; value : string }
+  | Put_ack of { rid : int }
+  | Gossip of { tag : tag; value : string }
+  | Get of { rid : int }
+  | Get_resp of { rid : int; tag : tag; value : string }
+
+type client_phase =
+  | Idle
+  | Writing of { rid : int; acks : Int_set.t }
+  | Reading of { rid : int; from : Int_set.t; best_tag : tag; best_value : string }
+
+type client_state = { next_rid : int; last_seq : int; phase : client_phase }
+
+let init_server p _i = { tag = tag0; value = initial_value p }
+let init_client _p _i = { next_rid = 0; last_seq = 0; phase = Idle }
+
+let server_id_exn = function
+  | Server i -> i
+  | Client _ -> invalid_arg "Gossip_rep: expected a message from a server"
+
+let on_invoke p ~me:_ cs op =
+  match (op, cs.phase) with
+  | _, (Writing _ | Reading _) ->
+      invalid_arg "Gossip_rep.on_invoke: operation already in progress"
+  | Write v, Idle ->
+      let rid = cs.next_rid in
+      let tag = { seq = cs.last_seq + 1; cid = 0 } in
+      let cs =
+        {
+          next_rid = rid + 1;
+          last_seq = cs.last_seq + 1;
+          phase = Writing { rid; acks = Int_set.empty };
+        }
+      in
+      (cs, to_all_servers p (Put { rid; tag; value = v }))
+  | Read, Idle ->
+      let rid = cs.next_rid in
+      let cs =
+        {
+          cs with
+          next_rid = rid + 1;
+          phase =
+            Reading
+              {
+                rid;
+                from = Int_set.empty;
+                best_tag = tag0;
+                best_value = initial_value p;
+              };
+        }
+      in
+      (cs, to_all_servers p (Get { rid }))
+
+let on_client_msg p ~me:_ cs ~src msg =
+  let q = majority_quorum p in
+  match (msg, cs.phase) with
+  | Put_ack { rid }, Writing w when rid = w.rid ->
+      let acks = Int_set.add (server_id_exn src) w.acks in
+      if Int_set.cardinal acks >= q then
+        ({ cs with phase = Idle }, [], Some Write_ack)
+      else ({ cs with phase = Writing { w with acks } }, [], None)
+  | Get_resp { rid; tag; value }, Reading r when rid = r.rid ->
+      let sid = server_id_exn src in
+      if Int_set.mem sid r.from then (cs, [], None)
+      else begin
+        let from = Int_set.add sid r.from in
+        let best_tag, best_value =
+          if tag_lt r.best_tag tag then (tag, value) else (r.best_tag, r.best_value)
+        in
+        if Int_set.cardinal from >= q then
+          ({ cs with phase = Idle }, [], Some (Read_ack best_value))
+        else
+          ({ cs with phase = Reading { r with from; best_tag; best_value } }, [], None)
+      end
+  | (Put_ack _ | Get_resp _), _ -> (cs, [], None)
+  | (Put _ | Get _ | Gossip _), _ ->
+      invalid_arg "Gossip_rep.on_client_msg: client got a server message"
+
+let on_server_msg p ~me ss ~src msg =
+  match msg with
+  | Put { rid; tag; value } ->
+      if tag_lt ss.tag tag then begin
+        let gossip =
+          List.filter_map
+            (fun i ->
+              if i = me then None else Some (send (Server i) (Gossip { tag; value })))
+            (List.init p.n Fun.id)
+        in
+        ({ tag; value }, send src (Put_ack { rid }) :: gossip)
+      end
+      else (ss, [ send src (Put_ack { rid }) ])
+  | Gossip { tag; value } ->
+      let ss = if tag_lt ss.tag tag then { tag; value } else ss in
+      (ss, [])
+  | Get { rid } ->
+      (ss, [ send src (Get_resp { rid; tag = ss.tag; value = ss.value }) ])
+  | Put_ack _ | Get_resp _ ->
+      invalid_arg "Gossip_rep.on_server_msg: server got a response"
+
+let server_bits p (_ss : server_state) = tag_bits + (8 * p.value_len)
+
+let encode_server ss = Printf.sprintf "%s:%s" (tag_to_string ss.tag) ss.value
+
+let encode_msg = function
+  | Put { rid; tag; value } ->
+      Printf.sprintf "put(%d,%s,%s)" rid (tag_to_string tag) value
+  | Put_ack { rid } -> Printf.sprintf "put_ack(%d)" rid
+  | Gossip { tag; value } -> Printf.sprintf "gossip(%s,%s)" (tag_to_string tag) value
+  | Get { rid } -> Printf.sprintf "get(%d)" rid
+  | Get_resp { rid; tag; value } ->
+      Printf.sprintf "get_resp(%d,%s,%s)" rid (tag_to_string tag) value
+
+let is_value_dependent = function
+  | Put _ | Gossip _ | Get_resp _ -> true
+  | Put_ack _ | Get _ -> false
+
+let algo : (server_state, client_state, msg) algo =
+  {
+    name = "gossip-replication";
+    uses_gossip = true;
+    single_value_phase = true;
+    init_server =
+      (fun p i ->
+        check_replication_params p;
+        init_server p i);
+    init_client;
+    on_invoke;
+    on_client_msg;
+    on_server_msg;
+    server_bits;
+    encode_server;
+    encode_msg;
+    is_value_dependent;
+  }

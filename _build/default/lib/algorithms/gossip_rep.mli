@@ -1,0 +1,29 @@
+(** Replication with server gossip: a regular SWMR register in the
+    class of Theorem 5.1 (whose proof, unlike Theorem 4.1's, must
+    handle server-to-server channels).
+
+    The writer propagates (tag, value) to all servers; a server
+    adopting a new maximum gossips the pair to its peers (one hop, so
+    executions stay finite).  Readers return the maximum of [n - f]
+    responses without writing back — gossip performs the propagation
+    that ABD's read write-back would. *)
+
+open Common
+
+type server_state = { tag : tag; value : string }
+
+type msg =
+  | Put of { rid : int; tag : tag; value : string }  (** value-dependent *)
+  | Put_ack of { rid : int }
+  | Gossip of { tag : tag; value : string }  (** server-to-server *)
+  | Get of { rid : int }
+  | Get_resp of { rid : int; tag : tag; value : string }
+
+type client_phase =
+  | Idle
+  | Writing of { rid : int; acks : Int_set.t }
+  | Reading of { rid : int; from : Int_set.t; best_tag : tag; best_value : string }
+
+type client_state = { next_rid : int; last_seq : int; phase : client_phase }
+
+val algo : (server_state, client_state, msg) Engine.Types.algo

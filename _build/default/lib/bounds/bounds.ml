@@ -1,0 +1,205 @@
+(* Closed-form bounds of Cadambe-Wang-Lynch, PODC 2016.  See bounds.mli
+   for the mapping from functions to theorem numbers. *)
+
+type params = { n : int; f : int }
+
+let params ~n ~f =
+  if n < 1 then invalid_arg "Bounds.params: n must be >= 1";
+  if f < 0 || f >= n then invalid_arg "Bounds.params: need 0 <= f < n";
+  { n; f }
+
+let log2 x = Float.log x /. Float.log 2.0
+
+(* log2 (2^v - 1), stable for any v > 0: 2^v - 1 = 2^v * (1 - 2^-v). *)
+let log2_pow2_minus_one v_bits =
+  if v_bits <= 0.0 then invalid_arg "Bounds: v_bits must be positive";
+  v_bits +. (Float.log1p (-.Float.exp (-.v_bits *. Float.log 2.0)) /. Float.log 2.0)
+
+(* log2 (2^v - c) for a small positive integer c < 2^v. *)
+let log2_pow2_minus v_bits c =
+  v_bits
+  +. (Float.log1p (-.(float_of_int c) *. Float.exp (-.v_bits *. Float.log 2.0))
+     /. Float.log 2.0)
+
+let log2_factorial n =
+  if n < 0 then invalid_arg "Bounds.log2_factorial: negative";
+  let acc = ref 0.0 in
+  for i = 2 to n do
+    acc := !acc +. log2 (float_of_int i)
+  done;
+  !acc
+
+let log2_binomial n k =
+  if k < 0 || k > n then neg_infinity
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 0.0 in
+    for i = 0 to k - 1 do
+      acc := !acc +. log2 (float_of_int (n - i)) -. log2 (float_of_int (k - i))
+    done;
+    !acc
+  end
+
+(* log2 C(2^v_bits - 1, k): the set size is astronomically large, so we
+   work entirely in log space. *)
+let log2_binomial_of_pow2m1 v_bits k =
+  if k < 0 then neg_infinity
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to k - 1 do
+      (* numerator factor: (2^v - 1) - i = 2^v - (i + 1) *)
+      acc := !acc +. log2_pow2_minus v_bits (i + 1)
+    done;
+    !acc -. log2_factorial k
+  end
+
+let require_livable p =
+  (* every bound needs at least one non-failing server *)
+  assert (p.f < p.n)
+
+let check_v_bits v_bits =
+  if not (Float.is_finite v_bits) || v_bits <= 0.0 then
+    invalid_arg "Bounds: v_bits must be positive and finite"
+
+(* ----- Theorem B.1 / Corollary B.2 ----- *)
+
+let singleton_max p ~v_bits =
+  require_livable p;
+  check_v_bits v_bits;
+  if p.f < 1 then invalid_arg "Bounds.singleton: requires f >= 1";
+  v_bits /. float_of_int (p.n - p.f)
+
+let singleton_total p ~v_bits =
+  float_of_int p.n *. singleton_max p ~v_bits
+
+(* ----- Theorem 4.1 / Corollary 4.2 ----- *)
+
+let no_gossip_numerator p ~v_bits =
+  v_bits +. log2_pow2_minus_one v_bits -. log2 (float_of_int (p.n - p.f))
+
+let no_gossip_max p ~v_bits =
+  require_livable p;
+  check_v_bits v_bits;
+  if p.f < 2 then invalid_arg "Bounds.no_gossip: Theorem 4.1 requires f >= 2";
+  no_gossip_numerator p ~v_bits /. float_of_int (p.n - p.f + 1)
+
+let no_gossip_total p ~v_bits = float_of_int p.n *. no_gossip_max p ~v_bits
+
+(* ----- Theorem 5.1 / Corollary 5.2 ----- *)
+
+let universal_numerator p ~v_bits =
+  v_bits +. log2_pow2_minus_one v_bits -. (2.0 *. log2 (float_of_int (p.n - p.f)))
+
+let universal_max p ~v_bits =
+  require_livable p;
+  check_v_bits v_bits;
+  universal_numerator p ~v_bits /. float_of_int (p.n - p.f + 2)
+
+let universal_total p ~v_bits = float_of_int p.n *. universal_max p ~v_bits
+
+(* ----- Theorem 6.5 / Corollary 6.6 ----- *)
+
+let nu_star p ~nu =
+  if nu < 1 then invalid_arg "Bounds.nu_star: nu must be >= 1";
+  min nu (p.f + 1)
+
+let single_phase_exact p ~nu ~v_bits =
+  check_v_bits v_bits;
+  let ns = nu_star p ~nu in
+  log2_binomial_of_pow2m1 v_bits ns
+  -. (float_of_int ns *. log2 (float_of_int (p.n - p.f + ns - 1)))
+  -. log2_factorial ns
+
+let single_phase_max p ~nu ~v_bits =
+  check_v_bits v_bits;
+  let ns = nu_star p ~nu in
+  float_of_int ns /. float_of_int (p.n - p.f + ns - 1) *. v_bits
+
+(* Corollary 6.6: TotalStorage >= nu* N / (N - f + nu* - 1) * v_bits. *)
+let single_phase_total p ~nu ~v_bits =
+  check_v_bits v_bits;
+  let ns = nu_star p ~nu in
+  float_of_int (ns * p.n) /. float_of_int (p.n - p.f + ns - 1) *. v_bits
+
+(* ----- Upper bounds ----- *)
+
+let abd_total p ~v_bits =
+  check_v_bits v_bits;
+  float_of_int (p.f + 1) *. v_bits
+
+let abd_full_total p ~v_bits =
+  check_v_bits v_bits;
+  float_of_int p.n *. v_bits
+
+let erasure_total p ~nu ~v_bits =
+  check_v_bits v_bits;
+  if nu < 1 then invalid_arg "Bounds.erasure_total: nu must be >= 1";
+  float_of_int (nu * p.n) /. float_of_int (p.n - p.f) *. v_bits
+
+(* ----- Normalized forms ----- *)
+
+let norm_singleton p = float_of_int p.n /. float_of_int (p.n - p.f)
+
+let norm_no_gossip p = 2.0 *. float_of_int p.n /. float_of_int (p.n - p.f + 1)
+
+let norm_universal p = 2.0 *. float_of_int p.n /. float_of_int (p.n - p.f + 2)
+
+let norm_single_phase p ~nu =
+  let ns = nu_star p ~nu in
+  float_of_int (ns * p.n) /. float_of_int (p.n - p.f + ns - 1)
+
+let norm_abd p = float_of_int (p.f + 1)
+
+let norm_erasure p ~nu =
+  if nu < 1 then invalid_arg "Bounds.norm_erasure: nu must be >= 1";
+  float_of_int (nu * p.n) /. float_of_int (p.n - p.f)
+
+(* ----- Derived analyses ----- *)
+
+let crossover_nu p =
+  (* min nu with nu * n / (n - f) >= f + 1, i.e.
+     nu >= (f + 1) (n - f) / n *)
+  let target = float_of_int ((p.f + 1) * (p.n - p.f)) /. float_of_int p.n in
+  max 1 (int_of_float (Float.ceil target))
+
+let dominant_lower_bound p ~nu =
+  List.fold_left Float.max neg_infinity
+    [ norm_singleton p; norm_universal p; norm_single_phase p ~nu ]
+
+let gap_single_phase p ~nu =
+  let upper = Float.min (norm_erasure p ~nu) (norm_abd p) in
+  upper /. norm_single_phase p ~nu
+
+(* ----- Figure 1 ----- *)
+
+type figure1_row = {
+  nu : int;
+  thm_b1 : float;
+  thm_51 : float;
+  thm_65 : float;
+  abd : float;
+  erasure_coding : float;
+}
+
+let figure1 p ~nu_max =
+  if nu_max < 1 then invalid_arg "Bounds.figure1: nu_max must be >= 1";
+  List.init nu_max (fun i ->
+      let nu = i + 1 in
+      {
+        nu;
+        thm_b1 = norm_singleton p;
+        thm_51 = norm_universal p;
+        thm_65 = norm_single_phase p ~nu;
+        abd = norm_abd p;
+        erasure_coding = norm_erasure p ~nu;
+      })
+
+let pp_figure1 fmt rows =
+  Format.fprintf fmt "@[<v>%4s  %8s  %8s  %8s  %8s  %8s@,"
+    "nu" "Thm B.1" "Thm 5.1" "Thm 6.5" "ABD" "EC";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%4d  %8.3f  %8.3f  %8.3f  %8.3f  %8.3f@,"
+        r.nu r.thm_b1 r.thm_51 r.thm_65 r.abd r.erasure_coding)
+    rows;
+  Format.fprintf fmt "@]"

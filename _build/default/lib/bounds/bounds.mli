@@ -1,0 +1,149 @@
+(** Closed-form storage-cost bounds from Cadambe-Wang-Lynch (PODC 2016),
+    "Information-Theoretic Lower Bounds on the Storage Cost of Shared
+    Memory Emulation".
+
+    Every bound exists in two flavours:
+
+    - {e exact}: total-storage in bits for a concrete value-set size
+      [|V| = 2^v_bits] (the statements of Corollaries B.2, 4.2, 5.2 and
+      Theorem 6.5 itself);
+    - {e normalized}: the coefficient of [log2 |V|] as [|V| -> infinity]
+      (what Figure 1 of the paper plots).
+
+    Parameters follow the paper: [n] servers, at most [f] crash
+    failures, [nu] active write operations, values from a set of
+    [2^v_bits] elements.  All functions raise [Invalid_argument] when
+    the parameters are outside the regime of the corresponding theorem
+    (e.g. [f >= n], non-positive [n]). *)
+
+type params = {
+  n : int;  (** number of servers, [n >= 1] *)
+  f : int;  (** failure tolerance, [0 <= f < n] *)
+}
+
+val params : n:int -> f:int -> params
+(** Validating constructor.  @raise Invalid_argument on bad values. *)
+
+(** {1 Lower bounds (the paper's contributions)} *)
+
+val singleton_total : params -> v_bits:float -> float
+(** Theorem B.1 / Corollary B.2: [n * v_bits / (n - f)].  Applies to
+    every SWSR regular algorithm; requires [f >= 1]. *)
+
+val singleton_max : params -> v_bits:float -> float
+(** Corollary B.2 max-storage bound: [v_bits / (n - f)]. *)
+
+val no_gossip_total : params -> v_bits:float -> float
+(** Corollary 4.2 (servers never gossip):
+    [n * (v_bits + log2(2^v_bits - 1) - log2(n - f)) / (n - f + 1)].
+    Requires [f >= 2] (hypothesis of Theorem 4.1). *)
+
+val no_gossip_max : params -> v_bits:float -> float
+(** Corollary 4.2 max-storage bound. *)
+
+val universal_total : params -> v_bits:float -> float
+(** Corollary 5.2 (any algorithm, gossip allowed):
+    [n * (v_bits + log2(2^v_bits - 1) - 2*log2(n - f)) / (n - f + 2)]. *)
+
+val universal_max : params -> v_bits:float -> float
+
+val nu_star : params -> nu:int -> int
+(** [min nu (f + 1)], the effective concurrency of Theorem 6.5. *)
+
+val single_phase_exact : params -> nu:int -> v_bits:float -> float
+(** Theorem 6.5 exact form: a lower bound on the {e sum over
+    N - f + nu_star - 1 servers} of state bits,
+    [log2 C(2^v_bits - 1, nu_star) - nu_star log2(n - f + nu_star - 1) - log2(nu_star!)].
+    Requires [nu >= 1]. *)
+
+val single_phase_total : params -> nu:int -> v_bits:float -> float
+(** Corollary 6.6 total-storage form:
+    [nu_star * n / (n - f + nu_star - 1) * v_bits] (dominant term; the paper's
+    bound is this minus [o(v_bits)]). *)
+
+val single_phase_max : params -> nu:int -> v_bits:float -> float
+(** Corollary 6.6 max-storage form. *)
+
+(** {1 Upper bounds used for comparison (Figure 1)} *)
+
+val abd_total : params -> v_bits:float -> float
+(** Replication cost as plotted in Figure 1: [(f + 1) * v_bits]
+    (replication needs only f+1 replicas of the value; ABD/Fan-Lynch
+    style provisioning). *)
+
+val abd_full_total : params -> v_bits:float -> float
+(** Replication at all [n] servers: [n * v_bits] (what an un-tuned ABD
+    deployment on n servers stores). *)
+
+val erasure_total : params -> nu:int -> v_bits:float -> float
+(** Worst-case storage of the erasure-coded algorithms
+    [2,4,5,12] over executions with at most [nu] active writes:
+    [nu * n * v_bits / (n - f)]. *)
+
+(** {1 Normalized forms (coefficient of log2 |V|, |V| -> infinity)} *)
+
+val norm_singleton : params -> float
+(** [n / (n - f)] — Theorem B.1 curve of Figure 1. *)
+
+val norm_no_gossip : params -> float
+(** [2n / (n - f + 1)] — Theorem 4.1. *)
+
+val norm_universal : params -> float
+(** [2n / (n - f + 2)] — Theorem 5.1 curve of Figure 1. *)
+
+val norm_single_phase : params -> nu:int -> float
+(** [nu_star n / (n - f + nu_star - 1)] — Theorem 6.5 curve of Figure 1. *)
+
+val norm_abd : params -> float
+(** [f + 1] — ABD curve of Figure 1. *)
+
+val norm_erasure : params -> nu:int -> float
+(** [nu n / (n - f)] — erasure-coding curve of Figure 1. *)
+
+(** {1 Derived analyses} *)
+
+val crossover_nu : params -> int
+(** Smallest [nu >= 1] at which the erasure-coded upper bound meets or
+    exceeds the replication upper bound, i.e. erasure coding stops
+    winning: min nu with [nu * n / (n - f) >= f + 1]. *)
+
+val dominant_lower_bound : params -> nu:int -> float
+(** Max over the normalized lower bounds that apply to single-phase
+    algorithms at concurrency [nu] (Theorems B.1, 5.1, 6.5): the best
+    known floor of Section 7's summary. *)
+
+val gap_single_phase : params -> nu:int -> float
+(** Ratio upper/lower within the single-phase bounded-concurrency
+    class: [norm_erasure] capped by [norm_abd], divided by the class's
+    own lower bound [norm_single_phase]; 1.0 means the bounds are
+    tight.  (The universal Theorem 5.1 bound is deliberately not used
+    here — it assumes liveness at unbounded concurrency, which the
+    erasure-coded upper-bound algorithms do not provide, which is why
+    Figure 1's EC curve may dip below the Theorem 5.1 line at small
+    [nu].) *)
+
+val log2_binomial : int -> int -> float
+(** [log2_binomial n k] = log2 (n choose k), computed in log-space so it
+    is usable for astronomically large [n].  Returns [neg_infinity] when
+    [k > n] or [k < 0]. *)
+
+val log2_factorial : int -> float
+(** log2 (n!) in log-space. *)
+
+(** {1 Figure 1 regeneration} *)
+
+type figure1_row = {
+  nu : int;
+  thm_b1 : float;        (** Theorem B.1 normalized bound *)
+  thm_51 : float;        (** Theorem 5.1 normalized bound *)
+  thm_65 : float;        (** Theorem 6.5 normalized bound *)
+  abd : float;           (** ABD upper bound *)
+  erasure_coding : float; (** erasure-coded upper bound *)
+}
+
+val figure1 : params -> nu_max:int -> figure1_row list
+(** The series of Figure 1: one row per [nu] in [1 .. nu_max].  The
+    paper instance is [params ~n:21 ~f:10], [nu_max = 16]. *)
+
+val pp_figure1 : Format.formatter -> figure1_row list -> unit
+(** Renders the series as an aligned table, one row per [nu]. *)

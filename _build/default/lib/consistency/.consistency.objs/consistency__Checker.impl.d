@@ -1,0 +1,1 @@
+lib/consistency/checker.ml: Array Fmt Format Hashtbl History List Map Option

@@ -1,0 +1,1 @@
+lib/consistency/checker.mli: Format History

@@ -1,0 +1,1 @@
+lib/consistency/history.ml: Engine Format Hashtbl List Option Printf

@@ -1,0 +1,275 @@
+(** Consistency-condition checkers for single-register histories.
+
+    Three conditions from the paper, strongest first:
+
+    - {b atomicity} (linearizability [16, 17]) — checked by the
+      polynomial cluster algorithm below, which is sound and complete
+      for histories whose written values are pairwise distinct;
+    - {b regularity} (Lamport [17]) — single-writer form: every read
+      returns the value of the last write that completed before it, or
+      of an overlapping write;
+    - {b weak regularity} (Shao-Welch-Pierce-Lee [22]) — multi-writer
+      form used by Theorem 6.5: every terminating read is serializable
+      together with all terminating writes and some subset of pending
+      writes.
+
+    All checkers treat a pending write as possibly-effective: a read may
+    return its value.  Pending reads are ignored. *)
+
+type verdict = Valid | Invalid of string
+
+let is_valid = function Valid -> true | Invalid _ -> false
+
+let pp_verdict fmt = function
+  | Valid -> Format.fprintf fmt "valid"
+  | Invalid why -> Format.fprintf fmt "INVALID: %s" why
+
+let invalidf fmt = Format.kasprintf (fun s -> Invalid s) fmt
+
+(* ----- Atomicity ----- *)
+
+(* Cluster-based linearizability check for unique-value register
+   histories.  Clusters: one virtual cluster for the initial value and
+   one per write; every completed read is attached to the cluster of
+   the value it returned.  The history is linearizable iff
+
+   (1) every read returns the initial value or the value of some write
+       invoked no later than the read's response;
+   (2) no read completes before the write of its value is invoked;
+   (3) the digraph on clusters with an edge A -> B whenever some
+       operation of A precedes (in real time) some operation of B is
+       acyclic.
+
+   Completeness relies on unique values: once the register moves past a
+   value it can never hold it again, so any linearization orders
+   operations cluster-contiguously, and conversely any topological
+   order of the clusters yields a linearization. *)
+
+module Cluster = struct
+  type t = Init | Of_write of int (* op_id of the write *)
+
+  let compare = compare
+end
+
+module Cmap = Map.Make (Cluster)
+
+let atomic ?(init = "") (h : History.t) : verdict =
+  if not (History.unique_write_values h) then
+    invalidf "checker requires pairwise-distinct written values"
+  else begin
+    let writes = History.writes h in
+    let value_to_write = Hashtbl.create 16 in
+    List.iter
+      (fun (w : History.op_record) ->
+        match w.written with
+        | Some v -> Hashtbl.replace value_to_write v w
+        | None -> ())
+      writes;
+    let completed_reads =
+      List.filter (fun o -> History.is_read o && not (History.is_pending o)) h
+    in
+    (* attach reads to clusters, checking conditions (1) and (2) *)
+    let exception Bad of string in
+    try
+      let cluster_of_read (r : History.op_record) =
+        let v = Option.value ~default:"" r.result in
+        if Hashtbl.mem value_to_write v then begin
+          let w = Hashtbl.find value_to_write v in
+          (match r.resp with
+          | Some t when t < w.inv ->
+              raise
+                (Bad
+                   (Format.asprintf "%a returned a value written later by %a"
+                      History.pp_op r History.pp_op w))
+          | _ -> ());
+          Cluster.Of_write w.op_id
+        end
+        else if v = init then Cluster.Init
+        else
+          raise
+            (Bad
+               (Format.asprintf "%a returned value %S never written"
+                  History.pp_op r v))
+      in
+      let members =
+        (* cluster -> member operations *)
+        let add cl (o : History.op_record) m =
+          Cmap.update cl
+            (function None -> Some [ o ] | Some l -> Some (o :: l))
+            m
+        in
+        let m =
+          List.fold_left
+            (fun m (w : History.op_record) -> add (Of_write w.op_id) w m)
+            (Cmap.add Cluster.Init [] Cmap.empty)
+            writes
+        in
+        List.fold_left (fun m r -> add (cluster_of_read r) r m) m completed_reads
+      in
+      (* interval of a cluster member: the virtual init write is
+         (-1, -1); members of Init are its reads *)
+      let cluster_ids = List.map fst (Cmap.bindings members) in
+      let idx = Hashtbl.create 16 in
+      List.iteri (fun i cl -> Hashtbl.replace idx cl i) cluster_ids;
+      let ncl = List.length cluster_ids in
+      let adj = Array.make ncl [] in
+      let ops_of cl =
+        let base = Cmap.find cl members in
+        match cl with
+        | Cluster.Init ->
+            (* virtual init write precedes everything *)
+            { History.op_id = -1; client = -1; kind = Write_op;
+              written = Some init; result = None; inv = -1; resp = Some (-1) }
+            :: base
+        | Cluster.Of_write _ -> base
+      in
+      List.iter
+        (fun cl_a ->
+          let ia = Hashtbl.find idx cl_a in
+          List.iter
+            (fun cl_b ->
+              if cl_a <> cl_b then
+                let ib = Hashtbl.find idx cl_b in
+                let edge =
+                  List.exists
+                    (fun a ->
+                      List.exists (fun b -> History.precedes a b) (ops_of cl_b))
+                    (ops_of cl_a)
+                in
+                if edge then adj.(ia) <- ib :: adj.(ia))
+            cluster_ids)
+        cluster_ids;
+      (* cycle detection by DFS *)
+      let color = Array.make ncl 0 in
+      let rec dfs u =
+        color.(u) <- 1;
+        List.iter
+          (fun v ->
+            if color.(v) = 1 then raise (Bad "real-time precedence cycle among value clusters")
+            else if color.(v) = 0 then dfs v)
+          adj.(u);
+        color.(u) <- 2
+      in
+      for u = 0 to ncl - 1 do
+        if color.(u) = 0 then dfs u
+      done;
+      Valid
+    with Bad why -> Invalid why
+  end
+
+(* ----- Regularity (single writer) ----- *)
+
+let regular ?(init = "") (h : History.t) : verdict =
+  let writes = History.writes h in
+  (* single-writer sanity: writes must be sequential *)
+  let rec sequential = function
+    | a :: (b :: _ as rest) ->
+        if History.precedes a b then sequential rest
+        else Some (a, b)
+    | _ -> None
+  in
+  match sequential writes with
+  | Some (a, b) ->
+      invalidf "writes overlap (%a || %a): regularity checker needs a single writer"
+        History.pp_op a History.pp_op b
+  | None ->
+      let completed_reads =
+        List.filter (fun o -> History.is_read o && not (History.is_pending o)) h
+      in
+      let check (r : History.op_record) =
+        let resp = Option.get r.resp in
+        let preceding =
+          List.filter (fun (w : History.op_record) -> History.precedes w r) writes
+        in
+        let last_value =
+          match List.rev preceding with
+          | [] -> init
+          | w :: _ -> Option.value ~default:"" w.written
+        in
+        let overlapping =
+          List.filter
+            (fun (w : History.op_record) ->
+              (not (History.precedes w r)) && w.inv < resp)
+            writes
+        in
+        let allowed =
+          last_value
+          :: List.filter_map (fun (w : History.op_record) -> w.written) overlapping
+        in
+        let got = Option.value ~default:"" r.result in
+        if List.mem got allowed then None
+        else
+          Some
+            (Format.asprintf "%a violates regularity (allowed: %a)"
+               History.pp_op r
+               Fmt.(list ~sep:comma (quote string))
+               allowed)
+      in
+      let rec first_error = function
+        | [] -> Valid
+        | r :: rest -> (
+            match check r with Some why -> Invalid why | None -> first_error rest)
+      in
+      first_error completed_reads
+
+(* ----- Weak regularity (multi-writer) ----- *)
+
+let weakly_regular ?(init = "") (h : History.t) : verdict =
+  let writes = History.writes h in
+  let terminated_writes = List.filter (fun o -> not (History.is_pending o)) writes in
+  let completed_reads =
+    List.filter (fun o -> History.is_read o && not (History.is_pending o)) h
+  in
+  let check (r : History.op_record) =
+    let resp = Option.get r.resp in
+    let got = Option.value ~default:"" r.result in
+    if got = init then begin
+      (* init is returnable iff no write terminated before the read
+         was invoked *)
+      match List.find_opt (fun w -> History.precedes w r) terminated_writes with
+      | None -> None
+      | Some w ->
+          Some
+            (Format.asprintf
+               "%a returned the initial value but %a terminated before it"
+               History.pp_op r History.pp_op w)
+    end
+    else
+      match
+        List.find_opt
+          (fun (w : History.op_record) -> w.written = Some got)
+          writes
+      with
+      | None ->
+          Some
+            (Format.asprintf "%a returned value %S never written" History.pp_op
+               r got)
+      | Some w ->
+          if w.inv >= resp then
+            Some
+              (Format.asprintf "%a returned a value written later by %a"
+                 History.pp_op r History.pp_op w)
+          else begin
+            (* blocked iff some terminated write is strictly between w
+               and the read in real time *)
+            match
+              List.find_opt
+                (fun w' ->
+                  w'.History.op_id <> w.op_id
+                  && History.precedes w w' && History.precedes w' r)
+                terminated_writes
+            with
+            | None -> None
+            | Some w' ->
+                Some
+                  (Format.asprintf
+                     "%a returned %a's value, overwritten by %a before the read"
+                     History.pp_op r History.pp_op w History.pp_op w')
+          end
+  in
+  let rec first_error = function
+    | [] -> Valid
+    | r :: rest -> (
+        match check r with Some why -> Invalid why | None -> first_error rest)
+  in
+  first_error completed_reads

@@ -1,0 +1,42 @@
+(** Consistency-condition checkers for single-register histories.
+
+    Three conditions from the paper, strongest first:
+
+    - {!atomic} — linearizability [16,17], decided by a polynomial
+      cluster algorithm, sound and complete for histories with
+      pairwise-distinct written values and distinct event timestamps
+      (both guaranteed by {!Workload} and the engine);
+    - {!regular} — Lamport regularity [17], single-writer form: every
+      read returns the last completed write's value or an overlapping
+      write's;
+    - {!weakly_regular} — Shao-Welch-Pierce-Lee weak regularity [22],
+      the multi-writer condition Theorem 6.5 assumes.
+
+    All checkers treat a pending write as possibly effective (a read
+    may return its value) and ignore pending reads.  [init] is the
+    register's initial value (default [""]). *)
+
+type verdict = Valid | Invalid of string
+
+val is_valid : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val atomic : ?init:string -> History.t -> verdict
+(** Linearizability.  The implementation attaches every completed read
+    to the cluster of the write whose value it returned and checks (1)
+    no read returns a value never written nor the initial value, (2) no
+    read completes before its write is invoked, (3) the digraph on
+    clusters induced by real-time precedence is acyclic.  With unique
+    values these conditions are equivalent to the existence of a
+    linearization. *)
+
+val regular : ?init:string -> History.t -> verdict
+(** Single-writer regularity.  Rejects histories whose writes overlap
+    (the condition is only defined for sequential writes). *)
+
+val weakly_regular : ?init:string -> History.t -> verdict
+(** Multi-writer weak regularity: each completed read is serializable
+    together with all terminated writes and some subset of pending
+    ones.  Per-read condition: the returned value's write was invoked
+    before the read responded, and no {e terminated} write falls
+    strictly between that write and the read in real time. *)

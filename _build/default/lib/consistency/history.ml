@@ -1,0 +1,98 @@
+(** Operation histories extracted from engine executions.
+
+    A history is the externally observable behaviour of an execution:
+    invocation and response events of read and write operations on the
+    single emulated register.  Checkers ({!Checker}) decide whether a
+    history satisfies atomicity, regularity, or weak regularity. *)
+
+open Engine.Types
+
+type kind = Read_op | Write_op
+
+type op_record = {
+  op_id : int;
+  client : int;
+  kind : kind;
+  written : string option;  (** the argument, for writes *)
+  result : string option;  (** the returned value, for completed reads *)
+  inv : int;  (** invocation time *)
+  resp : int option;  (** response time; [None] for pending operations *)
+}
+
+type t = op_record list
+(** Sorted by invocation time. *)
+
+let is_pending o = o.resp = None
+let is_write o = o.kind = Write_op
+let is_read o = o.kind = Read_op
+
+(** [precedes a b] — operation [a] completes before [b] is invoked
+    (the real-time precedence relation of the paper). *)
+let precedes a b =
+  match a.resp with Some ra -> ra < b.inv | None -> false
+
+let of_events (events : event list) : t =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Invoke { op_id; client; op; time } ->
+          let kind, written =
+            match op with Read -> (Read_op, None) | Write v -> (Write_op, Some v)
+          in
+          Hashtbl.replace tbl op_id
+            { op_id; client; kind; written; result = None; inv = time; resp = None };
+          order := op_id :: !order
+      | Respond { op_id; response; time; _ } -> (
+          match Hashtbl.find_opt tbl op_id with
+          | None ->
+              invalid_arg "History.of_events: response without invocation"
+          | Some o ->
+              let result =
+                match response with Read_ack v -> Some v | Write_ack -> None
+              in
+              Hashtbl.replace tbl op_id { o with result; resp = Some time }))
+    events;
+  List.rev_map (Hashtbl.find tbl) !order
+  |> List.sort (fun a b -> compare a.inv b.inv)
+
+let reads h = List.filter is_read h
+let writes h = List.filter is_write h
+let completed h = List.filter (fun o -> not (is_pending o)) h
+
+(** All writes have pairwise-distinct values (required by the
+    polynomial atomicity checker; enforced by {!Workload}). *)
+let unique_write_values h =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun o ->
+      match o.written with
+      | None -> true
+      | Some v ->
+          if Hashtbl.mem seen v then false
+          else begin
+            Hashtbl.add seen v ();
+            true
+          end)
+    (writes h)
+
+let pp_op fmt o =
+  let pp_time fmt = function
+    | Some t -> Format.fprintf fmt "%d" t
+    | None -> Format.fprintf fmt "pending"
+  in
+  match o.kind with
+  | Write_op ->
+      Format.fprintf fmt "#%d c%d write(%S) [%d,%a]" o.op_id o.client
+        (Option.value ~default:"" o.written)
+        o.inv pp_time o.resp
+  | Read_op ->
+      Format.fprintf fmt "#%d c%d read->%s [%d,%a]" o.op_id o.client
+        (match o.result with Some v -> Printf.sprintf "%S" v | None -> "?")
+        o.inv pp_time o.resp
+
+let pp fmt h =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun o -> Format.fprintf fmt "%a@," pp_op o) h;
+  Format.fprintf fmt "@]"

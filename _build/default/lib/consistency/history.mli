@@ -1,0 +1,46 @@
+(** Operation histories extracted from engine executions.
+
+    A history is the externally observable behaviour of an execution:
+    invocation and response events of read and write operations on the
+    single emulated register.  {!Checker} decides whether a history is
+    atomic, regular, or weakly regular. *)
+
+type kind = Read_op | Write_op
+
+type op_record = {
+  op_id : int;
+  client : int;
+  kind : kind;
+  written : string option;  (** the argument, for writes *)
+  result : string option;  (** the returned value, for completed reads *)
+  inv : int;  (** invocation time *)
+  resp : int option;  (** response time; [None] for pending operations *)
+}
+
+type t = op_record list
+(** Sorted by invocation time.  Engine timestamps are pairwise
+    distinct, an invariant some checker arguments rely on. *)
+
+val of_events : Engine.Types.event list -> t
+(** Pair invocations with responses.
+    @raise Invalid_argument on a response without an invocation. *)
+
+val is_pending : op_record -> bool
+val is_write : op_record -> bool
+val is_read : op_record -> bool
+
+val precedes : op_record -> op_record -> bool
+(** [precedes a b] — [a] completes before [b] is invoked: the
+    real-time precedence relation of the paper.  Pending operations
+    precede nothing. *)
+
+val reads : t -> t
+val writes : t -> t
+val completed : t -> t
+
+val unique_write_values : t -> bool
+(** All writes carry pairwise-distinct values (required by the
+    polynomial atomicity checker; {!Workload} generators enforce it). *)
+
+val pp_op : Format.formatter -> op_record -> unit
+val pp : Format.formatter -> t -> unit

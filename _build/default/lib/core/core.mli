@@ -1,0 +1,93 @@
+(** Umbrella public API for the reproduction of Cadambe-Wang-Lynch,
+    "Information-Theoretic Lower Bounds on the Storage Cost of Shared
+    Memory Emulation" (PODC 2016).
+
+    The paper's contribution — the storage lower bounds and the
+    counting/valency machinery behind them — lives in {!Bounds} and
+    {!Valency}; the remaining modules are the substrate the experiments
+    run on.  The [experiment_*] helpers bundle the parameter choices
+    used by the benchmark harness and the CLI, so every reported number
+    is reproducible from a single entry point. *)
+
+module Gf256 = Gf256
+module Linalg = Linalg
+module Erasure = Erasure
+module Bounds = Bounds
+module Engine = Engine
+module Consistency = Consistency
+module Algorithms = Algorithms
+module Storage = Storage
+module Workload = Workload
+module Valency = Valency
+module Quorum = Quorum
+module Metrics = Metrics
+
+val version : string
+
+val paper_params : Bounds.params
+(** The paper's Figure 1 instance: N = 21 servers, f = 10 failures. *)
+
+val figure1 : ?nu_max:int -> unit -> Bounds.figure1_row list
+(** Figure 1, analytic: the five curves at nu = 1 .. nu_max (default 16). *)
+
+val measure_storage :
+  algo:('ss, 'cs, 'm) Engine.Types.algo ->
+  n:int ->
+  f:int ->
+  k:int ->
+  nu:int ->
+  value_len:int ->
+  seed:int ->
+  float
+(** Peak total storage, normalized by the value size in bits, of [algo]
+    under [nu] concurrent writers — one measured point of the Figure 1
+    companion experiment. *)
+
+type measured_row = {
+  nu : int;
+  cas : float;  (** measured normalized peak storage of CAS *)
+  cas_model : float;
+      (** CAS's analytic prediction [(nu + 1) n / k] with [k = n - 2f] *)
+  abd : float;  (** measured normalized peak storage of multi-writer ABD *)
+  abd_model : float;  (** replication at all n servers: n *)
+}
+
+val figure1_measured :
+  ?n:int ->
+  ?f:int ->
+  ?nu_max:int ->
+  ?value_len:int ->
+  ?seed:int ->
+  unit ->
+  measured_row list
+(** Figure 1, measured: normalized peak storage of CAS and multi-writer
+    ABD at each concurrency level 1 .. nu_max. *)
+
+val experiment_b1 : ?n:int -> ?f:int -> ?v:int -> unit -> Valency.Singleton.report
+(** Theorem B.1 census at its default small instance (n=3, f=1, |V|=4). *)
+
+val experiment_41 : ?n:int -> ?f:int -> ?v:int -> unit -> Valency.Critical.report
+(** Theorem 4.1 critical-pair census (no gossip; regular SWSR ABD). *)
+
+val experiment_51 : ?n:int -> ?f:int -> ?v:int -> unit -> Valency.Critical.report
+(** Theorem 5.1 census (gossip replication, gossip-closure probes). *)
+
+val experiment_65 :
+  ?n:int -> ?f:int -> ?k:int -> ?nu:int -> ?v:int -> unit -> Valency.Multi.report
+(** Theorem 6.5 staged-construction census against CAS.  The default
+    domain size makes the bound's right-hand side positive (its
+    [o(log |V|)] slack terms dominate tiny domains). *)
+
+val experiment_65_conjecture :
+  ?n:int ->
+  ?f:int ->
+  ?k:int ->
+  ?nu:int ->
+  ?v:int ->
+  unit ->
+  Valency.Multi.report * Valency.Multi.report
+(** Section 6.5 conjecture probe against the two-phase {!Algorithms.Awe}
+    protocol: (unmodified adversary — expected to deadlock on every
+    vector, the executable witness that the protocol is outside Theorem
+    6.5's class; modified adversary withholding only the
+    Theta(|V|)-sized messages — expected to succeed injectively). *)

@@ -1,0 +1,1 @@
+lib/engine/config.ml: Array Format Fqueue Int List Map Printf Set Types

@@ -1,0 +1,1 @@
+lib/engine/driver.ml: Config Format List Random Types

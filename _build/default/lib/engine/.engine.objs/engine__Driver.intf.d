@@ -1,0 +1,1 @@
+lib/engine/driver.mli: Config Format Random Types

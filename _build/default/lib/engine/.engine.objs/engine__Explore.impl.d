@@ -1,0 +1,1 @@
+lib/engine/explore.ml: Array Config Fun Hashtbl List Marshal Types

@@ -1,0 +1,1 @@
+lib/engine/viz.ml: Array Buffer Config Format List Option Printf String Types

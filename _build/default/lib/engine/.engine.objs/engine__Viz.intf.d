@@ -1,0 +1,1 @@
+lib/engine/viz.mli: Config Types

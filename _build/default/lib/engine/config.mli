@@ -1,0 +1,107 @@
+(** Persistent global configurations of the simulated system and the
+    single-step transition relation.
+
+    A configuration is a {e point} of an execution in the paper's sense
+    (Section 3): the joint state of all servers, clients and channels,
+    plus the failure pattern and the recorded history.  Configurations
+    are immutable: branching an execution at a point — the heart of
+    every valency argument — is keeping the old value and stepping the
+    copy. *)
+
+open Types
+
+type ('ss, 'cs, 'm) t
+(** A configuration of a system running an [('ss, 'cs, 'm) algo]. *)
+
+val make : ('ss, 'cs, 'm) algo -> params -> clients:int -> ('ss, 'cs, 'm) t
+(** Initial configuration: fresh server and client states, empty
+    channels, no failures, empty history.
+    @raise Invalid_argument when [clients < 1] or the algorithm rejects
+    the parameters. *)
+
+(** {1 Observation} *)
+
+val params : ('ss, 'cs, 'm) t -> params
+
+val time : ('ss, 'cs, 'm) t -> int
+(** Number of steps taken so far; every event carries a distinct time. *)
+
+val history : ('ss, 'cs, 'm) t -> event list
+(** Invocation/response events, oldest first. *)
+
+val server_state : ('ss, 'cs, 'm) t -> int -> 'ss
+val client_state : ('ss, 'cs, 'm) t -> int -> 'cs
+val num_clients : ('ss, 'cs, 'm) t -> int
+
+val is_failed : ('ss, 'cs, 'm) t -> int -> bool
+val failed : ('ss, 'cs, 'm) t -> int list
+
+val is_frozen : ('ss, 'cs, 'm) t -> endpoint -> bool
+
+val pending_op : ('ss, 'cs, 'm) t -> int -> (int * op) option
+(** The client's outstanding [(op_id, op)], if any. *)
+
+val channel : ('ss, 'cs, 'm) t -> src:endpoint -> dst:endpoint -> 'm list
+(** Contents of one channel, front first. *)
+
+val peek_channel : ('ss, 'cs, 'm) t -> src:endpoint -> dst:endpoint -> 'm option
+(** Head message of one channel. *)
+
+val channels : ('ss, 'cs, 'm) t -> (endpoint * endpoint * 'm list) list
+(** All non-empty channels. *)
+
+(** {1 Fault and adversary control} *)
+
+val fail_server : ('ss, 'cs, 'm) t -> int -> ('ss, 'cs, 'm) t
+(** Crash a server: it takes no further steps and receives nothing.
+    Failures are permanent.  @raise Invalid_argument on a bad index. *)
+
+val freeze : ('ss, 'cs, 'm) t -> endpoint -> ('ss, 'cs, 'm) t
+(** Suspend an endpoint: no channel touching it delivers while frozen.
+    Realizes "messages from and to X are delayed indefinitely"
+    (Definition 4.3).  Reversible with {!thaw}. *)
+
+val thaw : ('ss, 'cs, 'm) t -> endpoint -> ('ss, 'cs, 'm) t
+val freeze_all : ('ss, 'cs, 'm) t -> endpoint list -> ('ss, 'cs, 'm) t
+
+(** {1 Transitions} *)
+
+(** A schedulable action.  [Deliver (src, dst)] hands the head message
+    of channel (src, dst) to [dst].  Operation invocations are driven
+    externally via {!invoke}. *)
+type action = Deliver of endpoint * endpoint
+
+val pp_action : Format.formatter -> action -> unit
+
+val enabled : ('ss, 'cs, 'm) t -> action list
+(** All currently enabled actions, in deterministic (channel-key)
+    order: non-empty channels whose endpoints are unfrozen and whose
+    destination is alive. *)
+
+val has_enabled : ('ss, 'cs, 'm) t -> bool
+
+val step_deliver :
+  ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> action -> ('ss, 'cs, 'm) t option
+(** Perform one delivery.  [None] when the action is not enabled.  A
+    delivery to a client may complete its pending operation, recording
+    a [Respond] event.
+    @raise Invalid_argument when a no-gossip algorithm emits a
+    server-to-server message, or a client responds with no pending
+    operation (protocol bugs are made loud). *)
+
+val invoke :
+  ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> client:int -> op -> int * ('ss, 'cs, 'm) t
+(** Invoke an operation; returns its fresh [op_id].  Well-formedness:
+    one outstanding operation per client.
+    @raise Invalid_argument on a busy client or bad index. *)
+
+(** {1 Storage accounting} *)
+
+val total_storage_bits : ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> int
+(** Sum of [algo.server_bits] over non-failed servers. *)
+
+val max_storage_bits : ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> int
+
+val server_encodings : ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> string array
+(** Canonical encodings of every server's state (failed ones
+    included; census code projects on the subset it cares about). *)

@@ -1,0 +1,216 @@
+(** Execution drivers: fair randomized scheduling, targeted delivery,
+    and operation-level helpers on top of {!Config}.
+
+    The scheduler realizes the paper's fair executions: at each step it
+    picks uniformly at random (from a seeded, reproducible PRNG) among
+    the enabled delivery actions, so every continuously-enabled action
+    is eventually taken with probability 1.  Deterministic seeds make
+    whole executions replayable, which the census experiments rely
+    on. *)
+
+open Types
+
+type rng = Random.State.t
+
+let rng_of_seed seed = Random.State.make [| seed; 0x5eed |]
+
+type outcome =
+  | Quiescent  (** no action enabled *)
+  | Stopped  (** the [stop] predicate held *)
+  | Step_limit  (** gave up after [max_steps] *)
+
+let pp_outcome fmt = function
+  | Quiescent -> Format.fprintf fmt "quiescent"
+  | Stopped -> Format.fprintf fmt "stopped"
+  | Step_limit -> Format.fprintf fmt "step-limit"
+
+let default_max_steps = 1_000_000
+
+(* Pick an enabled action uniformly at random. *)
+let pick_enabled c rng =
+  match Config.enabled c with
+  | [] -> None
+  | acts ->
+      let n = List.length acts in
+      Some (List.nth acts (Random.State.int rng n))
+
+let run ?observer ?(max_steps = default_max_steps) algo c ~rng ~stop =
+  let rec loop c steps =
+    if stop c then (c, Stopped)
+    else if steps >= max_steps then (c, Step_limit)
+    else
+      match pick_enabled c rng with
+      | None -> (c, Quiescent)
+      | Some act -> (
+          match Config.step_deliver algo c act with
+          | None -> loop c (steps + 1) (* lost a race with freezing; retry *)
+          | Some c' ->
+              (match observer with Some f -> f c' | None -> ());
+              loop c' (steps + 1))
+  in
+  loop c 0
+
+let run_to_quiescence ?observer ?max_steps algo c ~rng =
+  run ?observer ?max_steps algo c ~rng ~stop:(fun _ -> false)
+
+(** Like {!run}, but only delivery actions whose head message passes
+    [allow] are ever scheduled.  This realizes the paper's partial
+    restrictions on executions — e.g. "the channels from the writers in
+    C0 do not deliver any value-dependent messages" (Section 6.4.2) —
+    which are weaker than freezing a client outright: the constrained
+    client still receives messages and may send and have delivered its
+    value-{e independent} messages. *)
+let run_allowed ?(max_steps = default_max_steps) algo c ~rng ~stop ~allow =
+  let eligible c =
+    List.filter
+      (fun (Config.Deliver (src, dst)) ->
+        match Config.peek_channel c ~src ~dst with
+        | Some m -> allow ~src ~dst m
+        | None -> false)
+      (Config.enabled c)
+  in
+  let rec loop c steps =
+    if stop c then (c, Stopped)
+    else if steps >= max_steps then (c, Step_limit)
+    else
+      match eligible c with
+      | [] -> (c, Quiescent)
+      | acts -> (
+          let act = List.nth acts (Random.State.int rng (List.length acts)) in
+          match Config.step_deliver algo c act with
+          | None -> loop c (steps + 1)
+          | Some c' -> loop c' (steps + 1))
+  in
+  loop c 0
+
+(** Like {!run} but records every intermediate configuration, oldest
+    first, including the starting one.  This is the sequence of points
+    P_0, P_1, ..., P_M of the paper's executions. *)
+let run_trace ?(max_steps = default_max_steps) algo c ~rng ~stop =
+  let rec loop c steps acc =
+    if stop c then (List.rev (c :: acc), Stopped)
+    else if steps >= max_steps then (List.rev (c :: acc), Step_limit)
+    else
+      match pick_enabled c rng with
+      | None -> (List.rev (c :: acc), Quiescent)
+      | Some act -> (
+          match Config.step_deliver algo c act with
+          | None -> loop c (steps + 1) acc
+          | Some c' -> loop c' (steps + 1) (c :: acc))
+  in
+  loop c 0 []
+
+(** Deliver only messages on channels satisfying [filter] until no such
+    delivery is enabled.  Used for the paper's controlled deliveries:
+    gossip closure (Theorem 5.1's points R) and the nested
+    value-dependent delivery prefixes of Theorem 6.5. *)
+let drain ?(max_steps = default_max_steps) algo c ~filter ~rng =
+  let eligible c =
+    List.filter (fun (Config.Deliver (src, dst)) -> filter ~src ~dst)
+      (Config.enabled c)
+  in
+  let rec loop c steps =
+    if steps >= max_steps then c
+    else
+      match eligible c with
+      | [] -> c
+      | acts -> (
+          let act = List.nth acts (Random.State.int rng (List.length acts)) in
+          match Config.step_deliver algo c act with
+          | None -> loop c (steps + 1)
+          | Some c' -> loop c' (steps + 1))
+  in
+  loop c 0
+
+(** Like {!drain} but the filter inspects the message at the head of
+    each channel, not just the channel's endpoints.  This realizes the
+    Theorem 6.5 adversary, which withholds exactly the value-dependent
+    messages while letting everything else through: a channel is
+    eligible only while its head message passes [pred]. *)
+let drain_heads ?(max_steps = default_max_steps) algo c ~pred ~rng =
+  let eligible c =
+    List.filter
+      (fun (Config.Deliver (src, dst)) ->
+        match Config.peek_channel c ~src ~dst with
+        | Some m -> pred ~src ~dst m
+        | None -> false)
+      (Config.enabled c)
+  in
+  let rec loop c steps =
+    if steps >= max_steps then c
+    else
+      match eligible c with
+      | [] -> c
+      | acts -> (
+          let act = List.nth acts (Random.State.int rng (List.length acts)) in
+          match Config.step_deliver algo c act with
+          | None -> loop c (steps + 1)
+          | Some c' -> loop c' (steps + 1))
+  in
+  loop c 0
+
+let is_gossip_channel ~src ~dst =
+  match (src, dst) with Server _, Server _ -> true | _ -> false
+
+(** Deliver all messages currently queued between servers (the gossip
+    closure taken at the paper's points R of Theorem 5.1).  Gossip
+    deliveries may enqueue further gossip; we drain to the fixpoint. *)
+let drain_gossip ?max_steps algo c ~rng =
+  drain ?max_steps algo c ~filter:is_gossip_channel ~rng
+
+(** Invoke [op] at [client] and run (fairly, over all enabled actions)
+    until the operation responds.  Returns the response (or [None] on
+    non-termination within [max_steps]) and the final configuration. *)
+let run_op ?observer ?max_steps algo c ~client ~op ~rng =
+  let _op_id, c = Config.invoke algo c ~client op in
+  let stop c = Config.pending_op c client = None in
+  let c, outcome = run ?observer ?max_steps algo c ~rng ~stop in
+  let response =
+    match outcome with
+    | Stopped -> (
+        (* the newest Respond event for this client is ours *)
+        let rec find = function
+          | Respond { client = cl; response; _ } :: _ when cl = client ->
+              Some response
+          | _ :: rest -> find rest
+          | [] -> None
+        in
+        find (List.rev (Config.history c)))
+    | Quiescent | Step_limit -> None
+  in
+  (response, c)
+
+(** Invoke several operations concurrently (one per distinct client)
+    and run until all respond.  Returns the final configuration; use
+    [Config.history] to extract the concurrent history. *)
+let run_concurrent ?observer ?max_steps algo c ~ops ~rng =
+  let c =
+    List.fold_left
+      (fun c (client, op) -> snd (Config.invoke algo c ~client op))
+      c ops
+  in
+  let clients = List.map fst ops in
+  let stop c = List.for_all (fun cl -> Config.pending_op c cl = None) clients in
+  run ?observer ?max_steps algo c ~rng ~stop
+
+(** Convenience: a complete write of [value] by [client], expected to
+    terminate.  @raise Failure when the operation does not respond. *)
+let write_exn ?observer ?max_steps algo c ~client ~value ~rng =
+  match run_op ?observer ?max_steps algo c ~client ~op:(Write value) ~rng with
+  | Some Write_ack, c -> c
+  | Some (Read_ack _), _ ->
+      failwith "Driver.write_exn: protocol answered a write with a read ack"
+  | None, _ -> failwith "Driver.write_exn: write did not terminate"
+
+(** Convenience: a complete read by [client].
+    @raise Failure when the operation does not respond. *)
+let read_exn ?observer ?max_steps algo c ~client ~rng =
+  match run_op ?observer ?max_steps algo c ~client ~op:Read ~rng with
+  | Some (Read_ack v), c -> (v, c)
+  | Some Write_ack, _ ->
+      failwith "Driver.read_exn: protocol answered a read with a write ack"
+  | None, _ -> failwith "Driver.read_exn: read did not terminate"
+
+(** Freeze a client and every channel touching it: the paper's
+    "messages from and to the writer are delayed indefinitely". *)
+let freeze_client c ~client = Config.freeze c (Client client)

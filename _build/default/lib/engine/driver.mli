@@ -1,0 +1,149 @@
+(** Execution drivers on top of {!Config}: fair randomized scheduling,
+    targeted delivery, and operation-level helpers.
+
+    The random scheduler realizes the paper's fair executions: every
+    continuously enabled action is eventually scheduled with
+    probability 1, and a fixed seed makes whole executions replayable
+    (the census experiments depend on this). *)
+
+open Types
+
+type rng = Random.State.t
+
+val rng_of_seed : int -> rng
+(** Deterministic PRNG for a seed. *)
+
+(** Why a run stopped. *)
+type outcome =
+  | Quiescent  (** no action enabled *)
+  | Stopped  (** the [stop] predicate held *)
+  | Step_limit  (** gave up after [max_steps] *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val default_max_steps : int
+
+val run :
+  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  rng:rng ->
+  stop:(('ss, 'cs, 'm) Config.t -> bool) ->
+  ('ss, 'cs, 'm) Config.t * outcome
+(** Schedule uniformly at random among enabled actions until [stop]
+    holds, quiescence, or [max_steps].  [observer] sees every
+    post-step configuration (storage instrumentation hooks in here). *)
+
+val run_to_quiescence :
+  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  rng:rng ->
+  ('ss, 'cs, 'm) Config.t * outcome
+
+val run_allowed :
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  rng:rng ->
+  stop:(('ss, 'cs, 'm) Config.t -> bool) ->
+  allow:(src:endpoint -> dst:endpoint -> 'm -> bool) ->
+  ('ss, 'cs, 'm) Config.t * outcome
+(** Like {!run} but only delivery actions whose {e head message} passes
+    [allow] are ever scheduled.  Realizes the paper's partial
+    restrictions ("the channels from the writers in C0 do not deliver
+    any value-dependent messages", Section 6.4.2), which are weaker
+    than freezing: a constrained client still receives messages and may
+    send, and have delivered, its value-independent ones. *)
+
+val run_trace :
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  rng:rng ->
+  stop:(('ss, 'cs, 'm) Config.t -> bool) ->
+  ('ss, 'cs, 'm) Config.t list * outcome
+(** Like {!run} but returns every configuration passed through, oldest
+    first (including the start): the paper's points P_0 ... P_M. *)
+
+val drain :
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  filter:(src:endpoint -> dst:endpoint -> bool) ->
+  rng:rng ->
+  ('ss, 'cs, 'm) Config.t
+(** Deliver only on channels passing [filter] until no such delivery is
+    enabled. *)
+
+val drain_heads :
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  pred:(src:endpoint -> dst:endpoint -> 'm -> bool) ->
+  rng:rng ->
+  ('ss, 'cs, 'm) Config.t
+(** Like {!drain} but the predicate inspects the head message: a
+    channel is eligible only while its head passes [pred].  Used to
+    withhold exactly the value-dependent messages (Theorem 6.5). *)
+
+val is_gossip_channel : src:endpoint -> dst:endpoint -> bool
+
+val drain_gossip :
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  rng:rng ->
+  ('ss, 'cs, 'm) Config.t
+(** Deliver all server-to-server messages to the fixpoint: the gossip
+    closure taken at the R points of Theorem 5.1 (Definition 5.3). *)
+
+val run_op :
+  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  client:int ->
+  op:op ->
+  rng:rng ->
+  response option * ('ss, 'cs, 'm) Config.t
+(** Invoke [op] at [client] and run fairly until it responds.  [None]
+    when it did not terminate within [max_steps] (e.g. all quorums
+    frozen). *)
+
+val run_concurrent :
+  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  ops:(int * op) list ->
+  rng:rng ->
+  ('ss, 'cs, 'm) Config.t * outcome
+(** Invoke several operations (one per distinct client) and run until
+    all respond. *)
+
+val write_exn :
+  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  client:int ->
+  value:string ->
+  rng:rng ->
+  ('ss, 'cs, 'm) Config.t
+(** A complete write.  @raise Failure when it does not terminate. *)
+
+val read_exn :
+  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  client:int ->
+  rng:rng ->
+  string * ('ss, 'cs, 'm) Config.t
+(** A complete read.  @raise Failure when it does not terminate. *)
+
+val freeze_client : ('ss, 'cs, 'm) Config.t -> client:int -> ('ss, 'cs, 'm) Config.t
+(** Freeze a client and every channel touching it. *)

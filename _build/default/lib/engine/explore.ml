@@ -1,0 +1,172 @@
+(** Bounded exhaustive exploration of the execution space.
+
+    The randomized {!Driver} samples fair executions; this module
+    instead enumerates {e every} interleaving of message deliveries and
+    operation invocations for a small system, deduplicating states so
+    the search closes.  It is the engine's model checker: exhaustive
+    verification of safety for small scopes complements the sampled
+    testing of large ones.
+
+    A search state is a configuration plus the per-client scripts of
+    operations not yet invoked.  Enabled moves are every enabled
+    delivery and, for every idle client with a remaining operation,
+    invoking it.  Terminal states (no moves, nothing pending) yield the
+    complete histories of the system; the caller checks each against a
+    consistency condition.
+
+    Deduplication uses a canonical key: server-state encodings, channel
+    contents (via the algorithm's message encoder), failure pattern,
+    remaining scripts, pending-op shape, and the history with event
+    times renumbered (checkers only use the relative order of events,
+    which renumbering preserves, so merging states that differ only in
+    absolute step counts is sound).  Client states are included via
+    [Marshal]; structurally different but equal values (e.g. sets built
+    in different orders) may fail to merge, which costs time but never
+    soundness. *)
+
+open Types
+
+type stats = {
+  states_explored : int;  (** distinct states visited *)
+  terminals : int;  (** distinct terminal states reached *)
+  truncated : bool;  (** hit [max_states] before closing the space *)
+}
+
+let renumber_history events =
+  List.mapi
+    (fun i ev ->
+      match ev with
+      | Invoke e -> Invoke { e with time = i }
+      | Respond e -> Respond { e with time = i })
+    events
+
+let state_key algo config scripts =
+  let servers = Array.to_list (Config.server_encodings algo config) in
+  let chans =
+    List.map
+      (fun (src, dst, msgs) -> (src, dst, List.map algo.encode_msg msgs))
+      (Config.channels config)
+  in
+  let clients =
+    List.init (Config.num_clients config) (fun i ->
+        Marshal.to_string (Config.client_state config i) [])
+  in
+  let pendings =
+    List.init (Config.num_clients config) (fun i -> Config.pending_op config i)
+  in
+  let hist = renumber_history (Config.history config) in
+  Marshal.to_string
+    (servers, chans, clients, pendings, Config.failed config, scripts, hist)
+    []
+
+(* moves: invocations first (deterministic order), then deliveries *)
+type ('ss, 'cs, 'm) move =
+  | Invoke_next of int
+  | Do of Config.action
+
+let moves config scripts =
+  let invokes =
+    List.filter_map
+      (fun (client, ops) ->
+        match (ops, Config.pending_op config client) with
+        | _ :: _, None -> Some (Invoke_next client)
+        | _ -> None)
+      scripts
+  in
+  invokes @ List.map (fun a -> Do a) (Config.enabled config)
+
+let apply algo config scripts = function
+  | Invoke_next client ->
+      let ops = List.assoc client scripts in
+      let op, rest =
+        match ops with o :: r -> (o, r) | [] -> assert false
+      in
+      let _, config = Config.invoke algo config ~client op in
+      let scripts =
+        List.map (fun (c, o) -> if c = client then (c, rest) else (c, o)) scripts
+      in
+      Some (config, scripts)
+  | Do action -> (
+      match Config.step_deliver algo config action with
+      | Some config -> Some (config, scripts)
+      | None -> None)
+
+(** [explore algo config ~scripts ~on_terminal] — depth-first
+    enumeration of all interleavings.  [scripts] maps clients to their
+    operation sequences; [on_terminal] receives every distinct terminal
+    configuration (all scripts exhausted, nothing pending, no
+    deliveries enabled).  Exploration stops expanding once
+    [max_states] distinct states have been visited; the returned
+    [truncated] flag says whether that happened. *)
+let explore ?(max_states = 250_000) algo config ~scripts ~on_terminal =
+  List.iter
+    (fun (client, _) ->
+      if client < 0 || client >= Config.num_clients config then
+        invalid_arg "Explore.explore: script for unknown client")
+    scripts;
+  let seen = Hashtbl.create 4096 in
+  let terminal_seen = Hashtbl.create 64 in
+  let truncated = ref false in
+  let terminals = ref 0 in
+  let rec go config scripts =
+    if Hashtbl.length seen >= max_states then truncated := true
+    else begin
+      let key = state_key algo config scripts in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        match moves config scripts with
+        | [] ->
+            (* a pending operation at a frozen client is an intended
+               suspension (the valency adversary), not a deadlock *)
+            let all_idle =
+              List.for_all
+                (fun i ->
+                  Config.pending_op config i = None
+                  || Config.is_frozen config (Types.Client i))
+                (List.init (Config.num_clients config) Fun.id)
+            in
+            if all_idle then begin
+              let tkey =
+                Marshal.to_string (renumber_history (Config.history config)) []
+              in
+              if not (Hashtbl.mem terminal_seen tkey) then begin
+                Hashtbl.replace terminal_seen tkey ();
+                incr terminals;
+                on_terminal config
+              end
+            end
+            (* a non-idle quiescent state is a deadlock: surface it *)
+            else
+              invalid_arg
+                "Explore.explore: deadlock — operations pending but no move \
+                 enabled"
+        | ms ->
+            List.iter
+              (fun m ->
+                match apply algo config scripts m with
+                | Some (config', scripts') -> go config' scripts'
+                | None -> ())
+              ms
+      end
+    end
+  in
+  go config scripts;
+  {
+    states_explored = Hashtbl.length seen;
+    terminals = !terminals;
+    truncated = !truncated;
+  }
+
+(** Convenience wrapper: explore and check every terminal history with
+    [check]; returns the stats and the list of failures (the verdict
+    description plus the offending history). *)
+let explore_check ?max_states algo config ~scripts
+    ~check:(check : event list -> (unit, string) result) =
+  let failures = ref [] in
+  let stats =
+    explore ?max_states algo config ~scripts ~on_terminal:(fun c ->
+        match check (Config.history c) with
+        | Ok () -> ()
+        | Error why -> failures := (why, Config.history c) :: !failures)
+  in
+  (stats, List.rev !failures)

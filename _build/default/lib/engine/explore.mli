@@ -1,0 +1,44 @@
+(** Bounded exhaustive exploration of the execution space — the
+    engine's model checker.
+
+    Where {!Driver} samples fair executions with a seeded scheduler,
+    [explore] enumerates {e every} interleaving of message deliveries
+    and operation invocations of a small system, deduplicating states
+    (canonical encodings; event times renumbered, so states differing
+    only in absolute step counts merge).  Terminal configurations — all
+    scripts exhausted, no operation pending, no delivery enabled —
+    carry the system's complete histories, which the caller checks
+    against a consistency condition. *)
+
+type stats = {
+  states_explored : int;  (** distinct states visited *)
+  terminals : int;  (** distinct terminal states reached *)
+  truncated : bool;  (** hit [max_states] before the space closed *)
+}
+
+val explore :
+  ?max_states:int ->
+  ('ss, 'cs, 'm) Types.algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  scripts:(int * Types.op list) list ->
+  on_terminal:(('ss, 'cs, 'm) Config.t -> unit) ->
+  stats
+(** Enumerate all interleavings.  [scripts] maps clients to the
+    operations they will invoke, in order; invocation timing is
+    explored like any other action.  [on_terminal] sees each distinct
+    terminal configuration once.  When [truncated] is reported, the
+    verification is partial but still sound for every terminal
+    reached.
+    @raise Invalid_argument on a script for an unknown client, and on
+    deadlock (an operation pending with no move enabled — a protocol
+    liveness bug). *)
+
+val explore_check :
+  ?max_states:int ->
+  ('ss, 'cs, 'm) Types.algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  scripts:(int * Types.op list) list ->
+  check:(Types.event list -> (unit, string) result) ->
+  stats * (string * Types.event list) list
+(** Explore and check every terminal history; returns the stats and
+    the failures (description, offending history). *)

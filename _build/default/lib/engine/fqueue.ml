@@ -1,0 +1,27 @@
+type 'a t = { front : 'a list; back : 'a list; len : int }
+
+let empty = { front = []; back = []; len = 0 }
+
+let is_empty q = q.len = 0
+let length q = q.len
+
+let push x q = { q with back = x :: q.back; len = q.len + 1 }
+
+let pop q =
+  match q.front with
+  | x :: front -> Some (x, { q with front; len = q.len - 1 })
+  | [] -> (
+      match List.rev q.back with
+      | [] -> None
+      | x :: front -> Some (x, { front; back = []; len = q.len - 1 }))
+
+let peek q =
+  match q.front with
+  | x :: _ -> Some x
+  | [] -> ( match List.rev q.back with [] -> None | x :: _ -> Some x)
+
+let to_list q = q.front @ List.rev q.back
+
+let of_list l = { front = l; back = []; len = List.length l }
+
+let fold f acc q = List.fold_left f acc (to_list q)

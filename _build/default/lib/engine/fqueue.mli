@@ -1,0 +1,22 @@
+(** Purely functional FIFO queue (two-list Okasaki queue).  Used for
+    channel contents so that engine configurations are persistent and
+    executions can be branched at any point. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a -> 'a t -> 'a t
+(** Enqueue at the back. *)
+
+val pop : 'a t -> ('a * 'a t) option
+(** Dequeue from the front; [None] when empty. *)
+
+val peek : 'a t -> 'a option
+val to_list : 'a t -> 'a list
+(** Front-to-back order. *)
+
+val of_list : 'a list -> 'a t
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Front-to-back fold. *)

@@ -1,0 +1,117 @@
+(** Core vocabulary of the asynchronous message-passing model of the
+    paper (Section 3): server and client nodes, point-to-point reliable
+    asynchronous channels, read/write operations on a register whose
+    values are strings, and the algorithm interface that protocols
+    implement.
+
+    Everything is purely functional: an algorithm is a record of
+    transition functions, so the engine can snapshot and branch
+    executions at arbitrary points — which is exactly what the paper's
+    valency arguments require. *)
+
+(** A node of the system. *)
+type endpoint =
+  | Server of int  (** server node, 0-indexed, [0 <= i < n] *)
+  | Client of int  (** client node (writer or reader), 0-indexed *)
+
+let compare_endpoint (a : endpoint) (b : endpoint) = compare a b
+
+let pp_endpoint fmt = function
+  | Server i -> Format.fprintf fmt "s%d" i
+  | Client i -> Format.fprintf fmt "c%d" i
+
+(** Register operations invoked by the environment at clients. *)
+type op = Read | Write of string
+
+let pp_op fmt = function
+  | Read -> Format.fprintf fmt "read"
+  | Write v -> Format.fprintf fmt "write(%S)" v
+
+(** Operation completions returned to the environment. *)
+type response = Read_ack of string | Write_ack
+
+let pp_response fmt = function
+  | Read_ack v -> Format.fprintf fmt "ok(%S)" v
+  | Write_ack -> Format.fprintf fmt "ok"
+
+(** History events, recorded by the engine in execution order.  The
+    [op_id] ties a response to its invocation. *)
+type event =
+  | Invoke of { op_id : int; client : int; op : op; time : int }
+  | Respond of { op_id : int; client : int; response : response; time : int }
+
+let pp_event fmt = function
+  | Invoke { op_id; client; op; time } ->
+      Format.fprintf fmt "@[%d: inv #%d c%d %a@]" time op_id client pp_op op
+  | Respond { op_id; client; response; time } ->
+      Format.fprintf fmt "@[%d: res #%d c%d %a@]" time op_id client pp_response
+        response
+
+(** Static system parameters, shared by all algorithms. *)
+type params = {
+  n : int;  (** number of servers *)
+  f : int;  (** crash-failure tolerance *)
+  k : int;  (** erasure-code dimension (replication algorithms ignore it) *)
+  delta : int;
+      (** bound on concurrent writes assumed by bounded-concurrency
+          algorithms (CAS garbage-collection depth) *)
+  value_len : int;  (** length in bytes of every written value *)
+}
+
+let params ?(k = 1) ?(delta = 1) ~n ~f ~value_len () =
+  if n < 1 then invalid_arg "Types.params: n must be >= 1";
+  if f < 0 || f >= n then invalid_arg "Types.params: need 0 <= f < n";
+  if k < 1 || k > n then invalid_arg "Types.params: need 1 <= k <= n";
+  if delta < 1 then invalid_arg "Types.params: delta must be >= 1";
+  if value_len < 0 then invalid_arg "Types.params: negative value_len";
+  { n; f; k; delta; value_len }
+
+(** An outbound message: destination and payload. *)
+type 'm envelope = { dst : endpoint; payload : 'm }
+
+let send dst payload = { dst; payload }
+
+(** A shared-memory emulation protocol.  ['ss] is the server state,
+    ['cs] the client state, ['m] the message type.  All transition
+    functions are pure: they return the successor state plus messages
+    to enqueue on the outgoing channels.
+
+    [on_server_msg] additionally knows the identity [me] of the server
+    and the [src] endpoint of the message (servers may respond to
+    clients or gossip to other servers — the latter only when
+    [uses_gossip] is true; the engine enforces this).
+
+    [on_client_msg] may complete the pending operation by returning a
+    response.
+
+    [server_bits] is the storage cost of a server state under the
+    algorithm's natural encoding (the quantity the paper's Figure-1
+    upper-bound curves account); [encode_server] is a canonical
+    serialization used for the exact state-census experiments
+    ([log2 |S_i|] measured as the log of the number of distinct
+    observed encodings). *)
+type ('ss, 'cs, 'm) algo = {
+  name : string;
+  uses_gossip : bool;
+  single_value_phase : bool;
+      (** true when the write protocol sends value-dependent messages in
+          at most one phase (the class of Theorem 6.5) *)
+  init_server : params -> int -> 'ss;
+  init_client : params -> int -> 'cs;
+  on_invoke : params -> me:int -> 'cs -> op -> 'cs * 'm envelope list;
+  on_client_msg :
+    params ->
+    me:int ->
+    'cs ->
+    src:endpoint ->
+    'm ->
+    'cs * 'm envelope list * response option;
+  on_server_msg :
+    params -> me:int -> 'ss -> src:endpoint -> 'm -> 'ss * 'm envelope list;
+  server_bits : params -> 'ss -> int;
+  encode_server : 'ss -> string;
+  encode_msg : 'm -> string;
+  is_value_dependent : 'm -> bool;
+      (** classifies messages for the Theorem 6.5 machinery: does this
+          message's content depend on the value being written? *)
+}

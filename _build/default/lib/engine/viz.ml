@@ -1,0 +1,121 @@
+(** ASCII rendering of executions: message-sequence charts and
+    storage-over-time sparklines, for documentation and debugging.
+
+    The chart renderer consumes a {!Driver.run_trace} result: each
+    traced step is matched against its predecessor to recover which
+    channel delivered, and printed as one row of a spacetime diagram
+    with a column per endpoint. *)
+
+open Types
+
+(* column layout: servers first, then clients *)
+let columns params ~clients =
+  List.init params.n (fun i -> Server i)
+  @ List.init clients (fun i -> Client i)
+
+let column_index params = function
+  | Server i -> i
+  | Client i -> params.n + i
+
+let label = Format.asprintf "%a" pp_endpoint
+
+(* Identify the delivery between two adjacent configurations by
+   comparing channel contents: the channel whose front shrank. *)
+let delivered_between algo before after =
+  let enc msgs = List.map algo.encode_msg msgs in
+  let chans c =
+    List.map (fun (s, d, ms) -> ((s, d), enc ms)) (Config.channels c)
+  in
+  let b = chans before and a = chans after in
+  let lookup key l = Option.value ~default:[] (List.assoc_opt key l) in
+  let shrunk =
+    List.filter_map
+      (fun ((key, msgs) : (endpoint * endpoint) * string list) ->
+        let after_msgs = lookup key a in
+        if List.length after_msgs < List.length msgs then
+          match msgs with m :: _ -> Some (key, m) | [] -> None
+        else None)
+      b
+  in
+  match shrunk with [ ((src, dst), m) ] -> Some (src, dst, m) | _ -> None
+
+(** Render a trace as a message-sequence chart.  Events (invocations,
+    responses) appearing in the history between two points are
+    annotated on their own rows. *)
+let render_chart ?(width = 72) algo trace =
+  let buf = Buffer.create 1024 in
+  match trace with
+  | [] -> ""
+  | first :: _ ->
+      let params = Config.params first in
+      let clients = Config.num_clients first in
+      let cols = columns params ~clients in
+      let ncols = List.length cols in
+      let header =
+        String.concat "  " (List.map (fun e -> Printf.sprintf "%-4s" (label e)) cols)
+      in
+      Buffer.add_string buf header;
+      Buffer.add_char buf '\n';
+      let lanes () = String.concat "  " (List.init ncols (fun _ -> "|   ")) in
+      let add_event ev =
+        Buffer.add_string buf (lanes ());
+        Buffer.add_string buf (Format.asprintf "  %a" pp_event ev);
+        Buffer.add_char buf '\n'
+      in
+      let rec go prev rest =
+        match rest with
+        | [] -> ()
+        | cur :: rest ->
+            (* new history events first *)
+            let nb = List.length (Config.history prev) in
+            let news =
+              List.filteri (fun i _ -> i >= nb) (Config.history cur)
+            in
+            List.iter add_event news;
+            (match delivered_between algo prev cur with
+            | Some (src, dst, m) ->
+                let a = column_index params src and b = column_index params dst in
+                let lo = min a b and hi = max a b in
+                let cells =
+                  List.init ncols (fun i ->
+                      if i = a then "*   "
+                      else if i = b then ">   "
+                      else if i > lo && i < hi then "----"
+                      else "|   ")
+                in
+                let line = String.concat "--" cells in
+                (* patch the separators outside the arrow span back to
+                   spaces *)
+                let line =
+                  String.mapi
+                    (fun i c ->
+                      let col = i / 6 in
+                      if c = '-' && (col < lo || col >= hi) then ' ' else c)
+                    line
+                in
+                Buffer.add_string buf line;
+                let m =
+                  if String.length m > width then String.sub m 0 width else m
+                in
+                Buffer.add_string buf (Printf.sprintf "  %s" m);
+                Buffer.add_char buf '\n'
+            | None -> ());
+            go cur rest
+      in
+      go first (List.tl trace);
+      Buffer.contents buf
+
+(** A sparkline of total storage (bits) across the points of a trace. *)
+let storage_sparkline algo trace =
+  let ticks = [| " "; "_"; "."; "-"; "="; "+"; "*"; "#" |] in
+  let samples = List.map (Config.total_storage_bits algo) trace in
+  match samples with
+  | [] -> ""
+  | _ ->
+      let hi = List.fold_left max 1 samples in
+      let lo = List.fold_left min max_int samples in
+      let span = max 1 (hi - lo) in
+      let cell v = ticks.((v - lo) * (Array.length ticks - 1) / span) in
+      Printf.sprintf "[%s] min=%d max=%d bits"
+        (String.concat "" (List.map cell samples))
+        lo hi

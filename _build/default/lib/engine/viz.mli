@@ -1,0 +1,20 @@
+(** ASCII rendering of executions, for documentation and debugging:
+    message-sequence charts from {!Driver.run_trace} results and
+    storage-over-time sparklines. *)
+
+val render_chart :
+  ?width:int ->
+  ('ss, 'cs, 'm) Types.algo ->
+  ('ss, 'cs, 'm) Config.t list ->
+  string
+(** Render a trace (as returned by {!Driver.run_trace}) as a spacetime
+    diagram: one column per endpoint (servers first, then clients), one
+    row per delivery ([*] source, [>] destination, the message's
+    encoding alongside, truncated to [width]), with invocation and
+    response events annotated between rows.  Empty for an empty
+    trace. *)
+
+val storage_sparkline :
+  ('ss, 'cs, 'm) Types.algo -> ('ss, 'cs, 'm) Config.t list -> string
+(** One character per trace point, scaled between the observed min and
+    max total storage. *)

@@ -1,0 +1,109 @@
+(* Systematic MDS code: generator [I_k over Cauchy], so data shards are
+   symbols 0..k-1 and parity symbols k..n-1.  [I; C] generates an MDS
+   code because every square submatrix of a Cauchy matrix is
+   nonsingular. *)
+
+type t = { n : int; k : int; g : Linalg.t }
+
+let create ~n ~k =
+  if k < 1 || n < k || n > 255 then
+    invalid_arg (Printf.sprintf "Erasure.create: need 1 <= k <= n <= 255, got n=%d k=%d" n k);
+  let g =
+    if n = k then Linalg.identity k
+    else begin
+      let parity = Linalg.to_arrays (Linalg.cauchy ~rows:(n - k) ~cols:k) in
+      (* Normalize each parity row by its first entry: row scaling
+         preserves the MDS property and makes k = 1 degenerate to plain
+         replication (every symbol equals the value). *)
+      let parity =
+        Array.map
+          (fun row ->
+            let inv = Gf256.inv row.(0) in
+            Array.map (fun x -> Gf256.mul inv x) row)
+          parity
+      in
+      Linalg.of_arrays (Array.append (Linalg.to_arrays (Linalg.identity k)) parity)
+    end
+  in
+  { n; k; g }
+
+let n c = c.n
+let k c = c.k
+let generator c = c.g
+
+let shard_len c ~value_len =
+  if value_len < 0 then invalid_arg "Erasure.shard_len: negative length";
+  max 1 ((value_len + c.k - 1) / c.k)
+
+(* Split a value into k zero-padded shards. *)
+let shards_of_value c value =
+  let len = String.length value in
+  let sl = shard_len c ~value_len:len in
+  Array.init c.k (fun j ->
+      let shard = Bytes.make sl '\000' in
+      let off = j * sl in
+      let take = max 0 (min sl (len - off)) in
+      if take > 0 then Bytes.blit_string value off shard 0 take;
+      shard)
+
+let encode_row c shards i =
+  let sl = Bytes.length shards.(0) in
+  let out = Bytes.make sl '\000' in
+  for j = 0 to c.k - 1 do
+    Gf256.mul_add_into out (Linalg.get c.g i j) shards.(j)
+  done;
+  out
+
+let encode c value =
+  let shards = shards_of_value c value in
+  Array.init c.n (fun i ->
+      if i < c.k then Bytes.copy shards.(i) else encode_row c shards i)
+
+let encode_symbol c ~index value =
+  if index < 0 || index >= c.n then invalid_arg "Erasure.encode_symbol: index out of range";
+  let shards = shards_of_value c value in
+  if index < c.k then shards.(index) else encode_row c shards index
+
+let decode c ~value_len symbols =
+  if value_len < 0 then invalid_arg "Erasure.decode: negative length";
+  let sl = shard_len c ~value_len in
+  (* keep the first k distinct, validated indices *)
+  let seen = Hashtbl.create 8 in
+  let chosen =
+    List.filter
+      (fun (i, sym) ->
+        if i < 0 || i >= c.n then invalid_arg "Erasure.decode: index out of range";
+        if Bytes.length sym <> sl then
+          invalid_arg "Erasure.decode: symbol has wrong length";
+        if Hashtbl.mem seen i then false
+        else begin
+          Hashtbl.add seen i ();
+          Hashtbl.length seen <= c.k
+        end)
+      symbols
+  in
+  if List.length chosen < c.k then None
+  else begin
+    let idxs = List.map fst chosen in
+    let sub = Linalg.select_rows c.g idxs in
+    match Linalg.invert sub with
+    | None -> None (* impossible for an MDS generator; defensive *)
+    | Some inv ->
+        (* shard_j = sum_i inv.(j).(i) * symbol_i, byte-wise *)
+        let syms = Array.of_list (List.map snd chosen) in
+        let value = Bytes.make (c.k * sl) '\000' in
+        for j = 0 to c.k - 1 do
+          let acc = Bytes.make sl '\000' in
+          for i = 0 to c.k - 1 do
+            Gf256.mul_add_into acc (Linalg.get inv j i) syms.(i)
+          done;
+          Bytes.blit acc 0 value (j * sl) sl
+        done;
+        Some (Bytes.sub_string value 0 value_len)
+  end
+
+let is_mds c = Linalg.is_mds_generator c.g
+
+let symbol_bits c ~value_len = 8 * shard_len c ~value_len
+
+let pp fmt c = Format.fprintf fmt "RS(n=%d,k=%d)" c.n c.k

@@ -1,0 +1,56 @@
+(** Systematic (n, k) maximum-distance-separable erasure codes over
+    GF(2^8), Reed-Solomon style with Cauchy parity rows.
+
+    A value of [m] bytes is split into [k] data shards of
+    [ceil m/k] bytes; server [i] (0-indexed, [i < n]) stores the
+    codeword symbol [sum_j g.(i).(j) * shard_j].  The first [k]
+    symbols are the data shards themselves (systematic).  Any [k]
+    symbols suffice to decode; up to [n - k] erasures are tolerated.
+
+    This is the coding substrate referenced throughout the paper: the
+    classical model in which the Singleton bound gives total storage
+    [n/(n-k) * log2 |V|] when [k = n - f]. *)
+
+type t
+(** An (n, k) code instance.  Immutable; safe to share. *)
+
+val create : n:int -> k:int -> t
+(** [create ~n ~k] builds the code.
+    @raise Invalid_argument unless [1 <= k <= n <= 255]. *)
+
+val n : t -> int
+(** Codeword length (number of servers). *)
+
+val k : t -> int
+(** Dimension (number of symbols needed to decode). *)
+
+val generator : t -> Linalg.t
+(** The n×k generator matrix; row [i] produces symbol [i]. *)
+
+val shard_len : t -> value_len:int -> int
+(** Bytes per codeword symbol for a value of [value_len] bytes:
+    [ceil value_len/k] (at least 1 so that the empty value round-trips). *)
+
+val encode : t -> string -> bytes array
+(** [encode c value] returns the [n] codeword symbols of [value]. *)
+
+val encode_symbol : t -> index:int -> string -> bytes
+(** Encode only the symbol for server [index]; used by write protocols
+    that compute symbols lazily.  Equal to [(encode c value).(index)]. *)
+
+val decode : t -> value_len:int -> (int * bytes) list -> string option
+(** [decode c ~value_len symbols] reconstructs the original value from
+    at least [k] distinct [(index, symbol)] pairs.  Returns [None] when
+    fewer than [k] distinct indices are supplied.  Extra symbols beyond
+    [k] are ignored (the first [k] distinct indices are used).
+    @raise Invalid_argument on out-of-range indices or symbols of the
+    wrong length. *)
+
+val is_mds : t -> bool
+(** Exhaustively checks the MDS property (every k-subset of rows
+    invertible).  Exponential; use on small codes in tests only. *)
+
+val symbol_bits : t -> value_len:int -> int
+(** Storage in bits of one codeword symbol: [8 * shard_len]. *)
+
+val pp : Format.formatter -> t -> unit

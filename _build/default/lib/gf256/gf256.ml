@@ -1,0 +1,129 @@
+(* GF(2^8) with primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d),
+   the standard choice for storage-system Reed-Solomon codes. *)
+
+type t = int
+
+let zero = 0
+let one = 1
+let alpha = 0x02
+let order = 256
+let poly = 0x11d
+
+let is_element x = x >= 0 && x < order
+
+let check name x =
+  if not (is_element x) then
+    invalid_arg (Printf.sprintf "Gf256.%s: %d not in [0,255]" name x)
+
+(* exp_table.(i) = alpha^i for i in [0, 509]; doubled so that
+   exp_table.(log a + log b) needs no modular reduction. *)
+let exp_table, log_table =
+  let exp_table = Array.make 510 0 in
+  let log_table = Array.make 256 (-1) in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor poly
+  done;
+  for i = 255 to 509 do
+    exp_table.(i) <- exp_table.(i - 255)
+  done;
+  (exp_table, log_table)
+
+let add a b =
+  check "add" a;
+  check "add" b;
+  a lxor b
+
+let sub = add
+let neg a = check "neg" a; a
+
+let mul a b =
+  check "mul" a;
+  check "mul" b;
+  if a = 0 || b = 0 then 0
+  else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  check "inv" a;
+  if a = 0 then raise Division_by_zero
+  else exp_table.(255 - log_table.(a))
+
+let div a b =
+  check "div" a;
+  check "div" b;
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) + 255 - log_table.(b))
+
+let log a =
+  check "log" a;
+  if a = 0 then invalid_arg "Gf256.log: zero has no discrete log"
+  else log_table.(a)
+
+let exp i =
+  let i = ((i mod 255) + 255) mod 255 in
+  exp_table.(i)
+
+let pow a e =
+  check "pow" a;
+  if e = 0 then 1
+  else if a = 0 then
+    if e > 0 then 0 else raise Division_by_zero
+  else
+    let l = log_table.(a) * e in
+    exp l
+
+let eval_poly coeffs x =
+  check "eval_poly" x;
+  let acc = ref 0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := add (mul !acc x) coeffs.(i)
+  done;
+  !acc
+
+let add_bytes a b =
+  let la = Bytes.length a and lb = Bytes.length b in
+  if la <> lb then invalid_arg "Gf256.add_bytes: length mismatch";
+  let out = Bytes.create la in
+  for i = 0 to la - 1 do
+    Bytes.unsafe_set out i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get a i) lxor Char.code (Bytes.unsafe_get b i)))
+  done;
+  out
+
+let scale_bytes c b =
+  check "scale_bytes" c;
+  let len = Bytes.length b in
+  let out = Bytes.create len in
+  if c = 0 then Bytes.fill out 0 len '\000'
+  else begin
+    let lc = log_table.(c) in
+    for i = 0 to len - 1 do
+      let v = Char.code (Bytes.unsafe_get b i) in
+      let r = if v = 0 then 0 else exp_table.(lc + log_table.(v)) in
+      Bytes.unsafe_set out i (Char.unsafe_chr r)
+    done
+  end;
+  out
+
+let mul_add_into dst c src =
+  check "mul_add_into" c;
+  let ld = Bytes.length dst and ls = Bytes.length src in
+  if ld <> ls then invalid_arg "Gf256.mul_add_into: length mismatch";
+  if c <> 0 then begin
+    let lc = log_table.(c) in
+    for i = 0 to ld - 1 do
+      let v = Char.code (Bytes.unsafe_get src i) in
+      if v <> 0 then begin
+        let prod = exp_table.(lc + log_table.(v)) in
+        Bytes.unsafe_set dst i
+          (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst i) lxor prod))
+      end
+    done
+  end
+
+let pp fmt a = Format.fprintf fmt "0x%02x" a

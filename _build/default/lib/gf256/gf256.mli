@@ -1,0 +1,74 @@
+(** Arithmetic in the Galois field GF(2^8) = GF(2)[x]/(x^8+x^4+x^3+x^2+1).
+
+    Field elements are represented as integers in [0, 255].  The
+    representation uses the AES-independent primitive polynomial 0x11d
+    (the one conventional in storage erasure coding, e.g. Reed-Solomon
+    as deployed in RAID-6 and distributed storage systems).  Generator
+    of the multiplicative group is [alpha = 0x02].
+
+    All operations are total on valid elements; functions raise
+    [Invalid_argument] when an argument is outside [0, 255] or on
+    division by zero. *)
+
+type t = int
+(** A field element; invariant: [0 <= t <= 255]. *)
+
+val zero : t
+val one : t
+
+val alpha : t
+(** Generator of the multiplicative group GF(256)*. *)
+
+val order : int
+(** Number of field elements, i.e. 256. *)
+
+val is_element : int -> bool
+(** [is_element x] is [true] iff [x] is in [0, 255]. *)
+
+val add : t -> t -> t
+(** Field addition (XOR). *)
+
+val sub : t -> t -> t
+(** Field subtraction; identical to {!add} in characteristic 2. *)
+
+val mul : t -> t -> t
+(** Field multiplication via log/antilog tables. *)
+
+val div : t -> t -> t
+(** [div a b] is [a * b^-1].  @raise Division_by_zero if [b = 0]. *)
+
+val inv : t -> t
+(** Multiplicative inverse.  @raise Division_by_zero on [inv 0]. *)
+
+val neg : t -> t
+(** Additive inverse; the identity in characteristic 2. *)
+
+val pow : t -> int -> t
+(** [pow a e] is [a^e].  Negative exponents invert; [pow 0 0 = 1],
+    [pow 0 e = 0] for [e > 0].
+    @raise Division_by_zero if [a = 0] and [e < 0]. *)
+
+val log : t -> int
+(** Discrete logarithm base {!alpha}.  @raise Invalid_argument on 0. *)
+
+val exp : int -> t
+(** [exp i] is [alpha^i]; accepts any integer exponent (reduced mod 255). *)
+
+val eval_poly : t array -> t -> t
+(** [eval_poly coeffs x] evaluates the polynomial
+    [coeffs.(0) + coeffs.(1)*x + ...] at [x] (Horner). *)
+
+val add_bytes : bytes -> bytes -> bytes
+(** Element-wise field addition of two equal-length byte strings.
+    @raise Invalid_argument on length mismatch. *)
+
+val scale_bytes : t -> bytes -> bytes
+(** [scale_bytes c b] multiplies every byte of [b] by [c]. *)
+
+val mul_add_into : bytes -> t -> bytes -> unit
+(** [mul_add_into dst c src] computes [dst.(i) <- dst.(i) + c*src.(i)]
+    in place; the workhorse of erasure encoding.
+    @raise Invalid_argument on length mismatch. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints an element as [0xNN]. *)

@@ -1,0 +1,267 @@
+(* Dense matrices over GF(2^8).  Internally a flat int array in
+   row-major order; all exported operations copy, so values behave
+   immutably. *)
+
+type t = { r : int; c : int; d : int array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Linalg.create: non-positive dims";
+  { r = rows; c = cols; d = Array.make (rows * cols) 0 }
+
+let rows m = m.r
+let cols m = m.c
+
+let check_bounds name m i j =
+  if i < 0 || i >= m.r || j < 0 || j >= m.c then
+    invalid_arg (Printf.sprintf "Linalg.%s: (%d,%d) out of %dx%d" name i j m.r m.c)
+
+let get m i j =
+  check_bounds "get" m i j;
+  m.d.((i * m.c) + j)
+
+let unsafe_get m i j = Array.unsafe_get m.d ((i * m.c) + j)
+
+let set m i j v =
+  check_bounds "set" m i j;
+  if not (Gf256.is_element v) then invalid_arg "Linalg.set: not a field element";
+  let d = Array.copy m.d in
+  d.((i * m.c) + j) <- v;
+  { m with d }
+
+let of_arrays a =
+  let r = Array.length a in
+  if r = 0 then invalid_arg "Linalg.of_arrays: empty";
+  let c = Array.length a.(0) in
+  if c = 0 then invalid_arg "Linalg.of_arrays: empty row";
+  let d = Array.make (r * c) 0 in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> c then invalid_arg "Linalg.of_arrays: ragged rows";
+      Array.iteri
+        (fun j v ->
+          if not (Gf256.is_element v) then
+            invalid_arg "Linalg.of_arrays: entry not a field element";
+          d.((i * c) + j) <- v)
+        row)
+    a;
+  { r; c; d }
+
+let to_arrays m =
+  Array.init m.r (fun i -> Array.init m.c (fun j -> unsafe_get m i j))
+
+let identity n =
+  let m = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    m.d.((i * n) + i) <- 1
+  done;
+  m
+
+let vandermonde ~rows ~cols =
+  if rows > 255 then invalid_arg "Linalg.vandermonde: more than 255 rows";
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.d.((i * cols) + j) <- Gf256.exp (i * j)
+    done
+  done;
+  m
+
+let cauchy ~rows ~cols =
+  if rows + cols > 256 then invalid_arg "Linalg.cauchy: rows + cols > 256";
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.d.((i * cols) + j) <- Gf256.inv (Gf256.add (i + cols) j)
+    done
+  done;
+  m
+
+let transpose m =
+  let t = create ~rows:m.c ~cols:m.r in
+  for i = 0 to m.r - 1 do
+    for j = 0 to m.c - 1 do
+      t.d.((j * m.r) + i) <- unsafe_get m i j
+    done
+  done;
+  t
+
+let mul a b =
+  if a.c <> b.r then invalid_arg "Linalg.mul: dimension mismatch";
+  let p = create ~rows:a.r ~cols:b.c in
+  for i = 0 to a.r - 1 do
+    for k = 0 to a.c - 1 do
+      let aik = unsafe_get a i k in
+      if aik <> 0 then
+        for j = 0 to b.c - 1 do
+          let idx = (i * b.c) + j in
+          p.d.(idx) <- p.d.(idx) lxor Gf256.mul aik (unsafe_get b k j)
+        done
+    done
+  done;
+  p
+
+let mul_vec m v =
+  if Array.length v <> m.c then invalid_arg "Linalg.mul_vec: dimension mismatch";
+  Array.init m.r (fun i ->
+      let acc = ref 0 in
+      for j = 0 to m.c - 1 do
+        acc := !acc lxor Gf256.mul (unsafe_get m i j) v.(j)
+      done;
+      !acc)
+
+let augment a b =
+  if a.r <> b.r then invalid_arg "Linalg.augment: row mismatch";
+  let m = create ~rows:a.r ~cols:(a.c + b.c) in
+  for i = 0 to a.r - 1 do
+    for j = 0 to a.c - 1 do
+      m.d.((i * m.c) + j) <- unsafe_get a i j
+    done;
+    for j = 0 to b.c - 1 do
+      m.d.((i * m.c) + a.c + j) <- unsafe_get b i j
+    done
+  done;
+  m
+
+let sub_matrix m ~row_off ~col_off ~rows ~cols =
+  if
+    row_off < 0 || col_off < 0 || rows <= 0 || cols <= 0
+    || row_off + rows > m.r
+    || col_off + cols > m.c
+  then invalid_arg "Linalg.sub_matrix: out of bounds";
+  let s = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      s.d.((i * cols) + j) <- unsafe_get m (row_off + i) (col_off + j)
+    done
+  done;
+  s
+
+let select_rows m idxs =
+  let n = List.length idxs in
+  if n = 0 then invalid_arg "Linalg.select_rows: empty selection";
+  let s = create ~rows:n ~cols:m.c in
+  List.iteri
+    (fun i r ->
+      if r < 0 || r >= m.r then invalid_arg "Linalg.select_rows: row out of bounds";
+      Array.blit m.d (r * m.c) s.d (i * m.c) m.c)
+    idxs;
+  s
+
+let swap_rows m i j =
+  check_bounds "swap_rows" m i 0;
+  check_bounds "swap_rows" m j 0;
+  let d = Array.copy m.d in
+  for k = 0 to m.c - 1 do
+    d.((i * m.c) + k) <- m.d.((j * m.c) + k);
+    d.((j * m.c) + k) <- m.d.((i * m.c) + k)
+  done;
+  { m with d }
+
+(* In-place forward elimination on a working copy; returns the list of
+   pivot columns.  Shared by [rank], [invert] and [solve]. *)
+let eliminate d ~r ~c =
+  let pivots = ref [] in
+  let row = ref 0 in
+  let col = ref 0 in
+  while !row < r && !col < c do
+    (* find a pivot in this column at or below !row *)
+    let p = ref (-1) in
+    let i = ref !row in
+    while !p < 0 && !i < r do
+      if d.((!i * c) + !col) <> 0 then p := !i;
+      incr i
+    done;
+    if !p < 0 then incr col
+    else begin
+      (* swap pivot row into place *)
+      if !p <> !row then
+        for k = 0 to c - 1 do
+          let tmp = d.((!row * c) + k) in
+          d.((!row * c) + k) <- d.((!p * c) + k);
+          d.((!p * c) + k) <- tmp
+        done;
+      (* normalize pivot row *)
+      let pv = d.((!row * c) + !col) in
+      let pv_inv = Gf256.inv pv in
+      for k = 0 to c - 1 do
+        d.((!row * c) + k) <- Gf256.mul pv_inv d.((!row * c) + k)
+      done;
+      (* clear the column in all other rows *)
+      for i2 = 0 to r - 1 do
+        if i2 <> !row then begin
+          let factor = d.((i2 * c) + !col) in
+          if factor <> 0 then
+            for k = 0 to c - 1 do
+              d.((i2 * c) + k) <-
+                d.((i2 * c) + k) lxor Gf256.mul factor d.((!row * c) + k)
+            done
+        end
+      done;
+      pivots := !col :: !pivots;
+      incr row;
+      incr col
+    end
+  done;
+  List.rev !pivots
+
+let rank m =
+  let d = Array.copy m.d in
+  List.length (eliminate d ~r:m.r ~c:m.c)
+
+let invert m =
+  if m.r <> m.c then invalid_arg "Linalg.invert: not square";
+  let n = m.r in
+  let aug = augment m (identity n) in
+  let d = Array.copy aug.d in
+  let pivots = eliminate d ~r:n ~c:(2 * n) in
+  (* invertible iff the pivot columns are exactly 0..n-1 *)
+  let ok = List.length pivots = n && List.for_all (fun p -> p < n) pivots in
+  if not ok then None
+  else begin
+    let inv = create ~rows:n ~cols:n in
+    for i = 0 to n - 1 do
+      Array.blit d ((i * 2 * n) + n) inv.d (i * n) n
+    done;
+    Some inv
+  end
+
+let solve a b =
+  if a.r <> a.c then invalid_arg "Linalg.solve: not square";
+  if Array.length b <> a.r then invalid_arg "Linalg.solve: rhs size mismatch";
+  match invert a with
+  | None -> None
+  | Some ai -> Some (mul_vec ai b)
+
+let is_mds_generator g =
+  if g.r < g.c then invalid_arg "Linalg.is_mds_generator: fewer rows than cols";
+  let k = g.c in
+  (* iterate over all k-subsets of rows *)
+  let rec choose start acc count =
+    if count = 0 then
+      match invert (select_rows g (List.rev acc)) with
+      | Some _ -> true
+      | None -> false
+    else
+      let rec try_from i =
+        if i > g.r - count then true
+        else if not (choose (i + 1) (i :: acc) (count - 1)) then false
+        else try_from (i + 1)
+      in
+      try_from start
+  in
+  choose 0 [] k
+
+let equal a b = a.r = b.r && a.c = b.c && a.d = b.d
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.r - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.c - 1 do
+      if j > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%3d" (unsafe_get m i j)
+    done;
+    Format.fprintf fmt "]";
+    if i < m.r - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

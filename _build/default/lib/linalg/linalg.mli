@@ -1,0 +1,80 @@
+(** Dense matrices over GF(2^8).
+
+    Matrices are immutable from the caller's perspective: every
+    operation returns a fresh matrix.  Rows and columns are 0-indexed.
+    Used to build and invert the generator submatrices of Reed-Solomon
+    codes ({!Erasure}). *)
+
+type t
+(** A matrix over GF(2^8). *)
+
+val create : rows:int -> cols:int -> t
+(** All-zero matrix.  @raise Invalid_argument on non-positive dims. *)
+
+val of_arrays : int array array -> t
+(** Copies a row-major array of arrays.
+    @raise Invalid_argument on ragged input, empty input, or entries
+    outside [0, 255]. *)
+
+val to_arrays : t -> int array array
+(** Row-major copy of the contents. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> int
+(** [get m i j] is the entry at row [i], column [j].
+    @raise Invalid_argument when out of bounds. *)
+
+val set : t -> int -> int -> int -> t
+(** Functional update returning a new matrix. *)
+
+val identity : int -> t
+(** [identity n] is the n×n identity. *)
+
+val vandermonde : rows:int -> cols:int -> t
+(** [vandermonde ~rows ~cols] has entry (i, j) = [alpha^(i*j)] where
+    rows are indexed by distinct evaluation points [alpha^i].  Any
+    [cols] rows of it are linearly independent when [rows <= 255]. *)
+
+val cauchy : rows:int -> cols:int -> t
+(** Cauchy matrix with entry (i, j) = 1/(x_i + y_j) for
+    x_i = i + cols, y_j = j; every square submatrix is invertible
+    while [rows + cols <= 256]. *)
+
+val transpose : t -> t
+val mul : t -> t -> t
+(** Matrix product.  @raise Invalid_argument on dimension mismatch. *)
+
+val mul_vec : t -> int array -> int array
+(** Matrix-vector product. *)
+
+val augment : t -> t -> t
+(** [augment a b] places [b]'s columns to the right of [a]'s.
+    @raise Invalid_argument when row counts differ. *)
+
+val sub_matrix : t -> row_off:int -> col_off:int -> rows:int -> cols:int -> t
+(** Extracts a rectangular block. *)
+
+val select_rows : t -> int list -> t
+(** [select_rows m idxs] keeps the given rows, in the given order. *)
+
+val swap_rows : t -> int -> int -> t
+
+val rank : t -> int
+(** Rank via Gaussian elimination. *)
+
+val invert : t -> t option
+(** Inverse of a square matrix, or [None] if singular.
+    @raise Invalid_argument if the matrix is not square. *)
+
+val solve : t -> int array -> int array option
+(** [solve a b] finds x with [a x = b] for square invertible [a]. *)
+
+val is_mds_generator : t -> bool
+(** [is_mds_generator g] for an n×k matrix ([n >= k]) checks that every
+    k×k row-submatrix is invertible, i.e. that [g] generates an MDS
+    code.  Exponential in general; intended for small test instances. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

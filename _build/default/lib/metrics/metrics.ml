@@ -1,0 +1,66 @@
+(* Operation-cost metrics.  See metrics.mli. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+}
+
+let summarize = function
+  | [] -> None
+  | xs ->
+      let sorted = List.sort compare xs in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let pct p = arr.(Stdlib.min (n - 1) (p * n / 100)) in
+      Some
+        {
+          count = n;
+          mean = float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int n;
+          min = arr.(0);
+          max = arr.(n - 1);
+          p50 = pct 50;
+          p95 = pct 95;
+        }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.1f min=%d p50=%d p95=%d max=%d" s.count
+    s.mean s.min s.p50 s.p95 s.max
+
+let latencies (h : Consistency.History.t) ~kind =
+  List.filter_map
+    (fun (o : Consistency.History.op_record) ->
+      match (o.kind = kind, o.resp) with
+      | true, Some r -> Some (r - o.inv)
+      | _ -> None)
+    h
+
+type op_cost = { deliveries : int; in_flight : int }
+
+let isolated_op_cost (type ss cs m) (algo : (ss, cs, m) Engine.Types.algo)
+    params ~op ~warm ~seed =
+  let rng = Engine.Driver.rng_of_seed seed in
+  let c = Engine.Config.make algo params ~clients:2 in
+  let c =
+    if warm then begin
+      let v = String.make params.Engine.Types.value_len 'w' in
+      let c = Engine.Driver.write_exn algo c ~client:0 ~value:v ~rng in
+      fst (Engine.Driver.run_to_quiescence algo c ~rng)
+    end
+    else c
+  in
+  let t0 = Engine.Config.time c in
+  match Engine.Driver.run_op algo c ~client:1 ~op ~rng with
+  | None, _ -> failwith "Metrics.isolated_op_cost: operation did not terminate"
+  | Some _, c' ->
+      let in_flight =
+        List.fold_left
+          (fun acc (_, _, msgs) -> acc + List.length msgs)
+          0
+          (Engine.Config.channels c')
+      in
+      (* steps = deliveries + the one invocation *)
+      { deliveries = Engine.Config.time c' - t0 - 1; in_flight }

@@ -1,0 +1,46 @@
+(** Operation-cost metrics: message complexity and latency of the
+    emulation protocols in the simulated system.
+
+    The storage bounds are the paper's subject, but the protocols'
+    communication costs are what distinguish the upper-bound
+    constructions in practice (ABD's one-phase writes vs CAS's three
+    phases).  Latency is measured in engine steps (one step = one
+    message delivery or invocation); message cost of an isolated
+    operation counts the deliveries it caused plus messages it left in
+    flight. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;  (** median *)
+  p95 : int;
+}
+
+val summarize : int list -> summary option
+(** [None] on an empty list. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val latencies :
+  Consistency.History.t -> kind:Consistency.History.kind -> int list
+(** Response-minus-invocation step counts of the completed operations
+    of the given kind. *)
+
+type op_cost = {
+  deliveries : int;  (** messages delivered before the op responded *)
+  in_flight : int;  (** messages still queued when it responded *)
+}
+
+val isolated_op_cost :
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  Engine.Types.params ->
+  op:Engine.Types.op ->
+  warm:bool ->
+  seed:int ->
+  op_cost
+(** Cost of one operation running alone on a fresh system (reads run
+    against a system warmed by one write when [warm] is true, so the
+    read pays any write-back work).
+    @raise Failure when the operation does not terminate. *)

@@ -1,0 +1,164 @@
+(* Quorum systems.  See quorum.mli for the role in the paper's model. *)
+
+module Int_set = Set.Make (Int)
+
+type t =
+  | Threshold of { n : int; size : int }
+  | Grid of { rows : int; cols : int }
+  | Explicit of { n : int; sets : Int_set.t list }
+
+let threshold ~n ~size =
+  if size < 1 || size > n then
+    invalid_arg "Quorum.threshold: need 1 <= size <= n";
+  Threshold { n; size }
+
+let majority ~n = threshold ~n ~size:((n / 2) + 1)
+
+let cas_style ~n ~k =
+  if k < 1 || k > n then invalid_arg "Quorum.cas_style: need 1 <= k <= n";
+  threshold ~n ~size:((n + k + 1) / 2)
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Quorum.grid: non-positive dims";
+  Grid { rows; cols }
+
+let explicit ~n sets =
+  if sets = [] then invalid_arg "Quorum.explicit: empty collection";
+  let sets =
+    List.map
+      (fun s ->
+        List.iter
+          (fun i ->
+            if i < 0 || i >= n then
+              invalid_arg "Quorum.explicit: member out of range")
+          s;
+        Int_set.of_list s)
+      sets
+  in
+  Explicit { n; sets }
+
+let size = function
+  | Threshold { n; _ } -> n
+  | Grid { rows; cols } -> rows * cols
+  | Explicit { n; _ } -> n
+
+(* grid quorums: row i union column j *)
+let grid_quorum ~rows ~cols i j =
+  let row = List.init cols (fun c -> (i * cols) + c) in
+  let col = List.init rows (fun r -> (r * cols) + j) in
+  Int_set.union (Int_set.of_list row) (Int_set.of_list col)
+
+let grid_quorums ~rows ~cols =
+  List.concat_map
+    (fun i -> List.init cols (fun j -> grid_quorum ~rows ~cols i j))
+    (List.init rows Fun.id)
+
+let is_quorum t members =
+  let s = Int_set.of_list members in
+  match t with
+  | Threshold { size; _ } -> Int_set.cardinal s >= size
+  | Grid { rows; cols } ->
+      List.exists (fun q -> Int_set.subset q s) (grid_quorums ~rows ~cols)
+  | Explicit { sets; _ } -> List.exists (fun q -> Int_set.subset q s) sets
+
+let min_quorum_size = function
+  | Threshold { size; _ } -> size
+  | Grid { rows; cols } -> rows + cols - 1
+  | Explicit { sets; _ } ->
+      List.fold_left (fun acc q -> min acc (Int_set.cardinal q)) max_int sets
+
+let pairwise_sets = function
+  | Threshold _ -> invalid_arg "internal: threshold handled in closed form"
+  | Grid { rows; cols } -> grid_quorums ~rows ~cols
+  | Explicit { sets; _ } -> sets
+
+let is_intersecting t =
+  match t with
+  | Threshold { n; size } -> 2 * size > n
+  | Grid _ | Explicit _ ->
+      let sets = pairwise_sets t in
+      List.for_all
+        (fun a ->
+          List.for_all (fun b -> not (Int_set.disjoint a b)) sets)
+        sets
+
+let min_intersection t =
+  match t with
+  | Threshold { n; size } -> max 0 ((2 * size) - n)
+  | Grid _ | Explicit _ ->
+      let sets = pairwise_sets t in
+      List.fold_left
+        (fun acc a ->
+          List.fold_left
+            (fun acc b -> min acc (Int_set.cardinal (Int_set.inter a b)))
+            acc sets)
+        max_int sets
+
+let available t ~failed =
+  let dead = Int_set.of_list failed in
+  match t with
+  | Threshold { n; size } -> n - Int_set.cardinal dead >= size
+  | Grid _ | Explicit _ ->
+      List.exists (fun q -> Int_set.disjoint q dead) (pairwise_sets t)
+
+(* largest f such that every f-subset of failures leaves a live
+   quorum = (size of a minimum transversal of the quorum sets) - 1 *)
+let fault_tolerance t =
+  match t with
+  | Threshold { n; size } -> n - size
+  | Grid _ | Explicit _ ->
+      let sets = pairwise_sets t in
+      let n = size t in
+      (* breadth-first search over failure-set sizes; exponential, for
+         small systems only *)
+      let rec smallest_transversal k =
+        if k > n then n
+        else begin
+          (* does some k-subset hit every quorum? *)
+          let rec choose start acc count =
+            if count = 0 then
+              let dead = Int_set.of_list acc in
+              List.for_all (fun q -> not (Int_set.disjoint q dead)) sets
+            else
+              let rec try_from i =
+                if i > n - count then false
+                else choose (i + 1) (i :: acc) (count - 1) || try_from (i + 1)
+              in
+              try_from start
+          in
+          if choose 0 [] k then k else smallest_transversal (k + 1)
+        end
+      in
+      smallest_transversal 1 - 1
+
+let binomial n k =
+  let k = min k (n - k) in
+  if k < 0 then 0
+  else begin
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let quorums t =
+  match t with
+  | Threshold { n; size } ->
+      if binomial n size > 100_000 then
+        invalid_arg "Quorum.quorums: too many threshold quorums to enumerate";
+      let rec choose start acc count =
+        if count = 0 then [ List.rev acc ]
+        else
+          List.concat_map
+            (fun i -> choose (i + 1) (i :: acc) (count - 1))
+            (List.filter (fun i -> i <= n - count) (List.init (n - start) (fun d -> start + d)))
+      in
+      choose 0 [] size
+  | Grid _ | Explicit _ -> List.map Int_set.elements (pairwise_sets t)
+
+let pp fmt = function
+  | Threshold { n; size } -> Format.fprintf fmt "threshold(n=%d,size=%d)" n size
+  | Grid { rows; cols } -> Format.fprintf fmt "grid(%dx%d)" rows cols
+  | Explicit { n; sets } ->
+      Format.fprintf fmt "explicit(n=%d,#quorums=%d)" n (List.length sets)

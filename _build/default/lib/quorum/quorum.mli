@@ -1,0 +1,68 @@
+(** Quorum systems over server sets [{0, ..., n-1}].
+
+    Definition 6.1 of the paper phrases write protocols in terms of an
+    arbitrary quorum system Q: a phase sends messages and waits for
+    responses from {e some} quorum in Q.  The protocols shipped in
+    {!Algorithms} use the two classical instances — majority-style
+    threshold quorums (ABD) and the CAS quorums of size
+    [ceil (n+k)/2] — but the abstraction is independently useful, so it
+    is provided as its own substrate with the standard constructions
+    and analyses. *)
+
+type t
+(** A quorum system.  Threshold systems are represented symbolically
+    (their quorum sets can be exponentially many); grid and explicit
+    systems enumerate. *)
+
+val threshold : n:int -> size:int -> t
+(** All subsets of cardinality [size].
+    @raise Invalid_argument unless [1 <= size <= n]. *)
+
+val majority : n:int -> t
+(** Threshold with size [n/2 + 1]. *)
+
+val cas_style : n:int -> k:int -> t
+(** Threshold with size [ceil (n+k)/2]: any two quorums intersect in at
+    least [k] elements ({!min_intersection}). *)
+
+val grid : rows:int -> cols:int -> t
+(** The grid system on [rows * cols] servers: a quorum is one full row
+    together with one full column.  Quorum size
+    [rows + cols - 1], always pairwise intersecting. *)
+
+val explicit : n:int -> int list list -> t
+(** An explicit collection of quorums.
+    @raise Invalid_argument on out-of-range members or an empty
+    collection. *)
+
+val size : t -> int
+(** Number of servers [n]. *)
+
+val is_quorum : t -> int list -> bool
+(** Does the set contain a quorum? *)
+
+val min_quorum_size : t -> int
+
+val is_intersecting : t -> bool
+(** Every two quorums intersect — the consistency requirement. *)
+
+val min_intersection : t -> int
+(** Minimum intersection cardinality over all quorum pairs (the [k]
+    that makes erasure-coded reads decodable).  For threshold systems
+    computed in closed form; for explicit/grid systems by enumeration. *)
+
+val available : t -> failed:int list -> bool
+(** Some quorum avoids all failed servers. *)
+
+val fault_tolerance : t -> int
+(** Largest [f] such that {e every} failure pattern of [f] servers
+    leaves a live quorum.  Closed form for threshold ([n - size]);
+    minimal-transversal search for grid/explicit (exponential — small
+    systems only). *)
+
+val quorums : t -> int list list
+(** Enumerate all (minimal) quorums.
+    @raise Invalid_argument for threshold systems with more than
+    100_000 quorums. *)
+
+val pp : Format.formatter -> t -> unit

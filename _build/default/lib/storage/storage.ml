@@ -1,0 +1,99 @@
+(** Storage-cost instrumentation.
+
+    The paper defines the storage cost of server [i] as
+    [log2 |S_i|] where [S_i] is the set of states the server can take,
+    and the total cost as the sum over servers (Section 3).  We measure
+    it two ways:
+
+    - {b census}: collect the set of {e observed} canonical state
+      encodings per server across executions; [log2] of the census size
+      is a lower estimate of [log2 |S_i|] that converges as the
+      execution family is enumerated.  Used by the Theorem B.1/4.1/5.1
+      experiments, which need exact counting for small value domains.
+    - {b peak encoded bits}: track the maximum over execution points of
+      the algorithm's natural-encoding size ({!Engine.Types.algo}
+      [server_bits]).  This is the quantity the paper's upper-bound
+      curves (Figure 1) account, e.g. [nu * n / (n - f) * log2 |V|] for
+      erasure-coded algorithms. *)
+
+module String_set = Set.Make (String)
+
+(** Unambiguous join of state encodings (length-prefixed), so that two
+    different tuples of encodings can never collide even when the
+    encodings contain separator bytes. *)
+let canonical_join parts =
+  String.concat ""
+    (List.map (fun s -> Printf.sprintf "%d:%s" (String.length s) s) parts)
+
+(* ----- State census ----- *)
+
+type census = { mutable per_server : String_set.t array; mutable joint : String_set.t }
+
+let create_census ~n =
+  if n < 1 then invalid_arg "Storage.create_census: n must be >= 1";
+  { per_server = Array.make n String_set.empty; joint = String_set.empty }
+
+(** Record one observation: the canonical encodings of all server
+    states at some execution point.  Also tracks the joint state (the
+    tuple of all encodings), whose census lower-bounds the product-space
+    count used in the paper's counting arguments. *)
+let observe census encodings =
+  if Array.length encodings <> Array.length census.per_server then
+    invalid_arg "Storage.observe: wrong number of servers";
+  Array.iteri
+    (fun i e -> census.per_server.(i) <- String_set.add e census.per_server.(i))
+    encodings;
+  census.joint <- String_set.add (canonical_join (Array.to_list encodings)) census.joint
+
+(** Record only a projection onto the given server subset (the sets
+    [N] of the theorems). *)
+let observe_subset census ~subset encodings =
+  List.iter
+    (fun i ->
+      census.per_server.(i) <- String_set.add encodings.(i) census.per_server.(i))
+    subset;
+  let proj = List.map (fun i -> encodings.(i)) subset in
+  census.joint <- String_set.add (canonical_join proj) census.joint
+
+let distinct_counts census =
+  Array.map String_set.cardinal census.per_server
+
+let joint_count census = String_set.cardinal census.joint
+
+let log2 x = Float.log (float_of_int x) /. Float.log 2.0
+
+(** Per-server storage estimates [log2 #states] in bits. *)
+let log2_counts census = Array.map (fun s -> log2 (String_set.cardinal s)) census.per_server
+
+(** Census-based total-storage estimate: [sum_i log2 #states_i]. *)
+let total_bits census =
+  Array.fold_left (fun acc s -> acc +. log2 (String_set.cardinal s)) 0.0 census.per_server
+
+(** Joint-state count in bits, [log2 #joint]; always at most
+    {!total_bits} and at least the paper's counting lower bounds. *)
+let joint_bits census = log2 (joint_count census)
+
+(* ----- Peak encoded-bits tracking ----- *)
+
+type peak = { mutable total : int; mutable max_server : int; mutable samples : int }
+
+let create_peak () = { total = 0; max_server = 0; samples = 0 }
+
+(** Observer to thread through {!Engine.Driver.run}: records the peak
+    natural-encoding storage over all points of the execution. *)
+let peak_observer algo peak config =
+  peak.samples <- peak.samples + 1;
+  let total = Engine.Config.total_storage_bits algo config in
+  if total > peak.total then peak.total <- total;
+  let m = Engine.Config.max_storage_bits algo config in
+  if m > peak.max_server then peak.max_server <- m
+
+let peak_total peak = peak.total
+let peak_max_server peak = peak.max_server
+let peak_samples peak = peak.samples
+
+(** Normalized total storage: peak total bits divided by the value size
+    in bits — directly comparable to the Figure 1 y-axis. *)
+let normalized peak ~value_len =
+  if value_len <= 0 then invalid_arg "Storage.normalized: value_len must be positive";
+  float_of_int peak.total /. float_of_int (8 * value_len)

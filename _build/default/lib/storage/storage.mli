@@ -1,0 +1,75 @@
+(** Storage-cost instrumentation.
+
+    The paper defines the storage cost of server [i] as [log2 |S_i|]
+    where [S_i] is the set of states the server can take, and the total
+    cost as the sum over servers (Section 3).  Two measurements:
+
+    - {e census}: collect the set of observed canonical state encodings
+      per server across a family of executions; [log2] of the census
+      size lower-estimates [log2 |S_i|] and converges as the family is
+      enumerated.  Used by the Theorem B.1 / 4.1 / 5.1 / 6.5
+      experiments, which count exactly for small value domains.
+    - {e peak encoded bits}: the maximum over execution points of the
+      algorithm's natural-encoding size — the quantity the Figure 1
+      upper-bound curves account (e.g. [nu n/(n-f) log2 |V|] for
+      erasure-coded algorithms). *)
+
+module String_set : Set.S with type elt = string
+
+val canonical_join : string list -> string
+(** Unambiguous (length-prefixed) join of encodings: distinct tuples
+    never collide even when encodings contain separator bytes. *)
+
+(** {1 State census} *)
+
+type census
+
+val create_census : n:int -> census
+(** Census over [n] servers.  @raise Invalid_argument when [n < 1]. *)
+
+val observe : census -> string array -> unit
+(** Record the encodings of all [n] servers at one execution point;
+    also tracks the joint tuple.
+    @raise Invalid_argument on a wrong-length array. *)
+
+val observe_subset : census -> subset:int list -> string array -> unit
+(** Record only the projection onto [subset] (the sets [N] of the
+    theorems); the joint tuple is the projected one. *)
+
+val distinct_counts : census -> int array
+(** Per-server number of distinct observed states. *)
+
+val joint_count : census -> int
+(** Number of distinct observed joint tuples. *)
+
+val log2_counts : census -> float array
+(** Per-server [log2 #states] — the paper's storage cost, measured. *)
+
+val total_bits : census -> float
+(** [sum_i log2 #states_i], the census estimate of TotalStorage. *)
+
+val joint_bits : census -> float
+(** [log2 #joint]; at most {!total_bits}, at least the counting lower
+    bounds when the experiment's injectivity holds. *)
+
+(** {1 Peak encoded-bits tracking} *)
+
+type peak
+
+val create_peak : unit -> peak
+
+val peak_observer :
+  ('ss, 'cs, 'm) Engine.Types.algo -> peak -> ('ss, 'cs, 'm) Engine.Config.t -> unit
+(** Observer for {!Engine.Driver.run}: records the peak total and
+    per-server natural-encoding storage over all visited points. *)
+
+val peak_total : peak -> int
+(** Peak total bits across non-failed servers. *)
+
+val peak_max_server : peak -> int
+val peak_samples : peak -> int
+
+val normalized : peak -> value_len:int -> float
+(** Peak total divided by the value size in bits: directly comparable
+    to the Figure 1 y-axis.  @raise Invalid_argument on
+    [value_len <= 0]. *)

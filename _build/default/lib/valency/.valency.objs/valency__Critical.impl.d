@@ -1,0 +1,1 @@
+lib/valency/critical.ml: Array Engine Float Format Fun List Printf Probe Set Storage String

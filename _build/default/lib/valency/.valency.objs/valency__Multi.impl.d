@@ -1,0 +1,1 @@
+lib/valency/multi.ml: Array Bounds Engine Float Format Fun List Printf Probe Set Storage String

@@ -1,0 +1,1 @@
+lib/valency/multi.mli: Engine Format

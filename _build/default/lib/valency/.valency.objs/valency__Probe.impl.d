@@ -1,0 +1,1 @@
+lib/valency/probe.ml: Engine List Set String

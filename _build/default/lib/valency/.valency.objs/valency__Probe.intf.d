@@ -1,0 +1,1 @@
+lib/valency/probe.mli: Engine Set

@@ -1,0 +1,1 @@
+lib/valency/singleton.ml: Array Engine Float Format Fun List Set Storage String

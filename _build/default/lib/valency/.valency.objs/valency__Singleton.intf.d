@@ -1,0 +1,1 @@
+lib/valency/singleton.mli: Engine Format

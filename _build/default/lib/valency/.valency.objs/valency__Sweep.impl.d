@@ -1,0 +1,1 @@
+lib/valency/sweep.ml: Algorithms Critical Engine Format List Multi Singleton Workload

@@ -1,0 +1,1 @@
+lib/valency/sweep.mli: Format

@@ -1,0 +1,73 @@
+(** Executable Theorems 4.1 and 5.1: critical pairs and the two-write
+    counting argument.
+
+    For every ordered pair (v1, v2) of distinct values the execution
+    alpha(v1,v2) is built (f failures, complete write of v1, traced
+    write of v2), the critical pair (Q1, Q2) — last 1-valent point and
+    its non-1-valent successor — located by valency probes, and the
+    paper's tuple S(v1,v2) extracted.  The theorems assert the tuple
+    map is injective over ordered pairs; the report verifies it and
+    evaluates the induced counting inequality on the observed census. *)
+
+(** Which theorem's setting: [No_gossip] compares server states at the
+    critical points themselves (Theorem 4.1, Lemma 4.8 guarantees at
+    most one change); [Gossip] first applies the gossip closure of
+    Definition 5.3 and compares the R points (Theorem 5.1). *)
+type mode = No_gossip | Gossip
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type pair_result = {
+  v1 : string;
+  v2 : string;
+  critical_index : int;  (** index of Q1 among the traced points *)
+  changed : int list;  (** servers whose state differs across the pair *)
+  tuple : string;  (** canonical encoding of S(v1,v2) *)
+}
+
+type report = {
+  algo_name : string;
+  mode : mode;
+  n : int;
+  f : int;
+  v_count : int;
+  pairs : int;  (** ordered pairs exercised, |V|(|V|-1) *)
+  distinct_tuples : int;
+  injective : bool;
+  max_changed : int;
+      (** most servers changing across any critical pair.  Lemma 4.8
+          requires <= 1 without gossip; with gossip the paper's
+          constant 2 assumes one-message-per-action automata, so the
+          counting inequality below uses the observed value. *)
+  census_lhs_bits : float;
+      (** measured [sum log2 #states + extra * max log2 #states] *)
+  bound_rhs_bits : float;
+      (** [log2 |V| + log2(|V|-1) - extra * log2(n-f)] *)
+  satisfied : bool;
+  anomalies : string list;  (** pairs where no critical pair was found *)
+}
+
+val run_pair :
+  ?seed:int ->
+  ?seeds:int list ->
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  Engine.Types.params ->
+  mode:mode ->
+  string * string ->
+  (pair_result * string array * string array, string) result
+(** One ordered pair: returns the pair result plus the tuple-state
+    arrays at Q1 and Q2 (post-closure in [Gossip] mode), or an error
+    when the sanity conditions of Lemma 4.6 fail under probing. *)
+
+val run :
+  ?seed:int ->
+  ?seeds:int list ->
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  Engine.Types.params ->
+  mode:mode ->
+  domain:string list ->
+  report
+(** The full census over all ordered pairs of the domain.
+    @raise Invalid_argument with fewer than two values. *)
+
+val pp : Format.formatter -> report -> unit

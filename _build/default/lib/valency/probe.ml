@@ -1,0 +1,106 @@
+(** Valency probing: deciding which values a read operation can return
+    from a given point of an execution.
+
+    A point [P] of execution alpha is {e k-valent} (Definitions 4.3 and
+    5.3 of the paper) when {e some} extension of alpha from [P] — in
+    which designated clients and their channels take no further steps —
+    contains a read that returns [v_k].  Deciding an existential over
+    all extensions is infeasible, so we probe with a bundle of
+    scheduler seeds: a value observed by any probe certainly {e is}
+    returnable.  This under-approximation is sound for the census
+    experiments, which only ever use "P is 1-valent" positively (the
+    paper's counting argument needs the critical pair to exist, and
+    probing finds one whenever the protocol's reads are
+    schedule-insensitive at the probed points, as is the case for the
+    quorum protocols shipped here). *)
+
+module String_set = Set.Make (String)
+
+let default_seeds = [ 1; 7; 42; 1337 ]
+
+(** [returnable algo config ~reader ~frozen ~gossip_drain ~seeds] —
+    the set of values observed by read probes launched at this point.
+
+    Each probe branches the (persistent) configuration: freezes the
+    [frozen] endpoints ("messages from and to the writer are delayed
+    indefinitely"), optionally first lets the server-to-server channels
+    deliver all their messages (the gossip closure of Definition 5.3),
+    then invokes a read at client [reader] and runs to completion. *)
+let returnable ?(seeds = default_seeds) ?(max_steps = 200_000) algo config
+    ~reader ~frozen ~gossip_drain =
+  List.fold_left
+    (fun acc seed ->
+      let rng = Engine.Driver.rng_of_seed seed in
+      let c = Engine.Config.freeze_all config frozen in
+      let c =
+        if gossip_drain then Engine.Driver.drain_gossip ~max_steps algo c ~rng
+        else c
+      in
+      match
+        Engine.Driver.run_op ~max_steps algo c ~client:reader ~op:Engine.Types.Read ~rng
+      with
+      | Some (Engine.Types.Read_ack v), _ -> String_set.add v acc
+      | Some Engine.Types.Write_ack, _ ->
+          invalid_arg "Probe.returnable: read answered with a write ack"
+      | None, _ -> acc)
+    String_set.empty seeds
+
+(** [is_valent ... ~value] — true when some probe returns [value]
+    (hence the point is certainly valent for it). *)
+let is_valent ?seeds ?max_steps algo config ~reader ~frozen ~gossip_drain ~value =
+  String_set.mem value
+    (returnable ?seeds ?max_steps algo config ~reader ~frozen ~gossip_drain)
+
+(** The partial-restriction probe of Section 6.4.2: clients in
+    [vblocked] may keep acting and receiving, but their
+    value-{e dependent} messages are never delivered ("the writers in
+    Cw - C0 do not send any value-dependent messages, the channels from
+    the writers in Cw - C0 do not deliver any value-dependent
+    messages").  Returns the set of values read probes observe.
+
+    A point is [(j, C0)]-valent in the paper's sense whenever
+    [v_j] appears in [returnable_blocked ~vblocked:(Cw - C0)]. *)
+let returnable_blocked ?(seeds = default_seeds) ?(max_steps = 200_000)
+    ?(frozen = []) ?classify algo config ~reader ~vblocked =
+  let is_withheld =
+    match classify with
+    | Some f -> f
+    | None -> algo.Engine.Types.is_value_dependent
+  in
+  let allow ~src ~dst:_ m =
+    match src with
+    | Engine.Types.Client i -> (not (List.mem i vblocked)) || not (is_withheld m)
+    | Engine.Types.Server _ -> true
+  in
+  List.fold_left
+    (fun acc seed ->
+      let rng = Engine.Driver.rng_of_seed seed in
+      let config = Engine.Config.freeze_all config frozen in
+      (* The read of the (j, C0)-valency definition may begin at any
+         point of the extension; the witnessing extensions of Lemma
+         6.11 first let the unrestricted write operations run to
+         completion.  So: run the constrained system until quiescent,
+         then launch the read. *)
+      let config, _ =
+        Engine.Driver.run_allowed ~max_steps algo config ~rng
+          ~stop:(fun _ -> false)
+          ~allow
+      in
+      let _, c = Engine.Config.invoke algo config ~client:reader Engine.Types.Read in
+      let stop c = Engine.Config.pending_op c reader = None in
+      let c, outcome = Engine.Driver.run_allowed ~max_steps algo c ~rng ~stop ~allow in
+      match outcome with
+      | Engine.Driver.Stopped -> (
+          let events = List.rev (Engine.Config.history c) in
+          let rec find = function
+            | Engine.Types.Respond
+                { client; response = Engine.Types.Read_ack v; _ }
+              :: _
+              when client = reader ->
+                Some v
+            | _ :: rest -> find rest
+            | [] -> None
+          in
+          match find events with Some v -> String_set.add v acc | None -> acc)
+      | Engine.Driver.Quiescent | Engine.Driver.Step_limit -> acc)
+    String_set.empty seeds

@@ -1,0 +1,65 @@
+(** Valency probing: deciding which values a read can return from a
+    point of an execution.
+
+    A point [P] is {e k-valent} (Definitions 4.3 and 5.3) when some
+    extension of the execution from [P] — with designated clients and
+    channels suspended — contains a read returning [v_k].  Deciding an
+    existential over all extensions is infeasible, so probes sample a
+    bundle of scheduler seeds: any value a probe observes certainly
+    {e is} returnable.  The under-approximation is sound for the census
+    experiments, which only use valency positively. *)
+
+module String_set : Set.S with type elt = string
+
+val default_seeds : int list
+
+val returnable :
+  ?seeds:int list ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  ('ss, 'cs, 'm) Engine.Config.t ->
+  reader:int ->
+  frozen:Engine.Types.endpoint list ->
+  gossip_drain:bool ->
+  String_set.t
+(** Values observed by read probes at this point.  Each probe branches
+    the configuration, freezes [frozen] ("messages from and to the
+    writer are delayed indefinitely"), optionally applies the gossip
+    closure first (Definition 5.3), then runs a read at client
+    [reader] to completion. *)
+
+val is_valent :
+  ?seeds:int list ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  ('ss, 'cs, 'm) Engine.Config.t ->
+  reader:int ->
+  frozen:Engine.Types.endpoint list ->
+  gossip_drain:bool ->
+  value:string ->
+  bool
+(** Some probe returned [value]: the point is certainly valent for it. *)
+
+val returnable_blocked :
+  ?seeds:int list ->
+  ?max_steps:int ->
+  ?frozen:Engine.Types.endpoint list ->
+  ?classify:('m -> bool) ->
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  ('ss, 'cs, 'm) Engine.Config.t ->
+  reader:int ->
+  vblocked:int list ->
+  String_set.t
+(** The partial-restriction probe of Section 6.4.2: clients in
+    [vblocked] keep acting and receiving, but their value-dependent
+    messages are never delivered.  The constrained system first runs to
+    quiescence (letting unrestricted writes complete, as in Lemma
+    6.11's witnessing extensions), then the read is launched.  A point
+    is [(j, C0)]-valent whenever [v_j] appears with
+    [vblocked = Cw - C0].
+
+    [classify] overrides the algorithm's value-dependence predicate:
+    the Section 6.5 conjecture withholds only the Theta(|V|)-sized
+    value-dependent messages while o(log |V|) digests flow freely —
+    pass a predicate selecting the bulk messages to probe that modified
+    adversary. *)

@@ -1,0 +1,90 @@
+(** Executable form of Theorem B.1 (Appendix B): the Singleton-style
+    storage bound.
+
+    For every value [v] in the domain we build the paper's execution
+    alpha(v): fail [f] chosen servers at the start, run a complete
+    write of [v], deliver all remaining messages, and record the joint
+    state of the [n - f] surviving servers at the quiescent point
+    P(v).  Regularity forces a subsequent read to recover [v] from
+    those servers alone, so the map [v -> joint state] must be
+    injective — giving at least [|V|] joint states and hence
+    [sum over N of log2 |S_n| >= log2 |V|].
+
+    The report records the measured census and whether the counting
+    succeeded; [read_back_ok] additionally witnesses the regularity
+    premise by actually running the read. *)
+
+type report = {
+  algo_name : string;
+  n : int;
+  f : int;
+  v_count : int;  (** |V| — number of domain values exercised *)
+  distinct_joint : int;  (** observed distinct joint states of the n-f servers *)
+  injective : bool;  (** [distinct_joint = v_count] *)
+  read_back_ok : bool;  (** every read probe returned its written value *)
+  per_server_states : int array;  (** census sizes for the surviving servers *)
+  census_total_bits : float;  (** sum of log2 census over surviving servers *)
+  bound_bits : float;  (** log2 |V| — the Theorem B.1 right-hand side *)
+  satisfied : bool;  (** [census_total_bits >= bound_bits] *)
+}
+
+let log2 x = Float.log (float_of_int x) /. Float.log 2.0
+
+(** [run algo params ~domain ~seed] executes the Theorem B.1 adversary
+    against [algo].  [domain] is the value set V (all values must have
+    [params.value_len] bytes).  The failed servers are the last [f]. *)
+let run ?(seed = 1) algo (params : Engine.Types.params) ~domain =
+  if domain = [] then invalid_arg "Singleton.run: empty domain";
+  let alive = List.init (params.n - params.f) Fun.id in
+  let module SS = Set.Make (String) in
+  let joint = ref SS.empty in
+  let census = Storage.create_census ~n:params.n in
+  let read_back_ok = ref true in
+  List.iter
+    (fun v ->
+      let c = Engine.Config.make algo params ~clients:2 in
+      let c =
+        List.fold_left
+          (fun c i -> Engine.Config.fail_server c i)
+          c
+          (List.init params.f (fun i -> params.n - 1 - i))
+      in
+      let rng = Engine.Driver.rng_of_seed seed in
+      let c = Engine.Driver.write_exn algo c ~client:0 ~value:v ~rng in
+      (* the paper's point P(v): all channels have delivered *)
+      let c, _ = Engine.Driver.run_to_quiescence algo c ~rng in
+      let enc = Engine.Config.server_encodings algo c in
+      Storage.observe_subset census ~subset:alive enc;
+      joint := SS.add (Storage.canonical_join (List.map (fun i -> enc.(i)) alive)) !joint;
+      (* regularity premise: a read now must return v *)
+      let got, _ = Engine.Driver.read_exn algo c ~client:1 ~rng in
+      if got <> v then read_back_ok := false)
+    domain;
+  let counts = Storage.distinct_counts census in
+  let per_server_states = Array.of_list (List.map (fun i -> counts.(i)) alive) in
+  let census_total_bits =
+    Array.fold_left (fun acc k -> acc +. log2 k) 0.0 per_server_states
+  in
+  let v_count = List.length domain in
+  let bound_bits = log2 v_count in
+  {
+    algo_name = algo.Engine.Types.name;
+    n = params.n;
+    f = params.f;
+    v_count;
+    distinct_joint = SS.cardinal !joint;
+    injective = SS.cardinal !joint = v_count;
+    read_back_ok = !read_back_ok;
+    per_server_states;
+    census_total_bits;
+    bound_bits;
+    satisfied = census_total_bits >= bound_bits -. 1e-9;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>Theorem B.1 census: %s (n=%d f=%d)@,\
+     |V|=%d  joint states=%d  injective=%b  reads ok=%b@,\
+     census total=%.3f bits  bound=%.3f bits  satisfied=%b@]"
+    r.algo_name r.n r.f r.v_count r.distinct_joint r.injective r.read_back_ok
+    r.census_total_bits r.bound_bits r.satisfied

@@ -1,0 +1,32 @@
+(** Executable Theorem B.1 (Appendix B): the Singleton-style bound
+    [sum over any N-f servers of log2 |S_n| >= log2 |V|].
+
+    For each domain value the adversary fails [f] servers, completes a
+    write, quiesces, and records the joint state of the survivors;
+    regularity forces the map value -> joint state to be injective. *)
+
+type report = {
+  algo_name : string;
+  n : int;
+  f : int;
+  v_count : int;  (** |V| — domain values exercised *)
+  distinct_joint : int;  (** distinct joint states observed *)
+  injective : bool;  (** [distinct_joint = v_count] — the counting core *)
+  read_back_ok : bool;  (** every read returned its written value *)
+  per_server_states : int array;  (** census sizes, surviving servers *)
+  census_total_bits : float;  (** measured [sum log2 #states] *)
+  bound_bits : float;  (** the theorem's RHS, [log2 |V|] *)
+  satisfied : bool;  (** census >= bound *)
+}
+
+val run :
+  ?seed:int ->
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  Engine.Types.params ->
+  domain:string list ->
+  report
+(** Run the adversary against [algo]; the failed servers are the last
+    [f].  Domain values must have [params.value_len] bytes.
+    @raise Invalid_argument on an empty domain. *)
+
+val pp : Format.formatter -> report -> unit

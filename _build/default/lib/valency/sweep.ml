@@ -1,0 +1,120 @@
+(** Parameter-grid sweeps of the census experiments.
+
+    The theorems hold for every (n, f, |V|); a sweep runs one
+    experiment family across a grid and reports each cell's verdicts,
+    so a single table shows the counting arguments holding (or an
+    implementation regression breaking them) across the parameter
+    space.  Used by the benchmark harness and the CLI. *)
+
+type cell = {
+  n : int;
+  f : int;
+  v : int;  (** domain size |V| (for Thm 6.5: excluding the initial value) *)
+  algo_name : string;
+  injective : bool;
+  satisfied : bool;
+  anomalies : int;
+  census_bits : float;  (** the experiment's measured left-hand side *)
+  bound_bits : float;  (** the theorem's right-hand side *)
+}
+
+type grid = { experiment : string; cells : cell list }
+
+let domain_of v = Workload.small_domain ~base:v ~len:1
+
+(** Theorem B.1 sweep over the regular SWSR protocol. *)
+let singleton ?(pairs = [ (3, 1); (4, 1); (5, 2) ]) ?(vs = [ 2; 4 ]) () =
+  let cells =
+    List.concat_map
+      (fun (n, f) ->
+        List.map
+          (fun v ->
+            let params = Engine.Types.params ~n ~f ~value_len:1 () in
+            let r =
+              Singleton.run Algorithms.Abd.regular_algo params ~domain:(domain_of v)
+            in
+            {
+              n;
+              f;
+              v;
+              algo_name = r.Singleton.algo_name;
+              injective = r.Singleton.injective;
+              satisfied = r.Singleton.satisfied;
+              anomalies = (if r.Singleton.read_back_ok then 0 else 1);
+              census_bits = r.Singleton.census_total_bits;
+              bound_bits = r.Singleton.bound_bits;
+            })
+          vs)
+      pairs
+  in
+  { experiment = "thm-b1"; cells }
+
+(** Theorem 4.1 sweep (no-gossip critical pairs). *)
+let critical ?(pairs = [ (3, 1); (5, 2) ]) ?(vs = [ 2; 3 ]) () =
+  let cells =
+    List.concat_map
+      (fun (n, f) ->
+        List.map
+          (fun v ->
+            let params = Engine.Types.params ~n ~f ~value_len:1 () in
+            let r =
+              Critical.run Algorithms.Abd.regular_algo params
+                ~mode:Critical.No_gossip ~domain:(domain_of v)
+            in
+            {
+              n;
+              f;
+              v;
+              algo_name = r.Critical.algo_name;
+              injective = r.Critical.injective;
+              satisfied = r.Critical.satisfied;
+              anomalies = List.length r.Critical.anomalies;
+              census_bits = r.Critical.census_lhs_bits;
+              bound_bits = r.Critical.bound_rhs_bits;
+            })
+          vs)
+      pairs
+  in
+  { experiment = "thm-41"; cells }
+
+(** Theorem 6.5 sweep over CAS with nu = 2. *)
+let multi ?(geometries = [ (4, 1, 2); (6, 2, 2) ]) ?(vs = [ 3; 4 ]) () =
+  let cells =
+    List.concat_map
+      (fun (n, f, k) ->
+        List.map
+          (fun v ->
+            let params = Engine.Types.params ~n ~f ~k ~delta:2 ~value_len:1 () in
+            let r =
+              Multi.run Algorithms.Cas.algo params ~nu:2 ~domain:(domain_of v)
+            in
+            {
+              n;
+              f;
+              v;
+              algo_name = r.Multi.algo_name;
+              injective = r.Multi.injective;
+              satisfied = r.Multi.satisfied;
+              anomalies = List.length r.Multi.anomalies;
+              census_bits = r.Multi.census_sum_bits;
+              bound_bits = r.Multi.bound_rhs_bits;
+            })
+          vs)
+      geometries
+  in
+  { experiment = "thm-65"; cells }
+
+let all_pass g =
+  List.for_all (fun c -> c.injective && c.satisfied && c.anomalies = 0) g.cells
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>%s sweep (%d cells)@,%4s %4s %4s  %-14s %5s %5s %5s %10s %10s@,"
+    g.experiment (List.length g.cells) "n" "f" "|V|" "algo" "inj" "sat" "anom"
+    "census" "bound";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%4d %4d %4d  %-14s %5b %5b %5d %10.3f %10.3f@," c.n
+        c.f c.v c.algo_name c.injective c.satisfied c.anomalies c.census_bits
+        c.bound_bits)
+    g.cells;
+  Format.fprintf fmt "@]"

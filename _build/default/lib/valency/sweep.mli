@@ -1,0 +1,32 @@
+(** Parameter-grid sweeps of the census experiments: run one experiment
+    family across (n, f, |V|) and report per-cell verdicts, so a single
+    table shows the counting arguments holding across the parameter
+    space. *)
+
+type cell = {
+  n : int;
+  f : int;
+  v : int;  (** domain size (Thm 6.5: excluding the initial value) *)
+  algo_name : string;
+  injective : bool;
+  satisfied : bool;
+  anomalies : int;
+  census_bits : float;  (** measured left-hand side *)
+  bound_bits : float;  (** theorem right-hand side *)
+}
+
+type grid = { experiment : string; cells : cell list }
+
+val singleton : ?pairs:(int * int) list -> ?vs:int list -> unit -> grid
+(** Theorem B.1 over the regular SWSR protocol; [pairs] are (n, f). *)
+
+val critical : ?pairs:(int * int) list -> ?vs:int list -> unit -> grid
+(** Theorem 4.1 (no-gossip critical pairs). *)
+
+val multi : ?geometries:(int * int * int) list -> ?vs:int list -> unit -> grid
+(** Theorem 6.5 over CAS at nu = 2; [geometries] are (n, f, k). *)
+
+val all_pass : grid -> bool
+(** Every cell injective, satisfied, anomaly-free. *)
+
+val pp : Format.formatter -> grid -> unit

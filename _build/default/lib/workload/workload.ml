@@ -1,0 +1,172 @@
+(** Workload generation and end-to-end experiment drivers.
+
+    The paper's bounds quantify over execution families — e.g. "all
+    executions with at most [nu] active writes" (Theorem 6.5) or fair
+    executions with at most [f] failures.  This module generates such
+    executions against a concrete algorithm: unique-valued operation
+    scripts, random concurrent interleavings, crash schedules, and the
+    staggered-writer pattern that maximizes active-write concurrency. *)
+
+open Engine.Types
+
+(** [unique_values ~count ~len ~seed] — pairwise-distinct values of
+    exactly [len] bytes (printable, so histories read well).  Required
+    by the polynomial atomicity checker. *)
+let unique_values ~count ~len ~seed =
+  if len < 1 && count > 1 then
+    invalid_arg "Workload.unique_values: need len >= 1 for distinct values";
+  let rng = Random.State.make [| seed; 0xda7a |] in
+  let seen = Hashtbl.create count in
+  let rec fresh () =
+    let b = Bytes.init len (fun _ -> Char.chr (33 + Random.State.int rng 94)) in
+    let s = Bytes.to_string b in
+    if Hashtbl.mem seen s then fresh ()
+    else begin
+      Hashtbl.add seen s ();
+      s
+    end
+  in
+  List.init count (fun _ -> fresh ())
+
+(** The whole value domain for exhaustive small-|V| experiments:
+    [pow_base^len] values... practically, all strings of length [len]
+    over the alphabet ['a' .. 'a' + base - 1].  [|V| = base^len]. *)
+let small_domain ~base ~len =
+  if base < 1 || base > 26 then invalid_arg "Workload.small_domain: base in [1,26]";
+  if len < 0 then invalid_arg "Workload.small_domain: negative len";
+  let rec go len =
+    if len = 0 then [ "" ]
+    else
+      let rest = go (len - 1) in
+      List.concat_map
+        (fun c -> List.map (fun s -> String.make 1 c ^ s) rest)
+        (List.init base (fun i -> Char.chr (Char.code 'a' + i)))
+  in
+  go len
+
+(** A per-client script of operations. *)
+type script = { client : int; ops : op list }
+
+(** Run scripts to completion with random overlap: an idle client with
+    remaining operations invokes its next one with probability 1/2
+    whenever the scheduler visits it.  Crashes [failures] servers at
+    random points.  Returns the final configuration (history included).
+    An observer sees every configuration, including intermediate
+    ones. *)
+let run_scripts ?observer ?(max_steps = 2_000_000) ?(failures = []) algo config
+    scripts ~seed =
+  let rng = Engine.Driver.rng_of_seed seed in
+  let queues = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem queues s.client then
+        invalid_arg "Workload.run_scripts: duplicate client script";
+      Hashtbl.replace queues s.client s.ops)
+    scripts;
+  let to_fail = ref failures in
+  let steps = ref 0 in
+  let rec loop c =
+    incr steps;
+    if !steps > max_steps then c
+    else begin
+      (* maybe crash a server *)
+      let c =
+        match !to_fail with
+        | s :: rest when Random.State.int rng 100 < 2 ->
+            to_fail := rest;
+            Engine.Config.fail_server c s
+        | _ -> c
+      in
+      (* maybe invoke pending scripts *)
+      let c =
+        Hashtbl.fold
+          (fun client ops c ->
+            match ops with
+            | op :: rest
+              when Engine.Config.pending_op c client = None
+                   && Random.State.bool rng ->
+                Hashtbl.replace queues client rest;
+                snd (Engine.Config.invoke algo c ~client op)
+            | _ -> c)
+          queues c
+      in
+      (* one delivery step *)
+      let acts = Engine.Config.enabled c in
+      let c, progressed =
+        match acts with
+        | [] -> (c, false)
+        | _ -> (
+            let act = List.nth acts (Random.State.int rng (List.length acts)) in
+            match Engine.Config.step_deliver algo c act with
+            | Some c' ->
+                (match observer with Some f -> f c' | None -> ());
+                (c', true)
+            | None -> (c, false))
+      in
+      let scripts_left = Hashtbl.fold (fun _ ops acc -> acc || ops <> []) queues false in
+      let pending_left =
+        List.exists
+          (fun s -> Engine.Config.pending_op c s.client <> None)
+          scripts
+      in
+      if (not progressed) && not scripts_left then c
+      else if (not scripts_left) && not pending_left then c
+      else loop c
+    end
+  in
+  loop config
+
+(** The maximal-concurrency pattern behind the Figure 1 x-axis:
+    [nu] distinct writers all invoke distinct values before any message
+    is delivered, so all [nu] writes are simultaneously active; then the
+    system runs fairly until all complete.  Returns the final config. *)
+let concurrent_writes ?observer ?max_steps algo config ~values ~seed =
+  let rng = Engine.Driver.rng_of_seed seed in
+  let c, clients =
+    List.fold_left
+      (fun (c, clients) (client, v) ->
+        let _, c = Engine.Config.invoke algo c ~client (Write v) in
+        (c, client :: clients))
+      (config, [])
+      (List.mapi (fun i v -> (i, v)) values)
+  in
+  let stop c =
+    List.for_all (fun cl -> Engine.Config.pending_op c cl = None) clients
+  in
+  let c, outcome = Engine.Driver.run ?observer ?max_steps algo c ~rng ~stop in
+  match outcome with
+  | Engine.Driver.Stopped -> c
+  | Engine.Driver.Quiescent | Engine.Driver.Step_limit ->
+      failwith "Workload.concurrent_writes: writes did not all terminate"
+
+(** Crash schedule: [f] distinct random servers. *)
+let random_failures ~n ~f ~seed =
+  let rng = Random.State.make [| seed; 0xfa11 |] in
+  let all = Array.init n Fun.id in
+  (* Fisher-Yates prefix shuffle *)
+  for i = 0 to min f (n - 1) - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let t = all.(i) in
+    all.(i) <- all.(j);
+    all.(j) <- t
+  done;
+  Array.to_list (Array.sub all 0 f)
+
+(** Split [values] into alternating write scripts for [writers] clients
+    plus [reads_per_reader] reads for each of [readers] clients (client
+    ids continue after the writers'). *)
+let mixed_scripts ~writers ~readers ~values ~reads_per_reader =
+  if writers < 1 then invalid_arg "Workload.mixed_scripts: need a writer";
+  let write_scripts =
+    List.init writers (fun w ->
+        let ops =
+          List.filteri (fun i _ -> i mod writers = w) values
+          |> List.map (fun v -> Write v)
+        in
+        { client = w; ops })
+  in
+  let read_scripts =
+    List.init readers (fun r ->
+        { client = writers + r; ops = List.init reads_per_reader (fun _ -> Read) })
+  in
+  write_scripts @ read_scripts

@@ -1,0 +1,61 @@
+(** Workload generation and end-to-end experiment drivers.
+
+    The paper's bounds quantify over execution families — fair
+    executions with at most [f] failures, executions with at most [nu]
+    active writes (Theorem 6.5).  This module generates members of
+    those families against a concrete algorithm. *)
+
+val unique_values : count:int -> len:int -> seed:int -> string list
+(** Pairwise-distinct printable values of exactly [len] bytes,
+    deterministic in [seed].  Distinctness is what makes the atomicity
+    checker polynomial. *)
+
+val small_domain : base:int -> len:int -> string list
+(** The whole value set for exhaustive small-|V| experiments: all
+    strings of length [len] over the first [base] lowercase letters;
+    [|V| = base ^ len].  @raise Invalid_argument unless
+    [1 <= base <= 26] and [len >= 0]. *)
+
+(** A per-client operation script. *)
+type script = { client : int; ops : Engine.Types.op list }
+
+val run_scripts :
+  ?observer:(('ss, 'cs, 'm) Engine.Config.t -> unit) ->
+  ?max_steps:int ->
+  ?failures:int list ->
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  ('ss, 'cs, 'm) Engine.Config.t ->
+  script list ->
+  seed:int ->
+  ('ss, 'cs, 'm) Engine.Config.t
+(** Run all scripts to completion with random overlap; servers in
+    [failures] crash at random points.  The final configuration's
+    history is the workload's concurrent history.
+    @raise Invalid_argument on duplicate client scripts. *)
+
+val concurrent_writes :
+  ?observer:(('ss, 'cs, 'm) Engine.Config.t -> unit) ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  ('ss, 'cs, 'm) Engine.Config.t ->
+  values:string list ->
+  seed:int ->
+  ('ss, 'cs, 'm) Engine.Config.t
+(** The maximal-concurrency pattern of the Figure 1 x-axis: client [i]
+    writes the [i]-th value, all invoked before any delivery, so all
+    writes are simultaneously active; runs until all complete.
+    @raise Failure when some write does not terminate. *)
+
+val random_failures : n:int -> f:int -> seed:int -> int list
+(** [f] distinct random server indices. *)
+
+val mixed_scripts :
+  writers:int ->
+  readers:int ->
+  values:string list ->
+  reads_per_reader:int ->
+  script list
+(** Deal [values] round-robin to [writers] write scripts (clients
+    [0 .. writers-1]) and give each of [readers] clients
+    [reads_per_reader] reads.  @raise Invalid_argument without a
+    writer. *)

@@ -1,0 +1,1 @@
+test/test_abd_protocol.ml: Abd Abd_mw Alcotest Algorithms Common Engine List

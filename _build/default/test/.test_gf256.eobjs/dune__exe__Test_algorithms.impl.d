@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Algorithms Array Config Consistency Driver Engine Fun List Printf QCheck QCheck_alcotest Storage String Types Workload

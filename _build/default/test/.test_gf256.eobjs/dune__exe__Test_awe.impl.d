@@ -1,0 +1,1 @@
+test/test_awe.ml: Alcotest Algorithms Bytes Config Consistency Driver Engine List QCheck QCheck_alcotest Types Valency Workload

@@ -1,0 +1,1 @@
+test/test_cas_protocol.ml: Alcotest Algorithms Bytes Cas Common Engine Erasure List String

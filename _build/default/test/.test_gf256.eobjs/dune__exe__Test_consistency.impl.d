@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Char Checker Consistency Engine Format Fun History List Option QCheck QCheck_alcotest String

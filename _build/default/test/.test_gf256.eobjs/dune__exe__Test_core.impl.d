@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Algorithms Bounds Core List Valency

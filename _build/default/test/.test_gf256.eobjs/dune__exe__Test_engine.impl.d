@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Algorithms Config Driver Engine Fqueue List Option QCheck QCheck_alcotest String Types

@@ -1,0 +1,1 @@
+test/test_erasure.ml: Alcotest Array Bytes Char Erasure List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Algorithms Config Consistency Engine Explore List String Types

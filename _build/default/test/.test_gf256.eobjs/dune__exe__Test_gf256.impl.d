@@ -1,0 +1,1 @@
+test/test_gf256.ml: Alcotest Bytes Char Gf256 List QCheck QCheck_alcotest String

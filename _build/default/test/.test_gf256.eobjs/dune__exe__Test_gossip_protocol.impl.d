@@ -1,0 +1,1 @@
+test/test_gossip_protocol.ml: Alcotest Algorithms Awe Bytes Common Engine Gossip_rep List Option Printf

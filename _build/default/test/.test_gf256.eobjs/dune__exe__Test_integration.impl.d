@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Algorithms Bounds Config Consistency Core Driver Engine Erasure Explore List Metrics Option Printf Quorum Types Valency Workload

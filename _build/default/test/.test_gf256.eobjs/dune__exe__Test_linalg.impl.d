@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Format Linalg List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest List Printf QCheck QCheck_alcotest Quorum

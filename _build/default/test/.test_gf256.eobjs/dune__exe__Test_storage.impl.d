@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Algorithms Engine List QCheck QCheck_alcotest Storage

@@ -1,0 +1,1 @@
+test/test_valency.ml: Alcotest Algorithms Array Char Config Driver Engine Format List Option QCheck QCheck_alcotest Str String Types Valency

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Algorithms Config Driver Engine List Stdlib Str String Types Viz

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Algorithms Consistency Engine Float List QCheck QCheck_alcotest String Workload

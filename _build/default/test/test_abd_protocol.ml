@@ -1,0 +1,252 @@
+(* Fine-grained unit tests for the ABD state machines (single- and
+   multi-writer): individual server and client transitions, quorum
+   counting, stale-round handling, tag ordering. *)
+
+open Engine.Types
+open Algorithms
+
+let params = Engine.Types.params ~n:5 ~f:2 ~value_len:3 ()
+let init = Common.initial_value params
+
+(* ----- tags ----- *)
+
+let test_tag_order () =
+  let open Common in
+  Alcotest.(check bool) "tag0 smallest" true (tag_lt tag0 { seq = 1; cid = 0 });
+  Alcotest.(check bool) "seq dominates" true
+    (tag_lt { seq = 1; cid = 9 } { seq = 2; cid = 0 });
+  Alcotest.(check bool) "cid breaks ties" true
+    (tag_lt { seq = 2; cid = 0 } { seq = 2; cid = 1 });
+  Alcotest.(check bool) "not reflexive" false
+    (tag_lt { seq = 2; cid = 1 } { seq = 2; cid = 1 });
+  Alcotest.(check int) "compare consistent" 0
+    (tag_compare { seq = 3; cid = 4 } { seq = 3; cid = 4 });
+  let t = next_tag { seq = 7; cid = 2 } ~cid:5 in
+  Alcotest.(check int) "next seq" 8 t.seq;
+  Alcotest.(check int) "next cid" 5 t.cid;
+  Alcotest.(check string) "to_string" "7.2" (tag_to_string { seq = 7; cid = 2 })
+
+let test_quorums () =
+  Alcotest.(check int) "majority quorum" 3 (Common.majority_quorum params);
+  let pcas = Engine.Types.params ~n:5 ~f:1 ~k:3 ~value_len:3 () in
+  Alcotest.(check int) "cas quorum" 4 (Common.cas_quorum pcas);
+  (* ceil((9+3)/2) = 6 *)
+  let p9 = Engine.Types.params ~n:9 ~f:3 ~k:3 ~value_len:3 () in
+  Alcotest.(check int) "cas quorum 9" 6 (Common.cas_quorum p9)
+
+(* ----- server transitions ----- *)
+
+let test_server_put_monotone () =
+  let ss = Abd.{ tag = Common.{ seq = 3; cid = 0 }; value = "vvv" } in
+  (* a higher tag overwrites *)
+  let ss', out =
+    Abd.algo.on_server_msg params ~me:0 ss ~src:(Client 0)
+      (Abd.Put { rid = 7; tag = Common.{ seq = 4; cid = 0 }; value = "www" })
+  in
+  Alcotest.(check string) "updated" "www" ss'.Abd.value;
+  (match out with
+  | [ { dst = Client 0; payload = Abd.Put_ack { rid = 7 } } ] -> ()
+  | _ -> Alcotest.fail "expected a single ack echoing the round");
+  (* a lower tag is ignored but still acked *)
+  let ss'', out2 =
+    Abd.algo.on_server_msg params ~me:0 ss ~src:(Client 0)
+      (Abd.Put { rid = 8; tag = Common.{ seq = 2; cid = 0 }; value = "old" })
+  in
+  Alcotest.(check string) "not downgraded" "vvv" ss''.Abd.value;
+  Alcotest.(check int) "still acked" 1 (List.length out2);
+  (* equal tag is ignored too (idempotence) *)
+  let ss3, _ =
+    Abd.algo.on_server_msg params ~me:0 ss ~src:(Client 0)
+      (Abd.Put { rid = 9; tag = Common.{ seq = 3; cid = 0 }; value = "xxx" })
+  in
+  Alcotest.(check string) "equal tag no-op" "vvv" ss3.Abd.value
+
+let test_server_get () =
+  let ss = Abd.{ tag = Common.{ seq = 5; cid = 0 }; value = "abc" } in
+  let ss', out =
+    Abd.algo.on_server_msg params ~me:2 ss ~src:(Client 1) (Abd.Get { rid = 3 })
+  in
+  Alcotest.(check string) "state unchanged" "abc" ss'.Abd.value;
+  match out with
+  | [ { dst = Client 1; payload = Abd.Get_resp { rid = 3; tag; value } } ] ->
+      Alcotest.(check int) "tag echoed" 5 tag.Common.seq;
+      Alcotest.(check string) "value echoed" "abc" value
+  | _ -> Alcotest.fail "expected a single get response"
+
+let test_server_rejects_responses () =
+  let ss = Abd.algo.init_server params 0 in
+  Alcotest.check_raises "ack to server"
+    (Invalid_argument "Abd.on_server_msg: server got a response") (fun () ->
+      ignore (Abd.algo.on_server_msg params ~me:0 ss ~src:(Client 0) (Abd.Put_ack { rid = 0 })))
+
+(* ----- writer phase machine ----- *)
+
+let test_writer_needs_quorum () =
+  let cs = Abd.algo.init_client params 0 in
+  let cs, outs = Abd.algo.on_invoke params ~me:0 cs (Write "xyz") in
+  Alcotest.(check int) "broadcast to all" 5 (List.length outs);
+  (* two acks: not yet done *)
+  let cs, _, r1 =
+    Abd.algo.on_client_msg params ~me:0 cs ~src:(Server 0) (Abd.Put_ack { rid = 0 })
+  in
+  Alcotest.(check bool) "one ack pending" true (r1 = None);
+  let cs, _, r2 =
+    Abd.algo.on_client_msg params ~me:0 cs ~src:(Server 1) (Abd.Put_ack { rid = 0 })
+  in
+  Alcotest.(check bool) "two acks pending" true (r2 = None);
+  (* duplicate ack from the same server must not count twice *)
+  let cs, _, r2b =
+    Abd.algo.on_client_msg params ~me:0 cs ~src:(Server 1) (Abd.Put_ack { rid = 0 })
+  in
+  Alcotest.(check bool) "duplicate ignored" true (r2b = None);
+  let _, _, r3 =
+    Abd.algo.on_client_msg params ~me:0 cs ~src:(Server 4) (Abd.Put_ack { rid = 0 })
+  in
+  Alcotest.(check bool) "third distinct ack completes" true (r3 = Some Write_ack)
+
+let test_stale_round_ignored () =
+  let cs = Abd.algo.init_client params 0 in
+  let cs, _ = Abd.algo.on_invoke params ~me:0 cs (Write "one") in
+  (* complete the write *)
+  let cs =
+    List.fold_left
+      (fun cs s ->
+        let cs, _, _ =
+          Abd.algo.on_client_msg params ~me:0 cs ~src:(Server s) (Abd.Put_ack { rid = 0 })
+        in
+        cs)
+      cs [ 0; 1; 2 ]
+  in
+  (* invoke a second write; a stale rid-0 ack must not count *)
+  let cs, _ = Abd.algo.on_invoke params ~me:0 cs (Write "two") in
+  let cs, _, r =
+    Abd.algo.on_client_msg params ~me:0 cs ~src:(Server 3) (Abd.Put_ack { rid = 0 })
+  in
+  Alcotest.(check bool) "stale ack ignored" true (r = None);
+  (match cs.Abd.phase with
+  | Abd.Writing { acks; _ } ->
+      Alcotest.(check int) "no acks counted" 0 (Common.Int_set.cardinal acks)
+  | _ -> Alcotest.fail "should still be writing");
+  Alcotest.check_raises "double invoke"
+    (Invalid_argument "Abd.on_invoke: operation already in progress") (fun () ->
+      ignore (Abd.algo.on_invoke params ~me:0 cs (Write "three")))
+
+(* ----- reader phase machine ----- *)
+
+let test_reader_picks_max_tag_and_writes_back () =
+  let cs = Abd.algo.init_client params 1 in
+  let cs, outs = Abd.algo.on_invoke params ~me:1 cs Read in
+  Alcotest.(check int) "queries all" 5 (List.length outs);
+  let resp tag value =
+    Abd.Get_resp { rid = 0; tag = Common.{ seq = tag; cid = 0 }; value }
+  in
+  let cs, _, _ = Abd.algo.on_client_msg params ~me:1 cs ~src:(Server 0) (resp 1 "aaa") in
+  let cs, _, _ = Abd.algo.on_client_msg params ~me:1 cs ~src:(Server 1) (resp 3 "ccc") in
+  let cs, wb, r =
+    Abd.algo.on_client_msg params ~me:1 cs ~src:(Server 2) (resp 2 "bbb")
+  in
+  Alcotest.(check bool) "no response yet (write-back first)" true (r = None);
+  Alcotest.(check int) "write-back broadcast" 5 (List.length wb);
+  (match List.hd wb with
+  | { payload = Abd.Put { tag; value; _ }; _ } ->
+      Alcotest.(check int) "max tag wins" 3 tag.Common.seq;
+      Alcotest.(check string) "max value" "ccc" value
+  | _ -> Alcotest.fail "expected write-back puts");
+  (* write-back quorum completes the read *)
+  let ack = Abd.Put_ack { rid = 1 } in
+  let cs, _, _ = Abd.algo.on_client_msg params ~me:1 cs ~src:(Server 0) ack in
+  let cs, _, _ = Abd.algo.on_client_msg params ~me:1 cs ~src:(Server 1) ack in
+  let _, _, r = Abd.algo.on_client_msg params ~me:1 cs ~src:(Server 2) ack in
+  Alcotest.(check bool) "read returns max value" true (r = Some (Read_ack "ccc"))
+
+let test_regular_reader_skips_writeback () =
+  let algo = Abd.regular_algo in
+  let cs = Abd.algo.init_client params 1 in
+  let cs, _ = algo.on_invoke params ~me:1 cs Read in
+  let resp tag value =
+    Abd.Get_resp { rid = 0; tag = Common.{ seq = tag; cid = 0 }; value }
+  in
+  let cs, _, _ = algo.on_client_msg params ~me:1 cs ~src:(Server 0) (resp 1 "aaa") in
+  let cs, _, _ = algo.on_client_msg params ~me:1 cs ~src:(Server 1) (resp 2 "bbb") in
+  let _, outs, r = algo.on_client_msg params ~me:1 cs ~src:(Server 2) (resp 1 "aaa") in
+  Alcotest.(check bool) "responds at quorum" true (r = Some (Read_ack "bbb"));
+  Alcotest.(check int) "no write-back" 0 (List.length outs)
+
+(* ----- multi-writer specifics ----- *)
+
+let test_mw_writer_two_phases () =
+  let algo = Abd_mw.algo in
+  let cs = Abd_mw.algo.init_client params 2 in
+  let cs, q = algo.on_invoke params ~me:2 cs (Write "mwv") in
+  Alcotest.(check int) "tag query to all" 5 (List.length q);
+  (match List.hd q with
+  | { payload = Abd_mw.Get_tag _; _ } -> ()
+  | _ -> Alcotest.fail "phase 1 must be a tag query");
+  let tr seq cid = Abd_mw.Tag_resp { rid = 0; tag = Common.{ seq; cid } } in
+  let cs, _, _ = algo.on_client_msg params ~me:2 cs ~src:(Server 0) (tr 4 1) in
+  let cs, _, _ = algo.on_client_msg params ~me:2 cs ~src:(Server 1) (tr 2 0) in
+  let cs, puts, _ = algo.on_client_msg params ~me:2 cs ~src:(Server 2) (tr 1 9) in
+  Alcotest.(check int) "phase 2 broadcast" 5 (List.length puts);
+  (match List.hd puts with
+  | { payload = Abd_mw.Put { tag; _ }; _ } ->
+      Alcotest.(check int) "tag = max.seq + 1" 5 tag.Common.seq;
+      Alcotest.(check int) "tag cid = me" 2 tag.Common.cid
+  | _ -> Alcotest.fail "phase 2 must be puts");
+  ignore cs
+
+let test_mw_encoding_roundtrip_values () =
+  (* encode_server distinguishes tags and values *)
+  let s1 = Abd_mw.{ tag = Common.{ seq = 1; cid = 0 }; value = "aaa" } in
+  let s2 = Abd_mw.{ tag = Common.{ seq = 1; cid = 1 }; value = "aaa" } in
+  let s3 = Abd_mw.{ tag = Common.{ seq = 1; cid = 0 }; value = "bbb" } in
+  let e = Abd_mw.algo.encode_server in
+  Alcotest.(check bool) "tags distinguished" false (e s1 = e s2);
+  Alcotest.(check bool) "values distinguished" false (e s1 = e s3);
+  Alcotest.(check bool) "stable" true (e s1 = e s1)
+
+let test_value_dependence_classification () =
+  Alcotest.(check bool) "put dep" true
+    (Abd.algo.is_value_dependent
+       (Abd.Put { rid = 0; tag = Common.tag0; value = "x" }));
+  Alcotest.(check bool) "get indep" false
+    (Abd.algo.is_value_dependent (Abd.Get { rid = 0 }));
+  Alcotest.(check bool) "ack indep" false
+    (Abd.algo.is_value_dependent (Abd.Put_ack { rid = 0 }));
+  Alcotest.(check bool) "abd single phase" true Abd.algo.single_value_phase;
+  Alcotest.(check bool) "abd-mw single phase" true Abd_mw.algo.single_value_phase
+
+let test_initial_server_state () =
+  let ss = Abd.algo.init_server params 3 in
+  Alcotest.(check string) "initial value" init ss.Abd.value;
+  Alcotest.(check int) "initial tag" 0 ss.Abd.tag.Common.seq;
+  Alcotest.(check int) "bits = tag + value" (64 + 24)
+    (Abd.algo.server_bits params ss)
+
+let () =
+  Alcotest.run "abd-protocol"
+    [
+      ( "tags-quorums",
+        [
+          Alcotest.test_case "tag ordering" `Quick test_tag_order;
+          Alcotest.test_case "quorum sizes" `Quick test_quorums;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "put monotone" `Quick test_server_put_monotone;
+          Alcotest.test_case "get" `Quick test_server_get;
+          Alcotest.test_case "rejects responses" `Quick test_server_rejects_responses;
+          Alcotest.test_case "initial state" `Quick test_initial_server_state;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "writer quorum" `Quick test_writer_needs_quorum;
+          Alcotest.test_case "stale rounds" `Quick test_stale_round_ignored;
+          Alcotest.test_case "reader max-tag + write-back" `Quick
+            test_reader_picks_max_tag_and_writes_back;
+          Alcotest.test_case "regular reader" `Quick test_regular_reader_skips_writeback;
+          Alcotest.test_case "mw writer phases" `Quick test_mw_writer_two_phases;
+          Alcotest.test_case "mw encodings" `Quick test_mw_encoding_roundtrip_values;
+          Alcotest.test_case "value-dependence" `Quick
+            test_value_dependence_classification;
+        ] );
+    ]

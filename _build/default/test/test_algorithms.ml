@@ -1,0 +1,279 @@
+(* Behavioural tests for the emulation protocols: termination, safety
+   (checked with the consistency checkers), failure tolerance, and
+   storage accounting. *)
+
+open Engine
+
+let vlen = 4
+let params_rep = Types.params ~n:5 ~f:2 ~value_len:vlen ()
+let params_cas = Types.params ~n:5 ~f:1 ~k:3 ~delta:2 ~value_len:vlen ()
+
+let init_of p = Algorithms.Common.initial_value p
+
+let check_read = Alcotest.(check string)
+
+(* run one write then one read from a different client; value must be
+   returned *)
+let roundtrip algo params ~seed =
+  let c = Config.make algo params ~clients:2 in
+  let rng = Driver.rng_of_seed seed in
+  let c = Driver.write_exn algo c ~client:0 ~value:"wxyz" ~rng in
+  let v, _ = Driver.read_exn algo c ~client:1 ~rng in
+  v
+
+let test_abd_roundtrip () = check_read "abd" "wxyz" (roundtrip Algorithms.Abd.algo params_rep ~seed:1)
+
+let test_abd_mw_roundtrip () =
+  check_read "abd-mw" "wxyz" (roundtrip Algorithms.Abd_mw.algo params_rep ~seed:2)
+
+let test_gossip_roundtrip () =
+  check_read "gossip" "wxyz" (roundtrip Algorithms.Gossip_rep.algo params_rep ~seed:3)
+
+let test_regular_roundtrip () =
+  check_read "swsr" "wxyz" (roundtrip Algorithms.Abd.regular_algo params_rep ~seed:4)
+
+let test_cas_roundtrip () =
+  check_read "cas" "wxyz" (roundtrip Algorithms.Cas.algo params_cas ~seed:5)
+
+(* read before any write returns the initial value *)
+let fresh_read algo params ~seed =
+  let c = Config.make algo params ~clients:1 in
+  let rng = Driver.rng_of_seed seed in
+  fst (Driver.read_exn algo c ~client:0 ~rng)
+
+let test_initial_reads () =
+  check_read "abd init" (init_of params_rep) (fresh_read Algorithms.Abd.algo params_rep ~seed:1);
+  check_read "cas init" (init_of params_cas) (fresh_read Algorithms.Cas.algo params_cas ~seed:1);
+  check_read "gossip init" (init_of params_rep)
+    (fresh_read Algorithms.Gossip_rep.algo params_rep ~seed:1)
+
+(* sequential overwrites: last write wins *)
+let test_sequential_overwrites () =
+  List.iter
+    (fun (name, run) -> check_read name "v3##" (run ()))
+    [
+      ( "abd",
+        fun () ->
+          let c = Config.make Algorithms.Abd.algo params_rep ~clients:2 in
+          let rng = Driver.rng_of_seed 10 in
+          let c = Driver.write_exn Algorithms.Abd.algo c ~client:0 ~value:"v1##" ~rng in
+          let c = Driver.write_exn Algorithms.Abd.algo c ~client:0 ~value:"v2##" ~rng in
+          let c = Driver.write_exn Algorithms.Abd.algo c ~client:0 ~value:"v3##" ~rng in
+          fst (Driver.read_exn Algorithms.Abd.algo c ~client:1 ~rng) );
+      ( "cas",
+        fun () ->
+          let c = Config.make Algorithms.Cas.algo params_cas ~clients:2 in
+          let rng = Driver.rng_of_seed 11 in
+          let c = Driver.write_exn Algorithms.Cas.algo c ~client:0 ~value:"v1##" ~rng in
+          let c = Driver.write_exn Algorithms.Cas.algo c ~client:0 ~value:"v2##" ~rng in
+          let c = Driver.write_exn Algorithms.Cas.algo c ~client:0 ~value:"v3##" ~rng in
+          fst (Driver.read_exn Algorithms.Cas.algo c ~client:1 ~rng) );
+    ]
+
+(* tolerance: operations terminate with f servers crashed from the start *)
+let test_failure_tolerance () =
+  let run algo params ~f ~seed =
+    let c = Config.make algo params ~clients:2 in
+    let c = List.fold_left (fun c i -> Config.fail_server c i) c (List.init f Fun.id) in
+    let rng = Driver.rng_of_seed seed in
+    let c = Driver.write_exn algo c ~client:0 ~value:"fail" ~rng in
+    fst (Driver.read_exn algo c ~client:1 ~rng)
+  in
+  check_read "abd under f failures" "fail" (run Algorithms.Abd.algo params_rep ~f:2 ~seed:20);
+  check_read "abd-mw under f failures" "fail" (run Algorithms.Abd_mw.algo params_rep ~f:2 ~seed:21);
+  check_read "gossip under f failures" "fail"
+    (run Algorithms.Gossip_rep.algo params_rep ~f:2 ~seed:22);
+  check_read "cas under f failures" "fail" (run Algorithms.Cas.algo params_cas ~f:1 ~seed:23)
+
+(* parameter validation *)
+let test_param_checks () =
+  Alcotest.check_raises "abd needs n >= 2f+1"
+    (Invalid_argument "replication protocol requires n >= 2f + 1 (got n=4 f=2)")
+    (fun () ->
+      let p = Types.params ~n:4 ~f:2 ~value_len:1 () in
+      ignore (Config.make Algorithms.Abd.algo p ~clients:1));
+  Alcotest.check_raises "cas needs k <= n - 2f"
+    (Invalid_argument "CAS requires k <= n - 2f (got n=5 f=1 k=4)")
+    (fun () ->
+      let p = Types.params ~n:5 ~f:1 ~k:4 ~value_len:1 () in
+      ignore (Config.make Algorithms.Cas.algo p ~clients:1))
+
+(* safety under random concurrency: run mixed workloads over many
+   seeds and check the appropriate consistency condition *)
+let history_of_config c = Consistency.History.of_events (Config.history c)
+
+let run_mixed algo params ~writers ~readers ~seed =
+  let values =
+    Workload.unique_values ~count:(3 * writers) ~len:params.Types.value_len ~seed
+  in
+  let scripts = Workload.mixed_scripts ~writers ~readers ~values ~reads_per_reader:3 in
+  let c = Config.make algo params ~clients:(writers + readers) in
+  Workload.run_scripts algo c scripts ~seed
+
+let test_abd_atomic_many_seeds () =
+  for seed = 0 to 19 do
+    let c = run_mixed Algorithms.Abd.algo params_rep ~writers:1 ~readers:2 ~seed in
+    let h = history_of_config c in
+    match Consistency.Checker.atomic ~init:(init_of params_rep) h with
+    | Consistency.Checker.Valid -> ()
+    | Consistency.Checker.Invalid why ->
+        Alcotest.failf "seed %d: %s@.%a" seed why Consistency.History.pp h
+  done
+
+let test_abd_mw_atomic_many_seeds () =
+  for seed = 0 to 19 do
+    let c = run_mixed Algorithms.Abd_mw.algo params_rep ~writers:2 ~readers:2 ~seed in
+    let h = history_of_config c in
+    match Consistency.Checker.atomic ~init:(init_of params_rep) h with
+    | Consistency.Checker.Valid -> ()
+    | Consistency.Checker.Invalid why ->
+        Alcotest.failf "seed %d: %s@.%a" seed why Consistency.History.pp h
+  done
+
+let test_cas_atomic_many_seeds () =
+  for seed = 0 to 19 do
+    let c = run_mixed Algorithms.Cas.algo params_cas ~writers:2 ~readers:2 ~seed in
+    let h = history_of_config c in
+    match Consistency.Checker.atomic ~init:(init_of params_cas) h with
+    | Consistency.Checker.Valid -> ()
+    | Consistency.Checker.Invalid why ->
+        Alcotest.failf "seed %d: %s@.%a" seed why Consistency.History.pp h
+  done
+
+let test_gossip_regular_many_seeds () =
+  for seed = 0 to 19 do
+    let c = run_mixed Algorithms.Gossip_rep.algo params_rep ~writers:1 ~readers:2 ~seed in
+    let h = history_of_config c in
+    match Consistency.Checker.regular ~init:(init_of params_rep) h with
+    | Consistency.Checker.Valid -> ()
+    | Consistency.Checker.Invalid why ->
+        Alcotest.failf "seed %d: %s@.%a" seed why Consistency.History.pp h
+  done
+
+let test_swsr_regular_many_seeds () =
+  for seed = 0 to 19 do
+    let c =
+      run_mixed Algorithms.Abd.regular_algo params_rep ~writers:1 ~readers:1 ~seed
+    in
+    let h = history_of_config c in
+    match Consistency.Checker.regular ~init:(init_of params_rep) h with
+    | Consistency.Checker.Valid -> ()
+    | Consistency.Checker.Invalid why ->
+        Alcotest.failf "seed %d: %s@.%a" seed why Consistency.History.pp h
+  done
+
+(* storage accounting: ABD constant, CAS grows with concurrency *)
+let test_abd_storage_constant () =
+  let algo = Algorithms.Abd.algo in
+  let peak = Storage.create_peak () in
+  let obs = Storage.peak_observer algo peak in
+  let c = Config.make algo params_rep ~clients:2 in
+  let rng = Driver.rng_of_seed 33 in
+  let c = Driver.write_exn ~observer:obs algo c ~client:0 ~value:"aaaa" ~rng in
+  let c = Driver.write_exn ~observer:obs algo c ~client:0 ~value:"bbbb" ~rng in
+  let _ = Driver.read_exn ~observer:obs algo c ~client:1 ~rng in
+  (* n * (tag + value) bits, never more *)
+  Alcotest.(check int) "peak total"
+    (5 * (Algorithms.Common.tag_bits + (8 * vlen)))
+    (Storage.peak_total peak)
+
+let test_cas_storage_grows_with_nu () =
+  let algo = Algorithms.Cas.algo in
+  let measure nu =
+    let p = Types.params ~n:5 ~f:1 ~k:3 ~delta:nu ~value_len:60 () in
+    let values = Workload.unique_values ~count:nu ~len:60 ~seed:77 in
+    let peak = Storage.create_peak () in
+    let obs = Storage.peak_observer algo peak in
+    let c = Config.make algo p ~clients:nu in
+    let _ = Workload.concurrent_writes ~observer:obs algo c ~values ~seed:78 in
+    Storage.peak_total peak
+  in
+  let s1 = measure 1 and s2 = measure 2 and s3 = measure 3 in
+  Alcotest.(check bool) "nu=2 > nu=1" true (s2 > s1);
+  Alcotest.(check bool) "nu=3 > nu=2" true (s3 > s2)
+
+(* CAS stores coded symbols: per-server cost about value/k, not value *)
+let test_cas_symbol_efficiency () =
+  let p = Types.params ~n:5 ~f:1 ~k:3 ~delta:1 ~value_len:300 () in
+  let algo = Algorithms.Cas.algo in
+  let c = Config.make algo p ~clients:1 in
+  let rng = Driver.rng_of_seed 40 in
+  let v = String.concat "" (List.init 30 (fun i -> Printf.sprintf "%010d" i)) in
+  let c = Driver.write_exn algo c ~client:0 ~value:v ~rng in
+  let per_server = Config.max_storage_bits algo c in
+  (* one fin symbol of 100 bytes + possibly the init symbol + metadata:
+     strictly less than storing the 300-byte value *)
+  Alcotest.(check bool) "less than full value" true (per_server < 8 * 300);
+  Alcotest.(check bool) "at least one symbol" true (per_server >= 8 * 100)
+
+(* the census machinery observes genuinely distinct states as values vary *)
+let test_census_distinguishes_values () =
+  let algo = Algorithms.Abd.algo in
+  let census = Storage.create_census ~n:params_rep.Types.n in
+  List.iter
+    (fun v ->
+      let c = Config.make algo params_rep ~clients:1 in
+      let rng = Driver.rng_of_seed 50 in
+      let c = Driver.write_exn algo c ~client:0 ~value:v ~rng in
+      (* let stragglers drain so every server holds the new value *)
+      let c, _ = Driver.run_to_quiescence algo c ~rng in
+      Storage.observe census (Config.server_encodings algo c))
+    [ "aaaa"; "bbbb"; "cccc" ];
+  Alcotest.(check (array int)) "3 states per server" (Array.make 5 3)
+    (Storage.distinct_counts census);
+  Alcotest.(check int) "3 joint states" 3 (Storage.joint_count census);
+  Alcotest.(check bool) "bits accumulate" true (Storage.total_bits census > 7.9)
+
+(* qcheck: random seeds keep ABD atomic (wider sweep than the unit loop) *)
+let prop_abd_atomic =
+  QCheck.Test.make ~name:"abd atomic across random seeds" ~count:30
+    (QCheck.int_range 100 100_000) (fun seed ->
+      let c = run_mixed Algorithms.Abd.algo params_rep ~writers:1 ~readers:2 ~seed in
+      Consistency.Checker.is_valid
+        (Consistency.Checker.atomic ~init:(init_of params_rep) (history_of_config c)))
+
+let prop_cas_atomic =
+  QCheck.Test.make ~name:"cas atomic across random seeds" ~count:20
+    (QCheck.int_range 100 100_000) (fun seed ->
+      let c = run_mixed Algorithms.Cas.algo params_cas ~writers:2 ~readers:1 ~seed in
+      Consistency.Checker.is_valid
+        (Consistency.Checker.atomic ~init:(init_of params_cas) (history_of_config c)))
+
+let () =
+  Alcotest.run "algorithms"
+    [
+      ( "roundtrips",
+        [
+          Alcotest.test_case "abd" `Quick test_abd_roundtrip;
+          Alcotest.test_case "abd-mw" `Quick test_abd_mw_roundtrip;
+          Alcotest.test_case "gossip" `Quick test_gossip_roundtrip;
+          Alcotest.test_case "swsr-regular" `Quick test_regular_roundtrip;
+          Alcotest.test_case "cas" `Quick test_cas_roundtrip;
+          Alcotest.test_case "initial reads" `Quick test_initial_reads;
+          Alcotest.test_case "sequential overwrites" `Quick test_sequential_overwrites;
+          Alcotest.test_case "failure tolerance" `Quick test_failure_tolerance;
+          Alcotest.test_case "parameter checks" `Quick test_param_checks;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "abd atomic (20 seeds)" `Quick test_abd_atomic_many_seeds;
+          Alcotest.test_case "abd-mw atomic (20 seeds)" `Quick
+            test_abd_mw_atomic_many_seeds;
+          Alcotest.test_case "cas atomic (20 seeds)" `Quick test_cas_atomic_many_seeds;
+          Alcotest.test_case "gossip regular (20 seeds)" `Quick
+            test_gossip_regular_many_seeds;
+          Alcotest.test_case "swsr regular (20 seeds)" `Quick
+            test_swsr_regular_many_seeds;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "abd constant" `Quick test_abd_storage_constant;
+          Alcotest.test_case "cas grows with concurrency" `Quick
+            test_cas_storage_grows_with_nu;
+          Alcotest.test_case "cas symbol efficiency" `Quick test_cas_symbol_efficiency;
+          Alcotest.test_case "census distinguishes values" `Quick
+            test_census_distinguishes_values;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_abd_atomic; prop_cas_atomic ] );
+    ]

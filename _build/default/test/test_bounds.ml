@@ -1,0 +1,227 @@
+(* Tests for the paper's closed-form bounds.  Reference values follow
+   the formulas of Corollaries B.2, 4.2, 5.2, 6.6 and Figure 1
+   (N = 21, f = 10). *)
+
+let feq = Alcotest.(check (float 1e-9))
+let feq_loose = Alcotest.(check (float 1e-6))
+
+let paper = Bounds.params ~n:21 ~f:10
+
+let test_params_validation () =
+  Alcotest.check_raises "f >= n" (Invalid_argument "Bounds.params: need 0 <= f < n")
+    (fun () -> ignore (Bounds.params ~n:3 ~f:3));
+  Alcotest.check_raises "n = 0" (Invalid_argument "Bounds.params: n must be >= 1")
+    (fun () -> ignore (Bounds.params ~n:0 ~f:0));
+  (* f = 0 is a valid parameterization for upper bounds *)
+  let p0 = Bounds.params ~n:5 ~f:0 in
+  feq "abd with f=0" 8.0 (Bounds.abd_total p0 ~v_bits:8.0);
+  (* but Theorem B.1 needs f >= 1 *)
+  Alcotest.check_raises "singleton f=0"
+    (Invalid_argument "Bounds.singleton: requires f >= 1") (fun () ->
+      ignore (Bounds.singleton_total p0 ~v_bits:8.0))
+
+let test_singleton () =
+  (* N=21, f=10: total = 21 v / 11 *)
+  feq "total" (21.0 *. 100.0 /. 11.0) (Bounds.singleton_total paper ~v_bits:100.0);
+  feq "max" (100.0 /. 11.0) (Bounds.singleton_max paper ~v_bits:100.0);
+  feq "normalized" (21.0 /. 11.0) (Bounds.norm_singleton paper)
+
+let test_no_gossip () =
+  (* numerator: v + log2(2^v - 1) - log2(11); denominator 12 *)
+  let v = 20.0 in
+  let expected =
+    21.0 *. (v +. (Float.log (Float.pow 2.0 v -. 1.0) /. Float.log 2.0)
+             -. (Float.log 11.0 /. Float.log 2.0))
+    /. 12.0
+  in
+  feq_loose "total" expected (Bounds.no_gossip_total paper ~v_bits:v);
+  feq "normalized" (42.0 /. 12.0) (Bounds.norm_no_gossip paper);
+  Alcotest.check_raises "f=1 rejected"
+    (Invalid_argument "Bounds.no_gossip: Theorem 4.1 requires f >= 2") (fun () ->
+      ignore (Bounds.no_gossip_total (Bounds.params ~n:3 ~f:1) ~v_bits:8.0))
+
+let test_universal () =
+  let v = 20.0 in
+  let expected =
+    21.0 *. (v +. (Float.log (Float.pow 2.0 v -. 1.0) /. Float.log 2.0)
+             -. (2.0 *. Float.log 11.0 /. Float.log 2.0))
+    /. 13.0
+  in
+  feq_loose "total" expected (Bounds.universal_total paper ~v_bits:v);
+  feq "normalized" (42.0 /. 13.0) (Bounds.norm_universal paper)
+
+let test_nu_star () =
+  Alcotest.(check int) "nu < f+1" 3 (Bounds.nu_star paper ~nu:3);
+  Alcotest.(check int) "nu = f+1" 11 (Bounds.nu_star paper ~nu:11);
+  Alcotest.(check int) "nu > f+1 capped" 11 (Bounds.nu_star paper ~nu:16);
+  Alcotest.check_raises "nu = 0" (Invalid_argument "Bounds.nu_star: nu must be >= 1")
+    (fun () -> ignore (Bounds.nu_star paper ~nu:0))
+
+let test_single_phase () =
+  (* normalized: nu* 21 / (11 + nu* - 1) *)
+  feq "nu=1" (21.0 /. 11.0) (Bounds.norm_single_phase paper ~nu:1);
+  feq "nu=2" (2.0 *. 21.0 /. 12.0) (Bounds.norm_single_phase paper ~nu:2);
+  feq "nu=11 reaches f+1 level" (11.0 *. 21.0 /. 21.0)
+    (Bounds.norm_single_phase paper ~nu:11);
+  feq "nu=16 capped at nu*=11" 11.0 (Bounds.norm_single_phase paper ~nu:16);
+  feq "total matches normalized * v"
+    (Bounds.norm_single_phase paper ~nu:4 *. 64.0)
+    (Bounds.single_phase_total paper ~nu:4 ~v_bits:64.0)
+
+let test_single_phase_exact_asymptotics () =
+  (* exact form / v_bits should approach nu* as v_bits grows, for the
+     N - f + nu* - 1 servers it constrains *)
+  let v = 1_000_000.0 in
+  let nu = 3 in
+  let exact = Bounds.single_phase_exact paper ~nu ~v_bits:v in
+  Alcotest.(check (float 1e-4)) "asymptotic slope ~ nu*" 3.0 (exact /. v)
+
+let test_upper_bounds () =
+  feq "abd" 11.0 (Bounds.norm_abd paper);
+  feq "abd exact" (11.0 *. 8.0) (Bounds.abd_total paper ~v_bits:8.0);
+  feq "abd full" (21.0 *. 8.0) (Bounds.abd_full_total paper ~v_bits:8.0);
+  feq "erasure nu=1" (21.0 /. 11.0) (Bounds.norm_erasure paper ~nu:1);
+  feq "erasure nu=5" (105.0 /. 11.0) (Bounds.norm_erasure paper ~nu:5);
+  feq "erasure exact" (2.0 *. 21.0 *. 16.0 /. 11.0)
+    (Bounds.erasure_total paper ~nu:2 ~v_bits:16.0)
+
+let test_crossover () =
+  (* nu >= (f+1)(n-f)/n = 11*11/21 = 5.76 -> 6 *)
+  Alcotest.(check int) "paper instance" 6 (Bounds.crossover_nu paper);
+  (* replication-free regime: f = 0 -> nu >= 1 *)
+  Alcotest.(check int) "f=0" 1 (Bounds.crossover_nu (Bounds.params ~n:5 ~f:0))
+
+let test_ordering_relations () =
+  (* The paper's hierarchy: B.1 <= 5.1 <= 4.1, and 6.5 >= B.1 for all nu. *)
+  List.iter
+    (fun (n, f) ->
+      let p = Bounds.params ~n ~f in
+      let b1 = Bounds.norm_singleton p in
+      let u = Bounds.norm_universal p in
+      let ng = Bounds.norm_no_gossip p in
+      Alcotest.(check bool) "B.1 <= 5.1" true (b1 <= u +. 1e-9);
+      Alcotest.(check bool) "5.1 <= 4.1" true (u <= ng +. 1e-9);
+      for nu = 1 to 20 do
+        Alcotest.(check bool) "6.5 >= B.1" true
+          (Bounds.norm_single_phase p ~nu >= b1 -. 1e-9);
+        Alcotest.(check bool) "6.5 <= ABD level" true
+          (Bounds.norm_single_phase p ~nu <= float_of_int (f + 1) +. 1e-9)
+      done)
+    [ (21, 10); (10, 4); (7, 3); (100, 49); (5, 2) ]
+
+let test_log2_binomial () =
+  feq "C(5,2)" (Float.log 10.0 /. Float.log 2.0) (Bounds.log2_binomial 5 2);
+  feq "C(n,0)" 0.0 (Bounds.log2_binomial 17 0);
+  feq "C(n,n)" 0.0 (Bounds.log2_binomial 17 17);
+  Alcotest.(check bool) "k > n" true (Bounds.log2_binomial 3 5 = neg_infinity);
+  feq "factorial 5" (Float.log 120.0 /. Float.log 2.0) (Bounds.log2_factorial 5);
+  feq "factorial 0" 0.0 (Bounds.log2_factorial 0)
+
+let test_figure1_series () =
+  let rows = Bounds.figure1 paper ~nu_max:16 in
+  Alcotest.(check int) "16 rows" 16 (List.length rows);
+  let r1 = List.hd rows in
+  feq "row1 b1" (21.0 /. 11.0) r1.Bounds.thm_b1;
+  feq "row1 51" (42.0 /. 13.0) r1.Bounds.thm_51;
+  feq "row1 65" (21.0 /. 11.0) r1.Bounds.thm_65;
+  feq "row1 abd" 11.0 r1.Bounds.abd;
+  feq "row1 ec" (21.0 /. 11.0) r1.Bounds.erasure_coding;
+  let r16 = List.nth rows 15 in
+  feq "row16 65 capped" 11.0 r16.Bounds.thm_65;
+  feq "row16 ec" (16.0 *. 21.0 /. 11.0) r16.Bounds.erasure_coding;
+  (* lower bounds never exceed upper bounds at the same nu *)
+  List.iter
+    (fun (r : Bounds.figure1_row) ->
+      Alcotest.(check bool) "65 below min(EC, ABD)" true
+        (r.thm_65 <= Float.min r.erasure_coding r.abd +. 1e-9);
+      Alcotest.(check bool) "b1 below everything" true
+        (r.thm_b1 <= r.thm_51 +. 1e-9))
+    rows
+
+let test_dominant_and_gap () =
+  (* at nu=1 the dominant lower bound is Theorem 5.1's *)
+  feq "dominant nu=1" (42.0 /. 13.0) (Bounds.dominant_lower_bound paper ~nu:1);
+  (* at large nu it is Theorem 6.5's *)
+  feq "dominant nu=11" 11.0 (Bounds.dominant_lower_bound paper ~nu:11);
+  (* gap is >= 1 everywhere (upper above lower) *)
+  for nu = 1 to 16 do
+    Alcotest.(check bool) "gap >= 1" true (Bounds.gap_single_phase paper ~nu >= 1.0 -. 1e-9)
+  done;
+  (* and exactly 1 at nu = f+1: both hit f+1 *)
+  feq "tight at nu=f+1" 1.0 (Bounds.gap_single_phase paper ~nu:11)
+
+(* --- properties --- *)
+
+let gen_params =
+  QCheck.make
+    ~print:(fun (n, f) -> Printf.sprintf "n=%d f=%d" n f)
+    QCheck.Gen.(
+      let* n = int_range 2 200 in
+      let* f = int_range 1 (n - 1) in
+      return (n, f))
+
+let prop_bounds_positive =
+  QCheck.Test.make ~name:"all normalized bounds positive" ~count:300 gen_params
+    (fun (n, f) ->
+      let p = Bounds.params ~n ~f in
+      Bounds.norm_singleton p > 0.0
+      && Bounds.norm_universal p > 0.0
+      && Bounds.norm_no_gossip p > 0.0
+      && Bounds.norm_single_phase p ~nu:3 > 0.0)
+
+let prop_twice_singleton =
+  QCheck.Test.make ~name:"Thm 4.1/5.1 approach 2x Thm B.1 as n grows" ~count:1
+    QCheck.unit (fun () ->
+      (* f fixed at 10, n large: ratio -> 2 *)
+      let p = Bounds.params ~n:5000 ~f:10 in
+      let ratio = Bounds.norm_no_gossip p /. Bounds.norm_singleton p in
+      Float.abs (ratio -. 2.0) < 0.01)
+
+let prop_monotone_in_nu =
+  QCheck.Test.make ~name:"Thm 6.5 bound nondecreasing in nu" ~count:200 gen_params
+    (fun (n, f) ->
+      let p = Bounds.params ~n ~f in
+      let ok = ref true in
+      for nu = 1 to 19 do
+        if Bounds.norm_single_phase p ~nu > Bounds.norm_single_phase p ~nu:(nu + 1) +. 1e-9
+        then ok := false
+      done;
+      !ok)
+
+let prop_exact_below_asymptotic =
+  QCheck.Test.make ~name:"exact 6.5 form below its asymptotic slope" ~count:100
+    gen_params (fun (n, f) ->
+      let p = Bounds.params ~n ~f in
+      let v = 256.0 in
+      let ns = Bounds.nu_star p ~nu:4 in
+      Bounds.single_phase_exact p ~nu:4 ~v_bits:v <= (float_of_int ns *. v) +. 1e-6)
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "params validation" `Quick test_params_validation;
+          Alcotest.test_case "Thm B.1" `Quick test_singleton;
+          Alcotest.test_case "Thm 4.1" `Quick test_no_gossip;
+          Alcotest.test_case "Thm 5.1" `Quick test_universal;
+          Alcotest.test_case "nu_star" `Quick test_nu_star;
+          Alcotest.test_case "Thm 6.5" `Quick test_single_phase;
+          Alcotest.test_case "Thm 6.5 exact asymptotics" `Quick
+            test_single_phase_exact_asymptotics;
+          Alcotest.test_case "upper bounds" `Quick test_upper_bounds;
+          Alcotest.test_case "crossover" `Quick test_crossover;
+          Alcotest.test_case "bound ordering" `Quick test_ordering_relations;
+          Alcotest.test_case "log2 binomial/factorial" `Quick test_log2_binomial;
+          Alcotest.test_case "figure 1 series" `Quick test_figure1_series;
+          Alcotest.test_case "dominant bound and gap" `Quick test_dominant_and_gap;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bounds_positive;
+            prop_twice_singleton;
+            prop_monotone_in_nu;
+            prop_exact_below_asymptotic;
+          ] );
+    ]

@@ -1,0 +1,271 @@
+(* Fine-grained unit tests for the CAS state machines: server entry
+   management, garbage collection, finalize tracking, the reader's
+   symbol collection, and the writer's three phases. *)
+
+open Engine.Types
+open Algorithms
+
+let params = Engine.Types.params ~n:5 ~f:1 ~k:3 ~delta:2 ~value_len:9 ()
+let code = Cas.code_of params
+let tag seq cid = Common.{ seq; cid }
+
+let symbol_for ~index v = Erasure.encode_symbol code ~index v
+
+(* ----- server entries and gc ----- *)
+
+let test_initial_entry_finalized () =
+  let ss = Cas.algo.init_server params 0 in
+  match Cas.highest_fin ss.Cas.entries with
+  | Some t -> Alcotest.(check int) "tag0 finalized" 0 t.Common.seq
+  | None -> Alcotest.fail "initial entry must be finalized"
+
+let test_pre_then_fin () =
+  let ss = Cas.algo.init_server params 1 in
+  let sym = symbol_for ~index:1 "123456789" in
+  let ss, out =
+    Cas.algo.on_server_msg params ~me:1 ss ~src:(Client 0)
+      (Cas.Pre { rid = 0; tag = tag 1 0; symbol = sym })
+  in
+  (match out with
+  | [ { payload = Cas.Pre_ack { rid = 0 }; _ } ] -> ()
+  | _ -> Alcotest.fail "expected pre ack");
+  (* pre-written but not finalized: query still answers tag0 *)
+  let _, out =
+    Cas.algo.on_server_msg params ~me:1 ss ~src:(Client 9) (Cas.Query_fin { rid = 5 })
+  in
+  (match out with
+  | [ { payload = Cas.Query_resp { tag = t; _ }; _ } ] ->
+      Alcotest.(check int) "still tag0" 0 t.Common.seq
+  | _ -> Alcotest.fail "expected query resp");
+  (* finalize: now the query sees it *)
+  let ss, _ =
+    Cas.algo.on_server_msg params ~me:1 ss ~src:(Client 0)
+      (Cas.Fin { rid = 1; tag = tag 1 0 })
+  in
+  let _, out =
+    Cas.algo.on_server_msg params ~me:1 ss ~src:(Client 9) (Cas.Query_fin { rid = 6 })
+  in
+  match out with
+  | [ { payload = Cas.Query_resp { tag = t; _ }; _ } ] ->
+      Alcotest.(check int) "finalized visible" 1 t.Common.seq
+  | _ -> Alcotest.fail "expected query resp"
+
+let test_fin_before_pre () =
+  (* a finalize may arrive before the symbol: entry with fin, no symbol *)
+  let ss = Cas.algo.init_server params 2 in
+  let ss, _ =
+    Cas.algo.on_server_msg params ~me:2 ss ~src:(Client 0)
+      (Cas.Fin { rid = 0; tag = tag 3 1 })
+  in
+  (match Cas.Tag_map.find_opt (tag 3 1) ss.Cas.entries with
+  | Some e ->
+      Alcotest.(check bool) "finalized" true e.Cas.fin;
+      Alcotest.(check bool) "no symbol" true (e.Cas.symbol = None)
+  | None -> Alcotest.fail "entry must exist");
+  (* read_fin returns None symbol *)
+  let _, out =
+    Cas.algo.on_server_msg params ~me:2 ss ~src:(Client 1)
+      (Cas.Read_fin { rid = 1; tag = tag 3 1 })
+  in
+  match out with
+  | [ { payload = Cas.Read_resp { symbol = None; _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "expected symbol-less response"
+
+let test_gc_window () =
+  (* delta = 2: at most 3 tags kept (plus highest fin, which here is
+     within the window) *)
+  let entries =
+    List.fold_left
+      (fun m seq ->
+        Cas.Tag_map.add (tag seq 0)
+          Cas.{ symbol = Some (Bytes.create 3); fin = false }
+          m)
+      Cas.Tag_map.empty [ 1; 2; 3; 4; 5 ]
+  in
+  let entries = Cas.Tag_map.add (tag 2 0) Cas.{ symbol = None; fin = true } entries in
+  let kept = Cas.gc params entries in
+  let tags = List.map (fun (t, _) -> t.Common.seq) (Cas.Tag_map.bindings kept) in
+  (* window = 3 highest (3,4,5) plus highest fin (2) *)
+  Alcotest.(check (list int)) "window + fin survivor" [ 2; 3; 4; 5 ] tags
+
+let test_gc_keeps_highest_fin_outside_window () =
+  let p = Engine.Types.params ~n:5 ~f:1 ~k:3 ~delta:1 ~value_len:9 () in
+  let entries =
+    Cas.Tag_map.empty
+    |> Cas.Tag_map.add (tag 1 0) Cas.{ symbol = Some (Bytes.create 3); fin = true }
+    |> Cas.Tag_map.add (tag 5 0) Cas.{ symbol = Some (Bytes.create 3); fin = false }
+    |> Cas.Tag_map.add (tag 6 0) Cas.{ symbol = Some (Bytes.create 3); fin = false }
+    |> Cas.Tag_map.add (tag 7 0) Cas.{ symbol = Some (Bytes.create 3); fin = false }
+  in
+  let kept = Cas.gc p entries in
+  Alcotest.(check bool) "old finalized survives" true
+    (Cas.Tag_map.mem (tag 1 0) kept);
+  Alcotest.(check bool) "middle pruned" false (Cas.Tag_map.mem (tag 5 0) kept)
+
+let test_server_bits_accounting () =
+  let ss = Cas.algo.init_server params 0 in
+  (* one finalized init version: tag + flag + symbol(3 bytes = 24 bits) *)
+  Alcotest.(check int) "init bits" (64 + 1 + 24) (Cas.algo.server_bits params ss);
+  let ss, _ =
+    Cas.algo.on_server_msg params ~me:0 ss ~src:(Client 0)
+      (Cas.Pre { rid = 0; tag = tag 1 0; symbol = symbol_for ~index:0 "123456789" })
+  in
+  Alcotest.(check int) "two versions" (2 * (64 + 1 + 24))
+    (Cas.algo.server_bits params ss)
+
+(* ----- writer phases ----- *)
+
+let run_query_phase cs =
+  let cs, outs = Cas.algo.on_invoke params ~me:0 cs (Write "123456789") in
+  Alcotest.(check int) "query broadcast" 5 (List.length outs);
+  (* quorum = ceil((5+3)/2) = 4 *)
+  let resp = Cas.Query_resp { rid = 0; tag = Common.tag0 } in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 0) resp in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 1) resp in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 2) resp in
+  let cs, pres, r = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 3) resp in
+  Alcotest.(check bool) "no response yet" true (r = None);
+  (cs, pres)
+
+let test_writer_pre_phase () =
+  let cs = Cas.algo.init_client params 0 in
+  let _, pres = run_query_phase cs in
+  Alcotest.(check int) "pre to every server" 5 (List.length pres);
+  (* each server gets ITS symbol: they differ across servers *)
+  let symbols =
+    List.filter_map
+      (fun { payload; _ } ->
+        match payload with Cas.Pre { symbol; _ } -> Some (Bytes.to_string symbol) | _ -> None)
+      pres
+  in
+  Alcotest.(check int) "five symbols" 5 (List.length symbols);
+  Alcotest.(check bool) "per-server symbols differ somewhere" true
+    (List.length (List.sort_uniq compare symbols) > 1);
+  (* symbol size is |v|/k = 3 bytes *)
+  List.iter
+    (fun s -> Alcotest.(check int) "symbol size" 3 (String.length s))
+    symbols
+
+let test_writer_fin_phase () =
+  let cs = Cas.algo.init_client params 0 in
+  let cs, _ = run_query_phase cs in
+  let ack rid = Cas.Pre_ack { rid } in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 0) (ack 1) in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 1) (ack 1) in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 2) (ack 1) in
+  let cs, fins, r = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 3) (ack 1) in
+  Alcotest.(check bool) "not done before fin" true (r = None);
+  Alcotest.(check int) "fin broadcast" 5 (List.length fins);
+  let fack = Cas.Fin_ack { rid = 2 } in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 0) fack in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 1) fack in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 2) fack in
+  let _, _, r = Cas.algo.on_client_msg params ~me:0 cs ~src:(Server 4) fack in
+  Alcotest.(check bool) "write completes" true (r = Some Write_ack)
+
+(* ----- reader ----- *)
+
+let test_reader_collects_k_symbols () =
+  let v = "123456789" in
+  let cs = Cas.algo.init_client params 1 in
+  let cs, _ = Cas.algo.on_invoke params ~me:1 cs Read in
+  let qr = Cas.Query_resp { rid = 0; tag = tag 1 0 } in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 0) qr in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 1) qr in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 2) qr in
+  let cs, rf, _ = Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 3) qr in
+  Alcotest.(check int) "read_fin broadcast" 5 (List.length rf);
+  let resp sym = Cas.Read_resp { rid = 1; symbol = sym } in
+  (* three responses with symbols, one without: quorum=4 reached with
+     exactly k=3 symbols -> decode *)
+  let cs, _, _ =
+    Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 0)
+      (resp (Some (symbol_for ~index:0 v)))
+  in
+  let cs, _, _ =
+    Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 1) (resp None)
+  in
+  let cs, _, _ =
+    Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 2)
+      (resp (Some (symbol_for ~index:2 v)))
+  in
+  let _, _, r =
+    Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 4)
+      (resp (Some (symbol_for ~index:4 v)))
+  in
+  Alcotest.(check bool) "decoded" true (r = Some (Read_ack v))
+
+let test_reader_waits_for_symbols_beyond_quorum () =
+  let v = "123456789" in
+  let cs = Cas.algo.init_client params 1 in
+  let cs, _ = Cas.algo.on_invoke params ~me:1 cs Read in
+  let qr = Cas.Query_resp { rid = 0; tag = tag 1 0 } in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 0) qr in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 1) qr in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 2) qr in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 3) qr in
+  (* quorum of responses but only 2 symbols: must keep waiting *)
+  let resp sym = Cas.Read_resp { rid = 1; symbol = sym } in
+  let cs, _, _ =
+    Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 0)
+      (resp (Some (symbol_for ~index:0 v)))
+  in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 1) (resp None) in
+  let cs, _, _ = Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 2) (resp None) in
+  let cs, _, r =
+    Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 3)
+      (resp (Some (symbol_for ~index:3 v)))
+  in
+  Alcotest.(check bool) "quorum but k unmet: wait" true (r = None);
+  (* the fifth response brings the third symbol *)
+  let _, _, r =
+    Cas.algo.on_client_msg params ~me:1 cs ~src:(Server 4)
+      (resp (Some (symbol_for ~index:4 v)))
+  in
+  Alcotest.(check bool) "now decodes" true (r = Some (Read_ack v))
+
+let test_value_length_enforced () =
+  let cs = Cas.algo.init_client params 0 in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Cas.on_invoke: value has wrong length") (fun () ->
+      ignore (Cas.algo.on_invoke params ~me:0 cs (Write "short")))
+
+let test_classification () =
+  Alcotest.(check bool) "pre dep" true
+    (Cas.algo.is_value_dependent
+       (Cas.Pre { rid = 0; tag = Common.tag0; symbol = Bytes.create 1 }));
+  Alcotest.(check bool) "fin indep" false
+    (Cas.algo.is_value_dependent (Cas.Fin { rid = 0; tag = Common.tag0 }));
+  Alcotest.(check bool) "query indep" false
+    (Cas.algo.is_value_dependent (Cas.Query_fin { rid = 0 }));
+  Alcotest.(check bool) "single value phase" true Cas.algo.single_value_phase;
+  Alcotest.(check bool) "no gossip" false Cas.algo.uses_gossip
+
+let () =
+  Alcotest.run "cas-protocol"
+    [
+      ( "server",
+        [
+          Alcotest.test_case "initial finalized" `Quick test_initial_entry_finalized;
+          Alcotest.test_case "pre then fin" `Quick test_pre_then_fin;
+          Alcotest.test_case "fin before pre" `Quick test_fin_before_pre;
+          Alcotest.test_case "gc window" `Quick test_gc_window;
+          Alcotest.test_case "gc keeps highest fin" `Quick
+            test_gc_keeps_highest_fin_outside_window;
+          Alcotest.test_case "bits accounting" `Quick test_server_bits_accounting;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "pre phase" `Quick test_writer_pre_phase;
+          Alcotest.test_case "fin phase" `Quick test_writer_fin_phase;
+          Alcotest.test_case "value length" `Quick test_value_length_enforced;
+        ] );
+      ( "reader",
+        [
+          Alcotest.test_case "collects k symbols" `Quick test_reader_collects_k_symbols;
+          Alcotest.test_case "waits beyond quorum" `Quick
+            test_reader_waits_for_symbols_beyond_quorum;
+        ] );
+      ( "classification",
+        [ Alcotest.test_case "value-dependence" `Quick test_classification ] );
+    ]

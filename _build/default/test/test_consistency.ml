@@ -1,0 +1,419 @@
+(* Tests for history extraction and the atomicity / regularity / weak
+   regularity checkers.  Histories are built directly from op records;
+   end-to-end extraction from engine events is also covered. *)
+
+open Consistency
+
+let wr ?(client = 0) op_id v inv resp : History.op_record =
+  {
+    op_id;
+    client;
+    kind = History.Write_op;
+    written = Some v;
+    result = None;
+    inv;
+    resp;
+  }
+
+let rd ?(client = 1) op_id v inv resp : History.op_record =
+  {
+    op_id;
+    client;
+    kind = History.Read_op;
+    written = None;
+    result = Some v;
+    inv;
+    resp;
+  }
+
+let valid = Alcotest.testable Checker.pp_verdict (fun a b ->
+    Checker.is_valid a = Checker.is_valid b)
+
+let check_valid name v = Alcotest.check valid name Checker.Valid v
+let check_invalid name v = Alcotest.check valid name (Checker.Invalid "") v
+
+(* ----- History ----- *)
+
+let test_of_events () =
+  let open Engine.Types in
+  let events =
+    [
+      Invoke { op_id = 0; client = 0; op = Write "a"; time = 1 };
+      Invoke { op_id = 1; client = 1; op = Read; time = 2 };
+      Respond { op_id = 0; client = 0; response = Write_ack; time = 3 };
+      Respond { op_id = 1; client = 1; response = Read_ack "a"; time = 4 };
+    ]
+  in
+  let h = History.of_events events in
+  Alcotest.(check int) "two ops" 2 (List.length h);
+  let w = List.hd h in
+  Alcotest.(check bool) "write completed" false (History.is_pending w);
+  Alcotest.(check bool) "write kind" true (History.is_write w);
+  let r = List.nth h 1 in
+  Alcotest.(check (option string)) "read result" (Some "a") r.History.result;
+  Alcotest.(check bool) "overlap" false (History.precedes w r);
+  Alcotest.(check int) "writes" 1 (List.length (History.writes h));
+  Alcotest.(check int) "reads" 1 (List.length (History.reads h));
+  Alcotest.(check int) "completed" 2 (List.length (History.completed h))
+
+let test_pending_ops () =
+  let open Engine.Types in
+  let events = [ Invoke { op_id = 0; client = 0; op = Write "a"; time = 1 } ] in
+  let h = History.of_events events in
+  Alcotest.(check bool) "pending" true (History.is_pending (List.hd h));
+  Alcotest.check_raises "response without invocation"
+    (Invalid_argument "History.of_events: response without invocation")
+    (fun () ->
+      ignore
+        (History.of_events
+           [ Respond { op_id = 9; client = 0; response = Write_ack; time = 1 } ]))
+
+let test_unique_values () =
+  Alcotest.(check bool) "unique" true
+    (History.unique_write_values [ wr 0 "a" 1 (Some 2); wr 1 "b" 3 (Some 4) ]);
+  Alcotest.(check bool) "duplicate" false
+    (History.unique_write_values [ wr 0 "a" 1 (Some 2); wr 1 "a" 3 (Some 4) ])
+
+(* ----- Atomicity ----- *)
+
+let test_atomic_sequential () =
+  check_valid "write then read"
+    (Checker.atomic [ wr 0 "a" 1 (Some 2); rd 1 "a" 3 (Some 4) ])
+
+let test_atomic_initial_value () =
+  check_valid "read of initial value"
+    (Checker.atomic ~init:"" [ rd 0 "" 1 (Some 2) ]);
+  check_invalid "initial value after a completed write"
+    (Checker.atomic ~init:"" [ wr 0 "a" 1 (Some 2); rd 1 "" 3 (Some 4) ])
+
+let test_atomic_stale_read () =
+  (* w(a) ; w(b) ; read must not return a *)
+  check_invalid "stale read"
+    (Checker.atomic
+       [ wr 0 "a" 1 (Some 2); wr 1 "b" 3 (Some 4); rd 2 "a" 5 (Some 6) ])
+
+let test_atomic_overlapping_read () =
+  (* read overlapping w(b) may return either a or b *)
+  let h v =
+    [ wr 0 "a" 1 (Some 2); wr 1 "b" 3 (Some 10); rd 2 v 4 (Some 5) ]
+  in
+  check_valid "concurrent read old" (Checker.atomic (h "a"));
+  check_valid "concurrent read new" (Checker.atomic (h "b"))
+
+let test_atomic_new_old_inversion () =
+  (* r1 returns b (new), then r2 (after r1) returns a (old): the
+     new-old inversion that distinguishes atomicity from regularity *)
+  let h =
+    [
+      wr 0 "a" 1 (Some 2);
+      wr 1 "b" 3 (Some 20);
+      rd 2 "b" 4 (Some 5);
+      rd ~client:2 3 "a" 6 (Some 7);
+    ]
+  in
+  check_invalid "new-old inversion" (Checker.atomic h)
+
+let test_atomic_read_from_future () =
+  (* read completes before the write of its value is invoked *)
+  check_invalid "thin air ordering"
+    (Checker.atomic [ rd 0 "a" 1 (Some 2); wr 1 "a" 3 (Some 4) ]);
+  check_invalid "never written"
+    (Checker.atomic [ wr 0 "a" 1 (Some 2); rd 1 "zzz" 3 (Some 4) ])
+
+let test_atomic_pending_write_read () =
+  (* a pending write's value may be returned *)
+  check_valid "pending write read"
+    (Checker.atomic [ wr 0 "a" 1 None; rd 1 "a" 2 (Some 3) ])
+
+let test_atomic_duplicate_values_rejected () =
+  check_invalid "duplicate values unsupported"
+    (Checker.atomic [ wr 0 "a" 1 (Some 2); wr 1 "a" 3 (Some 4) ])
+
+let test_atomic_concurrent_writes () =
+  (* two overlapping writes; reads may see them in one consistent order *)
+  let base = [ wr 0 "a" 1 (Some 10); wr ~client:3 1 "b" 2 (Some 9) ] in
+  check_valid "either order ok"
+    (Checker.atomic (base @ [ rd 2 "a" 11 (Some 12); rd 3 "a" 13 (Some 14) ]));
+  check_valid "other order ok"
+    (Checker.atomic (base @ [ rd 2 "b" 11 (Some 12) ]));
+  (* but not both orders at once: a-then-b-then-a again *)
+  check_invalid "flip-flop"
+    (Checker.atomic
+       (base
+       @ [ rd 2 "b" 11 (Some 12); rd 3 "a" 13 (Some 14); rd 4 "b" 15 (Some 16) ]))
+
+(* ----- Regularity ----- *)
+
+let test_regular_basic () =
+  check_valid "sequential"
+    (Checker.regular [ wr 0 "a" 1 (Some 2); rd 1 "a" 3 (Some 4) ]);
+  check_invalid "stale by two"
+    (Checker.regular
+       [ wr 0 "a" 1 (Some 2); wr 1 "b" 3 (Some 4); rd 2 "a" 5 (Some 6) ])
+
+let test_regular_allows_new_old_inversion () =
+  let h =
+    [
+      wr 0 "a" 1 (Some 2);
+      wr 1 "b" 3 (Some 20);
+      rd 2 "b" 4 (Some 5);
+      rd ~client:2 3 "a" 6 (Some 7);
+    ]
+  in
+  check_valid "new-old inversion is regular" (Checker.regular h)
+
+let test_regular_overlap () =
+  let h v = [ wr 0 "a" 1 (Some 2); wr 1 "b" 3 (Some 10); rd 2 v 4 (Some 5) ] in
+  check_valid "overlapping write old" (Checker.regular (h "a"));
+  check_valid "overlapping write new" (Checker.regular (h "b"));
+  check_invalid "unwritten value" (Checker.regular (h "q"))
+
+let test_regular_needs_single_writer () =
+  check_invalid "overlapping writes rejected"
+    (Checker.regular [ wr 0 "a" 1 (Some 10); wr ~client:2 1 "b" 2 (Some 9) ])
+
+let test_regular_initial () =
+  check_valid "initial before any write" (Checker.regular ~init:"i" [ rd 0 "i" 1 (Some 2) ]);
+  check_invalid "initial after write"
+    (Checker.regular ~init:"i" [ wr 0 "a" 1 (Some 2); rd 1 "i" 3 (Some 4) ])
+
+(* ----- Weak regularity ----- *)
+
+let test_weakly_regular_basic () =
+  check_valid "sequential"
+    (Checker.weakly_regular [ wr 0 "a" 1 (Some 2); rd 1 "a" 3 (Some 4) ]);
+  check_invalid "skipped a terminated write"
+    (Checker.weakly_regular
+       [ wr 0 "a" 1 (Some 2); wr ~client:2 1 "b" 3 (Some 4); rd 2 "a" 5 (Some 6) ])
+
+let test_weakly_regular_pending () =
+  (* a never-terminating write's value is always returnable once invoked *)
+  check_valid "pending write visible"
+    (Checker.weakly_regular [ wr 0 "a" 1 None; rd 1 "a" 2 (Some 3) ]);
+  check_valid "pending write skipped"
+    (Checker.weakly_regular
+       [ wr 0 "a" 1 (Some 2); wr ~client:2 1 "b" 3 None; rd 2 "a" 5 (Some 6) ]);
+  check_invalid "future value"
+    (Checker.weakly_regular [ rd 0 "a" 1 (Some 2); wr 1 "a" 3 None ])
+
+let test_weakly_regular_concurrent_writers () =
+  (* two concurrent terminated writes: either is returnable *)
+  let base = [ wr 0 "a" 1 (Some 10); wr ~client:2 1 "b" 2 (Some 9) ] in
+  check_valid "first" (Checker.weakly_regular (base @ [ rd 2 "a" 11 (Some 12) ]));
+  check_valid "second" (Checker.weakly_regular (base @ [ rd 2 "b" 11 (Some 12) ]))
+
+let test_weakly_regular_initial () =
+  check_valid "initial" (Checker.weakly_regular ~init:"i" [ rd 0 "i" 1 (Some 2) ]);
+  check_invalid "initial after terminated write"
+    (Checker.weakly_regular ~init:"i" [ wr 0 "a" 1 (Some 2); rd 1 "i" 3 (Some 4) ]);
+  check_valid "initial next to pending write"
+    (Checker.weakly_regular ~init:"i" [ wr 0 "a" 1 None; rd 1 "i" 3 (Some 4) ])
+
+(* ----- properties: atomic => regular => weakly regular on
+   single-writer histories ----- *)
+
+(* random single-writer histories with unique values *)
+let gen_history =
+  QCheck.make
+    ~print:(fun h -> Format.asprintf "%a" History.pp h)
+    QCheck.Gen.(
+      let* n_writes = int_range 1 4 in
+      let* n_reads = int_range 0 4 in
+      let* read_offsets = list_size (return n_reads) (int_range 0 6) in
+      let* read_lens = list_size (return n_reads) (int_range 0 5) in
+      let* read_vals = list_size (return n_reads) (int_range 0 n_writes) in
+      (* Sequential writes at times 10i+1 .. 10i+5; reads use times
+         congruent to 2 and 3 mod 10, so no event time ties a write's —
+         matching the engine's distinct-timestamp invariant. *)
+      let writes =
+        List.init n_writes (fun i ->
+            wr i (String.make 1 (Char.chr (Char.code 'a' + i))) ((10 * i) + 1)
+              (Some ((10 * i) + 5)))
+      in
+      let reads =
+        List.mapi
+          (fun j ((off, len), v) ->
+            let value =
+              if v = 0 then "" else String.make 1 (Char.chr (Char.code 'a' + v - 1))
+            in
+            rd (n_writes + j) value ((10 * off) + 2) (Some ((10 * (off + len)) + 3)))
+          (List.combine (List.combine read_offsets read_lens) read_vals)
+      in
+      return (writes @ reads))
+
+(* ----- brute-force reference checker -----
+
+   A history is linearizable iff some permutation of its operations
+   respects real-time precedence and register semantics.  Backtracking
+   search; exponential, usable only on tiny histories -- which is
+   exactly what a reference implementation for the polynomial cluster
+   checker needs to be.  Pending writes may be placed anywhere after
+   their invocation or dropped; pending reads are dropped. *)
+let brute_force_linearizable ~init (h : History.t) =
+  let ops =
+    List.filter
+      (fun (o : History.op_record) ->
+        not (History.is_read o && History.is_pending o))
+      h
+  in
+  let rec search placed_value remaining =
+    match remaining with
+    | [] -> true
+    | _ ->
+        (* candidates: ops all of whose real-time predecessors are placed *)
+        let can_be_next (o : History.op_record) =
+          List.for_all
+            (fun (p : History.op_record) -> not (History.precedes p o))
+            remaining
+        in
+        List.exists
+          (fun (o : History.op_record) ->
+            can_be_next o
+            &&
+            let rest = List.filter (fun p -> p != o) remaining in
+            match o.kind with
+            | History.Write_op ->
+                search (Option.value ~default:"" o.written) rest
+            | History.Read_op ->
+                Option.value ~default:"" o.result = placed_value
+                && search placed_value rest)
+          remaining
+        (* a pending write may also be dropped entirely *)
+        || List.exists
+             (fun (o : History.op_record) ->
+               History.is_pending o && History.is_write o
+               && search placed_value (List.filter (fun p -> p != o) remaining))
+             remaining
+  in
+  search init ops
+
+(* multi-writer histories with overlapping writes, unique values,
+   pairwise-distinct event times *)
+let gen_mw_history =
+  QCheck.make
+    ~print:(fun h -> Format.asprintf "%a" History.pp h)
+    QCheck.Gen.(
+      let* n_writes = int_range 1 3 in
+      let* n_reads = int_range 0 3 in
+      let m = n_writes + n_reads in
+      (* 2m distinct times, shuffled, consumed in pairs *)
+      let times = Array.init (2 * m) Fun.id in
+      let* () = shuffle_a times in
+      let* read_vals = list_size (return n_reads) (int_range 0 n_writes) in
+      let interval i =
+        let a = times.(2 * i) and b = times.((2 * i) + 1) in
+        (min a b, max a b)
+      in
+      (* occasionally leave one write pending (its response never
+         arrives), exercising the possibly-effective-write treatment *)
+      let* pending_idx = int_range (-2 * n_writes) (n_writes - 1) in
+      let writes =
+        List.init n_writes (fun i ->
+            let inv, resp = interval i in
+            let resp = if i = pending_idx then None else Some resp in
+            wr ~client:i i (String.make 1 (Char.chr (Char.code 'a' + i))) inv resp)
+      in
+      let reads =
+        List.mapi
+          (fun j v ->
+            let inv, resp = interval (n_writes + j) in
+            let value =
+              if v = 0 then "" else String.make 1 (Char.chr (Char.code 'a' + v - 1))
+            in
+            rd ~client:(n_writes + j) (n_writes + j) value inv (Some resp))
+          read_vals
+      in
+      return (List.sort (fun (a : History.op_record) b -> compare a.inv b.inv)
+                (writes @ reads)))
+
+let prop_cluster_checker_equals_brute_force =
+  QCheck.Test.make ~name:"polynomial atomic checker = brute force" ~count:2000
+    gen_mw_history (fun h ->
+      Checker.is_valid (Checker.atomic ~init:"" h)
+      = brute_force_linearizable ~init:"" h)
+
+(* a couple of directed pending-write comparisons (the generator only
+   produces completed operations) *)
+let test_brute_force_pending_cases () =
+  let h1 = [ wr 0 "a" 1 None; rd 1 "a" 2 (Some 3) ] in
+  Alcotest.(check bool) "pending visible (bf)" true
+    (brute_force_linearizable ~init:"" h1);
+  Alcotest.(check bool) "pending visible (poly)" true
+    (Checker.is_valid (Checker.atomic ~init:"" h1));
+  let h2 = [ wr 0 "a" 1 None; rd 1 "" 2 (Some 3); rd ~client:2 2 "a" 4 (Some 5) ] in
+  Alcotest.(check bool) "pending then effective (bf)" true
+    (brute_force_linearizable ~init:"" h2);
+  Alcotest.(check bool) "pending then effective (poly)" true
+    (Checker.is_valid (Checker.atomic ~init:"" h2));
+  (* read of init AFTER a read of the pending write: not linearizable *)
+  let h3 = [ wr 0 "a" 1 None; rd 1 "a" 2 (Some 3); rd ~client:2 2 "" 4 (Some 5) ] in
+  Alcotest.(check bool) "value cannot revert (bf)" false
+    (brute_force_linearizable ~init:"" h3);
+  Alcotest.(check bool) "value cannot revert (poly)" false
+    (Checker.is_valid (Checker.atomic ~init:"" h3))
+
+let prop_atomic_implies_regular =
+  QCheck.Test.make ~name:"atomic => regular (single writer)" ~count:500
+    gen_history (fun h ->
+      (not (Checker.is_valid (Checker.atomic ~init:"" h)))
+      || Checker.is_valid (Checker.regular ~init:"" h))
+
+let prop_regular_implies_weak =
+  QCheck.Test.make ~name:"regular => weakly regular" ~count:500 gen_history
+    (fun h ->
+      (not (Checker.is_valid (Checker.regular ~init:"" h)))
+      || Checker.is_valid (Checker.weakly_regular ~init:"" h))
+
+let () =
+  Alcotest.run "consistency"
+    [
+      ( "history",
+        [
+          Alcotest.test_case "of_events" `Quick test_of_events;
+          Alcotest.test_case "pending ops" `Quick test_pending_ops;
+          Alcotest.test_case "unique values" `Quick test_unique_values;
+        ] );
+      ( "atomic",
+        [
+          Alcotest.test_case "sequential" `Quick test_atomic_sequential;
+          Alcotest.test_case "initial value" `Quick test_atomic_initial_value;
+          Alcotest.test_case "stale read" `Quick test_atomic_stale_read;
+          Alcotest.test_case "overlapping read" `Quick test_atomic_overlapping_read;
+          Alcotest.test_case "new-old inversion" `Quick test_atomic_new_old_inversion;
+          Alcotest.test_case "read from future" `Quick test_atomic_read_from_future;
+          Alcotest.test_case "pending write" `Quick test_atomic_pending_write_read;
+          Alcotest.test_case "duplicate values" `Quick
+            test_atomic_duplicate_values_rejected;
+          Alcotest.test_case "concurrent writes" `Quick test_atomic_concurrent_writes;
+        ] );
+      ( "regular",
+        [
+          Alcotest.test_case "basic" `Quick test_regular_basic;
+          Alcotest.test_case "new-old inversion allowed" `Quick
+            test_regular_allows_new_old_inversion;
+          Alcotest.test_case "overlap" `Quick test_regular_overlap;
+          Alcotest.test_case "single-writer requirement" `Quick
+            test_regular_needs_single_writer;
+          Alcotest.test_case "initial value" `Quick test_regular_initial;
+        ] );
+      ( "weakly-regular",
+        [
+          Alcotest.test_case "basic" `Quick test_weakly_regular_basic;
+          Alcotest.test_case "pending writes" `Quick test_weakly_regular_pending;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_weakly_regular_concurrent_writers;
+          Alcotest.test_case "initial value" `Quick test_weakly_regular_initial;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_atomic_implies_regular;
+            prop_regular_implies_weak;
+            prop_cluster_checker_equals_brute_force;
+          ] );
+      ( "reference-checker",
+        [
+          Alcotest.test_case "pending-write cases" `Quick
+            test_brute_force_pending_cases;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+(* Tests for the umbrella Core API: the canned experiments the bench
+   harness and CLI are built from. *)
+
+let test_paper_params () =
+  Alcotest.(check (float 1e-9)) "N/(N-f)" (21.0 /. 11.0)
+    (Bounds.norm_singleton Core.paper_params);
+  Alcotest.(check (float 1e-9)) "f+1" 11.0 (Bounds.norm_abd Core.paper_params)
+
+let test_figure1_series () =
+  let rows = Core.figure1 () in
+  Alcotest.(check int) "default 16 rows" 16 (List.length rows);
+  let rows4 = Core.figure1 ~nu_max:4 () in
+  Alcotest.(check int) "nu_max respected" 4 (List.length rows4)
+
+let test_measure_storage_abd_flat () =
+  (* multi-writer ABD: normalized peak storage is ~n regardless of nu *)
+  let m nu =
+    Core.measure_storage ~algo:Algorithms.Abd_mw.algo ~n:5 ~f:2 ~k:1 ~nu
+      ~value_len:64 ~seed:7
+  in
+  let s1 = m 1 and s2 = m 2 in
+  Alcotest.(check bool) "around n" true (s1 >= 5.0 && s1 <= 6.0);
+  Alcotest.(check (float 1e-9)) "flat in nu" s1 s2
+
+let test_measure_storage_cas_grows () =
+  let m nu =
+    Core.measure_storage ~algo:Algorithms.Cas.algo ~n:5 ~f:1 ~k:3 ~nu
+      ~value_len:90 ~seed:8
+  in
+  Alcotest.(check bool) "monotone" true (m 2 > m 1 && m 3 > m 2)
+
+let test_figure1_measured_rows () =
+  let rows = Core.figure1_measured ~n:5 ~f:1 ~nu_max:3 ~value_len:60 ~seed:3 () in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  List.iteri
+    (fun i (r : Core.measured_row) ->
+      Alcotest.(check int) "nu increments" (i + 1) r.Core.nu;
+      Alcotest.(check bool) "cas positive" true (r.Core.cas > 0.0);
+      Alcotest.(check (float 1e-9)) "abd model is n" 5.0 r.Core.abd_model;
+      (* model: (nu+1) * n / k with k = n - 2f = 3 *)
+      Alcotest.(check (float 1e-6)) "cas model"
+        (float_of_int ((r.Core.nu + 1) * 5) /. 3.0)
+        r.Core.cas_model)
+    rows
+
+let test_experiment_b1 () =
+  let r = Core.experiment_b1 ~v:3 () in
+  Alcotest.(check bool) "injective" true r.Valency.Singleton.injective;
+  Alcotest.(check bool) "satisfied" true r.Valency.Singleton.satisfied;
+  Alcotest.(check int) "|V|" 3 r.Valency.Singleton.v_count
+
+let test_experiment_41 () =
+  let r = Core.experiment_41 ~v:2 () in
+  Alcotest.(check bool) "injective" true r.Valency.Critical.injective;
+  Alcotest.(check bool) "satisfied" true r.Valency.Critical.satisfied;
+  Alcotest.(check int) "pairs" 2 r.Valency.Critical.pairs
+
+let test_experiment_51 () =
+  let r = Core.experiment_51 ~v:2 () in
+  Alcotest.(check bool) "injective" true r.Valency.Critical.injective;
+  Alcotest.(check bool) "mode is gossip" true
+    (r.Valency.Critical.mode = Valency.Critical.Gossip)
+
+let test_experiment_65 () =
+  let r = Core.experiment_65 ~v:3 () in
+  Alcotest.(check bool) "injective" true r.Valency.Multi.injective;
+  Alcotest.(check bool) "monotone" true r.Valency.Multi.stages_monotone
+
+let test_experiment_65_conjecture () =
+  let unmodified, modified = Core.experiment_65_conjecture ~v:3 () in
+  Alcotest.(check int) "unmodified: all anomalous"
+    unmodified.Valency.Multi.vectors
+    (List.length unmodified.Valency.Multi.anomalies);
+  Alcotest.(check bool) "modified: injective" true modified.Valency.Multi.injective;
+  Alcotest.(check (list string)) "modified: clean" []
+    modified.Valency.Multi.anomalies
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "paper params" `Quick test_paper_params;
+          Alcotest.test_case "figure1" `Quick test_figure1_series;
+        ] );
+      ( "measured",
+        [
+          Alcotest.test_case "abd flat" `Quick test_measure_storage_abd_flat;
+          Alcotest.test_case "cas grows" `Quick test_measure_storage_cas_grows;
+          Alcotest.test_case "figure1 measured" `Quick test_figure1_measured_rows;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "b1" `Quick test_experiment_b1;
+          Alcotest.test_case "41" `Quick test_experiment_41;
+          Alcotest.test_case "51" `Slow test_experiment_51;
+          Alcotest.test_case "65" `Slow test_experiment_65;
+          Alcotest.test_case "65 conjecture" `Slow test_experiment_65_conjecture;
+        ] );
+    ]

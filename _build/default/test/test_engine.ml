@@ -1,0 +1,389 @@
+(* Tests for the execution engine: functional queues, configurations,
+   channels, freezing, failures, scheduling, and determinism. *)
+
+open Engine
+
+(* A miniature echo protocol used to exercise the engine in isolation:
+   a client "write" sends a ping to all servers and completes after one
+   ack; servers count pings.  A client "read" returns the empty
+   string immediately after one server echo. *)
+module Echo = struct
+  type server_state = { pings : int }
+  type msg = Ping | Pong
+  type client_state = { waiting : bool }
+
+  let algo : (server_state, client_state, msg) Types.algo =
+    {
+      name = "echo";
+      uses_gossip = false;
+      single_value_phase = true;
+      init_server = (fun _ _ -> { pings = 0 });
+      init_client = (fun _ _ -> { waiting = false });
+      on_invoke =
+        (fun p ~me:_ _cs _op ->
+          ( { waiting = true },
+            List.init p.Types.n (fun i -> Types.send (Types.Server i) Ping) ));
+      on_client_msg =
+        (fun _p ~me:_ cs ~src:_ msg ->
+          match (msg, cs.waiting) with
+          | Pong, true -> ({ waiting = false }, [], Some Types.Write_ack)
+          | Pong, false -> (cs, [], None)
+          | Ping, _ -> invalid_arg "client got ping");
+      on_server_msg =
+        (fun _p ~me:_ ss ~src msg ->
+          match msg with
+          | Ping -> ({ pings = ss.pings + 1 }, [ Types.send src Pong ])
+          | Pong -> invalid_arg "server got pong");
+      server_bits = (fun _ ss -> ss.pings);
+      encode_server = (fun ss -> string_of_int ss.pings);
+      encode_msg = (function Ping -> "ping" | Pong -> "pong");
+      is_value_dependent = (fun _ -> false);
+    }
+end
+
+let params = Types.params ~n:3 ~f:1 ~value_len:1 ()
+
+(* ----- Fqueue ----- *)
+
+let test_fqueue_basic () =
+  let q = Fqueue.empty in
+  Alcotest.(check bool) "empty" true (Fqueue.is_empty q);
+  let q = Fqueue.push 1 (Fqueue.push 2 (Fqueue.push 3 Fqueue.empty)) in
+  Alcotest.(check int) "length" 3 (Fqueue.length q);
+  Alcotest.(check (list int)) "fifo order" [ 3; 2; 1 ] (Fqueue.to_list q);
+  (match Fqueue.pop q with
+  | Some (x, q') ->
+      Alcotest.(check int) "pop front" 3 x;
+      Alcotest.(check int) "shorter" 2 (Fqueue.length q')
+  | None -> Alcotest.fail "pop of nonempty");
+  Alcotest.(check bool) "pop empty" true (Fqueue.pop Fqueue.empty = None);
+  Alcotest.(check (option int)) "peek" (Some 3) (Fqueue.peek q)
+
+let test_fqueue_of_list_fold () =
+  let q = Fqueue.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "of_list preserves order" [ 1; 2; 3 ] (Fqueue.to_list q);
+  Alcotest.(check int) "fold" 6 (Fqueue.fold ( + ) 0 q);
+  (* interleave pushes and pops to cross the front/back boundary *)
+  let q = Fqueue.of_list [ 1; 2 ] in
+  let _, q = Option.get (Fqueue.pop q) in
+  let q = Fqueue.push 9 q in
+  Alcotest.(check (list int)) "mixed ops" [ 2; 9 ] (Fqueue.to_list q)
+
+(* ----- Types ----- *)
+
+let test_params_validation () =
+  Alcotest.check_raises "f >= n" (Invalid_argument "Types.params: need 0 <= f < n")
+    (fun () -> ignore (Types.params ~n:2 ~f:2 ~value_len:1 ()));
+  Alcotest.check_raises "bad k" (Invalid_argument "Types.params: need 1 <= k <= n")
+    (fun () -> ignore (Types.params ~k:9 ~n:3 ~f:1 ~value_len:1 ()));
+  Alcotest.check_raises "bad delta"
+    (Invalid_argument "Types.params: delta must be >= 1") (fun () ->
+      ignore (Types.params ~delta:0 ~n:3 ~f:1 ~value_len:1 ()))
+
+(* ----- Config ----- *)
+
+let test_initial_config () =
+  let c = Config.make Echo.algo params ~clients:2 in
+  Alcotest.(check int) "time 0" 0 (Config.time c);
+  Alcotest.(check bool) "no history" true (Config.history c = []);
+  Alcotest.(check bool) "nothing enabled" false (Config.has_enabled c);
+  Alcotest.(check int) "server state" 0 (Config.server_state c 0).Echo.pings;
+  Alcotest.(check bool) "no failures" true (Config.failed c = [])
+
+let test_invoke_enables_deliveries () =
+  let c = Config.make Echo.algo params ~clients:1 in
+  let op_id, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
+  Alcotest.(check int) "first op id" 0 op_id;
+  Alcotest.(check int) "three channels enabled" 3 (List.length (Config.enabled c));
+  Alcotest.(check bool) "pending op" true (Config.pending_op c 0 <> None);
+  (* double invocation at the same client is a harness bug *)
+  Alcotest.check_raises "double invoke"
+    (Invalid_argument "Config.invoke: client 0 already has a pending op")
+    (fun () -> ignore (Config.invoke Echo.algo c ~client:0 Types.Read))
+
+let test_deliver_step () =
+  let c = Config.make Echo.algo params ~clients:1 in
+  let _, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
+  let act = List.hd (Config.enabled c) in
+  match Config.step_deliver Echo.algo c act with
+  | None -> Alcotest.fail "enabled action must step"
+  | Some c' ->
+      let (Config.Deliver (_, dst)) = act in
+      let sid = match dst with Types.Server i -> i | _ -> -1 in
+      Alcotest.(check int) "server got ping" 1 (Config.server_state c' sid).Echo.pings;
+      (* the pong channel back to the client is now enabled *)
+      Alcotest.(check bool) "pong pending" true
+        (List.exists
+           (fun (Config.Deliver (src, dst)) ->
+             src = Types.Server sid && dst = Types.Client 0)
+           (Config.enabled c'))
+
+let test_failure_blocks_delivery () =
+  let c = Config.make Echo.algo params ~clients:1 in
+  let _, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
+  let c = Config.fail_server c 1 in
+  Alcotest.(check bool) "server 1 failed" true (Config.is_failed c 1);
+  Alcotest.(check int) "only two deliveries" 2 (List.length (Config.enabled c));
+  Alcotest.check_raises "bad index" (Invalid_argument "Config.fail_server: bad index")
+    (fun () -> ignore (Config.fail_server c 7))
+
+let test_freeze_thaw () =
+  let c = Config.make Echo.algo params ~clients:1 in
+  let _, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
+  let c = Config.freeze c (Types.Client 0) in
+  Alcotest.(check bool) "frozen" true (Config.is_frozen c (Types.Client 0));
+  Alcotest.(check int) "client channels suspended" 0 (List.length (Config.enabled c));
+  let c = Config.thaw c (Types.Client 0) in
+  Alcotest.(check int) "thawed" 3 (List.length (Config.enabled c))
+
+let test_response_recorded () =
+  let c = Config.make Echo.algo params ~clients:1 in
+  let rng = Driver.rng_of_seed 1 in
+  let resp, c = Driver.run_op Echo.algo c ~client:0 ~op:(Types.Write "x") ~rng in
+  Alcotest.(check bool) "write acked" true (resp = Some Types.Write_ack);
+  match Config.history c with
+  | [ Types.Invoke _; Types.Respond { response = Types.Write_ack; _ } ] -> ()
+  | h ->
+      Alcotest.failf "unexpected history (%d events)" (List.length h)
+
+let test_channel_introspection () =
+  let c = Config.make Echo.algo params ~clients:1 in
+  let _, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
+  let ch = Config.channel c ~src:(Types.Client 0) ~dst:(Types.Server 2) in
+  Alcotest.(check int) "one ping queued" 1 (List.length ch);
+  Alcotest.(check int) "three channels busy" 3 (List.length (Config.channels c))
+
+(* ----- Driver ----- *)
+
+let test_run_to_quiescence () =
+  let c = Config.make Echo.algo params ~clients:1 in
+  let _, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
+  let rng = Driver.rng_of_seed 42 in
+  let c, outcome = Driver.run_to_quiescence Echo.algo c ~rng in
+  Alcotest.(check bool) "quiescent" true (outcome = Driver.Quiescent);
+  Alcotest.(check bool) "no enabled actions" false (Config.has_enabled c);
+  (* all three servers eventually got the ping *)
+  for i = 0 to 2 do
+    Alcotest.(check int) "ping delivered" 1 (Config.server_state c i).Echo.pings
+  done
+
+let test_determinism () =
+  let run seed =
+    let c = Config.make Echo.algo params ~clients:1 in
+    let _, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
+    let rng = Driver.rng_of_seed seed in
+    let c, _ = Driver.run_to_quiescence Echo.algo c ~rng in
+    Config.history c
+  in
+  Alcotest.(check bool) "same seed, same history" true (run 7 = run 7)
+
+let test_run_trace () =
+  let c = Config.make Echo.algo params ~clients:1 in
+  let _, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
+  let rng = Driver.rng_of_seed 3 in
+  let trace, outcome = Driver.run_trace Echo.algo c ~rng ~stop:(fun _ -> false) in
+  Alcotest.(check bool) "quiescent" true (outcome = Driver.Quiescent);
+  (* 3 pings + 1 pong consumed before the client stops waiting;
+     remaining pongs also delivered: 6 deliveries total + start point *)
+  Alcotest.(check int) "trace length" 7 (List.length trace);
+  (* trace times strictly increase *)
+  let times = List.map Config.time trace in
+  Alcotest.(check bool) "monotone" true
+    (List.for_all2 (fun a b -> a < b) (List.filteri (fun i _ -> i < 6) times)
+       (List.tl times))
+
+let test_drain_filter () =
+  let c = Config.make Echo.algo params ~clients:1 in
+  let _, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
+  let rng = Driver.rng_of_seed 5 in
+  (* drain only messages to server 0 *)
+  let c =
+    Driver.drain Echo.algo c ~rng ~filter:(fun ~src:_ ~dst ->
+        dst = Types.Server 0)
+  in
+  Alcotest.(check int) "server 0 got ping" 1 (Config.server_state c 0).Echo.pings;
+  Alcotest.(check int) "server 1 still waiting" 0 (Config.server_state c 1).Echo.pings
+
+let test_storage_accounting () =
+  let c = Config.make Echo.algo params ~clients:1 in
+  let _, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
+  let rng = Driver.rng_of_seed 11 in
+  let c, _ = Driver.run_to_quiescence Echo.algo c ~rng in
+  (* echo's server_bits = ping count = 1 per server *)
+  Alcotest.(check int) "total bits" 3 (Config.total_storage_bits Echo.algo c);
+  Alcotest.(check int) "max bits" 1 (Config.max_storage_bits Echo.algo c);
+  let c = Config.fail_server c 0 in
+  Alcotest.(check int) "failed servers excluded" 2
+    (Config.total_storage_bits Echo.algo c)
+
+(* gossip discipline: a no-gossip algorithm emitting server-to-server
+   messages must be rejected *)
+let test_gossip_enforcement () =
+  let bad =
+    {
+      Echo.algo with
+      Types.on_server_msg =
+        (fun _p ~me:_ ss ~src:_ msg ->
+          match msg with
+          | Echo.Ping -> (ss, [ Types.send (Types.Server 0) Echo.Ping ])
+          | Echo.Pong -> (ss, []));
+    }
+  in
+  let c = Config.make bad params ~clients:1 in
+  let _, c = Config.invoke bad c ~client:0 (Types.Write "x") in
+  let act =
+    List.find
+      (fun (Config.Deliver (_, dst)) -> dst = Types.Server 1)
+      (Config.enabled c)
+  in
+  Alcotest.check_raises "no-gossip violation"
+    (Invalid_argument
+       "Config.enqueue: algorithm echo declares no gossip but sent a \
+        server-to-server message") (fun () ->
+      ignore (Config.step_deliver bad c act))
+
+(* ----- properties ----- *)
+
+(* a protocol that tags pings with sequence numbers lets us observe
+   delivery order directly *)
+module Seq_proto = struct
+  type server_state = { received : int list (* reversed *) }
+  type msg = Numbered of int
+  type client_state = { next : int }
+
+  let algo : (server_state, client_state, msg) Types.algo =
+    {
+      name = "seq";
+      uses_gossip = false;
+      single_value_phase = true;
+      init_server = (fun _ _ -> { received = [] });
+      init_client = (fun _ _ -> { next = 0 });
+      on_invoke =
+        (fun _p ~me:_ cs _op ->
+          (* each invocation sends three numbered messages to server 0 *)
+          let base = cs.next in
+          ( { next = base + 3 },
+            List.init 3 (fun i -> Types.send (Types.Server 0) (Numbered (base + i)))
+          ));
+      on_client_msg = (fun _p ~me:_ cs ~src:_ _m -> (cs, [], None));
+      on_server_msg =
+        (fun _p ~me:_ ss ~src:_ (Numbered i) ->
+          ({ received = i :: ss.received }, []));
+      server_bits = (fun _ _ -> 0);
+      encode_server = (fun ss -> String.concat "," (List.map string_of_int ss.received));
+      encode_msg = (fun (Numbered i) -> string_of_int i);
+      is_value_dependent = (fun _ -> false);
+    }
+end
+
+let prop_channel_fifo =
+  QCheck.Test.make ~name:"channels are FIFO" ~count:100 QCheck.small_int
+    (fun seed ->
+      let params = Types.params ~n:1 ~f:0 ~value_len:1 () in
+      let c = Config.make Seq_proto.algo params ~clients:1 in
+      let _, c = Config.invoke Seq_proto.algo c ~client:0 (Types.Write "x") in
+      let rng = Driver.rng_of_seed seed in
+      let c, _ = Driver.run_to_quiescence Seq_proto.algo c ~rng in
+      (* sent 0,1,2 in order; FIFO delivery must preserve it *)
+      (Config.server_state c 0).Seq_proto.received = [ 2; 1; 0 ])
+
+let prop_freeze_blocks_everything =
+  QCheck.Test.make ~name:"frozen endpoints never deliver" ~count:100
+    QCheck.small_int (fun seed ->
+      let params = Types.params ~n:3 ~f:1 ~value_len:1 () in
+      let algo = Algorithms.Abd.algo in
+      let c = Config.make algo params ~clients:1 in
+      let _, c = Config.invoke algo c ~client:0 (Types.Write "a") in
+      let c = Config.freeze c (Types.Client 0) in
+      let rng = Driver.rng_of_seed seed in
+      let c', outcome = Driver.run_to_quiescence algo c ~rng in
+      (* nothing can move: the writer's puts are frozen *)
+      outcome = Driver.Quiescent && Config.time c' = Config.time c)
+
+let prop_failed_servers_silent =
+  QCheck.Test.make ~name:"failed servers never act" ~count:50 QCheck.small_int
+    (fun seed ->
+      let params = Types.params ~n:3 ~f:1 ~value_len:1 () in
+      let algo = Algorithms.Abd.algo in
+      let c = Config.make algo params ~clients:2 in
+      let c = Config.fail_server c 1 in
+      let rng = Driver.rng_of_seed seed in
+      let c = Driver.write_exn algo c ~client:0 ~value:"a" ~rng in
+      let c, _ = Driver.run_to_quiescence algo c ~rng in
+      (* server 1 still has its initial state *)
+      algo.Types.encode_server (Config.server_state c 1)
+      = algo.Types.encode_server (Config.server_state (Config.make algo params ~clients:2) 1))
+
+let prop_histories_deterministic =
+  QCheck.Test.make ~name:"same seed, same execution" ~count:50 QCheck.small_int
+    (fun seed ->
+      let run () =
+        let params = Types.params ~n:3 ~f:1 ~value_len:2 () in
+        let algo = Algorithms.Abd.algo in
+        let c = Config.make algo params ~clients:2 in
+        let rng = Driver.rng_of_seed seed in
+        let c = Driver.write_exn algo c ~client:0 ~value:"ab" ~rng in
+        let v, c = Driver.read_exn algo c ~client:1 ~rng in
+        (v, Config.history c, Config.time c)
+      in
+      run () = run ())
+
+let prop_event_times_distinct =
+  QCheck.Test.make ~name:"event timestamps are pairwise distinct" ~count:50
+    QCheck.small_int (fun seed ->
+      let params = Types.params ~n:3 ~f:1 ~value_len:2 () in
+      let algo = Algorithms.Abd_mw.algo in
+      let c = Config.make algo params ~clients:3 in
+      let rng = Driver.rng_of_seed seed in
+      let c, _ =
+        Driver.run_concurrent algo c
+          ~ops:[ (0, Types.Write "aa"); (1, Types.Write "bb"); (2, Types.Read) ]
+          ~rng
+      in
+      let times =
+        List.map
+          (function
+            | Types.Invoke { time; _ } -> time
+            | Types.Respond { time; _ } -> time)
+          (Config.history c)
+      in
+      List.length times = List.length (List.sort_uniq compare times))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "fqueue",
+        [
+          Alcotest.test_case "basics" `Quick test_fqueue_basic;
+          Alcotest.test_case "of_list/fold" `Quick test_fqueue_of_list_fold;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "params validation" `Quick test_params_validation;
+          Alcotest.test_case "initial config" `Quick test_initial_config;
+          Alcotest.test_case "invoke" `Quick test_invoke_enables_deliveries;
+          Alcotest.test_case "deliver" `Quick test_deliver_step;
+          Alcotest.test_case "failures" `Quick test_failure_blocks_delivery;
+          Alcotest.test_case "freeze/thaw" `Quick test_freeze_thaw;
+          Alcotest.test_case "responses" `Quick test_response_recorded;
+          Alcotest.test_case "channel introspection" `Quick test_channel_introspection;
+          Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
+          Alcotest.test_case "gossip enforcement" `Quick test_gossip_enforcement;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "run to quiescence" `Quick test_run_to_quiescence;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "trace" `Quick test_run_trace;
+          Alcotest.test_case "filtered drain" `Quick test_drain_filter;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_channel_fifo;
+            prop_freeze_blocks_everything;
+            prop_failed_servers_silent;
+            prop_histories_deterministic;
+            prop_event_times_distinct;
+          ] );
+    ]

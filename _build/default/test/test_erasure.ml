@@ -1,0 +1,198 @@
+(* Unit and property tests for the Reed-Solomon erasure code. *)
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let test_create_validation () =
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Erasure.create: need 1 <= k <= n <= 255, got n=2 k=3")
+    (fun () -> ignore (Erasure.create ~n:2 ~k:3));
+  Alcotest.check_raises "k = 0"
+    (Invalid_argument "Erasure.create: need 1 <= k <= n <= 255, got n=4 k=0")
+    (fun () -> ignore (Erasure.create ~n:4 ~k:0));
+  let c = Erasure.create ~n:5 ~k:3 in
+  check_int "n" 5 (Erasure.n c);
+  check_int "k" 3 (Erasure.k c)
+
+let test_shard_len () =
+  let c = Erasure.create ~n:6 ~k:3 in
+  check_int "divisible" 4 (Erasure.shard_len c ~value_len:12);
+  check_int "padding" 5 (Erasure.shard_len c ~value_len:13);
+  check_int "empty value still 1 byte" 1 (Erasure.shard_len c ~value_len:0);
+  check_int "symbol bits" 32 (Erasure.symbol_bits c ~value_len:12)
+
+let test_systematic () =
+  let c = Erasure.create ~n:6 ~k:3 in
+  let v = "abcdefghi" in
+  let syms = Erasure.encode c v in
+  check_int "n symbols" 6 (Array.length syms);
+  check_str "shard 0 systematic" "abc" (Bytes.to_string syms.(0));
+  check_str "shard 1 systematic" "def" (Bytes.to_string syms.(1));
+  check_str "shard 2 systematic" "ghi" (Bytes.to_string syms.(2))
+
+let test_encode_symbol_consistent () =
+  let c = Erasure.create ~n:7 ~k:4 in
+  let v = "the quick brown fox" in
+  let syms = Erasure.encode c v in
+  for i = 0 to 6 do
+    check_str
+      (Printf.sprintf "symbol %d" i)
+      (Bytes.to_string syms.(i))
+      (Bytes.to_string (Erasure.encode_symbol c ~index:i v))
+  done
+
+let test_decode_from_data_shards () =
+  let c = Erasure.create ~n:5 ~k:2 in
+  let v = "hello world" in
+  let syms = Erasure.encode c v in
+  let got = Erasure.decode c ~value_len:(String.length v) [ (0, syms.(0)); (1, syms.(1)) ] in
+  check_str "decode" v (Option.get got)
+
+let test_decode_from_parity_only () =
+  let c = Erasure.create ~n:5 ~k:2 in
+  let v = "hello world" in
+  let syms = Erasure.encode c v in
+  let got = Erasure.decode c ~value_len:(String.length v) [ (3, syms.(3)); (4, syms.(4)) ] in
+  check_str "decode from parity" v (Option.get got)
+
+let test_decode_insufficient () =
+  let c = Erasure.create ~n:5 ~k:3 in
+  let v = "xyz" in
+  let syms = Erasure.encode c v in
+  check_bool "two symbols insufficient" true
+    (Erasure.decode c ~value_len:3 [ (0, syms.(0)); (4, syms.(4)) ] = None);
+  (* duplicates of the same index do not count twice *)
+  check_bool "duplicate index ignored" true
+    (Erasure.decode c ~value_len:3 [ (0, syms.(0)); (0, syms.(0)); (0, syms.(0)) ]
+     = None)
+
+let test_decode_validation () =
+  let c = Erasure.create ~n:4 ~k:2 in
+  let syms = Erasure.encode c "abcd" in
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Erasure.decode: index out of range") (fun () ->
+      ignore (Erasure.decode c ~value_len:4 [ (9, syms.(0)) ]));
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Erasure.decode: symbol has wrong length") (fun () ->
+      ignore (Erasure.decode c ~value_len:4 [ (0, Bytes.create 1) ]))
+
+let test_empty_value () =
+  let c = Erasure.create ~n:3 ~k:2 in
+  let syms = Erasure.encode c "" in
+  check_str "empty round-trip" ""
+    (Option.get (Erasure.decode c ~value_len:0 [ (0, syms.(0)); (2, syms.(2)) ]))
+
+let test_replication_degenerate () =
+  (* k = 1 degenerates to replication *)
+  let c = Erasure.create ~n:3 ~k:1 in
+  let v = "rep" in
+  let syms = Erasure.encode c v in
+  Array.iter (fun s -> check_str "every symbol is the value" v (Bytes.to_string s)) syms
+
+let test_large_code () =
+  (* stress geometry near the field's limit *)
+  let c = Erasure.create ~n:255 ~k:64 in
+  let v = String.init 640 (fun i -> Char.chr (i land 0xff)) in
+  let syms = Erasure.encode c v in
+  check_int "255 symbols" 255 (Array.length syms);
+  check_int "symbol size" 10 (Bytes.length syms.(0));
+  (* decode from a scattered k-subset including high parity indices *)
+  let chosen = List.init 64 (fun i -> (254 - (3 * i), syms.(254 - (3 * i)))) in
+  check_str "recovers" v (Option.get (Erasure.decode c ~value_len:640 chosen));
+  Alcotest.check_raises "n=256 rejected"
+    (Invalid_argument "Erasure.create: need 1 <= k <= n <= 255, got n=256 k=2")
+    (fun () -> ignore (Erasure.create ~n:256 ~k:2))
+
+let test_k_equals_n () =
+  (* no redundancy: all symbols needed, but it still round-trips *)
+  let c = Erasure.create ~n:4 ~k:4 in
+  let v = "twelve bytes" in
+  let syms = Erasure.encode c v in
+  let all = Array.to_list (Array.mapi (fun i s -> (i, s)) syms) in
+  check_str "round trip" v (Option.get (Erasure.decode c ~value_len:12 all));
+  check_bool "any 3 insufficient" true
+    (Erasure.decode c ~value_len:12 (List.filteri (fun i _ -> i < 3) all) = None)
+
+let test_one_byte_values () =
+  let c = Erasure.create ~n:5 ~k:3 in
+  let syms = Erasure.encode c "z" in
+  check_str "single byte" "z"
+    (Option.get
+       (Erasure.decode c ~value_len:1 [ (4, syms.(4)); (1, syms.(1)); (3, syms.(3)) ]))
+
+let test_is_mds_small () =
+  check_bool "RS(5,2) MDS" true (Erasure.is_mds (Erasure.create ~n:5 ~k:2));
+  check_bool "RS(6,3) MDS" true (Erasure.is_mds (Erasure.create ~n:6 ~k:3));
+  check_bool "RS(7,4) MDS" true (Erasure.is_mds (Erasure.create ~n:7 ~k:4));
+  check_bool "RS(4,4) trivially MDS" true (Erasure.is_mds (Erasure.create ~n:4 ~k:4))
+
+(* --- properties --- *)
+
+(* any k-subset of symbols decodes the original value *)
+let rec subsets_of_size k = function
+  | [] -> if k = 0 then [ [] ] else []
+  | x :: rest ->
+      if k = 0 then [ [] ]
+      else
+        List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+        @ subsets_of_size k rest
+
+let prop_all_subsets_decode =
+  QCheck.Test.make ~name:"every k-subset decodes (n=6,k=3)" ~count:50
+    (QCheck.string_of_size (QCheck.Gen.int_range 0 40)) (fun v ->
+      let c = Erasure.create ~n:6 ~k:3 in
+      let syms = Erasure.encode c v in
+      let indexed = Array.to_list (Array.mapi (fun i s -> (i, s)) syms) in
+      List.for_all
+        (fun subset -> Erasure.decode c ~value_len:(String.length v) subset = Some v)
+        (subsets_of_size 3 indexed))
+
+let prop_roundtrip_random_geometry =
+  QCheck.Test.make ~name:"roundtrip over random (n,k)" ~count:100
+    QCheck.(
+      triple (int_range 1 12) (int_range 1 12) (string_of_size (QCheck.Gen.int_range 0 64)))
+    (fun (a, b, v) ->
+      let k = min a b and n = max a b in
+      let c = Erasure.create ~n ~k in
+      let syms = Erasure.encode c v in
+      (* decode from the last k symbols *)
+      let chosen = List.init k (fun i -> (n - 1 - i, syms.(n - 1 - i))) in
+      Erasure.decode c ~value_len:(String.length v) chosen = Some v)
+
+let prop_extra_symbols_ignored =
+  QCheck.Test.make ~name:"extra symbols beyond k are harmless" ~count:100
+    (QCheck.string_of_size (QCheck.Gen.int_range 1 32)) (fun v ->
+      let c = Erasure.create ~n:7 ~k:3 in
+      let syms = Erasure.encode c v in
+      let all = Array.to_list (Array.mapi (fun i s -> (i, s)) syms) in
+      Erasure.decode c ~value_len:(String.length v) all = Some v)
+
+let () =
+  Alcotest.run "erasure"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "shard_len" `Quick test_shard_len;
+          Alcotest.test_case "systematic prefix" `Quick test_systematic;
+          Alcotest.test_case "encode_symbol" `Quick test_encode_symbol_consistent;
+          Alcotest.test_case "decode from data" `Quick test_decode_from_data_shards;
+          Alcotest.test_case "decode from parity" `Quick test_decode_from_parity_only;
+          Alcotest.test_case "insufficient symbols" `Quick test_decode_insufficient;
+          Alcotest.test_case "decode validation" `Quick test_decode_validation;
+          Alcotest.test_case "empty value" `Quick test_empty_value;
+          Alcotest.test_case "k=1 replication" `Quick test_replication_degenerate;
+          Alcotest.test_case "large code (n=255)" `Quick test_large_code;
+          Alcotest.test_case "k = n" `Quick test_k_equals_n;
+          Alcotest.test_case "one-byte values" `Quick test_one_byte_values;
+          Alcotest.test_case "MDS property" `Slow test_is_mds_small;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_all_subsets_decode;
+            prop_roundtrip_random_geometry;
+            prop_extra_symbols_ignored;
+          ] );
+    ]

@@ -1,0 +1,154 @@
+(* Tests for the bounded exhaustive explorer: exhaustively model-check
+   small protocol instances for atomicity/regularity over EVERY
+   interleaving (not just sampled schedules). *)
+
+open Engine
+
+let params31 = Types.params ~n:3 ~f:1 ~value_len:1 ()
+
+let init = String.make 1 '\000'
+
+let check_atomic events =
+  let h = Consistency.History.of_events events in
+  match Consistency.Checker.atomic ~init h with
+  | Consistency.Checker.Valid -> Ok ()
+  | Consistency.Checker.Invalid why -> Error why
+
+let check_regular events =
+  let h = Consistency.History.of_events events in
+  match Consistency.Checker.regular ~init h with
+  | Consistency.Checker.Valid -> Ok ()
+  | Consistency.Checker.Invalid why -> Error why
+
+let check_weakly_regular events =
+  let h = Consistency.History.of_events events in
+  match Consistency.Checker.weakly_regular ~init h with
+  | Consistency.Checker.Valid -> Ok ()
+  | Consistency.Checker.Invalid why -> Error why
+
+(* every interleaving of one ABD write and one concurrent read is
+   atomic, and the space closes *)
+let test_abd_write_read_exhaustive () =
+  let algo = Algorithms.Abd.algo in
+  let config = Config.make algo params31 ~clients:2 in
+  let scripts = [ (0, [ Types.Write "a" ]); (1, [ Types.Read ]) ] in
+  let stats, failures =
+    Explore.explore_check algo config ~scripts ~check:check_atomic
+  in
+  Alcotest.(check bool) "space closed" false stats.Explore.truncated;
+  Alcotest.(check int) "no violations" 0 (List.length failures);
+  Alcotest.(check bool) "several distinct outcomes" true (stats.Explore.terminals >= 2);
+  Alcotest.(check bool) "nontrivial state space" true
+    (stats.Explore.states_explored > 1000)
+
+(* the regular (no write-back) variant: every interleaving is regular *)
+let test_swsr_write_read_exhaustive () =
+  let algo = Algorithms.Abd.regular_algo in
+  let config = Config.make algo params31 ~clients:2 in
+  let scripts = [ (0, [ Types.Write "a" ]); (1, [ Types.Read ]) ] in
+  let stats, failures =
+    Explore.explore_check algo config ~scripts ~check:check_regular
+  in
+  Alcotest.(check bool) "space closed" false stats.Explore.truncated;
+  Alcotest.(check int) "no violations" 0 (List.length failures)
+
+(* two concurrent single-write writers under multi-writer ABD: every
+   reachable terminal history within the budget is weakly regular
+   (and, having unique values, atomic) *)
+let test_abd_mw_two_writers () =
+  let algo = Algorithms.Abd_mw.algo in
+  let config = Config.make algo params31 ~clients:2 in
+  let scripts = [ (0, [ Types.Write "a" ]); (1, [ Types.Write "b" ]) ] in
+  let stats, failures =
+    Explore.explore_check ~max_states:150_000 algo config ~scripts
+      ~check:check_weakly_regular
+  in
+  Alcotest.(check int) "no violations" 0 (List.length failures);
+  Alcotest.(check bool) "found terminals" true (stats.Explore.terminals >= 1)
+
+(* CAS: the 3-phase write makes the space deep; bounded exploration
+   still verifies every terminal it reaches *)
+let test_cas_bounded () =
+  let params = Types.params ~n:3 ~f:1 ~k:1 ~delta:2 ~value_len:1 () in
+  let algo = Algorithms.Cas.algo in
+  let config = Config.make algo params ~clients:2 in
+  let scripts = [ (0, [ Types.Write "a" ]); (1, [ Types.Read ]) ] in
+  let stats, failures =
+    Explore.explore_check ~max_states:60_000 algo config ~scripts
+      ~check:check_atomic
+  in
+  Alcotest.(check int) "no violations among reached terminals" 0
+    (List.length failures);
+  Alcotest.(check bool) "bounded exploration reports truncation" true
+    stats.Explore.truncated
+
+(* a deliberately broken algorithm is caught: serve reads from a single
+   server without quorums (stale reads slip through) *)
+let test_catches_broken_algorithm () =
+  (* break ABD's reader: accept the first response instead of a quorum *)
+  let broken =
+    let base = Algorithms.Abd.regular_algo in
+    {
+      base with
+      Types.name = "broken-abd";
+      Types.on_client_msg =
+        (fun p ~me cs ~src msg ->
+          match (msg, cs.Algorithms.Abd.phase) with
+          | ( Algorithms.Abd.Get_resp { rid; value; _ },
+              Algorithms.Abd.Reading_query { rid = qrid; _ } )
+            when rid = qrid ->
+              (* return immediately: no quorum, no max-tag selection *)
+              ( { cs with Algorithms.Abd.phase = Algorithms.Abd.Idle },
+                [],
+                Some (Types.Read_ack value) )
+          | _ -> base.Types.on_client_msg p ~me cs ~src msg);
+    }
+  in
+  let config = Config.make broken params31 ~clients:2 in
+  let scripts = [ (0, [ Types.Write "a" ]); (1, [ Types.Read ]) ] in
+  let _, failures =
+    Explore.explore_check ~max_states:100_000 broken config ~scripts
+      ~check:check_regular
+  in
+  Alcotest.(check bool) "violations found" true (List.length failures > 0)
+
+(* explorer plumbing *)
+let test_validation () =
+  let algo = Algorithms.Abd.algo in
+  let config = Config.make algo params31 ~clients:1 in
+  Alcotest.check_raises "unknown client"
+    (Invalid_argument "Explore.explore: script for unknown client") (fun () ->
+      ignore
+        (Explore.explore algo config ~scripts:[ (7, [ Types.Read ]) ]
+           ~on_terminal:(fun _ -> ())))
+
+let test_empty_scripts_single_terminal () =
+  let algo = Algorithms.Abd.algo in
+  let config = Config.make algo params31 ~clients:1 in
+  let stats =
+    Explore.explore algo config ~scripts:[ (0, []) ] ~on_terminal:(fun c ->
+        Alcotest.(check int) "empty history" 0 (List.length (Config.history c)))
+  in
+  Alcotest.(check int) "one state" 1 stats.Explore.states_explored;
+  Alcotest.(check int) "one terminal" 1 stats.Explore.terminals
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "exhaustive",
+        [
+          Alcotest.test_case "abd write||read atomic" `Slow
+            test_abd_write_read_exhaustive;
+          Alcotest.test_case "swsr write||read regular" `Slow
+            test_swsr_write_read_exhaustive;
+          Alcotest.test_case "abd-mw writer||writer" `Slow test_abd_mw_two_writers;
+          Alcotest.test_case "cas bounded" `Slow test_cas_bounded;
+          Alcotest.test_case "broken algorithm caught" `Slow
+            test_catches_broken_algorithm;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "empty scripts" `Quick test_empty_scripts_single_terminal;
+        ] );
+    ]

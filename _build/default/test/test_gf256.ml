@@ -1,0 +1,169 @@
+(* Unit and property tests for GF(2^8) arithmetic. *)
+
+let elt = QCheck.int_range 0 255
+let nonzero = QCheck.int_range 1 255
+
+let check_int = Alcotest.(check int)
+
+let test_constants () =
+  check_int "zero" 0 Gf256.zero;
+  check_int "one" 1 Gf256.one;
+  check_int "order" 256 Gf256.order;
+  check_int "alpha" 2 Gf256.alpha
+
+let test_add_examples () =
+  check_int "0+0" 0 (Gf256.add 0 0);
+  check_int "x+x=0" 0 (Gf256.add 0xab 0xab);
+  check_int "xor" (0xf0 lxor 0x0f) (Gf256.add 0xf0 0x0f)
+
+let test_mul_examples () =
+  check_int "1*x" 0x53 (Gf256.mul 1 0x53);
+  check_int "0*x" 0 (Gf256.mul 0 0x53);
+  (* 2 * 0x80 = 0x100 mod 0x11d = 0x1d *)
+  check_int "carry reduction" 0x1d (Gf256.mul 2 0x80)
+
+let test_inv_examples () =
+  check_int "inv 1" 1 (Gf256.inv 1);
+  for x = 1 to 255 do
+    check_int "x * inv x" 1 (Gf256.mul x (Gf256.inv x))
+  done
+
+let test_div_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Gf256.div 5 0));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Gf256.inv 0))
+
+let test_out_of_range () =
+  Alcotest.check_raises "mul 256"
+    (Invalid_argument "Gf256.mul: 256 not in [0,255]") (fun () ->
+      ignore (Gf256.mul 256 1));
+  Alcotest.check_raises "add -1"
+    (Invalid_argument "Gf256.add: -1 not in [0,255]") (fun () ->
+      ignore (Gf256.add (-1) 1))
+
+let test_log_exp () =
+  for i = 0 to 254 do
+    check_int "log(exp i) = i" i (Gf256.log (Gf256.exp i))
+  done;
+  check_int "exp 255 wraps" (Gf256.exp 0) (Gf256.exp 255);
+  check_int "exp negative" (Gf256.exp 254) (Gf256.exp (-1))
+
+let test_pow () =
+  check_int "pow 0 0" 1 (Gf256.pow 0 0);
+  check_int "pow 0 5" 0 (Gf256.pow 0 5);
+  check_int "pow x 1" 0x57 (Gf256.pow 0x57 1);
+  check_int "pow x 255 = 1" 1 (Gf256.pow 0x57 255);
+  check_int "pow x (-1) = inv" (Gf256.inv 0x57) (Gf256.pow 0x57 (-1))
+
+let test_eval_poly () =
+  (* p(x) = 3 + 2x at x = 1 is 3 xor 2 = 1 *)
+  check_int "linear poly" 1 (Gf256.eval_poly [| 3; 2 |] 1);
+  check_int "empty poly" 0 (Gf256.eval_poly [||] 7);
+  check_int "constant poly" 9 (Gf256.eval_poly [| 9 |] 200)
+
+let test_bytes_ops () =
+  let a = Bytes.of_string "\x01\x02\x03" in
+  let b = Bytes.of_string "\x01\x02\x03" in
+  Alcotest.(check string) "a+a=0" "\x00\x00\x00" (Bytes.to_string (Gf256.add_bytes a b));
+  let s = Gf256.scale_bytes 1 a in
+  Alcotest.(check string) "scale by 1" "\x01\x02\x03" (Bytes.to_string s);
+  let z = Gf256.scale_bytes 0 a in
+  Alcotest.(check string) "scale by 0" "\x00\x00\x00" (Bytes.to_string z);
+  let dst = Bytes.of_string "\x00\x00\x00" in
+  Gf256.mul_add_into dst 1 a;
+  Alcotest.(check string) "mul_add identity" "\x01\x02\x03" (Bytes.to_string dst);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Gf256.add_bytes: length mismatch") (fun () ->
+      ignore (Gf256.add_bytes a (Bytes.create 2)))
+
+(* --- properties --- *)
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutative" ~count:500 (QCheck.pair elt elt)
+    (fun (a, b) -> Gf256.add a b = Gf256.add b a)
+
+let prop_mul_comm =
+  QCheck.Test.make ~name:"mul commutative" ~count:500 (QCheck.pair elt elt)
+    (fun (a, b) -> Gf256.mul a b = Gf256.mul b a)
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"mul associative" ~count:500
+    (QCheck.triple elt elt elt) (fun (a, b, c) ->
+      Gf256.mul a (Gf256.mul b c) = Gf256.mul (Gf256.mul a b) c)
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"add associative" ~count:500
+    (QCheck.triple elt elt elt) (fun (a, b, c) ->
+      Gf256.add a (Gf256.add b c) = Gf256.add (Gf256.add a b) c)
+
+let prop_distrib =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:500
+    (QCheck.triple elt elt elt) (fun (a, b, c) ->
+      Gf256.mul a (Gf256.add b c) = Gf256.add (Gf256.mul a b) (Gf256.mul a c))
+
+let prop_div_mul =
+  QCheck.Test.make ~name:"div inverts mul" ~count:500
+    (QCheck.pair elt nonzero) (fun (a, b) ->
+      Gf256.div (Gf256.mul a b) b = a)
+
+let prop_pow_add =
+  QCheck.Test.make ~name:"pow a (i+j) = pow a i * pow a j" ~count:200
+    (QCheck.triple nonzero (QCheck.int_range 0 50) (QCheck.int_range 0 50))
+    (fun (a, i, j) -> Gf256.pow a (i + j) = Gf256.mul (Gf256.pow a i) (Gf256.pow a j))
+
+let prop_scale_is_mul =
+  QCheck.Test.make ~name:"scale_bytes agrees with mul" ~count:200
+    (QCheck.pair elt (QCheck.string_of_size (QCheck.Gen.return 16)))
+    (fun (c, s) ->
+      let out = Gf256.scale_bytes c (Bytes.of_string s) in
+      let ok = ref true in
+      String.iteri
+        (fun i ch ->
+          if Char.code (Bytes.get out i) <> Gf256.mul c (Char.code ch) then
+            ok := false)
+        s;
+      !ok)
+
+let prop_mul_add_into =
+  QCheck.Test.make ~name:"mul_add_into = add (scale c src) dst" ~count:200
+    (QCheck.triple elt
+       (QCheck.string_of_size (QCheck.Gen.return 8))
+       (QCheck.string_of_size (QCheck.Gen.return 8)))
+    (fun (c, s1, s2) ->
+      let dst = Bytes.of_string s1 in
+      let src = Bytes.of_string s2 in
+      Gf256.mul_add_into dst c src;
+      let expect = Gf256.add_bytes (Bytes.of_string s1) (Gf256.scale_bytes c (Bytes.of_string s2)) in
+      Bytes.equal dst expect)
+
+let () =
+  Alcotest.run "gf256"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "add examples" `Quick test_add_examples;
+          Alcotest.test_case "mul examples" `Quick test_mul_examples;
+          Alcotest.test_case "inverses (exhaustive)" `Quick test_inv_examples;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "out-of-range args" `Quick test_out_of_range;
+          Alcotest.test_case "log/exp" `Quick test_log_exp;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "eval_poly" `Quick test_eval_poly;
+          Alcotest.test_case "bytes ops" `Quick test_bytes_ops;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_comm;
+            prop_mul_comm;
+            prop_mul_assoc;
+            prop_add_assoc;
+            prop_distrib;
+            prop_div_mul;
+            prop_pow_add;
+            prop_scale_is_mul;
+            prop_mul_add_into;
+          ] );
+    ]

@@ -1,0 +1,146 @@
+(* Fine-grained unit tests for the gossip replication and AWE server
+   state machines (the protocol-level details not covered by the
+   behaviour suites). *)
+
+open Engine.Types
+open Algorithms
+
+let params = Engine.Types.params ~n:4 ~f:1 ~value_len:3 ()
+let tag seq = Common.{ seq; cid = 0 }
+
+(* ----- gossip replication servers ----- *)
+
+let test_put_triggers_gossip () =
+  let ss = Gossip_rep.algo.init_server params 1 in
+  let ss', out =
+    Gossip_rep.algo.on_server_msg params ~me:1 ss ~src:(Client 0)
+      (Gossip_rep.Put { rid = 0; tag = tag 1; value = "new" })
+  in
+  Alcotest.(check string) "adopted" "new" ss'.Gossip_rep.value;
+  (* one ack to the writer plus gossip to the n-1 other servers *)
+  Alcotest.(check int) "ack + gossip fanout" 4 (List.length out);
+  let gossip_dsts =
+    List.filter_map
+      (fun { dst; payload } ->
+        match (dst, payload) with
+        | Server i, Gossip_rep.Gossip _ -> Some i
+        | _ -> None)
+      out
+  in
+  Alcotest.(check (list int)) "gossip to everyone else" [ 0; 2; 3 ]
+    (List.sort compare gossip_dsts)
+
+let test_stale_put_no_gossip () =
+  let ss = Gossip_rep.{ tag = tag 5; value = "cur" } in
+  let ss', out =
+    Gossip_rep.algo.on_server_msg params ~me:0 ss ~src:(Client 0)
+      (Gossip_rep.Put { rid = 1; tag = tag 3; value = "old" })
+  in
+  Alcotest.(check string) "kept" "cur" ss'.Gossip_rep.value;
+  (* stale puts are acked but not re-gossiped *)
+  Alcotest.(check int) "only the ack" 1 (List.length out)
+
+let test_gossip_adopted_not_regossiped () =
+  let ss = Gossip_rep.algo.init_server params 2 in
+  let ss', out =
+    Gossip_rep.algo.on_server_msg params ~me:2 ss ~src:(Server 0)
+      (Gossip_rep.Gossip { tag = tag 2; value = "gsp" })
+  in
+  Alcotest.(check string) "adopted" "gsp" ss'.Gossip_rep.value;
+  Alcotest.(check int) "no further messages (one hop)" 0 (List.length out)
+
+let test_gossip_classification () =
+  Alcotest.(check bool) "uses gossip" true Gossip_rep.algo.uses_gossip;
+  Alcotest.(check bool) "gossip carries value" true
+    (Gossip_rep.algo.is_value_dependent
+       (Gossip_rep.Gossip { tag = tag 1; value = "v" }));
+  Alcotest.(check bool) "get does not" false
+    (Gossip_rep.algo.is_value_dependent (Gossip_rep.Get { rid = 0 }))
+
+(* gossip actually propagates: after one put delivery + gossip drain,
+   every server has the value even though the writer reached only one *)
+let test_gossip_propagation_end_to_end () =
+  let algo = Gossip_rep.algo in
+  let c = Engine.Config.make algo params ~clients:1 in
+  let _, c = Engine.Config.invoke algo c ~client:0 (Write "abc") in
+  (* deliver exactly one put (to server 2), then freeze the writer *)
+  let act =
+    List.find
+      (fun (Engine.Config.Deliver (_, dst)) -> dst = Server 2)
+      (Engine.Config.enabled c)
+  in
+  let c = Option.get (Engine.Config.step_deliver algo c act) in
+  let c = Engine.Config.freeze c (Client 0) in
+  let rng = Engine.Driver.rng_of_seed 7 in
+  let c = Engine.Driver.drain_gossip algo c ~rng in
+  for i = 0 to 3 do
+    Alcotest.(check string)
+      (Printf.sprintf "server %d caught up" i)
+      "abc"
+      (Engine.Config.server_state c i).Gossip_rep.value
+  done
+
+(* ----- AWE servers ----- *)
+
+let cas_params = Engine.Types.params ~n:4 ~f:1 ~k:2 ~delta:1 ~value_len:4 ()
+
+let test_awe_announce_then_pre () =
+  let ss = Awe.algo.init_server cas_params 0 in
+  let t = Common.{ seq = 1; cid = 0 } in
+  let ss, out =
+    Awe.algo.on_server_msg cas_params ~me:0 ss ~src:(Client 0)
+      (Awe.Announce { rid = 0; tag = t; digest = 77L })
+  in
+  (match out with
+  | [ { payload = Awe.Announce_ack _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected announce ack");
+  (match Awe.Tag_map.find_opt t ss.Awe.entries with
+  | Some e ->
+      Alcotest.(check bool) "digest stored" true (e.Awe.digest = Some 77L);
+      Alcotest.(check bool) "no symbol yet" true (e.Awe.symbol = None)
+  | None -> Alcotest.fail "entry must exist");
+  let ss, _ =
+    Awe.algo.on_server_msg cas_params ~me:0 ss ~src:(Client 0)
+      (Awe.Pre { rid = 1; tag = t; symbol = Bytes.of_string "xy" })
+  in
+  match Awe.Tag_map.find_opt t ss.Awe.entries with
+  | Some e ->
+      Alcotest.(check bool) "digest kept" true (e.Awe.digest = Some 77L);
+      Alcotest.(check bool) "symbol added" true (e.Awe.symbol <> None)
+  | None -> Alcotest.fail "entry must survive"
+
+let test_awe_read_resp_carries_both () =
+  let ss = Awe.algo.init_server cas_params 1 in
+  let _, out =
+    Awe.algo.on_server_msg cas_params ~me:1 ss ~src:(Client 2)
+      (Awe.Read_fin { rid = 0; tag = Common.tag0 })
+  in
+  match out with
+  | [ { payload = Awe.Read_resp { symbol = Some _; digest = Some _; _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "initial entry must return symbol and digest"
+
+let test_awe_storage_counts_digest () =
+  let ss = Awe.algo.init_server cas_params 2 in
+  (* initial version: tag(64) + flag(1) + digest(64) + symbol(2 bytes) *)
+  Alcotest.(check int) "bits" (64 + 1 + 64 + 16)
+    (Awe.algo.server_bits cas_params ss)
+
+let () =
+  Alcotest.run "gossip-awe-protocol"
+    [
+      ( "gossip-server",
+        [
+          Alcotest.test_case "put triggers gossip" `Quick test_put_triggers_gossip;
+          Alcotest.test_case "stale put" `Quick test_stale_put_no_gossip;
+          Alcotest.test_case "gossip one hop" `Quick test_gossip_adopted_not_regossiped;
+          Alcotest.test_case "classification" `Quick test_gossip_classification;
+          Alcotest.test_case "propagation end-to-end" `Quick
+            test_gossip_propagation_end_to_end;
+        ] );
+      ( "awe-server",
+        [
+          Alcotest.test_case "announce then pre" `Quick test_awe_announce_then_pre;
+          Alcotest.test_case "read resp" `Quick test_awe_read_resp_carries_both;
+          Alcotest.test_case "storage" `Quick test_awe_storage_counts_digest;
+        ] );
+    ]

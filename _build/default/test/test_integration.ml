@@ -1,0 +1,306 @@
+(* Integration tests: cross-module scenarios exercising the whole stack
+   the way the bench harness and a downstream user would. *)
+
+open Engine
+
+let init p = Algorithms.Common.initial_value p
+
+(* 1. a measured storage point sits between the paper's lower bound and
+   the protocol's own model, for several geometries *)
+let test_storage_between_bounds () =
+  List.iter
+    (fun (n, f) ->
+      let k = n - (2 * f) in
+      let nu = 2 in
+      let cas =
+        Core.measure_storage ~algo:Algorithms.Cas.algo ~n ~f ~k ~nu
+          ~value_len:(k * 40) ~seed:9
+      in
+      let p = Bounds.params ~n ~f in
+      let floor = Bounds.norm_single_phase p ~nu in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d f=%d: lower bound respected" n f)
+        true (cas >= floor -. 1e-6);
+      (* and not absurdly above the model *)
+      let model = float_of_int ((nu + 2) * n) /. float_of_int k in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d f=%d: within model + slack" n f)
+        true
+        (cas <= model +. 2.0))
+    [ (5, 1); (7, 2); (9, 3) ]
+
+(* 2. the same workload checked under all three consistency conditions:
+   atomic implies regular implies weakly regular on SWMR histories *)
+let test_condition_hierarchy_on_real_histories () =
+  let params = Types.params ~n:5 ~f:2 ~value_len:4 () in
+  let algo = Algorithms.Abd.algo in
+  for seed = 0 to 9 do
+    let values = Workload.unique_values ~count:4 ~len:4 ~seed in
+    let scripts =
+      Workload.mixed_scripts ~writers:1 ~readers:2 ~values ~reads_per_reader:3
+    in
+    let c = Config.make algo params ~clients:3 in
+    let c = Workload.run_scripts algo c scripts ~seed in
+    let h = Consistency.History.of_events (Config.history c) in
+    let atomic = Consistency.Checker.atomic ~init:(init params) h in
+    let regular = Consistency.Checker.regular ~init:(init params) h in
+    let weak = Consistency.Checker.weakly_regular ~init:(init params) h in
+    Alcotest.(check bool) "atomic" true (Consistency.Checker.is_valid atomic);
+    Alcotest.(check bool) "regular" true (Consistency.Checker.is_valid regular);
+    Alcotest.(check bool) "weak" true (Consistency.Checker.is_valid weak)
+  done
+
+(* 3. the valency machinery agrees with the model checker: the set of
+   values the explorer's terminal reads return equals the probe's
+   returnable set at the corresponding decision point *)
+let test_probe_agrees_with_explorer () =
+  let params = Types.params ~n:3 ~f:1 ~value_len:1 () in
+  let algo = Algorithms.Abd.regular_algo in
+  (* configuration: write of "a" completed, write of "b" in flight
+     (invoked, nothing delivered) *)
+  let c = Config.make algo params ~clients:2 in
+  let rng = Driver.rng_of_seed 1 in
+  let c = Driver.write_exn algo c ~client:0 ~value:"a" ~rng in
+  let c, _ = Driver.run_to_quiescence algo c ~rng in
+  let _, c = Config.invoke algo c ~client:0 (Types.Write "b") in
+  (* probe says: only "a" returnable with the writer frozen *)
+  let probed =
+    Valency.Probe.returnable algo c ~reader:1 ~frozen:[ Types.Client 0 ]
+      ~gossip_drain:false
+  in
+  (* explorer: enumerate all read outcomes with the writer's channels
+     permanently frozen *)
+  let frozen = Config.freeze c (Types.Client 0) in
+  let outcomes = ref [] in
+  let _ =
+    Explore.explore algo frozen ~scripts:[ (1, [ Types.Read ]) ]
+      ~on_terminal:(fun term ->
+        List.iter
+          (fun ev ->
+            match ev with
+            | Types.Respond { response = Types.Read_ack v; _ } ->
+                if not (List.mem v !outcomes) then outcomes := v :: !outcomes
+            | _ -> ())
+          (Config.history term))
+  in
+  Alcotest.(check (list string)) "probe = exhaustive outcomes"
+    (List.sort compare !outcomes)
+    (List.sort compare (Valency.Probe.String_set.elements probed))
+
+(* 4. erasure coding inside CAS really is the Erasure module: a frozen
+   mid-write state holds symbols that decode to the written value *)
+let test_cas_symbols_decode_externally () =
+  let params = Types.params ~n:5 ~f:1 ~k:3 ~delta:1 ~value_len:9 () in
+  let algo = Algorithms.Cas.algo in
+  let v = "woodchuck" in
+  let c = Config.make algo params ~clients:1 in
+  let rng = Driver.rng_of_seed 2 in
+  let c = Driver.write_exn algo c ~client:0 ~value:v ~rng in
+  let c, _ = Driver.run_to_quiescence algo c ~rng in
+  (* harvest each server's symbol for the written tag *)
+  let code = Algorithms.Cas.code_of params in
+  let symbols =
+    List.filter_map
+      (fun i ->
+        let ss = Config.server_state c i in
+        let entries = ss.Algorithms.Cas.entries in
+        match Algorithms.Cas.highest_fin entries with
+        | Some t -> (
+            match Algorithms.Cas.Tag_map.find_opt t entries with
+            | Some { Algorithms.Cas.symbol = Some s; _ } -> Some (i, s)
+            | _ -> None)
+        | None -> None)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "at least k symbols stored" true (List.length symbols >= 3);
+  (* decode using any k of them, straight through the Erasure API *)
+  let take3 = List.filteri (fun i _ -> i < 3) symbols in
+  Alcotest.(check (option string)) "decodes to the written value" (Some v)
+    (Erasure.decode code ~value_len:9 take3)
+
+(* 5. metrics + workload: measured read latency dominated by write
+   latency for ABD (reads do two phases, writes one) *)
+let test_latency_phases () =
+  let params = Types.params ~n:5 ~f:2 ~value_len:4 () in
+  let algo = Algorithms.Abd.algo in
+  let lat = ref ([], []) in
+  for seed = 0 to 9 do
+    let values = Workload.unique_values ~count:3 ~len:4 ~seed in
+    let scripts =
+      Workload.mixed_scripts ~writers:1 ~readers:1 ~values ~reads_per_reader:3
+    in
+    let c = Config.make algo params ~clients:2 in
+    let c = Workload.run_scripts algo c scripts ~seed in
+    let h = Consistency.History.of_events (Config.history c) in
+    let w = Metrics.latencies h ~kind:Consistency.History.Write_op in
+    let r = Metrics.latencies h ~kind:Consistency.History.Read_op in
+    lat := (w @ fst !lat, r @ snd !lat)
+  done;
+  let ws, rs = !lat in
+  match (Metrics.summarize ws, Metrics.summarize rs) with
+  | Some w, Some r ->
+      Alcotest.(check bool) "reads slower on average (two phases)" true
+        (r.Metrics.mean > w.Metrics.mean)
+  | _ -> Alcotest.fail "expected latencies"
+
+(* 6. quorum module agrees with the protocols' hard-coded quorums *)
+let test_quorum_consistency_with_protocols () =
+  List.iter
+    (fun (n, f) ->
+      let p = Types.params ~n ~f ~value_len:1 () in
+      Alcotest.(check int) "majority"
+        (Quorum.min_quorum_size (Quorum.threshold ~n ~size:(n - f)))
+        (Algorithms.Common.majority_quorum p))
+    [ (3, 1); (5, 2); (7, 3) ];
+  List.iter
+    (fun (n, f, k) ->
+      let p = Types.params ~n ~f ~k ~value_len:1 () in
+      let q = Quorum.cas_style ~n ~k in
+      Alcotest.(check int) "cas quorum size"
+        (Quorum.min_quorum_size q)
+        (Algorithms.Common.cas_quorum p);
+      Alcotest.(check bool) "intersection covers decoding" true
+        (Quorum.min_intersection q >= k))
+    [ (5, 1, 3); (9, 3, 3); (21, 10, 1) ]
+
+(* 7. client failures: the paper's correctness holds "irrespective of
+   the number of client failures".  Crash (freeze) a writer mid-write:
+   reads still terminate and the history stays atomic, with the
+   half-written value optionally visible *)
+let test_writer_crash_mid_write () =
+  let params = Types.params ~n:5 ~f:2 ~value_len:3 () in
+  let algo = Algorithms.Abd.algo in
+  List.iter
+    (fun deliveries ->
+      let c = Config.make algo params ~clients:3 in
+      let rng = Driver.rng_of_seed 21 in
+      let c = Driver.write_exn algo c ~client:0 ~value:"one" ~rng in
+      let c, _ = Driver.run_to_quiescence algo c ~rng in
+      let _, c = Config.invoke algo c ~client:0 (Types.Write "two") in
+      (* let part of the second write land, then crash the writer *)
+      let c = ref c in
+      for _ = 1 to deliveries do
+        match Config.enabled !c with
+        | act :: _ -> c := Option.get (Config.step_deliver algo !c act)
+        | [] -> ()
+      done;
+      let c = Config.freeze !c (Types.Client 0) in
+      (* both readers still complete *)
+      let v1, c = Driver.read_exn algo c ~client:1 ~rng in
+      let v2, c = Driver.read_exn algo c ~client:2 ~rng in
+      Alcotest.(check bool) "reads return a written value" true
+        (List.mem v1 [ "one"; "two" ] && List.mem v2 [ "one"; "two" ]);
+      let h = Consistency.History.of_events (Config.history c) in
+      Alcotest.(check bool)
+        (Printf.sprintf "atomic with writer crash after %d deliveries" deliveries)
+        true
+        (Consistency.Checker.is_valid (Consistency.Checker.atomic ~init:(init params) h)))
+    [ 0; 1; 2; 3; 4 ]
+
+(* 8. at scale: the paper's own geometry (n=21, f=10) under a real
+   workload, atomicity checked *)
+let test_paper_geometry_at_scale () =
+  let params = Types.params ~n:21 ~f:10 ~value_len:8 () in
+  let algo = Algorithms.Abd_mw.algo in
+  let values = Workload.unique_values ~count:10 ~len:8 ~seed:31 in
+  let scripts =
+    Workload.mixed_scripts ~writers:2 ~readers:3 ~values ~reads_per_reader:4
+  in
+  let failures = Workload.random_failures ~n:21 ~f:10 ~seed:32 in
+  let c = Config.make algo params ~clients:5 in
+  let c = Workload.run_scripts ~failures algo c scripts ~seed:33 in
+  let h = Consistency.History.of_events (Config.history c) in
+  Alcotest.(check int) "all 22 ops completed" 22
+    (List.length (Consistency.History.completed h));
+  Alcotest.(check bool) "atomic" true
+    (Consistency.Checker.is_valid (Consistency.Checker.atomic ~init:(init params) h))
+
+(* 9. regular but NOT atomic, forced on a live protocol: the
+   write-back-free gossip replication admits a new-old inversion when
+   the adversary delays gossip and routes readers to different quorums.
+   This is the semantic gap between the classes of Theorems B.1/4.1/5.1
+   (regular) and the atomic upper bounds, witnessed in execution. *)
+let test_regular_not_atomic_witness () =
+  let params = Types.params ~n:3 ~f:1 ~value_len:3 () in
+  let algo = Algorithms.Gossip_rep.algo in
+  let c = Config.make algo params ~clients:3 in
+  let rng = Driver.rng_of_seed 41 in
+  let c = Driver.write_exn algo c ~client:0 ~value:"one" ~rng in
+  let c, _ = Driver.run_to_quiescence algo c ~rng in
+  (* second write reaches server 0 only; its gossip stays in flight *)
+  let _, c = Config.invoke algo c ~client:0 (Types.Write "two") in
+  let act =
+    List.find
+      (fun (Config.Deliver (_, dst)) -> dst = Types.Server 0)
+      (Config.enabled c)
+  in
+  let c = Option.get (Config.step_deliver algo c act) in
+  let c = Config.freeze c (Types.Client 0) in
+  let no_gossip ~src ~dst _m =
+    match (src, dst) with Types.Server _, Types.Server _ -> false | _ -> true
+  in
+  (* reader 1: steered away from server 1 -> sees server 0's "two" *)
+  let read ~client ~avoid c =
+    let allow ~src ~dst m =
+      no_gossip ~src ~dst m
+      && not (src = Types.Server avoid && dst = Types.Client client)
+    in
+    let _, c = Config.invoke algo c ~client Types.Read in
+    let c, outcome =
+      Driver.run_allowed algo c ~rng ~allow
+        ~stop:(fun c -> Config.pending_op c client = None)
+    in
+    Alcotest.(check bool) "read finished" true (outcome = Driver.Stopped);
+    c
+  in
+  let c = read ~client:1 ~avoid:1 c in
+  (* reader 2 (strictly after): steered away from server 0 -> sees "one" *)
+  let c = read ~client:2 ~avoid:0 c in
+  let h = Consistency.History.of_events (Config.history c) in
+  let returned client =
+    List.find_map
+      (fun (o : Consistency.History.op_record) ->
+        if o.client = client && Consistency.History.is_read o then o.result
+        else None)
+      h
+  in
+  Alcotest.(check (option string)) "reader 1 saw the new value" (Some "two")
+    (returned 1);
+  Alcotest.(check (option string)) "reader 2 then saw the old one" (Some "one")
+    (returned 2);
+  Alcotest.(check bool) "history is regular" true
+    (Consistency.Checker.is_valid
+       (Consistency.Checker.regular ~init:(init params) h));
+  Alcotest.(check bool) "history is NOT atomic" false
+    (Consistency.Checker.is_valid
+       (Consistency.Checker.atomic ~init:(init params) h))
+
+(* 10. full pipeline smoke: every canned Core experiment runs green *)
+let test_full_pipeline () =
+  Alcotest.(check bool) "b1" true (Core.experiment_b1 ~v:2 ()).Valency.Singleton.satisfied;
+  Alcotest.(check bool) "41" true (Core.experiment_41 ~v:2 ()).Valency.Critical.satisfied;
+  Alcotest.(check bool) "65" true (Core.experiment_65 ~v:3 ()).Valency.Multi.satisfied
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "cross-module",
+        [
+          Alcotest.test_case "storage within bounds" `Quick test_storage_between_bounds;
+          Alcotest.test_case "condition hierarchy" `Quick
+            test_condition_hierarchy_on_real_histories;
+          Alcotest.test_case "probe vs explorer" `Slow test_probe_agrees_with_explorer;
+          Alcotest.test_case "cas symbols decode" `Quick
+            test_cas_symbols_decode_externally;
+          Alcotest.test_case "latency phases" `Quick test_latency_phases;
+          Alcotest.test_case "quorum consistency" `Quick
+            test_quorum_consistency_with_protocols;
+          Alcotest.test_case "writer crash mid-write" `Quick
+            test_writer_crash_mid_write;
+          Alcotest.test_case "paper geometry at scale" `Slow
+            test_paper_geometry_at_scale;
+          Alcotest.test_case "regular-not-atomic witness" `Quick
+            test_regular_not_atomic_witness;
+          Alcotest.test_case "full pipeline" `Slow test_full_pipeline;
+        ] );
+    ]

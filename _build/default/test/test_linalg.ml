@@ -1,0 +1,189 @@
+(* Unit and property tests for matrices over GF(2^8). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mat = Alcotest.testable Linalg.pp Linalg.equal
+
+let test_create_get_set () =
+  let m = Linalg.create ~rows:2 ~cols:3 in
+  check_int "rows" 2 (Linalg.rows m);
+  check_int "cols" 3 (Linalg.cols m);
+  check_int "zero init" 0 (Linalg.get m 1 2);
+  let m' = Linalg.set m 1 2 7 in
+  check_int "set sticks" 7 (Linalg.get m' 1 2);
+  check_int "original untouched" 0 (Linalg.get m 1 2);
+  Alcotest.check_raises "bad dims"
+    (Invalid_argument "Linalg.create: non-positive dims") (fun () ->
+      ignore (Linalg.create ~rows:0 ~cols:1))
+
+let test_of_to_arrays () =
+  let a = [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let m = Linalg.of_arrays a in
+  Alcotest.(check (array (array int))) "round trip" a (Linalg.to_arrays m);
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Linalg.of_arrays: ragged rows") (fun () ->
+      ignore (Linalg.of_arrays [| [| 1 |]; [| 1; 2 |] |]))
+
+let test_identity_mul () =
+  let i3 = Linalg.identity 3 in
+  let m = Linalg.of_arrays [| [| 1; 2; 3 |]; [| 4; 5; 6 |]; [| 7; 8; 9 |] |] in
+  Alcotest.check mat "I * m = m" m (Linalg.mul i3 m);
+  Alcotest.check mat "m * I = m" m (Linalg.mul m i3)
+
+let test_mul_dims () =
+  let a = Linalg.create ~rows:2 ~cols:3 in
+  let b = Linalg.create ~rows:2 ~cols:2 in
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Linalg.mul: dimension mismatch") (fun () ->
+      ignore (Linalg.mul a b))
+
+let test_transpose () =
+  let m = Linalg.of_arrays [| [| 1; 2; 3 |]; [| 4; 5; 6 |] |] in
+  let t = Linalg.transpose m in
+  check_int "t rows" 3 (Linalg.rows t);
+  check_int "entry moved" 6 (Linalg.get t 2 1);
+  Alcotest.check mat "double transpose" m (Linalg.transpose t)
+
+let test_mul_vec () =
+  let i = Linalg.identity 4 in
+  let v = [| 9; 8; 7; 6 |] in
+  Alcotest.(check (array int)) "I v = v" v (Linalg.mul_vec i v)
+
+let test_rank () =
+  check_int "identity rank" 4 (Linalg.rank (Linalg.identity 4));
+  let singular = Linalg.of_arrays [| [| 1; 2 |]; [| 1; 2 |] |] in
+  check_int "duplicate rows" 1 (Linalg.rank singular);
+  let zero = Linalg.create ~rows:3 ~cols:3 in
+  check_int "zero matrix" 0 (Linalg.rank zero)
+
+let test_invert () =
+  (match Linalg.invert (Linalg.identity 5) with
+  | Some inv -> Alcotest.check mat "I^-1 = I" (Linalg.identity 5) inv
+  | None -> Alcotest.fail "identity must be invertible");
+  let singular = Linalg.of_arrays [| [| 1; 2 |]; [| 1; 2 |] |] in
+  check_bool "singular has no inverse" true (Linalg.invert singular = None);
+  Alcotest.check_raises "not square"
+    (Invalid_argument "Linalg.invert: not square") (fun () ->
+      ignore (Linalg.invert (Linalg.create ~rows:2 ~cols:3)))
+
+let test_vandermonde_rank () =
+  (* any k rows of a Vandermonde matrix are independent *)
+  let v = Linalg.vandermonde ~rows:8 ~cols:3 in
+  check_int "full column rank" 3 (Linalg.rank v);
+  let rows = Linalg.select_rows v [ 1; 4; 7 ] in
+  check_bool "submatrix invertible" true (Linalg.invert rows <> None)
+
+let test_cauchy_invertible () =
+  let c = Linalg.cauchy ~rows:4 ~cols:4 in
+  check_bool "cauchy invertible" true (Linalg.invert c <> None);
+  let sub = Linalg.sub_matrix c ~row_off:1 ~col_off:1 ~rows:2 ~cols:2 in
+  check_bool "cauchy submatrix invertible" true (Linalg.invert sub <> None)
+
+let test_solve () =
+  let a = Linalg.of_arrays [| [| 1; 1 |]; [| 1; 2 |] |] in
+  let x = [| 0x35; 0x79 |] in
+  let b = Linalg.mul_vec a x in
+  (match Linalg.solve a b with
+  | Some x' -> Alcotest.(check (array int)) "solution recovered" x x'
+  | None -> Alcotest.fail "system should be solvable");
+  let singular = Linalg.of_arrays [| [| 1; 2 |]; [| 1; 2 |] |] in
+  check_bool "singular unsolvable" true (Linalg.solve singular [| 1; 2 |] = None)
+
+let test_augment_sub () =
+  let a = Linalg.identity 2 in
+  let b = Linalg.of_arrays [| [| 5 |]; [| 6 |] |] in
+  let ab = Linalg.augment a b in
+  check_int "augmented cols" 3 (Linalg.cols ab);
+  check_int "b entry" 6 (Linalg.get ab 1 2);
+  let back = Linalg.sub_matrix ab ~row_off:0 ~col_off:0 ~rows:2 ~cols:2 in
+  Alcotest.check mat "left block is a" a back
+
+let test_select_swap () =
+  let m = Linalg.of_arrays [| [| 1; 1 |]; [| 2; 2 |]; [| 3; 3 |] |] in
+  let s = Linalg.select_rows m [ 2; 0 ] in
+  check_int "selected first" 3 (Linalg.get s 0 0);
+  check_int "selected second" 1 (Linalg.get s 1 0);
+  let sw = Linalg.swap_rows m 0 2 in
+  check_int "swapped" 3 (Linalg.get sw 0 0)
+
+let test_is_mds () =
+  (* identity stacked on Cauchy: MDS *)
+  let k = 3 and n = 6 in
+  let rows =
+    Array.append
+      (Linalg.to_arrays (Linalg.identity k))
+      (Linalg.to_arrays (Linalg.cauchy ~rows:(n - k) ~cols:k))
+  in
+  check_bool "cauchy-systematic is MDS" true
+    (Linalg.is_mds_generator (Linalg.of_arrays rows));
+  (* a repeated row is never MDS *)
+  let bad = Linalg.of_arrays [| [| 1; 0 |]; [| 1; 0 |]; [| 0; 1 |] |] in
+  check_bool "repeated row not MDS" false (Linalg.is_mds_generator bad)
+
+(* --- properties --- *)
+
+let gen_square n =
+  QCheck.make
+    ~print:(fun m -> Format.asprintf "%a" Linalg.pp m)
+    QCheck.Gen.(
+      let* entries = array_size (return (n * n)) (int_range 0 255) in
+      return
+        (Linalg.of_arrays
+           (Array.init n (fun i -> Array.init n (fun j -> entries.((i * n) + j))))))
+
+let prop_inverse_roundtrip =
+  QCheck.Test.make ~name:"m * m^-1 = I when invertible" ~count:200
+    (gen_square 4) (fun m ->
+      match Linalg.invert m with
+      | None -> QCheck.assume_fail ()
+      | Some mi -> Linalg.equal (Linalg.mul m mi) (Linalg.identity 4))
+
+let prop_rank_transpose =
+  QCheck.Test.make ~name:"rank m = rank m^T" ~count:200 (gen_square 4)
+    (fun m -> Linalg.rank m = Linalg.rank (Linalg.transpose m))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"matrix mul associative" ~count:100
+    (QCheck.triple (gen_square 3) (gen_square 3) (gen_square 3))
+    (fun (a, b, c) ->
+      Linalg.equal (Linalg.mul a (Linalg.mul b c)) (Linalg.mul (Linalg.mul a b) c))
+
+let prop_solve_consistent =
+  QCheck.Test.make ~name:"solve returns a solution" ~count:200
+    (QCheck.pair (gen_square 4)
+       (QCheck.array_of_size (QCheck.Gen.return 4) (QCheck.int_range 0 255)))
+    (fun (a, b) ->
+      match Linalg.solve a b with
+      | None -> QCheck.assume_fail ()
+      | Some x -> Linalg.mul_vec a x = b)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "create/get/set" `Quick test_create_get_set;
+          Alcotest.test_case "of/to arrays" `Quick test_of_to_arrays;
+          Alcotest.test_case "identity mul" `Quick test_identity_mul;
+          Alcotest.test_case "mul dims" `Quick test_mul_dims;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "invert" `Quick test_invert;
+          Alcotest.test_case "vandermonde" `Quick test_vandermonde_rank;
+          Alcotest.test_case "cauchy" `Quick test_cauchy_invertible;
+          Alcotest.test_case "solve" `Quick test_solve;
+          Alcotest.test_case "augment/sub_matrix" `Quick test_augment_sub;
+          Alcotest.test_case "select/swap rows" `Quick test_select_swap;
+          Alcotest.test_case "is_mds_generator" `Quick test_is_mds;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_inverse_roundtrip;
+            prop_rank_transpose;
+            prop_mul_assoc;
+            prop_solve_consistent;
+          ] );
+    ]

@@ -1,0 +1,94 @@
+(* Tests for the operation-cost metrics. *)
+
+let test_summarize_empty () =
+  Alcotest.(check bool) "none" true (Metrics.summarize [] = None)
+
+let test_summarize_stats () =
+  match Metrics.summarize [ 5; 1; 3; 2; 4 ] with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+      Alcotest.(check int) "count" 5 s.Metrics.count;
+      Alcotest.(check (float 1e-9)) "mean" 3.0 s.Metrics.mean;
+      Alcotest.(check int) "min" 1 s.Metrics.min;
+      Alcotest.(check int) "max" 5 s.Metrics.max;
+      Alcotest.(check int) "p50" 3 s.Metrics.p50;
+      Alcotest.(check bool) "p95 near max" true (s.Metrics.p95 >= 4)
+
+let test_summarize_singleton () =
+  match Metrics.summarize [ 7 ] with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+      Alcotest.(check int) "all seven" 7 s.Metrics.min;
+      Alcotest.(check int) "max" 7 s.Metrics.max;
+      Alcotest.(check int) "p95" 7 s.Metrics.p95
+
+let test_latencies_from_history () =
+  let open Consistency.History in
+  let h =
+    [
+      { op_id = 0; client = 0; kind = Write_op; written = Some "a";
+        result = None; inv = 1; resp = Some 9 };
+      { op_id = 1; client = 1; kind = Read_op; written = None;
+        result = Some "a"; inv = 10; resp = Some 14 };
+      { op_id = 2; client = 0; kind = Write_op; written = Some "b";
+        result = None; inv = 20; resp = None };
+    ]
+  in
+  Alcotest.(check (list int)) "write latencies (pending excluded)" [ 8 ]
+    (Metrics.latencies h ~kind:Write_op);
+  Alcotest.(check (list int)) "read latencies" [ 4 ]
+    (Metrics.latencies h ~kind:Read_op)
+
+let test_isolated_costs_abd () =
+  let params = Engine.Types.params ~n:5 ~f:2 ~value_len:4 () in
+  let w =
+    Metrics.isolated_op_cost Algorithms.Abd.algo params
+      ~op:(Engine.Types.Write "wxyz") ~warm:false ~seed:1
+  in
+  (* write: n puts out, quorum acks consumed before response *)
+  Alcotest.(check bool) "write cost >= n + quorum" true
+    (w.Metrics.deliveries >= 5 + 3 - 2);
+  Alcotest.(check bool) "some messages may remain queued" true
+    (w.Metrics.in_flight >= 0);
+  let r =
+    Metrics.isolated_op_cost Algorithms.Abd.algo params ~op:Engine.Types.Read
+      ~warm:true ~seed:2
+  in
+  let r_reg =
+    Metrics.isolated_op_cost Algorithms.Abd.regular_algo params
+      ~op:Engine.Types.Read ~warm:true ~seed:2
+  in
+  (* atomic read pays the write-back: strictly more deliveries *)
+  Alcotest.(check bool) "write-back costs messages" true
+    (r.Metrics.deliveries > r_reg.Metrics.deliveries)
+
+let test_cas_write_more_expensive () =
+  let rep = Engine.Types.params ~n:5 ~f:2 ~value_len:6 () in
+  let cas = Engine.Types.params ~n:5 ~f:1 ~k:3 ~delta:1 ~value_len:6 () in
+  let w_abd =
+    Metrics.isolated_op_cost Algorithms.Abd.algo rep
+      ~op:(Engine.Types.Write "sixsix") ~warm:false ~seed:3
+  in
+  let w_cas =
+    Metrics.isolated_op_cost Algorithms.Cas.algo cas
+      ~op:(Engine.Types.Write "sixsix") ~warm:false ~seed:3
+  in
+  Alcotest.(check bool) "three phases cost more than one" true
+    (w_cas.Metrics.deliveries > w_abd.Metrics.deliveries)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "summaries",
+        [
+          Alcotest.test_case "empty" `Quick test_summarize_empty;
+          Alcotest.test_case "stats" `Quick test_summarize_stats;
+          Alcotest.test_case "singleton" `Quick test_summarize_singleton;
+          Alcotest.test_case "latencies" `Quick test_latencies_from_history;
+        ] );
+      ( "op-costs",
+        [
+          Alcotest.test_case "abd costs" `Quick test_isolated_costs_abd;
+          Alcotest.test_case "cas vs abd" `Quick test_cas_write_more_expensive;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Tests for the quorum-system substrate. *)
+
+let test_threshold_basics () =
+  let q = Quorum.threshold ~n:5 ~size:3 in
+  Alcotest.(check int) "n" 5 (Quorum.size q);
+  Alcotest.(check int) "min size" 3 (Quorum.min_quorum_size q);
+  Alcotest.(check bool) "3 is quorum" true (Quorum.is_quorum q [ 0; 2; 4 ]);
+  Alcotest.(check bool) "2 is not" false (Quorum.is_quorum q [ 0; 2 ]);
+  Alcotest.(check bool) "duplicates don't count" false
+    (Quorum.is_quorum q [ 0; 0; 0 ]);
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Quorum.threshold: need 1 <= size <= n") (fun () ->
+      ignore (Quorum.threshold ~n:3 ~size:4))
+
+let test_majority () =
+  let q = Quorum.majority ~n:5 in
+  Alcotest.(check int) "size 3" 3 (Quorum.min_quorum_size q);
+  Alcotest.(check bool) "intersecting" true (Quorum.is_intersecting q);
+  let q4 = Quorum.majority ~n:4 in
+  Alcotest.(check int) "even n" 3 (Quorum.min_quorum_size q4)
+
+let test_cas_style () =
+  (* ceil((n+k)/2); intersection >= k *)
+  let q = Quorum.cas_style ~n:5 ~k:3 in
+  Alcotest.(check int) "size" 4 (Quorum.min_quorum_size q);
+  Alcotest.(check int) "intersection k" 3 (Quorum.min_intersection q);
+  let q2 = Quorum.cas_style ~n:9 ~k:3 in
+  Alcotest.(check int) "size 9" 6 (Quorum.min_quorum_size q2);
+  Alcotest.(check int) "intersection 9" 3 (Quorum.min_intersection q2)
+
+let test_threshold_fault_tolerance () =
+  let q = Quorum.threshold ~n:5 ~size:3 in
+  Alcotest.(check int) "f = n - size" 2 (Quorum.fault_tolerance q);
+  Alcotest.(check bool) "available under 2 failures" true
+    (Quorum.available q ~failed:[ 0; 1 ]);
+  Alcotest.(check bool) "unavailable under 3" false
+    (Quorum.available q ~failed:[ 0; 1; 2 ])
+
+let test_grid () =
+  let q = Quorum.grid ~rows:3 ~cols:3 in
+  Alcotest.(check int) "9 servers" 9 (Quorum.size q);
+  Alcotest.(check int) "quorum size r+c-1" 5 (Quorum.min_quorum_size q);
+  Alcotest.(check bool) "intersecting" true (Quorum.is_intersecting q);
+  (* row 0 = {0,1,2}, col 0 = {0,3,6} *)
+  Alcotest.(check bool) "row+col is quorum" true
+    (Quorum.is_quorum q [ 0; 1; 2; 3; 6 ]);
+  Alcotest.(check bool) "row alone is not" false (Quorum.is_quorum q [ 0; 1; 2 ]);
+  Alcotest.(check int) "9 quorums" 9 (List.length (Quorum.quorums q));
+  (* killing a full row blocks every quorum (each needs some full row's
+     column intersections): min transversal = 3 -> tolerance 2 *)
+  Alcotest.(check int) "fault tolerance" 2 (Quorum.fault_tolerance q);
+  Alcotest.(check bool) "available: kill a diagonal? no"
+    false
+    (Quorum.available q ~failed:[ 0; 4; 8 ]);
+  Alcotest.(check bool) "available: kill two in one row" true
+    (Quorum.available q ~failed:[ 0; 1 ])
+
+let test_explicit () =
+  let q = Quorum.explicit ~n:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 0 ] ] in
+  Alcotest.(check bool) "not intersecting ({0,1} vs {2,3})" false
+    (Quorum.is_intersecting q);
+  let q2 = Quorum.explicit ~n:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  Alcotest.(check bool) "triangle intersects" true (Quorum.is_intersecting q2);
+  Alcotest.(check int) "min intersection" 1 (Quorum.min_intersection q2);
+  Alcotest.(check int) "fault tolerance 1" 1 (Quorum.fault_tolerance q2);
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Quorum.explicit: member out of range") (fun () ->
+      ignore (Quorum.explicit ~n:2 [ [ 0; 5 ] ]))
+
+let test_enumeration () =
+  let q = Quorum.threshold ~n:5 ~size:3 in
+  let qs = Quorum.quorums q in
+  Alcotest.(check int) "C(5,3)" 10 (List.length qs);
+  List.iter (fun s -> Alcotest.(check int) "each size 3" 3 (List.length s)) qs;
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Quorum.quorums: too many threshold quorums to enumerate")
+    (fun () -> ignore (Quorum.quorums (Quorum.threshold ~n:40 ~size:20)))
+
+(* --- properties --- *)
+
+let gen_nf =
+  QCheck.make
+    ~print:(fun (n, s) -> Printf.sprintf "n=%d size=%d" n s)
+    QCheck.Gen.(
+      let* n = int_range 1 30 in
+      let* s = int_range 1 n in
+      return (n, s))
+
+let prop_threshold_intersection_formula =
+  QCheck.Test.make ~name:"threshold min intersection = max 0 (2s-n)" ~count:200
+    gen_nf (fun (n, s) ->
+      Quorum.min_intersection (Quorum.threshold ~n ~size:s) = max 0 ((2 * s) - n))
+
+let prop_majority_tolerates_minority =
+  QCheck.Test.make ~name:"majority tolerates any minority" ~count:100
+    (QCheck.int_range 1 25) (fun n ->
+      let q = Quorum.majority ~n in
+      Quorum.fault_tolerance q = n - ((n / 2) + 1))
+
+let prop_grid_always_intersects =
+  QCheck.Test.make ~name:"grid systems always intersect" ~count:50
+    (QCheck.pair (QCheck.int_range 1 4) (QCheck.int_range 1 4))
+    (fun (rows, cols) -> Quorum.is_intersecting (Quorum.grid ~rows ~cols))
+
+let prop_enumerated_sets_are_quorums =
+  QCheck.Test.make ~name:"every enumerated set is a quorum" ~count:50
+    (QCheck.pair (QCheck.int_range 1 7) (QCheck.int_range 1 7))
+    (fun (a, b) ->
+      let n = max a b and s = min a b in
+      let q = Quorum.threshold ~n ~size:s in
+      List.for_all (fun set -> Quorum.is_quorum q set) (Quorum.quorums q))
+
+let () =
+  Alcotest.run "quorum"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "threshold" `Quick test_threshold_basics;
+          Alcotest.test_case "majority" `Quick test_majority;
+          Alcotest.test_case "cas-style" `Quick test_cas_style;
+          Alcotest.test_case "fault tolerance" `Quick test_threshold_fault_tolerance;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "explicit" `Quick test_explicit;
+          Alcotest.test_case "enumeration" `Quick test_enumeration;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_threshold_intersection_formula;
+            prop_majority_tolerates_minority;
+            prop_grid_always_intersects;
+            prop_enumerated_sets_are_quorums;
+          ] );
+    ]

@@ -1,0 +1,100 @@
+(* Unit and property tests for the storage instrumentation. *)
+
+let test_canonical_join_injective_examples () =
+  (* the classic ambiguity canonical_join exists to prevent *)
+  Alcotest.(check bool) "ab+c vs a+bc" false
+    (Storage.canonical_join [ "ab"; "c" ] = Storage.canonical_join [ "a"; "bc" ]);
+  Alcotest.(check bool) "separator bytes inside" false
+    (Storage.canonical_join [ "a\x00b" ] = Storage.canonical_join [ "a"; "b" ]);
+  Alcotest.(check bool) "empty components matter" false
+    (Storage.canonical_join [ ""; "x" ] = Storage.canonical_join [ "x" ]);
+  Alcotest.(check string) "deterministic"
+    (Storage.canonical_join [ "p"; "q" ])
+    (Storage.canonical_join [ "p"; "q" ])
+
+let prop_canonical_join_injective =
+  QCheck.Test.make ~name:"canonical_join injective" ~count:500
+    (QCheck.pair
+       (QCheck.small_list QCheck.printable_string)
+       (QCheck.small_list QCheck.printable_string))
+    (fun (a, b) ->
+      a = b || Storage.canonical_join a <> Storage.canonical_join b)
+
+let test_census_basic () =
+  let c = Storage.create_census ~n:3 in
+  Alcotest.(check (array int)) "empty" [| 0; 0; 0 |] (Storage.distinct_counts c);
+  Storage.observe c [| "a"; "b"; "c" |];
+  Storage.observe c [| "a"; "b2"; "c" |];
+  Storage.observe c [| "a"; "b"; "c" |];
+  Alcotest.(check (array int)) "counts" [| 1; 2; 1 |] (Storage.distinct_counts c);
+  Alcotest.(check int) "joint" 2 (Storage.joint_count c);
+  Alcotest.(check (float 1e-9)) "total bits = 0+1+0" 1.0 (Storage.total_bits c);
+  Alcotest.(check (float 1e-9)) "joint bits" 1.0 (Storage.joint_bits c);
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Storage.observe: wrong number of servers") (fun () ->
+      Storage.observe c [| "x" |])
+
+let test_census_subset () =
+  let c = Storage.create_census ~n:4 in
+  Storage.observe_subset c ~subset:[ 0; 2 ] [| "a"; "IGN"; "b"; "IGN" |];
+  Storage.observe_subset c ~subset:[ 0; 2 ] [| "a2"; "IGN"; "b"; "IGN" |];
+  Alcotest.(check (array int)) "projected counts" [| 2; 0; 1; 0 |]
+    (Storage.distinct_counts c);
+  Alcotest.(check int) "joint over subset" 2 (Storage.joint_count c)
+
+let test_joint_never_exceeds_product () =
+  (* joint census <= product of per-server censuses: log inequality *)
+  let c = Storage.create_census ~n:2 in
+  List.iter
+    (fun (a, b) -> Storage.observe c [| a; b |])
+    [ ("x", "1"); ("x", "2"); ("y", "1"); ("y", "2"); ("x", "1") ];
+  Alcotest.(check bool) "joint_bits <= total_bits" true
+    (Storage.joint_bits c <= Storage.total_bits c +. 1e-9);
+  Alcotest.(check int) "joint = 4 here" 4 (Storage.joint_count c)
+
+let test_peak_tracking () =
+  let p = Storage.create_peak () in
+  Alcotest.(check int) "initial" 0 (Storage.peak_total p);
+  let params = Engine.Types.params ~n:3 ~f:1 ~k:1 ~delta:2 ~value_len:6 () in
+  let algo = Algorithms.Cas.algo in
+  let obs = Storage.peak_observer algo p in
+  let c = Engine.Config.make algo params ~clients:1 in
+  let rng = Engine.Driver.rng_of_seed 5 in
+  let c = Engine.Driver.write_exn ~observer:obs algo c ~client:0 ~value:"sample" ~rng in
+  let _ = Engine.Driver.run_to_quiescence ~observer:obs algo c ~rng in
+  Alcotest.(check bool) "samples counted" true (Storage.peak_samples p > 0);
+  (* peak saw the mid-write state with two versions at 3 servers *)
+  Alcotest.(check bool) "peak >= 2 versions" true
+    (Storage.peak_total p >= 3 * 2 * (64 + 1 + 48));
+  Alcotest.(check bool) "max server <= total" true
+    (Storage.peak_max_server p <= Storage.peak_total p);
+  (* normalized against the value size *)
+  Alcotest.(check bool) "normalized > n (two versions)" true
+    (Storage.normalized p ~value_len:6 > 3.0);
+  Alcotest.check_raises "bad value_len"
+    (Invalid_argument "Storage.normalized: value_len must be positive") (fun () ->
+      ignore (Storage.normalized p ~value_len:0))
+
+let test_census_validation () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Storage.create_census: n must be >= 1") (fun () ->
+      ignore (Storage.create_census ~n:0))
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "canonical-join",
+        [
+          Alcotest.test_case "ambiguity examples" `Quick
+            test_canonical_join_injective_examples;
+          QCheck_alcotest.to_alcotest prop_canonical_join_injective;
+        ] );
+      ( "census",
+        [
+          Alcotest.test_case "basic" `Quick test_census_basic;
+          Alcotest.test_case "subset projection" `Quick test_census_subset;
+          Alcotest.test_case "joint vs product" `Quick test_joint_never_exceeds_product;
+          Alcotest.test_case "validation" `Quick test_census_validation;
+        ] );
+      ("peak", [ Alcotest.test_case "tracking" `Quick test_peak_tracking ]);
+    ]

@@ -1,0 +1,329 @@
+(* Tests for the executable proof machinery: valency probes, the
+   Theorem B.1 census, critical pairs (Thms 4.1/5.1), and the staged
+   multi-writer construction (Thm 6.5). *)
+
+open Engine
+
+let domain3 = [ "a"; "b"; "c" ]
+
+let params31 = Types.params ~n:3 ~f:1 ~value_len:1 ()
+let params52 = Types.params ~n:5 ~f:2 ~value_len:1 ()
+
+(* ----- probes ----- *)
+
+let test_probe_returnable () =
+  let algo = Algorithms.Abd.regular_algo in
+  let c = Config.make algo params31 ~clients:2 in
+  let rng = Driver.rng_of_seed 1 in
+  let c = Driver.write_exn algo c ~client:0 ~value:"a" ~rng in
+  let c, _ = Driver.run_to_quiescence algo c ~rng in
+  let vs =
+    Valency.Probe.returnable algo c ~reader:1 ~frozen:[ Types.Client 0 ]
+      ~gossip_drain:false
+  in
+  Alcotest.(check (list string)) "only a returnable" [ "a" ]
+    (Valency.Probe.String_set.elements vs);
+  Alcotest.(check bool) "is_valent a" true
+    (Valency.Probe.is_valent algo c ~reader:1 ~frozen:[ Types.Client 0 ]
+       ~gossip_drain:false ~value:"a");
+  Alcotest.(check bool) "not valent b" false
+    (Valency.Probe.is_valent algo c ~reader:1 ~frozen:[ Types.Client 0 ]
+       ~gossip_drain:false ~value:"b")
+
+(* mid-write points are 1-valent before delivery, 2-valent after *)
+let test_probe_bivalence_transition () =
+  let algo = Algorithms.Abd.regular_algo in
+  let c = Config.make algo params31 ~clients:2 in
+  let rng = Driver.rng_of_seed 2 in
+  let c = Driver.write_exn algo c ~client:0 ~value:"a" ~rng in
+  let c, _ = Driver.run_to_quiescence algo c ~rng in
+  let _, c = Config.invoke algo c ~client:0 (Types.Write "b") in
+  (* before any delivery: only a *)
+  let vs0 =
+    Valency.Probe.returnable algo c ~reader:1 ~frozen:[ Types.Client 0 ]
+      ~gossip_drain:false
+  in
+  Alcotest.(check bool) "pre-delivery 1-valent" true
+    (Valency.Probe.String_set.mem "a" vs0 && not (Valency.Probe.String_set.mem "b" vs0));
+  (* deliver one Put: now b wins every read *)
+  let act = List.hd (Config.enabled c) in
+  let c' = Option.get (Config.step_deliver algo c act) in
+  let vs1 =
+    Valency.Probe.returnable algo c' ~reader:1 ~frozen:[ Types.Client 0 ]
+      ~gossip_drain:false
+  in
+  Alcotest.(check bool) "post-delivery 2-valent only" true
+    (Valency.Probe.String_set.mem "b" vs1 && not (Valency.Probe.String_set.mem "a" vs1))
+
+(* ----- Theorem B.1 ----- *)
+
+let test_singleton_abd () =
+  let r = Valency.Singleton.run Algorithms.Abd.regular_algo params31 ~domain:domain3 in
+  Alcotest.(check bool) "injective" true r.Valency.Singleton.injective;
+  Alcotest.(check bool) "reads ok" true r.Valency.Singleton.read_back_ok;
+  Alcotest.(check bool) "bound satisfied" true r.Valency.Singleton.satisfied;
+  Alcotest.(check int) "joint = |V|" 3 r.Valency.Singleton.distinct_joint
+
+let test_singleton_cas () =
+  let p = Types.params ~n:4 ~f:1 ~k:2 ~delta:1 ~value_len:1 () in
+  let domain = [ "a"; "b"; "c"; "d" ] in
+  let r = Valency.Singleton.run Algorithms.Cas.algo p ~domain in
+  Alcotest.(check bool) "injective" true r.Valency.Singleton.injective;
+  Alcotest.(check bool) "reads ok" true r.Valency.Singleton.read_back_ok;
+  Alcotest.(check bool) "bound satisfied" true r.Valency.Singleton.satisfied
+
+let test_singleton_gossip () =
+  let r =
+    Valency.Singleton.run Algorithms.Gossip_rep.algo params31 ~domain:domain3
+  in
+  Alcotest.(check bool) "injective" true r.Valency.Singleton.injective;
+  Alcotest.(check bool) "bound satisfied" true r.Valency.Singleton.satisfied
+
+(* census grows with |V|: bound scales as log2 |V| *)
+let test_singleton_scaling () =
+  let d2 = [ "a"; "b" ] in
+  let d4 = [ "a"; "b"; "c"; "d" ] in
+  let r2 = Valency.Singleton.run Algorithms.Abd.regular_algo params31 ~domain:d2 in
+  let r4 = Valency.Singleton.run Algorithms.Abd.regular_algo params31 ~domain:d4 in
+  Alcotest.(check (float 1e-9)) "bound 1 bit" 1.0 r2.Valency.Singleton.bound_bits;
+  Alcotest.(check (float 1e-9)) "bound 2 bits" 2.0 r4.Valency.Singleton.bound_bits;
+  Alcotest.(check bool) "census grows" true
+    (r4.Valency.Singleton.census_total_bits > r2.Valency.Singleton.census_total_bits)
+
+(* ----- Theorems 4.1 / 5.1 ----- *)
+
+let test_critical_pair_single () =
+  match
+    Valency.Critical.run_pair Algorithms.Abd.regular_algo params31
+      ~mode:Valency.Critical.No_gossip ("a", "b")
+  with
+  | Error why -> Alcotest.failf "no critical pair: %s" why
+  | Ok (pr, _, _) ->
+      Alcotest.(check int) "exactly one server changed" 1
+        (List.length pr.Valency.Critical.changed)
+
+let test_critical_abd_no_gossip () =
+  let r =
+    Valency.Critical.run Algorithms.Abd.regular_algo params31
+      ~mode:Valency.Critical.No_gossip ~domain:domain3
+  in
+  Alcotest.(check int) "6 ordered pairs" 6 r.Valency.Critical.pairs;
+  Alcotest.(check bool) "injective" true r.Valency.Critical.injective;
+  Alcotest.(check int) "lemma 4.8: at most one change" 1 r.Valency.Critical.max_changed;
+  Alcotest.(check bool) "bound satisfied" true r.Valency.Critical.satisfied;
+  Alcotest.(check (list string)) "no anomalies" [] r.Valency.Critical.anomalies
+
+let test_critical_abd_f2 () =
+  (* the theorem's formal regime f >= 2 *)
+  let r =
+    Valency.Critical.run Algorithms.Abd.regular_algo params52
+      ~mode:Valency.Critical.No_gossip ~domain:[ "a"; "b" ]
+  in
+  Alcotest.(check bool) "injective" true r.Valency.Critical.injective;
+  Alcotest.(check bool) "bound satisfied" true r.Valency.Critical.satisfied;
+  Alcotest.(check (list string)) "no anomalies" [] r.Valency.Critical.anomalies
+
+let test_critical_atomic_abd () =
+  (* the full atomic ABD (with read write-back) is also in the class *)
+  let r =
+    Valency.Critical.run Algorithms.Abd.algo params31
+      ~mode:Valency.Critical.No_gossip ~domain:[ "a"; "b" ]
+  in
+  Alcotest.(check bool) "injective" true r.Valency.Critical.injective;
+  Alcotest.(check bool) "bound satisfied" true r.Valency.Critical.satisfied
+
+let test_critical_gossip () =
+  let r =
+    Valency.Critical.run Algorithms.Gossip_rep.algo params31
+      ~mode:Valency.Critical.Gossip ~domain:domain3
+  in
+  Alcotest.(check bool) "injective" true r.Valency.Critical.injective;
+  Alcotest.(check bool) "bound satisfied" true r.Valency.Critical.satisfied;
+  Alcotest.(check (list string)) "no anomalies" [] r.Valency.Critical.anomalies
+
+(* ----- Theorem 6.5 ----- *)
+
+let test_multi_vector_cas () =
+  let p = Types.params ~n:4 ~f:1 ~k:2 ~delta:2 ~value_len:1 () in
+  match Valency.Multi.run_vector Algorithms.Cas.algo p ~values:[ "a"; "b" ] with
+  | Error why -> Alcotest.failf "staged construction failed: %s" why
+  | Ok vr ->
+      Alcotest.(check int) "two stages" 2 (List.length vr.Valency.Multi.stages);
+      let a1 = (List.nth vr.Valency.Multi.stages 0).Valency.Multi.a in
+      let a2 = (List.nth vr.Valency.Multi.stages 1).Valency.Multi.a in
+      Alcotest.(check bool) "a1 < a2" true (a1 < a2);
+      (* alive = n - (f+1-nu) = 4 *)
+      Alcotest.(check bool) "a2 within alive prefix" true (a2 <= 4);
+      Alcotest.(check int) "encodings for alive servers" 4
+        (Array.length vr.Valency.Multi.encodings)
+
+let test_multi_census_cas () =
+  let p = Types.params ~n:4 ~f:1 ~k:2 ~delta:2 ~value_len:1 () in
+  let r = Valency.Multi.run Algorithms.Cas.algo p ~nu:2 ~domain:domain3 in
+  Alcotest.(check int) "3*2 ordered vectors" 6 r.Valency.Multi.vectors;
+  Alcotest.(check bool) "injective" true r.Valency.Multi.injective;
+  Alcotest.(check bool) "stages monotone" true r.Valency.Multi.stages_monotone;
+  Alcotest.(check bool) "bound satisfied" true r.Valency.Multi.satisfied;
+  Alcotest.(check (list string)) "no anomalies" [] r.Valency.Multi.anomalies
+
+let test_multi_census_abd_mw () =
+  (* multi-writer ABD is also in the single-value-phase class *)
+  let p = Types.params ~n:5 ~f:2 ~value_len:1 () in
+  let r = Valency.Multi.run Algorithms.Abd_mw.algo p ~nu:2 ~domain:[ "a"; "b"; "c" ] in
+  Alcotest.(check bool) "injective" true r.Valency.Multi.injective;
+  Alcotest.(check bool) "no anomalies" true (r.Valency.Multi.anomalies = []);
+  Alcotest.(check bool) "bound satisfied" true r.Valency.Multi.satisfied
+
+let test_multi_validation () =
+  let p = Types.params ~n:4 ~f:1 ~k:2 ~value_len:1 () in
+  Alcotest.check_raises "nu > f+1"
+    (Invalid_argument "Multi.run_vector: need nu <= f + 1 (the paper's regime)")
+    (fun () ->
+      ignore (Valency.Multi.run_vector Algorithms.Cas.algo p ~values:[ "a"; "b"; "c" ]));
+  Alcotest.check_raises "domain too small"
+    (Invalid_argument "Multi.run: domain smaller than nu") (fun () ->
+      ignore (Valency.Multi.run Algorithms.Cas.algo p ~nu:2 ~domain:[ "a" ]))
+
+(* the discovered prefix bound a_1 matches the protocol's quorum:
+   CAS needs ceil((n+k)/2) servers before any value is recoverable *)
+let test_multi_a1_matches_quorum () =
+  let p = Types.params ~n:4 ~f:1 ~k:2 ~delta:2 ~value_len:1 () in
+  match Valency.Multi.run_vector Algorithms.Cas.algo p ~values:[ "a"; "b" ] with
+  | Error why -> Alcotest.failf "staged construction failed: %s" why
+  | Ok vr ->
+      let a1 = (List.hd vr.Valency.Multi.stages).Valency.Multi.a in
+      Alcotest.(check int) "a1 = cas quorum" (Algorithms.Common.cas_quorum p) a1
+
+(* for a no-gossip algorithm the gossip closure is a no-op, so the two
+   modes must agree on everything but the counting constant *)
+let test_gossip_mode_noop_on_no_gossip_algo () =
+  let r_ng =
+    Valency.Critical.run Algorithms.Abd.regular_algo params31
+      ~mode:Valency.Critical.No_gossip ~domain:[ "a"; "b" ]
+  in
+  let r_g =
+    Valency.Critical.run Algorithms.Abd.regular_algo params31
+      ~mode:Valency.Critical.Gossip ~domain:[ "a"; "b" ]
+  in
+  Alcotest.(check bool) "both injective" true
+    (r_ng.Valency.Critical.injective && r_g.Valency.Critical.injective);
+  Alcotest.(check int) "same distinct tuples" r_ng.Valency.Critical.distinct_tuples
+    r_g.Valency.Critical.distinct_tuples;
+  Alcotest.(check int) "same change count" r_ng.Valency.Critical.max_changed
+    r_g.Valency.Critical.max_changed
+
+(* three stages deep: nu = 3 on a wider system *)
+let test_multi_nu3 () =
+  let p = Types.params ~n:5 ~f:2 ~k:1 ~delta:3 ~value_len:1 () in
+  match
+    Valency.Multi.run_vector Algorithms.Cas.algo p ~values:[ "a"; "b"; "c" ]
+  with
+  | Error why -> Alcotest.failf "nu=3 staged construction failed: %s" why
+  | Ok vr ->
+      let avals = List.map (fun s -> s.Valency.Multi.a) vr.Valency.Multi.stages in
+      Alcotest.(check int) "three stages" 3 (List.length avals);
+      (match avals with
+      | [ a1; a2; a3 ] ->
+          Alcotest.(check bool) "strictly increasing" true (a1 < a2 && a2 < a3);
+          (* alive = n - (f+1-nu) = 5 *)
+          Alcotest.(check bool) "within alive prefix" true (a3 <= 5)
+      | _ -> Alcotest.fail "expected exactly three prefix bounds");
+      (* the three committed writers are distinct *)
+      let writers =
+        List.map (fun s -> s.Valency.Multi.writer) vr.Valency.Multi.stages
+      in
+      Alcotest.(check int) "distinct writers" 3
+        (List.length (List.sort_uniq compare writers))
+
+(* property: the staged construction succeeds for random distinct value
+   pairs, with monotone prefix bounds *)
+let prop_multi_random_pairs =
+  QCheck.Test.make ~name:"staged construction on random value pairs" ~count:25
+    (QCheck.pair (QCheck.int_range 0 25) (QCheck.int_range 0 25))
+    (fun (i, j) ->
+      QCheck.assume (i <> j);
+      let v c = String.make 1 (Char.chr (Char.code 'a' + c)) in
+      let p = Types.params ~n:4 ~f:1 ~k:2 ~delta:2 ~value_len:1 () in
+      match Valency.Multi.run_vector Algorithms.Cas.algo p ~values:[ v i; v j ] with
+      | Error _ -> false
+      | Ok vr -> (
+          match vr.Valency.Multi.stages with
+          | [ s1; s2 ] -> s1.Valency.Multi.a < s2.Valency.Multi.a
+          | _ -> false))
+
+(* ----- sweeps ----- *)
+
+let test_sweep_singleton () =
+  let g = Valency.Sweep.singleton ~pairs:[ (3, 1) ] ~vs:[ 2; 3 ] () in
+  Alcotest.(check int) "cells" 2 (List.length g.Valency.Sweep.cells);
+  Alcotest.(check bool) "all pass" true (Valency.Sweep.all_pass g);
+  Alcotest.(check string) "tag" "thm-b1" g.Valency.Sweep.experiment
+
+let test_sweep_critical () =
+  let g = Valency.Sweep.critical ~pairs:[ (3, 1) ] ~vs:[ 2 ] () in
+  Alcotest.(check bool) "all pass" true (Valency.Sweep.all_pass g)
+
+let test_sweep_multi () =
+  let g = Valency.Sweep.multi ~geometries:[ (4, 1, 2) ] ~vs:[ 3 ] () in
+  Alcotest.(check bool) "all pass" true (Valency.Sweep.all_pass g);
+  let c = List.hd g.Valency.Sweep.cells in
+  Alcotest.(check string) "cas" "cas" c.Valency.Sweep.algo_name
+
+let test_sweep_pp () =
+  let g = Valency.Sweep.singleton ~pairs:[ (3, 1) ] ~vs:[ 2 ] () in
+  let s = Format.asprintf "%a" Valency.Sweep.pp g in
+  Alcotest.(check bool) "mentions experiment" true
+    (String.length s > 0
+    &&
+    let re = Str.regexp_string "thm-b1" in
+    try
+      ignore (Str.search_forward re s 0);
+      true
+    with Not_found -> false)
+
+let () =
+  Alcotest.run "valency"
+    [
+      ( "probes",
+        [
+          Alcotest.test_case "returnable" `Quick test_probe_returnable;
+          Alcotest.test_case "valency transition" `Quick test_probe_bivalence_transition;
+        ] );
+      ( "thm-b1",
+        [
+          Alcotest.test_case "abd regular" `Quick test_singleton_abd;
+          Alcotest.test_case "cas" `Quick test_singleton_cas;
+          Alcotest.test_case "gossip replication" `Quick test_singleton_gossip;
+          Alcotest.test_case "scaling in |V|" `Quick test_singleton_scaling;
+        ] );
+      ( "thm-41-51",
+        [
+          Alcotest.test_case "single critical pair" `Quick test_critical_pair_single;
+          Alcotest.test_case "abd no-gossip census" `Quick test_critical_abd_no_gossip;
+          Alcotest.test_case "abd f=2 regime" `Slow test_critical_abd_f2;
+          Alcotest.test_case "atomic abd" `Quick test_critical_atomic_abd;
+          Alcotest.test_case "gossip census" `Slow test_critical_gossip;
+        ] );
+      ( "thm-65",
+        [
+          Alcotest.test_case "staged vector (cas)" `Quick test_multi_vector_cas;
+          Alcotest.test_case "census (cas)" `Slow test_multi_census_cas;
+          Alcotest.test_case "census (abd-mw)" `Slow test_multi_census_abd_mw;
+          Alcotest.test_case "validation" `Quick test_multi_validation;
+          Alcotest.test_case "a1 = quorum" `Quick test_multi_a1_matches_quorum;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "singleton grid" `Quick test_sweep_singleton;
+          Alcotest.test_case "critical grid" `Quick test_sweep_critical;
+          Alcotest.test_case "multi grid" `Slow test_sweep_multi;
+          Alcotest.test_case "pretty printer" `Quick test_sweep_pp;
+        ] );
+      ( "depth",
+        [
+          Alcotest.test_case "nu=3 staged construction" `Slow test_multi_nu3;
+          Alcotest.test_case "gossip mode no-op on no-gossip algo" `Slow
+            test_gossip_mode_noop_on_no_gossip_algo;
+          QCheck_alcotest.to_alcotest prop_multi_random_pairs;
+        ] );
+    ]

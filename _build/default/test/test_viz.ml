@@ -1,0 +1,103 @@
+(* Tests for the ASCII execution renderer. *)
+
+open Engine
+
+let params = Types.params ~n:3 ~f:1 ~value_len:1 ()
+let algo = Algorithms.Abd.algo
+
+let traced_write () =
+  let c = Config.make algo params ~clients:1 in
+  let _, c = Config.invoke algo c ~client:0 (Types.Write "a") in
+  let rng = Driver.rng_of_seed 3 in
+  Driver.run_trace algo c ~rng ~stop:(fun c -> Config.pending_op c 0 = None)
+
+let test_chart_structure () =
+  let trace, _ = traced_write () in
+  let chart = Viz.render_chart algo trace in
+  let lines = String.split_on_char '\n' chart in
+  (* header names every endpoint *)
+  (match lines with
+  | header :: _ ->
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) (l ^ " in header") true
+            (String.length header >= String.length l))
+        [ "s0"; "s1"; "s2"; "c0" ];
+      Alcotest.(check bool) "header mentions s0" true
+        (String.length header > 0
+        && Stdlib.( = ) (String.sub header 0 2) "s0")
+  | [] -> Alcotest.fail "empty chart");
+  (* every delivery row carries an arrow source and destination *)
+  let arrow_rows =
+    List.filter (fun l -> String.contains l '*' && String.contains l '>') lines
+  in
+  (* the write delivers 3 puts and 3 acks (one consumed at quorum) *)
+  Alcotest.(check bool) "several arrows" true (List.length arrow_rows >= 4);
+  (* message text appears *)
+  Alcotest.(check bool) "mentions put" true
+    (List.exists
+       (fun l ->
+         match String.index_opt l 'p' with
+         | Some i ->
+             String.length l >= i + 3 && String.sub l i 3 = "put"
+         | None -> false)
+       lines)
+
+let test_chart_empty_trace () =
+  Alcotest.(check string) "empty" "" (Viz.render_chart algo [])
+
+let test_chart_records_events () =
+  let trace, _ = traced_write () in
+  let chart = Viz.render_chart algo trace in
+  (* the response event is annotated *)
+  Alcotest.(check bool) "response annotated" true
+    (let re = Str.regexp_string "res #0" in
+     try
+       ignore (Str.search_forward re chart 0);
+       true
+     with Not_found -> false)
+
+let test_sparkline () =
+  let trace, _ = traced_write () in
+  let s = Viz.storage_sparkline algo trace in
+  Alcotest.(check bool) "nonempty" true (String.length s > 0);
+  (* ABD storage is constant: min = max *)
+  Alcotest.(check bool) "mentions min" true
+    (let re = Str.regexp "min=\\([0-9]+\\) max=\\([0-9]+\\)" in
+     try
+       ignore (Str.search_forward re s 0);
+       Str.matched_group 1 s = Str.matched_group 2 s
+     with Not_found -> false);
+  Alcotest.(check string) "empty trace" "" (Viz.storage_sparkline algo [])
+
+let test_sparkline_varies_for_cas () =
+  let p = Types.params ~n:3 ~f:1 ~k:1 ~delta:1 ~value_len:4 () in
+  let algo = Algorithms.Cas.algo in
+  let c = Config.make algo p ~clients:1 in
+  let _, c = Config.invoke algo c ~client:0 (Types.Write "abcd") in
+  let rng = Driver.rng_of_seed 4 in
+  let trace, _ = Driver.run_trace algo c ~rng ~stop:(fun c -> Config.pending_op c 0 = None) in
+  let s = Viz.storage_sparkline algo trace in
+  (* CAS accumulates a version mid-write: min < max *)
+  Alcotest.(check bool) "storage varies" true
+    (let re = Str.regexp "min=\\([0-9]+\\) max=\\([0-9]+\\)" in
+     try
+       ignore (Str.search_forward re s 0);
+       int_of_string (Str.matched_group 1 s) < int_of_string (Str.matched_group 2 s)
+     with Not_found -> false)
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "chart",
+        [
+          Alcotest.test_case "structure" `Quick test_chart_structure;
+          Alcotest.test_case "empty trace" `Quick test_chart_empty_trace;
+          Alcotest.test_case "events annotated" `Quick test_chart_records_events;
+        ] );
+      ( "sparkline",
+        [
+          Alcotest.test_case "constant for abd" `Quick test_sparkline;
+          Alcotest.test_case "varies for cas" `Quick test_sparkline_varies_for_cas;
+        ] );
+    ]

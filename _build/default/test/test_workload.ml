@@ -1,0 +1,139 @@
+(* Tests for workload generation and the storage instrumentation. *)
+
+let test_unique_values () =
+  let vs = Workload.unique_values ~count:50 ~len:4 ~seed:1 in
+  Alcotest.(check int) "count" 50 (List.length vs);
+  List.iter (fun v -> Alcotest.(check int) "len" 4 (String.length v)) vs;
+  let dedup = List.sort_uniq compare vs in
+  Alcotest.(check int) "distinct" 50 (List.length dedup);
+  (* deterministic in the seed *)
+  Alcotest.(check bool) "reproducible" true
+    (vs = Workload.unique_values ~count:50 ~len:4 ~seed:1);
+  Alcotest.(check bool) "seed-sensitive" false
+    (vs = Workload.unique_values ~count:50 ~len:4 ~seed:2)
+
+let test_small_domain () =
+  Alcotest.(check (list string)) "base 2 len 1" [ "a"; "b" ]
+    (List.sort compare (Workload.small_domain ~base:2 ~len:1));
+  Alcotest.(check int) "base 3 len 2" 9 (List.length (Workload.small_domain ~base:3 ~len:2));
+  Alcotest.(check (list string)) "len 0" [ "" ] (Workload.small_domain ~base:5 ~len:0);
+  let d = Workload.small_domain ~base:4 ~len:3 in
+  Alcotest.(check int) "distinct" (List.length d) (List.length (List.sort_uniq compare d))
+
+let test_random_failures () =
+  let fs = Workload.random_failures ~n:10 ~f:3 ~seed:4 in
+  Alcotest.(check int) "count" 3 (List.length fs);
+  List.iter (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 10)) fs;
+  Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare fs));
+  Alcotest.(check (list int)) "none requested" [] (Workload.random_failures ~n:5 ~f:0 ~seed:1)
+
+let test_mixed_scripts () =
+  let values = [ "v1"; "v2"; "v3"; "v4" ] in
+  let scripts = Workload.mixed_scripts ~writers:2 ~readers:2 ~values ~reads_per_reader:3 in
+  Alcotest.(check int) "script count" 4 (List.length scripts);
+  let writer0 = List.find (fun s -> s.Workload.client = 0) scripts in
+  Alcotest.(check int) "writer 0 ops" 2 (List.length writer0.Workload.ops);
+  let reader = List.find (fun s -> s.Workload.client = 3) scripts in
+  Alcotest.(check int) "reader ops" 3 (List.length reader.Workload.ops);
+  Alcotest.(check bool) "reader only reads" true
+    (List.for_all (fun o -> o = Engine.Types.Read) reader.Workload.ops)
+
+let test_run_scripts_completes_all () =
+  let params = Engine.Types.params ~n:5 ~f:2 ~value_len:3 () in
+  let algo = Algorithms.Abd.algo in
+  let values = Workload.unique_values ~count:4 ~len:3 ~seed:9 in
+  let scripts = Workload.mixed_scripts ~writers:1 ~readers:2 ~values ~reads_per_reader:2 in
+  let c = Engine.Config.make algo params ~clients:3 in
+  let c = Workload.run_scripts algo c scripts ~seed:10 in
+  let h = Consistency.History.of_events (Engine.Config.history c) in
+  (* 4 writes + 4 reads, all completed *)
+  Alcotest.(check int) "ops" 8 (List.length h);
+  Alcotest.(check int) "all completed" 8 (List.length (Consistency.History.completed h))
+
+let test_run_scripts_with_failures () =
+  let params = Engine.Types.params ~n:5 ~f:2 ~value_len:3 () in
+  let algo = Algorithms.Abd.algo in
+  let values = Workload.unique_values ~count:3 ~len:3 ~seed:11 in
+  let scripts = Workload.mixed_scripts ~writers:1 ~readers:1 ~values ~reads_per_reader:2 in
+  let failures = Workload.random_failures ~n:5 ~f:2 ~seed:12 in
+  let c = Engine.Config.make algo params ~clients:2 in
+  let c = Workload.run_scripts ~failures algo c scripts ~seed:13 in
+  let h = Consistency.History.of_events (Engine.Config.history c) in
+  Alcotest.(check int) "all ops completed despite failures" 5
+    (List.length (Consistency.History.completed h));
+  (* and the history is still atomic *)
+  Alcotest.(check bool) "atomic" true
+    (Consistency.Checker.is_valid
+       (Consistency.Checker.atomic ~init:(Algorithms.Common.initial_value params) h))
+
+let test_concurrent_writes_all_active () =
+  let params = Engine.Types.params ~n:5 ~f:1 ~k:3 ~delta:3 ~value_len:4 () in
+  let algo = Algorithms.Cas.algo in
+  let values = Workload.unique_values ~count:3 ~len:4 ~seed:14 in
+  let c = Engine.Config.make algo params ~clients:3 in
+  (* count active writes at every point via an observer *)
+  let max_active = ref 0 in
+  let obs cfg =
+    let active =
+      List.length
+        (List.filter
+           (fun cl -> Engine.Config.pending_op cfg cl <> None)
+           [ 0; 1; 2 ])
+    in
+    if active > !max_active then max_active := active
+  in
+  let c = Workload.concurrent_writes ~observer:obs algo c ~values ~seed:15 in
+  Alcotest.(check int) "nu = 3 reached" 3 !max_active;
+  let h = Consistency.History.of_events (Engine.Config.history c) in
+  Alcotest.(check int) "3 writes done" 3 (List.length (Consistency.History.completed h))
+
+let test_duplicate_script_rejected () =
+  let params = Engine.Types.params ~n:3 ~f:1 ~value_len:1 () in
+  let algo = Algorithms.Abd.algo in
+  let c = Engine.Config.make algo params ~clients:1 in
+  Alcotest.check_raises "duplicate client"
+    (Invalid_argument "Workload.run_scripts: duplicate client script") (fun () ->
+      ignore
+        (Workload.run_scripts algo c
+           [ { Workload.client = 0; ops = [] }; { Workload.client = 0; ops = [] } ]
+           ~seed:1))
+
+(* properties *)
+
+let prop_unique_values_distinct =
+  QCheck.Test.make ~name:"unique_values always distinct" ~count:50
+    (QCheck.pair (QCheck.int_range 1 100) (QCheck.int_range 2 8))
+    (fun (count, len) ->
+      let vs = Workload.unique_values ~count ~len ~seed:(count * len) in
+      List.length (List.sort_uniq compare vs) = count)
+
+let prop_small_domain_size =
+  QCheck.Test.make ~name:"small_domain size = base^len" ~count:30
+    (QCheck.pair (QCheck.int_range 1 5) (QCheck.int_range 0 4))
+    (fun (base, len) ->
+      let expected = int_of_float (Float.pow (float_of_int base) (float_of_int len)) in
+      List.length (Workload.small_domain ~base ~len) = expected)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "unique_values" `Quick test_unique_values;
+          Alcotest.test_case "small_domain" `Quick test_small_domain;
+          Alcotest.test_case "random_failures" `Quick test_random_failures;
+          Alcotest.test_case "mixed_scripts" `Quick test_mixed_scripts;
+        ] );
+      ( "drivers",
+        [
+          Alcotest.test_case "run_scripts completes" `Quick test_run_scripts_completes_all;
+          Alcotest.test_case "run_scripts with failures" `Quick
+            test_run_scripts_with_failures;
+          Alcotest.test_case "concurrent_writes reaches nu" `Quick
+            test_concurrent_writes_all_active;
+          Alcotest.test_case "duplicate script" `Quick test_duplicate_script_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_unique_values_distinct; prop_small_domain_size ] );
+    ]
