@@ -324,6 +324,43 @@ let ablation_branching () =
     "(Persistent configurations make point-branching a pointer copy; replaying\n\
      pays the whole prefix per probe.  The gap widens with execution length.)"
 
+(* ----- Scheduler throughput ----- *)
+
+(* The fair scheduler is the hot loop under every experiment family:
+   each delivery step picks uniformly among the enabled actions.  This
+   section measures raw delivery steps/sec on workloads whose enabled
+   sets are large (many clients, and gossip traffic for the n^2-channel
+   case), so scheduler-pick cost dominates. *)
+let sched_throughput () =
+  section "sched-throughput: delivery steps/sec under the fair scheduler";
+  let row name algo ~n ~f ~clients ~value_len ~reps =
+    let p = Engine.Types.params ~n ~f ~value_len () in
+    let values = Workload.unique_values ~count:clients ~len:value_len ~seed:11 in
+    let steps = ref 0 in
+    let observer (_ : _ Engine.Config.t) = incr steps in
+    let t0 = Sys.time () in
+    for seed = 1 to reps do
+      let c = Engine.Config.make algo p ~clients in
+      let (_ : _ Engine.Config.t) =
+        Workload.concurrent_writes ~observer ~max_steps:2_000_000 algo c ~values
+          ~seed
+      in
+      ()
+    done;
+    let dt = Sys.time () -. t0 in
+    Printf.printf "%-32s %10d steps %12.0f steps/sec\n" name !steps
+      (float_of_int !steps /. Float.max dt 1e-9)
+  in
+  row "abd-mw    n=11 f=2  nu=8" Algorithms.Abd_mw.algo ~n:11 ~f:2 ~clients:8
+    ~value_len:32 ~reps:200;
+  row "cas       n=11 f=2  nu=8" Algorithms.Cas.algo ~n:11 ~f:2 ~clients:8
+    ~value_len:32 ~reps:200;
+  row "gossip    n=11 f=2  nu=4" Algorithms.Gossip_rep.algo ~n:11 ~f:2
+    ~clients:4 ~value_len:32 ~reps:100;
+  print_endline
+    "(Each delivery picks uniformly from the enabled actions; with many\n\
+     clients and gossip the enabled set is large, so pick cost dominates.)"
+
 (* ----- Bechamel microbenchmarks ----- *)
 
 open Bechamel
@@ -429,23 +466,43 @@ let run_benchmarks () =
         (List.sort compare rows))
     results
 
+(* With arguments, run only the named sections (e.g. `main.exe sched`);
+   with none, regenerate every artifact. *)
+let sections =
+  [
+    ("figure1", figure1);
+    ("figure1-measured", figure1_measured);
+    ("census-b1", census_b1);
+    ("census-41", census_41);
+    ("census-51", census_51);
+    ("census-65", census_65);
+    ("census-65-conjecture", census_65_conjecture);
+    ("sweep-n", sweep_n);
+    ("crossover", crossover);
+    ("sweep-f-measured", sweep_f_measured);
+    ("convergence", convergence);
+    ("op-costs", op_costs);
+    ("sweep-census", sweep_census);
+    ("ablation-seeds", ablation_seeds);
+    ("ablation-delta", ablation_delta);
+    ("ablation-branching", ablation_branching);
+    ("sched", sched_throughput);
+    ("bench", run_benchmarks);
+  ]
+
 let () =
-  figure1 ();
-  figure1_measured ();
-  census_b1 ();
-  census_41 ();
-  census_51 ();
-  census_65 ();
-  census_65_conjecture ();
-  sweep_n ();
-  crossover ();
-  sweep_f_measured ();
-  convergence ();
-  op_costs ();
-  sweep_census ();
-  ablation_seeds ();
-  ablation_delta ();
-  ablation_branching ();
-  run_benchmarks ();
-  line ();
-  print_endline "bench: all experiment families regenerated."
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as picks) ->
+      List.iter
+        (fun pick ->
+          match List.assoc_opt pick sections with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "bench: unknown section %S\n" pick;
+              exit 2)
+        picks
+  | _ ->
+      List.iter (fun (_, f) -> f ()) sections;
+      line ();
+      print_endline "bench: all experiment families regenerated."
+

@@ -268,8 +268,8 @@ let trace_cmd =
       let rng = Engine.Driver.rng_of_seed seed in
       let trace, _ =
         Engine.Driver.run_trace algo c ~rng ~stop:(fun c ->
-            Engine.Config.pending_op c 0 = None
-            && Engine.Config.pending_op c 1 = None)
+            Option.is_none (Engine.Config.pending_op c 0)
+            && Option.is_none (Engine.Config.pending_op c 1))
       in
       Printf.printf
         "%s: write(\"hi\") at c0 concurrent with a read at c1 (seed %d)\n\n"

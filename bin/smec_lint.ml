@@ -1,0 +1,53 @@
+(* smec-lint: the repo-aware static-analysis gate.
+
+   Walks every .ml/.mli under lib/, bin/, bench/ and test/ (or the
+   directories given on the command line) and enforces the rules in
+   lib/lint: determinism (R1), comparison safety (R2), hot-path
+   discipline (R3) and hygiene (R4).  Suppress a finding at its site
+   with an [(* lint: allow <code> *)] comment on the same or preceding
+   line.  Exits 1 when any unsuppressed finding remains, so the dune
+   [lint] alias (wired into runtest) gates the tree.
+
+   See docs/LINTING.md for the rule catalogue and rationale. *)
+
+let default_dirs = [ "lib"; "bin"; "bench"; "test" ]
+
+let print_rules () =
+  List.iter
+    (fun (family, codes) ->
+      Printf.printf "%s:\n" family;
+      List.iter
+        (fun (code, doc) -> Printf.printf "  %-18s %s\n" code doc)
+        codes)
+    (Lint.rule_docs ())
+
+let () =
+  let json = ref false in
+  let root = ref "." in
+  let list_rules = ref false in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit the report as JSON");
+      ("--root", Arg.Set_string root, "DIR repository root (default: .)");
+      ("--rules", Arg.Set list_rules, " list rule families and codes, then exit");
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun d -> dirs := d :: !dirs)
+    "smec_lint [--json] [--root DIR] [dir ...]\n\
+     Static-analysis gate for the smec tree; lints lib/ bin/ bench/ test/ by \
+     default.";
+  if !list_rules then print_rules ()
+  else begin
+    let dirs = match List.rev !dirs with [] -> default_dirs | ds -> ds in
+    let findings =
+      try Lint.scan ~root:!root dirs
+      with Invalid_argument why ->
+        prerr_endline ("smec_lint: " ^ why);
+        exit 2
+    in
+    if !json then print_endline (Lint.render_json findings)
+    else print_string (Lint.render_text findings);
+    exit (match findings with [] -> 0 | _ -> 1)
+  end

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Full pre-merge check: build everything, then run the test suite
+# (which includes the @lint alias — see docs/LINTING.md).
+set -e
+cd "$(dirname "$0")"
+dune build
+dune runtest

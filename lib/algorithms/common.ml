@@ -11,7 +11,7 @@ type tag = { seq : int; cid : int }
 let tag0 = { seq = 0; cid = -1 }
 
 let tag_compare a b =
-  match compare a.seq b.seq with 0 -> compare a.cid b.cid | c -> c
+  match Int.compare a.seq b.seq with 0 -> Int.compare a.cid b.cid | c -> c
 
 let tag_max a b = if tag_compare a b >= 0 then a else b
 let tag_lt a b = tag_compare a b < 0

@@ -101,7 +101,8 @@ let on_server_msg p ~me ss ~src msg =
         let gossip =
           List.filter_map
             (fun i ->
-              if i = me then None else Some (send (Server i) (Gossip { tag; value })))
+              if Int.equal i me then None
+              else Some (send (Server i) (Gossip { tag; value })))
             (List.init p.n Fun.id)
         in
         ({ tag; value }, send src (Put_ack { rid }) :: gossip)

@@ -48,7 +48,18 @@ let invalidf fmt = Format.kasprintf (fun s -> Invalid s) fmt
 module Cluster = struct
   type t = Init | Of_write of int (* op_id of the write *)
 
-  let compare = compare
+  let compare a b =
+    match (a, b) with
+    | Init, Init -> 0
+    | Init, Of_write _ -> -1
+    | Of_write _, Init -> 1
+    | Of_write x, Of_write y -> Int.compare x y
+
+  let equal a b =
+    match (a, b) with
+    | Init, Init -> true
+    | Of_write x, Of_write y -> Int.equal x y
+    | Init, Of_write _ | Of_write _, Init -> false
 end
 
 module Cmap = Map.Make (Cluster)
@@ -84,7 +95,7 @@ let atomic ?(init = "") (h : History.t) : verdict =
           | _ -> ());
           Cluster.Of_write w.op_id
         end
-        else if v = init then Cluster.Init
+        else if String.equal v init then Cluster.Init
         else
           raise
             (Bad
@@ -128,7 +139,7 @@ let atomic ?(init = "") (h : History.t) : verdict =
           let ia = Hashtbl.find idx cl_a in
           List.iter
             (fun cl_b ->
-              if cl_a <> cl_b then
+              if not (Cluster.equal cl_a cl_b) then
                 let ib = Hashtbl.find idx cl_b in
                 let edge =
                   List.exists
@@ -197,7 +208,7 @@ let regular ?(init = "") (h : History.t) : verdict =
           :: List.filter_map (fun (w : History.op_record) -> w.written) overlapping
         in
         let got = Option.value ~default:"" r.result in
-        if List.mem got allowed then None
+        if List.exists (String.equal got) allowed then None
         else
           Some
             (Format.asprintf "%a violates regularity (allowed: %a)"
@@ -223,7 +234,7 @@ let weakly_regular ?(init = "") (h : History.t) : verdict =
   let check (r : History.op_record) =
     let resp = Option.get r.resp in
     let got = Option.value ~default:"" r.result in
-    if got = init then begin
+    if String.equal got init then begin
       (* init is returnable iff no write terminated before the read
          was invoked *)
       match List.find_opt (fun w -> History.precedes w r) terminated_writes with
@@ -237,7 +248,10 @@ let weakly_regular ?(init = "") (h : History.t) : verdict =
     else
       match
         List.find_opt
-          (fun (w : History.op_record) -> w.written = Some got)
+          (fun (w : History.op_record) ->
+            match w.written with
+            | Some v -> String.equal v got
+            | None -> false)
           writes
       with
       | None ->

@@ -22,7 +22,7 @@ type op_record = {
 type t = op_record list
 (** Sorted by invocation time. *)
 
-let is_pending o = o.resp = None
+let is_pending o = Option.is_none o.resp
 let is_write o = o.kind = Write_op
 let is_read o = o.kind = Read_op
 
@@ -55,7 +55,7 @@ let of_events (events : event list) : t =
               Hashtbl.replace tbl op_id { o with result; resp = Some time }))
     events;
   List.rev_map (Hashtbl.find tbl) !order
-  |> List.sort (fun a b -> compare a.inv b.inv)
+  |> List.sort (fun a b -> Int.compare a.inv b.inv)
 
 let reads h = List.filter is_read h
 let writes h = List.filter is_write h

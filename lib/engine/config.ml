@@ -12,7 +12,10 @@ open Types
 module Chan_key = struct
   type t = endpoint * endpoint
 
-  let compare (a : t) (b : t) = compare a b
+  let compare ((a1, a2) : t) ((b1, b2) : t) =
+    match compare_endpoint a1 b1 with
+    | 0 -> compare_endpoint a2 b2
+    | c -> c
 end
 
 module Chan_map = Map.Make (Chan_key)
@@ -142,6 +145,35 @@ let enabled c =
       if deliverable c ~src ~dst q then Deliver (src, dst) :: acc else acc)
     c.chans []
   |> List.rev
+
+(** Enabled actions satisfying [f], as an array in channel-key order.
+    One channel-map traversal collecting a reversed list (and its
+    length), then one cheap list walk filling the array back-to-front:
+    this is what the scheduler's uniform pick indexes every delivery
+    step, so it must not pay [List.nth]/[List.length] rescans. *)
+let enabled_where c ~f =
+  let rev, n =
+    Chan_map.fold
+      (fun (src, dst) q ((acc, n) as skip) ->
+        if deliverable c ~src ~dst q then
+          let act = Deliver (src, dst) in
+          if f act then (act :: acc, n + 1) else skip
+        else skip)
+      c.chans ([], 0)
+  in
+  match rev with
+  | [] -> [||]
+  | hd :: _ ->
+      let arr = Array.make n hd in
+      let i = ref (n - 1) in
+      List.iter
+        (fun act ->
+          arr.(!i) <- act;
+          decr i)
+        rev;
+      arr
+
+let enabled_arr c = enabled_where c ~f:(fun _ -> true)
 
 let has_enabled c =
   Chan_map.exists (fun (src, dst) q -> deliverable c ~src ~dst q) c.chans

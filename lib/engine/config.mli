@@ -78,6 +78,17 @@ val enabled : ('ss, 'cs, 'm) t -> action list
     order: non-empty channels whose endpoints are unfrozen and whose
     destination is alive. *)
 
+val enabled_arr : ('ss, 'cs, 'm) t -> action array
+(** {!enabled} as a freshly-built array (same deterministic order),
+    built without intermediate lists.  The scheduler picks uniformly by
+    index from this, keeping each delivery step a single channel-map
+    traversal. *)
+
+val enabled_where :
+  ('ss, 'cs, 'm) t -> f:(action -> bool) -> action array
+(** {!enabled_arr} restricted to actions satisfying [f]; used by the
+    adversary schedulers that only deliver allowed messages. *)
+
 val has_enabled : ('ss, 'cs, 'm) t -> bool
 
 val step_deliver :

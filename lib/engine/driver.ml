@@ -26,13 +26,15 @@ let pp_outcome fmt = function
 
 let default_max_steps = 1_000_000
 
+(* Uniform pick from an array of enabled actions: the array is built in
+   one channel-map traversal by Config and indexed in O(1), where the
+   old list idiom rescanned the list twice per pick. *)
+let pick rng = function
+  | [||] -> None
+  | acts -> Some acts.(Random.State.int rng (Array.length acts))
+
 (* Pick an enabled action uniformly at random. *)
-let pick_enabled c rng =
-  match Config.enabled c with
-  | [] -> None
-  | acts ->
-      let n = List.length acts in
-      Some (List.nth acts (Random.State.int rng n))
+let pick_enabled c rng = pick rng (Config.enabled_arr c)
 
 let run ?observer ?(max_steps = default_max_steps) algo c ~rng ~stop =
   let rec loop c steps =
@@ -62,21 +64,18 @@ let run_to_quiescence ?observer ?max_steps algo c ~rng =
     value-{e independent} messages. *)
 let run_allowed ?(max_steps = default_max_steps) algo c ~rng ~stop ~allow =
   let eligible c =
-    List.filter
-      (fun (Config.Deliver (src, dst)) ->
+    Config.enabled_where c ~f:(fun (Config.Deliver (src, dst)) ->
         match Config.peek_channel c ~src ~dst with
         | Some m -> allow ~src ~dst m
         | None -> false)
-      (Config.enabled c)
   in
   let rec loop c steps =
     if stop c then (c, Stopped)
     else if steps >= max_steps then (c, Step_limit)
     else
-      match eligible c with
-      | [] -> (c, Quiescent)
-      | acts -> (
-          let act = List.nth acts (Random.State.int rng (List.length acts)) in
+      match pick rng (eligible c) with
+      | None -> (c, Quiescent)
+      | Some act -> (
           match Config.step_deliver algo c act with
           | None -> loop c (steps + 1)
           | Some c' -> loop c' (steps + 1))
@@ -106,16 +105,15 @@ let run_trace ?(max_steps = default_max_steps) algo c ~rng ~stop =
     value-dependent delivery prefixes of Theorem 6.5. *)
 let drain ?(max_steps = default_max_steps) algo c ~filter ~rng =
   let eligible c =
-    List.filter (fun (Config.Deliver (src, dst)) -> filter ~src ~dst)
-      (Config.enabled c)
+    Config.enabled_where c ~f:(fun (Config.Deliver (src, dst)) ->
+        filter ~src ~dst)
   in
   let rec loop c steps =
     if steps >= max_steps then c
     else
-      match eligible c with
-      | [] -> c
-      | acts -> (
-          let act = List.nth acts (Random.State.int rng (List.length acts)) in
+      match pick rng (eligible c) with
+      | None -> c
+      | Some act -> (
           match Config.step_deliver algo c act with
           | None -> loop c (steps + 1)
           | Some c' -> loop c' (steps + 1))
@@ -129,20 +127,17 @@ let drain ?(max_steps = default_max_steps) algo c ~filter ~rng =
     eligible only while its head message passes [pred]. *)
 let drain_heads ?(max_steps = default_max_steps) algo c ~pred ~rng =
   let eligible c =
-    List.filter
-      (fun (Config.Deliver (src, dst)) ->
+    Config.enabled_where c ~f:(fun (Config.Deliver (src, dst)) ->
         match Config.peek_channel c ~src ~dst with
         | Some m -> pred ~src ~dst m
         | None -> false)
-      (Config.enabled c)
   in
   let rec loop c steps =
     if steps >= max_steps then c
     else
-      match eligible c with
-      | [] -> c
-      | acts -> (
-          let act = List.nth acts (Random.State.int rng (List.length acts)) in
+      match pick rng (eligible c) with
+      | None -> c
+      | Some act -> (
           match Config.step_deliver algo c act with
           | None -> loop c (steps + 1)
           | Some c' -> loop c' (steps + 1))
@@ -163,14 +158,15 @@ let drain_gossip ?max_steps algo c ~rng =
     non-termination within [max_steps]) and the final configuration. *)
 let run_op ?observer ?max_steps algo c ~client ~op ~rng =
   let _op_id, c = Config.invoke algo c ~client op in
-  let stop c = Config.pending_op c client = None in
+  let stop c = Option.is_none (Config.pending_op c client) in
   let c, outcome = run ?observer ?max_steps algo c ~rng ~stop in
   let response =
     match outcome with
     | Stopped -> (
         (* the newest Respond event for this client is ours *)
         let rec find = function
-          | Respond { client = cl; response; _ } :: _ when cl = client ->
+          | Respond { client = cl; response; _ } :: _
+            when equal_client cl client ->
               Some response
           | _ :: rest -> find rest
           | [] -> None
@@ -190,7 +186,9 @@ let run_concurrent ?observer ?max_steps algo c ~ops ~rng =
       c ops
   in
   let clients = List.map fst ops in
-  let stop c = List.for_all (fun cl -> Config.pending_op c cl = None) clients in
+  let stop c =
+    List.for_all (fun cl -> Option.is_none (Config.pending_op c cl)) clients
+  in
   run ?observer ?max_steps algo c ~rng ~stop
 
 (** Convenience: a complete write of [value] by [client], expected to

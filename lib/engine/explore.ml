@@ -77,13 +77,23 @@ let moves config scripts =
 
 let apply algo config scripts = function
   | Invoke_next client ->
-      let ops = List.assoc client scripts in
+      let ops =
+        match
+          List.find_map
+            (fun (c, ops) -> if Int.equal c client then Some ops else None)
+            scripts
+        with
+        | Some ops -> ops
+        | None -> invalid_arg "Explore.apply: unknown client"
+      in
       let op, rest =
         match ops with o :: r -> (o, r) | [] -> assert false
       in
       let _, config = Config.invoke algo config ~client op in
       let scripts =
-        List.map (fun (c, o) -> if c = client then (c, rest) else (c, o)) scripts
+        List.map
+          (fun (c, o) -> if Int.equal c client then (c, rest) else (c, o))
+          scripts
       in
       Some (config, scripts)
   | Do action -> (
@@ -121,7 +131,7 @@ let explore ?(max_states = 250_000) algo config ~scripts ~on_terminal =
             let all_idle =
               List.for_all
                 (fun i ->
-                  Config.pending_op config i = None
+                  Option.is_none (Config.pending_op config i)
                   || Config.is_frozen config (Types.Client i))
                 (List.init (Config.num_clients config) Fun.id)
             in

@@ -14,51 +14,28 @@ type endpoint =
   | Server of int  (** server node, 0-indexed, [0 <= i < n] *)
   | Client of int  (** client node (writer or reader), 0-indexed *)
 
-let compare_endpoint (a : endpoint) (b : endpoint) =
-  match (a, b) with
-  | Server i, Server j -> Int.compare i j
-  | Client i, Client j -> Int.compare i j
-  | Server _, Client _ -> -1
-  | Client _, Server _ -> 1
+val compare_endpoint : endpoint -> endpoint -> int
+(** Total order: servers before clients, then by index. *)
 
-let equal_endpoint a b =
-  match (a, b) with
-  | Server i, Server j | Client i, Client j -> Int.equal i j
-  | Server _, Client _ | Client _, Server _ -> false
+val equal_endpoint : endpoint -> endpoint -> bool
 
-(* Clients are identified by their integer index everywhere in the
-   engine; naming the comparator keeps call sites monomorphic. *)
-let equal_client = Int.equal
+val equal_client : int -> int -> bool
+(** Equality on client identifiers (integer indices); monomorphic, for
+    use where a polymorphic [=] would be a comparison-safety hazard. *)
 
-let pp_endpoint fmt = function
-  | Server i -> Format.fprintf fmt "s%d" i
-  | Client i -> Format.fprintf fmt "c%d" i
+val pp_endpoint : Format.formatter -> endpoint -> unit
 
 (** Register operations invoked by the environment at clients. *)
 type op = Read | Write of string
 
-let pp_op fmt = function
-  | Read -> Format.fprintf fmt "read"
-  | Write v -> Format.fprintf fmt "write(%S)" v
-
-let equal_op a b =
-  match (a, b) with
-  | Read, Read -> true
-  | Write u, Write v -> String.equal u v
-  | Read, Write _ | Write _, Read -> false
+val pp_op : Format.formatter -> op -> unit
+val equal_op : op -> op -> bool
 
 (** Operation completions returned to the environment. *)
 type response = Read_ack of string | Write_ack
 
-let pp_response fmt = function
-  | Read_ack v -> Format.fprintf fmt "ok(%S)" v
-  | Write_ack -> Format.fprintf fmt "ok"
-
-let equal_response a b =
-  match (a, b) with
-  | Read_ack u, Read_ack v -> String.equal u v
-  | Write_ack, Write_ack -> true
-  | Read_ack _, Write_ack | Write_ack, Read_ack _ -> false
+val pp_response : Format.formatter -> response -> unit
+val equal_response : response -> response -> bool
 
 (** History events, recorded by the engine in execution order.  The
     [op_id] ties a response to its invocation. *)
@@ -66,12 +43,7 @@ type event =
   | Invoke of { op_id : int; client : int; op : op; time : int }
   | Respond of { op_id : int; client : int; response : response; time : int }
 
-let pp_event fmt = function
-  | Invoke { op_id; client; op; time } ->
-      Format.fprintf fmt "@[%d: inv #%d c%d %a@]" time op_id client pp_op op
-  | Respond { op_id; client; response; time } ->
-      Format.fprintf fmt "@[%d: res #%d c%d %a@]" time op_id client pp_response
-        response
+val pp_event : Format.formatter -> event -> unit
 
 (** Static system parameters, shared by all algorithms. *)
 type params = {
@@ -84,18 +56,16 @@ type params = {
   value_len : int;  (** length in bytes of every written value *)
 }
 
-let params ?(k = 1) ?(delta = 1) ~n ~f ~value_len () =
-  if n < 1 then invalid_arg "Types.params: n must be >= 1";
-  if f < 0 || f >= n then invalid_arg "Types.params: need 0 <= f < n";
-  if k < 1 || k > n then invalid_arg "Types.params: need 1 <= k <= n";
-  if delta < 1 then invalid_arg "Types.params: delta must be >= 1";
-  if value_len < 0 then invalid_arg "Types.params: negative value_len";
-  { n; f; k; delta; value_len }
+val params :
+  ?k:int -> ?delta:int -> n:int -> f:int -> value_len:int -> unit -> params
+(** Validated constructor.
+    @raise Invalid_argument unless [n >= 1], [0 <= f < n], [1 <= k <= n]
+    and [delta >= 1]. *)
 
 (** An outbound message: destination and payload. *)
 type 'm envelope = { dst : endpoint; payload : 'm }
 
-let send dst payload = { dst; payload }
+val send : endpoint -> 'm -> 'm envelope
 
 (** A shared-memory emulation protocol.  ['ss] is the server state,
     ['cs] the client state, ['m] the message type.  All transition

@@ -27,7 +27,13 @@ let delivered_between algo before after =
     List.map (fun (s, d, ms) -> ((s, d), enc ms)) (Config.channels c)
   in
   let b = chans before and a = chans after in
-  let lookup key l = Option.value ~default:[] (List.assoc_opt key l) in
+  let key_eq (s1, d1) (s2, d2) =
+    equal_endpoint s1 s2 && equal_endpoint d1 d2
+  in
+  let lookup key l =
+    Option.value ~default:[]
+      (List.find_map (fun (k, v) -> if key_eq key k then Some v else None) l)
+  in
   let shrunk =
     List.filter_map
       (fun ((key, msgs) : (endpoint * endpoint) * string list) ->
@@ -66,7 +72,9 @@ let render_chart ?(width = 72) algo trace =
         match rest with
         | [] -> ()
         | cur :: rest ->
-            (* new history events first *)
+            (* new history events first; the renderer is O(trace^2)
+               anyway and only ever draws short executions *)
+            (* lint: allow loop-length *)
             let nb = List.length (Config.history prev) in
             let news =
               List.filteri (fun i _ -> i >= nb) (Config.history cur)
@@ -78,8 +86,8 @@ let render_chart ?(width = 72) algo trace =
                 let lo = min a b and hi = max a b in
                 let cells =
                   List.init ncols (fun i ->
-                      if i = a then "*   "
-                      else if i = b then ">   "
+                      if Int.equal i a then "*   "
+                      else if Int.equal i b then ">   "
                       else if i > lo && i < hi then "----"
                       else "|   ")
                 in

@@ -9,7 +9,7 @@ let create ~n ~k =
   if k < 1 || n < k || n > 255 then
     invalid_arg (Printf.sprintf "Erasure.create: need 1 <= k <= n <= 255, got n=%d k=%d" n k);
   let g =
-    if n = k then Linalg.identity k
+    if Int.equal n k then Linalg.identity k
     else begin
       let parity = Linalg.to_arrays (Linalg.cauchy ~rows:(n - k) ~cols:k) in
       (* Normalize each parity row by its first entry: row scaling

@@ -86,7 +86,7 @@ let eval_poly coeffs x =
 
 let add_bytes a b =
   let la = Bytes.length a and lb = Bytes.length b in
-  if la <> lb then invalid_arg "Gf256.add_bytes: length mismatch";
+  if not (Int.equal la lb) then invalid_arg "Gf256.add_bytes: length mismatch";
   let out = Bytes.create la in
   for i = 0 to la - 1 do
     Bytes.unsafe_set out i
@@ -113,7 +113,8 @@ let scale_bytes c b =
 let mul_add_into dst c src =
   check "mul_add_into" c;
   let ld = Bytes.length dst and ls = Bytes.length src in
-  if ld <> ls then invalid_arg "Gf256.mul_add_into: length mismatch";
+  if not (Int.equal ld ls) then
+    invalid_arg "Gf256.mul_add_into: length mismatch";
   if c <> 0 then begin
     let lc = log_table.(c) in
     for i = 0 to ld - 1 do

@@ -1,0 +1,28 @@
+(** Lint findings: one diagnostic per rule violation, carrying enough
+    position information to render [file:line:col [code] message] lines
+    and a machine-readable JSON report. *)
+
+type t = {
+  file : string;  (** repo-relative path of the offending file *)
+  line : int;  (** 1-based line *)
+  col : int;  (** 0-based column, following the compiler's convention *)
+  rule : string;  (** rule family, e.g. ["determinism"] *)
+  code : string;  (** specific code within the family, e.g. ["wall-clock"] *)
+  message : string;
+}
+
+val make :
+  file:string -> rule:string -> code:string -> Location.t -> string -> t
+(** Diagnostic at the start of a compiler-libs location. *)
+
+val compare : t -> t -> int
+(** Order by file, then line, column, code, message. *)
+
+val to_string : t -> string
+(** [file:line:col [code] message]. *)
+
+val to_json : t -> string
+(** One JSON object; strings escaped. *)
+
+val report_json : t list -> string
+(** The full report: a JSON array of diagnostics. *)

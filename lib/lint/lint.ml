@@ -1,0 +1,85 @@
+module Diagnostic = Diagnostic
+module Source = Source
+module Rule = Rule
+
+let rules : Rule.t list =
+  [
+    (module Rules_determinism);
+    (module Rules_compare);
+    (module Rules_hotpath);
+    (module Rules_hygiene);
+  ]
+
+let rule_docs () =
+  List.map (fun (module R : Rule.S) -> (R.name, R.codes)) rules
+
+let check_source (src : Source.t) =
+  List.concat_map (fun (module R : Rule.S) -> R.check src) rules
+  |> List.filter (fun (d : Diagnostic.t) ->
+         not (Source.allowed src ~line:d.line ~rule:d.rule ~code:d.code))
+  |> List.sort Diagnostic.compare
+
+let parse_error_diag ~path why =
+  Diagnostic.
+    { file = path; line = 1; col = 0; rule = "lint"; code = "parse-error";
+      message = why }
+
+let check_string ~path text =
+  match Source.of_string ~path text with
+  | Ok src -> check_source src
+  | Error why -> [ parse_error_diag ~path why ]
+
+let is_source_file f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+(* Skip hidden and build directories ("_build", ".git", ...). *)
+let skip_dir d =
+  String.length d > 0
+  && (Char.equal d.[0] '_' || Char.equal d.[0] '.')
+
+let source_files ~root dirs =
+  let acc = ref [] in
+  let rec walk rel =
+    let fs = Filename.concat root rel in
+    if Sys.file_exists fs then
+      if Sys.is_directory fs then
+        Array.iter
+          (fun entry ->
+            if not (skip_dir entry) then walk (Filename.concat rel entry))
+          (Sys.readdir fs)
+      else if is_source_file rel then acc := rel :: !acc
+  in
+  List.iter
+    (fun d ->
+      (* a typo'd directory must not silently lint nothing *)
+      if not (Sys.file_exists (Filename.concat root d)) then
+        invalid_arg (Printf.sprintf "Lint.source_files: no such directory %S" d);
+      walk d)
+    dirs;
+  List.sort String.compare !acc
+
+let scan ~root dirs =
+  List.concat_map
+    (fun path ->
+      match Source.load ~root path with
+      | Ok src -> check_source src
+      | Error why -> [ parse_error_diag ~path why ])
+    (source_files ~root dirs)
+  |> List.sort Diagnostic.compare
+
+let render_text ds =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun d ->
+      Buffer.add_string b (Diagnostic.to_string d);
+      Buffer.add_char b '\n')
+    ds;
+  (match ds with
+  | [] -> Buffer.add_string b "lint: no findings\n"
+  | _ ->
+      Buffer.add_string b
+        (Printf.sprintf "lint: %d finding%s\n" (List.length ds)
+           (match ds with [ _ ] -> "" | _ -> "s")));
+  Buffer.contents b
+
+let render_json = Diagnostic.report_json

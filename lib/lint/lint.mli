@@ -1,0 +1,40 @@
+(** The linter runner: rule registry, per-source checking with
+    suppression handling, repository scanning, and report rendering.
+
+    Rules are registered in {!rules}; adding one is a new
+    [Rules_*] module plus a list entry.  Any diagnostic can be
+    suppressed at its site with [(* lint: allow <code> *)] (or the rule
+    family name, or [all]) on the same or the preceding line. *)
+
+module Diagnostic = Diagnostic
+(** Re-exported: findings are [Lint.Diagnostic.t] to library clients. *)
+
+module Source = Source
+module Rule = Rule
+
+val rules : Rule.t list
+
+val rule_docs : unit -> (string * (string * string) list) list
+(** [(family, [(code, doc); ...])] for every registered rule. *)
+
+val check_source : Source.t -> Diagnostic.t list
+(** Run every rule over one parsed source and drop suppressed
+    findings; sorted by position. *)
+
+val check_string : path:string -> string -> Diagnostic.t list
+(** {!check_source} over an in-memory snippet ([path] decides section
+    scoping); a parse failure is itself reported as a [parse-error]
+    diagnostic.  This is the entry point the lint tests drive. *)
+
+val source_files : root:string -> string list -> string list
+(** All [.ml]/[.mli] under the given repo-relative directories, sorted;
+    skips [_build]-like and hidden directories. *)
+
+val scan : root:string -> string list -> Diagnostic.t list
+(** Lint every source file under the given directories. *)
+
+val render_text : Diagnostic.t list -> string
+(** One [file:line:col [code] message] line per finding plus a summary
+    line. *)
+
+val render_json : Diagnostic.t list -> string

@@ -1,0 +1,86 @@
+module type S = sig
+  val name : string
+  val codes : (string * string) list
+  val check : Source.t -> Diagnostic.t list
+end
+
+type t = (module S)
+
+let path_of_ident lid = String.concat "." (Longident.flatten lid)
+
+let ident_path (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (path_of_ident txt)
+  | _ -> None
+
+(* Walk every expression, tracking whether we are inside a syntactic
+   loop: the body of [while]/[for], or the right-hand sides of a
+   [let rec].  The default iterator handles recursion for the ordinary
+   cases; the loop-introducing constructs recurse manually so the flag
+   scopes exactly over their bodies. *)
+let iter_expressions (src : Source.t) f =
+  match src.ast with
+  | Source.Intf _ -> ()
+  | Source.Impl structure ->
+      let depth = ref 0 in
+      let super = Ast_iterator.default_iterator in
+      let in_loop it g =
+        incr depth;
+        g it;
+        decr depth
+      in
+      let rec_bindings (it : Ast_iterator.iterator) vbs =
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            it.pat it vb.pvb_pat;
+            in_loop it (fun it -> it.expr it vb.pvb_expr))
+          vbs
+      in
+      let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+        f ~in_loop:(!depth > 0) e;
+        match e.pexp_desc with
+        | Pexp_let (Recursive, vbs, body) ->
+            rec_bindings it vbs;
+            it.expr it body
+        | Pexp_while (cond, body) ->
+            (* the condition re-evaluates every iteration: it is in the
+               loop just as much as the body *)
+            in_loop it (fun it ->
+                it.expr it cond;
+                it.expr it body)
+        | Pexp_for (pat, lo, hi, _, body) ->
+            it.pat it pat;
+            it.expr it lo;
+            it.expr it hi;
+            in_loop it (fun it -> it.expr it body)
+        | _ -> super.expr it e
+      in
+      let structure_item (it : Ast_iterator.iterator)
+          (si : Parsetree.structure_item) =
+        match si.pstr_desc with
+        | Pstr_value (Recursive, vbs) -> rec_bindings it vbs
+        | _ -> super.structure_item it si
+      in
+      let it = { super with expr; structure_item } in
+      it.structure it structure
+
+let mentions_ident path (e : Parsetree.expression) =
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match ident_path e with
+    | Some p when String.equal p path -> found := true
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it e;
+  !found
+
+let contains (outer : Location.t) (inner : Location.t) =
+  String.equal outer.loc_start.pos_fname inner.loc_start.pos_fname
+  && outer.loc_start.pos_cnum <= inner.loc_start.pos_cnum
+  && inner.loc_end.pos_cnum <= outer.loc_end.pos_cnum
+
+let diag (src : Source.t) ~rule ~code loc message =
+  Diagnostic.make ~file:src.path ~rule ~code loc message

@@ -1,0 +1,52 @@
+(** The rule interface and the AST helpers rules share.
+
+    A rule is a module: a family name, the diagnostic codes it can
+    emit (with one-line docs, surfaced by [smec_lint --rules]), and a
+    check over one parsed source.  Registration is a plain
+    [(module S)] list in {!Lint.rules}, so adding a rule is one new
+    file plus one list entry. *)
+
+module type S = sig
+  val name : string
+  (** Rule family, e.g. ["determinism"]; also a suppression key. *)
+
+  val codes : (string * string) list
+  (** [(code, one-line doc)] for every diagnostic this rule emits. *)
+
+  val check : Source.t -> Diagnostic.t list
+  (** All findings in one source; suppressions are applied later by the
+      runner. *)
+end
+
+type t = (module S)
+
+(** {1 AST helpers} *)
+
+val path_of_ident : Longident.t -> string
+(** ["Random.State.int"] for the identifier's full dotted path. *)
+
+val ident_path : Parsetree.expression -> string option
+(** The dotted path when the expression is a bare identifier. *)
+
+val iter_expressions :
+  Source.t -> (in_loop:bool -> Parsetree.expression -> unit) -> unit
+(** Visit every expression of an implementation (interfaces hold no
+    expressions).  [in_loop] is true inside the body of a [while]/[for]
+    loop or of a [let rec]-bound value — the syntactic approximation of
+    "hot loop" used by the hot-path rules. *)
+
+val mentions_ident : string -> Parsetree.expression -> bool
+(** Does the expression's subtree reference the given dotted path? *)
+
+val contains : Location.t -> Location.t -> bool
+(** [contains outer inner]: same file and [inner]'s character span lies
+    within [outer]'s. *)
+
+val diag :
+  Source.t ->
+  rule:string ->
+  code:string ->
+  Location.t ->
+  string ->
+  Diagnostic.t
+(** Diagnostic against [source.path] at the location's start. *)

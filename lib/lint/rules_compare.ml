@@ -1,0 +1,65 @@
+let name = "compare"
+
+let codes =
+  [
+    ("poly-eq-option", "= None / = Some _: use Option.is_none/is_some or match");
+    ( "poly-eq-ident",
+      "polymorphic =/<> on two identifiers: use an explicit comparator" );
+    ("poly-compare", "Stdlib.compare is polymorphic: use a monomorphic one");
+    ( "poly-membership",
+      "List.mem/List.assoc embed polymorphic =: use exists/find_map" );
+  ]
+
+let is_eq_op = function Some ("=" | "<>") -> true | _ -> false
+
+let is_option_construct (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Lident ("None" | "Some"); _ }, _) -> true
+  | _ -> false
+
+let is_bare_ident (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident _; _ } -> true
+  | _ -> false
+
+let membership =
+  [ "List.mem"; "List.assoc"; "List.mem_assoc"; "List.assoc_opt" ]
+
+let check (src : Source.t) =
+  let in_lib = match src.section with Source.Lib -> true | _ -> false in
+  let in_lib_or_bin =
+    match src.section with Source.Lib | Source.Bin -> true | _ -> false
+  in
+  let out = ref [] in
+  let emit code loc msg = out := Rule.diag src ~rule:name ~code loc msg :: !out in
+  Rule.iter_expressions src (fun ~in_loop:_ e ->
+      match e.pexp_desc with
+      | Pexp_apply (fn, [ (_, a); (_, b) ]) when is_eq_op (Rule.ident_path fn)
+        ->
+          if in_lib_or_bin && (is_option_construct a || is_option_construct b)
+          then
+            emit "poly-eq-option" e.pexp_loc
+              "polymorphic equality against an option constructor; use \
+               Option.is_none / Option.is_some, or match and compare the \
+               payload with an explicit equality"
+          else if in_lib && is_bare_ident a && is_bare_ident b then
+            emit "poly-eq-ident" e.pexp_loc
+              "polymorphic =/<> on two identifiers; spell the comparator \
+               (Int.equal, String.equal, or an equal_* from the type's module)"
+      | _ -> (
+          if in_lib then
+            match Rule.ident_path e with
+            | Some ("compare" | "Stdlib.compare") ->
+                emit "poly-compare" e.pexp_loc
+                  "Stdlib.compare walks arbitrary structure and raises on \
+                   functional values; use a monomorphic comparator \
+                   (Int.compare, String.compare, compare_endpoint, ...)"
+            | Some p when List.exists (String.equal p) membership ->
+                emit "poly-membership" e.pexp_loc
+                  (Printf.sprintf
+                     "%s compares with polymorphic =; use List.exists / \
+                      List.find_map with an explicit equality"
+                     p)
+            | _ -> ()))
+  ;
+  List.rev !out

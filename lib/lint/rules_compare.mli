@@ -1,0 +1,22 @@
+(** R2 — comparison safety.  Polymorphic structural comparison on
+    engine values is a correctness hazard (functional values and cyclic
+    state raise; abstract types may compare unequal representations of
+    the same value) and a performance one (it walks whole structures).
+    The codes, all syntactic approximations erring toward explicitness:
+
+    - [poly-eq-option]: [e = None] / [e <> None] / [e = Some _] —
+      use [Option.is_none] / [Option.is_some] or a match with an
+      explicit payload equality.
+    - [poly-eq-ident]: [=]/[<>] with bare identifiers on both sides
+      (e.g. [cl = client]) — spell the comparator ([Int.equal],
+      [String.equal], or an [equal_*] from the defining module).
+    - [poly-compare]: unqualified or [Stdlib.]-qualified [compare] —
+      use a monomorphic comparator.
+    - [poly-membership]: [List.mem] / [List.assoc] / [List.mem_assoc] —
+      these embed polymorphic equality; use [List.exists] /
+      [List.find_map] with an explicit equality.
+
+    Scope: [lib/] (plus [bin/] for [poly-eq-option]); test and bench
+    code may compare immediate values freely. *)
+
+include Rule.S

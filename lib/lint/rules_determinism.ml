@@ -1,0 +1,52 @@
+let name = "determinism"
+
+let codes =
+  [
+    ("self-init", "Random.self_init destroys replayability");
+    ( "global-random",
+      "global-state Random.* in lib/; thread a Random.State rng instead" );
+    ( "wall-clock",
+      "Sys.time/Unix.gettimeofday outside bench/ and lib/metrics" );
+  ]
+
+let is_wall_clock p =
+  List.exists (String.equal p) [ "Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
+
+(* The global-state Random API: any [Random.x] except the [Random.State]
+   submodule. *)
+let is_global_random p =
+  String.length p > 7
+  && String.equal (String.sub p 0 7) "Random."
+  && not
+       (String.length p >= 13 && String.equal (String.sub p 0 13) "Random.State.")
+
+let wall_clock_exempt (src : Source.t) =
+  (match src.section with Source.Bench -> true | _ -> false)
+  || String.length src.path >= 12
+     && String.equal (String.sub src.path 0 12) "lib/metrics/"
+
+let check (src : Source.t) =
+  let out = ref [] in
+  let emit code loc msg = out := Rule.diag src ~rule:name ~code loc msg :: !out in
+  Rule.iter_expressions src (fun ~in_loop:_ e ->
+      match Rule.ident_path e with
+      | Some "Random.self_init" ->
+          emit "self-init" e.pexp_loc
+            "Random.self_init seeds from the environment; executions stop \
+             being replayable.  Derive a Random.State from an explicit seed."
+      | Some p
+        when is_global_random p
+             && (match src.section with Source.Lib -> true | _ -> false) ->
+          emit "global-random" e.pexp_loc
+            (Printf.sprintf
+               "%s uses the global PRNG; lib/ code must thread a seeded \
+                Random.State so executions replay from their seed."
+               p)
+      | Some p when is_wall_clock p && not (wall_clock_exempt src) ->
+          emit "wall-clock" e.pexp_loc
+            (Printf.sprintf
+               "%s reads the wall clock; only bench/ and lib/metrics may.  \
+                Simulated time lives in Config.time."
+               p)
+      | _ -> ());
+  List.rev !out

@@ -1,0 +1,13 @@
+(** R1 — determinism.  Replayable executions are the foundation of
+    every census/valency experiment, so nondeterministic inputs are
+    banned at the source level:
+
+    - [self-init]: [Random.self_init] anywhere (it seeds from the
+      environment, destroying replayability).
+    - [global-random]: the global-state [Random.*] API inside [lib/]
+      (only [Random.State] through an explicitly threaded rng keeps
+      executions a pure function of the seed).
+    - [wall-clock]: [Sys.time] / [Unix.gettimeofday] / [Unix.time]
+      outside [bench/] and [lib/metrics]. *)
+
+include Rule.S

@@ -1,0 +1,70 @@
+let name = "hotpath"
+
+let codes =
+  [
+    ( "random-pick",
+      "List.nth paired with List.length: double traversal per pick" );
+    ("loop-nth", "List.nth in a loop body: linear scan per iteration");
+    ("loop-length", "List.length in a loop body: linear scan per iteration");
+    ("loop-append", "l @ [x] in a loop: quadratic append");
+  ]
+
+let is_singleton_list (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_construct
+      ( { txt = Lident "::"; _ },
+        Some { pexp_desc = Pexp_tuple [ _; tl ]; _ } ) -> (
+      match tl.pexp_desc with
+      | Pexp_construct ({ txt = Lident "[]"; _ }, None) -> true
+      | _ -> false)
+  | _ -> false
+
+let check (src : Source.t) =
+  match src.section with
+  | Source.Lib | Source.Bin ->
+      (* Pass 1: the random-pick idiom.  Record the span of each match
+         so pass 2 does not re-report its List.nth / List.length as
+         loop scans — the pick diagnostic already covers them. *)
+      let picks = ref [] in
+      let out = ref [] in
+      let emit code loc msg =
+        out := Rule.diag src ~rule:name ~code loc msg :: !out
+      in
+      Rule.iter_expressions src (fun ~in_loop:_ e ->
+          match e.pexp_desc with
+          | Pexp_apply (fn, args)
+            when (match Rule.ident_path fn with
+                 | Some "List.nth" -> true
+                 | _ -> false)
+                 && List.exists
+                      (fun (_, a) -> Rule.mentions_ident "List.length" a)
+                      args ->
+              picks := e.pexp_loc :: !picks;
+              emit "random-pick" e.pexp_loc
+                "random pick via List.nth + List.length traverses the list \
+                 twice per pick; build the candidates into an array once and \
+                 index it"
+          | _ -> ());
+      let covered loc = List.exists (fun p -> Rule.contains p loc) !picks in
+      Rule.iter_expressions src (fun ~in_loop e ->
+          if in_loop && not (covered e.pexp_loc) then
+            match e.pexp_desc with
+            | Pexp_apply (fn, args) -> (
+                match Rule.ident_path fn with
+                | Some "List.nth" ->
+                    emit "loop-nth" e.pexp_loc
+                      "List.nth inside a loop scans the list every iteration; \
+                       use an array or restructure the traversal"
+                | Some "List.length" ->
+                    emit "loop-length" e.pexp_loc
+                      "List.length inside a loop scans the list every \
+                       iteration; track the length or use an array"
+                | Some "@"
+                  when List.exists (fun (_, a) -> is_singleton_list a) args ->
+                    emit "loop-append" e.pexp_loc
+                      "appending a singleton with @ inside a loop is \
+                       quadratic; cons onto an accumulator and List.rev once"
+                | _ -> ())
+            | _ -> ());
+      List.sort Diagnostic.compare !out
+  | _ -> []

@@ -1,0 +1,15 @@
+(** R3 — hot-path discipline.  The scheduler and experiment loops run
+    millions of delivery steps; linear list scans inside them add up.
+
+    - [random-pick]: [List.nth l (... List.length l ...)] — the
+      random-pick-by-index idiom traverses the list twice per pick;
+      materialize it into an array once and index.
+    - [loop-nth] / [loop-length]: [List.nth] / [List.length] inside a
+      syntactic loop ([let rec] body, [while], [for]) — linear scans
+      per iteration.
+    - [loop-append]: [l @ [x]] inside a loop — quadratic; cons and
+      reverse once at the end.
+
+    Scope: [lib/] and [bin/]. *)
+
+include Rule.S

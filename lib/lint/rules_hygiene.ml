@@ -1,0 +1,98 @@
+let name = "hygiene"
+
+let codes =
+  [
+    ("missing-mli", "every lib/**/*.ml needs a matching .mli");
+    ("obj-magic", "Obj.magic is forbidden");
+    ("catch-all", "try ... with _ -> swallows every exception");
+    ("failwith-prefix", "failwith messages start with Module.function:");
+  ]
+
+(* "Driver.write_exn: ..." — a dotted, capitalized, space-free path
+   before the first colon. *)
+let well_prefixed s =
+  match String.index_opt s ':' with
+  | None | Some 0 -> false
+  | Some i ->
+      let prefix = String.sub s 0 i in
+      (match prefix.[0] with 'A' .. 'Z' -> true | _ -> false)
+      && String.contains prefix '.'
+      && not (String.contains prefix ' ')
+
+let constant_string (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+(* The string a [failwith] argument will evaluate to, as far as we can
+   tell statically: a literal, or the format literal of a sprintf-like
+   call.  [None] for anything dynamic — those we cannot check. *)
+let static_message (e : Parsetree.expression) =
+  match constant_string e with
+  | Some s -> Some s
+  | None -> (
+      match e.pexp_desc with
+      | Pexp_apply (fn, (_, first) :: _)
+        when List.exists
+               (fun p ->
+                 match Rule.ident_path fn with
+                 | Some q -> String.equal p q
+                 | None -> false)
+               [ "Printf.sprintf"; "Format.sprintf"; "Format.asprintf" ] ->
+          constant_string first
+      | _ -> None)
+
+let check (src : Source.t) =
+  let out = ref [] in
+  let emit code loc msg = out := Rule.diag src ~rule:name ~code loc msg :: !out in
+  (match (src.kind, src.section, src.fs_path) with
+  | Source.Ml, Source.Lib, Some fs when not (Sys.file_exists (fs ^ "i")) ->
+      out :=
+        Diagnostic.
+          {
+            file = src.path;
+            line = 1;
+            col = 0;
+            rule = name;
+            code = "missing-mli";
+            message =
+              Printf.sprintf
+                "%s has no interface; add %si to document and seal its \
+                 surface"
+                src.path src.path;
+          }
+        :: !out
+  | _ -> ());
+  Rule.iter_expressions src (fun ~in_loop:_ e ->
+      match e.pexp_desc with
+      | Pexp_try (_, cases) ->
+          List.iter
+            (fun (c : Parsetree.case) ->
+              match (c.pc_lhs.ppat_desc, c.pc_guard) with
+              | Ppat_any, None ->
+                  emit "catch-all" c.pc_lhs.ppat_loc
+                    "catch-all handler swallows every exception (including \
+                     the engine's deliberate Invalid_argument protocol-bug \
+                     signals); match the exceptions you mean"
+              | _ -> ())
+            cases
+      | Pexp_apply (fn, (_, arg) :: _)
+        when match Rule.ident_path fn with
+             | Some ("failwith" | "Stdlib.failwith") ->
+                 (match src.section with Source.Lib -> true | _ -> false)
+             | _ -> false -> (
+          match static_message arg with
+          | Some s when not (well_prefixed s) ->
+              emit "failwith-prefix" e.pexp_loc
+                (Printf.sprintf
+                   "failwith message %S is not \"Module.function: \
+                    ...\"-prefixed; failures should name their origin"
+                   s)
+          | _ -> ())
+      | _ -> (
+          match Rule.ident_path e with
+          | Some "Obj.magic" ->
+              emit "obj-magic" e.pexp_loc
+                "Obj.magic defeats the type system; find a typed encoding"
+          | _ -> ()));
+  List.rev !out

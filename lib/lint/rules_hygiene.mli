@@ -1,0 +1,13 @@
+(** R4 — hygiene.
+
+    - [missing-mli]: every [lib/**/*.ml] must have a matching [.mli]
+      (interfaces are where invariants get documented; they also keep
+      cross-library surface deliberate).
+    - [obj-magic]: no [Obj.magic], anywhere.
+    - [catch-all]: no [try ... with _ ->] — swallowing every exception
+      hides protocol bugs the engine deliberately raises on.
+    - [failwith-prefix]: [failwith] messages are
+      ["Module.function: ..."]-prefixed (the [Driver.write_exn] style),
+      so a failure names its origin without a backtrace. *)
+
+include Rule.S

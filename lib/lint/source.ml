@@ -1,0 +1,121 @@
+type section = Lib | Bin | Bench | Test | Examples | Other
+type kind = Ml | Mli
+type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+type t = {
+  path : string;
+  fs_path : string option;
+  section : section;
+  kind : kind;
+  ast : ast;
+  allows : (int * string list) list;
+}
+
+let section_of_path path =
+  let norm = String.split_on_char '/' path in
+  match norm with
+  | "lib" :: _ -> Lib
+  | "bin" :: _ -> Bin
+  | "bench" :: _ -> Bench
+  | "test" :: _ -> Test
+  | "examples" :: _ -> Examples
+  | _ -> Other
+
+(* Extract [(* lint: allow code1 code2 *)] markers, line by line.  The
+   scan is textual (the parser drops comments), which also means markers
+   inside string literals would count; in practice lint tests quote
+   whole fixture files, so the marker syntax is unambiguous enough. *)
+let allows_of_text text =
+  let marker = "lint: allow" in
+  let lines = String.split_on_char '\n' text in
+  let find_marker line =
+    let n = String.length line and m = String.length marker in
+    let rec go i =
+      if i + m > n then None
+      else if String.equal (String.sub line i m) marker then Some (i + m)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let codes_after line start =
+    let stop =
+      let n = String.length line in
+      let rec go i =
+        if i + 2 > n then n
+        else if Char.equal line.[i] '*' && Char.equal line.[i + 1] ')' then i
+        else go (i + 1)
+      in
+      go start
+    in
+    String.sub line start (stop - start)
+    |> String.split_on_char ' '
+    |> List.concat_map (String.split_on_char ',')
+    |> List.filter (fun s -> not (String.equal s ""))
+  in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         match find_marker line with
+         | None -> []
+         | Some start -> (
+             match codes_after line start with
+             | [] -> []
+             | codes -> [ (i + 1, codes) ]))
+       lines)
+
+let parse ~path text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  let kind =
+    if Filename.check_suffix path ".mli" then Mli
+    else if Filename.check_suffix path ".ml" then Ml
+    else invalid_arg (Printf.sprintf "Source.parse: %s is not an OCaml file" path)
+  in
+  match kind with
+  | Ml -> (kind, Impl (Parse.implementation lexbuf))
+  | Mli -> (kind, Intf (Parse.interface lexbuf))
+
+let of_string_fs ~path ~fs_path text =
+  match parse ~path text with
+  | kind, ast ->
+      Ok
+        {
+          path;
+          fs_path;
+          section = section_of_path path;
+          kind;
+          ast;
+          allows = allows_of_text text;
+        }
+  | exception exn ->
+      let why =
+        match Location.error_of_exn exn with
+        | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+        | _ -> Printexc.to_string exn
+      in
+      Error (Printf.sprintf "%s: parse error: %s" path (String.trim why))
+
+let of_string ~path text = of_string_fs ~path ~fs_path:None text
+
+let read_file fs_path =
+  let ic = open_in_bin fs_path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~root path =
+  let fs_path = Filename.concat root path in
+  match read_file fs_path with
+  | text -> of_string_fs ~path ~fs_path:(Some fs_path) text
+  | exception Sys_error why ->
+      Error (Printf.sprintf "Source.load: cannot read %s (%s)" fs_path why)
+
+let allowed t ~line ~rule ~code =
+  let matches (l, codes) =
+    (Int.equal l line || Int.equal l (line - 1))
+    && List.exists
+         (fun c ->
+           String.equal c code || String.equal c rule || String.equal c "all")
+         codes
+  in
+  List.exists matches t.allows

@@ -1,0 +1,41 @@
+(** Parsed source files, the unit every lint rule consumes: the
+    parsetree (via compiler-libs), the repo section the file lives in
+    (rules scope themselves by section), and the [(* lint: allow ... *)]
+    suppression comments extracted from the raw text. *)
+
+(** Where in the repository a file lives; rules use this to scope
+    themselves (e.g. wall-clock reads are fine in [Bench]). *)
+type section = Lib | Bin | Bench | Test | Examples | Other
+
+type kind = Ml | Mli
+
+type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+type t = {
+  path : string;  (** repo-relative path, used in diagnostics *)
+  fs_path : string option;
+      (** on-disk location when the source was read from a file; [None]
+          for in-memory snippets (file-level rules skip those) *)
+  section : section;
+  kind : kind;
+  ast : ast;
+  allows : (int * string list) list;
+      (** suppression comments: line number -> allowed codes *)
+}
+
+val section_of_path : string -> section
+(** Classify by leading path component ([lib/..] -> [Lib], ...). *)
+
+val of_string : path:string -> string -> (t, string) result
+(** Parse an in-memory snippet as the file [path] (whose extension
+    selects implementation vs interface syntax).  [Error] carries the
+    parse failure, location included. *)
+
+val load : root:string -> string -> (t, string) result
+(** Read and parse [root/path]; [path] stays repo-relative in
+    diagnostics. *)
+
+val allowed : t -> line:int -> rule:string -> code:string -> bool
+(** Is a diagnostic with [code] (from family [rule]) at [line]
+    suppressed?  True when an allow comment on the same or the
+    preceding line names the code, the family, or [all]. *)

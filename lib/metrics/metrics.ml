@@ -12,7 +12,7 @@ type summary = {
 let summarize = function
   | [] -> None
   | xs ->
-      let sorted = List.sort compare xs in
+      let sorted = List.sort Int.compare xs in
       let arr = Array.of_list sorted in
       let n = Array.length arr in
       let pct p = arr.(Stdlib.min (n - 1) (p * n / 100)) in

@@ -92,7 +92,7 @@ let run_pair ?(seed = 1) ?(seeds = Probe.default_seeds) algo
   let _, c = Engine.Config.invoke algo p0 ~client:0 (Engine.Types.Write v2) in
   let trace, outcome =
     Engine.Driver.run_trace algo c ~rng ~stop:(fun c ->
-        Engine.Config.pending_op c 0 = None)
+        Option.is_none (Engine.Config.pending_op c 0))
   in
   if outcome <> Engine.Driver.Stopped then
     failwith "Critical.run_pair: second write did not terminate";
@@ -133,7 +133,7 @@ let run ?(seed = 1) ?(seeds = Probe.default_seeds) algo
     (fun v1 ->
       List.iter
         (fun v2 ->
-          if v1 <> v2 then begin
+          if not (String.equal v1 v2) then begin
             incr pairs;
             match run_pair ~seed ~seeds algo params ~mode (v1, v2) with
             | Error why ->

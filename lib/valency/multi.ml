@@ -68,7 +68,7 @@ let p0_pred is_withheld ~src ~dst:_ m =
 let stage_pred is_withheld ~writers ~a ~src ~dst m =
   match (src, dst) with
   | Engine.Types.Client j, Engine.Types.Server s ->
-      List.mem j writers && s < a && is_withheld m
+      List.exists (Int.equal j) writers && s < a && is_withheld m
   | _ -> false
 
 let run_vector ?(seed = 1) ?(seeds = Probe.default_seeds) ?classify algo
@@ -110,7 +110,9 @@ let run_vector ?(seed = 1) ?(seeds = Probe.default_seeds) ?classify algo
       if index > nu then (c, List.rev acc)
       else begin
         let remaining =
-          List.filter (fun (_, j) -> not (List.mem j committed)) writer_of_value
+          List.filter
+            (fun (_, j) -> not (List.exists (Int.equal j) committed))
+            writer_of_value
         in
         (* try prefix bounds a = prev_a + 1 .. alive_count *)
         let rec try_a a =
@@ -134,7 +136,9 @@ let run_vector ?(seed = 1) ?(seeds = Probe.default_seeds) ?classify algo
                   let frozen =
                     List.filter_map
                       (fun (_, j') ->
-                        if j' <> j then Some (Engine.Types.Client j') else None)
+                        if not (Int.equal j' j) then
+                          Some (Engine.Types.Client j')
+                        else None)
                       writer_of_value
                   in
                   let returned =
@@ -172,7 +176,8 @@ let rec tuples_of nu domain =
     List.concat_map
       (fun v ->
         List.map (fun rest -> v :: rest)
-          (tuples_of (nu - 1) (List.filter (fun v' -> v' <> v) domain)))
+          (tuples_of (nu - 1)
+             (List.filter (fun v' -> not (String.equal v' v)) domain)))
       domain
 
 let run ?(seed = 1) ?(seeds = Probe.default_seeds) ?classify algo

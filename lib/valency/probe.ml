@@ -69,7 +69,8 @@ let returnable_blocked ?(seeds = default_seeds) ?(max_steps = 200_000)
   in
   let allow ~src ~dst:_ m =
     match src with
-    | Engine.Types.Client i -> (not (List.mem i vblocked)) || not (is_withheld m)
+    | Engine.Types.Client i ->
+        (not (List.exists (Int.equal i) vblocked)) || not (is_withheld m)
     | Engine.Types.Server _ -> true
   in
   List.fold_left
@@ -87,7 +88,7 @@ let returnable_blocked ?(seeds = default_seeds) ?(max_steps = 200_000)
           ~allow
       in
       let _, c = Engine.Config.invoke algo config ~client:reader Engine.Types.Read in
-      let stop c = Engine.Config.pending_op c reader = None in
+      let stop c = Option.is_none (Engine.Config.pending_op c reader) in
       let c, outcome = Engine.Driver.run_allowed ~max_steps algo c ~rng ~stop ~allow in
       match outcome with
       | Engine.Driver.Stopped -> (
@@ -96,7 +97,7 @@ let returnable_blocked ?(seeds = default_seeds) ?(max_steps = 200_000)
             | Engine.Types.Respond
                 { client; response = Engine.Types.Read_ack v; _ }
               :: _
-              when client = reader ->
+              when Int.equal client reader ->
                 Some v
             | _ :: rest -> find rest
             | [] -> None

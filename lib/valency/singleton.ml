@@ -58,7 +58,7 @@ let run ?(seed = 1) algo (params : Engine.Types.params) ~domain =
       joint := SS.add (Storage.canonical_join (List.map (fun i -> enc.(i)) alive)) !joint;
       (* regularity premise: a read now must return v *)
       let got, _ = Engine.Driver.read_exn algo c ~client:1 ~rng in
-      if got <> v then read_back_ok := false)
+      if not (String.equal got v) then read_back_ok := false)
     domain;
   let counts = Storage.distinct_counts census in
   let per_server_states = Array.of_list (List.map (fun i -> counts.(i)) alive) in

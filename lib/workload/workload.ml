@@ -83,7 +83,7 @@ let run_scripts ?observer ?(max_steps = 2_000_000) ?(failures = []) algo config
           (fun client ops c ->
             match ops with
             | op :: rest
-              when Engine.Config.pending_op c client = None
+              when Option.is_none (Engine.Config.pending_op c client)
                    && Random.State.bool rng ->
                 Hashtbl.replace queues client rest;
                 snd (Engine.Config.invoke algo c ~client op)
@@ -91,12 +91,12 @@ let run_scripts ?observer ?(max_steps = 2_000_000) ?(failures = []) algo config
           queues c
       in
       (* one delivery step *)
-      let acts = Engine.Config.enabled c in
+      let acts = Engine.Config.enabled_arr c in
       let c, progressed =
         match acts with
-        | [] -> (c, false)
+        | [||] -> (c, false)
         | _ -> (
-            let act = List.nth acts (Random.State.int rng (List.length acts)) in
+            let act = acts.(Random.State.int rng (Array.length acts)) in
             match Engine.Config.step_deliver algo c act with
             | Some c' ->
                 (match observer with Some f -> f c' | None -> ());
@@ -106,7 +106,7 @@ let run_scripts ?observer ?(max_steps = 2_000_000) ?(failures = []) algo config
       let scripts_left = Hashtbl.fold (fun _ ops acc -> acc || ops <> []) queues false in
       let pending_left =
         List.exists
-          (fun s -> Engine.Config.pending_op c s.client <> None)
+          (fun s -> Option.is_some (Engine.Config.pending_op c s.client))
           scripts
       in
       if (not progressed) && not scripts_left then c
@@ -131,7 +131,9 @@ let concurrent_writes ?observer ?max_steps algo config ~values ~seed =
       (List.mapi (fun i v -> (i, v)) values)
   in
   let stop c =
-    List.for_all (fun cl -> Engine.Config.pending_op c cl = None) clients
+    List.for_all
+      (fun cl -> Option.is_none (Engine.Config.pending_op c cl))
+      clients
   in
   let c, outcome = Engine.Driver.run ?observer ?max_steps algo c ~rng ~stop in
   match outcome with

@@ -1,0 +1,297 @@
+(* The linter's own tests: for every rule, one deliberately-bad inline
+   fixture that must trigger at the exact file:line, one clean fixture
+   that must stay silent, plus the suppression-comment cases.  Fixture
+   "files" are in-memory snippets whose path picks the repo section the
+   rules scope themselves by. *)
+
+let codes ds = List.map (fun (d : Lint.Diagnostic.t) -> d.code) ds
+
+let check_codes = Alcotest.(check (list string))
+
+let find_line code ds =
+  match
+    List.find_opt (fun (d : Lint.Diagnostic.t) -> String.equal d.code code) ds
+  with
+  | Some d -> Some (d.file, d.line)
+  | None -> None
+
+let hit = Alcotest.(check (option (pair string int)))
+
+let lint ~path text = Lint.check_string ~path text
+
+(* ----- R1: determinism ----- *)
+
+let test_self_init () =
+  let ds = lint ~path:"lib/engine/fixture.ml" "let () =\n  Random.self_init ()\n" in
+  hit "self_init flagged at line 2"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "self-init" ds);
+  (* self_init is banned outside lib/ too *)
+  let ds = lint ~path:"test/fixture.ml" "let () = Random.self_init ()\n" in
+  hit "self_init flagged in test/"
+    (Some ("test/fixture.ml", 1))
+    (find_line "self-init" ds)
+
+let test_global_random () =
+  let bad = "let roll () =\n  Random.int 6\n" in
+  let ds = lint ~path:"lib/engine/fixture.ml" bad in
+  hit "global Random.* flagged in lib/"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "global-random" ds);
+  check_codes "threaded Random.State is fine" []
+    (codes (lint ~path:"lib/engine/fixture.ml" "let roll rng = Random.State.int rng 6\n"));
+  check_codes "global Random.* allowed outside lib/" []
+    (codes (lint ~path:"test/fixture.ml" bad))
+
+let test_wall_clock () =
+  let bad = "let now () = Sys.time ()\n" in
+  let ds = lint ~path:"lib/engine/fixture.ml" bad in
+  hit "Sys.time flagged in lib/"
+    (Some ("lib/engine/fixture.ml", 1))
+    (find_line "wall-clock" ds);
+  check_codes "bench/ may read the clock" []
+    (codes (lint ~path:"bench/fixture.ml" bad));
+  check_codes "lib/metrics may read the clock" []
+    (codes (lint ~path:"lib/metrics/fixture.ml" bad))
+
+(* ----- R2: comparison safety ----- *)
+
+let test_poly_eq_option () =
+  let bad = "let idle c =\n  pending c = None\n" in
+  let ds = lint ~path:"lib/engine/fixture.ml" bad in
+  hit "= None flagged"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "poly-eq-option" ds);
+  check_codes "Option.is_none is the fix" []
+    (codes (lint ~path:"lib/engine/fixture.ml" "let idle c = Option.is_none (pending c)\n"))
+
+let test_poly_eq_ident () =
+  let ds = lint ~path:"lib/engine/fixture.ml" "let same cl client =\n  cl = client\n" in
+  hit "ident = ident flagged"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "poly-eq-ident" ds);
+  check_codes "explicit comparator is the fix" []
+    (codes (lint ~path:"lib/engine/fixture.ml" "let same cl client = Int.equal cl client\n"));
+  check_codes "tests may use polymorphic =" []
+    (codes (lint ~path:"test/fixture.ml" "let same a b = a = b\n"))
+
+let test_poly_compare () =
+  let ds = lint ~path:"lib/engine/fixture.ml" "let sort l =\n  List.sort compare l\n" in
+  hit "bare compare flagged"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "poly-compare" ds);
+  check_codes "monomorphic comparator is the fix" []
+    (codes (lint ~path:"lib/engine/fixture.ml" "let sort l = List.sort Int.compare l\n"))
+
+let test_poly_membership () =
+  let ds = lint ~path:"lib/engine/fixture.ml" "let f x l =\n  List.mem x l\n" in
+  hit "List.mem flagged"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "poly-membership" ds);
+  check_codes "List.exists with explicit equality is the fix" []
+    (codes (lint ~path:"lib/engine/fixture.ml" "let f x l = List.exists (Int.equal x) l\n"))
+
+(* ----- R3: hot-path discipline ----- *)
+
+let test_random_pick () =
+  let bad =
+    "let pick acts rng =\n\
+    \  List.nth acts (Random.State.int rng (List.length acts))\n"
+  in
+  let ds = lint ~path:"lib/engine/fixture.ml" bad in
+  hit "nth+length random pick flagged"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "random-pick" ds);
+  (* the covered nth/length must not be double-reported as loop scans *)
+  check_codes "single diagnostic for the idiom" [ "random-pick" ] (codes ds);
+  check_codes "array pick is the fix" []
+    (codes
+       (lint ~path:"lib/engine/fixture.ml"
+          "let pick acts rng = acts.(Random.State.int rng (Array.length acts))\n"))
+
+let test_loop_nth () =
+  let bad =
+    "let rec walk l i acc =\n\
+    \  if i < 0 then acc\n\
+    \  else walk l (i - 1) (List.nth l i :: acc)\n"
+  in
+  let ds = lint ~path:"lib/engine/fixture.ml" bad in
+  hit "List.nth in a recursive loop flagged"
+    (Some ("lib/engine/fixture.ml", 3))
+    (find_line "loop-nth" ds);
+  check_codes "List.nth outside a loop is tolerated" []
+    (codes (lint ~path:"lib/engine/fixture.ml" "let hd2 l = List.nth l 1\n"))
+
+let test_loop_length () =
+  let bad =
+    "let count xs =\n\
+    \  let n = ref 0 in\n\
+    \  while !n < List.length xs do incr n done;\n\
+    \  !n\n"
+  in
+  let ds = lint ~path:"lib/engine/fixture.ml" bad in
+  hit "List.length in a while loop flagged"
+    (Some ("lib/engine/fixture.ml", 3))
+    (find_line "loop-length" ds)
+
+let test_loop_append () =
+  let bad =
+    "let rec rev_bad acc = function\n\
+    \  | [] -> acc\n\
+    \  | x :: tl -> rev_bad (acc @ [ x ]) tl\n"
+  in
+  let ds = lint ~path:"lib/engine/fixture.ml" bad in
+  hit "singleton append in a loop flagged"
+    (Some ("lib/engine/fixture.ml", 3))
+    (find_line "loop-append" ds);
+  check_codes "cons + List.rev is the fix" []
+    (codes
+       (lint ~path:"lib/engine/fixture.ml"
+          "let rec rev_ok acc = function [] -> List.rev acc | x :: tl -> rev_ok (x :: acc) tl\n"))
+
+(* ----- R4: hygiene ----- *)
+
+let test_obj_magic () =
+  let ds = lint ~path:"lib/engine/fixture.ml" "let coerce x =\n  Obj.magic x\n" in
+  hit "Obj.magic flagged"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "obj-magic" ds)
+
+let test_catch_all () =
+  let ds =
+    lint ~path:"lib/engine/fixture.ml" "let quiet f =\n  try f () with _ -> ()\n"
+  in
+  hit "catch-all handler flagged"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "catch-all" ds);
+  check_codes "naming the exception is fine" []
+    (codes
+       (lint ~path:"lib/engine/fixture.ml"
+          "let quiet f = try f () with Not_found -> ()\n"))
+
+let test_failwith_prefix () =
+  let ds =
+    lint ~path:"lib/engine/fixture.ml" "let boom () =\n  failwith \"went wrong\"\n"
+  in
+  hit "unprefixed failwith flagged"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "failwith-prefix" ds);
+  let ds =
+    lint ~path:"lib/engine/fixture.ml"
+      "let boom n = failwith (Printf.sprintf \"oops %d\" n)\n"
+  in
+  hit "unprefixed sprintf failwith flagged"
+    (Some ("lib/engine/fixture.ml", 1))
+    (find_line "failwith-prefix" ds);
+  check_codes "Module.function: prefix is the convention" []
+    (codes
+       (lint ~path:"lib/engine/fixture.ml"
+          "let boom () = failwith \"Fixture.boom: went wrong\"\n"))
+
+let test_missing_mli () =
+  (* the only file-level rule needs real files *)
+  let root =
+    Filename.temp_dir "smec_lint_test" ""
+  in
+  let lib = Filename.concat root "lib" in
+  let sub = Filename.concat lib "demo" in
+  Sys.mkdir lib 0o755;
+  Sys.mkdir sub 0o755;
+  let write name text =
+    let oc = open_out (Filename.concat sub name) in
+    output_string oc text;
+    close_out oc
+  in
+  write "sealed.ml" "let x = 1\n";
+  write "sealed.mli" "val x : int\n";
+  write "open_surface.ml" "let y = 2\n";
+  let ds = Lint.scan ~root [ "lib" ] in
+  hit "ml without mli flagged"
+    (Some ("lib/demo/open_surface.ml", 1))
+    (find_line "missing-mli" ds);
+  check_codes "only the unsealed module is flagged" [ "missing-mli" ] (codes ds)
+
+(* ----- suppression comments ----- *)
+
+let test_suppression () =
+  let suppressed_same_line =
+    "let roll () = Random.int 6 (* lint: allow global-random *)\n"
+  in
+  check_codes "same-line allow suppresses" []
+    (codes (lint ~path:"lib/engine/fixture.ml" suppressed_same_line));
+  let suppressed_prev_line =
+    "(* lint: allow global-random *)\nlet roll () = Random.int 6\n"
+  in
+  check_codes "preceding-line allow suppresses" []
+    (codes (lint ~path:"lib/engine/fixture.ml" suppressed_prev_line));
+  let family = "let roll () = Random.int 6 (* lint: allow determinism *)\n" in
+  check_codes "rule-family name suppresses" []
+    (codes (lint ~path:"lib/engine/fixture.ml" family));
+  let wrong = "(* lint: allow wall-clock *)\nlet roll () = Random.int 6\n" in
+  hit "unrelated allow does not suppress"
+    (Some ("lib/engine/fixture.ml", 2))
+    (find_line "global-random" (lint ~path:"lib/engine/fixture.ml" wrong));
+  let far =
+    "(* lint: allow global-random *)\nlet pad = ()\nlet roll () = Random.int 6\n"
+  in
+  hit "allow two lines up does not suppress"
+    (Some ("lib/engine/fixture.ml", 3))
+    (find_line "global-random" (lint ~path:"lib/engine/fixture.ml" far))
+
+(* ----- reporting ----- *)
+
+let test_report () =
+  let ds = lint ~path:"lib/engine/fixture.ml" "let () = Random.self_init ()\n" in
+  let json = Lint.render_json ds in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i =
+      i + ln <= lh && (String.equal (String.sub hay i ln) needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "json names the code" true (contains json "\"code\":\"self-init\"");
+  Alcotest.(check bool) "json names the file" true
+    (contains json "\"file\":\"lib/engine/fixture.ml\"");
+  let text = Lint.render_text ds in
+  Alcotest.(check bool) "text is file:line:col [code]" true
+    (contains text "lib/engine/fixture.ml:1:9 [self-init]");
+  (* a snippet that does not parse is itself a finding, not a crash *)
+  hit "parse failure reported"
+    (Some ("lib/engine/fixture.ml", 1))
+    (find_line "parse-error" (lint ~path:"lib/engine/fixture.ml" "let let let\n"))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "self-init" `Quick test_self_init;
+          Alcotest.test_case "global-random" `Quick test_global_random;
+          Alcotest.test_case "wall-clock" `Quick test_wall_clock;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "poly-eq-option" `Quick test_poly_eq_option;
+          Alcotest.test_case "poly-eq-ident" `Quick test_poly_eq_ident;
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "poly-membership" `Quick test_poly_membership;
+        ] );
+      ( "hotpath",
+        [
+          Alcotest.test_case "random-pick" `Quick test_random_pick;
+          Alcotest.test_case "loop-nth" `Quick test_loop_nth;
+          Alcotest.test_case "loop-length" `Quick test_loop_length;
+          Alcotest.test_case "loop-append" `Quick test_loop_append;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+          Alcotest.test_case "catch-all" `Quick test_catch_all;
+          Alcotest.test_case "failwith-prefix" `Quick test_failwith_prefix;
+          Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+        ] );
+      ( "suppression",
+        [ Alcotest.test_case "allow comments" `Quick test_suppression ] );
+      ("report", [ Alcotest.test_case "render" `Quick test_report ]);
+    ]
