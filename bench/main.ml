@@ -361,6 +361,67 @@ let sched_throughput () =
     "(Each delivery picks uniformly from the enabled actions; with many\n\
      clients and gossip the enabled set is large, so pick cost dominates.)"
 
+(* ----- Explorer throughput ----- *)
+
+(* The parallel model checker: states/sec at 1, 2 and 4 domains on a
+   closing scope of >= 10^5 states (CAS write||read, n=3).  Wall-clock
+   time (Unix.gettimeofday, not Sys.time: Sys.time sums CPU across
+   domains and would hide any speedup).  The merged counts must be
+   identical at every domain count -- that determinism is asserted
+   here, not just eyeballed.  Speedups require actual cores: on a
+   single-core host the extra domains only add contention, and this
+   section reports that honestly. *)
+let explore_throughput () =
+  section "explore-throughput: parallel model checker, states/sec vs domains";
+  Printf.printf "host cores (recommended domain count): %d\n\n"
+    (Domain.recommended_domain_count ());
+  let scope (type ss cs m) name (algo : (ss, cs, m) Engine.Types.algo) params =
+    let scripts =
+      [ (0, [ Engine.Types.Write "a" ]); (1, [ Engine.Types.Read ]) ]
+    in
+    let exec domains =
+      let c = Engine.Config.make algo params ~clients:2 in
+      let t0 = Unix.gettimeofday () in
+      let r = Engine.Explore.run ~max_states:1_000_000 ~domains algo c ~scripts in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let base, base_dt = exec 1 in
+    let states = base.Engine.Explore.stats.Engine.Explore.states_explored in
+    Printf.printf "%-28s %8s %10s %14s %9s\n" name "domains" "states"
+      "states/sec" "speedup";
+    let report domains (r : Engine.Explore.run_result) dt =
+      (if
+         r.Engine.Explore.stats.Engine.Explore.states_explored <> states
+         || r.Engine.Explore.stats.Engine.Explore.terminals
+            <> base.Engine.Explore.stats.Engine.Explore.terminals
+       then
+         let () =
+           Printf.printf "MISMATCH at %d domains: %d states, %d terminals\n"
+             domains r.Engine.Explore.stats.Engine.Explore.states_explored
+             r.Engine.Explore.stats.Engine.Explore.terminals
+         in
+         exit 1);
+      Printf.printf "%-28s %8d %10d %14.0f %8.2fx\n" "" domains states
+        (float_of_int states /. Float.max dt 1e-9)
+        (base_dt /. Float.max dt 1e-9)
+    in
+    report 1 base base_dt;
+    List.iter
+      (fun domains ->
+        let r, dt = exec domains in
+        report domains r dt)
+      [ 2; 4 ];
+    print_endline ""
+  in
+  scope "abd      n=3 f=1 w||r" Algorithms.Abd.algo
+    (Engine.Types.params ~n:3 ~f:1 ~value_len:1 ());
+  scope "cas      n=3 f=1 w||r" Algorithms.Cas.algo
+    (Engine.Types.params ~n:3 ~f:1 ~k:1 ~delta:2 ~value_len:1 ());
+  print_endline
+    "(Counts and terminal sets are asserted identical across domain counts --\n\
+     the sharded-digest determinism contract.  The CAS scope exceeds 10^5\n\
+     distinct states, large enough that per-state work dominates setup.)"
+
 (* ----- Bechamel microbenchmarks ----- *)
 
 open Bechamel
@@ -487,6 +548,7 @@ let sections =
     ("ablation-delta", ablation_delta);
     ("ablation-branching", ablation_branching);
     ("sched", sched_throughput);
+    ("explore", explore_throughput);
     ("bench", run_benchmarks);
   ]
 

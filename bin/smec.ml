@@ -223,38 +223,94 @@ let conjecture_cmd =
 (* ----- explore ----- *)
 
 let explore_cmd =
-  let run n f max_states =
-    let params = Engine.Types.params ~n ~f ~value_len:1 () in
-    let algo = Algorithms.Abd.algo in
-    let config = Engine.Config.make algo params ~clients:2 in
-    let scripts = [ (0, [ Engine.Types.Write "a" ]); (1, [ Engine.Types.Read ]) ] in
+  let run algo_name n f domains max_states show_progress =
+    let params =
+      Engine.Types.params ~n ~f ~k:(max 1 (n - (2 * f))) ~delta:2 ~value_len:1 ()
+    in
     let init = Algorithms.Common.initial_value params in
-    let check events =
-      let h = Consistency.History.of_events events in
-      match Consistency.Checker.atomic ~init h with
-      | Consistency.Checker.Valid -> Ok ()
-      | Consistency.Checker.Invalid why -> Error why
+    let scripts =
+      [ (0, [ Engine.Types.Write "a" ]); (1, [ Engine.Types.Read ]) ]
     in
-    let stats, failures =
-      Engine.Explore.explore_check ~max_states algo config ~scripts ~check
+    let go (type ss cs m) (algo : (ss, cs, m) Engine.Types.algo) checker
+        condition =
+      let config = Engine.Config.make algo params ~clients:2 in
+      let progress =
+        if show_progress then
+          Some (fun states -> Printf.eprintf "\r%d states...%!" states)
+        else None
+      in
+      let r =
+        Engine.Explore.run ~max_states ~domains ?progress algo config ~scripts
+      in
+      if show_progress then Printf.eprintf "\r%!";
+      let violations =
+        List.filter_map
+          (fun events ->
+            match checker init (Consistency.History.of_events events) with
+            | Consistency.Checker.Valid -> None
+            | Consistency.Checker.Invalid why -> Some why)
+          r.Engine.Explore.histories
+      in
+      let stats = r.Engine.Explore.stats in
+      Printf.printf
+        "%s n=%d f=%d, write || read (%d domain%s): %d states, %d terminal \
+         histories, closed=%b, %s violations=%d\n"
+        algo.Engine.Types.name n f domains
+        (if domains = 1 then "" else "s")
+        stats.Engine.Explore.states_explored stats.Engine.Explore.terminals
+        (not stats.Engine.Explore.truncated)
+        condition (List.length violations);
+      (match stats.Engine.Explore.outcome with
+      | Engine.Explore.Deadlock h ->
+          Printf.printf "  DEADLOCK (%d stuck configurations); first history:\n"
+            (List.length r.Engine.Explore.deadlocks);
+          List.iter
+            (fun e -> Format.printf "    %a@." Engine.Types.pp_event e)
+            h
+      | Engine.Explore.Closed | Engine.Explore.Truncated -> ());
+      List.iter (fun why -> Printf.printf "  violation: %s\n" why) violations;
+      if List.length violations > 0 then exit 1
     in
-    Printf.printf
-      "ABD n=%d f=%d, write || read: %d states, %d terminal histories, \
-       closed=%b, violations=%d\n"
-      n f stats.Engine.Explore.states_explored stats.Engine.Explore.terminals
-      (not stats.Engine.Explore.truncated)
-      (List.length failures);
-    List.iter (fun (why, _) -> Printf.printf "  violation: %s\n" why) failures
+    let atomic init h = Consistency.Checker.atomic ~init h in
+    let regular init h = Consistency.Checker.regular ~init h in
+    match algo_name with
+    | "abd" -> go Algorithms.Abd.algo atomic "atomic"
+    | "abd-mw" -> go Algorithms.Abd_mw.algo atomic "atomic"
+    | "cas" -> go Algorithms.Cas.algo atomic "atomic"
+    | "gossip" -> go Algorithms.Gossip_rep.algo regular "regular"
+    | "swsr" -> go Algorithms.Abd.regular_algo regular "regular"
+    | other ->
+        Printf.eprintf
+          "unknown algorithm %S (use abd, abd-mw, cas, gossip or swsr)\n" other;
+        exit 1
+  in
+  let algo =
+    Arg.(
+      value & opt string "abd"
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"abd, abd-mw, cas, gossip or swsr.")
   in
   let n = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N") in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~docv:"F") in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Worker domains exploring in parallel (sharded seen-set).")
+  in
   let max_states =
     Arg.(value & opt int 250_000 & info [ "max-states" ] ~docv:"MAX")
   in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ] ~doc:"Report the state count on stderr as it grows.")
+  in
   Cmd.v
     (Cmd.info "explore"
-       ~doc:"Exhaustively model-check a small ABD instance over all interleavings.")
-    Term.(const run $ n $ f $ max_states)
+       ~doc:
+         "Exhaustively model-check a small instance over all interleavings, \
+          optionally fanned out across domains.")
+    Term.(const run $ algo $ n $ f $ domains $ max_states $ progress)
 
 (* ----- trace ----- *)
 

@@ -1,7 +1,24 @@
 #!/bin/sh
-# Full pre-merge check: build everything, then run the test suite
-# (which includes the @lint alias — see docs/LINTING.md).
+# Full pre-merge check: build everything, run the test suite (which
+# includes the @lint alias — see docs/LINTING.md), then the explorer
+# throughput bench (which asserts cross-domain determinism).
+#
+#   ./check.sh          full check
+#   ./check.sh --quick  skip the explorer bench (tests + lint only)
 set -e
 cd "$(dirname "$0")"
+
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+  esac
+done
+
 dune build
 dune runtest
+
+if [ "$quick" -eq 0 ]; then
+  dune exec bench/main.exe -- explore
+fi

@@ -282,3 +282,63 @@ let max_storage_bits algo c =
     excluded are still included, marked; the census machinery decides
     which subset to project on). *)
 let server_encodings algo c = Array.map algo.encode_server c.servers
+
+(* Canonical, self-delimiting encoding of the dynamic state, appended
+   to [into].  This is the model checker's dedup key material: two
+   configurations with equal encodings are behaviourally identical
+   (same servers, channels, client states, failure/freeze pattern and
+   outstanding operations).  [time] and [history] are deliberately
+   excluded — the explorer renumbers and appends the history itself,
+   and merging states that differ only in absolute step counts is the
+   point of the canonicalization.  Client states have no
+   algorithm-provided encoder, so they go through [Marshal]; equal
+   values with different internal structure may fail to merge, which
+   costs exploration time but never soundness. *)
+let encode_state ~into:b algo c =
+  let add_int i =
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b ';'
+  in
+  let add_str s =
+    add_int (String.length s);
+    Buffer.add_string b s
+  in
+  let add_endpoint = function
+    | Server i ->
+        Buffer.add_char b 's';
+        add_int i
+    | Client i ->
+        Buffer.add_char b 'c';
+        add_int i
+  in
+  Buffer.add_char b 'S';
+  Array.iter (fun ss -> add_str (algo.encode_server ss)) c.servers;
+  Buffer.add_char b 'C';
+  Array.iter (fun cs -> add_str (Marshal.to_string cs [])) c.clients;
+  Buffer.add_char b 'M';
+  Chan_map.iter
+    (fun (src, dst) q ->
+      if not (Fqueue.is_empty q) then begin
+        add_endpoint src;
+        add_endpoint dst;
+        Fqueue.fold (fun () m -> add_str (algo.encode_msg m)) () q;
+        Buffer.add_char b '|'
+      end)
+    c.chans;
+  Buffer.add_char b 'F';
+  Int_set.iter add_int c.failed;
+  Buffer.add_char b 'Z';
+  Endpoint_set.iter add_endpoint c.frozen;
+  Buffer.add_char b 'P';
+  Array.iter
+    (fun p ->
+      match p with
+      | None -> Buffer.add_char b '-'
+      | Some (op_id, op) -> (
+          add_int op_id;
+          match op with
+          | Read -> Buffer.add_char b 'R'
+          | Write v ->
+              Buffer.add_char b 'W';
+              add_str v))
+    c.pending

@@ -116,3 +116,15 @@ val max_storage_bits : ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> int
 val server_encodings : ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> string array
 (** Canonical encodings of every server's state (failed ones
     included; census code projects on the subset it cares about). *)
+
+val encode_state : into:Buffer.t -> ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> unit
+(** Append a canonical, self-delimiting encoding of the configuration's
+    dynamic state — server encodings, channel contents (via
+    [algo.encode_msg]), client states, failure/freeze pattern,
+    outstanding operations — to [into].  Excludes [time] and [history]:
+    the model checker ({!Explore}) renumbers and appends the history
+    itself, so configurations differing only in absolute step counts
+    share a key.  Equal encodings imply behaviourally identical
+    configurations; the converse can fail only through [Marshal]ed
+    client states whose internal structure differs, which costs dedup
+    hits but never soundness. *)

@@ -14,23 +14,84 @@
     complete histories of the system; the caller checks each against a
     consistency condition.
 
-    Deduplication uses a canonical key: server-state encodings, channel
-    contents (via the algorithm's message encoder), failure pattern,
-    remaining scripts, pending-op shape, and the history with event
-    times renumbered (checkers only use the relative order of events,
-    which renumbering preserves, so merging states that differ only in
-    absolute step counts is sound).  Client states are included via
-    [Marshal]; structurally different but equal values (e.g. sets built
-    in different orders) may fail to merge, which costs time but never
-    soundness. *)
+    Deduplication keys are 16-byte {!Digest} values of a canonical
+    state encoding ({!Config.encode_state} plus the remaining scripts
+    and the history with event times renumbered — checkers only use
+    the relative order of events, so merging states that differ only
+    in absolute step counts is sound).  Storing digests instead of the
+    full encodings cuts per-state memory from O(state size) to 16
+    bytes; a digest collision would silently merge two distinct states,
+    but at 10^8 states the odds are below 2^-76 (birthday bound over a
+    128-bit hash), far below the odds of a hardware fault.
+
+    The search itself is an explicit work-stack loop, optionally fanned
+    out over OCaml 5 domains: workers share a 256-way sharded seen-set
+    (keyed by the first digest byte) and a global hand-off queue fed
+    whenever some worker goes idle.  Because check-and-insert on the
+    sharded set is atomic, each reachable state is expanded exactly
+    once, so on a closed (non-truncated) space [states_explored], the
+    terminal-history set and the deadlock set are schedule-independent
+    — identical for every domain count.  See docs/MODEL_CHECKING.md. *)
 
 open Types
+
+type outcome =
+  | Closed  (** the reachable space was exhausted *)
+  | Truncated  (** hit [max_states] before closing the space *)
+  | Deadlock of event list
+      (** a quiescent configuration with an operation pending at an
+          unfrozen client — a protocol liveness bug; carries the
+          (renumbered) history of the stuck configuration *)
 
 type stats = {
   states_explored : int;  (** distinct states visited *)
   terminals : int;  (** distinct terminal states reached *)
   truncated : bool;  (** hit [max_states] before closing the space *)
+  outcome : outcome;
 }
+
+type run_result = {
+  stats : stats;
+  histories : event list list;
+      (** distinct terminal histories, renumbered, sorted by
+          {!history_key} *)
+  deadlocks : event list list;
+      (** distinct deadlock histories, renumbered, sorted *)
+}
+
+(* ---------- canonical encodings ---------- *)
+
+let add_int b i =
+  Buffer.add_string b (string_of_int i);
+  Buffer.add_char b ';'
+
+let add_str b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+let add_op b = function
+  | Read -> Buffer.add_char b 'R'
+  | Write v ->
+      Buffer.add_char b 'W';
+      add_str b v
+
+let add_event b = function
+  | Invoke { op_id; client; op; time } ->
+      Buffer.add_char b 'I';
+      add_int b op_id;
+      add_int b client;
+      add_int b time;
+      add_op b op
+  | Respond { op_id; client; response; time } -> (
+      Buffer.add_char b 'A';
+      add_int b op_id;
+      add_int b client;
+      add_int b time;
+      match response with
+      | Read_ack v ->
+          Buffer.add_char b 'r';
+          add_str b v
+      | Write_ack -> Buffer.add_char b 'w')
 
 let renumber_history events =
   List.mapi
@@ -40,27 +101,32 @@ let renumber_history events =
       | Respond e -> Respond { e with time = i })
     events
 
-let state_key algo config scripts =
-  let servers = Array.to_list (Config.server_encodings algo config) in
-  let chans =
-    List.map
-      (fun (src, dst, msgs) -> (src, dst, List.map algo.encode_msg msgs))
-      (Config.channels config)
-  in
-  let clients =
-    List.init (Config.num_clients config) (fun i ->
-        Marshal.to_string (Config.client_state config i) [])
-  in
-  let pendings =
-    List.init (Config.num_clients config) (fun i -> Config.pending_op config i)
-  in
-  let hist = renumber_history (Config.history config) in
-  Marshal.to_string
-    (servers, chans, clients, pendings, Config.failed config, scripts, hist)
-    []
+let history_key events =
+  let b = Buffer.create 128 in
+  List.iter (add_event b) events;
+  Buffer.contents b
+
+(* The dedup key of a search state, as a 16-byte digest.  [scratch] is
+   a per-worker reusable buffer: key construction is the per-edge hot
+   path, so it must not allocate a fresh buffer every call. *)
+let state_digest scratch algo config scripts =
+  Buffer.clear scratch;
+  Config.encode_state ~into:scratch algo config;
+  Buffer.add_char scratch '#';
+  List.iter
+    (fun (client, ops) ->
+      add_int scratch client;
+      List.iter (add_op scratch) ops;
+      Buffer.add_char scratch '|')
+    scripts;
+  Buffer.add_char scratch '#';
+  List.iter (add_event scratch) (renumber_history (Config.history config));
+  Digest.string (Buffer.contents scratch)
+
+(* ---------- moves ---------- *)
 
 (* moves: invocations first (deterministic order), then deliveries *)
-type ('ss, 'cs, 'm) move =
+type move =
   | Invoke_next of int
   | Do of Config.action
 
@@ -101,71 +167,319 @@ let apply algo config scripts = function
       | Some config -> Some (config, scripts)
       | None -> None)
 
-(** [explore algo config ~scripts ~on_terminal] — depth-first
-    enumeration of all interleavings.  [scripts] maps clients to their
-    operation sequences; [on_terminal] receives every distinct terminal
-    configuration (all scripts exhausted, nothing pending, no
-    deliveries enabled).  Exploration stops expanding once
-    [max_states] distinct states have been visited; the returned
-    [truncated] flag says whether that happened. *)
-let explore ?(max_states = 250_000) algo config ~scripts ~on_terminal =
+(* ---------- sharded seen-set ---------- *)
+
+(* 256 shards keyed by the first digest byte: uniform spread (MD5
+   bytes are uniform), and with at most a few dozen workers the odds
+   of two workers contending on one shard lock at the same instant are
+   small.  The shard count is fixed rather than per-domain so the
+   partition — hence the final table contents — is independent of the
+   domain count. *)
+let shard_count = 256
+
+type shard_set = {
+  locks : Mutex.t array;
+  tables : (string, unit) Hashtbl.t array;
+}
+
+let shard_create () =
+  {
+    locks = Array.init shard_count (fun _ -> Mutex.create ());
+    tables = Array.init shard_count (fun _ -> Hashtbl.create 512);
+  }
+
+(* Atomically insert [key]; true iff it was fresh. *)
+let shard_add t key =
+  let i = Char.code (String.unsafe_get key 0) in
+  Mutex.lock t.locks.(i);
+  let fresh = not (Hashtbl.mem t.tables.(i) key) in
+  if fresh then Hashtbl.replace t.tables.(i) key ();
+  Mutex.unlock t.locks.(i);
+  fresh
+
+(* ---------- per-worker stack and the shared pool ---------- *)
+
+type ('ss, 'cs, 'm) task = {
+  t_config : ('ss, 'cs, 'm) Config.t;
+  t_scripts : (int * op list) list;
+}
+
+(* Growable array stack; [dummy] fills freed slots so popped tasks do
+   not keep their configurations live. *)
+type 'a stack = { mutable buf : 'a array; mutable len : int; dummy : 'a }
+
+let stack_make dummy = { buf = Array.make 64 dummy; len = 0; dummy }
+
+let stack_push st x =
+  if st.len >= Array.length st.buf then begin
+    let grown = Array.make (2 * Array.length st.buf) st.dummy in
+    Array.blit st.buf 0 grown 0 st.len;
+    st.buf <- grown
+  end;
+  st.buf.(st.len) <- x;
+  st.len <- st.len + 1
+
+let stack_pop st =
+  st.len <- st.len - 1;
+  let x = st.buf.(st.len) in
+  st.buf.(st.len) <- st.dummy;
+  x
+
+(* Remove the [k] oldest entries (the bottom of the stack — in DFS
+   these sit closest to the root, i.e. the largest unexplored
+   subtrees, which is what a starving worker wants). *)
+let stack_steal st k =
+  let k = min k st.len in
+  let out = Array.to_list (Array.sub st.buf 0 k) in
+  Array.blit st.buf k st.buf 0 (st.len - k);
+  Array.fill st.buf (st.len - k) k st.dummy;
+  st.len <- st.len - k;
+  out
+
+type ('ss, 'cs, 'm) pool = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  q : ('ss, 'cs, 'm) task Queue.t;
+  mutable waiters : int;
+  pending : int Atomic.t;
+      (** tasks created but not yet fully expanded; 0 = search done *)
+  idlers : int Atomic.t;  (** lock-free mirror of [waiters] *)
+  poisoned : exn option Atomic.t;
+      (** first exception raised by any worker; aborts the search *)
+}
+
+let pool_create () =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    waiters = 0;
+    pending = Atomic.make 0;
+    idlers = Atomic.make 0;
+    poisoned = Atomic.make None;
+  }
+
+let pool_push pool tasks =
+  Mutex.lock pool.lock;
+  List.iter (fun t -> Queue.push t pool.q) tasks;
+  if pool.waiters > 0 then Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock
+
+(* Blocking take: [None] once the search is complete (pending = 0) or
+   poisoned.  Waiters re-check under the lock, and completers /
+   poisoners broadcast under the same lock, so no wakeup is lost. *)
+let pool_take pool =
+  Mutex.lock pool.lock;
+  let rec await () =
+    if Option.is_some (Atomic.get pool.poisoned) then begin
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.lock;
+      None
+    end
+    else if not (Queue.is_empty pool.q) then begin
+      let t = Queue.pop pool.q in
+      Mutex.unlock pool.lock;
+      Some t
+    end
+    else if Atomic.get pool.pending = 0 then begin
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.lock;
+      None
+    end
+    else begin
+      pool.waiters <- pool.waiters + 1;
+      Atomic.incr pool.idlers;
+      Condition.wait pool.nonempty pool.lock;
+      pool.waiters <- pool.waiters - 1;
+      Atomic.decr pool.idlers;
+      await ()
+    end
+  in
+  await ()
+
+let pool_task_done pool =
+  (* last task out wakes every waiter so they can observe completion *)
+  if Atomic.fetch_and_add pool.pending (-1) = 1 then begin
+    Mutex.lock pool.lock;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock
+  end
+
+let pool_poison pool e =
+  ignore (Atomic.compare_and_set pool.poisoned None (Some e));
+  Mutex.lock pool.lock;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock
+
+(* ---------- the search ---------- *)
+
+let validate_scripts config scripts =
   List.iter
     (fun (client, _) ->
       if client < 0 || client >= Config.num_clients config then
         invalid_arg "Explore.explore: script for unknown client")
-    scripts;
-  let seen = Hashtbl.create 4096 in
-  let terminal_seen = Hashtbl.create 64 in
-  let truncated = ref false in
-  let terminals = ref 0 in
-  let rec go config scripts =
-    if Hashtbl.length seen >= max_states then truncated := true
-    else begin
-      let key = state_key algo config scripts in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.replace seen key ();
-        match moves config scripts with
-        | [] ->
-            (* a pending operation at a frozen client is an intended
-               suspension (the valency adversary), not a deadlock *)
-            let all_idle =
-              List.for_all
-                (fun i ->
-                  Option.is_none (Config.pending_op config i)
-                  || Config.is_frozen config (Types.Client i))
-                (List.init (Config.num_clients config) Fun.id)
-            in
-            if all_idle then begin
-              let tkey =
-                Marshal.to_string (renumber_history (Config.history config)) []
-              in
-              if not (Hashtbl.mem terminal_seen tkey) then begin
-                Hashtbl.replace terminal_seen tkey ();
-                incr terminals;
-                on_terminal config
-              end
-            end
-            (* a non-idle quiescent state is a deadlock: surface it *)
-            else
-              invalid_arg
-                "Explore.explore: deadlock — operations pending but no move \
-                 enabled"
-        | ms ->
-            List.iter
-              (fun m ->
-                match apply algo config scripts m with
-                | Some (config', scripts') -> go config' scripts'
-                | None -> ())
-              ms
-      end
-    end
+    scripts
+
+(* Core engine.  [on_terminal] is only legal with [domains = 1] (it
+   runs user code that need not be thread-safe); the internal
+   collection of terminal/deadlock histories is always on. *)
+let search ?(max_states = 250_000) ?(domains = 1) ?(share_batch = 32)
+    ?progress ?(progress_interval = 25_000) ?on_terminal algo config ~scripts =
+  validate_scripts config scripts;
+  if domains < 1 then invalid_arg "Explore.search: domains must be >= 1";
+  if share_batch < 1 then invalid_arg "Explore.search: share_batch must be >= 1";
+  (match on_terminal with
+  | Some _ when domains > 1 ->
+      invalid_arg "Explore.search: on_terminal requires domains = 1"
+  | _ -> ());
+  let seen = shard_create () in
+  let term_seen = shard_create () in
+  let dead_seen = shard_create () in
+  let states = Atomic.make 0 in
+  let truncated = Atomic.make false in
+  let next_report = Atomic.make progress_interval in
+  let pool = pool_create () in
+  let terminal_acc = Array.make domains [] in
+  let deadlock_acc = Array.make domains [] in
+  let root = { t_config = config; t_scripts = scripts } in
+  let count_state () =
+    Atomic.incr states;
+    match progress with
+    | None -> ()
+    | Some report ->
+        let s = Atomic.get states in
+        let threshold = Atomic.get next_report in
+        if
+          s >= threshold
+          && Atomic.compare_and_set next_report threshold
+               (threshold + progress_interval)
+        then report s
   in
-  go config scripts;
+  (* Expand one task: classify quiescent states, push fresh successors
+     (dedup happens at generation, so every inserted state is expanded
+     exactly once). *)
+  let expand scratch wid push task =
+    let cfg = task.t_config in
+    match moves cfg task.t_scripts with
+    | [] ->
+        (* a pending operation at a frozen client is an intended
+           suspension (the valency adversary), not a deadlock *)
+        let nc = Config.num_clients cfg in
+        let rec idle i =
+          i >= nc
+          || (Option.is_none (Config.pending_op cfg i)
+              || Config.is_frozen cfg (Types.Client i))
+             && idle (i + 1)
+        in
+        let hist = renumber_history (Config.history cfg) in
+        let key = history_key hist in
+        if idle 0 then begin
+          if shard_add term_seen (Digest.string key) then begin
+            terminal_acc.(wid) <- (key, hist) :: terminal_acc.(wid);
+            match on_terminal with None -> () | Some f -> f cfg
+          end
+        end
+        (* a non-idle quiescent state is a deadlock: record it *)
+        else if shard_add dead_seen (Digest.string key) then
+          deadlock_acc.(wid) <- (key, hist) :: deadlock_acc.(wid)
+    | ms ->
+        List.iter
+          (fun m ->
+            match apply algo cfg task.t_scripts m with
+            | None -> ()
+            | Some (config', scripts') ->
+                if Atomic.get states >= max_states then
+                  Atomic.set truncated true
+                else begin
+                  let d = state_digest scratch algo config' scripts' in
+                  if shard_add seen d then begin
+                    count_state ();
+                    push { t_config = config'; t_scripts = scripts' }
+                  end
+                end)
+          ms
+  in
+  let worker wid () =
+    let scratch = Buffer.create 1024 in
+    let local = stack_make root in
+    let push t =
+      Atomic.incr pool.pending;
+      stack_push local t
+    in
+    let rec loop () =
+      if Option.is_none (Atomic.get pool.poisoned) then begin
+        (* feed starving workers from the bottom of our stack *)
+        if Atomic.get pool.idlers > 0 && local.len > 1 then begin
+          let give = min (local.len / 2) share_batch in
+          if give > 0 then pool_push pool (stack_steal local give)
+        end;
+        let next =
+          if local.len > 0 then Some (stack_pop local) else pool_take pool
+        in
+        match next with
+        | None -> ()
+        | Some t ->
+            (match expand scratch wid push t with
+            | () -> ()
+            | exception e -> pool_poison pool e);
+            pool_task_done pool;
+            loop ()
+      end
+    in
+    loop ()
+  in
+  (* seed: the root is state #1 *)
+  let root_digest =
+    let scratch = Buffer.create 1024 in
+    state_digest scratch algo config scripts
+  in
+  ignore (shard_add seen root_digest : bool);
+  count_state ();
+  Atomic.incr pool.pending;
+  pool_push pool [ root ];
+  let spawned =
+    List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  (match Atomic.get pool.poisoned with Some e -> raise e | None -> ());
+  let collect acc =
+    Array.to_list acc |> List.concat
+    |> List.sort (fun (ka, _) (kb, _) -> String.compare ka kb)
+    |> List.map snd
+  in
+  let histories = collect terminal_acc in
+  let deadlocks = collect deadlock_acc in
+  let outcome =
+    match deadlocks with
+    | d :: _ -> Deadlock d
+    | [] -> if Atomic.get truncated then Truncated else Closed
+  in
   {
-    states_explored = Hashtbl.length seen;
-    terminals = !terminals;
-    truncated = !truncated;
+    stats =
+      {
+        states_explored = Atomic.get states;
+        terminals = List.length histories;
+        truncated = Atomic.get truncated;
+        outcome;
+      };
+    histories;
+    deadlocks;
   }
+
+(** [run algo config ~scripts] — enumerate all interleavings, possibly
+    across several domains, and return the merged, deterministically
+    sorted terminal and deadlock histories.  See the .mli. *)
+let run ?max_states ?domains ?share_batch ?progress ?progress_interval algo
+    config ~scripts =
+  search ?max_states ?domains ?share_batch ?progress ?progress_interval algo
+    config ~scripts
+
+(** [explore algo config ~scripts ~on_terminal] — sequential
+    enumeration; [on_terminal] receives every distinct terminal
+    configuration in discovery order. *)
+let explore ?max_states algo config ~scripts ~on_terminal =
+  (search ?max_states ~domains:1 ~on_terminal algo config ~scripts).stats
 
 (** Convenience wrapper: explore and check every terminal history with
     [check]; returns the stats and the list of failures (the verdict

@@ -2,19 +2,82 @@
     engine's model checker.
 
     Where {!Driver} samples fair executions with a seeded scheduler,
-    [explore] enumerates {e every} interleaving of message deliveries
+    this module enumerates {e every} interleaving of message deliveries
     and operation invocations of a small system, deduplicating states
-    (canonical encodings; event times renumbered, so states differing
-    only in absolute step counts merge).  Terminal configurations — all
-    scripts exhausted, no operation pending, no delivery enabled —
-    carry the system's complete histories, which the caller checks
-    against a consistency condition. *)
+    by 16-byte digests of a canonical encoding (event times renumbered,
+    so states differing only in absolute step counts merge).  Terminal
+    configurations — all scripts exhausted, no operation pending, no
+    delivery enabled — carry the system's complete histories, which the
+    caller checks against a consistency condition.
+
+    {!run} is the scalable entry point: an explicit work-stack search,
+    optionally fanned out across OCaml 5 domains over a sharded
+    seen-set.  On a closed (non-truncated) space the reported counts
+    and the sorted terminal/deadlock history sets are identical for
+    every domain count — see docs/MODEL_CHECKING.md for the
+    determinism argument and the digest-soundness analysis.  {!explore}
+    is the sequential callback-style interface kept for callers that
+    need the terminal {e configurations} (not just histories). *)
+
+type outcome =
+  | Closed  (** the reachable space was exhausted *)
+  | Truncated  (** hit [max_states] before the space closed *)
+  | Deadlock of Types.event list
+      (** a quiescent configuration with an operation pending at an
+          unfrozen client — a protocol liveness bug.  Carries the
+          renumbered history of the (lexicographically first) stuck
+          configuration; the search still explores the rest of the
+          space, so [states_explored]/[terminals] remain meaningful.
+          An operation pending at a {e frozen} client is an intended
+          suspension (the valency adversary), not a deadlock. *)
 
 type stats = {
   states_explored : int;  (** distinct states visited *)
   terminals : int;  (** distinct terminal states reached *)
   truncated : bool;  (** hit [max_states] before the space closed *)
+  outcome : outcome;
 }
+
+type run_result = {
+  stats : stats;
+  histories : Types.event list list;
+      (** the distinct terminal histories, event times renumbered,
+          sorted by {!history_key} — byte-identical across domain
+          counts on a closed space *)
+  deadlocks : Types.event list list;
+      (** the distinct deadlock histories, renumbered, sorted *)
+}
+
+val run :
+  ?max_states:int ->
+  ?domains:int ->
+  ?share_batch:int ->
+  ?progress:(int -> unit) ->
+  ?progress_interval:int ->
+  ('ss, 'cs, 'm) Types.algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  scripts:(int * Types.op list) list ->
+  run_result
+(** Enumerate all interleavings.  [scripts] maps clients to the
+    operations they will invoke, in order; invocation timing is
+    explored like any other action.
+
+    [domains] (default 1) workers share the search: a 256-way sharded
+    digest set deduplicates states, and idle workers are fed from the
+    bottom of busy workers' stacks ([share_batch], default 32, bounds
+    how many frontier entries move per hand-off).  [progress] is called
+    roughly every [progress_interval] states (default 25000) with the
+    current state count, from whichever worker crosses the threshold —
+    it must be thread-safe when [domains > 1].
+
+    Exploration stops inserting new states once [max_states] (default
+    250000) have been visited; [truncated] reports whether that
+    happened.  When truncated, the verification is partial but still
+    sound for every terminal reached; counts may then differ across
+    domain counts (the budget cut-off is racy), so differential
+    comparisons should use closing scopes.
+    @raise Invalid_argument on a script for an unknown client or
+    non-positive [domains]/[share_batch]. *)
 
 val explore :
   ?max_states:int ->
@@ -23,15 +86,12 @@ val explore :
   scripts:(int * Types.op list) list ->
   on_terminal:(('ss, 'cs, 'm) Config.t -> unit) ->
   stats
-(** Enumerate all interleavings.  [scripts] maps clients to the
-    operations they will invoke, in order; invocation timing is
-    explored like any other action.  [on_terminal] sees each distinct
-    terminal configuration once.  When [truncated] is reported, the
-    verification is partial but still sound for every terminal
-    reached.
-    @raise Invalid_argument on a script for an unknown client, and on
-    deadlock (an operation pending with no move enabled — a protocol
-    liveness bug). *)
+(** Sequential enumeration; [on_terminal] sees each distinct terminal
+    configuration once, in discovery order.  Equivalent to
+    [(run ~domains:1 ...).stats] plus the callback.  A deadlock is
+    reported through [outcome] (the search continues past it), not as
+    an exception.
+    @raise Invalid_argument on a script for an unknown client. *)
 
 val explore_check :
   ?max_states:int ->
@@ -41,4 +101,16 @@ val explore_check :
   check:(Types.event list -> (unit, string) result) ->
   stats * (string * Types.event list) list
 (** Explore and check every terminal history; returns the stats and
-    the failures (description, offending history). *)
+    the failures (description, offending history).  Inspect
+    [stats.outcome] for deadlocks. *)
+
+val renumber_history : Types.event list -> Types.event list
+(** Replace every event's [time] with its index in the list.  Checkers
+    only use the relative order of events, which renumbering preserves,
+    so histories differing only in absolute step counts compare
+    equal. *)
+
+val history_key : Types.event list -> string
+(** Canonical, self-delimiting encoding of a history: the sort key of
+    {!run_result.histories} and a convenient byte-comparable
+    fingerprint for differential tests. *)

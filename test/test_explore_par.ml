@@ -1,0 +1,180 @@
+(* Differential tests for the parallel model checker: the sequential
+   DFS and the domain-fanned explorer must agree exactly — same
+   states_explored, same terminals, byte-identical sorted
+   terminal-history sets — on every algorithm, at scopes where the
+   space closes (truncation cut-offs are racy by design, so closed
+   spaces are the determinism contract). *)
+
+open Engine
+
+let hist_keys (r : Explore.run_result) =
+  List.map Explore.history_key r.Explore.histories
+
+let differential (type ss cs m) name (algo : (ss, cs, m) Types.algo) params
+    ~scripts () =
+  let exec domains =
+    let config = Config.make algo params ~clients:2 in
+    Explore.run ~max_states:1_000_000 ~domains algo config ~scripts
+  in
+  let base = exec 1 in
+  Alcotest.(check bool)
+    (name ^ ": space closes sequentially")
+    false base.Explore.stats.Explore.truncated;
+  Alcotest.(check bool)
+    (name ^ ": terminals found")
+    true
+    (base.Explore.stats.Explore.terminals > 0);
+  List.iter
+    (fun domains ->
+      let r = exec domains in
+      let tag what = Printf.sprintf "%s @ %d domains: %s" name domains what in
+      Alcotest.(check bool) (tag "closed") false r.Explore.stats.Explore.truncated;
+      Alcotest.(check int)
+        (tag "states_explored")
+        base.Explore.stats.Explore.states_explored
+        r.Explore.stats.Explore.states_explored;
+      Alcotest.(check int)
+        (tag "terminals")
+        base.Explore.stats.Explore.terminals r.Explore.stats.Explore.terminals;
+      Alcotest.(check (list string))
+        (tag "sorted terminal histories")
+        (hist_keys base) (hist_keys r))
+    [ 2; 4 ]
+
+let wr = [ (0, [ Types.Write "a" ]); (1, [ Types.Read ]) ]
+let p31 = Types.params ~n:3 ~f:1 ~value_len:1 ()
+let p20 = Types.params ~n:2 ~f:0 ~value_len:1 ()
+let pcas = Types.params ~n:2 ~f:0 ~k:1 ~delta:2 ~value_len:1 ()
+
+(* the parallel engine agrees with the legacy sequential callback API *)
+let test_run_matches_explore () =
+  let algo = Algorithms.Abd.algo in
+  let scripts = wr in
+  let seq_terminals = ref 0 in
+  let seq_stats =
+    Explore.explore algo
+      (Config.make algo p31 ~clients:2)
+      ~scripts
+      ~on_terminal:(fun _ -> incr seq_terminals)
+  in
+  let par =
+    Explore.run ~domains:4 algo (Config.make algo p31 ~clients:2) ~scripts
+  in
+  Alcotest.(check int)
+    "states_explored" seq_stats.Explore.states_explored
+    par.Explore.stats.Explore.states_explored;
+  Alcotest.(check int)
+    "terminals" seq_stats.Explore.terminals par.Explore.stats.Explore.terminals;
+  Alcotest.(check int)
+    "on_terminal call count" !seq_terminals
+    (List.length par.Explore.histories)
+
+(* run twice at the same domain count: the merged result is a pure
+   function of the scope, not of scheduling luck *)
+let test_repeatable () =
+  let algo = Algorithms.Cas.algo in
+  let exec () =
+    Explore.run ~domains:2 algo (Config.make algo pcas ~clients:2) ~scripts:wr
+  in
+  let a = exec () and b = exec () in
+  Alcotest.(check int)
+    "states" a.Explore.stats.Explore.states_explored
+    b.Explore.stats.Explore.states_explored;
+  Alcotest.(check (list string)) "histories" (hist_keys a) (hist_keys b)
+
+(* regression: a deadlock is reported as a structured outcome carrying
+   the stuck configuration's history, not as an exception that loses
+   it.  Freezing every server mid-operation strands the client: its
+   invocation is out, no delivery can ever answer it, and the client
+   itself is not frozen, so this is a real liveness violation. *)
+let test_deadlock_reported () =
+  let algo = Algorithms.Abd.algo in
+  let config = Config.make algo p31 ~clients:1 in
+  let config =
+    Config.freeze_all config
+      [ Types.Server 0; Types.Server 1; Types.Server 2 ]
+  in
+  let r = Explore.run algo config ~scripts:[ (0, [ Types.Write "a" ]) ] in
+  let expected =
+    Explore.history_key
+      [ Types.Invoke { op_id = 0; client = 0; op = Types.Write "a"; time = 0 } ]
+  in
+  (match r.Explore.stats.Explore.outcome with
+  | Explore.Deadlock h ->
+      Alcotest.(check string)
+        "deadlock history is the frozen write's invocation" expected
+        (Explore.history_key h)
+  | Explore.Closed | Explore.Truncated ->
+      Alcotest.fail "expected a Deadlock outcome");
+  Alcotest.(check int) "no terminals" 0 r.Explore.stats.Explore.terminals;
+  Alcotest.(check int) "one deadlock history" 1 (List.length r.Explore.deadlocks)
+
+(* the search continues past a deadlock: other branches still reach
+   their terminals, so one liveness bug does not mask the rest of the
+   space *)
+let test_deadlock_does_not_abort () =
+  let algo = Algorithms.Abd.algo in
+  (* client 0 is stranded towards frozen servers only after its write
+     is invoked; client 1's read still completes in branches where the
+     freeze does not block it.  Freeze server 2 only: quorums of size 2
+     out of {s0, s1} remain, so reads/writes still finish — but no
+     branch deadlocks either.  Instead, strand client 0 fully and let
+     client 1 run: every terminal of the space has client 1's read
+     done, and the deadlocked branches are reported separately. *)
+  let config = Config.make algo p31 ~clients:2 in
+  let config =
+    Config.freeze_all config
+      [ Types.Server 0; Types.Server 1; Types.Server 2 ]
+  in
+  let r =
+    Explore.run algo config
+      ~scripts:[ (0, [ Types.Write "a" ]); (1, [ Types.Read ]) ]
+  in
+  (match r.Explore.stats.Explore.outcome with
+  | Explore.Deadlock _ -> ()
+  | _ -> Alcotest.fail "expected a Deadlock outcome");
+  Alcotest.(check bool)
+    "exploration continued past the deadlock" true
+    (r.Explore.stats.Explore.states_explored > 2)
+
+(* frozen clients with pending operations are intended suspensions
+   (the valency adversary), not deadlocks *)
+let test_frozen_client_is_not_deadlock () =
+  let algo = Algorithms.Abd.algo in
+  let config = Config.make algo p31 ~clients:1 in
+  let _, config = Config.invoke algo config ~client:0 (Types.Write "a") in
+  let config = Config.freeze config (Types.Client 0) in
+  let r = Explore.run algo config ~scripts:[ (0, []) ] in
+  match r.Explore.stats.Explore.outcome with
+  | Explore.Closed -> ()
+  | Explore.Deadlock _ ->
+      Alcotest.fail "frozen client misreported as deadlock"
+  | Explore.Truncated -> Alcotest.fail "unexpected truncation"
+
+let () =
+  Alcotest.run "explore_par"
+    [
+      ( "differential seq vs domains",
+        [
+          Alcotest.test_case "abd write||read" `Slow
+            (differential "abd" Algorithms.Abd.algo p31 ~scripts:wr);
+          Alcotest.test_case "abd-mw write||read" `Slow
+            (differential "abd-mw" Algorithms.Abd_mw.algo p31 ~scripts:wr);
+          Alcotest.test_case "cas write||read" `Quick
+            (differential "cas" Algorithms.Cas.algo pcas ~scripts:wr);
+          Alcotest.test_case "gossip write||read" `Quick
+            (differential "gossip" Algorithms.Gossip_rep.algo p20 ~scripts:wr);
+          Alcotest.test_case "run matches explore" `Slow
+            test_run_matches_explore;
+          Alcotest.test_case "repeatable at fixed domains" `Quick
+            test_repeatable;
+        ] );
+      ( "deadlock outcome",
+        [
+          Alcotest.test_case "structured report" `Quick test_deadlock_reported;
+          Alcotest.test_case "search continues" `Quick
+            test_deadlock_does_not_abort;
+          Alcotest.test_case "frozen client exempt" `Quick
+            test_frozen_client_is_not_deadlock;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+(* Property tests over the kernels the model checker exercises:
+   GF(256) field laws, erasure-coding round-trips under random erasure
+   patterns, and order relations between the paper's bounds (each
+   normalized lower bound below its matching upper bound, monotone in
+   f; Corollary 4.2 dominating Corollary 5.2 pointwise). *)
+
+let elt = QCheck.int_range 0 255
+let nonzero = QCheck.int_range 1 255
+
+(* ----- GF(256) field laws ----- *)
+
+let prop_add_identity =
+  QCheck.Test.make ~name:"gf256: a + 0 = a, a + a = 0" ~count:500 elt (fun a ->
+      Gf256.add a Gf256.zero = a && Gf256.add a a = Gf256.zero)
+
+let prop_mul_identity =
+  QCheck.Test.make ~name:"gf256: a * 1 = a, a * 0 = 0" ~count:500 elt (fun a ->
+      Gf256.mul a Gf256.one = a && Gf256.mul a Gf256.zero = Gf256.zero)
+
+let prop_mul_inverse =
+  QCheck.Test.make ~name:"gf256: a * a^-1 = 1" ~count:500 nonzero (fun a ->
+      Gf256.mul a (Gf256.inv a) = Gf256.one)
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"gf256: (a*b)*c = a*(b*c)" ~count:500
+    (QCheck.triple elt elt elt) (fun (a, b, c) ->
+      Gf256.mul (Gf256.mul a b) c = Gf256.mul a (Gf256.mul b c))
+
+let prop_distrib =
+  QCheck.Test.make ~name:"gf256: a*(b+c) = a*b + a*c" ~count:500
+    (QCheck.triple elt elt elt) (fun (a, b, c) ->
+      Gf256.mul a (Gf256.add b c) = Gf256.add (Gf256.mul a b) (Gf256.mul a c))
+
+let prop_sub_is_add =
+  QCheck.Test.make ~name:"gf256: characteristic 2 (sub = add, neg = id)"
+    ~count:500 (QCheck.pair elt elt) (fun (a, b) ->
+      Gf256.sub a b = Gf256.add a b && Gf256.neg a = a)
+
+(* ----- erasure encode/decode round-trip ----- *)
+
+(* An (n, k) code, a value, and a shuffled index list whose first
+   [erased] entries are dropped (erased <= n - k, the tolerated
+   pattern), leaving >= k survivors to decode from. *)
+let code_case =
+  let open QCheck.Gen in
+  int_range 1 8 >>= fun k ->
+  int_range k 12 >>= fun n ->
+  int_range 0 (n - k) >>= fun erased ->
+  int_range 0 48 >>= fun len ->
+  string_size ~gen:printable (return len) >>= fun value ->
+  shuffle_l (List.init n Fun.id) >>= fun order ->
+  return (n, k, erased, value, order)
+
+let print_code_case (n, k, erased, value, order) =
+  Printf.sprintf "n=%d k=%d erased=%d value=%S order=[%s]" n k erased value
+    (String.concat ";" (List.map string_of_int order))
+
+let prop_erasure_roundtrip =
+  QCheck.Test.make ~name:"erasure: decode o encode = id under <= n-k erasures"
+    ~count:300
+    (QCheck.make ~print:print_code_case code_case)
+    (fun (n, k, erased, value, order) ->
+      let code = Erasure.create ~n ~k in
+      let symbols = Erasure.encode code value in
+      let survivors =
+        List.filteri (fun i _ -> i >= erased) order
+        |> List.map (fun i -> (i, symbols.(i)))
+      in
+      match Erasure.decode code ~value_len:(String.length value) survivors with
+      | Some decoded -> String.equal decoded value
+      | None -> false)
+
+let prop_erasure_underdetermined =
+  QCheck.Test.make ~name:"erasure: < k distinct symbols cannot decode"
+    ~count:200
+    (QCheck.make ~print:print_code_case code_case)
+    (fun (n, k, _, value, order) ->
+      QCheck.assume (k > 1);
+      ignore n;
+      let code = Erasure.create ~n ~k in
+      let symbols = Erasure.encode code value in
+      let too_few =
+        List.filteri (fun i _ -> i < k - 1) order
+        |> List.map (fun i -> (i, symbols.(i)))
+      in
+      match Erasure.decode code ~value_len:(String.length value) too_few with
+      | None -> true
+      | Some _ -> false)
+
+(* ----- bounds order relations ----- *)
+
+let bounds_params =
+  let open QCheck.Gen in
+  int_range 2 150 >>= fun n ->
+  int_range 1 (n - 1) >>= fun f ->
+  return (n, f)
+
+let print_params (n, f) = Printf.sprintf "n=%d f=%d" n f
+
+let bounds_gen = QCheck.make ~print:print_params bounds_params
+let eps = 1e-9
+
+(* every normalized lower bound sits below the replication upper bound
+   (f + 1), which every one of them constrains *)
+let prop_lower_below_upper =
+  QCheck.Test.make ~name:"bounds: normalized lower bounds <= f + 1" ~count:500
+    bounds_gen (fun (n, f) ->
+      let p = Bounds.params ~n ~f in
+      let abd = Bounds.norm_abd p in
+      Bounds.norm_singleton p <= abd +. eps
+      && Bounds.norm_universal p <= abd +. eps
+      && (f < 2 || Bounds.norm_no_gossip p <= abd +. eps))
+
+(* within the Theorem 6.5 class the upper/lower gap is >= 1 for every
+   concurrency level *)
+let prop_single_phase_gap =
+  QCheck.Test.make ~name:"bounds: Thm 6.5 class gap (upper/lower) >= 1"
+    ~count:500
+    (QCheck.pair bounds_gen (QCheck.int_range 1 16))
+    (fun ((n, f), nu) ->
+      let p = Bounds.params ~n ~f in
+      Bounds.gap_single_phase p ~nu >= 1.0 -. eps)
+
+(* lower bounds tighten as the failure tolerance grows *)
+let prop_monotone_in_f =
+  QCheck.Test.make ~name:"bounds: lower bounds monotone nondecreasing in f"
+    ~count:500 bounds_gen (fun (n, f) ->
+      QCheck.assume (f < n - 1);
+      let p = Bounds.params ~n ~f in
+      let p' = Bounds.params ~n ~f:(f + 1) in
+      Bounds.norm_singleton p' >= Bounds.norm_singleton p -. eps
+      && Bounds.norm_universal p' >= Bounds.norm_universal p -. eps
+      && (f < 2 || Bounds.norm_no_gossip p' >= Bounds.norm_no_gossip p -. eps))
+
+(* Theorem 6.5's bound grows with the concurrency it assumes (flat
+   beyond nu* = f + 1) *)
+let prop_single_phase_monotone_nu =
+  QCheck.Test.make ~name:"bounds: Thm 6.5 monotone nondecreasing in nu"
+    ~count:500
+    (QCheck.pair bounds_gen (QCheck.int_range 2 16))
+    (fun ((n, f), nu) ->
+      let p = Bounds.params ~n ~f in
+      Bounds.norm_single_phase p ~nu
+      >= Bounds.norm_single_phase p ~nu:(nu - 1) -. eps)
+
+(* the no-gossip bound (Cor 4.2) dominates the universal one (Cor 5.2)
+   pointwise: restricting the algorithm class can only raise the floor *)
+let prop_no_gossip_dominates =
+  QCheck.Test.make ~name:"bounds: Cor 4.2 >= Cor 5.2 pointwise" ~count:500
+    (QCheck.pair bounds_gen (QCheck.float_range 1.0 8192.0))
+    (fun ((n, f), v_bits) ->
+      QCheck.assume (f >= 2);
+      let p = Bounds.params ~n ~f in
+      Bounds.norm_no_gossip p >= Bounds.norm_universal p -. eps
+      && Bounds.no_gossip_total p ~v_bits
+         >= Bounds.universal_total p ~v_bits -. eps)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "gf256 field laws",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_identity;
+            prop_mul_identity;
+            prop_mul_inverse;
+            prop_mul_assoc;
+            prop_distrib;
+            prop_sub_is_add;
+          ] );
+      ( "erasure round-trip",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_erasure_roundtrip; prop_erasure_underdetermined ] );
+      ( "bounds order",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_lower_below_upper;
+            prop_single_phase_gap;
+            prop_monotone_in_f;
+            prop_single_phase_monotone_nu;
+            prop_no_gossip_dominates;
+          ] );
+    ]
