@@ -21,7 +21,12 @@
    - ablation-*           : the design decisions DESIGN.md calls out
 
    A Bechamel microbenchmark section then times the computational
-   kernels behind each experiment family. *)
+   kernels behind each experiment family, and the `coding` section
+   measures the GF(256) kernel data plane (encode/decode MB/s, kernel
+   vs retained scalar reference) across an (n, k) x shard-size grid.
+
+   `--json FILE` additionally writes the machine-readable rows of the
+   coding / sched / explore sections to FILE (see BENCH_coding.json). *)
 
 let line () = print_endline (String.make 78 '-')
 
@@ -29,6 +34,31 @@ let section name =
   line ();
   Printf.printf "== %s ==\n" name;
   line ()
+
+(* ----- machine-readable output (--json) -----
+
+   Sections with throughput numbers worth tracking across commits
+   (coding, sched, explore) push one serialized object per row; when
+   [--json FILE] was given the collected rows are written to FILE at
+   exit. *)
+
+let json_out : string option ref = ref None
+let json_coding : string list ref = ref []
+let json_sched : string list ref = ref []
+let json_explore : string list ref = ref []
+
+let write_json path =
+  let arr rows = String.concat ",\n    " (List.rev rows) in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"coding\": [\n    %s\n  ],\n\
+    \  \"sched\": [\n    %s\n  ],\n\
+    \  \"explore\": [\n    %s\n  ]\n\
+     }\n"
+    (arr !json_coding) (arr !json_sched) (arr !json_explore);
+  close_out oc;
+  Printf.printf "bench: wrote %s\n" path
 
 (* ----- Figure 1 (analytic) ----- *)
 
@@ -324,6 +354,99 @@ let ablation_branching () =
     "(Persistent configurations make point-branching a pointer copy; replaying\n\
      pays the whole prefix per probe.  The gap widens with execution length.)"
 
+(* ----- Coding kernel throughput ----- *)
+
+(* The GF(256) data plane under CAS/AWE: encode and decode MB/s on the
+   word-wide kernel versus the retained byte-at-a-time reference, over
+   the paper-relevant code shapes.  Every cell first asserts that the
+   kernel and the reference produce byte-identical codewords and
+   decodes (that assertion is the whole point of `coding-quick`, the
+   CI mode: correctness gating without the timing). *)
+
+let coding_grid = [ (5, 3); (9, 3); (21, 11) ]
+let coding_shards = [ 1024; 65536 ]
+
+(* throughput of [f], in payload MB/s, timed over >= 50 ms of reps
+   after one warm-up call (which absorbs pair-table and decode-plan
+   builds: the steady state is what the data plane sees) *)
+let time_mbps ~bytes f =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < 0.05 do
+    f ();
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  float_of_int (bytes * !reps) /. !elapsed /. 1e6
+
+let run_coding ~quick () =
+  section
+    (if quick then
+       "coding-quick: kernel vs reference byte-identity (assertions only)"
+     else "coding: GF(256) kernel encode/decode MB/s vs scalar reference");
+  if not quick then
+    Printf.printf "%-22s %12s %12s %12s %12s\n" "code / shard" "enc kern"
+      "enc ref" "dec kern" "dec ref";
+  List.iter
+    (fun (n, k) ->
+      List.iter
+        (fun shard ->
+          let c = Erasure.create ~n ~k in
+          let value_len = k * shard in
+          let value =
+            String.init value_len (fun i -> Char.chr ((i * 131 + n + k) land 0xff))
+          in
+          let kernel_syms = Erasure.encode c value in
+          let ref_syms = Erasure.reference_encode c value in
+          if not (Array.for_all2 Bytes.equal kernel_syms ref_syms) then
+            failwith "coding: kernel/reference encode mismatch";
+          (* survivors: the last k symbols — all-parity for (9,3), mixed
+             for the others — so decode exercises a real plan *)
+          let survivors =
+            List.init k (fun i -> (n - k + i, kernel_syms.(n - k + i)))
+          in
+          let kernel_dec = Erasure.decode c ~value_len survivors in
+          let ref_dec = Erasure.reference_decode c ~value_len survivors in
+          if kernel_dec <> Some value || ref_dec <> kernel_dec then
+            failwith "coding: kernel/reference decode mismatch";
+          let label = Printf.sprintf "(%d,%d) shard=%dKiB" n k (shard / 1024) in
+          if quick then Printf.printf "%-22s byte-identical ok\n" label
+          else begin
+            let enc_kern =
+              time_mbps ~bytes:value_len (fun () -> ignore (Erasure.encode c value))
+            in
+            let enc_ref =
+              time_mbps ~bytes:value_len (fun () ->
+                  ignore (Erasure.reference_encode c value))
+            in
+            let dec_kern =
+              time_mbps ~bytes:value_len (fun () ->
+                  ignore (Erasure.decode c ~value_len survivors))
+            in
+            let dec_ref =
+              time_mbps ~bytes:value_len (fun () ->
+                  ignore (Erasure.reference_decode c ~value_len survivors))
+            in
+            Printf.printf "%-22s %12.1f %12.1f %12.1f %12.1f\n" label enc_kern
+              enc_ref dec_kern dec_ref;
+            List.iter
+              (fun (op, kern, refr) ->
+                json_coding :=
+                  Printf.sprintf
+                    {|{"op": %S, "n": %d, "k": %d, "shard_bytes": %d, "kernel_mbps": %.1f, "reference_mbps": %.1f, "speedup": %.2f}|}
+                    op n k shard kern refr (kern /. refr)
+                  :: !json_coding)
+              [ ("encode", enc_kern, enc_ref); ("decode", dec_kern, dec_ref) ]
+          end)
+        coding_shards)
+    coding_grid;
+  if not quick then
+    print_endline
+      "(MB/s of payload; decode is the warm plan-cache path.  Every cell is\n\
+       gated on kernel == reference byte identity before being timed.)"
+
 (* ----- Scheduler throughput ----- *)
 
 (* The fair scheduler is the hot loop under every experiment family:
@@ -348,8 +471,12 @@ let sched_throughput () =
       ()
     done;
     let dt = Sys.time () -. t0 in
-    Printf.printf "%-32s %10d steps %12.0f steps/sec\n" name !steps
-      (float_of_int !steps /. Float.max dt 1e-9)
+    let rate = float_of_int !steps /. Float.max dt 1e-9 in
+    Printf.printf "%-32s %10d steps %12.0f steps/sec\n" name !steps rate;
+    json_sched :=
+      Printf.sprintf {|{"name": %S, "steps": %d, "steps_per_sec": %.0f}|} name
+        !steps rate
+      :: !json_sched
   in
   row "abd-mw    n=11 f=2  nu=8" Algorithms.Abd_mw.algo ~n:11 ~f:2 ~clients:8
     ~value_len:32 ~reps:200;
@@ -401,9 +528,14 @@ let explore_throughput () =
              r.Engine.Explore.stats.Engine.Explore.terminals
          in
          exit 1);
-      Printf.printf "%-28s %8d %10d %14.0f %8.2fx\n" "" domains states
-        (float_of_int states /. Float.max dt 1e-9)
-        (base_dt /. Float.max dt 1e-9)
+      let rate = float_of_int states /. Float.max dt 1e-9 in
+      Printf.printf "%-28s %8d %10d %14.0f %8.2fx\n" "" domains states rate
+        (base_dt /. Float.max dt 1e-9);
+      json_explore :=
+        Printf.sprintf
+          {|{"name": %S, "domains": %d, "states": %d, "states_per_sec": %.0f}|}
+          name domains states rate
+        :: !json_explore
     in
     report 1 base base_dt;
     List.iter
@@ -547,14 +679,26 @@ let sections =
     ("ablation-seeds", ablation_seeds);
     ("ablation-delta", ablation_delta);
     ("ablation-branching", ablation_branching);
+    ("coding", run_coding ~quick:false);
+    ("coding-quick", run_coding ~quick:true);
     ("sched", sched_throughput);
     ("explore", explore_throughput);
     ("bench", run_benchmarks);
   ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as picks) ->
+  let rec split picks = function
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        split picks rest
+    | [ "--json" ] ->
+        prerr_endline "bench: --json needs a file argument";
+        exit 2
+    | pick :: rest -> split (pick :: picks) rest
+    | [] -> List.rev picks
+  in
+  (match split [] (List.tl (Array.to_list Sys.argv)) with
+  | _ :: _ as picks ->
       List.iter
         (fun pick ->
           match List.assoc_opt pick sections with
@@ -563,8 +707,10 @@ let () =
               Printf.eprintf "bench: unknown section %S\n" pick;
               exit 2)
         picks
-  | _ ->
-      List.iter (fun (_, f) -> f ()) sections;
+  | [] ->
+      (* `coding-quick` is the CI subset of `coding`; skip it on a full run *)
+      List.iter (fun (name, f) -> if name <> "coding-quick" then f ()) sections;
       line ();
-      print_endline "bench: all experiment families regenerated."
+      print_endline "bench: all experiment families regenerated.");
+  match !json_out with Some path -> write_json path | None -> ()
 

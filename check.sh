@@ -1,10 +1,12 @@
 #!/bin/sh
 # Full pre-merge check: build everything, run the test suite (which
-# includes the @lint alias — see docs/LINTING.md), then the explorer
-# throughput bench (which asserts cross-domain determinism).
+# includes the @lint alias — see docs/LINTING.md), then the coding
+# kernel identity assertions and the explorer throughput bench (which
+# asserts cross-domain determinism).
 #
 #   ./check.sh          full check
-#   ./check.sh --quick  skip the explorer bench (tests + lint only)
+#   ./check.sh --quick  skip the explorer bench (tests + lint + coding
+#                       kernel assertions only)
 set -e
 cd "$(dirname "$0")"
 
@@ -18,6 +20,9 @@ done
 
 dune build
 dune runtest
+
+# kernel == reference byte-identity across the (n, k) x shard grid
+dune exec bench/main.exe -- coding-quick
 
 if [ "$quick" -eq 0 ]; then
   dune exec bench/main.exe -- explore

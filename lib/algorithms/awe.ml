@@ -48,6 +48,10 @@ type client_state = { next_rid : int; phase : client_phase }
 
 let code_of = Cas.code_of
 
+(* Share CAS's domain-local coding workspace (same code instances,
+   same erasure patterns, one decode-plan cache per domain). *)
+let workspace = Cas.workspace
+
 let highest_fin entries =
   Tag_map.fold (fun t e acc -> if e.fin then Some t else acc) entries None
 
@@ -70,9 +74,10 @@ let gc (p : params) entries =
 
 let init_server p i =
   check_cas_params p;
-  let code = code_of p in
+  (* split-once path: one cached encode of the initial value covers
+     every server's init symbol *)
   let v0 = initial_value p in
-  let symbol = Erasure.encode_symbol code ~index:i v0 in
+  let symbol = Bytes.copy (Cas.initial_symbols p).(i) in
   {
     entries =
       Tag_map.singleton tag0
@@ -211,7 +216,10 @@ let on_client_msg p ~me cs ~src msg =
         let digest = match r.digest with Some _ -> r.digest | None -> digest in
         if Int_set.cardinal from >= q && List.length symbols >= p.k then begin
           let code = code_of p in
-          match Erasure.decode code ~value_len:p.value_len symbols with
+          match
+            Erasure.decode_with (workspace ()) code ~value_len:p.value_len
+              symbols
+          with
           | Some value ->
               (* integrity check against the announced digest: this is
                  the client-verification step of [2, 15] *)

@@ -77,6 +77,30 @@ let code_of (p : params) =
       Hashtbl.add code_cache (p.n, p.k) c;
       c
 
+(* Per-domain coding workspace: read-path decodes reuse the cached
+   decode plan of their erasure pattern.  Domain-local because every
+   transition function may run on any domain of the parallel model
+   checker. *)
+let ws_key = Domain.DLS.new_key Erasure.create_workspace
+
+let workspace () = Domain.DLS.get ws_key
+
+(* The initial value's codeword, computed once per (n, k, value_len):
+   server init used to call [Erasure.encode_symbol] per server, each
+   call re-splitting the value into k shards — O(n*k) blits where one
+   split suffices. *)
+let init_symbols_cache : (int * int * int, bytes array) Hashtbl.t =
+  Hashtbl.create 8
+
+let initial_symbols (p : params) =
+  let key = (p.n, p.k, p.value_len) in
+  match Hashtbl.find_opt init_symbols_cache key with
+  | Some s -> s
+  | None ->
+      let s = Erasure.encode (code_of p) (initial_value p) in
+      Hashtbl.add init_symbols_cache key s;
+      s
+
 let highest_fin entries =
   Tag_map.fold
     (fun t e acc -> if e.fin then Some t else acc)
@@ -102,8 +126,9 @@ let gc (p : params) entries =
 
 let init_server p i =
   check_cas_params p;
-  let code = code_of p in
-  let symbol = Erasure.encode_symbol code ~index:i (initial_value p) in
+  (* split-once path: every server's initial symbol comes from one
+     cached encode of the initial value *)
+  let symbol = Bytes.copy (initial_symbols p).(i) in
   { entries = Tag_map.singleton tag0 { symbol = Some symbol; fin = true } }
 
 let init_client _p _i = { next_rid = 0; phase = Idle }
@@ -212,7 +237,10 @@ let on_client_msg p ~me cs ~src msg =
         in
         if Int_set.cardinal from >= q && List.length symbols >= p.k then begin
           let code = code_of p in
-          match Erasure.decode code ~value_len:p.value_len symbols with
+          match
+            Erasure.decode_with (workspace ()) code ~value_len:p.value_len
+              symbols
+          with
           | Some value -> ({ cs with phase = Idle }, [], Some (Read_ack value))
           | None ->
               (* cannot happen with >= k distinct symbols of an MDS code *)

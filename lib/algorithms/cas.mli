@@ -61,6 +61,15 @@ val code_of : Engine.Types.params -> Erasure.t
 (** The (memoized) erasure-code instance the protocol uses for the
     given parameters. *)
 
+val workspace : unit -> Erasure.workspace
+(** The domain-local coding workspace the read path decodes with:
+    repeated decodes under one erasure pattern reuse its cached decode
+    plan instead of re-inverting (shared with {!Awe}). *)
+
+val initial_symbols : Engine.Types.params -> bytes array
+(** The codeword of the initial register value, encoded (split) once
+    per [(n, k, value_len)] and shared by every server's init. *)
+
 val highest_fin : entry Tag_map.t -> tag option
 (** The largest finalized tag among the stored entries, if any. *)
 

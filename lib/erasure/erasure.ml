@@ -1,9 +1,26 @@
 (* Systematic MDS code: generator [I_k over Cauchy], so data shards are
    symbols 0..k-1 and parity symbols k..n-1.  [I; C] generates an MDS
    code because every square submatrix of a Cauchy matrix is
-   nonsingular. *)
+   nonsingular.
 
-type t = { n : int; k : int; g : Linalg.t }
+   The data plane below is the kernel layer of docs/CODING_KERNEL.md:
+   encode splits the value once and computes every parity row with the
+   fused word-wide [Gf256.dot_into] product (output-stationary — each
+   parity byte is written exactly once, never read back); decode keeps
+   an LRU cache of inverted generator submatrices ("decode plans")
+   keyed by the sorted surviving-index set, takes a blit-only fast path
+   when the survivors are exactly the data shards, and only falls back
+   to [Linalg.invert] on a cold erasure pattern.  The pre-kernel scalar
+   paths are retained as [reference_encode]/[reference_decode], the
+   oracle of the differential test suite. *)
+
+type t = {
+  n : int;
+  k : int;
+  g : Linalg.t;
+  parity_rows : int array array;
+      (* rows k..n-1 of g, extracted once for the fused kernel *)
+}
 
 let create ~n ~k =
   if k < 1 || n < k || n > 255 then
@@ -25,7 +42,8 @@ let create ~n ~k =
       Linalg.of_arrays (Array.append (Linalg.to_arrays (Linalg.identity k)) parity)
     end
   in
-  { n; k; g }
+  let parity_rows = Array.init (n - k) (fun i -> Linalg.row g (k + i)) in
+  { n; k; g; parity_rows }
 
 let n c = c.n
 let k c = c.k
@@ -35,46 +53,307 @@ let shard_len c ~value_len =
   if value_len < 0 then invalid_arg "Erasure.shard_len: negative length";
   max 1 ((value_len + c.k - 1) / c.k)
 
-(* Split a value into k zero-padded shards. *)
-let shards_of_value c value =
+(* One zero-padded data shard of the value, without splitting the rest. *)
+let shard_of_value value ~sl j =
   let len = String.length value in
-  let sl = shard_len c ~value_len:len in
-  Array.init c.k (fun j ->
-      let shard = Bytes.make sl '\000' in
-      let off = j * sl in
-      let take = max 0 (min sl (len - off)) in
-      if take > 0 then Bytes.blit_string value off shard 0 take;
-      shard)
+  let shard = Bytes.make sl '\000' in
+  let off = j * sl in
+  let take = max 0 (min sl (len - off)) in
+  if take > 0 then Bytes.blit_string value off shard 0 take;
+  shard
 
-let encode_row c shards i =
-  let sl = Bytes.length shards.(0) in
-  let out = Bytes.make sl '\000' in
-  for j = 0 to c.k - 1 do
-    Gf256.mul_add_into out (Linalg.get c.g i j) shards.(j)
-  done;
-  out
+(* Split a value into k zero-padded shards — the split-once entry
+   point; every encode path below splits exactly once. *)
+let split c value =
+  let sl = shard_len c ~value_len:(String.length value) in
+  Array.init c.k (shard_of_value value ~sl)
+
+let shards_of_value = split
+
+(* ----- decode-plan cache and workspace ----- *)
+
+(* A decode plan: the inverse of the generator submatrix picked out by
+   a sorted set of k surviving indices.  Row j of the plan, fused over
+   the surviving symbols, reconstructs data shard j. *)
+type plan = { rows : int array array; mutable last_used : int }
+
+type workspace = {
+  plans : (string, plan) Hashtbl.t;
+  mutable tick : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable inversions : int;
+  mutable systematic_hits : int;
+  (* reusable encode destination buffers, resized on demand *)
+  mutable sym_n : int;
+  mutable sym_len : int;
+  mutable sym_buffers : bytes array;
+}
+
+let plan_cache_capacity = 64
+
+let create_workspace () =
+  {
+    plans = Hashtbl.create plan_cache_capacity;
+    tick = 0;
+    plan_hits = 0;
+    plan_misses = 0;
+    inversions = 0;
+    systematic_hits = 0;
+    sym_n = 0;
+    sym_len = 0;
+    sym_buffers = [||];
+  }
+
+type ws_stats = {
+  plan_hits : int;
+  plan_misses : int;
+  inversions : int;
+  systematic_hits : int;
+  plan_entries : int;
+}
+
+let ws_stats (ws : workspace) =
+  {
+    plan_hits = ws.plan_hits;
+    plan_misses = ws.plan_misses;
+    inversions = ws.inversions;
+    systematic_hits = ws.systematic_hits;
+    plan_entries = Hashtbl.length ws.plans;
+  }
+
+(* Each transition function of the coded protocols may run on any
+   domain of the parallel model checker, so the implicit workspace
+   behind [decode]/[encode] is domain-local rather than global. *)
+let default_ws = Domain.DLS.new_key create_workspace
+
+let ws_symbols ws c ~value_len =
+  let sl = shard_len c ~value_len in
+  if ws.sym_n <> c.n || ws.sym_len <> sl then begin
+    ws.sym_buffers <- Array.init c.n (fun _ -> Bytes.create sl);
+    ws.sym_n <- c.n;
+    ws.sym_len <- sl
+  end;
+  ws.sym_buffers
+
+(* ----- encode ----- *)
+
+(* All parity rows from one split: data shards are traversed by the
+   fused kernel only (sequential streams), every parity byte written
+   exactly once. *)
+let encode_parity_into c ~data ~sl dst =
+  for i = 0 to c.n - c.k - 1 do
+    Gf256.dot_into ~dst:(dst i) ~dst_pos:0 ~len:sl ~coeffs:c.parity_rows.(i)
+      ~srcs:data
+  done
 
 let encode c value =
-  let shards = shards_of_value c value in
-  Array.init c.n (fun i ->
-      if i < c.k then Bytes.copy shards.(i) else encode_row c shards i)
+  let sl = shard_len c ~value_len:(String.length value) in
+  let data = Array.init c.k (shard_of_value value ~sl) in
+  let symbols =
+    Array.init c.n (fun i -> if i < c.k then data.(i) else Bytes.create sl)
+  in
+  encode_parity_into c ~data ~sl (fun i -> symbols.(c.k + i));
+  symbols
+
+(* Zero-allocation variant: fill [dst] (n preallocated buffers of
+   shard_len, e.g. from {!ws_symbols}) in place. *)
+let encode_into c value ~dst =
+  let len = String.length value in
+  let sl = shard_len c ~value_len:len in
+  if Array.length dst <> c.n then
+    invalid_arg "Erasure.encode_into: need n destination buffers";
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> sl then
+        invalid_arg "Erasure.encode_into: destination has wrong shard length")
+    dst;
+  for j = 0 to c.k - 1 do
+    let shard = dst.(j) in
+    let off = j * sl in
+    let take = max 0 (min sl (len - off)) in
+    if take > 0 then Bytes.blit_string value off shard 0 take;
+    if take < sl then Bytes.fill shard take (sl - take) '\000'
+  done;
+  let data = Array.sub dst 0 c.k in
+  encode_parity_into c ~data ~sl (fun i -> dst.(c.k + i))
+
+let encode_symbol_of_shards c ~index shards =
+  if index < 0 || index >= c.n then
+    invalid_arg "Erasure.encode_symbol_of_shards: index out of range";
+  if Array.length shards <> c.k then
+    invalid_arg "Erasure.encode_symbol_of_shards: need k shards";
+  if index < c.k then Bytes.copy shards.(index)
+  else begin
+    let sl = Bytes.length shards.(0) in
+    let out = Bytes.create sl in
+    Gf256.dot_into ~dst:out ~dst_pos:0 ~len:sl
+      ~coeffs:c.parity_rows.(index - c.k) ~srcs:shards;
+    out
+  end
 
 let encode_symbol c ~index value =
-  if index < 0 || index >= c.n then invalid_arg "Erasure.encode_symbol: index out of range";
-  let shards = shards_of_value c value in
-  if index < c.k then shards.(index) else encode_row c shards index
+  if index < 0 || index >= c.n then
+    invalid_arg "Erasure.encode_symbol: index out of range";
+  let sl = shard_len c ~value_len:(String.length value) in
+  if index < c.k then
+    (* a data symbol needs only its own slice of the value, not a full
+       k-way split *)
+    shard_of_value value ~sl index
+  else begin
+    let data = Array.init c.k (shard_of_value value ~sl) in
+    let out = Bytes.create sl in
+    Gf256.dot_into ~dst:out ~dst_pos:0 ~len:sl
+      ~coeffs:c.parity_rows.(index - c.k) ~srcs:data;
+    out
+  end
 
-let decode c ~value_len symbols =
+(* ----- decode ----- *)
+
+(* Pick the first k distinct, validated (index, symbol) pairs into
+   [idxs]/[syms], tracking the count as we go (no List.length
+   re-scan) and not examining the remainder once k are chosen.
+   Returns the number chosen. *)
+let choose_k c ~sl symbols idxs syms =
+  let count = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | (i, sym) :: rest ->
+        if i < 0 || i >= c.n then
+          invalid_arg "Erasure.decode: index out of range";
+        if Bytes.length sym <> sl then
+          invalid_arg "Erasure.decode: symbol has wrong length";
+        let dup = ref false in
+        for j = 0 to !count - 1 do
+          if Array.unsafe_get idxs j = i then dup := true
+        done;
+        if not !dup then begin
+          idxs.(!count) <- i;
+          syms.(!count) <- sym;
+          incr count
+        end;
+        if !count < c.k then go rest
+  in
+  go symbols;
+  !count
+
+(* Insertion sort of the parallel (idxs, syms) arrays by index; k is
+   tiny and the common case (symbols arriving in index order) is
+   already sorted.  Sorting canonicalizes the plan-cache key: any
+   arrival order of the same surviving set shares one plan. *)
+let sort_chosen idxs syms ~count =
+  for i = 1 to count - 1 do
+    let xi = idxs.(i) and xs = syms.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && idxs.(!j) > xi do
+      idxs.(!j + 1) <- idxs.(!j);
+      syms.(!j + 1) <- syms.(!j);
+      decr j
+    done;
+    idxs.(!j + 1) <- xi;
+    syms.(!j + 1) <- xs
+  done
+
+let plan_key idxs ~count =
+  String.init count (fun i -> Char.chr idxs.(i))
+
+(* Look up (or build and cache) the decode plan for a sorted surviving
+   set.  Eviction is least-recently-used over a 64-entry table — the
+   Storage sweeps and CAS reads cycle through a handful of erasure
+   patterns, so steady state never inverts. *)
+let plan_of (ws : workspace) c idxs ~count =
+  let key = plan_key idxs ~count in
+  ws.tick <- ws.tick + 1;
+  match Hashtbl.find_opt ws.plans key with
+  | Some p ->
+      ws.plan_hits <- ws.plan_hits + 1;
+      p.last_used <- ws.tick;
+      Some p.rows
+  | None -> (
+      ws.plan_misses <- ws.plan_misses + 1;
+      let sub = Linalg.select_rows c.g (Array.to_list (Array.sub idxs 0 count)) in
+      ws.inversions <- ws.inversions + 1;
+      match Linalg.invert sub with
+      | None -> None (* impossible for an MDS generator; defensive *)
+      | Some inv ->
+          let rows = Linalg.to_arrays inv in
+          if Hashtbl.length ws.plans >= plan_cache_capacity then begin
+            let victim =
+              Hashtbl.fold
+                (fun key p acc ->
+                  match acc with
+                  | Some (_, last) when last <= p.last_used -> acc
+                  | _ -> Some (key, p.last_used))
+                ws.plans None
+            in
+            match victim with
+            | Some (vk, _) -> Hashtbl.remove ws.plans vk
+            | None -> ()
+          end;
+          Hashtbl.add ws.plans key { rows; last_used = ws.tick };
+          Some rows)
+
+let decode_with (ws : workspace) c ~value_len symbols =
   if value_len < 0 then invalid_arg "Erasure.decode: negative length";
   let sl = shard_len c ~value_len in
-  (* keep the first k distinct, validated indices *)
+  let idxs = Array.make c.k 0 in
+  let syms = Array.make c.k Bytes.empty in
+  let count = choose_k c ~sl symbols idxs syms in
+  if count < c.k then None
+  else begin
+    sort_chosen idxs syms ~count;
+    let value = Bytes.create (c.k * sl) in
+    (* systematic fast path: k distinct sorted indices all below k are
+       exactly the data shards 0..k-1 — blit, no inversion, no product *)
+    if idxs.(c.k - 1) < c.k then begin
+      ws.systematic_hits <- ws.systematic_hits + 1;
+      for j = 0 to c.k - 1 do
+        Bytes.blit syms.(j) 0 value (j * sl) sl
+      done;
+      Some (Bytes.sub_string value 0 value_len)
+    end
+    else
+      match plan_of ws c idxs ~count with
+      | None -> None
+      | Some rows ->
+          (* shard_j = sum_i rows.(j).(i) * symbol_i, fused word-wide,
+             written straight into the value buffer *)
+          for j = 0 to c.k - 1 do
+            Gf256.dot_into ~dst:value ~dst_pos:(j * sl) ~len:sl
+              ~coeffs:rows.(j) ~srcs:syms
+          done;
+          Some (Bytes.sub_string value 0 value_len)
+  end
+
+let decode c ~value_len symbols =
+  decode_with (Domain.DLS.get default_ws) c ~value_len symbols
+
+(* ----- retained reference scalar paths (differential oracle) ----- *)
+
+let reference_encode c value =
+  let shards = shards_of_value c value in
+  let sl = Bytes.length shards.(0) in
+  Array.init c.n (fun i ->
+      if i < c.k then Bytes.copy shards.(i)
+      else begin
+        let out = Bytes.make sl '\000' in
+        for j = 0 to c.k - 1 do
+          Gf256.Scalar.mul_add_into out (Linalg.get c.g i j) shards.(j)
+        done;
+        out
+      end)
+
+let reference_decode c ~value_len symbols =
+  if value_len < 0 then invalid_arg "Erasure.reference_decode: negative length";
+  let sl = shard_len c ~value_len in
   let seen = Hashtbl.create 8 in
   let chosen =
     List.filter
       (fun (i, sym) ->
-        if i < 0 || i >= c.n then invalid_arg "Erasure.decode: index out of range";
+        if i < 0 || i >= c.n then
+          invalid_arg "Erasure.reference_decode: index out of range";
         if Bytes.length sym <> sl then
-          invalid_arg "Erasure.decode: symbol has wrong length";
+          invalid_arg "Erasure.reference_decode: symbol has wrong length";
         if Hashtbl.mem seen i then false
         else begin
           Hashtbl.add seen i ();
@@ -87,15 +366,14 @@ let decode c ~value_len symbols =
     let idxs = List.map fst chosen in
     let sub = Linalg.select_rows c.g idxs in
     match Linalg.invert sub with
-    | None -> None (* impossible for an MDS generator; defensive *)
+    | None -> None
     | Some inv ->
-        (* shard_j = sum_i inv.(j).(i) * symbol_i, byte-wise *)
         let syms = Array.of_list (List.map snd chosen) in
         let value = Bytes.make (c.k * sl) '\000' in
         for j = 0 to c.k - 1 do
           let acc = Bytes.make sl '\000' in
           for i = 0 to c.k - 1 do
-            Gf256.mul_add_into acc (Linalg.get inv j i) syms.(i)
+            Gf256.Scalar.mul_add_into acc (Linalg.get inv j i) syms.(i)
           done;
           Bytes.blit acc 0 value (j * sl) sl
         done;

@@ -9,10 +9,19 @@
 
     This is the coding substrate referenced throughout the paper: the
     classical model in which the Singleton bound gives total storage
-    [n/(n-k) * log2 |V|] when [k = n - f]. *)
+    [n/(n-f) * log2 |V|] when [k = n - f].
+
+    The bulk paths run on the word-wide GF(256) kernel layer
+    (docs/CODING_KERNEL.md): encode splits the value once and fuses
+    each parity row into a single output-stationary pass; decode
+    caches inverted generator submatrices ("decode plans") per
+    {!workspace}, keyed by the sorted surviving-index set, and
+    short-circuits to a blit when the survivors are exactly the data
+    shards.  [reference_encode]/[reference_decode] retain the scalar
+    byte-at-a-time paths as the differential-testing oracle. *)
 
 type t
-(** An (n, k) code instance.  Immutable; safe to share. *)
+(** An (n, k) code instance.  Immutable; safe to share across domains. *)
 
 val create : n:int -> k:int -> t
 (** [create ~n ~k] builds the code.
@@ -31,20 +40,92 @@ val shard_len : t -> value_len:int -> int
 (** Bytes per codeword symbol for a value of [value_len] bytes:
     [ceil value_len/k] (at least 1 so that the empty value round-trips). *)
 
+(** {1 Workspaces}
+
+    A workspace owns the decode-plan cache, its hit/miss/inversion
+    counters, and reusable encode buffers.  Workspaces are not
+    thread-safe: use one per domain (the implicit workspace behind
+    {!decode} is domain-local already). *)
+
+type workspace
+
+val create_workspace : unit -> workspace
+
+type ws_stats = {
+  plan_hits : int;  (** decodes served from a cached plan *)
+  plan_misses : int;  (** decodes that had to build a plan *)
+  inversions : int;  (** [Linalg.invert] calls made on behalf of decode *)
+  systematic_hits : int;  (** decodes that took the blit-only fast path *)
+  plan_entries : int;  (** plans currently cached (LRU, capacity 64) *)
+}
+
+val ws_stats : workspace -> ws_stats
+
+val ws_symbols : workspace -> t -> value_len:int -> bytes array
+(** [n] reusable destination buffers of [shard_len] bytes for
+    {!encode_into}, owned by the workspace and resized on demand.
+    Contents are overwritten by the next {!encode_into} into them. *)
+
+(** {1 Encoding} *)
+
+val split : t -> string -> bytes array
+(** [split c value] is the [k] zero-padded data shards of [value] —
+    the split-once entry point for callers that derive several symbols
+    from one value (see {!encode_symbol_of_shards}). *)
+
 val encode : t -> string -> bytes array
-(** [encode c value] returns the [n] codeword symbols of [value]. *)
+(** [encode c value] returns the [n] codeword symbols of [value] in
+    fresh buffers: one split, one fused pass per parity row. *)
+
+val encode_into : t -> string -> dst:bytes array -> unit
+(** Zero-allocation encode: writes the [n] symbols over [dst] (e.g.
+    the buffers of {!ws_symbols}).
+    @raise Invalid_argument unless [dst] holds [n] buffers of exactly
+    [shard_len] bytes. *)
 
 val encode_symbol : t -> index:int -> string -> bytes
 (** Encode only the symbol for server [index]; used by write protocols
-    that compute symbols lazily.  Equal to [(encode c value).(index)]. *)
+    that compute symbols lazily.  Equal to [(encode c value).(index)].
+    A data symbol ([index < k]) extracts only its own slice of the
+    value; a parity symbol splits once and fuses its row. *)
+
+val encode_symbol_of_shards : t -> index:int -> bytes array -> bytes
+(** [encode_symbol_of_shards c ~index shards] is
+    [encode_symbol c ~index value] given [shards = split c value] —
+    the split-once path for producing many symbols of one value.
+    @raise Invalid_argument unless [shards] holds [k] equal-length
+    shards and [index < n]. *)
+
+(** {1 Decoding} *)
 
 val decode : t -> value_len:int -> (int * bytes) list -> string option
 (** [decode c ~value_len symbols] reconstructs the original value from
     at least [k] distinct [(index, symbol)] pairs.  Returns [None] when
     fewer than [k] distinct indices are supplied.  Extra symbols beyond
-    [k] are ignored (the first [k] distinct indices are used).
+    [k] are ignored (the first [k] distinct indices are used; entries
+    after the [k]th are not examined).  Uses a domain-local workspace,
+    so repeated decodes under the same erasure pattern reuse the
+    cached plan.
     @raise Invalid_argument on out-of-range indices or symbols of the
-    wrong length. *)
+    wrong length among the examined entries. *)
+
+val decode_with :
+  workspace -> t -> value_len:int -> (int * bytes) list -> string option
+(** {!decode} against an explicit workspace (its plan cache and
+    counters). *)
+
+(** {1 Reference scalar paths} *)
+
+val reference_encode : t -> string -> bytes array
+(** The retained pre-kernel encode (per-row scalar accumulation via
+    {!Gf256.Scalar}); byte-identical to {!encode}, kept as the
+    differential-testing and bench oracle. *)
+
+val reference_decode : t -> value_len:int -> (int * bytes) list -> string option
+(** The retained pre-kernel decode: no plan cache, no systematic fast
+    path, one [Linalg.invert] per call; byte-identical to {!decode}. *)
+
+(** {1 Properties} *)
 
 val is_mds : t -> bool
 (** Exhaustively checks the MDS property (every k-subset of rows

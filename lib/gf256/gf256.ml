@@ -1,5 +1,16 @@
 (* GF(2^8) with primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d),
-   the standard choice for storage-system Reed-Solomon codes. *)
+   the standard choice for storage-system Reed-Solomon codes.
+
+   Two table layers back the arithmetic:
+
+   - log/exp tables (doubled exp so [exp(log a + log b)] needs no
+     modular reduction) for the scalar field API: inv, div, pow, ...
+   - a flat 64 KiB product table [mul_tab] with
+     [mul_tab.[(c lsl 8) lor v] = c * v], the bulk-kernel workhorse.
+     One unchecked byte load per product, no zero branch, and for a
+     fixed coefficient [c] the whole 256-byte row lives in two cache
+     lines.  This is the OCaml rendition of the ISA-L-style flat
+     product table (see docs/CODING_KERNEL.md). *)
 
 type t = int
 
@@ -32,6 +43,27 @@ let exp_table, log_table =
   done;
   (exp_table, log_table)
 
+(* Flat product table: 256 rows of 256 bytes, row [c] holding [c * v]
+   for every [v].  64 KiB total; built once at module init from the
+   log/exp pair. *)
+let mul_tab =
+  let tab = Bytes.create (256 * 256) in
+  for c = 0 to 255 do
+    let row = c lsl 8 in
+    if c = 0 then Bytes.fill tab row 256 '\000'
+    else begin
+      let lc = log_table.(c) in
+      Bytes.unsafe_set tab row '\000';
+      for v = 1 to 255 do
+        Bytes.unsafe_set tab (row lor v)
+          (Char.unsafe_chr exp_table.(lc + log_table.(v)))
+      done
+    end
+  done;
+  tab
+
+let unsafe_mul a b = Char.code (Bytes.unsafe_get mul_tab ((a lsl 8) lor b))
+
 let add a b =
   check "add" a;
   check "add" b;
@@ -43,8 +75,7 @@ let neg a = check "neg" a; a
 let mul a b =
   check "mul" a;
   check "mul" b;
-  if a = 0 || b = 0 then 0
-  else exp_table.(log_table.(a) + log_table.(b))
+  unsafe_mul a b
 
 let inv a =
   check "inv" a;
@@ -78,53 +109,377 @@ let pow a e =
 
 let eval_poly coeffs x =
   check "eval_poly" x;
+  Array.iter (check "eval_poly") coeffs;
+  (* inputs validated once above; the Horner loop itself runs on the
+     unchecked flat-table product *)
   let acc = ref 0 in
   for i = Array.length coeffs - 1 downto 0 do
-    acc := add (mul !acc x) coeffs.(i)
+    acc := unsafe_mul !acc x lxor Array.unsafe_get coeffs i
   done;
   !acc
 
-let add_bytes a b =
-  let la = Bytes.length a and lb = Bytes.length b in
-  if not (Int.equal la lb) then invalid_arg "Gf256.add_bytes: length mismatch";
-  let out = Bytes.create la in
-  for i = 0 to la - 1 do
-    Bytes.unsafe_set out i
-      (Char.unsafe_chr
-         (Char.code (Bytes.unsafe_get a i) lxor Char.code (Bytes.unsafe_get b i)))
+(* ----- bulk byte-buffer kernels -----
+
+   The word-wide loops below move 8 bytes per iteration through
+   [Bytes.get_int64_le]/[set_int64_le].  Little-endian accessors are
+   used on every platform so that a product word assembled as
+   [p0 lor (p1 lsl 8) lor ...] lands with [p0] at the lowest address —
+   byte-order independence, not speed, is why the [_le] variants are
+   chosen (see docs/CODING_KERNEL.md for the aliasing and endianness
+   contract).  Classic ocamlopt unboxes the intermediate int64s because
+   every boxed value flows directly into an unboxing primitive. *)
+
+let check_same_len name a b =
+  if not (Int.equal (Bytes.length a) (Bytes.length b)) then
+    invalid_arg (Printf.sprintf "Gf256.%s: length mismatch" name)
+
+(* dst.(i) <- dst.(i) xor src.(i), 8 bytes per iteration. *)
+let xor_into_unchecked dst src len =
+  let nw = len lsr 3 in
+  for w = 0 to nw - 1 do
+    let i = w lsl 3 in
+    Bytes.set_int64_le dst i
+      (Int64.logxor (Bytes.get_int64_le dst i) (Bytes.get_int64_le src i))
   done;
+  for i = nw lsl 3 to len - 1 do
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst i)
+         lxor Char.code (Bytes.unsafe_get src i)))
+  done
+
+let add_bytes_into dst src =
+  check_same_len "add_bytes_into" dst src;
+  xor_into_unchecked dst src (Bytes.length dst)
+
+let add_bytes a b =
+  check_same_len "add_bytes" a b;
+  let out = Bytes.copy a in
+  xor_into_unchecked out b (Bytes.length b);
   out
+
+(* out.(i) <- c * src.(i): one flat-table row lookup per byte, no zero
+   branch; the row for [c] stays resident in L1. *)
+let scale_into_unchecked out c src len =
+  let base = c lsl 8 in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set out i
+      (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src i)))
+  done
+
+let scale_bytes_into dst c src =
+  check "scale_bytes_into" c;
+  check_same_len "scale_bytes_into" dst src;
+  scale_into_unchecked dst c src (Bytes.length src)
 
 let scale_bytes c b =
   check "scale_bytes" c;
   let len = Bytes.length b in
   let out = Bytes.create len in
-  if c = 0 then Bytes.fill out 0 len '\000'
-  else begin
-    let lc = log_table.(c) in
-    for i = 0 to len - 1 do
-      let v = Char.code (Bytes.unsafe_get b i) in
-      let r = if v = 0 then 0 else exp_table.(lc + log_table.(v)) in
-      Bytes.unsafe_set out i (Char.unsafe_chr r)
-    done
-  end;
+  scale_into_unchecked out c b len;
   out
 
+(* dst.(i) <- dst.(i) xor c * src.(i).  c = 0 is a no-op, c = 1 the
+   pure-XOR word loop; the general path assembles the 8 product bytes
+   into two 32-bit halves (native ints, so no boxing in the hot loop)
+   and lands them with a single 64-bit load-xor-store on dst. *)
 let mul_add_into dst c src =
   check "mul_add_into" c;
-  let ld = Bytes.length dst and ls = Bytes.length src in
-  if not (Int.equal ld ls) then
-    invalid_arg "Gf256.mul_add_into: length mismatch";
-  if c <> 0 then begin
-    let lc = log_table.(c) in
-    for i = 0 to ld - 1 do
-      let v = Char.code (Bytes.unsafe_get src i) in
-      if v <> 0 then begin
-        let prod = exp_table.(lc + log_table.(v)) in
-        Bytes.unsafe_set dst i
-          (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst i) lxor prod))
-      end
+  check_same_len "mul_add_into" dst src;
+  let len = Bytes.length dst in
+  if c = 1 then xor_into_unchecked dst src len
+  else if c <> 0 then begin
+    let base = c lsl 8 in
+    let nw = len lsr 3 in
+    for w = 0 to nw - 1 do
+      let i = w lsl 3 in
+      let p0 =
+        Char.code (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src i)))
+        lor Char.code (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src (i + 1)))) lsl 8
+        lor Char.code (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src (i + 2)))) lsl 16
+        lor Char.code (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src (i + 3)))) lsl 24
+      in
+      let p1 =
+        Char.code (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src (i + 4))))
+        lor Char.code (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src (i + 5)))) lsl 8
+        lor Char.code (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src (i + 6)))) lsl 16
+        lor Char.code (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src (i + 7)))) lsl 24
+      in
+      Bytes.set_int64_le dst i
+        (Int64.logxor (Bytes.get_int64_le dst i)
+           (Int64.logor (Int64.of_int p0)
+              (Int64.shift_left (Int64.of_int p1) 32)))
+    done;
+    for i = nw lsl 3 to len - 1 do
+      Bytes.unsafe_set dst i
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get dst i)
+           lxor Char.code
+                  (Bytes.unsafe_get mul_tab
+                     (base lor Char.code (Bytes.unsafe_get src i)))))
     done
   end
+
+(* ----- 16-bit pair tables -----
+
+   For buffers past [pair_threshold] the kernels switch from the 64 KiB
+   byte-product table to a per-coefficient 128 KiB *pair* table: entry
+   [p] (a 16-bit source pair) holds the two product bytes
+   [c * (p land 0xff)] and [c * (p lsr 8)] laid out so that one native
+   unaligned 16-bit load yields both products in place.  That halves
+   the table lookups per byte — on the scalar µop-throughput-bound
+   loops below this is worth ~1.7x end to end.  Tables are built
+   lazily, once per coefficient per domain (the cache is domain-local,
+   so no synchronization), from the flat [mul_tab] row. *)
+
+external get64u : bytes -> int -> int64 = "%caml_bytes_get64u"
+external set64u : bytes -> int -> int64 -> unit = "%caml_bytes_set64u"
+external get16u : bytes -> int -> int = "%caml_bytes_get16u"
+external bswap64 : int64 -> int64 = "%bswap_int64"
+
+(* LE-normalized unaligned word access: byte at the lowest address ends
+   up in bits 0-7 on every platform.  [Sys.big_endian] is a constant,
+   so the branch folds away. *)
+let get64_le b i = if Sys.big_endian then bswap64 (get64u b i) else get64u b i
+let set64_le b i v = set64u b i (if Sys.big_endian then bswap64 v else v)
+
+let pair_threshold = 64
+
+let build_pair_table c =
+  let t = Bytes.create (2 * 65536) in
+  let row = c lsl 8 in
+  for hi = 0 to 255 do
+    let ph = Bytes.unsafe_get mul_tab (row lor hi) in
+    let base = hi lsl 9 in
+    for lo = 0 to 255 do
+      let pl = Bytes.unsafe_get mul_tab (row lor lo) in
+      (* byte order chosen at build time so that a *native* 16-bit read
+         at offset [2 * pair] is [pl lor (ph lsl 8)] on either
+         endianness — no per-lookup swap in the hot loop *)
+      if Sys.big_endian then begin
+        Bytes.unsafe_set t ((base + 2 * lo) + 0) ph;
+        Bytes.unsafe_set t ((base + 2 * lo) + 1) pl
+      end
+      else begin
+        Bytes.unsafe_set t ((base + 2 * lo) + 0) pl;
+        Bytes.unsafe_set t ((base + 2 * lo) + 1) ph
+      end
+    done
+  done;
+  t
+
+(* Domain-local coefficient -> pair-table cache ([Bytes.empty] = not
+   built).  At most 256 x 128 KiB per domain, in practice only the
+   coefficients that appear in generator or decode-plan rows of codes
+   handling >= pair_threshold-byte shards. *)
+let pair_tabs_key = Domain.DLS.new_key (fun () -> Array.make 256 Bytes.empty)
+
+let pair_table tabs c =
+  let t = Array.unsafe_get tabs c in
+  if Bytes.length t <> 0 then t
+  else begin
+    let t = build_pair_table c in
+    tabs.(c) <- t;
+    t
+  end
+
+(* dst[dst_pos + i] <- dst[dst_pos + i] xor src.(i) over [0, len). *)
+let xor_at_unchecked dst dst_pos src len =
+  let nw = len lsr 3 in
+  for w = 0 to nw - 1 do
+    let i = w lsl 3 in
+    set64u dst (dst_pos + i)
+      (Int64.logxor (get64u dst (dst_pos + i)) (get64u src i))
+  done;
+  for i = nw lsl 3 to len - 1 do
+    Bytes.unsafe_set dst (dst_pos + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (dst_pos + i))
+         lxor Char.code (Bytes.unsafe_get src i)))
+  done
+
+(* dst[dst_pos + i] <- c * src.(i) via the pair table [t] for [c]: one
+   64-bit source load, four 16-bit table loads, one 64-bit store per
+   8 bytes. *)
+let scale_pair_unchecked dst dst_pos t src len =
+  let nw = len lsr 3 in
+  for w = 0 to nw - 1 do
+    let i = w lsl 3 in
+    let x = get64_le src i in
+    let a = Int64.to_int x land 0xffffffff in
+    let b = Int64.to_int (Int64.shift_right_logical x 32) in
+    let h0 =
+      get16u t ((a land 0xffff) lsl 1)
+      lor (get16u t ((a lsr 16) lsl 1) lsl 16)
+    in
+    let h1 =
+      get16u t ((b land 0xffff) lsl 1)
+      lor (get16u t ((b lsr 16) lsl 1) lsl 16)
+    in
+    set64_le dst (dst_pos + i)
+      (Int64.logor (Int64.of_int h0) (Int64.shift_left (Int64.of_int h1) 32))
+  done;
+  for i = nw lsl 3 to len - 1 do
+    (* hi byte of the pair index is 0, so bits 0-7 of the entry are the
+       product of the single source byte on either endianness *)
+    Bytes.unsafe_set dst (dst_pos + i)
+      (Char.unsafe_chr
+         (get16u t (Char.code (Bytes.unsafe_get src i) lsl 1) land 0xff))
+  done
+
+(* dst[dst_pos + i] <- dst[dst_pos + i] xor c * src.(i), pair table. *)
+let mul_add_pair_unchecked dst dst_pos t src len =
+  let nw = len lsr 3 in
+  for w = 0 to nw - 1 do
+    let i = w lsl 3 in
+    let x = get64_le src i in
+    let a = Int64.to_int x land 0xffffffff in
+    let b = Int64.to_int (Int64.shift_right_logical x 32) in
+    let h0 =
+      get16u t ((a land 0xffff) lsl 1)
+      lor (get16u t ((a lsr 16) lsl 1) lsl 16)
+    in
+    let h1 =
+      get16u t ((b land 0xffff) lsl 1)
+      lor (get16u t ((b lsr 16) lsl 1) lsl 16)
+    in
+    set64u dst (dst_pos + i)
+      (Int64.logxor (get64u dst (dst_pos + i))
+         (if Sys.big_endian then
+            bswap64
+              (Int64.logor (Int64.of_int h0)
+                 (Int64.shift_left (Int64.of_int h1) 32))
+          else
+            Int64.logor (Int64.of_int h0)
+              (Int64.shift_left (Int64.of_int h1) 32)))
+  done;
+  for i = nw lsl 3 to len - 1 do
+    Bytes.unsafe_set dst (dst_pos + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (dst_pos + i))
+         lxor (get16u t (Char.code (Bytes.unsafe_get src i) lsl 1) land 0xff)))
+  done
+
+(* Short-buffer variants on the flat byte table: below [pair_threshold]
+   a plain byte loop beats paying the (amortized) pair-table build. *)
+let scale_small_unchecked dst dst_pos base src len =
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set dst (dst_pos + i)
+      (Bytes.unsafe_get mul_tab (base lor Char.code (Bytes.unsafe_get src i)))
+  done
+
+let mul_add_small_unchecked dst dst_pos base src len =
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set dst (dst_pos + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (dst_pos + i))
+         lxor Char.code
+                (Bytes.unsafe_get mul_tab
+                   (base lor Char.code (Bytes.unsafe_get src i)))))
+  done
+
+(* Fused k-way product: dst[dst_pos + b] <- XOR_j coeffs.(j) * srcs.(j).[b]
+   for b < len.  This is the inner kernel of both erasure encode
+   (parity rows) and decode (plan rows).  The row is computed as one
+   overwrite pass for the first non-zero term followed by one
+   accumulate pass per remaining non-zero term — coefficient 1 terms
+   degrade to blit/XOR, coefficient 0 terms are skipped, and buffers of
+   >= pair_threshold bytes run on the 16-bit pair tables.  [dst] must
+   not alias any source. *)
+let dot_into ~dst ~dst_pos ~len ~coeffs ~srcs =
+  let m = Array.length coeffs in
+  if m <> Array.length srcs then invalid_arg "Gf256.dot_into: arity mismatch";
+  if dst_pos < 0 || len < 0 || dst_pos + len > Bytes.length dst then
+    invalid_arg "Gf256.dot_into: dst range out of bounds";
+  let first = ref (-1) in
+  for j = m - 1 downto 0 do
+    check "dot_into" coeffs.(j);
+    if Bytes.length srcs.(j) < len then
+      invalid_arg "Gf256.dot_into: source shorter than len";
+    if coeffs.(j) <> 0 then first := j
+  done;
+  if !first < 0 then Bytes.fill dst dst_pos len '\000'
+  else begin
+    let f = !first in
+    let long = len >= pair_threshold in
+    let tabs = if long then Domain.DLS.get pair_tabs_key else [||] in
+    let c0 = Array.unsafe_get coeffs f in
+    (if c0 = 1 then Bytes.blit (Array.unsafe_get srcs f) 0 dst dst_pos len
+     else if long then
+       scale_pair_unchecked dst dst_pos (pair_table tabs c0)
+         (Array.unsafe_get srcs f) len
+     else
+       scale_small_unchecked dst dst_pos (c0 lsl 8)
+         (Array.unsafe_get srcs f) len);
+    for j = f + 1 to m - 1 do
+      let c = Array.unsafe_get coeffs j in
+      if c = 1 then xor_at_unchecked dst dst_pos (Array.unsafe_get srcs j) len
+      else if c <> 0 then
+        if long then
+          mul_add_pair_unchecked dst dst_pos (pair_table tabs c)
+            (Array.unsafe_get srcs j) len
+        else
+          mul_add_small_unchecked dst dst_pos (c lsl 8)
+            (Array.unsafe_get srcs j) len
+    done
+  end
+
+(* ----- retained reference scalar implementations -----
+
+   The pre-kernel byte-at-a-time paths, kept verbatim as the oracle for
+   the differential test suite and the bench's kernel-vs-reference
+   comparison.  Do not optimize these. *)
+module Scalar = struct
+  let mul a b =
+    check "Scalar.mul" a;
+    check "Scalar.mul" b;
+    if a = 0 || b = 0 then 0
+    else exp_table.(log_table.(a) + log_table.(b))
+
+  let add_bytes a b =
+    let la = Bytes.length a and lb = Bytes.length b in
+    if not (Int.equal la lb) then
+      invalid_arg "Gf256.Scalar.add_bytes: length mismatch";
+    let out = Bytes.create la in
+    for i = 0 to la - 1 do
+      Bytes.unsafe_set out i
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get a i)
+           lxor Char.code (Bytes.unsafe_get b i)))
+    done;
+    out
+
+  let scale_bytes c b =
+    check "Scalar.scale_bytes" c;
+    let len = Bytes.length b in
+    let out = Bytes.create len in
+    if c = 0 then Bytes.fill out 0 len '\000'
+    else begin
+      let lc = log_table.(c) in
+      for i = 0 to len - 1 do
+        let v = Char.code (Bytes.unsafe_get b i) in
+        let r = if v = 0 then 0 else exp_table.(lc + log_table.(v)) in
+        Bytes.unsafe_set out i (Char.unsafe_chr r)
+      done
+    end;
+    out
+
+  let mul_add_into dst c src =
+    check "Scalar.mul_add_into" c;
+    let ld = Bytes.length dst and ls = Bytes.length src in
+    if not (Int.equal ld ls) then
+      invalid_arg "Gf256.Scalar.mul_add_into: length mismatch";
+    if c <> 0 then begin
+      let lc = log_table.(c) in
+      for i = 0 to ld - 1 do
+        let v = Char.code (Bytes.unsafe_get src i) in
+        if v <> 0 then begin
+          let prod = exp_table.(lc + log_table.(v)) in
+          Bytes.unsafe_set dst i
+            (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst i) lxor prod))
+        end
+      done
+    end
+end
 
 let pp fmt a = Format.fprintf fmt "0x%02x" a

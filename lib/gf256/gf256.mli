@@ -8,7 +8,13 @@
 
     All operations are total on valid elements; functions raise
     [Invalid_argument] when an argument is outside [0, 255] or on
-    division by zero. *)
+    division by zero.
+
+    Two implementation layers coexist (see docs/CODING_KERNEL.md):
+    the word-wide kernel layer backed by a flat 64 KiB product table
+    (the default — every bulk function below), and the retained
+    byte-at-a-time {!Scalar} reference used as the oracle of the
+    differential test suite. *)
 
 type t = int
 (** A field element; invariant: [0 <= t <= 255]. *)
@@ -32,7 +38,14 @@ val sub : t -> t -> t
 (** Field subtraction; identical to {!add} in characteristic 2. *)
 
 val mul : t -> t -> t
-(** Field multiplication via log/antilog tables. *)
+(** Field multiplication via the flat product table. *)
+
+val unsafe_mul : t -> t -> t
+(** Unchecked single-load product from the flat 64 KiB table.  The
+    arguments MUST be valid field elements — out-of-range inputs read
+    arbitrary table bytes (or out of bounds).  For the inner loops of
+    {!Linalg} and {!Erasure}, which maintain the element invariant
+    structurally; everything else should call {!mul}. *)
 
 val div : t -> t -> t
 (** [div a b] is [a * b^-1].  @raise Division_by_zero if [b = 0]. *)
@@ -56,19 +69,63 @@ val exp : int -> t
 
 val eval_poly : t array -> t -> t
 (** [eval_poly coeffs x] evaluates the polynomial
-    [coeffs.(0) + coeffs.(1)*x + ...] at [x] (Horner). *)
+    [coeffs.(0) + coeffs.(1)*x + ...] at [x] (Horner).  Inputs are
+    validated once up front; the loop runs unchecked. *)
 
 val add_bytes : bytes -> bytes -> bytes
-(** Element-wise field addition of two equal-length byte strings.
+(** Element-wise field addition of two equal-length byte strings,
+    8 bytes per iteration.  @raise Invalid_argument on length mismatch. *)
+
+val add_bytes_into : bytes -> bytes -> unit
+(** [add_bytes_into dst src] XORs [src] into [dst] in place, word-wide.
+    [dst == src] is permitted (it zeroes [dst]).
     @raise Invalid_argument on length mismatch. *)
 
 val scale_bytes : t -> bytes -> bytes
 (** [scale_bytes c b] multiplies every byte of [b] by [c]. *)
 
+val scale_bytes_into : bytes -> t -> bytes -> unit
+(** [scale_bytes_into dst c src] writes [c * src.(i)] over [dst] in
+    place; [dst == src] is permitted.
+    @raise Invalid_argument on length mismatch. *)
+
 val mul_add_into : bytes -> t -> bytes -> unit
 (** [mul_add_into dst c src] computes [dst.(i) <- dst.(i) + c*src.(i)]
-    in place; the workhorse of erasure encoding.
+    in place; the workhorse of incremental erasure accumulation.
+    [c = 0] is a no-op; [c = 1] takes the pure-XOR word loop; the
+    general path does one unchecked product-table load per byte and
+    lands 8 products per 64-bit store.
     @raise Invalid_argument on length mismatch. *)
+
+val dot_into :
+  dst:bytes ->
+  dst_pos:int ->
+  len:int ->
+  coeffs:t array ->
+  srcs:bytes array ->
+  unit
+(** Fused k-way product:
+    [dst.(dst_pos + b) <- XOR_j coeffs.(j) * srcs.(j).(b)] for
+    [b < len].  Prior [dst] contents in the range are irrelevant (the
+    first non-zero term overwrites), but [dst] must not alias any
+    source.  Zero-coefficient terms are skipped, coefficient-1 terms
+    degrade to blit/XOR, and all-zero (or empty) [coeffs] zero-fills
+    the range.  Buffers of at least 64 bytes run on per-coefficient
+    16-bit pair tables, built lazily and cached per domain (see
+    docs/CODING_KERNEL.md).  The inner kernel of erasure encode and
+    decode.
+    @raise Invalid_argument on arity mismatch, out-of-range
+    coefficients, sources shorter than [len], or a bad [dst] range. *)
+
+(** The pre-kernel byte-at-a-time implementations (log/exp double
+    lookup, per-byte zero branch), retained verbatim as the oracle for
+    differential tests and the kernel-vs-reference bench comparison. *)
+module Scalar : sig
+  val mul : t -> t -> t
+  val add_bytes : bytes -> bytes -> bytes
+  val scale_bytes : t -> bytes -> bytes
+  val mul_add_into : bytes -> t -> bytes -> unit
+end
 
 val pp : Format.formatter -> t -> unit
 (** Prints an element as [0xNN]. *)

@@ -85,6 +85,8 @@ let transpose m =
   done;
   t
 
+(* Entries are field elements by construction, so the inner loops use
+   the unchecked flat-table product. *)
 let mul a b =
   if a.c <> b.r then invalid_arg "Linalg.mul: dimension mismatch";
   let p = create ~rows:a.r ~cols:b.c in
@@ -94,7 +96,7 @@ let mul a b =
       if aik <> 0 then
         for j = 0 to b.c - 1 do
           let idx = (i * b.c) + j in
-          p.d.(idx) <- p.d.(idx) lxor Gf256.mul aik (unsafe_get b k j)
+          p.d.(idx) <- p.d.(idx) lxor Gf256.unsafe_mul aik (unsafe_get b k j)
         done
     done
   done;
@@ -102,10 +104,15 @@ let mul a b =
 
 let mul_vec m v =
   if Array.length v <> m.c then invalid_arg "Linalg.mul_vec: dimension mismatch";
+  Array.iter
+    (fun x ->
+      if not (Gf256.is_element x) then
+        invalid_arg "Linalg.mul_vec: entry not a field element")
+    v;
   Array.init m.r (fun i ->
       let acc = ref 0 in
       for j = 0 to m.c - 1 do
-        acc := !acc lxor Gf256.mul (unsafe_get m i j) v.(j)
+        acc := !acc lxor Gf256.unsafe_mul (unsafe_get m i j) v.(j)
       done;
       !acc)
 
@@ -135,6 +142,10 @@ let sub_matrix m ~row_off ~col_off ~rows ~cols =
     done
   done;
   s
+
+let row m i =
+  check_bounds "row" m i 0;
+  Array.sub m.d (i * m.c) m.c
 
 let select_rows m idxs =
   let n = List.length idxs in
@@ -184,7 +195,7 @@ let eliminate d ~r ~c =
       let pv = d.((!row * c) + !col) in
       let pv_inv = Gf256.inv pv in
       for k = 0 to c - 1 do
-        d.((!row * c) + k) <- Gf256.mul pv_inv d.((!row * c) + k)
+        d.((!row * c) + k) <- Gf256.unsafe_mul pv_inv d.((!row * c) + k)
       done;
       (* clear the column in all other rows *)
       for i2 = 0 to r - 1 do
@@ -193,7 +204,7 @@ let eliminate d ~r ~c =
           if factor <> 0 then
             for k = 0 to c - 1 do
               d.((i2 * c) + k) <-
-                d.((i2 * c) + k) lxor Gf256.mul factor d.((!row * c) + k)
+                d.((i2 * c) + k) lxor Gf256.unsafe_mul factor d.((!row * c) + k)
             done
         end
       done;

@@ -56,6 +56,11 @@ val augment : t -> t -> t
 val sub_matrix : t -> row_off:int -> col_off:int -> rows:int -> cols:int -> t
 (** Extracts a rectangular block. *)
 
+val row : t -> int -> int array
+(** [row m i] copies row [i] out as a coefficient array; used to feed
+    the fused {!Gf256.dot_into} kernel.
+    @raise Invalid_argument when out of bounds. *)
+
 val select_rows : t -> int list -> t
 (** [select_rows m idxs] keeps the given rows, in the given order. *)
 

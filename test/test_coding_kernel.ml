@@ -1,0 +1,228 @@
+(* Differential tests of the word-wide GF(256) coding kernels against
+   the retained byte-at-a-time {!Gf256.Scalar} oracle, and unit tests
+   of the decode-plan cache (hits, LRU bound, and the elimination of
+   [Linalg.invert] on the warm path).
+
+   Buffer lengths deliberately straddle every kernel regime: empty,
+   sub-word (1, 7), word-aligned (8), the pair-table threshold
+   (63/64/65), and bulk (8192). *)
+
+let lengths = [ 0; 1; 7; 8; 9; 63; 64; 65; 1024; 8192 ]
+
+let len_gen = QCheck.Gen.oneofl lengths
+
+let bytes_gen len =
+  QCheck.Gen.(map Bytes.of_string (string_size ~gen:char (return len)))
+
+(* ----- Gf256 bulk ops vs Scalar ----- *)
+
+let scale_case =
+  QCheck.Gen.(
+    len_gen >>= fun len ->
+    bytes_gen len >>= fun b ->
+    int_range 0 255 >>= fun c -> return (c, b))
+
+let print_scale (c, b) =
+  Printf.sprintf "c=%d len=%d b=%S" c (Bytes.length b) (Bytes.to_string b)
+
+let prop_scale =
+  QCheck.Test.make ~name:"kernel scale_bytes = Scalar.scale_bytes" ~count:300
+    (QCheck.make ~print:print_scale scale_case)
+    (fun (c, b) -> Bytes.equal (Gf256.scale_bytes c b) (Gf256.Scalar.scale_bytes c b))
+
+let prop_add =
+  QCheck.Test.make ~name:"kernel add_bytes = Scalar.add_bytes" ~count:300
+    (QCheck.make
+       QCheck.Gen.(len_gen >>= fun len -> pair (bytes_gen len) (bytes_gen len)))
+    (fun (a, b) -> Bytes.equal (Gf256.add_bytes a b) (Gf256.Scalar.add_bytes a b))
+
+let prop_mul_add =
+  QCheck.Test.make ~name:"kernel mul_add_into = Scalar.mul_add_into" ~count:300
+    (QCheck.make ~print:print_scale
+       QCheck.Gen.(
+         len_gen >>= fun len ->
+         bytes_gen len >>= fun src ->
+         int_range 0 255 >>= fun c -> return (c, src)))
+    (fun (c, src) ->
+      let len = Bytes.length src in
+      let d1 = Bytes.init len (fun i -> Char.chr ((i * 17) land 0xff)) in
+      let d2 = Bytes.copy d1 in
+      Gf256.mul_add_into d1 c src;
+      Gf256.Scalar.mul_add_into d2 c src;
+      Bytes.equal d1 d2)
+
+(* dot_into vs a fold of Scalar.mul_add_into, with a random dst_pos and
+   sentinel bytes around the written range *)
+let dot_case =
+  QCheck.Gen.(
+    len_gen >>= fun len ->
+    int_range 0 5 >>= fun m ->
+    array_size (return m) (int_range 0 255) >>= fun coeffs ->
+    (* sources may be longer than len: dot_into reads a prefix *)
+    array_size (return m) (int_range 0 3 >>= fun extra -> bytes_gen (len + extra))
+    >>= fun srcs ->
+    int_range 0 8 >>= fun dst_pos -> return (len, coeffs, srcs, dst_pos))
+
+let print_dot (len, coeffs, srcs, dst_pos) =
+  Printf.sprintf "len=%d dst_pos=%d coeffs=[%s] srcs=[%s]" len dst_pos
+    (String.concat ";" (Array.to_list (Array.map string_of_int coeffs)))
+    (String.concat ";"
+       (Array.to_list (Array.map (fun b -> Printf.sprintf "%S" (Bytes.to_string b)) srcs)))
+
+let prop_dot =
+  QCheck.Test.make ~name:"kernel dot_into = Scalar accumulation" ~count:400
+    (QCheck.make ~print:print_dot dot_case)
+    (fun (len, coeffs, srcs, dst_pos) ->
+      let dst = Bytes.make (dst_pos + len + 4) '\xab' in
+      Gf256.dot_into ~dst ~dst_pos ~len ~coeffs ~srcs;
+      let oracle = Bytes.make len '\000' in
+      Array.iteri
+        (fun j c -> Gf256.Scalar.mul_add_into oracle c (Bytes.sub srcs.(j) 0 len))
+        coeffs;
+      Bytes.equal (Bytes.sub dst dst_pos len) oracle
+      (* sentinels before and after the range are untouched *)
+      && Bytes.for_all (Char.equal '\xab') (Bytes.sub dst 0 dst_pos)
+      && Bytes.for_all (Char.equal '\xab')
+           (Bytes.sub dst (dst_pos + len) (Bytes.length dst - dst_pos - len)))
+
+(* ----- Erasure kernel vs reference paths ----- *)
+
+let code_case =
+  QCheck.Gen.(
+    int_range 1 8 >>= fun k ->
+    int_range k 12 >>= fun n ->
+    oneofl [ 0; 1; 7; 40; 200; 1031 ] >>= fun len ->
+    string_size ~gen:char (return len) >>= fun value ->
+    shuffle_l (List.init n Fun.id) >>= fun order ->
+    return (n, k, value, order))
+
+let print_code (n, k, value, order) =
+  Printf.sprintf "n=%d k=%d value=%S order=[%s]" n k value
+    (String.concat ";" (List.map string_of_int order))
+
+let prop_encode_differential =
+  QCheck.Test.make ~name:"Erasure.encode = reference_encode" ~count:200
+    (QCheck.make ~print:print_code code_case)
+    (fun (n, k, value, _) ->
+      let c = Erasure.create ~n ~k in
+      let a = Erasure.encode c value and b = Erasure.reference_encode c value in
+      Array.length a = Array.length b && Array.for_all2 Bytes.equal a b)
+
+let prop_decode_differential =
+  QCheck.Test.make ~name:"Erasure.decode = reference_decode" ~count:200
+    (QCheck.make ~print:print_code code_case)
+    (fun (n, k, value, order) ->
+      ignore n;
+      let c = Erasure.create ~n ~k in
+      let symbols = Erasure.encode c value in
+      let survivors =
+        List.filteri (fun i _ -> i < k) order |> List.map (fun i -> (i, symbols.(i)))
+      in
+      let value_len = String.length value in
+      Erasure.decode c ~value_len survivors
+      = Erasure.reference_decode c ~value_len survivors)
+
+let prop_encode_into_matches =
+  QCheck.Test.make ~name:"Erasure.encode_into = encode (workspace buffers)"
+    ~count:200
+    (QCheck.make ~print:print_code code_case)
+    (fun (n, k, value, _) ->
+      let c = Erasure.create ~n ~k in
+      let ws = Erasure.create_workspace () in
+      let dst = Erasure.ws_symbols ws c ~value_len:(String.length value) in
+      Erasure.encode_into c value ~dst;
+      Array.for_all2 Bytes.equal dst (Erasure.encode c value))
+
+(* ----- decode-plan cache ----- *)
+
+let value_4k = String.init 4096 (fun i -> Char.chr ((i * 131) land 0xff))
+
+let stats = Alcotest.(check int)
+
+let test_plan_cache_counters () =
+  let c = Erasure.create ~n:9 ~k:3 in
+  let symbols = Erasure.encode c value_4k in
+  let survivors = [ (6, symbols.(6)); (7, symbols.(7)); (8, symbols.(8)) ] in
+  let ws = Erasure.create_workspace () in
+  let d1 = Erasure.decode_with ws c ~value_len:4096 survivors in
+  Alcotest.(check (option string)) "cold decode" (Some value_4k) d1;
+  let s = Erasure.ws_stats ws in
+  stats "one miss" 1 s.Erasure.plan_misses;
+  stats "one inversion" 1 s.Erasure.inversions;
+  stats "no hits yet" 0 s.Erasure.plan_hits;
+  let d2 = Erasure.decode_with ws c ~value_len:4096 survivors in
+  let s = Erasure.ws_stats ws in
+  stats "hit on repeat" 1 s.Erasure.plan_hits;
+  stats "invert not re-run" 1 s.Erasure.inversions;
+  Alcotest.(check (option string)) "warm = cold" d1 d2;
+  (* same surviving set in a different order reuses the plan *)
+  let d3 = Erasure.decode_with ws c ~value_len:4096 (List.rev survivors) in
+  let s = Erasure.ws_stats ws in
+  stats "order-independent key" 2 s.Erasure.plan_hits;
+  stats "still one inversion" 1 s.Erasure.inversions;
+  Alcotest.(check (option string)) "reordered = cold" d1 d3;
+  (* a plan-cache hit is byte-identical to a cold workspace *)
+  let cold = Erasure.decode_with (Erasure.create_workspace ()) c ~value_len:4096 survivors in
+  Alcotest.(check (option string)) "hit = fresh workspace" cold d2
+
+let test_systematic_fast_path () =
+  let c = Erasure.create ~n:9 ~k:3 in
+  let symbols = Erasure.encode c value_4k in
+  let survivors = [ (0, symbols.(0)); (1, symbols.(1)); (2, symbols.(2)) ] in
+  let ws = Erasure.create_workspace () in
+  let d = Erasure.decode_with ws c ~value_len:4096 survivors in
+  Alcotest.(check (option string)) "systematic decode" (Some value_4k) d;
+  let s = Erasure.ws_stats ws in
+  stats "blit path taken" 1 s.Erasure.systematic_hits;
+  stats "no inversion" 0 s.Erasure.inversions;
+  stats "no plan built" 0 s.Erasure.plan_misses
+
+let test_plan_cache_lru_bound () =
+  let n = 21 and k = 3 in
+  let c = Erasure.create ~n ~k in
+  let value = "lru-bound-probe" in
+  let symbols = Erasure.encode c value in
+  let ws = Erasure.create_workspace () in
+  let patterns = ref 0 in
+  (* enumerate > 64 distinct non-systematic surviving sets *)
+  (try
+     for a = 0 to n - 3 do
+       for b = a + 1 to n - 2 do
+         for d = b + 1 to n - 1 do
+           if d >= k then begin
+             let survivors = [ (a, symbols.(a)); (b, symbols.(b)); (d, symbols.(d)) ] in
+             (match Erasure.decode_with ws c ~value_len:(String.length value) survivors with
+             | Some v -> Alcotest.(check string) "decodes" value v
+             | None -> Alcotest.fail "decode failed");
+             incr patterns;
+             if !patterns >= 100 then raise Exit
+           end
+         done
+       done
+     done
+   with Exit -> ());
+  let s = Erasure.ws_stats ws in
+  Alcotest.(check bool) "ran enough patterns" true (!patterns >= 100);
+  Alcotest.(check bool) "LRU bounded at 64" true (s.Erasure.plan_entries <= 64);
+  Alcotest.(check bool) "misses counted" true (s.Erasure.plan_misses > 64)
+
+let () =
+  Alcotest.run "coding-kernel"
+    [
+      ( "gf256 differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_scale; prop_add; prop_mul_add; prop_dot ] );
+      ( "erasure differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_encode_differential;
+            prop_decode_differential;
+            prop_encode_into_matches;
+          ] );
+      ( "decode-plan cache",
+        [
+          Alcotest.test_case "counters" `Quick test_plan_cache_counters;
+          Alcotest.test_case "systematic fast path" `Quick test_systematic_fast_path;
+          Alcotest.test_case "lru bound" `Quick test_plan_cache_lru_bound;
+        ] );
+    ]
