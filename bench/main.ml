@@ -46,17 +46,30 @@ let json_out : string option ref = ref None
 let json_coding : string list ref = ref []
 let json_sched : string list ref = ref []
 let json_explore : string list ref = ref []
+let json_hammer : string list ref = ref []
 
+(* only sections that actually pushed rows appear in the file, so a
+   targeted run (`main.exe hammer --json BENCH_hammer.json`) writes a
+   file scoped to that section *)
 let write_json path =
   let arr rows = String.concat ",\n    " (List.rev rows) in
+  let sections =
+    List.filter
+      (fun (_, rows) -> match !rows with [] -> false | _ :: _ -> true)
+      [
+        ("coding", json_coding);
+        ("sched", json_sched);
+        ("explore", json_explore);
+        ("hammer", json_hammer);
+      ]
+  in
   let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"coding\": [\n    %s\n  ],\n\
-    \  \"sched\": [\n    %s\n  ],\n\
-    \  \"explore\": [\n    %s\n  ]\n\
-     }\n"
-    (arr !json_coding) (arr !json_sched) (arr !json_explore);
+  Printf.fprintf oc "{\n%s\n}\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (name, rows) ->
+            Printf.sprintf "  %S: [\n    %s\n  ]" name (arr !rows))
+          sections));
   close_out oc;
   Printf.printf "bench: wrote %s\n" path
 
@@ -554,6 +567,50 @@ let explore_throughput () =
      the sharded-digest determinism contract.  The CAS scope exceeds 10^5\n\
      distinct states, large enough that per-state work dominates setup.)"
 
+(* ----- Hammer campaign throughput ----- *)
+
+(* Executions/sec of the fault-injection campaign per algorithm: the
+   number that decides how many seeded executions a CI budget buys.
+   Wall clock (campaigns are single-domain, so CPU ~= wall here); the
+   per-class plan mix is reported alongside so a rate change can be
+   attributed to a class mix change.  Any violation fails the bench --
+   the tier-1 suites gate on the same invariant, this just keeps the
+   timing numbers trustworthy. *)
+let hammer_throughput () =
+  section "hammer: fault-injection campaign executions/sec per algorithm";
+  let execs = 100 in
+  Printf.printf "%-12s %8s %10s %12s %12s\n" "algo" "execs" "secs"
+    "execs/sec" "deliveries";
+  List.iter
+    (fun algo ->
+      let t0 = Unix.gettimeofday () in
+      let report = Faults.Hammer.campaign ~execs ~seed:42 ~algos:[ algo ] () in
+      let dt = Unix.gettimeofday () -. t0 in
+      let a = List.hd report.Faults.Hammer.algos in
+      let violations = List.length a.Faults.Hammer.violations in
+      if violations > 0 then begin
+        Printf.printf "hammer bench: %d violations in the %s campaign\n"
+          violations algo;
+        exit 1
+      end;
+      let rate = float_of_int execs /. Float.max dt 1e-9 in
+      Printf.printf "%-12s %8d %10.3f %12.1f %12d\n" algo execs dt rate
+        a.Faults.Hammer.deliveries;
+      json_hammer :=
+        Printf.sprintf
+          {|{"algo": %S, "execs": %d, "secs": %.3f, "execs_per_sec": %.1f, "deliveries": %d, "completed": %d, "starved_expected": %d, "plan_mix": {%s}}|}
+          algo execs dt rate a.Faults.Hammer.deliveries
+          a.Faults.Hammer.completed a.Faults.Hammer.starved_expected
+          (String.concat ", "
+             (List.map
+                (fun (name, count) -> Printf.sprintf "%S: %d" name count)
+                a.Faults.Hammer.plan_mix))
+        :: !json_hammer)
+    Faults.Hammer.algo_names;
+  print_endline
+    "(Each execution = seeded fault plan x workload x schedule, consistency-\n\
+     and liveness-checked; see docs/FAULTS.md.  Rates include checking.)"
+
 (* ----- Bechamel microbenchmarks ----- *)
 
 open Bechamel
@@ -683,6 +740,7 @@ let sections =
     ("coding-quick", run_coding ~quick:true);
     ("sched", sched_throughput);
     ("explore", explore_throughput);
+    ("hammer", hammer_throughput);
     ("bench", run_benchmarks);
   ]
 

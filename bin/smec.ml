@@ -312,6 +312,94 @@ let explore_cmd =
           optionally fanned out across domains.")
     Term.(const run $ algo $ n $ f $ domains $ max_states $ progress)
 
+(* ----- hammer ----- *)
+
+let hammer_cmd =
+  let run algo_name execs seed quick json replay_exec =
+    let canary =
+      match Sys.getenv_opt "SMEC_HAMMER_CANARY" with
+      | Some "1" -> true
+      | Some _ | None -> false
+    in
+    let algos =
+      if String.equal algo_name "all" then None
+      else if List.exists (String.equal algo_name) Faults.Hammer.algo_names
+      then Some [ algo_name ]
+      else begin
+        Printf.eprintf "unknown algorithm %S (use all, %s)\n" algo_name
+          (String.concat ", " Faults.Hammer.algo_names);
+        exit 2
+      end
+    in
+    match replay_exec with
+    | Some exec ->
+        let key =
+          match algos with
+          | Some [ key ] -> key
+          | _ ->
+              Printf.eprintf "--replay needs a single --algo, not \"all\"\n";
+              exit 2
+        in
+        print_string (Faults.Hammer.replay ~algo:key ~exec ~seed ~canary)
+    | None ->
+        let execs = if quick then min execs 120 else execs in
+        let report = Faults.Hammer.campaign ~execs ~seed ~canary ?algos () in
+        Format.printf "%a@." Faults.Hammer.pp_report report;
+        (match json with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Faults.Hammer.report_to_json report);
+            output_string oc "\n";
+            close_out oc;
+            Printf.printf "report written to %s\n" path
+        | None -> ());
+        let violated = Faults.Hammer.has_violations report in
+        if canary then
+          if violated then
+            print_string "canary caught: the campaign detects the planted bug\n"
+          else begin
+            print_string "CANARY MISSED: the sabotaged ABD went undetected\n";
+            exit 1
+          end
+        else if violated then exit 1
+  in
+  let algo =
+    Arg.(
+      value & opt string "all"
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"One of all, abd, abd-mw, cas, gossip-rep, awe.")
+  in
+  let execs =
+    Arg.(
+      value & opt int 1000
+      & info [ "execs" ] ~docv:"N" ~doc:"Seeded executions per algorithm.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Cap at 120 executions per algorithm (CI gate).")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON report to FILE.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay" ] ~docv:"EXEC"
+          ~doc:
+            "Replay one campaign execution of the selected --algo and print \
+             its plan, outcome and full history.")
+  in
+  Cmd.v
+    (Cmd.info "hammer"
+       ~doc:
+         "Run the seeded fault-injection campaign: random/targeted/exhaustive \
+          fault plans against every algorithm, consistency and liveness \
+          checked, failing seeds shrunk to minimal counterexamples.")
+    Term.(const run $ algo $ execs $ seed_arg $ quick $ json $ replay)
+
 (* ----- trace ----- *)
 
 let trace_cmd =
@@ -371,6 +459,7 @@ let main =
       sweep_cmd;
       conjecture_cmd;
       explore_cmd;
+      hammer_cmd;
       trace_cmd;
     ]
 

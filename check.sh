@@ -24,6 +24,11 @@ dune runtest
 # kernel == reference byte-identity across the (n, k) x shard grid
 dune exec bench/main.exe -- coding-quick
 
+# fault-injection campaign: a CI-sized hammer pass must be violation-free,
+# and the planted ABD canary must be caught (exit 0 iff detected)
+dune exec bin/smec.exe -- hammer --quick
+SMEC_HAMMER_CANARY=1 dune exec bin/smec.exe -- hammer --quick --algo abd
+
 if [ "$quick" -eq 0 ]; then
   dune exec bench/main.exe -- explore
 fi

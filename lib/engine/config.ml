@@ -60,6 +60,20 @@ let make algo params ~clients:nc =
 let params c = c.params
 let time c = c.time
 let history c = List.rev c.history
+let rev_history c = c.history
+
+(* Newest-first scan of the raw (reversed) history: the response we
+   want is almost always the most recent event, so this is O(1) in
+   practice where [List.rev (history c)] re-reversed the whole list —
+   O(h) per lookup, O(h^2) across a workload. *)
+let last_response_for c ~client =
+  let rec find = function
+    | Respond { client = cl; response; _ } :: _ when equal_client cl client ->
+        Some response
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find c.history
 let server_state c i = c.servers.(i)
 let client_state c i = c.clients.(i)
 let num_clients c = Array.length c.clients

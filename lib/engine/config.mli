@@ -29,6 +29,16 @@ val time : ('ss, 'cs, 'm) t -> int
 val history : ('ss, 'cs, 'm) t -> event list
 (** Invocation/response events, oldest first. *)
 
+val rev_history : ('ss, 'cs, 'm) t -> event list
+(** The history newest first — the engine's native order, exposed so
+    callers scanning for a recent event need not pay {!history}'s
+    [List.rev] per lookup. *)
+
+val last_response_for : ('ss, 'cs, 'm) t -> client:int -> response option
+(** The most recent [Respond] event recorded for [client], scanning
+    newest-first (O(distance to that event), typically O(1) right
+    after an operation completes). *)
+
 val server_state : ('ss, 'cs, 'm) t -> int -> 'ss
 val client_state : ('ss, 'cs, 'm) t -> int -> 'cs
 val num_clients : ('ss, 'cs, 'm) t -> int

@@ -18,11 +18,17 @@ type outcome =
   | Quiescent  (** no action enabled *)
   | Stopped  (** the [stop] predicate held *)
   | Step_limit  (** gave up after [max_steps] *)
+  | Starved
+      (** quiescent with an operation still pending: no enabled action
+          can ever complete it (nothing will re-enable deliveries in a
+          plain run — crash/freeze schedules that {e can} are the fault
+          injector's domain, see [Faults.Injector]) *)
 
 let pp_outcome fmt = function
   | Quiescent -> Format.fprintf fmt "quiescent"
   | Stopped -> Format.fprintf fmt "stopped"
   | Step_limit -> Format.fprintf fmt "step-limit"
+  | Starved -> Format.fprintf fmt "starved"
 
 let default_max_steps = 1_000_000
 
@@ -154,31 +160,38 @@ let drain_gossip ?max_steps algo c ~rng =
   drain ?max_steps algo c ~filter:is_gossip_channel ~rng
 
 (** Invoke [op] at [client] and run (fairly, over all enabled actions)
-    until the operation responds.  Returns the response (or [None] on
-    non-termination within [max_steps]) and the final configuration. *)
-let run_op ?observer ?max_steps algo c ~client ~op ~rng =
+    until the operation responds.  Returns the response, how the run
+    ended, and the final configuration.  A [Quiescent] end with the
+    operation still pending is reported as [Starved]: the enabled
+    action set reached the empty fixpoint with the op outstanding, so
+    no continuation of this execution completes it. *)
+let run_op_outcome ?observer ?max_steps algo c ~client ~op ~rng =
   let _op_id, c = Config.invoke algo c ~client op in
   let stop c = Option.is_none (Config.pending_op c client) in
   let c, outcome = run ?observer ?max_steps algo c ~rng ~stop in
+  let outcome =
+    match outcome with
+    | Quiescent when Option.is_some (Config.pending_op c client) -> Starved
+    | o -> o
+  in
   let response =
     match outcome with
-    | Stopped -> (
-        (* the newest Respond event for this client is ours *)
-        let rec find = function
-          | Respond { client = cl; response; _ } :: _
-            when equal_client cl client ->
-              Some response
-          | _ :: rest -> find rest
-          | [] -> None
-        in
-        find (List.rev (Config.history c)))
-    | Quiescent | Step_limit -> None
+    | Stopped ->
+        (* the newest Respond event for this client is ours; the
+           newest-first accessor makes this O(1), not O(|history|) *)
+        Config.last_response_for c ~client
+    | Quiescent | Starved | Step_limit -> None
   in
+  (response, outcome, c)
+
+let run_op ?observer ?max_steps algo c ~client ~op ~rng =
+  let response, _outcome, c = run_op_outcome ?observer ?max_steps algo c ~client ~op ~rng in
   (response, c)
 
 (** Invoke several operations concurrently (one per distinct client)
     and run until all respond.  Returns the final configuration; use
-    [Config.history] to extract the concurrent history. *)
+    [Config.history] to extract the concurrent history.  [Quiescent]
+    with some operation still pending is reported as [Starved]. *)
 let run_concurrent ?observer ?max_steps algo c ~ops ~rng =
   let c =
     List.fold_left
@@ -189,25 +202,69 @@ let run_concurrent ?observer ?max_steps algo c ~ops ~rng =
   let stop c =
     List.for_all (fun cl -> Option.is_none (Config.pending_op c cl)) clients
   in
-  run ?observer ?max_steps algo c ~rng ~stop
+  let c, outcome = run ?observer ?max_steps algo c ~rng ~stop in
+  let outcome =
+    match outcome with
+    | Quiescent when not (stop c) -> Starved
+    | o -> o
+  in
+  (c, outcome)
+
+(* Replayable non-termination diagnostics: the client, its pending op,
+   the structured outcome (starved vs step-limit), the scheduler seed
+   when the caller supplied one, and the failure/freeze pattern —
+   everything needed to re-run the execution from the message alone. *)
+let nontermination_message ~fn ~client ~outcome ?seed c =
+  let pending =
+    match Config.pending_op c client with
+    | None -> "none"
+    | Some (op_id, op) -> Format.asprintf "#%d %a" op_id pp_op op
+  in
+  let seed_s =
+    match seed with
+    | Some s -> Printf.sprintf "%d (replay via Driver.rng_of_seed %d)" s s
+    | None -> "<not supplied>"
+  in
+  let failed =
+    match Config.failed c with
+    | [] -> "none"
+    | l -> String.concat "," (List.map string_of_int l)
+  in
+  Printf.sprintf
+    "Driver.%s: operation by client %d did not terminate: outcome %s, pending \
+     op %s, scheduler seed %s, crashed servers [%s], client frozen %b, at \
+     simulated time %d"
+    fn client
+    (Format.asprintf "%a" pp_outcome outcome)
+    pending seed_s failed
+    (Config.is_frozen c (Client client))
+    (Config.time c)
 
 (** Convenience: a complete write of [value] by [client], expected to
-    terminate.  @raise Failure when the operation does not respond. *)
-let write_exn ?observer ?max_steps algo c ~client ~value ~rng =
-  match run_op ?observer ?max_steps algo c ~client ~op:(Write value) ~rng with
-  | Some Write_ack, c -> c
-  | Some (Read_ack _), _ ->
+    terminate.  @raise Failure when the operation does not respond;
+    the message carries the outcome ([Starved] vs [Step_limit]), the
+    pending-op state, and — when [seed] is given — the scheduler seed,
+    so the failure is replayable from the message alone. *)
+let write_exn ?observer ?max_steps ?seed algo c ~client ~value ~rng =
+  match
+    run_op_outcome ?observer ?max_steps algo c ~client ~op:(Write value) ~rng
+  with
+  | Some Write_ack, _, c -> c
+  | Some (Read_ack _), _, _ ->
       failwith "Driver.write_exn: protocol answered a write with a read ack"
-  | None, _ -> failwith "Driver.write_exn: write did not terminate"
+  | None, outcome, c ->
+      failwith (nontermination_message ~fn:"write_exn" ~client ~outcome ?seed c)
 
 (** Convenience: a complete read by [client].
-    @raise Failure when the operation does not respond. *)
-let read_exn ?observer ?max_steps algo c ~client ~rng =
-  match run_op ?observer ?max_steps algo c ~client ~op:Read ~rng with
-  | Some (Read_ack v), c -> (v, c)
-  | Some Write_ack, _ ->
+    @raise Failure when the operation does not respond (message as in
+    {!write_exn}). *)
+let read_exn ?observer ?max_steps ?seed algo c ~client ~rng =
+  match run_op_outcome ?observer ?max_steps algo c ~client ~op:Read ~rng with
+  | Some (Read_ack v), _, c -> (v, c)
+  | Some Write_ack, _, _ ->
       failwith "Driver.read_exn: protocol answered a read with a write ack"
-  | None, _ -> failwith "Driver.read_exn: read did not terminate"
+  | None, outcome, c ->
+      failwith (nontermination_message ~fn:"read_exn" ~client ~outcome ?seed c)
 
 (** Freeze a client and every channel touching it: the paper's
     "messages from and to the writer are delayed indefinitely". *)

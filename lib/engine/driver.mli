@@ -18,6 +18,13 @@ type outcome =
   | Quiescent  (** no action enabled *)
   | Stopped  (** the [stop] predicate held *)
   | Step_limit  (** gave up after [max_steps] *)
+  | Starved
+      (** reported by the operation-level helpers ({!run_op_outcome},
+          {!run_concurrent}): the enabled-action set reached the empty
+          fixpoint with an operation still pending, so no continuation
+          of the run completes it.  Fault schedules that can re-enable
+          deliveries (thaw epochs) are handled by [Faults.Injector],
+          which only reports [Starved] when no such event remains. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
@@ -100,6 +107,20 @@ val drain_gossip :
 (** Deliver all server-to-server messages to the fixpoint: the gossip
     closure taken at the R points of Theorem 5.1 (Definition 5.3). *)
 
+val run_op_outcome :
+  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  client:int ->
+  op:op ->
+  rng:rng ->
+  response option * outcome * ('ss, 'cs, 'm) Config.t
+(** Invoke [op] at [client] and run fairly until it responds,
+    additionally reporting how the run ended: [Stopped] (responded),
+    [Starved] (quiescent with the op pending — nothing can complete
+    it), or [Step_limit]. *)
+
 val run_op :
   ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
   ?max_steps:int ->
@@ -109,7 +130,7 @@ val run_op :
   op:op ->
   rng:rng ->
   response option * ('ss, 'cs, 'm) Config.t
-(** Invoke [op] at [client] and run fairly until it responds.  [None]
+(** {!run_op_outcome} without the outcome.  [None]
     when it did not terminate within [max_steps] (e.g. all quorums
     frozen). *)
 
@@ -122,28 +143,36 @@ val run_concurrent :
   rng:rng ->
   ('ss, 'cs, 'm) Config.t * outcome
 (** Invoke several operations (one per distinct client) and run until
-    all respond. *)
+    all respond; [Starved] when the run went quiescent with some
+    operation still pending. *)
 
 val write_exn :
   ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
   ?max_steps:int ->
+  ?seed:int ->
   ('ss, 'cs, 'm) algo ->
   ('ss, 'cs, 'm) Config.t ->
   client:int ->
   value:string ->
   rng:rng ->
   ('ss, 'cs, 'm) Config.t
-(** A complete write.  @raise Failure when it does not terminate. *)
+(** A complete write.  @raise Failure when it does not terminate; the
+    message carries the client, its pending-op state, the structured
+    outcome ([starved] vs [step-limit]), the crash/freeze pattern and
+    — when [seed] (the seed [rng] was built from) is supplied — the
+    scheduler seed, so failures replay from the message alone. *)
 
 val read_exn :
   ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
   ?max_steps:int ->
+  ?seed:int ->
   ('ss, 'cs, 'm) algo ->
   ('ss, 'cs, 'm) Config.t ->
   client:int ->
   rng:rng ->
   string * ('ss, 'cs, 'm) Config.t
-(** A complete read.  @raise Failure when it does not terminate. *)
+(** A complete read.  @raise Failure when it does not terminate
+    (diagnostics as in {!write_exn}). *)
 
 val freeze_client : ('ss, 'cs, 'm) Config.t -> client:int -> ('ss, 'cs, 'm) Config.t
 (** Freeze a client and every channel touching it. *)

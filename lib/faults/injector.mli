@@ -1,0 +1,72 @@
+(** The fault-injecting scheduler: runs a workload under a {!Plan}.
+
+    The injector interposes on the engine's scheduler loop.  Each
+    {e injector step} it
+
+    + applies the plan's faults due at the current step (crashes,
+      freeze/thaw epoch boundaries, policy switches);
+    + lets idle scripted clients invoke their next operation
+      (seeded coin flip — operation overlap is part of the explored
+      space, and deterministic in the seed);
+    + delivers one enabled message chosen by the current
+      {!Plan.policy}.
+
+    When no delivery is enabled the injector first {e fast-forwards}
+    to the plan's next thaw (frozen epochs are the only events that can
+    re-enable a delivery), then force-invokes an idle scripted client
+    (an invocation can enable deliveries), and only when neither
+    applies declares the run over: [Completed] if every scripted
+    operation responded, [Starved] otherwise.
+
+    [Starved] is sound and complete for the protocols in this
+    repository: they are finite-message (no retry loops), so an empty
+    enabled set with no future thaw is a fixpoint — no continuation of
+    the execution delivers anything, hence no pending operation can
+    ever complete.  The verdict carries the {!Oracle.reason}
+    distinguishing expected starvation (a quorum crashed or partitioned
+    away, a client frozen off) from a protocol liveness bug
+    ([No_progress]).
+
+    Everything is deterministic in [(plan, scripts, seed)]: replaying
+    with equal inputs reproduces the execution byte-for-byte, history
+    included. *)
+
+type outcome =
+  | Completed  (** every scripted operation responded *)
+  | Starved of {
+      step : int;  (** injector step at which the fixpoint was reached *)
+      pending_clients : int list;  (** clients with unresponded operations *)
+      reason : Oracle.reason;
+    }
+  | Step_limit  (** gave up after [max_steps] injector steps *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type ('ss, 'cs, 'm) result = {
+  config : ('ss, 'cs, 'm) Engine.Config.t;  (** final configuration *)
+  outcome : outcome;
+  steps : int;  (** injector steps taken *)
+  deliveries : int;  (** messages actually delivered *)
+  vd_receipts : (int * int) list;
+      (** [(server, step)] for every value-dependent message delivered
+          to a live server, in delivery order — the observations
+          {!Plan.targeted} turns into an adversary. *)
+}
+
+val run :
+  ?observer:(('ss, 'cs, 'm) Engine.Config.t -> unit) ->
+  ?max_steps:int ->
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  ('ss, 'cs, 'm) Engine.Config.t ->
+  plan:Plan.t ->
+  scripts:Workload.script list ->
+  required:int ->
+  seed:int ->
+  ('ss, 'cs, 'm) result
+(** Run [scripts] against the configuration under [plan].  [required]
+    is the quorum size used by the starvation oracle
+    ({!Oracle.required_quorum}).  [observer] sees every post-delivery
+    configuration (storage instrumentation hooks in here).
+    @raise Invalid_argument on duplicate client scripts, an
+    out-of-range script client, or a plan touching an out-of-range
+    server or client. *)

@@ -1,0 +1,49 @@
+(* Quorum-liveness oracle: explains starvation.  See oracle.mli. *)
+
+open Engine.Types
+
+let required_quorum ~algo_name (params : params) =
+  if String.equal algo_name "cas" || String.equal algo_name "awe-two-phase"
+  then Algorithms.Common.cas_quorum params
+  else Algorithms.Common.majority_quorum params
+
+type reason =
+  | Quorum_lost of { live : int; required : int }
+  | Client_partitioned of { client : int }
+  | No_progress
+
+let pp_reason fmt = function
+  | Quorum_lost { live; required } ->
+      Format.fprintf fmt "quorum-lost(live %d < required %d)" live required
+  | Client_partitioned { client } ->
+      Format.fprintf fmt "client-partitioned(c%d)" client
+  | No_progress -> Format.fprintf fmt "no-progress"
+
+let reason_to_string r = Format.asprintf "%a" pp_reason r
+
+let usable_servers c =
+  let params = Engine.Config.params c in
+  let live = ref 0 in
+  for i = 0 to params.n - 1 do
+    if
+      (not (Engine.Config.is_failed c i))
+      && not (Engine.Config.is_frozen c (Server i))
+    then incr live
+  done;
+  !live
+
+let classify c ~required =
+  let live = usable_servers c in
+  if live < required then Quorum_lost { live; required }
+  else begin
+    let partitioned = ref None in
+    for client = Engine.Config.num_clients c - 1 downto 0 do
+      if
+        Option.is_some (Engine.Config.pending_op c client)
+        && Engine.Config.is_frozen c (Client client)
+      then partitioned := Some client
+    done;
+    match !partitioned with
+    | Some client -> Client_partitioned { client }
+    | None -> No_progress
+  end

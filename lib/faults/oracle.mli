@@ -1,0 +1,43 @@
+(** The quorum-liveness oracle behind the {!Injector}'s [Starved]
+    verdict.
+
+    Each emulation algorithm needs a fixed number of {e usable} servers
+    for every operation to terminate: the replication protocols wait
+    for [n - f] acks ([Algorithms.Common.majority_quorum]), the
+    erasure-coded ones for [ceil (n + k) / 2]
+    ([Algorithms.Common.cas_quorum]).  When the injector reaches the
+    no-enabled-progress fixpoint with operations still pending, this
+    module explains {e why}: a quorum is gone, the client itself is
+    partitioned away, or neither — the protocol wedged on its own,
+    which the hammer reports as a liveness bug rather than an expected
+    starvation. *)
+
+val required_quorum :
+  algo_name:string -> Engine.Types.params -> int
+(** Servers an operation must hear from under the named algorithm:
+    [cas_quorum] for the erasure-coded protocols (["cas"],
+    ["awe-two-phase"]), [majority_quorum] ([n - f]) for the replication
+    protocols. *)
+
+(** Why a starved execution cannot make progress. *)
+type reason =
+  | Quorum_lost of { live : int; required : int }
+      (** fewer than [required] servers are alive and unfrozen *)
+  | Client_partitioned of { client : int }
+      (** a quorum survives, but this pending client is frozen away *)
+  | No_progress
+      (** a quorum survives and no pending client is frozen, yet
+          nothing is enabled — a protocol liveness bug *)
+
+val pp_reason : Format.formatter -> reason -> unit
+val reason_to_string : reason -> string
+
+val classify :
+  ('ss, 'cs, 'm) Engine.Config.t -> required:int -> reason
+(** Explain a quiescent-with-pending-operations configuration.
+    Precondition (not checked): the configuration has reached the
+    no-enabled-progress fixpoint with at least one pending operation
+    and no future thaw. *)
+
+val usable_servers : ('ss, 'cs, 'm) Engine.Config.t -> int
+(** Servers neither crashed nor frozen. *)

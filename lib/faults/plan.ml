@@ -1,0 +1,359 @@
+(* Deterministic, serializable fault plans.  See plan.mli. *)
+
+open Engine.Types
+
+type policy =
+  | Uniform
+  | First_key
+  | Last_key
+  | Starve of endpoint
+
+type fault =
+  | Crash of { step : int; server : int }
+  | Freeze of { step : int; until : int option; endpoint : endpoint }
+  | Set_policy of { step : int; policy : policy }
+
+type t = { faults : fault list (* sorted by step, stable *) }
+
+let fault_step = function
+  | Crash { step; _ } | Freeze { step; _ } | Set_policy { step; _ } -> step
+
+let make faults =
+  List.iter
+    (fun fl ->
+      if fault_step fl < 0 then
+        invalid_arg "Plan.make: negative fault step";
+      match fl with
+      | Freeze { step; until = Some u; _ } when u <= step ->
+          invalid_arg "Plan.make: freeze window must satisfy until > step"
+      | Freeze _ | Crash _ | Set_policy _ -> ())
+    faults;
+  (* reject overlapping freeze epochs of one endpoint: their thaws
+     would interleave ambiguously (a set-based freeze cannot nest) *)
+  let freezes =
+    List.filter_map
+      (function
+        | Freeze { step; until; endpoint } -> Some (endpoint, step, until)
+        | Crash _ | Set_policy _ -> None)
+      faults
+  in
+  List.iteri
+    (fun i (e1, s1, u1) ->
+      List.iteri
+        (fun j (e2, s2, u2) ->
+          if i < j && equal_endpoint e1 e2 then
+            let overlaps =
+              match (u1, u2) with
+              | None, None -> true
+              | None, Some u -> u > s1 || s2 >= s1
+              | Some u, None -> u > s2 || s1 >= s2
+              | Some a, Some b -> s1 < b && s2 < a
+            in
+            if overlaps then
+              invalid_arg
+                "Plan.make: overlapping freeze epochs on one endpoint")
+        freezes)
+    freezes;
+  { faults = List.stable_sort (fun a b -> Int.compare (fault_step a) (fault_step b)) faults }
+
+let empty = { faults = [] }
+let is_empty p = match p.faults with [] -> true | _ :: _ -> false
+let faults p = p.faults
+let fault_count p = List.length p.faults
+
+(* ----- serialization ----- *)
+
+let endpoint_to_string = function
+  | Server i -> Printf.sprintf "s%d" i
+  | Client i -> Printf.sprintf "c%d" i
+
+let endpoint_of_string s =
+  let bad () =
+    invalid_arg (Printf.sprintf "Plan.of_string: bad endpoint %S" s)
+  in
+  if String.length s < 2 then bad ();
+  let idx =
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some i when i >= 0 -> i
+    | Some _ | None -> bad ()
+  in
+  match s.[0] with 's' -> Server idx | 'c' -> Client idx | _ -> bad ()
+
+let policy_to_string = function
+  | Uniform -> "uniform"
+  | First_key -> "first"
+  | Last_key -> "last"
+  | Starve e -> "starve:" ^ endpoint_to_string e
+
+let policy_of_string s =
+  match s with
+  | "uniform" -> Uniform
+  | "first" -> First_key
+  | "last" -> Last_key
+  | _ ->
+      if String.length s > 7 && String.equal (String.sub s 0 7) "starve:" then
+        Starve (endpoint_of_string (String.sub s 7 (String.length s - 7)))
+      else invalid_arg (Printf.sprintf "Plan.of_string: bad policy %S" s)
+
+let fault_to_string = function
+  | Crash { step; server } -> Printf.sprintf "crash@%d=s%d" step server
+  | Freeze { step; until; endpoint } ->
+      Printf.sprintf "freeze@%d..%s=%s" step
+        (match until with Some u -> string_of_int u | None -> "")
+        (endpoint_to_string endpoint)
+  | Set_policy { step; policy } ->
+      Printf.sprintf "policy@%d=%s" step (policy_to_string policy)
+
+let to_string p = String.concat ";" (List.map fault_to_string p.faults)
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+let split_once ~on s =
+  match String.index_opt s on with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let int_field ~what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Plan.of_string: bad %s %S" what s)
+
+let fault_of_string item =
+  let bad () = invalid_arg (Printf.sprintf "Plan.of_string: bad fault %S" item) in
+  match split_once ~on:'@' item with
+  | None -> bad ()
+  | Some (kind, rest) -> (
+      match (kind, split_once ~on:'=' rest) with
+      | "crash", Some (step, ep) -> (
+          match endpoint_of_string ep with
+          | Server server -> Crash { step = int_field ~what:"step" step; server }
+          | Client _ -> bad ())
+      | "freeze", Some (window, ep) -> (
+          let endpoint = endpoint_of_string ep in
+          match split_once ~on:'.' window with
+          | Some (a, rest2) when String.length rest2 > 0 && Char.equal rest2.[0] '.'
+            ->
+              let b = String.sub rest2 1 (String.length rest2 - 1) in
+              let until =
+                if String.length b = 0 then None
+                else Some (int_field ~what:"thaw step" b)
+              in
+              Freeze { step = int_field ~what:"step" a; until; endpoint }
+          | Some _ | None -> bad ())
+      | "policy", Some (step, pol) ->
+          Set_policy
+            { step = int_field ~what:"step" step; policy = policy_of_string pol }
+      | _, _ -> bad ())
+
+let of_string s =
+  if String.length s = 0 then empty
+  else make (List.map fault_of_string (String.split_on_char ';' s))
+
+let to_json p =
+  let item = function
+    | Crash { step; server } ->
+        Printf.sprintf {|{"kind": "crash", "step": %d, "server": %d}|} step
+          server
+    | Freeze { step; until; endpoint } ->
+        Printf.sprintf {|{"kind": "freeze", "step": %d, "until": %s, "endpoint": "%s"}|}
+          step
+          (match until with Some u -> string_of_int u | None -> "null")
+          (endpoint_to_string endpoint)
+    | Set_policy { step; policy } ->
+        Printf.sprintf {|{"kind": "policy", "step": %d, "policy": "%s"}|} step
+          (policy_to_string policy)
+  in
+  "[" ^ String.concat ", " (List.map item p.faults) ^ "]"
+
+(* ----- static analysis ----- *)
+
+module Int_set = Set.Make (Int)
+
+let crashed_servers p =
+  Int_set.elements
+    (List.fold_left
+       (fun acc -> function
+         | Crash { server; _ } -> Int_set.add server acc
+         | Freeze _ | Set_policy _ -> acc)
+       Int_set.empty p.faults)
+
+let permanently_frozen p =
+  List.filter_map
+    (function
+      | Freeze { until = None; endpoint; _ } -> Some endpoint
+      | Freeze { until = Some _; _ } | Crash _ | Set_policy _ -> None)
+    p.faults
+
+let dead_servers p =
+  let frozen =
+    List.fold_left
+      (fun acc -> function Server i -> Int_set.add i acc | Client _ -> acc)
+      Int_set.empty (permanently_frozen p)
+  in
+  Int_set.elements
+    (List.fold_left (fun acc i -> Int_set.add i acc) frozen (crashed_servers p))
+
+let has_permanent_client_freeze p =
+  List.exists
+    (function Client _ -> true | Server _ -> false)
+    (permanently_frozen p)
+
+type expectation = Must_complete | Must_starve
+
+let expectation p ~n ~required =
+  let dead = dead_servers p in
+  let dead_count = List.length dead in
+  let quorum_killed = n - dead_count < required in
+  let at_step0 step = step = 0 in
+  if (not quorum_killed) && not (has_permanent_client_freeze p) then
+    Some Must_complete
+  else
+    (* quorum killed (or a client cut off): guaranteed starvation only
+       when the fatal pattern is installed before any delivery *)
+    let fatal_from_start =
+      (quorum_killed
+      &&
+      let dead0 =
+        List.fold_left
+          (fun acc -> function
+            | Crash { step; server } when at_step0 step -> Int_set.add server acc
+            | Freeze { step; until = None; endpoint = Server i }
+              when at_step0 step ->
+                Int_set.add i acc
+            | Crash _ | Freeze _ | Set_policy _ -> acc)
+          Int_set.empty p.faults
+      in
+      n - Int_set.cardinal dead0 < required)
+      || List.exists
+           (function
+             | Freeze { step; until = None; endpoint = Client _ } ->
+                 at_step0 step
+             | Freeze _ | Crash _ | Set_policy _ -> false)
+           p.faults
+    in
+    if fatal_from_start then Some Must_starve else None
+
+(* ----- generators ----- *)
+
+let shuffled_servers ~n rng =
+  let all = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = all.(i) in
+    all.(i) <- all.(j);
+    all.(j) <- t
+  done;
+  all
+
+let random ~n ~f ~clients ~horizon ~seed ?(freezes = false) ?(policies = false)
+    () =
+  if horizon < 2 then invalid_arg "Plan.random: horizon must be >= 2";
+  let rng = Random.State.make [| seed; 0xfa017 |] in
+  let order = shuffled_servers ~n rng in
+  let n_crashes = Random.State.int rng (f + 1) in
+  let crashes =
+    List.init n_crashes (fun i ->
+        Crash { step = Random.State.int rng horizon; server = order.(i) })
+  in
+  let freeze_faults =
+    if not freezes then []
+    else begin
+      let n_freezes = Random.State.int rng 3 in
+      let used = ref [] in
+      List.concat
+        (List.init n_freezes (fun _ ->
+             let endpoint =
+               if clients > 0 && Random.State.int rng 4 = 0 then
+                 Client (Random.State.int rng clients)
+               else Server (Random.State.int rng n)
+             in
+             if List.exists (equal_endpoint endpoint) !used then []
+             else begin
+               used := endpoint :: !used;
+               let step = Random.State.int rng (horizon - 1) in
+               let len = 1 + Random.State.int rng horizon in
+               [ Freeze { step; until = Some (step + len); endpoint } ]
+             end))
+    end
+  in
+  let policy_faults =
+    if not policies then []
+    else begin
+      let pick () =
+        match Random.State.int rng 3 with
+        | 0 -> First_key
+        | 1 -> Last_key
+        | _ -> Starve (Server (Random.State.int rng n))
+      in
+      let initial = Set_policy { step = 0; policy = pick () } in
+      if Random.State.bool rng then
+        [ initial; Set_policy { step = horizon / 2; policy = Uniform } ]
+      else [ initial ]
+    end
+  in
+  make (crashes @ freeze_faults @ policy_faults)
+
+let exhaustive_crashes ~n ~max_size ~step =
+  if n > 20 then invalid_arg "Plan.exhaustive_crashes: n too large (> 20)";
+  let plans = ref [] in
+  for mask = (1 lsl n) - 1 downto 0 do
+    let members = ref [] in
+    let size = ref 0 in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then begin
+        incr size;
+        members := i :: !members
+      end
+    done;
+    if !size <= max_size then
+      plans :=
+        make (List.map (fun server -> Crash { step; server }) !members)
+        :: !plans
+  done;
+  !plans
+
+let targeted ~receipts ~count =
+  (* latest receipt per server *)
+  let last = Hashtbl.create 8 in
+  List.iter
+    (fun (server, step) ->
+      match Hashtbl.find_opt last server with
+      | Some s when s >= step -> ()
+      | Some _ | None -> Hashtbl.replace last server step)
+    receipts;
+  let by_recency =
+    Hashtbl.fold (fun server step acc -> (server, step) :: acc) last []
+    |> List.sort (fun (s1, t1) (s2, t2) ->
+           match Int.compare t2 t1 with 0 -> Int.compare s1 s2 | c -> c)
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | (server, step) :: rest -> Crash { step; server } :: take (k - 1) rest
+  in
+  make (take count by_recency)
+
+let over_crash ~n ~required ~seed =
+  let kill = n - required + 1 in
+  if kill < 1 || kill > n then
+    invalid_arg "Plan.over_crash: required quorum out of range";
+  let rng = Random.State.make [| seed; 0x0c4a5 |] in
+  let order = shuffled_servers ~n rng in
+  make (List.init kill (fun i -> Crash { step = 0; server = order.(i) }))
+
+let partition ~n ~required ~until ~seed =
+  let cut = n - required + 1 in
+  if cut < 1 || cut > n then
+    invalid_arg "Plan.partition: required quorum out of range";
+  let rng = Random.State.make [| seed; 0x9a271 |] in
+  let order = shuffled_servers ~n rng in
+  make
+    (List.init cut (fun i ->
+         Freeze { step = 0; until; endpoint = Server order.(i) }))
+
+let rotating_starve ~n ~period ~rounds =
+  if period < 1 then invalid_arg "Plan.rotating_starve: period must be >= 1";
+  make
+    (List.init rounds (fun r ->
+         Set_policy
+           { step = r * period; policy = Starve (Server (r mod n)) }))

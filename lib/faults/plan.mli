@@ -1,0 +1,155 @@
+(** Deterministic, serializable fault plans.
+
+    A plan is a finite schedule of adversarial events against one
+    execution, addressed in {e injector steps} (the step counter of
+    [Faults.Injector], which counts scheduler visits, not only
+    deliveries):
+
+    - {b crashes} — server [i] stops at step [t] (permanent, as in the
+      paper's crash-failure model);
+    - {b freeze epochs} — an endpoint's channels are suspended for a
+      window [\[step, until)], or forever when [until = None]: the
+      paper's "messages from and to X are delayed indefinitely",
+      bounded or not.  These model partitions;
+    - {b policy switches} — the scheduler changes its pick rule at a
+      step (uniform, deterministic first/last channel-key, or
+      de-prioritizing one endpoint).
+
+    Plans serialize to a compact single-line string ({!to_string} /
+    {!of_string} round-trip exactly) so a failing execution replays
+    from [(plan, scripts seed, scheduler seed)] printed in a report.
+
+    The generators cover the execution families the hammer campaign
+    ranges over: seeded random plans, the exhaustive ≤ f crash-subset
+    matrix at small [n], targeted adversaries built from observed
+    value-dependent message receipts, quorum-killing over-crash and
+    partition plans, and rotating channel-starvation policies. *)
+
+(** Scheduler pick policies.  All are fair in the sense that an
+    enabled action is eventually taken while the policy can still make
+    progress: [Starve e] only {e de-prioritizes} actions touching [e],
+    falling back to them when nothing else is enabled. *)
+type policy =
+  | Uniform  (** uniform random among enabled actions (the default) *)
+  | First_key  (** always the first enabled channel in key order *)
+  | Last_key  (** always the last enabled channel in key order *)
+  | Starve of Engine.Types.endpoint
+      (** avoid delivering from/to the endpoint while anything else is
+          enabled *)
+
+type fault =
+  | Crash of { step : int; server : int }
+  | Freeze of {
+      step : int;
+      until : int option;  (** exclusive thaw step; [None] = forever *)
+      endpoint : Engine.Types.endpoint;
+    }
+  | Set_policy of { step : int; policy : policy }
+
+type t
+
+val make : fault list -> t
+(** Normalizes (stable-sorts by step).  @raise Invalid_argument on a
+    negative step, a freeze window with [until <= step], or two freeze
+    epochs of the same endpoint that overlap (their thaws would
+    interleave ambiguously). *)
+
+val empty : t
+val is_empty : t -> bool
+val faults : t -> fault list
+(** Sorted by step, stable. *)
+
+val fault_count : t -> int
+
+(** {1 Serialization} *)
+
+val to_string : t -> string
+(** Compact single line, e.g.
+    ["crash@12=s3;freeze@5..40=s1;freeze@9..=c0;policy@0=starve:s2"];
+    the empty plan is [""]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}.  @raise Invalid_argument on a malformed
+    plan string. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** The plan as a JSON array of event objects. *)
+
+(** {1 Static analysis} *)
+
+val crashed_servers : t -> int list
+(** Distinct servers the plan crashes, ascending. *)
+
+val permanently_frozen : t -> Engine.Types.endpoint list
+(** Endpoints frozen with [until = None]. *)
+
+val dead_servers : t -> int list
+(** Servers that are eventually crashed or permanently frozen —
+    distinct, ascending.  After the last thaw these can never again
+    help an operation. *)
+
+val has_permanent_client_freeze : t -> bool
+
+(** What a plan statically guarantees about liveness, given the
+    quorum size [required] an operation needs among [n] servers. *)
+type expectation =
+  | Must_complete
+      (** enough servers stay usable forever and no client is
+          partitioned away: every operation must terminate *)
+  | Must_starve
+      (** a quorum is dead from step 0 onwards (or a client is frozen
+          away from step 0): no operation can ever complete *)
+
+val expectation : t -> n:int -> required:int -> expectation option
+(** [None] when the plan's effect is schedule-dependent (e.g. a
+    quorum-killing crash set scheduled after step 0 may land before or
+    after the operations complete). *)
+
+(** {1 Generators} *)
+
+val random :
+  n:int ->
+  f:int ->
+  clients:int ->
+  horizon:int ->
+  seed:int ->
+  ?freezes:bool ->
+  ?policies:bool ->
+  unit ->
+  t
+(** Seeded random plan: up to [f] crashes at steps in [\[0, horizon)];
+    when [freezes], up to two bounded freeze epochs on distinct
+    endpoints (servers, occasionally clients); when [policies], a
+    random initial policy and possibly a mid-run switch back to
+    uniform.  Never produces a [Must_starve] plan. *)
+
+val exhaustive_crashes : n:int -> max_size:int -> step:int -> t list
+(** One plan per subset of servers of size [<= max_size] (the empty
+    subset included), all crashing at [step] — the ≤ f crash-subset
+    matrix.  @raise Invalid_argument when [n > 20]. *)
+
+val targeted :
+  receipts:(int * int) list -> count:int -> t
+(** The value-dependent-message adversary: [receipts] are [(server,
+    step)] observations of servers receiving value-dependent messages
+    (any order; see [Faults.Injector]'s [vd_receipts]).  Crashes the
+    [count] servers whose {e latest} receipt is most recent, each at
+    its own receipt step — the servers holding the freshest
+    value-dependent state, killed right after they acquire it. *)
+
+val over_crash : n:int -> required:int -> seed:int -> t
+(** Crash [n - required + 1] (seeded-random distinct) servers at step
+    0: one more than any quorum survives, so every operation starves
+    ([expectation = Some Must_starve]). *)
+
+val partition : n:int -> required:int -> until:int option -> seed:int -> t
+(** Freeze [n - required + 1] server endpoints from step 0: a quorum
+    partitioned away.  Permanent ([until = None]) partitions starve
+    every operation; bounded ones must heal and complete. *)
+
+val rotating_starve : n:int -> period:int -> rounds:int -> t
+(** Policy switches at [0, period, 2·period, ...] starving server
+    [r mod n] in round [r]: one channel per quorum is de-prioritized
+    at any time, rotating so no delivery is withheld forever. *)

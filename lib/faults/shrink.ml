@@ -1,0 +1,81 @@
+(* Greedy delta-debugging of (plan, scripts) counterexamples. *)
+
+type stats = { evals : int; gave_up : bool }
+
+let drop_nth xs i = List.filteri (fun j _ -> not (Int.equal j i)) xs
+
+(* candidate scripts with op [i] of client [client] removed; empty
+   scripts are kept (a client with no ops is harmless and keeps client
+   numbering stable) *)
+let drop_op scripts ~client ~i =
+  List.map
+    (fun (s : Workload.script) ->
+      if Int.equal s.client client then { s with ops = drop_nth s.ops i }
+      else s)
+    scripts
+
+let minimize ~check ?(max_evals = 200) plan scripts =
+  let evals = ref 0 in
+  let gave_up = ref false in
+  let try_check p ss =
+    if !evals >= max_evals then begin
+      gave_up := true;
+      false
+    end
+    else begin
+      incr evals;
+      check p ss
+    end
+  in
+  (* one pass: attempt every single-fault removal, keeping successes.
+     [len] tracks the list length so the loop touches no O(n) list
+     primitive per iteration. *)
+  let shrink_plan plan scripts =
+    let rec go faults len i changed =
+      if i >= len then (faults, changed)
+      else
+        let candidate = drop_nth faults i in
+        if try_check (Plan.make candidate) scripts then
+          go candidate (len - 1) i true
+        else go faults len (i + 1) changed
+    in
+    let faults = Plan.faults plan in
+    let faults, changed = go faults (List.length faults) 0 false in
+    (Plan.make faults, changed)
+  in
+  let ops_len scripts ~client =
+    match
+      List.find_opt
+        (fun (s : Workload.script) -> Int.equal s.client client)
+        scripts
+    with
+    | Some s -> List.length s.Workload.ops
+    | None -> 0
+  in
+  let shrink_scripts plan scripts =
+    let rec per_client scripts changed = function
+      | [] -> (scripts, changed)
+      | client :: rest ->
+          let rec go scripts len i changed =
+            if i >= len then (scripts, changed)
+            else
+              let candidate = drop_op scripts ~client ~i in
+              if try_check plan candidate then go candidate (len - 1) i true
+              else go scripts len (i + 1) changed
+          in
+          let scripts, changed =
+            go scripts (ops_len scripts ~client) 0 changed
+          in
+          per_client scripts changed rest
+    in
+    per_client scripts false
+      (List.map (fun (s : Workload.script) -> s.client) scripts)
+  in
+  let rec fixpoint plan scripts =
+    let plan, p_changed = shrink_plan plan scripts in
+    let scripts, s_changed = shrink_scripts plan scripts in
+    if (p_changed || s_changed) && not !gave_up then fixpoint plan scripts
+    else (plan, scripts)
+  in
+  let plan, scripts = fixpoint plan scripts in
+  (plan, scripts, { evals = !evals; gave_up = !gave_up })

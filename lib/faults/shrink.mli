@@ -1,0 +1,33 @@
+(** Counterexample shrinking by greedy delta debugging.
+
+    A failing hammer execution is a triple [(plan, scripts, seed)].
+    {!minimize} searches for a smaller [(plan, scripts)] that still
+    fails the same way, by repeatedly attempting to drop one plan fault
+    or one script operation and re-running the oracle on the candidate
+    — the classical ddmin loop restricted to single-element removals,
+    iterated to a fixpoint.  Single-element removal is enough here
+    because the failure oracles are monotone in practice (a plan that
+    exposes a quorum bug still exposes it with an irrelevant freeze
+    removed), and it keeps the eval budget linear per pass.
+
+    The caller's [check] must return [true] when the candidate still
+    exhibits the original failure.  [check] is responsible for
+    preserving the failure {e class}: e.g. when shrinking a
+    missed-starvation counterexample it should re-assert
+    [Plan.expectation] on the candidate before replaying. *)
+
+type stats = {
+  evals : int;  (** number of [check] calls made *)
+  gave_up : bool;  (** true when [max_evals] stopped a pass early *)
+}
+
+val minimize :
+  check:(Plan.t -> Workload.script list -> bool) ->
+  ?max_evals:int ->
+  Plan.t ->
+  Workload.script list ->
+  Plan.t * Workload.script list * stats
+(** Greedy fixpoint of single-fault and single-op removals.  The
+    returned pair still satisfies [check] (the inputs are assumed to;
+    this is not re-verified).  [max_evals] (default 200) bounds total
+    [check] calls. *)

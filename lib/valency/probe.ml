@@ -103,5 +103,7 @@ let returnable_blocked ?(seeds = default_seeds) ?(max_steps = 200_000)
             | [] -> None
           in
           match find events with Some v -> String_set.add v acc | None -> acc)
-      | Engine.Driver.Quiescent | Engine.Driver.Step_limit -> acc)
+      | Engine.Driver.Quiescent | Engine.Driver.Starved | Engine.Driver.Step_limit
+        ->
+          acc)
     String_set.empty seeds

@@ -52,9 +52,39 @@ type script = { client : int; ops : op list }
     whenever the scheduler visits it.  Crashes [failures] servers at
     random points.  Returns the final configuration (history included).
     An observer sees every configuration, including intermediate
-    ones. *)
-let run_scripts ?observer ?(max_steps = 2_000_000) ?(failures = []) algo config
-    scripts ~seed =
+    ones.
+
+    [failures] is validated against the configuration's parameters:
+    duplicate or out-of-range server ids are rejected, and crashing
+    more than [f] servers — which can leave operations unable to ever
+    complete — requires the explicit [~allow_over_f:true] opt-in (the
+    fault injector's structured [Starved] handling lives in
+    [Faults.Injector]; this driver would just burn [max_steps]). *)
+let run_scripts ?observer ?(max_steps = 2_000_000) ?(failures = [])
+    ?(allow_over_f = false) algo config scripts ~seed =
+  let params = Engine.Config.params config in
+  let seen = Array.make (max 1 params.n) false in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= params.n then
+        invalid_arg
+          (Printf.sprintf
+             "Workload.run_scripts: failure server id %d out of range [0, %d)"
+             s params.n);
+      if seen.(s) then
+        invalid_arg
+          (Printf.sprintf "Workload.run_scripts: duplicate failure server id %d"
+             s);
+      seen.(s) <- true)
+    failures;
+  let n_failures = List.length failures in
+  if n_failures > params.f && not allow_over_f then
+    invalid_arg
+      (Printf.sprintf
+         "Workload.run_scripts: %d failures exceed the tolerance f = %d; \
+          operations may never terminate.  Pass ~allow_over_f:true to opt \
+          into an intentional over-crash run"
+         n_failures params.f);
   let rng = Engine.Driver.rng_of_seed seed in
   let queues = Hashtbl.create 8 in
   List.iter
@@ -138,7 +168,8 @@ let concurrent_writes ?observer ?max_steps algo config ~values ~seed =
   let c, outcome = Engine.Driver.run ?observer ?max_steps algo c ~rng ~stop in
   match outcome with
   | Engine.Driver.Stopped -> c
-  | Engine.Driver.Quiescent | Engine.Driver.Step_limit ->
+  | Engine.Driver.Quiescent | Engine.Driver.Starved | Engine.Driver.Step_limit
+    ->
       failwith "Workload.concurrent_writes: writes did not all terminate"
 
 (** Crash schedule: [f] distinct random servers. *)

@@ -23,6 +23,7 @@ val run_scripts :
   ?observer:(('ss, 'cs, 'm) Engine.Config.t -> unit) ->
   ?max_steps:int ->
   ?failures:int list ->
+  ?allow_over_f:bool ->
   ('ss, 'cs, 'm) Engine.Types.algo ->
   ('ss, 'cs, 'm) Engine.Config.t ->
   script list ->
@@ -31,7 +32,12 @@ val run_scripts :
 (** Run all scripts to completion with random overlap; servers in
     [failures] crash at random points.  The final configuration's
     history is the workload's concurrent history.
-    @raise Invalid_argument on duplicate client scripts. *)
+    @raise Invalid_argument on duplicate client scripts, on duplicate
+    or out-of-range entries in [failures], and when
+    [List.length failures > f] without [~allow_over_f:true]
+    (intentional over-crash runs must opt in; prefer
+    [Faults.Injector], whose starvation oracle turns the resulting
+    non-termination into a structured verdict). *)
 
 val concurrent_writes :
   ?observer:(('ss, 'cs, 'm) Engine.Config.t -> unit) ->

@@ -146,6 +146,43 @@ let test_response_recorded () =
   | h ->
       Alcotest.failf "unexpected history (%d events)" (List.length h)
 
+let test_last_response_for () =
+  let c = Config.make Echo.algo params ~clients:2 in
+  Alcotest.(check bool) "no response yet" true
+    (Config.last_response_for c ~client:0 = None);
+  let rng = Driver.rng_of_seed 3 in
+  let _, c = Driver.run_op Echo.algo c ~client:0 ~op:(Types.Write "x") ~rng in
+  Alcotest.(check bool) "latest response found" true
+    (Config.last_response_for c ~client:0 = Some Types.Write_ack);
+  Alcotest.(check bool) "other client unaffected" true
+    (Config.last_response_for c ~client:1 = None)
+
+let test_exn_diagnostics () =
+  (* crash two of three servers: the ABD write can never hear from a
+     quorum, and the failure message must be replayable on its own *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let params = Types.params ~n:3 ~f:1 ~value_len:1 () in
+  let algo = Algorithms.Abd.algo in
+  let c = Config.make algo params ~clients:1 in
+  let c = Config.fail_server c 0 in
+  let c = Config.fail_server c 1 in
+  let rng = Driver.rng_of_seed 7 in
+  match Driver.write_exn ~seed:7 algo c ~client:0 ~value:"a" ~rng with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      let has label needle =
+        Alcotest.(check bool) label true (contains msg needle)
+      in
+      has "names the client" "client 0";
+      has "structured outcome" "starved";
+      has "pending op" "pending op #";
+      has "replay seed" "seed 7";
+      has "crashed servers" "crashed servers [0,1]"
+
 let test_channel_introspection () =
   let c = Config.make Echo.algo params ~clients:1 in
   let _, c = Config.invoke Echo.algo c ~client:0 (Types.Write "x") in
@@ -366,6 +403,7 @@ let () =
           Alcotest.test_case "failures" `Quick test_failure_blocks_delivery;
           Alcotest.test_case "freeze/thaw" `Quick test_freeze_thaw;
           Alcotest.test_case "responses" `Quick test_response_recorded;
+          Alcotest.test_case "last response lookup" `Quick test_last_response_for;
           Alcotest.test_case "channel introspection" `Quick test_channel_introspection;
           Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
           Alcotest.test_case "gossip enforcement" `Quick test_gossip_enforcement;
@@ -376,6 +414,7 @@ let () =
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "trace" `Quick test_run_trace;
           Alcotest.test_case "filtered drain" `Quick test_drain_filter;
+          Alcotest.test_case "exn diagnostics" `Quick test_exn_diagnostics;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -98,6 +98,41 @@ let test_duplicate_script_rejected () =
            [ { Workload.client = 0; ops = [] }; { Workload.client = 0; ops = [] } ]
            ~seed:1))
 
+let test_failures_validated () =
+  let params = Engine.Types.params ~n:5 ~f:2 ~value_len:1 () in
+  let algo = Algorithms.Abd.algo in
+  let c = Engine.Config.make algo params ~clients:1 in
+  let scripts = [ { Workload.client = 0; ops = [ Engine.Types.Write "a" ] } ] in
+  let expect_invalid what failures =
+    match Workload.run_scripts ~failures algo c scripts ~seed:1 with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "duplicate failure id" [ 1; 1 ];
+  expect_invalid "out of range (high)" [ 5 ];
+  expect_invalid "out of range (negative)" [ -1 ]
+
+let test_over_f_requires_opt_in () =
+  let params = Engine.Types.params ~n:3 ~f:1 ~value_len:1 () in
+  let algo = Algorithms.Abd.algo in
+  let c = Engine.Config.make algo params ~clients:1 in
+  let scripts = [ { Workload.client = 0; ops = [ Engine.Types.Write "a" ] } ] in
+  (* crashing two of three servers exceeds f = 1: rejected by default *)
+  (match Workload.run_scripts ~failures:[ 0; 1 ] algo c scripts ~seed:1 with
+  | _ -> Alcotest.fail "over-f failures accepted without opt-in"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message names the tolerance" true
+        (Str.string_match (Str.regexp ".*f = 1.*") msg 0));
+  (* with the opt-in it runs, bounded by max_steps in case the write
+     can no longer finish *)
+  let c' =
+    Workload.run_scripts ~failures:[ 0; 1 ] ~allow_over_f:true ~max_steps:500
+      algo c scripts ~seed:1
+  in
+  let h = Consistency.History.of_events (Engine.Config.history c') in
+  Alcotest.(check bool) "the write was at least invoked" true
+    (List.length h >= 1)
+
 (* properties *)
 
 let prop_unique_values_distinct =
@@ -132,6 +167,8 @@ let () =
           Alcotest.test_case "concurrent_writes reaches nu" `Quick
             test_concurrent_writes_all_active;
           Alcotest.test_case "duplicate script" `Quick test_duplicate_script_rejected;
+          Alcotest.test_case "failures validated" `Quick test_failures_validated;
+          Alcotest.test_case "over-f opt-in" `Quick test_over_f_requires_opt_in;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
