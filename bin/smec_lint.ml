@@ -5,8 +5,18 @@
    lib/lint: determinism (R1), comparison safety (R2), hot-path
    discipline (R3) and hygiene (R4).  Suppress a finding at its site
    with an [(* lint: allow <code> *)] comment on the same or preceding
-   line.  Exits 1 when any unsuppressed finding remains, so the dune
-   [lint] alias (wired into runtest) gates the tree.
+   line; markers that suppress nothing are flagged as
+   [unused-suppression].
+
+   Exit codes: 0 clean, 1 unsuppressed findings remain, 2 the scan
+   itself failed (unreadable or unparseable file, bad baseline, bad
+   usage) — so the dune [lint] alias (wired into runtest) gates the
+   tree, and callers can tell "the tree is dirty" from "the linter
+   could not run".
+
+   [--baseline FILE] subtracts previously accepted findings (see
+   Lint.Baseline); [--write-baseline FILE] records the current
+   findings and exits 0.
 
    See docs/LINTING.md for the rule catalogue and rationale. *)
 
@@ -25,29 +35,56 @@ let () =
   let json = ref false in
   let root = ref "." in
   let list_rules = ref false in
+  let baseline = ref "" in
+  let write_baseline = ref "" in
   let dirs = ref [] in
   let spec =
     [
       ("--json", Arg.Set json, " emit the report as JSON");
       ("--root", Arg.Set_string root, "DIR repository root (default: .)");
       ("--rules", Arg.Set list_rules, " list rule families and codes, then exit");
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE drop findings recorded in this baseline; only new ones fail" );
+      ( "--write-baseline",
+        Arg.Set_string write_baseline,
+        "FILE record current findings as the accepted baseline and exit 0" );
     ]
   in
   Arg.parse (Arg.align spec)
     (fun d -> dirs := d :: !dirs)
-    "smec_lint [--json] [--root DIR] [dir ...]\n\
+    "smec_lint [--json] [--root DIR] [--baseline FILE] [dir ...]\n\
      Static-analysis gate for the smec tree; lints lib/ bin/ bench/ test/ by \
      default.";
   if !list_rules then print_rules ()
   else begin
     let dirs = match List.rev !dirs with [] -> default_dirs | ds -> ds in
-    let findings =
-      try Lint.scan ~root:!root dirs
+    let { Lint.findings; errors } =
+      try Lint.scan_all ~root:!root dirs
       with Invalid_argument why ->
         prerr_endline ("smec_lint: " ^ why);
         exit 2
     in
+    List.iter (fun why -> prerr_endline ("smec_lint: " ^ why)) errors;
+    if not (String.equal !write_baseline "") then begin
+      Lint.Baseline.write ~path:!write_baseline findings;
+      Printf.printf "smec_lint: wrote %d finding%s to %s\n"
+        (List.length findings)
+        (match findings with [ _ ] -> "" | _ -> "s")
+        !write_baseline;
+      exit (match errors with [] -> 0 | _ -> 2)
+    end;
+    let findings =
+      if String.equal !baseline "" then findings
+      else
+        match Lint.Baseline.load ~path:!baseline with
+        | Ok b -> Lint.Baseline.filter b findings
+        | Error why ->
+            prerr_endline ("smec_lint: " ^ why);
+            exit 2
+    in
     if !json then print_endline (Lint.render_json findings)
     else print_string (Lint.render_text findings);
+    if not (List.is_empty errors) then exit 2;
     exit (match findings with [] -> 0 | _ -> 1)
   end

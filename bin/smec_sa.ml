@@ -1,0 +1,137 @@
+(* smec-sa: the typed-AST deep-analysis gate.
+
+   Where smec-lint parses source text, smec-sa reads the .cmt files
+   the dune build leaves behind, so its passes see resolved names and
+   inferred types: SA1 domain-safety of top-level mutable state, SA2
+   hot-path allocation audit, SA3 interprocedural exception escape,
+   SA4 static protocol-topology certification against the lib/bounds
+   applicability table.  Suppress a finding with an
+   [(* sa: allow <code> *)] comment on the same or preceding line;
+   stale markers are flagged as [unused-suppression].
+
+   Exit codes mirror smec-lint: 0 clean, 1 unsuppressed findings,
+   2 the analysis itself could not run (unreadable .cmt, bad baseline,
+   unknown pass).
+
+   SMEC_SA_CANARY=1 deliberately inverts the gossip_rep entry of the
+   bound-applicability table before certification; the run MUST then
+   fail — check.sh uses this to prove the gate can actually fire.
+
+   See docs/ANALYSIS.md for the pass catalogue and the approximations. *)
+
+let default_dirs = [ "lib"; "bin" ]
+
+let print_rules () =
+  List.iter
+    (fun (pass, code, doc) -> Printf.printf "%-14s %-22s %s\n" pass code doc)
+    (Analysis.rule_docs ())
+
+let () =
+  let json = ref false in
+  let sarif = ref "" in
+  let root = ref "." in
+  let build_dir = ref "" in
+  let list_rules = ref false in
+  let profiles = ref false in
+  let passes = ref [] in
+  let baseline = ref "" in
+  let write_baseline = ref "" in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit the report as JSON");
+      ( "--sarif",
+        Arg.Set_string sarif,
+        "FILE additionally write a SARIF 2.1.0 report to FILE" );
+      ("--root", Arg.Set_string root, "DIR repository root (default: .)");
+      ( "--build-dir",
+        Arg.Set_string build_dir,
+        "DIR where the .cmt files live (default: ROOT/_build/default, or \
+         ROOT itself inside a dune action)" );
+      ("--rules", Arg.Set list_rules, " list passes and codes, then exit");
+      ( "--profiles",
+        Arg.Set profiles,
+        " print the SA4 protocol profiles as JSON, then exit" );
+      ( "--passes",
+        Arg.String
+          (fun s ->
+            passes := !passes @ String.split_on_char ',' (String.trim s)),
+        "P1,P2 run only these passes (default: all)" );
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE drop findings recorded in this baseline; only new ones fail" );
+      ( "--write-baseline",
+        Arg.Set_string write_baseline,
+        "FILE record current findings as the accepted baseline and exit 0" );
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun d -> dirs := d :: !dirs)
+    "smec_sa [--json] [--sarif FILE] [--passes P1,P2] [--baseline FILE] [dir \
+     ...]\n\
+     Typed-AST analysis over the dune build's .cmt files; analyzes lib/ bin/ \
+     by default.  Build first: dune build.";
+  if !list_rules then print_rules ()
+  else begin
+    let dirs = match List.rev !dirs with [] -> default_dirs | ds -> ds in
+    let build_root =
+      Analysis.Cmt_loader.resolve_build_dir ~root:!root
+        (if String.equal !build_dir "" then None else Some !build_dir)
+    in
+    let units, errors = Analysis.Cmt_loader.load_tree ~build_root ~dirs in
+    List.iter (fun why -> prerr_endline ("smec_sa: " ^ why)) errors;
+    if List.is_empty units then begin
+      prerr_endline
+        (Printf.sprintf
+           "smec_sa: no .cmt files under %s for [%s]; run `dune build` first"
+           build_root (String.concat "; " dirs));
+      exit 2
+    end;
+    let ctx = Analysis.Pass.make_ctx ~root:!root units in
+    if !profiles then begin
+      print_endline
+        (Analysis.Sa4_topology.profiles_json
+           (Analysis.Sa4_topology.profiles ctx));
+      exit (match errors with [] -> 0 | _ -> 2)
+    end;
+    let mistag =
+      match Sys.getenv_opt "SMEC_SA_CANARY" with
+      | Some "1" -> Some "gossip_rep"
+      | _ -> None
+    in
+    match Analysis.run ~only:!passes ?mistag ctx with
+    | Error why ->
+        prerr_endline ("smec_sa: " ^ why);
+        exit 2
+    | Ok { findings; unused } ->
+        let findings = findings @ unused in
+        if not (String.equal !write_baseline "") then begin
+          Lint.Baseline.write ~path:!write_baseline findings;
+          Printf.printf "smec_sa: wrote %d finding%s to %s\n"
+            (List.length findings)
+            (match findings with [ _ ] -> "" | _ -> "s")
+            !write_baseline;
+          exit (match errors with [] -> 0 | _ -> 2)
+        end;
+        let findings =
+          if String.equal !baseline "" then findings
+          else
+            match Lint.Baseline.load ~path:!baseline with
+            | Ok b -> Lint.Baseline.filter b findings
+            | Error why ->
+                prerr_endline ("smec_sa: " ^ why);
+                exit 2
+        in
+        if not (String.equal !sarif "") then begin
+          let oc = open_out !sarif in
+          output_string oc
+            (Analysis.Sarif.report ~tool:"smec-sa"
+               ~rules:(Analysis.sarif_rules ()) findings);
+          output_string oc "\n";
+          close_out oc
+        end;
+        if !json then print_endline (Lint.render_json findings)
+        else print_string (Lint.render_text ~label:"smec-sa" findings);
+        if not (List.is_empty errors) then exit 2;
+        exit (match findings with [] -> 0 | _ -> 1)
+  end

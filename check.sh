@@ -21,6 +21,13 @@ done
 dune build
 dune runtest
 
+# smec-sa: typed-AST analysis over the whole tree (baseline-gated — see
+# docs/ANALYSIS.md), and the mis-tagged-applicability canary must fail
+SMEC_SA_CANARY=1 dune exec bin/smec_sa.exe -- --baseline analysis-baseline.json lib bin \
+  && { echo "smec-sa canary NOT caught" >&2; exit 1; } \
+  || true
+dune exec bin/smec_sa.exe -- --baseline analysis-baseline.json lib bin
+
 # kernel == reference byte-identity across the (n, k) x shard grid
 dune exec bench/main.exe -- coding-quick
 

@@ -66,16 +66,22 @@ type client_phase =
 type client_state = { next_rid : int; phase : client_phase }
 
 (* One erasure-code instance per (n, k); cached because every
-   transition function is pure and re-entered constantly. *)
+   transition function is pure and re-entered constantly.  The caches
+   below are plain Hashtbls shared by every domain of the parallel
+   model checker, so all access goes through [cache_mutex]: the
+   critical sections are two cold-path table probes (plus one
+   Erasure.create per (n, k) ever), far off the transition hot path. *)
+let cache_mutex = Mutex.create ()
 let code_cache : (int * int, Erasure.t) Hashtbl.t = Hashtbl.create 8
 
 let code_of (p : params) =
-  match Hashtbl.find_opt code_cache (p.n, p.k) with
-  | Some c -> c
-  | None ->
-      let c = Erasure.create ~n:p.n ~k:p.k in
-      Hashtbl.add code_cache (p.n, p.k) c;
-      c
+  Mutex.protect cache_mutex (fun () ->
+      match Hashtbl.find_opt code_cache (p.n, p.k) with
+      | Some c -> c
+      | None ->
+          let c = Erasure.create ~n:p.n ~k:p.k in
+          Hashtbl.add code_cache (p.n, p.k) c;
+          c)
 
 (* Per-domain coding workspace: read-path decodes reuse the cached
    decode plan of their erasure pattern.  Domain-local because every
@@ -94,12 +100,15 @@ let init_symbols_cache : (int * int * int, bytes array) Hashtbl.t =
 
 let initial_symbols (p : params) =
   let key = (p.n, p.k, p.value_len) in
-  match Hashtbl.find_opt init_symbols_cache key with
-  | Some s -> s
-  | None ->
-      let s = Erasure.encode (code_of p) (initial_value p) in
-      Hashtbl.add init_symbols_cache key s;
-      s
+  (* resolve the code first: [cache_mutex] is not recursive *)
+  let code = code_of p in
+  Mutex.protect cache_mutex (fun () ->
+      match Hashtbl.find_opt init_symbols_cache key with
+      | Some s -> s
+      | None ->
+          let s = Erasure.encode code (initial_value p) in
+          Hashtbl.add init_symbols_cache key s;
+          s)
 
 let highest_fin entries =
   Tag_map.fold

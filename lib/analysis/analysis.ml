@@ -1,0 +1,161 @@
+(* smec-sa: the typed-AST analysis runner.
+
+   Loads the .cmt units once, builds the shared call graph, runs the
+   selected passes and filters their findings through the
+   [(* sa: allow <code> *)] suppression comments — same machinery and
+   same placement rules as smec-lint's (* lint: allow *), different
+   namespace so the two gates never mask each other.  Suppression
+   tokens that match no finding are themselves reported, so stale
+   markers cannot rot in place. *)
+
+module Names = Names
+module Cmt_loader = Cmt_loader
+module Callgraph = Callgraph
+module Pass = Pass
+module Sa1_domain = Sa1_domain
+module Sa2_alloc = Sa2_alloc
+module Sa3_exn = Sa3_exn
+module Sa4_topology = Sa4_topology
+module Sarif = Sarif
+
+let marker = "sa: allow"
+
+let passes : Pass.t list =
+  [
+    (module Sa1_domain);
+    (module Sa2_alloc);
+    (module Sa3_exn);
+    (module Sa4_topology);
+  ]
+
+let pass_names = List.map (fun (module P : Pass.S) -> P.name) passes
+
+let rule_docs () =
+  List.concat_map
+    (fun (module P : Pass.S) ->
+      List.map (fun (code, doc) -> (P.name, code, doc)) P.codes)
+    passes
+
+let sarif_rules () =
+  List.map (fun (p, c, doc) -> (p ^ "/" ^ c, doc)) (rule_docs ())
+
+let select only =
+  if List.is_empty only then Ok passes
+  else
+    let unknown =
+      List.filter
+        (fun o -> not (List.exists (String.equal o) pass_names))
+        only
+    in
+    if not (List.is_empty unknown) then
+      Error
+        (Printf.sprintf "unknown pass(es): %s (have: %s)"
+           (String.concat ", " unknown)
+           (String.concat ", " pass_names))
+    else
+      Ok
+        (List.filter
+           (fun (module P : Pass.S) -> List.exists (String.equal P.name) only)
+           passes)
+
+type outcome = {
+  findings : Lint.Diagnostic.t list;  (* surviving suppression *)
+  unused : Lint.Diagnostic.t list;  (* stale sa: allow markers *)
+}
+
+(* Same-or-preceding-line matching as Lint.Source.suppressor, over the
+   textual allow list of one file. *)
+let suppressor allows ~line ~rule ~code =
+  let on l =
+    List.find_map
+      (fun (al, toks) ->
+        if Int.equal al l then
+          List.find_map
+            (fun t ->
+              if String.equal t code || String.equal t rule
+                 || String.equal t "all"
+              then Some (al, t)
+              else None)
+            toks
+        else None)
+      allows
+  in
+  match on line with Some m -> Some m | None -> on (line - 1)
+
+let run ?(only = []) ?mistag (ctx : Pass.ctx) =
+  Result.map
+    (fun selected ->
+      let raw =
+        List.concat_map
+          (fun (module P : Pass.S) ->
+            if String.equal P.name Sa4_topology.name then
+              Sa4_topology.check_with ?mistag ctx
+            else P.check ctx)
+          selected
+      in
+      (* per-file sa: allow comments, cached; .ml and .mli alike *)
+      let allows_cache : (string, (int * string list) list) Hashtbl.t =
+        Hashtbl.create 32
+      in
+      let allows_for file =
+        match Hashtbl.find_opt allows_cache file with
+        | Some a -> a
+        | None ->
+            let a =
+              match Pass.source_file ctx file with
+              | Some text -> Lint.Source.allows_of_text ~marker text
+              | None -> []
+            in
+            Hashtbl.replace allows_cache file a;
+            a
+      in
+      let used : (string * int * string, unit) Hashtbl.t = Hashtbl.create 16 in
+      let findings =
+        List.filter
+          (fun (d : Lint.Diagnostic.t) ->
+            match
+              suppressor (allows_for d.file) ~line:d.line ~rule:d.rule
+                ~code:d.code
+            with
+            | Some (l, tok) ->
+                Hashtbl.replace used (d.file, l, tok) ();
+                false
+            | None -> true)
+          raw
+      in
+      (* stale markers: scan every analyzed unit's .ml and .mli so a
+         leftover sa: allow in a now-clean file still surfaces *)
+      let unused = ref [] in
+      List.iter
+        (fun (u : Cmt_loader.unit_info) ->
+          List.iter
+            (fun file ->
+              List.iter
+                (fun (l, toks) ->
+                  List.iter
+                    (fun tok ->
+                      if not (Hashtbl.mem used (file, l, tok)) then
+                        unused :=
+                          {
+                            Lint.Diagnostic.file;
+                            line = l;
+                            col = 0;
+                            rule = "smec-sa";
+                            code = "unused-suppression";
+                            message =
+                              Printf.sprintf
+                                "suppression %S matches no smec-sa finding \
+                                 on this or the next line; delete the stale \
+                                 marker (or fix the code name)"
+                                tok;
+                          }
+                          :: !unused)
+                    toks)
+                (allows_for file))
+            [ u.source_path; u.source_path ^ "i" ])
+        ctx.units;
+      {
+        findings = List.sort Lint.Diagnostic.compare findings;
+        unused = List.sort_uniq Lint.Diagnostic.compare !unused;
+      })
+    (select only)

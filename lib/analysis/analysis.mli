@@ -1,0 +1,43 @@
+(** smec-sa: typed-AST deep analysis over the dune build's .cmt files.
+
+    Four passes share one loaded tree and one interprocedural call
+    graph ({!Callgraph}): SA1 domain-safety of top-level mutable state,
+    SA2 hot-path allocation audit, SA3 interprocedural exception
+    escape, SA4 static protocol-topology certification against the
+    lib/bounds applicability table.  The {!run} entry filters findings
+    through [(* sa: allow <code> *)] comments and reports stale
+    markers.  See docs/ANALYSIS.md. *)
+
+module Names = Names
+module Cmt_loader = Cmt_loader
+module Callgraph = Callgraph
+module Pass = Pass
+module Sa1_domain = Sa1_domain
+module Sa2_alloc = Sa2_alloc
+module Sa3_exn = Sa3_exn
+module Sa4_topology = Sa4_topology
+module Sarif = Sarif
+
+val marker : string
+(** ["sa: allow"], the suppression-comment namespace. *)
+
+val passes : Pass.t list
+val pass_names : string list
+
+val rule_docs : unit -> (string * string * string) list
+(** [(pass, code, description)] for every code of every pass. *)
+
+val sarif_rules : unit -> (string * string) list
+(** The same list in SARIF rule-id form [("pass/code", description)]. *)
+
+type outcome = {
+  findings : Lint.Diagnostic.t list;  (** surviving suppression *)
+  unused : Lint.Diagnostic.t list;  (** stale [sa: allow] markers *)
+}
+
+val run :
+  ?only:string list -> ?mistag:string -> Pass.ctx -> (outcome, string) result
+(** Run the selected passes (all when [only] is empty) and filter
+    through suppressions.  [mistag] inverts one bound-applicability
+    entry before SA4's certification — the gate's own canary
+    (SMEC_SA_CANARY).  [Error] reports unknown pass names. *)

@@ -1,0 +1,283 @@
+(* The shared interprocedural skeleton of smec-sa.
+
+   Nodes are top-level value bindings (including ones nested in
+   submodules), identified by normalized dotted name
+   ("Algorithms.Cas.code_of", "Gf256.Scalar.mul").  Per node we record
+   every identifier referenced in its body, split by position:
+
+   - [calls]: identifiers in function position of an application;
+   - [value_refs]: identifiers anywhere else — arguments, record
+     fields, tuple components, aliases.  A node referenced this way
+     {e escapes}: it may be stored and invoked by code we cannot see.
+
+   A node that applies something that is not a resolvable identifier —
+   a record-field projection like [algo.on_invoke], or a function
+   parameter — makes an {e opaque call}: it may invoke any escaping
+   node.  Domain reachability (SA1) is the closure of the
+   [Domain.spawn]/[DLS.new_key] entry points over direct call edges,
+   where crossing an opaque call conservatively pulls in every escaping
+   node.  This is a deliberately crude 0-CFA; docs/ANALYSIS.md spells
+   out the approximations. *)
+
+type node = {
+  id : string;
+  unit_mod : string;
+  source_path : string;
+  loc : Location.t;
+  typ : Types.type_expr;
+  expr : Typedtree.expression;
+  mutable calls : string list;
+  mutable value_refs : string list;
+  mutable has_opaque_call : bool;
+  mutable locks : bool;
+  mutable entry_args : string list;
+      (* identifiers inside Domain.spawn / DLS.new_key arguments *)
+  mutable introduces_domain : bool;
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  order : string list;  (* deterministic iteration order *)
+}
+
+let find t id = Hashtbl.find_opt t.nodes id
+
+let iter_nodes t f =
+  List.iter (fun id -> Option.iter f (Hashtbl.find_opt t.nodes id)) t.order
+
+(* Resolve a normalized reference made from [unit_mod] to a node id:
+   bare names are unit-internal, dotted ones are tried verbatim and
+   with the unit's library namespace prefixed (same-library references
+   usually arrive fully qualified, but locally opened modules can
+   shorten them). *)
+let resolve t ~unit_mod name =
+  let try_id id = if Hashtbl.mem t.nodes id then Some id else None in
+  let candidates =
+    if String.contains name '.' then
+      let parent =
+        match String.rindex_opt unit_mod '.' with
+        | None -> None
+        | Some i -> Some (String.sub unit_mod 0 i)
+      in
+      name :: (unit_mod ^ "." ^ name)
+      :: (match parent with Some p -> [ p ^ "." ^ name ] | None -> [])
+    else [ unit_mod ^ "." ^ name ]
+  in
+  List.find_map try_id candidates
+
+(* ----- building ----- *)
+
+(* Collect (name, type, location) for every variable a top-level
+   binding pattern introduces (plain vars, tuples of vars, aliases). *)
+let rec pattern_vars : type k. k Typedtree.general_pattern -> _ list =
+ fun pat ->
+  match pat.pat_desc with
+  | Typedtree.Tpat_var (_, name) -> [ (name.txt, pat.pat_type, pat.pat_loc) ]
+  | Typedtree.Tpat_alias (p, _, name) ->
+      (name.txt, pat.pat_type, pat.pat_loc) :: pattern_vars p
+  | Typedtree.Tpat_tuple ps -> List.concat_map pattern_vars ps
+  | Typedtree.Tpat_construct (_, _, ps, _) -> List.concat_map pattern_vars ps
+  | _ -> []
+
+(* Names bound by [let] inside a node body: applying one of these is a
+   visible local call, not an opaque one (the local's body is part of
+   the same node's walk).  Function parameters are deliberately NOT
+   collected — applying a parameter is the opaque case. *)
+let let_bound_names expr =
+  let names : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let super = Tast_iterator.default_iterator in
+  let expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Typedtree.Texp_let (_, vbs, _) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            List.iter
+              (fun (n, _, _) -> Hashtbl.replace names n ())
+              (pattern_vars vb.vb_pat))
+          vbs
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr = expr_it } in
+  it.expr it expr;
+  names
+
+(* Walk one node body, filling in calls / value_refs / opaque / lock /
+   domain-entry facts. *)
+let analyze_node node =
+  let locals = let_bound_names node.expr in
+  let calls = ref [] and value_refs = ref [] in
+  let in_entry_arg = ref false in
+  let super = Tast_iterator.default_iterator in
+  let note_ident e =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (path, _, _) -> Some (Names.normalize path)
+    | _ -> None
+  in
+  let expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_ident (path, _, _) ->
+        let n = Names.normalize path in
+        if !in_entry_arg then node.entry_args <- n :: node.entry_args;
+        value_refs := n :: !value_refs
+    | Typedtree.Texp_apply (fn, args) ->
+        (match note_ident fn with
+        | Some name ->
+            calls := name :: !calls;
+            if Names.is_lock_intro name then node.locks <- true;
+            if
+              (not (String.contains name '.'))
+              && not (Hashtbl.mem locals name)
+            then node.has_opaque_call <- true;
+            if Names.is_domain_entry_intro name then begin
+              node.introduces_domain <- true;
+              let saved = !in_entry_arg in
+              in_entry_arg := true;
+              List.iter (fun (_, a) -> Option.iter (it.expr it) a) args;
+              in_entry_arg := saved
+            end
+            else List.iter (fun (_, a) -> Option.iter (it.expr it) a) args
+        | None ->
+            node.has_opaque_call <- true;
+            it.expr it fn;
+            List.iter (fun (_, a) -> Option.iter (it.expr it) a) args)
+    | _ -> super.expr it e
+  in
+  let it = { super with expr = expr_it } in
+  it.expr it node.expr;
+  node.calls <- List.rev !calls;
+  node.value_refs <- List.rev !value_refs
+
+let rec structure_bindings ~rev_prefix (str : Typedtree.structure) =
+  List.concat_map
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+          List.concat_map
+            (fun (vb : Typedtree.value_binding) ->
+              List.map
+                (fun (name, typ, loc) ->
+                  (List.rev (name :: rev_prefix), typ, loc, vb.vb_expr))
+                (pattern_vars vb.vb_pat))
+            vbs
+      | Typedtree.Tstr_module mb -> module_bindings ~rev_prefix mb
+      | Typedtree.Tstr_recmodule mbs ->
+          List.concat_map (module_bindings ~rev_prefix) mbs
+      | _ -> [])
+    str.str_items
+
+and module_bindings ~rev_prefix (mb : Typedtree.module_binding) =
+  let name =
+    match mb.mb_name.txt with Some n -> Some n | None -> None
+  in
+  match name with
+  | None -> []
+  | Some n -> module_expr_bindings ~rev_prefix:(n :: rev_prefix) mb.mb_expr
+
+and module_expr_bindings ~rev_prefix (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Typedtree.Tmod_structure str -> structure_bindings ~rev_prefix str
+  | Typedtree.Tmod_constraint (me, _, _, _) ->
+      module_expr_bindings ~rev_prefix me
+  | _ -> []
+
+let build (units : Cmt_loader.unit_info list) =
+  let nodes : (string, node) Hashtbl.t = Hashtbl.create 512 in
+  let order = ref [] in
+  List.iter
+    (fun (u : Cmt_loader.unit_info) ->
+      List.iter
+        (fun (path, typ, loc, expr) ->
+          let id = String.concat "." (u.modname :: path) in
+          let node =
+            {
+              id;
+              unit_mod = u.modname;
+              source_path = u.source_path;
+              loc;
+              typ;
+              expr;
+              calls = [];
+              value_refs = [];
+              has_opaque_call = false;
+              locks = false;
+              entry_args = [];
+              introduces_domain = false;
+            }
+          in
+          if not (Hashtbl.mem nodes id) then begin
+            Hashtbl.replace nodes id node;
+            order := id :: !order
+          end)
+        (structure_bindings ~rev_prefix:[] u.structure))
+    units;
+  let t = { nodes; order = List.rev !order } in
+  iter_nodes t analyze_node;
+  t
+
+(* ----- reachability ----- *)
+
+(* Nodes referenced in value position anywhere: candidates for being
+   stored in a record/closure and invoked behind an opaque call. *)
+let escaping t =
+  let out : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  iter_nodes t (fun n ->
+      List.iter
+        (fun r ->
+          match resolve t ~unit_mod:n.unit_mod r with
+          | Some id -> Hashtbl.replace out id ()
+          | None -> ())
+        n.value_refs);
+  out
+
+(* Entry points of other-domain execution: for each Domain.spawn /
+   DLS.new_key site, the nodes its argument references — or the
+   enclosing node itself when the argument is a local closure (its
+   body is then part of that node's facts). *)
+let domain_entries t =
+  let out = ref [] in
+  iter_nodes t (fun n ->
+      if n.introduces_domain then begin
+        let resolved =
+          List.filter_map (resolve t ~unit_mod:n.unit_mod) n.entry_args
+        in
+        out := n.id :: resolved @ !out
+      end);
+  List.sort_uniq String.compare !out
+
+let reachable_from_domains t =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let esc = escaping t in
+  let esc_pulled = ref false in
+  let queue = Queue.create () in
+  let push id = if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      Queue.add id queue
+    end
+  in
+  List.iter push (domain_entries t);
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    match find t id with
+    | None -> ()
+    | Some n ->
+        List.iter
+          (fun c ->
+            match resolve t ~unit_mod:n.unit_mod c with
+            | Some cid -> push cid
+            | None -> ())
+          n.calls;
+        (* value references from reachable code can be invoked later by
+           other reachable code; treat them as reachable too *)
+        List.iter
+          (fun r ->
+            match resolve t ~unit_mod:n.unit_mod r with
+            | Some rid -> push rid
+            | None -> ())
+          n.value_refs;
+        if n.has_opaque_call && not !esc_pulled then begin
+          esc_pulled := true;
+          Hashtbl.iter (fun id () -> push id) esc
+        end
+  done;
+  seen

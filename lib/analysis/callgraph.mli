@@ -1,0 +1,49 @@
+(** The shared interprocedural call graph: top-level value bindings as
+    nodes, per-node reference/call facts, and the domain-reachability
+    closure SA1 is built on.  See docs/ANALYSIS.md for the
+    approximations (0-CFA; opaque calls pull in every escaping node). *)
+
+type node = {
+  id : string;  (** normalized dotted name, e.g. ["Algorithms.Cas.code_of"] *)
+  unit_mod : string;
+  source_path : string;
+  loc : Location.t;
+  typ : Types.type_expr;  (** the bound variable's type *)
+  expr : Typedtree.expression;  (** the bound expression, for pass-local walks *)
+  mutable calls : string list;
+      (** normalized identifiers in function position *)
+  mutable value_refs : string list;
+      (** normalized identifiers in any other position *)
+  mutable has_opaque_call : bool;
+      (** applies a parameter or a projection — may invoke anything
+          that escapes *)
+  mutable locks : bool;  (** body takes a [Mutex] *)
+  mutable entry_args : string list;
+      (** identifiers inside [Domain.spawn]/[DLS.new_key] arguments *)
+  mutable introduces_domain : bool;
+}
+
+type t
+
+val build : Cmt_loader.unit_info list -> t
+
+val find : t -> string -> node option
+
+val iter_nodes : t -> (node -> unit) -> unit
+(** Deterministic (unit, then source) order. *)
+
+val resolve : t -> unit_mod:string -> string -> string option
+(** Resolve a normalized reference made from within [unit_mod] to a
+    node id (bare names are unit-internal; dotted ones are tried
+    verbatim and under the unit's library namespace). *)
+
+val escaping : t -> (string, unit) Hashtbl.t
+(** Nodes referenced in value position somewhere: storable, hence
+    invocable behind opaque calls. *)
+
+val domain_entries : t -> string list
+(** Entry points of other-domain execution. *)
+
+val reachable_from_domains : t -> (string, unit) Hashtbl.t
+(** Closure of {!domain_entries} over call and value edges; crossing a
+    node with an opaque call pulls in every escaping node once. *)

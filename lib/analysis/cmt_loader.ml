@@ -1,0 +1,72 @@
+(* Discovery and loading of the .cmt files the dune build leaves under
+   _build/default/<dir>/.<lib>.objs/byte/ (libraries) and
+   .<exe>.eobjs/byte/ (executables).  Each loaded unit carries its
+   normalized module prefix ("Algorithms.Cas"), the repo-relative
+   source path recorded by the compiler ("lib/algorithms/cas.ml") and
+   the typedtree implementation. *)
+
+type unit_info = {
+  modname : string;
+  source_path : string;
+  structure : Typedtree.structure;
+}
+
+let is_cmt f = Filename.check_suffix f ".cmt"
+
+(* The artifact directories smec-lint skips ("_build", ".objs") are
+   exactly where .cmt files live, so this walk descends everywhere. *)
+let discover ~build_root ~dirs =
+  let acc = ref [] in
+  let rec walk fs =
+    if Sys.file_exists fs then
+      if Sys.is_directory fs then
+        Array.iter (fun e -> walk (Filename.concat fs e)) (Sys.readdir fs)
+      else if is_cmt fs then acc := fs :: !acc
+  in
+  List.iter (fun d -> walk (Filename.concat build_root d)) dirs;
+  List.sort String.compare !acc
+
+let load_file path =
+  match Cmt_format.read_cmt path with
+  | cmt -> (
+      match (cmt.cmt_annots, cmt.cmt_sourcefile) with
+      | Cmt_format.Implementation structure, Some src
+        when Filename.check_suffix src ".ml" ->
+          Ok
+            (Some
+               {
+                 modname = Names.normalize_string cmt.cmt_modname;
+                 source_path = src;
+                 structure;
+               })
+      | _ -> Ok None)
+  | exception exn ->
+      Error (Printf.sprintf "%s: cannot read cmt (%s)" path (Printexc.to_string exn))
+
+(* Load every unit under [dirs], deduplicating by module name (an
+   executable stanza with several binaries shares one .eobjs dir, so
+   the same cmt can be discovered once per alias). *)
+let load_tree ~build_root ~dirs =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let units = ref [] and errors = ref [] in
+  List.iter
+    (fun path ->
+      match load_file path with
+      | Ok None -> ()
+      | Ok (Some u) ->
+          if not (Hashtbl.mem seen u.modname) then begin
+            Hashtbl.replace seen u.modname ();
+            units := u :: !units
+          end
+      | Error why -> errors := why :: !errors)
+    (discover ~build_root ~dirs);
+  (List.rev !units, List.rev !errors)
+
+(* Default build-dir resolution: prefer <root>/_build/default (running
+   from a source checkout), fall back to <root> itself (running inside
+   a dune action, whose cwd already is _build/default). *)
+let resolve_build_dir ~root = function
+  | Some d -> d
+  | None ->
+      let candidate = Filename.concat root "_build/default" in
+      if Sys.file_exists candidate then candidate else root

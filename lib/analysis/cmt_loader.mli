@@ -1,0 +1,28 @@
+(** .cmt discovery and loading: the front end of every smec-sa pass.
+
+    Units come from the dune build's object directories
+    ([.<lib>.objs/byte], [.<exe>.eobjs/byte]); each carries the
+    normalized module prefix, the repo-relative source path the
+    compiler recorded, and the typedtree. *)
+
+type unit_info = {
+  modname : string;  (** normalized, e.g. ["Algorithms.Cas"] *)
+  source_path : string;  (** repo-relative, e.g. ["lib/algorithms/cas.ml"] *)
+  structure : Typedtree.structure;
+}
+
+val discover : build_root:string -> dirs:string list -> string list
+(** Every .cmt under [build_root/<dir>] for the given dirs, sorted. *)
+
+val load_file : string -> (unit_info option, string) result
+(** Read one .cmt; [Ok None] for interfaces / packed units / anything
+    that is not an implementation with a recorded .ml source. *)
+
+val load_tree :
+  build_root:string -> dirs:string list -> unit_info list * string list
+(** Load all units under [dirs] (deduplicated by module name) plus the
+    list of unreadable-cmt errors. *)
+
+val resolve_build_dir : root:string -> string option -> string
+(** Explicit dir if given, else [<root>/_build/default] when it exists
+    (source checkout), else [root] (already inside a dune action). *)

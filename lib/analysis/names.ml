@@ -1,0 +1,241 @@
+(* Name plumbing for the typed-AST passes.
+
+   [Path.name] on identifiers read back from .cmt files yields forms
+   like "Stdlib.Hashtbl.create" (stdlib), "Algorithms.Common.send"
+   (cross-module within a wrapped library, and cross-library),
+   "Stdlib__Domain.spawn" (occasionally, the mangled unit itself) and
+   bare names for locals and unit-internal top-level values.  Unit
+   names from [cmt_modname] arrive mangled ("Algorithms__Cas",
+   "Dune__exe__Smec").  [normalize] maps all of these onto one dotted
+   spelling with the "Stdlib" layer stripped, which the passes then
+   compare with String.equal. *)
+
+let starts_with ~prefix s =
+  let lp = String.length prefix in
+  String.length s >= lp && String.equal (String.sub s 0 lp) prefix
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.equal (String.sub s (l - ls) ls) suffix
+
+(* "A__B" -> ["A"; "B"]; single components pass through. *)
+let split_mangled comp =
+  let n = String.length comp in
+  let out = ref [] and start = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    if Char.equal comp.[!i] '_' && Char.equal comp.[!i + 1] '_' then begin
+      out := String.sub comp !start (!i - !start) :: !out;
+      i := !i + 2;
+      start := !i
+    end
+    else incr i
+  done;
+  out := String.sub comp !start (n - !start) :: !out;
+  List.rev (List.filter (fun s -> not (String.equal s "")) !out)
+
+let normalize_string raw =
+  let comps =
+    String.split_on_char '.' raw |> List.concat_map split_mangled
+  in
+  let comps =
+    match comps with
+    | "Stdlib" :: (_ :: _ as rest) -> rest
+    | "Dune" :: "exe" :: (_ :: _ as rest) -> rest
+    | cs -> cs
+  in
+  String.concat "." comps
+
+let normalize path = normalize_string (Path.name path)
+
+let last_component s =
+  match String.rindex_opt s '.' with
+  | None -> s
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+
+(* ----- classification lists used by the passes ----- *)
+
+let member xs s = List.exists (String.equal s) xs
+
+(* Functions that mutate their (first) argument in place; the basis of
+   SA1's "is this root written to" test.  Reads like Hashtbl.find are
+   deliberately not here — they get the weaker read-race treatment. *)
+let is_mutator name =
+  member
+    [
+      ":=";
+      "incr";
+      "decr";
+      "Hashtbl.add";
+      "Hashtbl.replace";
+      "Hashtbl.remove";
+      "Hashtbl.reset";
+      "Hashtbl.clear";
+      "Hashtbl.filter_map_inplace";
+      "Hashtbl.add_seq";
+      "Hashtbl.replace_seq";
+      "Array.set";
+      "Array.unsafe_set";
+      "Array.fill";
+      "Array.blit";
+      "Array.sort";
+      "Array.fast_sort";
+      "Array.stable_sort";
+      "Bytes.fill";
+      "Bytes.blit";
+      "Bytes.blit_string";
+      "Buffer.clear";
+      "Buffer.reset";
+      "Buffer.truncate";
+      "Queue.push";
+      "Queue.add";
+      "Queue.pop";
+      "Queue.take";
+      "Queue.clear";
+      "Queue.transfer";
+      "Queue.add_seq";
+      "Stack.push";
+      "Stack.pop";
+      "Stack.clear";
+    ]
+    name
+  || starts_with ~prefix:"Bytes.set" name
+  || starts_with ~prefix:"Bytes.unsafe_set" name
+  || starts_with ~prefix:"Buffer.add" name
+
+(* Type constructor heads that make a top-level binding a mutable
+   root.  "ref" covers Stdlib.ref after normalization. *)
+let mutable_type_heads =
+  [
+    "ref";
+    "array";
+    "bytes";
+    "Hashtbl.t";
+    "Buffer.t";
+    "Queue.t";
+    "Stack.t";
+  ]
+
+(* ... and heads that are safe to share: either synchronized or
+   domain-local by construction. *)
+let safe_type_heads =
+  [
+    "Atomic.t";
+    "Mutex.t";
+    "Condition.t";
+    "Semaphore.Counting.t";
+    "Semaphore.Binary.t";
+    "Domain.DLS.key";
+  ]
+
+(* Allocating calls for SA2's in-loop audit.  Every call here returns a
+   fresh heap block each time; Int64/Int32 intrinsics are excluded on
+   purpose — the gf256 word loops keep them unboxed. *)
+let is_allocator name =
+  member
+    [
+      "Bytes.create";
+      "Bytes.make";
+      "Bytes.init";
+      "Bytes.copy";
+      "Bytes.sub";
+      "Bytes.sub_string";
+      "Bytes.cat";
+      "Bytes.extend";
+      "Bytes.of_string";
+      "Bytes.to_string";
+      "String.sub";
+      "String.make";
+      "String.init";
+      "String.concat";
+      "String.cat";
+      "String.map";
+      "String.split_on_char";
+      "^";
+      "@";
+      "Array.make";
+      "Array.create_float";
+      "Array.init";
+      "Array.copy";
+      "Array.append";
+      "Array.concat";
+      "Array.sub";
+      "Array.of_list";
+      "Array.to_list";
+      "Array.map";
+      "Array.mapi";
+      "List.map";
+      "List.mapi";
+      "List.rev";
+      "List.append";
+      "List.concat";
+      "List.concat_map";
+      "List.flatten";
+      "List.init";
+      "List.filter";
+      "List.filter_map";
+      "List.rev_append";
+      "List.sort";
+      "List.stable_sort";
+      "List.of_seq";
+      "Buffer.create";
+      "Buffer.contents";
+      "Buffer.to_bytes";
+      "Hashtbl.create";
+      "Hashtbl.copy";
+      "Printf.sprintf";
+      "Format.sprintf";
+      "Format.asprintf";
+      "Marshal.to_string";
+      "Marshal.to_bytes";
+      "Digest.string";
+      "Digest.bytes";
+    ]
+    name
+
+(* Byte-copying slices with an _into/blit alternative in this tree. *)
+let is_sub_copy name =
+  member [ "Bytes.sub"; "Bytes.sub_string"; "String.sub" ] name
+
+(* Stdlib functions with documented exceptional behaviour: the seeds of
+   SA3's raise-set propagation.  (Conservatively the common ones; an
+   unknown callee contributes nothing, which SA3's docs call out.) *)
+let known_raisers =
+  [
+    ("invalid_arg", "Invalid_argument");
+    ("failwith", "Failure");
+    ("Hashtbl.find", "Not_found");
+    ("List.find", "Not_found");
+    ("List.assoc", "Not_found");
+    ("List.hd", "Failure");
+    ("List.tl", "Failure");
+    ("List.nth", "Failure");
+    ("Option.get", "Invalid_argument");
+    ("Sys.getenv", "Not_found");
+    ("Sys.readdir", "Sys_error");
+    ("Sys.is_directory", "Sys_error");
+    ("int_of_string", "Failure");
+    ("float_of_string", "Failure");
+    ("open_in", "Sys_error");
+    ("open_in_bin", "Sys_error");
+    ("open_out", "Sys_error");
+    ("open_out_bin", "Sys_error");
+    ("input_line", "End_of_file");
+    ("really_input_string", "End_of_file");
+    ("Filename.chop_suffix", "Invalid_argument");
+    ("Mutex.lock", "Sys_error");
+  ]
+
+let raises_of_callee name =
+  List.filter_map
+    (fun (f, e) -> if String.equal f name then Some e else None)
+    known_raisers
+
+(* Domain-entry constructors: a function reaching Domain.spawn or
+   handing a callback to Domain.DLS.new_key starts code that runs on
+   other domains. *)
+let is_domain_entry_intro name =
+  member [ "Domain.spawn"; "Domain.DLS.new_key"; "Domain.at_exit" ] name
+
+let is_lock_intro name =
+  member [ "Mutex.lock"; "Mutex.try_lock"; "Mutex.protect" ] name

@@ -1,0 +1,46 @@
+(** Identifier-name plumbing shared by every smec-sa pass: one dotted
+    normalized spelling for the many forms [Path.name] takes in .cmt
+    typedtrees ("Stdlib.Hashtbl.add", "Algorithms__Cas", bare locals),
+    plus the classification lists (mutators, allocators, known
+    raisers, lock/domain introducers) the passes match against. *)
+
+val starts_with : prefix:string -> string -> bool
+val ends_with : suffix:string -> string -> bool
+
+val normalize_string : string -> string
+(** Strip the ["Stdlib"] and ["Dune.exe"] layers and un-mangle
+    ["A__B"] components: ["Stdlib.Hashtbl.add"] -> ["Hashtbl.add"],
+    ["Algorithms__Cas"] -> ["Algorithms.Cas"]. *)
+
+val normalize : Path.t -> string
+(** [normalize_string] of [Path.name]. *)
+
+val last_component : string -> string
+(** ["A.B.c"] -> ["c"]. *)
+
+val is_mutator : string -> bool
+(** In-place writes (Hashtbl.add, Array.set, [:=], ...); the basis of
+    SA1's mutation test. *)
+
+val mutable_type_heads : string list
+(** Type heads that make a top-level binding a mutable root. *)
+
+val safe_type_heads : string list
+(** Type heads safe to share across domains (synchronized or
+    domain-local by construction). *)
+
+val is_allocator : string -> bool
+(** Calls returning a fresh heap block every time (SA2). *)
+
+val is_sub_copy : string -> bool
+(** Slicing copies with an [_into]/blit alternative in this tree. *)
+
+val raises_of_callee : string -> string list
+(** Documented exceptions of well-known stdlib functions (SA3 seeds). *)
+
+val is_domain_entry_intro : string -> bool
+(** [Domain.spawn] / [Domain.DLS.new_key]: callbacks passed here run on
+    other domains. *)
+
+val is_lock_intro : string -> bool
+(** [Mutex.lock] / [Mutex.try_lock] / [Mutex.protect]. *)

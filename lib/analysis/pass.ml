@@ -1,0 +1,39 @@
+(* The pass interface: each SA pass consumes the shared context (loaded
+   units + call graph) and produces Lint.Diagnostic findings, which the
+   runner then filters through (* sa: allow *) suppressions and an
+   optional baseline. *)
+
+type ctx = {
+  units : Cmt_loader.unit_info list;
+  graph : Callgraph.t;
+  root : string;
+      (* directory unit source_paths are relative to, for passes that
+         read sources (SA3's .mli doc scan) and for suppressions *)
+}
+
+module type S = sig
+  val name : string
+  (** pass id, e.g. ["sa1-domain"]; also the suppression family name *)
+
+  val codes : (string * string) list
+
+  val check : ctx -> Lint.Diagnostic.t list
+end
+
+type t = (module S)
+
+let make_ctx ~root units = { units; graph = Callgraph.build units; root }
+
+let source_file ctx path =
+  let fs = if Filename.is_relative path then Filename.concat ctx.root path else path in
+  match
+    let ic = open_in_bin fs in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> Some text
+  | exception Sys_error _ -> None
+
+let diag ~file ~rule ~code (loc : Location.t) message =
+  Lint.Diagnostic.make ~file ~rule ~code loc message

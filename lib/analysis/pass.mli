@@ -1,0 +1,34 @@
+(** The smec-sa pass interface: shared typed-AST context in,
+    [Lint.Diagnostic] findings out. *)
+
+type ctx = {
+  units : Cmt_loader.unit_info list;
+  graph : Callgraph.t;
+  root : string;  (** directory unit source paths are relative to *)
+}
+
+module type S = sig
+  val name : string
+  (** pass id, e.g. ["sa1-domain"]; doubles as the suppression family
+      name for [(* sa: allow <name> *)] *)
+
+  val codes : (string * string) list
+
+  val check : ctx -> Lint.Diagnostic.t list
+end
+
+type t = (module S)
+
+val make_ctx : root:string -> Cmt_loader.unit_info list -> ctx
+
+val source_file : ctx -> string -> string option
+(** Read a unit's source text relative to [ctx.root]; [None] when the
+    file is unreadable (e.g. fixture units compiled from temp dirs). *)
+
+val diag :
+  file:string ->
+  rule:string ->
+  code:string ->
+  Location.t ->
+  string ->
+  Lint.Diagnostic.t

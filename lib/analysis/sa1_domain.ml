@@ -1,0 +1,168 @@
+(* SA1: domain-safety of top-level mutable state.
+
+   Roots are top-level bindings whose type head is mutable (ref, array,
+   bytes, Hashtbl.t, Buffer.t, ...) plus any top-level binding that is
+   the target of a mutable-record-field assignment.  A root whose only
+   mutations happen at module-init depth (inside the defining
+   expression chain, before the value can be shared) is {e sealed} and
+   safe — this is exactly how gf256's product tables are built.  For
+   the rest, any mutation or read performed inside a function that the
+   call graph shows reachable from Domain.spawn / Domain.DLS callbacks,
+   in a node that takes no Mutex, is flagged.
+
+   Known approximations (see docs/ANALYSIS.md): aliased roots are not
+   tracked; the lock heuristic is per-node (a node that locks is
+   assumed to lock around its root accesses); reachability is the
+   coarse closure of Callgraph. *)
+
+let name = "sa1-domain"
+
+let codes =
+  [
+    ( "domain-race",
+      "top-level mutable value written from domain-reachable code without \
+       Mutex/Atomic/DLS protection" );
+    ( "domain-read-race",
+      "top-level mutable value read from domain-reachable code while \
+       unsynchronized writes exist" );
+  ]
+
+type access = {
+  kind : [ `Mut | `Read ];
+  root : string;
+  depth : int;
+  node : Callgraph.node;
+  loc : Location.t;
+}
+
+let head_of typ =
+  match Types.get_desc typ with
+  | Types.Tconstr (p, _, _) -> Some (Names.normalize p)
+  | _ -> None
+
+let member xs s = List.exists (String.equal s) xs
+
+let check (ctx : Pass.ctx) =
+  let g = ctx.graph in
+  let roots : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  Callgraph.iter_nodes g (fun n ->
+      match head_of n.typ with
+      | Some h
+        when member Names.mutable_type_heads h
+             && not (member Names.safe_type_heads h) ->
+          Hashtbl.replace roots n.id h
+      | _ -> ());
+  let resolve (n : Callgraph.node) r = Callgraph.resolve g ~unit_mod:n.unit_mod r in
+  let root_ident n (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> resolve n (Names.normalize p)
+    | _ -> None
+  in
+  (* pass 1: bindings hit by record-field assignment are roots too *)
+  Callgraph.iter_nodes g (fun n ->
+      let super = Tast_iterator.default_iterator in
+      let expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+        (match e.exp_desc with
+        | Typedtree.Texp_setfield (r, _, _, _) -> (
+            match root_ident n r with
+            | Some id -> Hashtbl.replace roots id "record with mutable fields"
+            | None -> ())
+        | _ -> ());
+        super.expr it e
+      in
+      let it = { super with expr = expr_it } in
+      it.expr it n.expr);
+  (* pass 2: collect every access to a root, with function depth *)
+  let accesses = ref [] in
+  Callgraph.iter_nodes g (fun n ->
+      let depth = ref 0 in
+      let add kind root loc =
+        accesses := { kind; root; depth = !depth; node = n; loc } :: !accesses
+      in
+      let super = Tast_iterator.default_iterator in
+      let as_root e =
+        match root_ident n e with
+        | Some id when Hashtbl.mem roots id -> Some id
+        | _ -> None
+      in
+      let rec expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+        match e.exp_desc with
+        | Typedtree.Texp_ident _ -> (
+            match as_root e with
+            | Some id -> add `Read id e.exp_loc
+            | None -> ())
+        | Typedtree.Texp_function _ ->
+            incr depth;
+            super.expr it e;
+            decr depth
+        | Typedtree.Texp_apply (fn, args) -> (
+            match fn.exp_desc with
+            | Typedtree.Texp_ident (p, _, _)
+              when Names.is_mutator (Names.normalize p) ->
+                List.iter
+                  (fun (_, a) ->
+                    Option.iter
+                      (fun a ->
+                        match as_root a with
+                        | Some id -> add `Mut id a.Typedtree.exp_loc
+                        | None -> expr_it it a)
+                      a)
+                  args
+            | _ -> super.expr it e)
+        | Typedtree.Texp_setfield (r, _, _, v) ->
+            (match as_root r with
+            | Some id -> add `Mut id r.exp_loc
+            | None -> expr_it it r);
+            expr_it it v
+        | _ -> super.expr it e
+      in
+      let it = { super with expr = expr_it } in
+      it.expr it n.expr);
+  let accesses = List.rev !accesses in
+  let reachable = Callgraph.reachable_from_domains g in
+  (* roots with at least one post-init mutation are "open"; sealed ones
+     (gf256 tables) produce nothing *)
+  let open_roots : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      match a.kind with
+      | `Mut when a.depth > 0 -> Hashtbl.replace open_roots a.root ()
+      | _ -> ())
+    accesses;
+  let findings =
+    List.filter_map
+      (fun a ->
+        let hazardous =
+          Hashtbl.mem open_roots a.root && a.depth > 0
+          && Hashtbl.mem reachable a.node.id
+          && not a.node.locks
+        in
+        if not hazardous then None
+        else
+          let root_head =
+            Option.value ~default:"?" (Hashtbl.find_opt roots a.root)
+          in
+          match a.kind with
+          | `Mut ->
+              Some
+                (Pass.diag ~file:a.node.source_path ~rule:name
+                   ~code:"domain-race" a.loc
+                   (Printf.sprintf
+                      "top-level mutable value %s (%s) is written in %s, \
+                       which can run under Domain.spawn/DLS callbacks, with \
+                       no Mutex/Atomic/DLS protection in sight; guard the \
+                       access or make the state domain-local"
+                      a.root root_head a.node.id))
+          | `Read ->
+              Some
+                (Pass.diag ~file:a.node.source_path ~rule:name
+                   ~code:"domain-read-race" a.loc
+                   (Printf.sprintf
+                      "top-level mutable value %s (%s) is read in %s, which \
+                       can run under Domain.spawn/DLS callbacks, while \
+                       unsynchronized writes to it exist; reads need the \
+                       same protection as writes"
+                      a.root root_head a.node.id)))
+      accesses
+  in
+  List.sort_uniq Lint.Diagnostic.compare findings

@@ -1,0 +1,8 @@
+(** SA1: cross-domain safety of top-level mutable state.  Flags
+    mutations/reads of unsealed top-level mutable roots from
+    domain-reachable, lock-free code.  See the implementation header
+    and docs/ANALYSIS.md for semantics and approximations. *)
+
+val name : string
+val codes : (string * string) list
+val check : Pass.ctx -> Lint.Diagnostic.t list

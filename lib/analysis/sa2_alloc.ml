@@ -1,0 +1,176 @@
+(* SA2: allocation audit of the coding hot paths.
+
+   Two tiers of scrutiny:
+
+   - {e kernel} units (lib/gf256, lib/erasure): allocating calls and
+     closure creation inside for/while loops, copying slices
+     (Bytes.sub & co — the tree has _into/blit variants), tuple/option
+     returns (caller-side boxing), and float ref creation;
+   - {e engine-hot} nodes (the transitive callees of Engine.Driver and
+     Config.step_deliver inside lib/engine): allocating calls inside
+     for/while loops only — the scheduler uses persistent structures
+     whose legitimate consing would drown the signal otherwise.
+
+   Everything here is advisory-by-suppression: a finding whose
+   allocation is the function's API (Erasure.decode returning an
+   option, say) carries an [(* sa: allow alloc *)] with a rationale.
+   The family name is deliberately just "alloc" so that one marker
+   covers any SA2 code at the site. *)
+
+let name = "alloc"
+
+let codes =
+  [
+    ("alloc-in-loop", "allocating call inside a for/while loop on a hot path");
+    ("closure-in-loop", "closure allocated per iteration on a hot path");
+    ( "sub-copy",
+      "Bytes.sub/String.sub copies on a hot path; an _into/blit variant \
+       exists" );
+    ("boxed-return", "tuple/option return boxes on every call of a hot kernel");
+    ("float-box", "float ref allocates a box per assignment on a hot path");
+  ]
+
+let kernel_unit (n : Callgraph.node) =
+  Names.starts_with ~prefix:"lib/gf256/" n.source_path
+  || Names.starts_with ~prefix:"lib/erasure/" n.source_path
+
+let engine_hot_seed (n : Callgraph.node) =
+  Names.starts_with ~prefix:"Engine.Driver." n.id
+  || String.equal n.id "Engine.Config.step_deliver"
+
+(* Transitive callees of the driver seeds, restricted to lib/engine. *)
+let engine_hot_set (g : Callgraph.t) =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let push id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      Queue.add id queue
+    end
+  in
+  Callgraph.iter_nodes g (fun n -> if engine_hot_seed n then push n.id);
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    match Callgraph.find g id with
+    | None -> ()
+    | Some n ->
+        List.iter
+          (fun c ->
+            match Callgraph.resolve g ~unit_mod:n.unit_mod c with
+            | Some cid -> (
+                match Callgraph.find g cid with
+                | Some cn when Names.starts_with ~prefix:"lib/engine/" cn.source_path ->
+                    push cid
+                | _ -> ())
+            | None -> ())
+          n.calls
+  done;
+  seen
+
+type tier = Kernel | Engine_hot
+
+let result_type typ =
+  let rec go t =
+    match Types.get_desc t with Types.Tarrow (_, _, r, _) -> go r | _ -> t
+  in
+  go typ
+
+let is_function typ =
+  match Types.get_desc typ with Types.Tarrow _ -> true | _ -> false
+
+let audit_node ~tier (n : Callgraph.node) =
+  let out = ref [] in
+  let emit code loc msg =
+    out := Pass.diag ~file:n.source_path ~rule:name ~code loc msg :: !out
+  in
+  let in_loop = ref 0 in
+  let super = Tast_iterator.default_iterator in
+  let fn_name (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> Some (Names.normalize p)
+    | _ -> None
+  in
+  let expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_for (_, _, lo, hi, _, body) ->
+        it.expr it lo;
+        it.expr it hi;
+        incr in_loop;
+        it.expr it body;
+        decr in_loop
+    | Typedtree.Texp_while (cond, body) ->
+        incr in_loop;
+        it.expr it cond;
+        it.expr it body;
+        decr in_loop
+    | Typedtree.Texp_function _ ->
+        if !in_loop > 0 then
+          emit "closure-in-loop" e.exp_loc
+            (Printf.sprintf
+               "%s allocates a closure every loop iteration; hoist it out of \
+                the loop" n.id);
+        super.expr it e
+    | Typedtree.Texp_apply (fn, args) ->
+        (match fn_name fn with
+        | Some f ->
+            if !in_loop > 0 && Names.is_allocator f then
+              emit "alloc-in-loop" e.exp_loc
+                (Printf.sprintf
+                   "%s calls %s inside a loop; every iteration allocates — \
+                    hoist or reuse a buffer" n.id f);
+            (match tier with
+            | Kernel ->
+                if Names.is_sub_copy f then
+                  emit "sub-copy" e.exp_loc
+                    (Printf.sprintf
+                       "%s copies with %s; the kernels have _into/blit \
+                        variants that reuse caller buffers" n.id f);
+                if String.equal f "ref" then (
+                  match args with
+                  | (_, Some a) :: _ -> (
+                      match Types.get_desc (result_type a.Typedtree.exp_type) with
+                      | Types.Tconstr (p, _, _)
+                        when String.equal (Names.normalize p) "float" ->
+                          emit "float-box" e.exp_loc
+                            (Printf.sprintf
+                               "%s builds a float ref; every store boxes — \
+                                use an accumulator variable or a float array \
+                                cell" n.id)
+                      | _ -> ())
+                  | _ -> ())
+            | Engine_hot -> ())
+        | None -> ());
+        super.expr it e
+    | _ -> super.expr it e
+  in
+  let it = { super with expr = expr_it } in
+  it.expr it n.expr;
+  (* kernel functions returning tuples/options box at every call *)
+  (match tier with
+  | Kernel when is_function n.typ -> (
+      match Types.get_desc (result_type n.typ) with
+      | Types.Ttuple _ ->
+          emit "boxed-return" n.loc
+            (Printf.sprintf
+               "%s returns a tuple: one block per call; consider out \
+                parameters or a preallocated record" n.id)
+      | Types.Tconstr (p, _, _) when String.equal (Names.normalize p) "option"
+        ->
+          emit "boxed-return" n.loc
+            (Printf.sprintf
+               "%s returns an option: Some boxes on every call; consider a \
+                sentinel or out parameter" n.id)
+      | _ -> ())
+  | _ -> ());
+  List.rev !out
+
+let check_with ~kernel_pred (ctx : Pass.ctx) =
+  let hot = engine_hot_set ctx.graph in
+  let out = ref [] in
+  Callgraph.iter_nodes ctx.graph (fun n ->
+      if kernel_pred n then out := audit_node ~tier:Kernel n :: !out
+      else if Hashtbl.mem hot n.id then
+        out := audit_node ~tier:Engine_hot n :: !out);
+  List.sort Lint.Diagnostic.compare (List.concat !out)
+
+let check ctx = check_with ~kernel_pred:kernel_unit ctx

@@ -1,0 +1,17 @@
+(** SA2: hot-path allocation audit — allocating calls/closures in
+    loops, copying slices, tuple/option returns and float boxing in
+    the coding kernels (lib/gf256, lib/erasure) and the engine nodes
+    the Driver steps through.  Suppress intended allocations with
+    [(* sa: allow alloc *)] plus a rationale. *)
+
+val name : string
+val codes : (string * string) list
+val check : Pass.ctx -> Lint.Diagnostic.t list
+
+val check_with :
+  kernel_pred:(Callgraph.node -> bool) -> Pass.ctx -> Lint.Diagnostic.t list
+(** [check] with a custom "kernel" predicate; the fixture tests point
+    it at units compiled from temp directories. *)
+
+val kernel_unit : Callgraph.node -> bool
+(** The default predicate: lib/gf256 and lib/erasure sources. *)

@@ -1,0 +1,223 @@
+(* SA3: which exported values can raise, and do their .mli docs say so.
+
+   Per node we collect direct raises ([raise (E ...)], plus the
+   documented exceptions of well-known stdlib callees like
+   Hashtbl.find) and call edges, each annotated with the enclosing
+   try-handler context so caught exceptions do not propagate.  A
+   fixpoint over the call graph then yields each node's escape set.
+   Finally, every [val] exported by a unit's .mli whose node can raise
+   must carry an [@raise] tag in its doc region.
+
+   Approximations (docs/ANALYSIS.md): opaque/unknown callees contribute
+   nothing; [match ... with exception] handlers are ignored (more
+   findings, never fewer); re-raising a caught variable is not
+   tracked.  Pre-existing findings live in the committed baseline. *)
+
+let name = "sa3-exn"
+
+let codes =
+  [
+    ( "undocumented-raise",
+      "exported value can raise but its .mli doc has no @raise tag" );
+  ]
+
+type ctxt = All | Names of string list
+
+let combine stack =
+  if List.exists (function All -> true | _ -> false) stack then All
+  else
+    Names
+      (List.concat_map (function Names l -> l | All -> []) stack)
+
+let catches ctxt e =
+  match ctxt with All -> true | Names l -> List.exists (String.equal e) l
+
+let rec caught_of_pat : type k. k Typedtree.general_pattern -> ctxt =
+ fun p ->
+  match p.pat_desc with
+  | Typedtree.Tpat_construct (_, cd, _, _) -> Names [ cd.cstr_name ]
+  | Typedtree.Tpat_any | Typedtree.Tpat_var _ -> All
+  | Typedtree.Tpat_alias (q, _, _) -> caught_of_pat q
+  | Typedtree.Tpat_or (a, b, _) -> combine [ caught_of_pat a; caught_of_pat b ]
+  | _ -> Names []
+
+type facts = {
+  direct : string list;  (* escaping exception constructors *)
+  edges : (string * ctxt) list;  (* resolved callee id, handler context *)
+}
+
+let facts_of_node (g : Callgraph.t) (n : Callgraph.node) =
+  let direct = ref [] and edges = ref [] in
+  let stack = ref [] in
+  let here () = combine !stack in
+  let super = Tast_iterator.default_iterator in
+  let note_raise e = if not (catches (here ()) e) then direct := e :: !direct in
+  let expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_try (body, cases) ->
+        let caught = combine (List.map (fun c -> caught_of_pat c.Typedtree.c_lhs) cases) in
+        stack := caught :: !stack;
+        it.expr it body;
+        stack := List.tl !stack;
+        List.iter (fun c -> it.expr it c.Typedtree.c_rhs) cases
+    | Typedtree.Texp_apply (fn, args) ->
+        (match fn.exp_desc with
+        | Typedtree.Texp_ident (p, _, _) -> (
+            let f = Names.normalize p in
+            match f with
+            | "raise" | "raise_notrace" -> (
+                match args with
+                | (_, Some { Typedtree.exp_desc = Typedtree.Texp_construct (_, cd, _); _ }) :: _ ->
+                    note_raise cd.cstr_name
+                | _ -> () (* re-raise of a variable: not tracked *))
+            | _ -> (
+                List.iter note_raise (Names.raises_of_callee f);
+                match Callgraph.resolve g ~unit_mod:n.unit_mod f with
+                | Some cid -> edges := (cid, here ()) :: !edges
+                | None -> ()))
+        | _ -> ());
+        super.expr it e
+    | _ -> super.expr it e
+  in
+  let it = { super with expr = expr_it } in
+  it.expr it n.expr;
+  { direct = List.rev !direct; edges = List.rev !edges }
+
+let raise_sets (g : Callgraph.t) =
+  let facts : (string, facts) Hashtbl.t = Hashtbl.create 256 in
+  Callgraph.iter_nodes g (fun n -> Hashtbl.replace facts n.id (facts_of_node g n));
+  let sets : (string, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+  let set_of id =
+    match Hashtbl.find_opt sets id with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 4 in
+        Hashtbl.replace sets id s;
+        s
+  in
+  let add id e =
+    let s = set_of id in
+    if Hashtbl.mem s e then false
+    else begin
+      Hashtbl.replace s e ();
+      true
+    end
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Callgraph.iter_nodes g (fun n ->
+        match Hashtbl.find_opt facts n.id with
+        | None -> ()
+        | Some f ->
+            List.iter (fun e -> if add n.id e then changed := true) f.direct;
+            List.iter
+              (fun (cid, ctxt) ->
+                match Hashtbl.find_opt sets cid with
+                | None -> ()
+                | Some s ->
+                    Hashtbl.iter
+                      (fun e () ->
+                        if (not (catches ctxt e)) && add n.id e then
+                          changed := true)
+                      s)
+              f.edges)
+  done;
+  sets
+
+(* ----- .mli side: exported vals and their doc regions ----- *)
+
+type exported = { val_name : string; line : int }
+
+let exported_vals mli_text =
+  let lines = String.split_on_char '\n' mli_text in
+  let is_ident_char c =
+    (Char.compare 'a' c <= 0 && Char.compare c 'z' <= 0)
+    || (Char.compare 'A' c <= 0 && Char.compare c 'Z' <= 0)
+    || (Char.compare '0' c <= 0 && Char.compare c '9' <= 0)
+    || Char.equal c '_' || Char.equal c '\''
+  in
+  let val_of line =
+    let line = String.trim line in
+    let chop p =
+      if Names.starts_with ~prefix:p line then
+        Some (String.sub line (String.length p) (String.length line - String.length p))
+      else None
+    in
+    match (chop "val ") with
+    | None -> None
+    | Some rest ->
+        let rest = String.trim rest in
+        let n = String.length rest in
+        let stop = ref 0 in
+        while !stop < n && is_ident_char rest.[!stop] do incr stop done;
+        if !stop > 0 then Some (String.sub rest 0 !stop) else None
+  in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         match val_of line with
+         | Some v -> [ { val_name = v; line = i + 1 } ]
+         | None -> [])
+       lines)
+
+(* The doc region of a val: from its line up to (excluding) the next
+   val/type/module/exception item.  The repo's style puts the doc
+   comment after the signature item. *)
+let region_has_raise mli_text ~from_line ~to_line =
+  let lines = String.split_on_char '\n' mli_text in
+  let rec go i = function
+    | [] -> false
+    | l :: rest ->
+        if i >= from_line && (to_line < 0 || i < to_line) then
+          let found =
+            let n = String.length l and m = String.length "@raise" in
+            let rec scan j =
+              j + m <= n
+              && (String.equal (String.sub l j m) "@raise" || scan (j + 1))
+            in
+            scan 0
+          in
+          found || go (i + 1) rest
+        else go (i + 1) rest
+  in
+  go 1 lines
+
+let check (ctx : Pass.ctx) =
+  let sets = raise_sets ctx.graph in
+  let out = ref [] in
+  List.iter
+    (fun (u : Cmt_loader.unit_info) ->
+      let mli_path = u.source_path ^ "i" in
+      match Pass.source_file ctx mli_path with
+      | None -> ()
+      | Some text ->
+          let vals = Array.of_list (exported_vals text) in
+          Array.iteri
+            (fun i v ->
+              let next =
+                if i + 1 < Array.length vals then vals.(i + 1).line else -1
+              in
+              let node_id = u.modname ^ "." ^ v.val_name in
+              match Hashtbl.find_opt sets node_id with
+              | Some s when Hashtbl.length s > 0 ->
+                  if not (region_has_raise text ~from_line:v.line ~to_line:next)
+                  then begin
+                    let exns =
+                      Hashtbl.fold (fun e () acc -> e :: acc) s []
+                      |> List.sort String.compare
+                    in
+                    let loc = Location.none in
+                    let d =
+                      Pass.diag ~file:mli_path ~rule:name
+                        ~code:"undocumented-raise" loc
+                        (Printf.sprintf
+                           "%s.%s can raise %s but its doc has no @raise tag"
+                           u.modname v.val_name (String.concat ", " exns))
+                    in
+                    out := { d with line = v.line; col = 0 } :: !out
+                  end
+              | _ -> ())
+            vals)
+    ctx.units;
+  List.sort_uniq Lint.Diagnostic.compare !out

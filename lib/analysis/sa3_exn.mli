@@ -1,0 +1,14 @@
+(** SA3: interprocedural exception escape.  Propagates raise sets over
+    the call graph (try-handlers subtract; known stdlib raisers seed)
+    and flags exported [.mli] values that can raise without an
+    [@raise] doc tag.  Historic findings live in the committed
+    baseline; suppress intentional ones with [(* sa: allow sa3-exn *)]
+    in the [.mli]. *)
+
+val name : string
+val codes : (string * string) list
+
+val raise_sets : Callgraph.t -> (string, (string, unit) Hashtbl.t) Hashtbl.t
+(** node id -> escaping exception constructors (exposed for tests). *)
+
+val check : Pass.ctx -> Lint.Diagnostic.t list

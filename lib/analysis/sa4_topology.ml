@@ -1,0 +1,500 @@
+(* SA4: static protocol-topology certification.
+
+   For every algorithm module in lib/algorithms this pass extracts,
+   from the typed AST alone:
+
+   - the value-dependent message constructors (the cases of
+     [is_value_dependent] returning [true]);
+   - every send site ([Common.send] / [Common.to_all_servers]),
+     classified by the context function it appears in (client
+     transitions [on_invoke]/[on_client_msg] vs the server transition
+     [on_server_msg]) and by destination: an explicit [Server _]
+     constructor, an explicit [Client _] constructor, or a reply to
+     the received message's source;
+   - the server-to-server constructor set, as a fixpoint: explicit
+     [Server _] sends in server context seed it, and a reply inside an
+     [on_server_msg] branch that receives a server-originated
+     constructor is itself server-to-server;
+   - the number of value-dependent write phases: walking the client
+     phase machine from the [Write] branches of [on_invoke] through
+     the [on_client_msg] branches reachable via constructed
+     [client_phase] constructors, counting the branches that send a
+     value-dependent constructor toward servers.
+
+   The resulting profile is checked against (a) the module's own
+   [uses_gossip]/[single_value_phase] record literals and (b) the
+   bound-applicability table in lib/bounds — Thm 4.1 (no server
+   gossip) and Cor 6.6 (single value-dependent phase, nu-star) — and any
+   contradiction is a finding, failing the @analysis gate. *)
+
+let name = "sa4-topology"
+
+let codes =
+  [
+    ( "flag-mismatch",
+      "algo record literal (uses_gossip / single_value_phase) contradicts \
+       the extracted protocol shape" );
+    ( "bound-misapplied",
+      "bound-applicability entry in lib/bounds contradicts the extracted \
+       protocol shape" );
+    ("missing-entry", "algorithm module has no bound-applicability entry");
+    ( "no-profile",
+      "algorithm module lacks the transition functions the profile \
+       extraction needs" );
+  ]
+
+type dst = To_server | To_client | Reply
+type ctx_fn = Client_fn | Server_fn
+
+type send_site = { ctx : ctx_fn; dst : dst; ctor : string option }
+
+type profile = {
+  algo : string;
+  unit_mod : string;
+  source_path : string;
+  value_dependent : string list;
+  client_to_server : string list;
+  server_to_server : string list;
+  gossip : bool;
+  write_value_phases : int;
+  declared_gossip : bool option;
+  declared_single_phase : bool option;
+}
+
+(* ----- small typedtree helpers ----- *)
+
+let rec pat_ctors : type k. k Typedtree.general_pattern -> [ `Any | `Ctors of string list ]
+    =
+ fun p ->
+  match p.pat_desc with
+  | Typedtree.Tpat_construct (_, cd, _, _) -> `Ctors [ cd.cstr_name ]
+  | Typedtree.Tpat_or (a, b, _) -> (
+      match (pat_ctors a, pat_ctors b) with
+      | `Any, _ | _, `Any -> `Any
+      | `Ctors x, `Ctors y -> `Ctors (x @ y))
+  | Typedtree.Tpat_alias (q, _, _) -> pat_ctors q
+  | Typedtree.Tpat_any | Typedtree.Tpat_var _ -> `Any
+  | _ -> `Any
+
+let type_head (t : Types.type_expr) =
+  match Types.get_desc t with
+  | Types.Tconstr (p, _, _) -> Some (Names.normalize p)
+  | _ -> None
+
+let matches sel ctor =
+  match sel with `Any -> true | `Ctors cs -> List.exists (String.equal ctor) cs
+
+let member xs s = List.exists (String.equal s) xs
+let add_uniq xs s = if member xs s then xs else s :: xs
+
+(* Sends plus constructed client_phase ctors inside one expression. *)
+let scan_body ~ctx (e : Typedtree.expression) =
+  let sends = ref [] and phases = ref [] in
+  let super = Tast_iterator.default_iterator in
+  let classify_dst (d : Typedtree.expression) =
+    match d.exp_desc with
+    | Typedtree.Texp_construct (_, cd, _) -> (
+        match cd.cstr_name with
+        | "Server" -> To_server
+        | "Client" -> To_client
+        | _ -> Reply)
+    | _ -> Reply
+  in
+  let payload_ctor (p : Typedtree.expression) =
+    match p.exp_desc with
+    | Typedtree.Texp_construct (_, cd, _) -> Some cd.cstr_name
+    | _ -> None
+  in
+  let expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Typedtree.Texp_construct (_, cd, _) -> (
+        match type_head e.exp_type with
+        | Some h when Names.ends_with ~suffix:"client_phase" h ->
+            phases := add_uniq !phases cd.cstr_name
+        | _ -> ())
+    | Typedtree.Texp_apply (fn, args) -> (
+        match fn.exp_desc with
+        | Typedtree.Texp_ident (p, _, _) -> (
+            let f = Names.last_component (Names.normalize p) in
+            let positional =
+              List.filter_map
+                (fun (lbl, a) ->
+                  match lbl with Asttypes.Nolabel -> a | _ -> None)
+                args
+            in
+            match f with
+            | "send" -> (
+                match positional with
+                | d :: rest ->
+                    let ctor =
+                      match rest with p :: _ -> payload_ctor p | [] -> None
+                    in
+                    sends := { ctx; dst = classify_dst d; ctor } :: !sends
+                | [] -> ())
+            | "to_all_servers" -> (
+                match List.rev positional with
+                | p :: _ ->
+                    sends :=
+                      { ctx; dst = To_server; ctor = payload_ctor p } :: !sends
+                | [] -> ())
+            | _ -> ())
+        | _ -> ())
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr = expr_it } in
+  it.expr it e;
+  (List.rev !sends, !phases)
+
+(* The top-level match cases of a transition function: unwrap the
+   [fun]-chain, then take the cases of the function-body match (or of
+   the final [function]). *)
+let transition_cases (e : Typedtree.expression) =
+  let rec go (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_function { cases = [ c ]; _ } -> go c.Typedtree.c_rhs
+    | Typedtree.Texp_function { cases; _ } -> Some (`Fn cases)
+    | Typedtree.Texp_match (_, cases, _) -> Some (`Match cases)
+    | Typedtree.Texp_let (_, _, body) -> go body
+    | _ -> None
+  in
+  go e
+
+(* Split a case pattern that matches on [(a, b)] into the two ctor
+   selectors; a non-tuple pattern selects on the single scrutinee. *)
+let case_selectors (c : Typedtree.value Typedtree.case) =
+  match c.c_lhs.pat_desc with
+  | Typedtree.Tpat_tuple [ a; b ] -> (pat_ctors a, pat_ctors b)
+  | _ -> (pat_ctors c.c_lhs, `Any)
+
+let computation_selectors (c : Typedtree.computation Typedtree.case) =
+  match c.c_lhs.pat_desc with
+  | Typedtree.Tpat_value v -> (
+      let p = (v :> Typedtree.value Typedtree.general_pattern) in
+      match p.pat_desc with
+      | Typedtree.Tpat_tuple [ a; b ] -> Some (pat_ctors a, pat_ctors b, c.c_rhs)
+      | _ -> Some (pat_ctors p, `Any, c.c_rhs))
+  | _ -> None
+
+type branch = { sel1 : [ `Any | `Ctors of string list ];
+                sel2 : [ `Any | `Ctors of string list ];
+                body : Typedtree.expression }
+
+let branches_of expr =
+  match transition_cases expr with
+  | None -> None
+  | Some (`Fn cases) ->
+      Some
+        (List.map
+           (fun c ->
+             let sel1, sel2 = case_selectors c in
+             { sel1; sel2; body = c.Typedtree.c_rhs })
+           cases)
+  | Some (`Match cases) ->
+      Some (List.filter_map
+              (fun c ->
+                Option.map
+                  (fun (sel1, sel2, body) -> { sel1; sel2; body })
+                  (computation_selectors c))
+              cases)
+
+(* ----- per-unit extraction ----- *)
+
+let node_named (g : Callgraph.t) unit_mod fn =
+  Callgraph.find g (unit_mod ^ "." ^ fn)
+
+let value_dependent_set (g : Callgraph.t) unit_mod =
+  match node_named g unit_mod "is_value_dependent" with
+  | None -> []
+  | Some n -> (
+      match branches_of n.expr with
+      | None -> []
+      | Some branches ->
+          List.concat_map
+            (fun b ->
+              let is_true =
+                match b.body.Typedtree.exp_desc with
+                | Typedtree.Texp_construct (_, cd, _) ->
+                    String.equal cd.cstr_name "true"
+                | _ -> false
+              in
+              if is_true then
+                match b.sel1 with `Ctors cs -> cs | `Any -> []
+              else [])
+            branches)
+
+let declared_flags (u : Cmt_loader.unit_info) =
+  let gossip = ref None and single = ref None in
+  let super = Tast_iterator.default_iterator in
+  let expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Typedtree.Texp_record { fields; _ } ->
+        Array.iter
+          (fun (ld, def) ->
+            match def with
+            | Typedtree.Overridden (_, v) -> (
+                let b =
+                  match v.Typedtree.exp_desc with
+                  | Typedtree.Texp_construct (_, cd, _) -> (
+                      match cd.cstr_name with
+                      | "true" -> Some true
+                      | "false" -> Some false
+                      | _ -> None)
+                  | _ -> None
+                in
+                match ld.Types.lbl_name with
+                | "uses_gossip" -> if Option.is_some b then gossip := b
+                | "single_value_phase" -> if Option.is_some b then single := b
+                | _ -> ())
+            | Typedtree.Kept _ -> ())
+          fields
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr = expr_it } in
+  it.structure it u.structure;
+  (!gossip, !single)
+
+let profile_of_unit (g : Callgraph.t) (u : Cmt_loader.unit_info) =
+  let algo = Filename.remove_extension (Filename.basename u.source_path) in
+  let get fn = node_named g u.modname fn in
+  match (get "on_invoke", get "on_client_msg", get "on_server_msg") with
+  | Some inv, Some ccb, Some scb ->
+      let vd = List.sort String.compare (value_dependent_set g u.modname) in
+      let inv_branches = Option.value ~default:[] (branches_of inv.expr) in
+      let ccb_branches = Option.value ~default:[] (branches_of ccb.expr) in
+      let scb_branches = Option.value ~default:[] (branches_of scb.expr) in
+      let branch_sends ctx b = fst (scan_body ~ctx b.body) in
+      let branch_phases ctx b = snd (scan_body ~ctx b.body) in
+      ignore branch_phases;
+      (* client -> server constructors: client-context sends whose
+         destination is a server (explicitly, by broadcast, or by
+         replying to a server's message) *)
+      let client_to_server =
+        List.fold_left
+          (fun acc b ->
+            List.fold_left
+              (fun acc s ->
+                match (s.dst, s.ctor) with
+                | (To_server | Reply), Some c -> add_uniq acc c
+                | _ -> acc)
+              acc
+              (branch_sends Client_fn b))
+          [] (inv_branches @ ccb_branches)
+      in
+      (* server -> server fixpoint *)
+      let server_origin = ref [] in
+      let note c = if not (member !server_origin c) then begin
+          server_origin := c :: !server_origin; true end else false
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun b ->
+            let sends = branch_sends Server_fn b in
+            List.iter
+              (fun s ->
+                match (s.dst, s.ctor) with
+                | To_server, Some c -> if note c then changed := true
+                | Reply, Some c ->
+                    (* a reply inside a branch that can receive a
+                       server-originated ctor goes back to a server *)
+                    let receives_server =
+                      match b.sel1 with
+                      | `Any -> not (List.is_empty !server_origin)
+                      | `Ctors cs ->
+                          List.exists (fun r -> member !server_origin r) cs
+                    in
+                    if receives_server && note c then changed := true
+                | _ -> ())
+              sends)
+          scb_branches
+      done;
+      let server_to_server = List.sort String.compare !server_origin in
+      (* write-path phase machine *)
+      let visited = Hashtbl.create 8 in
+      let frontier = ref [] and vd_phase_count = ref 0 in
+      let process_branch key ctx b =
+        if not (Hashtbl.mem visited key) then begin
+          Hashtbl.replace visited key ();
+          let sends, phases = scan_body ~ctx b.body in
+          let sends_vd =
+            List.exists
+              (fun s ->
+                match (s.dst, s.ctor) with
+                | (To_server | Reply), Some c -> member vd c
+                | _ -> false)
+              sends
+          in
+          if sends_vd then incr vd_phase_count;
+          List.iter
+            (fun p ->
+              if not (member !frontier p) then frontier := p :: !frontier)
+            phases
+        end
+      in
+      List.iteri
+        (fun i b ->
+          if matches b.sel1 "Write" then
+            process_branch (Printf.sprintf "inv-%d" i) Client_fn b)
+        inv_branches;
+      let fp_changed = ref true in
+      while !fp_changed do
+        fp_changed := false;
+        let before = Hashtbl.length visited in
+        List.iteri
+          (fun i b ->
+            let reachable =
+              List.exists (fun p -> matches b.sel2 p) !frontier
+            in
+            if reachable then
+              process_branch (Printf.sprintf "ccb-%d" i) Client_fn b)
+          ccb_branches;
+        if Hashtbl.length visited > before then fp_changed := true
+      done;
+      let declared_gossip, declared_single_phase = declared_flags u in
+      Some
+        {
+          algo;
+          unit_mod = u.modname;
+          source_path = u.source_path;
+          value_dependent = vd;
+          client_to_server = List.sort String.compare client_to_server;
+          server_to_server;
+          gossip = not (List.is_empty server_to_server);
+          write_value_phases = !vd_phase_count;
+          declared_gossip;
+          declared_single_phase;
+        }
+  | _ -> None
+
+let algo_unit (u : Cmt_loader.unit_info) =
+  Names.starts_with ~prefix:"lib/algorithms/" u.source_path
+  && not (String.equal (Filename.basename u.source_path) "common.ml")
+
+let profiles (ctx : Pass.ctx) =
+  ctx.units
+  |> List.filter algo_unit
+  |> List.filter_map (profile_of_unit ctx.graph)
+  |> List.sort (fun a b -> String.compare a.algo b.algo)
+
+(* ----- certification ----- *)
+
+let check_profile ?mistag (p : profile) =
+  let out = ref [] in
+  let loc = Location.none in
+  let emit code msg =
+    out :=
+      {
+        (Pass.diag ~file:p.source_path ~rule:name ~code loc msg) with
+        line = 1;
+        col = 0;
+      }
+      :: !out
+  in
+  (match p.declared_gossip with
+  | Some d when Bool.equal d p.gossip -> ()
+  | Some d ->
+      emit "flag-mismatch"
+        (Printf.sprintf
+           "%s declares uses_gossip = %b but the extracted topology shows %s \
+            (server->server constructors: [%s])"
+           p.algo d
+           (if p.gossip then "server gossip" else "no server-to-server sends")
+           (String.concat "; " p.server_to_server))
+  | None ->
+      emit "flag-mismatch"
+        (Printf.sprintf "%s has no uses_gossip record literal to certify"
+           p.algo));
+  (match p.declared_single_phase with
+  | Some d when Bool.equal d (p.write_value_phases = 1) -> ()
+  | Some d ->
+      emit "flag-mismatch"
+        (Printf.sprintf
+           "%s declares single_value_phase = %b but its write path has %d \
+            value-dependent phases"
+           p.algo d p.write_value_phases)
+  | None ->
+      emit "flag-mismatch"
+        (Printf.sprintf
+           "%s has no single_value_phase record literal to certify" p.algo));
+  let entry_check =
+    let tamper (e : Bounds.Applicability.entry) =
+      match mistag with
+      | Some a when String.equal a e.algo ->
+          { e with no_server_gossip = not e.no_server_gossip }
+      | _ -> e
+    in
+    match Bounds.Applicability.find p.algo with
+    | None -> Error (Printf.sprintf "no bound-applicability entry for %S" p.algo)
+    | Some e ->
+        let e = tamper e in
+        Bounds.Applicability.check ~algo:e.algo ~gossip:p.gossip
+          ~value_phases:p.write_value_phases
+        |> Result.map (fun base ->
+               (* re-run the comparison against the (possibly tampered)
+                  entry rather than the table's *)
+               let v = ref base in
+               (if Option.is_some mistag then
+                  let fresh = ref [] in
+                  (if e.no_server_gossip && p.gossip then
+                     fresh :=
+                       (Printf.sprintf
+                          "entry claims the Thm 4.1 / Cor 4.2 \
+                           no-server-gossip bound applies to %s, but its \
+                           servers do gossip" e.algo)
+                       :: !fresh);
+                  (if (not e.no_server_gossip) && not p.gossip then
+                     fresh :=
+                       (Printf.sprintf
+                          "entry excludes %s from the Thm 4.1 / Cor 4.2 \
+                           bound as gossiping, but no server-to-server send \
+                           exists" e.algo)
+                       :: !fresh);
+                  v := !fresh);
+               !v)
+  in
+  (match entry_check with
+  | Error why -> emit "missing-entry" why
+  | Ok violations ->
+      List.iter (fun msg -> emit "bound-misapplied" ("lib/bounds: " ^ msg)) violations);
+  List.rev !out
+
+let check_with ?mistag (ctx : Pass.ctx) =
+  let out = List.concat_map (check_profile ?mistag) (profiles ctx) in
+  List.sort Lint.Diagnostic.compare out
+
+let check ctx = check_with ctx
+
+(* ----- machine-readable profiles ----- *)
+
+let profiles_json ps =
+  let b = Buffer.create 1024 in
+  let str_list xs =
+    "[" ^ String.concat "," (List.map (fun s -> "\"" ^ Lint.Diagnostic.escape s ^ "\"") xs) ^ "]"
+  in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b
+        (Printf.sprintf
+           {|{"algo":"%s","unit":"%s","gossip":%b,"write_value_phases":%d,"value_dependent":%s,"client_to_server":%s,"server_to_server":%s,"declared_gossip":%s,"declared_single_phase":%s}|}
+           (Lint.Diagnostic.escape p.algo)
+           (Lint.Diagnostic.escape p.unit_mod)
+           p.gossip p.write_value_phases
+           (str_list p.value_dependent)
+           (str_list p.client_to_server)
+           (str_list p.server_to_server)
+           (match p.declared_gossip with
+           | Some v -> Bool.to_string v
+           | None -> "null")
+           (match p.declared_single_phase with
+           | Some v -> Bool.to_string v
+           | None -> "null")))
+    ps;
+  (match ps with [] -> () | _ -> Buffer.add_string b "\n");
+  Buffer.add_string b "]";
+  Buffer.contents b

@@ -1,0 +1,41 @@
+(** SA4: static protocol-topology certification.  Extracts a message
+    profile per algorithm (value-dependent constructors, client/server
+    send topology, value-dependent write-phase count) from the typed
+    AST and checks it against the module's own declared flags and the
+    bound-applicability table in lib/bounds (Thm 4.1 / Cor 4.2 need no
+    server gossip; Thm 6.5 / Cor 6.6 need a single value-dependent
+    write phase). *)
+
+val name : string
+val codes : (string * string) list
+
+type profile = {
+  algo : string;  (** source basename, e.g. ["cas"] *)
+  unit_mod : string;
+  source_path : string;
+  value_dependent : string list;  (** sorted constructor names *)
+  client_to_server : string list;
+  server_to_server : string list;
+  gossip : bool;  (** [server_to_server <> []] *)
+  write_value_phases : int;
+  declared_gossip : bool option;  (** [uses_gossip] record literal *)
+  declared_single_phase : bool option;
+}
+
+val profiles : Pass.ctx -> profile list
+(** One profile per unit under lib/algorithms (excluding common) that
+    defines the three transition functions, sorted by algo. *)
+
+val profile_of_unit : Callgraph.t -> Cmt_loader.unit_info -> profile option
+(** Exposed for the fixture tests. *)
+
+val check : Pass.ctx -> Lint.Diagnostic.t list
+
+val check_with : ?mistag:string -> Pass.ctx -> Lint.Diagnostic.t list
+(** [check] with one applicability entry's [no_server_gossip] flag
+    deliberately inverted — the SMEC_SA_CANARY=1 self-test proving the
+    gate actually fails on a mis-tagged table. *)
+
+val profiles_json : profile list -> string
+(** JSON array used by [smec-sa --profiles] and the runtime
+    differential test. *)

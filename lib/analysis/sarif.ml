@@ -1,0 +1,39 @@
+(* Minimal SARIF 2.1.0 writer: one run, one driver, the pass codes as
+   rules and each diagnostic as a result with a physical location.
+   Enough for the CI artifact upload and for editors that ingest
+   SARIF; nothing repo-specific beyond the tool name. *)
+
+let esc = Lint.Diagnostic.escape
+
+let rule_json (id, description) =
+  Printf.sprintf
+    {|{"id":"%s","shortDescription":{"text":"%s"}}|}
+    (esc id) (esc description)
+
+let result_json (d : Lint.Diagnostic.t) =
+  Printf.sprintf
+    {|{"ruleId":"%s","level":"warning","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+    (esc (d.rule ^ "/" ^ d.code))
+    (esc d.message) (esc d.file)
+    (max 1 d.line)
+    (d.col + 1)
+
+let report ~tool ~rules findings =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    {|{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"|};
+  Buffer.add_string b (esc tool);
+  Buffer.add_string b {|","rules":[|};
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (rule_json r))
+    rules;
+  Buffer.add_string b {|]}},"results":[|};
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (result_json d))
+    findings;
+  Buffer.add_string b "]}]}";
+  Buffer.contents b

@@ -1,0 +1,11 @@
+(** Minimal SARIF 2.1.0 rendering of smec-sa findings, for the CI
+    artifact and SARIF-ingesting editors. *)
+
+val report :
+  tool:string ->
+  rules:(string * string) list ->
+  Lint.Diagnostic.t list ->
+  string
+(** [report ~tool ~rules findings] is a complete single-run SARIF
+    document; [rules] pairs are [(id, short description)] where the id
+    is the ["family/code"] spelling used by result [ruleId]s. *)

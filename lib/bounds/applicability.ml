@@ -1,0 +1,94 @@
+(* Which of the paper's bounds apply to which implemented algorithm.
+
+   The lower bounds are conditional on structural properties of the
+   protocol: Theorem 4.1 / Corollary 4.2 hold only when servers never
+   gossip, and Theorem 6.5 / Corollary 6.6 only when every write has a
+   single value-dependent phase (the nu* bound).  This table is the
+   single authoritative statement of those claims for the algorithms in
+   lib/algorithms; smec-sa's SA4 pass certifies each entry against the
+   protocol shape it extracts from the typed AST, and the runtime
+   differential test certifies SA4 against observed message traces, so
+   a claim here cannot silently drift from the code. *)
+
+type entry = {
+  algo : string;
+  names : string list;
+  no_server_gossip : bool;
+  single_value_phase : bool;
+}
+
+let table =
+  [
+    {
+      algo = "abd";
+      names = [ "abd-swmr"; "swsr-regular" ];
+      no_server_gossip = true;
+      single_value_phase = true;
+    };
+    {
+      algo = "abd_mw";
+      names = [ "abd-mwmr" ];
+      no_server_gossip = true;
+      single_value_phase = true;
+    };
+    {
+      algo = "cas";
+      names = [ "cas" ];
+      no_server_gossip = true;
+      single_value_phase = true;
+    };
+    {
+      algo = "awe";
+      names = [ "awe-two-phase" ];
+      no_server_gossip = true;
+      (* the writer announces the tag before sending coded symbols:
+         two value-dependent phases, so Cor 6.6 does NOT apply *)
+      single_value_phase = false;
+    };
+    {
+      algo = "gossip_rep";
+      names = [ "gossip-replication" ];
+      (* servers forward values peer-to-peer: excluded from Thm 4.1 *)
+      no_server_gossip = false;
+      single_value_phase = true;
+    };
+  ]
+
+let find algo =
+  List.find_opt
+    (fun e ->
+      String.equal e.algo algo || List.exists (String.equal algo) e.names)
+    table
+
+let check ~algo ~gossip ~value_phases =
+  match find algo with
+  | None -> Error (Printf.sprintf "no bound-applicability entry for %S" algo)
+  | Some e ->
+      let violations = ref [] in
+      let claim msg = violations := msg :: !violations in
+      if e.no_server_gossip && gossip then
+        claim
+          (Printf.sprintf
+             "entry claims the Thm 4.1 / Cor 4.2 no-server-gossip bound \
+              applies to %s, but its servers do gossip"
+             e.algo);
+      if (not e.no_server_gossip) && not gossip then
+        claim
+          (Printf.sprintf
+             "entry excludes %s from the Thm 4.1 / Cor 4.2 bound as \
+              gossiping, but no server-to-server send exists"
+             e.algo);
+      if e.single_value_phase && value_phases <> 1 then
+        claim
+          (Printf.sprintf
+             "entry claims the Thm 6.5 / Cor 6.6 nu* bound applies to %s \
+              (single value-dependent write phase), but its writes have %d \
+              value-dependent phases"
+             e.algo value_phases);
+      if (not e.single_value_phase) && value_phases = 1 then
+        claim
+          (Printf.sprintf
+             "entry excludes %s from the Thm 6.5 / Cor 6.6 bound, but its \
+              writes have exactly one value-dependent phase"
+             e.algo);
+      Ok (List.rev !violations)

@@ -1,0 +1,31 @@
+(** The bound-applicability table: which conditional lower bounds of the
+    paper apply to which algorithm in [lib/algorithms].
+
+    Theorem 4.1 / Corollary 4.2 require that servers never gossip;
+    Theorem 6.5 / Corollary 6.6 require a single value-dependent write
+    phase.  Each entry asserts those two structural properties for one
+    algorithm module; smec-sa's SA4 pass fails the build when an entry
+    contradicts the protocol shape extracted from the typed AST. *)
+
+type entry = {
+  algo : string;  (** module basename in [lib/algorithms], e.g. ["cas"] *)
+  names : string list;  (** the [Algo.name] strings the module exports *)
+  no_server_gossip : bool;
+      (** Thm 4.1 / Cor 4.2 applicable: no server-to-server sends *)
+  single_value_phase : bool;
+      (** Thm 6.5 / Cor 6.6 applicable: writes have exactly one
+          value-dependent phase *)
+}
+
+val table : entry list
+(** One entry per algorithm module; kept exhaustive — SA4 reports a
+    missing entry as a finding. *)
+
+val find : string -> entry option
+(** Look up by module basename or by exported algorithm name. *)
+
+val check :
+  algo:string -> gossip:bool -> value_phases:int -> (string list, string) result
+(** Compare an entry against an observed/extracted protocol shape:
+    [Ok []] means consistent, [Ok violations] lists each contradiction,
+    [Error] means no entry exists for [algo]. *)

@@ -1,6 +1,8 @@
 (* Closed-form bounds of Cadambe-Wang-Lynch, PODC 2016.  See bounds.mli
    for the mapping from functions to theorem numbers. *)
 
+module Applicability = Applicability
+
 type params = { n : int; f : int }
 
 let params ~n ~f =

@@ -16,6 +16,10 @@
     the parameters are outside the regime of the corresponding theorem
     (e.g. [f >= n], non-positive [n]). *)
 
+module Applicability = Applicability
+(** Which conditional bounds apply to which implemented algorithm; the
+    table smec-sa's SA4 pass certifies.  See {!Applicability}. *)
+
 type params = {
   n : int;  (** number of servers, [n >= 1] *)
   f : int;  (** failure tolerance, [0 <= f < n] *)

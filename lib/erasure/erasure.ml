@@ -260,7 +260,10 @@ let plan_key idxs ~count =
 (* Look up (or build and cache) the decode plan for a sorted surviving
    set.  Eviction is least-recently-used over a 64-entry table — the
    Storage sweeps and CAS reads cycle through a handful of erasure
-   patterns, so steady state never inverts. *)
+   patterns, so steady state never inverts.  The option return is the
+   cache-miss API (None = non-invertible, impossible for MDS); callers
+   pattern-match once per decode, not per word. *)
+(* sa: allow alloc *)
 let plan_of (ws : workspace) c idxs ~count =
   let key = plan_key idxs ~count in
   ws.tick <- ws.tick + 1;
@@ -293,6 +296,10 @@ let plan_of (ws : workspace) c idxs ~count =
           Hashtbl.add ws.plans key { rows; last_used = ws.tick };
           Some rows)
 
+(* The option return is the decode API: None = fewer than k usable
+   shards.  One Some block per decoded value, dwarfed by the value
+   string itself. *)
+(* sa: allow alloc *)
 let decode_with (ws : workspace) c ~value_len symbols =
   if value_len < 0 then invalid_arg "Erasure.decode: negative length";
   let sl = shard_len c ~value_len in
@@ -310,6 +317,9 @@ let decode_with (ws : workspace) c ~value_len symbols =
       for j = 0 to c.k - 1 do
         Bytes.blit syms.(j) 0 value (j * sl) sl
       done;
+      (* dropping the shard padding into an immutable result string is
+         the decode contract; one copy per decoded value *)
+      (* sa: allow alloc *)
       Some (Bytes.sub_string value 0 value_len)
     end
     else
@@ -322,9 +332,13 @@ let decode_with (ws : workspace) c ~value_len symbols =
             Gf256.dot_into ~dst:value ~dst_pos:(j * sl) ~len:sl
               ~coeffs:rows.(j) ~srcs:syms
           done;
+          (* same contract as the systematic path above *)
+          (* sa: allow alloc *)
           Some (Bytes.sub_string value 0 value_len)
   end
 
+(* thin wrapper: same option contract as [decode_with] *)
+(* sa: allow alloc *)
 let decode c ~value_len symbols =
   decode_with (Domain.DLS.get default_ws) c ~value_len symbols
 
@@ -343,6 +357,10 @@ let reference_encode c value =
         out
       end)
 
+(* The reference path is the differential-testing oracle: deliberately
+   naive scalar code, never on a hot path.  Its allocations are the
+   point — simplest possible semantics to diff the kernels against. *)
+(* sa: allow alloc *)
 let reference_decode c ~value_len symbols =
   if value_len < 0 then invalid_arg "Erasure.reference_decode: negative length";
   let sl = shard_len c ~value_len in
@@ -371,12 +389,15 @@ let reference_decode c ~value_len symbols =
         let syms = Array.of_list (List.map snd chosen) in
         let value = Bytes.make (c.k * sl) '\000' in
         for j = 0 to c.k - 1 do
+          (* oracle simplicity over reuse *)
+          (* sa: allow alloc *)
           let acc = Bytes.make sl '\000' in
           for i = 0 to c.k - 1 do
             Gf256.Scalar.mul_add_into acc (Linalg.get inv j i) syms.(i)
           done;
           Bytes.blit acc 0 value (j * sl) sl
         done;
+        (* sa: allow alloc *)
         Some (Bytes.sub_string value 0 value_len)
   end
 

@@ -1,0 +1,212 @@
+(* Baselines let a new analysis pass land gated on "no NEW findings"
+   without fixing every historic one in the same change: a committed
+   JSON file records the accepted findings, [filter] subtracts them
+   from a fresh run, and anything left fails the gate.
+
+   Fingerprints deliberately exclude line/column so that unrelated
+   edits shifting code around do not invalidate the baseline; a file
+   may carry several identical findings, so each fingerprint stores a
+   count and [filter] absorbs at most that many occurrences. *)
+
+type t = (string, int) Hashtbl.t
+
+let fingerprint (d : Diagnostic.t) =
+  String.concat "|" [ d.file; d.rule; d.code; d.message ]
+
+let counted ds =
+  let tbl : t = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      let fp = fingerprint d in
+      let n = Option.value ~default:0 (Hashtbl.find_opt tbl fp) in
+      Hashtbl.replace tbl fp (n + 1))
+    ds;
+  tbl
+
+let filter baseline ds =
+  let budget = Hashtbl.copy baseline in
+  List.filter
+    (fun d ->
+      let fp = fingerprint d in
+      match Hashtbl.find_opt budget fp with
+      | Some n when n > 0 ->
+          Hashtbl.replace budget fp (n - 1);
+          false
+      | _ -> true)
+    ds
+
+let render ds =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i (d : Diagnostic.t) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b
+        (Printf.sprintf
+           {|{"file":"%s","rule":"%s","code":"%s","message":"%s"}|}
+           (Diagnostic.escape d.file)
+           (Diagnostic.escape d.rule)
+           (Diagnostic.escape d.code)
+           (Diagnostic.escape d.message)))
+    ds;
+  (match ds with [] -> () | _ -> Buffer.add_string b "\n");
+  Buffer.add_string b "]\n";
+  Buffer.contents b
+
+let write ~path ds =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render ds))
+
+(* Minimal JSON reader for the format [render] emits: an array of flat
+   objects with string fields.  Tolerates arbitrary whitespace and
+   unknown fields; anything else is a parse error.  Kept hand-rolled
+   because the repo deliberately has no JSON dependency. *)
+exception Bad of string
+
+let parse_entries text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let fail why = raise (Bad (Printf.sprintf "at byte %d: %s" !pos why)) in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when Char.equal c c' -> incr pos
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = text.[!pos] in
+        incr pos;
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+            (if !pos >= n then fail "truncated escape"
+             else
+               let e = text.[!pos] in
+               incr pos;
+               match e with
+               | '"' -> Buffer.add_char b '"'
+               | '\\' -> Buffer.add_char b '\\'
+               | '/' -> Buffer.add_char b '/'
+               | 'n' -> Buffer.add_char b '\n'
+               | 't' -> Buffer.add_char b '\t'
+               | 'r' -> Buffer.add_char b '\r'
+               | 'u' ->
+                   if !pos + 4 > n then fail "truncated \\u escape";
+                   let hex = String.sub text !pos 4 in
+                   pos := !pos + 4;
+                   let v =
+                     match int_of_string_opt ("0x" ^ hex) with
+                     | Some v -> v
+                     | None -> fail "bad \\u escape"
+                   in
+                   (* baseline strings are ASCII control chars at most *)
+                   if v < 0x80 then Buffer.add_char b (Char.chr v)
+                   else fail "non-ASCII \\u escape"
+               | _ -> fail "unknown escape");
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            go ()
+    in
+    go ()
+  in
+  let parse_object () =
+    expect '{';
+    let fields = ref [] in
+    skip_ws ();
+    (match peek () with
+    | Some '}' -> incr pos
+    | _ ->
+        let rec members () =
+          let key = (skip_ws (); parse_string ()) in
+          expect ':';
+          let v = (skip_ws (); parse_string ()) in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              incr pos;
+              members ()
+          | Some '}' -> incr pos
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ());
+    !fields
+  in
+  expect '[';
+  let entries = ref [] in
+  skip_ws ();
+  (match peek () with
+  | Some ']' -> incr pos
+  | _ ->
+      let rec elements () =
+        entries := parse_object () :: !entries;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            elements ()
+        | Some ']' -> incr pos
+        | _ -> fail "expected ',' or ']'"
+      in
+      elements ());
+  skip_ws ();
+  if !pos < n then fail "trailing content";
+  List.rev !entries
+
+let of_string text =
+  match parse_entries text with
+  | entries ->
+      let field fields k =
+        match List.find_opt (fun (k', _) -> String.equal k k') fields with
+        | Some (_, v) -> v
+        | None -> raise (Bad (Printf.sprintf "entry missing field %S" k))
+      in
+      let tbl : t = Hashtbl.create 64 in
+      List.iter
+        (fun fields ->
+          let fp =
+            String.concat "|"
+              [
+                field fields "file";
+                field fields "rule";
+                field fields "code";
+                field fields "message";
+              ]
+          in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt tbl fp) in
+          Hashtbl.replace tbl fp (prev + 1))
+        entries;
+      Ok tbl
+  | exception Bad why -> Error ("baseline: " ^ why)
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> (
+      match of_string text with
+      | Ok tbl -> Ok tbl
+      | Error why -> Error (Printf.sprintf "%s: %s" path why))
+  | exception Sys_error why ->
+      Error (Printf.sprintf "baseline: cannot read %s (%s)" path why)

@@ -1,0 +1,34 @@
+(** Finding baselines: record today's accepted findings in a committed
+    JSON file so a gate can fail only on {e new} ones.  Shared by
+    smec-lint and smec-sa ([--baseline] / [--write-baseline]).
+
+    Fingerprints are [file|rule|code|message] — line numbers are
+    deliberately excluded so unrelated edits that shift code do not
+    invalidate the baseline.  Duplicate findings are handled by count:
+    the baseline absorbs at most as many occurrences of a fingerprint
+    as it records. *)
+
+type t = (string, int) Hashtbl.t
+(** fingerprint -> number of accepted occurrences *)
+
+val fingerprint : Diagnostic.t -> string
+
+val counted : Diagnostic.t list -> t
+(** Fingerprint multiset of a finding list. *)
+
+val filter : t -> Diagnostic.t list -> Diagnostic.t list
+(** Drop findings covered by the baseline (up to the recorded count per
+    fingerprint); what remains is "new". *)
+
+val render : Diagnostic.t list -> string
+(** The baseline file body for a finding list: a JSON array of
+    [{file,rule,code,message}] objects, one per occurrence. *)
+
+val write : path:string -> Diagnostic.t list -> unit
+(** [render] to a file. *)
+
+val of_string : string -> (t, string) result
+(** Parse a baseline file body. *)
+
+val load : path:string -> (t, string) result
+(** Read and parse a baseline file; [Error] on IO or parse failure. *)

@@ -21,6 +21,10 @@ val compare : t -> t -> int
 val to_string : t -> string
 (** [file:line:col [code] message]. *)
 
+val escape : string -> string
+(** JSON string-body escaping (shared with {!Baseline} and smec-sa's
+    SARIF writer). *)
+
 val to_json : t -> string
 (** One JSON object; strings escaped. *)
 

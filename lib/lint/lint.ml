@@ -1,6 +1,7 @@
 module Diagnostic = Diagnostic
 module Source = Source
 module Rule = Rule
+module Baseline = Baseline
 
 let rules : Rule.t list =
   [
@@ -14,10 +15,51 @@ let rule_docs () =
   List.map (fun (module R : Rule.S) -> (R.name, R.codes)) rules
 
 let check_source (src : Source.t) =
-  List.concat_map (fun (module R : Rule.S) -> R.check src) rules
-  |> List.filter (fun (d : Diagnostic.t) ->
-         not (Source.allowed src ~line:d.line ~rule:d.rule ~code:d.code))
-  |> List.sort Diagnostic.compare
+  let raw = List.concat_map (fun (module R : Rule.S) -> R.check src) rules in
+  (* Track which allow tokens actually fire so stale markers can be
+     reported: a suppression that no longer matches anything is usually
+     a leftover from refactored code (or a typo'd code name). *)
+  let used : (int * string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let keep (d : Diagnostic.t) =
+    match Source.suppressor src ~line:d.line ~rule:d.rule ~code:d.code with
+    | Some site ->
+        Hashtbl.replace used site ();
+        false
+    | None -> true
+  in
+  let findings = List.filter keep raw in
+  (* Test sources embed lint fixtures as string literals, and the
+     textual marker scan cannot tell those from real comments — skip
+     the staleness check there. *)
+  let unused =
+    match src.section with
+    | Source.Test -> []
+    | _ ->
+    List.concat_map
+      (fun (line, tokens) ->
+        List.filter_map
+          (fun tok ->
+            if Hashtbl.mem used (line, tok) then None
+            else
+              Some
+                Diagnostic.
+                  {
+                    file = src.path;
+                    line;
+                    col = 0;
+                    rule = "lint";
+                    code = "unused-suppression";
+                    message =
+                      Printf.sprintf
+                        "suppression %S matches no finding on this or the \
+                         next line; delete the stale marker (or fix the code \
+                         name)"
+                        tok;
+                  })
+          tokens)
+      src.allows
+  in
+  List.sort Diagnostic.compare (findings @ unused)
 
 let parse_error_diag ~path why =
   Diagnostic.
@@ -58,16 +100,25 @@ let source_files ~root dirs =
     dirs;
   List.sort String.compare !acc
 
-let scan ~root dirs =
-  List.concat_map
+type scan_result = { findings : Diagnostic.t list; errors : string list }
+
+(* Findings and infrastructure failures (unreadable or unparseable
+   files) are distinct outcomes: smec_lint maps the former to exit 1
+   and the latter to exit 2. *)
+let scan_all ~root dirs =
+  let findings = ref [] and errors = ref [] in
+  List.iter
     (fun path ->
       match Source.load ~root path with
-      | Ok src -> check_source src
-      | Error why -> [ parse_error_diag ~path why ])
-    (source_files ~root dirs)
-  |> List.sort Diagnostic.compare
+      | Ok src -> findings := check_source src :: !findings
+      | Error why -> errors := why :: !errors)
+    (source_files ~root dirs);
+  {
+    findings = List.sort Diagnostic.compare (List.concat !findings);
+    errors = List.rev !errors;
+  }
 
-let render_text ds =
+let render_text ?(label = "lint") ds =
   let b = Buffer.create 1024 in
   List.iter
     (fun d ->
@@ -75,10 +126,10 @@ let render_text ds =
       Buffer.add_char b '\n')
     ds;
   (match ds with
-  | [] -> Buffer.add_string b "lint: no findings\n"
+  | [] -> Buffer.add_string b (Printf.sprintf "%s: no findings\n" label)
   | _ ->
       Buffer.add_string b
-        (Printf.sprintf "lint: %d finding%s\n" (List.length ds)
+        (Printf.sprintf "%s: %d finding%s\n" label (List.length ds)
            (match ds with [ _ ] -> "" | _ -> "s")));
   Buffer.contents b
 

@@ -12,6 +12,9 @@ module Diagnostic = Diagnostic
 module Source = Source
 module Rule = Rule
 
+module Baseline = Baseline
+(** Shared [--baseline] support; see {!Baseline}. *)
+
 val rules : Rule.t list
 
 val rule_docs : unit -> (string * (string * string) list) list
@@ -19,7 +22,11 @@ val rule_docs : unit -> (string * (string * string) list) list
 
 val check_source : Source.t -> Diagnostic.t list
 (** Run every rule over one parsed source and drop suppressed
-    findings; sorted by position. *)
+    findings; sorted by position.  Allow tokens that suppress nothing
+    are themselves reported as [unused-suppression] findings, so stale
+    markers cannot accumulate ([.mli] markers included — interfaces
+    carry suppressions for tools like smec-sa's exception-escape
+    pass). *)
 
 val check_string : path:string -> string -> Diagnostic.t list
 (** {!check_source} over an in-memory snippet ([path] decides section
@@ -30,11 +37,16 @@ val source_files : root:string -> string list -> string list
 (** All [.ml]/[.mli] under the given repo-relative directories, sorted;
     skips [_build]-like and hidden directories. *)
 
-val scan : root:string -> string list -> Diagnostic.t list
-(** Lint every source file under the given directories. *)
+type scan_result = { findings : Diagnostic.t list; errors : string list }
 
-val render_text : Diagnostic.t list -> string
+val scan_all : root:string -> string list -> scan_result
+(** Lint every source file under the given directories.  Findings and
+    infrastructure errors (unreadable / unparseable files) are kept
+    apart so callers can exit 1 vs 2 on them. *)
+
+val render_text : ?label:string -> Diagnostic.t list -> string
 (** One [file:line:col [code] message] line per finding plus a summary
-    line. *)
+    line prefixed by [label] (default ["lint"]; smec-sa passes its own
+    name). *)
 
 val render_json : Diagnostic.t list -> string

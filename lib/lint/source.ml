@@ -24,15 +24,33 @@ let section_of_path path =
 (* Extract [(* lint: allow code1 code2 *)] markers, line by line.  The
    scan is textual (the parser drops comments), which also means markers
    inside string literals would count; in practice lint tests quote
-   whole fixture files, so the marker syntax is unambiguous enough. *)
-let allows_of_text text =
-  let marker = "lint: allow" in
+   whole fixture files, so the marker syntax is unambiguous enough.
+   [marker] lets other tools reuse the same syntax under their own
+   namespace — smec-sa scans for [(* sa: allow ... *)]. *)
+let allows_of_text ?(marker = "lint: allow") text =
   let lines = String.split_on_char '\n' text in
   let find_marker line =
     let n = String.length line and m = String.length marker in
+    (* A suppression site is a comment that OPENS with the marker:
+       [(* lint: allow code *)].  Requiring the "(*" directly before the
+       marker (and not itself preceded by '[', the doc-quotation
+       convention) keeps mentions in prose and string literals from
+       counting as — and, since unused markers warn, from being flagged
+       as — stale suppressions. *)
+    let opens_comment i =
+      let rec back j =
+        if j >= 0 && Char.equal line.[j] ' ' then back (j - 1) else j
+      in
+      let p = back (i - 1) in
+      p >= 1
+      && Char.equal line.[p] '*'
+      && Char.equal line.[p - 1] '('
+      && not (p >= 2 && Char.equal line.[p - 2] '[')
+    in
     let rec go i =
       if i + m > n then None
-      else if String.equal (String.sub line i m) marker then Some (i + m)
+      else if String.equal (String.sub line i m) marker then
+        if opens_comment i then Some (i + m) else go (i + m)
       else go (i + 1)
     in
     go 0
@@ -110,12 +128,15 @@ let load ~root path =
   | exception Sys_error why ->
       Error (Printf.sprintf "Source.load: cannot read %s (%s)" fs_path why)
 
-let allowed t ~line ~rule ~code =
-  let matches (l, codes) =
-    (Int.equal l line || Int.equal l (line - 1))
-    && List.exists
-         (fun c ->
-           String.equal c code || String.equal c rule || String.equal c "all")
-         codes
+let suppressor t ~line ~rule ~code =
+  let matches c =
+    String.equal c code || String.equal c rule || String.equal c "all"
   in
-  List.exists matches t.allows
+  List.find_map
+    (fun (l, codes) ->
+      if Int.equal l line || Int.equal l (line - 1) then
+        Option.map (fun tok -> (l, tok)) (List.find_opt matches codes)
+      else None)
+    t.allows
+
+let allowed t ~line ~rule ~code = Option.is_some (suppressor t ~line ~rule ~code)

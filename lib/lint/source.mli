@@ -26,6 +26,13 @@ type t = {
 val section_of_path : string -> section
 (** Classify by leading path component ([lib/..] -> [Lib], ...). *)
 
+val allows_of_text : ?marker:string -> string -> (int * string list) list
+(** Textual scan for suppression comments: every line carrying
+    [(* <marker> code1 code2 *)] yields [(line, codes)].  The default
+    marker is the one of [(* lint: allow ... *)]; smec-sa reuses the
+    machinery with the [(* sa: allow ... *)] namespace.  Works on any
+    text, [.mli] interfaces included. *)
+
 val of_string : path:string -> string -> (t, string) result
 (** Parse an in-memory snippet as the file [path] (whose extension
     selects implementation vs interface syntax).  [Error] carries the
@@ -39,3 +46,8 @@ val allowed : t -> line:int -> rule:string -> code:string -> bool
 (** Is a diagnostic with [code] (from family [rule]) at [line]
     suppressed?  True when an allow comment on the same or the
     preceding line names the code, the family, or [all]. *)
+
+val suppressor : t -> line:int -> rule:string -> code:string -> (int * string) option
+(** Like {!allowed} but returns the [(marker line, token)] that matched,
+    so the runner can flag allow tokens that never fire as
+    [unused-suppression]. *)

@@ -1,0 +1,14 @@
+(* SA2 negative fixture — buffer reuse, integer accumulators, no
+   per-iteration allocation.  The lone stale marker below suppresses
+   nothing and must surface as unused-suppression from Analysis.run. *)
+
+let fill dst =
+  for i = 0 to Bytes.length dst - 1 do
+    Bytes.unsafe_set dst i 'x'
+  done
+
+(* sa: allow alloc *)
+let checksum xs =
+  let acc = ref 0 in
+  Array.iter (fun x -> acc := !acc + x) xs;
+  !acc

@@ -1,0 +1,26 @@
+(* SA2 positive fixture — one site per alloc code.  The suppressed
+   [Bytes.sub] additionally exercises the (* sa: allow *) filtering in
+   Analysis.run: the raw pass reports it, the runner drops it. *)
+
+let fill_all n =
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let b = Bytes.create 8 in
+    (* alloc-in-loop *)
+    let get () = Bytes.get b 0 in
+    (* closure-in-loop *)
+    out := (i, b, get) :: !out
+  done;
+  !out
+
+(* sa: allow sub-copy *)
+let head b = Bytes.sub b 0 4
+
+let pair x = (x, x + 1) (* boxed-return: tuple *)
+let maybe x = if x > 0 then Some x else None (* boxed-return: option *)
+
+let mean xs =
+  let total = ref 0.0 in
+  (* float-box *)
+  Array.iter (fun x -> total := !total +. x) xs;
+  !total /. float_of_int (Array.length xs)

@@ -1,0 +1,5 @@
+(* SA3 negative fixture: documented, total, or handled. *)
+
+let lookup t k = Hashtbl.find t k
+let safe t k = match Hashtbl.find_opt t k with Some v -> v | None -> 0
+let guarded t k = try Hashtbl.find t k with Not_found -> 0

@@ -1,0 +1,8 @@
+val lookup : (string, int) Hashtbl.t -> string -> int
+(** Lookup.  @raise Not_found when the key is absent. *)
+
+val safe : (string, int) Hashtbl.t -> string -> int
+(** Total lookup: absent keys read as 0. *)
+
+val guarded : (string, int) Hashtbl.t -> string -> int
+(** Total lookup via an exception handler. *)

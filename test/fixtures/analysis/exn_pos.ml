@@ -1,0 +1,5 @@
+(* SA3 positive fixture: both exports can raise Not_found (deep only
+   through the call graph) and neither doc says so. *)
+
+let lookup t k = Hashtbl.find t k
+let deep t k = lookup t k + 1

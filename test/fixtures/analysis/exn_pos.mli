@@ -1,0 +1,5 @@
+val lookup : (string, int) Hashtbl.t -> string -> int
+(** Plain lookup; silent about the miss behaviour. *)
+
+val deep : (string, int) Hashtbl.t -> string -> int
+(** Indirect lookup; the raise set must propagate here too. *)

@@ -1,0 +1,29 @@
+(* SA1 negative fixture — the same shapes made safe.  [counters] is
+   only ever touched under [guard] (the per-node lock heuristic);
+   [squares] is sealed: fully built inside its defining expression,
+   never mutated again, so cross-domain reads are fine.  This is
+   exactly how the gf256 product tables are constructed. *)
+
+let counters : (int, int) Hashtbl.t = Hashtbl.create 16
+let guard = Mutex.create ()
+
+let bump k =
+  Mutex.lock guard;
+  let v = match Hashtbl.find_opt counters k with Some v -> v | None -> 0 in
+  Hashtbl.replace counters k (v + 1);
+  Mutex.unlock guard
+
+let squares =
+  let t = Array.make 16 0 in
+  for i = 0 to 15 do
+    t.(i) <- i * i
+  done;
+  t
+
+let peek i = squares.(i)
+
+let hammer () =
+  let a = Domain.spawn (fun () -> bump 1) in
+  let b = Domain.spawn (fun () -> ignore (peek 3)) in
+  Domain.join a;
+  Domain.join b

@@ -1,0 +1,16 @@
+(* SA1 positive fixture — the planted cross-domain race canary: a
+   top-level Hashtbl mutated (and read) from two Domain.spawn
+   callbacks with no synchronization whatsoever.  sa1-domain must
+   report both a domain-race (the write) and a domain-read-race. *)
+
+let counters : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let bump k =
+  let v = match Hashtbl.find_opt counters k with Some v -> v | None -> 0 in
+  Hashtbl.replace counters k (v + 1)
+
+let hammer () =
+  let a = Domain.spawn (fun () -> bump 1) in
+  let b = Domain.spawn (fun () -> bump 2) in
+  Domain.join a;
+  Domain.join b

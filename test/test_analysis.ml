@@ -1,0 +1,278 @@
+(* smec-sa pass tests: positive and negative fixtures per rule
+   (compiled to .cmt in-test with ocamlc -bin-annot), the runner's
+   suppression and stale-marker handling, and SA4's certification of
+   the real algorithm tree — including the deliberately mis-tagged
+   applicability entry that must fail the gate. *)
+
+let fixture_dir = "fixtures/analysis"
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let write_file path text =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* Copy the named fixtures into an isolated directory (keeping any
+   subpath, so SA2's path-scoped kernel predicate sees lib/gf256/...),
+   compile them with -bin-annot, and load the resulting .cmts. *)
+let compile_ctx name placed =
+  let dir = "sa-fixture-" ^ name in
+  List.iter
+    (fun (src, dst) ->
+      mkdir_p (Filename.concat dir (Filename.dirname dst));
+      write_file (Filename.concat dir dst)
+        (read_file (Filename.concat fixture_dir src)))
+    placed;
+  let cmd =
+    Printf.sprintf "cd %s && ocamlc -bin-annot -w -a -c %s"
+      (Filename.quote dir)
+      (String.concat " " (List.map snd placed))
+  in
+  Alcotest.(check int) ("ocamlc " ^ name) 0 (Sys.command cmd);
+  let units, errors =
+    Analysis.Cmt_loader.load_tree ~build_root:dir ~dirs:[ "." ]
+  in
+  Alcotest.(check (list string)) ("cmt load " ^ name) [] errors;
+  Alcotest.(check bool) ("units loaded " ^ name) true (not (List.is_empty units));
+  Analysis.Pass.make_ctx ~root:dir units
+
+let codes ds = List.map (fun d -> d.Lint.Diagnostic.code) ds
+let has_code c ds = List.exists (String.equal c) (codes ds)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i =
+    i + ln <= lh && (String.equal (String.sub hay i ln) needle || go (i + 1))
+  in
+  go 0
+
+(* ----- SA1 domain-safety ----- *)
+
+let test_sa1_canary () =
+  let ctx = compile_ctx "race-pos" [ ("race_pos.ml", "race_pos.ml") ] in
+  let ds = Analysis.Sa1_domain.check ctx in
+  Alcotest.(check bool) "write race caught" true (has_code "domain-race" ds);
+  Alcotest.(check bool) "read race caught" true (has_code "domain-read-race" ds);
+  List.iter
+    (fun d ->
+      Alcotest.(check string) "flagged file" "race_pos.ml" d.Lint.Diagnostic.file)
+    ds
+
+let test_sa1_safe_shapes () =
+  let ctx = compile_ctx "race-neg" [ ("race_neg.ml", "race_neg.ml") ] in
+  Alcotest.(check (list string))
+    "mutex-guarded and sealed roots are silent" []
+    (List.map Lint.Diagnostic.to_string (Analysis.Sa1_domain.check ctx))
+
+(* ----- SA2 allocation audit ----- *)
+
+let alloc_pos_ctx () =
+  compile_ctx "alloc-pos" [ ("alloc_pos.ml", "lib/gf256/alloc_pos.ml") ]
+
+let test_sa2_all_codes () =
+  let ds = Analysis.Sa2_alloc.check (alloc_pos_ctx ()) in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " found") true (has_code c ds))
+    [ "alloc-in-loop"; "closure-in-loop"; "sub-copy"; "boxed-return"; "float-box" ]
+
+let test_sa2_clean () =
+  let ctx = compile_ctx "alloc-neg" [ ("alloc_neg.ml", "lib/gf256/alloc_neg.ml") ] in
+  Alcotest.(check (list string))
+    "reuse-style code is silent" []
+    (List.map Lint.Diagnostic.to_string (Analysis.Sa2_alloc.check ctx))
+
+(* The runner drops the (* sa: allow sub-copy *)-suppressed finding and
+   keeps the rest; no marker in alloc_pos is stale. *)
+let test_runner_suppression () =
+  match Analysis.run ~only:[ "alloc" ] (alloc_pos_ctx ()) with
+  | Error why -> Alcotest.fail why
+  | Ok { findings; unused } ->
+      Alcotest.(check bool) "sub-copy suppressed" false (has_code "sub-copy" findings);
+      Alcotest.(check bool) "others survive" true (has_code "alloc-in-loop" findings);
+      Alcotest.(check (list string))
+        "no stale markers" []
+        (List.map Lint.Diagnostic.to_string unused)
+
+(* alloc_neg is clean, so its lone marker must surface as stale. *)
+let test_runner_stale_marker () =
+  let ctx = compile_ctx "alloc-stale" [ ("alloc_neg.ml", "lib/gf256/alloc_neg.ml") ] in
+  match Analysis.run ~only:[ "alloc" ] ctx with
+  | Error why -> Alcotest.fail why
+  | Ok { findings; unused } ->
+      Alcotest.(check (list string))
+        "no findings" []
+        (List.map Lint.Diagnostic.to_string findings);
+      Alcotest.(check bool) "stale marker reported" true
+        (has_code "unused-suppression" unused)
+
+let test_runner_unknown_pass () =
+  match Analysis.run ~only:[ "no-such-pass" ] (alloc_pos_ctx ()) with
+  | Error why ->
+      Alcotest.(check bool) "names the pass" true
+        (contains why "no-such-pass")
+  | Ok _ -> Alcotest.fail "unknown pass accepted"
+
+(* ----- SA3 exception escape ----- *)
+
+let test_sa3_undocumented () =
+  let ctx =
+    compile_ctx "exn-pos"
+      [ ("exn_pos.mli", "exn_pos.mli"); ("exn_pos.ml", "exn_pos.ml") ]
+  in
+  let ds = Analysis.Sa3_exn.check ctx in
+  Alcotest.(check int) "both exports flagged" 2 (List.length ds);
+  List.iter
+    (fun d ->
+      Alcotest.(check string) "at the interface" "exn_pos.mli" d.Lint.Diagnostic.file;
+      Alcotest.(check bool) "names the exception" true
+        (contains d.Lint.Diagnostic.message "Not_found"))
+    ds
+
+let test_sa3_documented_or_total () =
+  let ctx =
+    compile_ctx "exn-neg"
+      [ ("exn_neg.mli", "exn_neg.mli"); ("exn_neg.ml", "exn_neg.ml") ]
+  in
+  Alcotest.(check (list string))
+    "documented, total and handled exports are silent" []
+    (List.map Lint.Diagnostic.to_string (Analysis.Sa3_exn.check ctx))
+
+(* ----- SA4 certification against the real tree ----- *)
+
+let algo_ctx () =
+  let units, errors =
+    Analysis.Cmt_loader.load_tree ~build_root:".." ~dirs:[ "lib/algorithms" ]
+  in
+  Alcotest.(check (list string)) "algorithm cmts load" [] errors;
+  Analysis.Pass.make_ctx ~root:".." units
+
+let profile name ps =
+  match
+    List.find_opt (fun p -> String.equal p.Analysis.Sa4_topology.algo name) ps
+  with
+  | Some p -> p
+  | None -> Alcotest.fail ("no profile for " ^ name)
+
+let test_sa4_profiles () =
+  let ps = Analysis.Sa4_topology.profiles (algo_ctx ()) in
+  Alcotest.(check (list string))
+    "all five algorithms profiled"
+    [ "abd"; "abd_mw"; "awe"; "cas"; "gossip_rep" ]
+    (List.map (fun p -> p.Analysis.Sa4_topology.algo) ps);
+  List.iter
+    (fun (name, gossip, phases) ->
+      let p = profile name ps in
+      Alcotest.(check bool) (name ^ " gossip") gossip p.Analysis.Sa4_topology.gossip;
+      Alcotest.(check int)
+        (name ^ " value-dependent write phases")
+        phases p.Analysis.Sa4_topology.write_value_phases)
+    [
+      ("abd", false, 1);
+      ("abd_mw", false, 1);
+      ("awe", false, 2);
+      ("cas", false, 1);
+      ("gossip_rep", true, 1);
+    ];
+  let gr = profile "gossip_rep" ps in
+  Alcotest.(check (list string))
+    "gossip_rep server-to-server constructors" [ "Gossip" ]
+    gr.Analysis.Sa4_topology.server_to_server
+
+let test_sa4_certifies_clean () =
+  Alcotest.(check (list string))
+    "real tree certifies" []
+    (List.map Lint.Diagnostic.to_string
+       (Analysis.Sa4_topology.check (algo_ctx ())))
+
+(* Flipping an applicability entry either way must fail the gate:
+   claiming Thm 4.1 for the gossiping algorithm, or excluding a
+   provably gossip-free one. *)
+let test_sa4_mistag_fails () =
+  let ctx = algo_ctx () in
+  List.iter
+    (fun algo ->
+      let ds = Analysis.Sa4_topology.check_with ~mistag:algo ctx in
+      Alcotest.(check bool)
+        ("mis-tagged " ^ algo ^ " entry detected")
+        true (has_code "bound-misapplied" ds))
+    [ "gossip_rep"; "cas" ]
+
+let test_sa4_profiles_json () =
+  let js = Analysis.Sa4_topology.profiles_json
+      (Analysis.Sa4_topology.profiles (algo_ctx ()))
+  in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) ("json has " ^ frag) true
+        (contains js frag))
+    [
+      {|"algo":"gossip_rep"|};
+      {|"gossip":true|};
+      {|"server_to_server":["Gossip"]|};
+      {|"write_value_phases":2|};
+    ]
+
+(* ----- baseline round trip (shared by smec-lint and smec-sa) ----- *)
+
+let test_baseline_roundtrip () =
+  let mk file code =
+    { Lint.Diagnostic.file; line = 3; col = 0; rule = "alloc"; code;
+      message = "msg with \"quotes\" and \\ backslash" }
+  in
+  let ds = [ mk "a.ml" "sub-copy"; mk "a.ml" "sub-copy"; mk "b.ml" "float-box" ] in
+  let b =
+    match Lint.Baseline.of_string (Lint.Baseline.render ds) with
+    | Ok b -> b
+    | Error why -> Alcotest.fail why
+  in
+  (* same findings at different lines are absorbed; extras survive *)
+  let moved = List.map (fun d -> { d with Lint.Diagnostic.line = 99 }) ds in
+  Alcotest.(check (list string))
+    "identical set fully absorbed" []
+    (List.map Lint.Diagnostic.to_string (Lint.Baseline.filter b moved));
+  let extra = mk "c.ml" "alloc-in-loop" in
+  Alcotest.(check int) "new finding survives" 1
+    (List.length (Lint.Baseline.filter b (extra :: moved)))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "sa1-domain",
+        [
+          Alcotest.test_case "canary race caught" `Quick test_sa1_canary;
+          Alcotest.test_case "safe shapes silent" `Quick test_sa1_safe_shapes;
+        ] );
+      ( "sa2-alloc",
+        [
+          Alcotest.test_case "all codes fire" `Quick test_sa2_all_codes;
+          Alcotest.test_case "clean unit silent" `Quick test_sa2_clean;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "suppression honored" `Quick test_runner_suppression;
+          Alcotest.test_case "stale marker flagged" `Quick test_runner_stale_marker;
+          Alcotest.test_case "unknown pass rejected" `Quick test_runner_unknown_pass;
+        ] );
+      ( "sa3-exn",
+        [
+          Alcotest.test_case "undocumented raise flagged" `Quick test_sa3_undocumented;
+          Alcotest.test_case "documented or total silent" `Quick
+            test_sa3_documented_or_total;
+        ] );
+      ( "sa4-topology",
+        [
+          Alcotest.test_case "profiles extracted" `Quick test_sa4_profiles;
+          Alcotest.test_case "real tree certifies" `Quick test_sa4_certifies_clean;
+          Alcotest.test_case "mis-tagged entry fails" `Quick test_sa4_mistag_fails;
+          Alcotest.test_case "profiles json" `Quick test_sa4_profiles_json;
+        ] );
+      ( "baseline",
+        [ Alcotest.test_case "round trip" `Quick test_baseline_roundtrip ] );
+    ]

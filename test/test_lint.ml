@@ -205,7 +205,8 @@ let test_missing_mli () =
   write "sealed.ml" "let x = 1\n";
   write "sealed.mli" "val x : int\n";
   write "open_surface.ml" "let y = 2\n";
-  let ds = Lint.scan ~root [ "lib" ] in
+  let { Lint.findings = ds; errors } = Lint.scan_all ~root [ "lib" ] in
+  Alcotest.(check (list string)) "scan reports no errors" [] errors;
   hit "ml without mli flagged"
     (Some ("lib/demo/open_surface.ml", 1))
     (find_line "missing-mli" ds);

@@ -1,0 +1,182 @@
+(* Static/runtime differential for SA4's protocol profiles: for every
+   algorithm, wrap the transition functions so each emitted envelope is
+   logged with its sender, drive a full write then a full read under
+   the Driver, and check the observed topology against the profile
+   smec-sa extracts from the .cmt files alone:
+
+   - gossip iff some server-to-server send is observed;
+   - the observed server-to-server constructor set equals the static
+     one (gossip_rep: exactly [Gossip]);
+   - the number of distinct value-dependent constructors a writer
+     sends toward servers equals the static write-phase count
+     (awe: 2 — Announce then Pre; everyone else: 1);
+   - every observed client-to-server constructor is statically
+     predicted;
+   - the declared uses_gossip / single_value_phase flags match both
+     sides. *)
+
+open Engine.Types
+
+type sent = { src : endpoint; dst : endpoint; ctor : string; vd : bool }
+
+(* Runtime constructor names come from [encode_msg], whose convention
+   across the algorithms is [lowercase_ctor(fields)]. *)
+let ctor_of_encoded s =
+  let prefix =
+    match String.index_opt s '(' with Some i -> String.sub s 0 i | None -> s
+  in
+  String.capitalize_ascii prefix
+
+(* Wrap an algorithm so every send is logged with its sender. *)
+let observe (a : ('ss, 'cs, 'm) algo) =
+  let log = ref [] in
+  let note src outs =
+    List.iter
+      (fun { dst; payload } ->
+        log :=
+          {
+            src;
+            dst;
+            ctor = ctor_of_encoded (a.encode_msg payload);
+            vd = a.is_value_dependent payload;
+          }
+          :: !log)
+      outs
+  in
+  let wrapped =
+    {
+      a with
+      on_invoke =
+        (fun p ~me cs op ->
+          let cs', outs = a.on_invoke p ~me cs op in
+          note (Client me) outs;
+          (cs', outs));
+      on_client_msg =
+        (fun p ~me cs ~src m ->
+          let cs', outs, r = a.on_client_msg p ~me cs ~src m in
+          note (Client me) outs;
+          (cs', outs, r));
+      on_server_msg =
+        (fun p ~me ss ~src m ->
+          let ss', outs = a.on_server_msg p ~me ss ~src m in
+          note (Server me) outs;
+          (ss', outs));
+    }
+  in
+  (wrapped, log)
+
+type observed = {
+  client_to_server : string list;
+  server_to_server : string list;
+  vd_write_ctors : string list;
+      (* distinct value-dependent ctors the writer sent toward servers *)
+}
+
+let uniq_sorted xs = List.sort_uniq String.compare xs
+
+let run_algo (a : ('ss, 'cs, 'm) algo) =
+  let p = Engine.Types.params ~n:4 ~f:1 ~value_len:3 () in
+  let wrapped, log = observe a in
+  let c = Engine.Config.make wrapped p ~clients:2 in
+  let rng = Engine.Driver.rng_of_seed 42 in
+  let c = Engine.Driver.write_exn wrapped c ~client:0 ~value:"abc" ~rng in
+  let write_sends = List.rev !log in
+  log := [];
+  (* flush pending server-to-server traffic, then a full read *)
+  let c = Engine.Driver.drain_gossip wrapped c ~rng in
+  let _v, _c = Engine.Driver.read_exn wrapped c ~client:1 ~rng in
+  let all = write_sends @ List.rev !log in
+  let pick pred = uniq_sorted (List.filter_map pred all) in
+  {
+    client_to_server =
+      pick (fun s ->
+          match (s.src, s.dst) with
+          | Client _, Server _ -> Some s.ctor
+          | _ -> None);
+    server_to_server =
+      pick (fun s ->
+          match (s.src, s.dst) with
+          | Server _, Server _ -> Some s.ctor
+          | _ -> None);
+    vd_write_ctors =
+      uniq_sorted
+        (List.filter_map
+           (fun s ->
+             match (s.src, s.dst) with
+             | Client 0, Server _ when s.vd -> Some s.ctor
+             | _ -> None)
+           write_sends);
+  }
+
+(* ----- the static side ----- *)
+
+let profiles =
+  lazy
+    (let units, errors =
+       Analysis.Cmt_loader.load_tree ~build_root:".." ~dirs:[ "lib/algorithms" ]
+     in
+     match errors with
+     | [] ->
+         Analysis.Sa4_topology.profiles
+           (Analysis.Pass.make_ctx ~root:".." units)
+     | why :: _ -> Alcotest.fail why)
+
+let static_profile name =
+  match
+    List.find_opt
+      (fun p -> String.equal p.Analysis.Sa4_topology.algo name)
+      (Lazy.force profiles)
+  with
+  | Some p -> p
+  | None -> Alcotest.fail ("no static profile for " ^ name)
+
+let subset xs ys = List.for_all (fun x -> List.exists (String.equal x) ys) xs
+
+let check_differential name (a : ('ss, 'cs, 'm) algo) () =
+  let s = static_profile name in
+  let o = run_algo a in
+  let runtime_gossip = not (List.is_empty o.server_to_server) in
+  Alcotest.(check bool)
+    "static gossip verdict matches the execution"
+    runtime_gossip s.Analysis.Sa4_topology.gossip;
+  Alcotest.(check (list string))
+    "server-to-server constructor sets agree" o.server_to_server
+    s.Analysis.Sa4_topology.server_to_server;
+  Alcotest.(check int)
+    "value-dependent write phase counts agree"
+    (List.length o.vd_write_ctors)
+    s.Analysis.Sa4_topology.write_value_phases;
+  Alcotest.(check bool)
+    "observed client-to-server constructors all predicted" true
+    (subset o.client_to_server s.Analysis.Sa4_topology.client_to_server);
+  Alcotest.(check (option bool))
+    "declared uses_gossip extracted" (Some a.uses_gossip)
+    s.Analysis.Sa4_topology.declared_gossip;
+  Alcotest.(check (option bool))
+    "declared single_value_phase extracted"
+    (Some a.single_value_phase)
+    s.Analysis.Sa4_topology.declared_single_phase;
+  Alcotest.(check bool)
+    "declared gossip flag matches the execution" runtime_gossip a.uses_gossip;
+  Alcotest.(check bool)
+    "declared phase flag matches the execution"
+    (Int.equal (List.length o.vd_write_ctors) 1)
+    a.single_value_phase
+
+let () =
+  Alcotest.run "topology-differential"
+    [
+      ( "static-vs-runtime",
+        [
+          Alcotest.test_case "abd" `Quick
+            (check_differential "abd" Algorithms.Abd.algo);
+          Alcotest.test_case "abd_mw" `Quick
+            (check_differential "abd_mw" Algorithms.Abd_mw.algo);
+          Alcotest.test_case "awe" `Quick
+            (check_differential "awe" Algorithms.Awe.algo);
+          Alcotest.test_case "cas" `Quick
+            (check_differential "cas" Algorithms.Cas.algo);
+          Alcotest.test_case "gossip_rep" `Quick
+            (check_differential "gossip_rep" Algorithms.Gossip_rep.algo);
+        ] );
+    ]
