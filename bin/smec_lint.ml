@@ -31,8 +31,15 @@ let print_rules () =
         codes)
     (Lint.rule_docs ())
 
+let sarif_rules () =
+  List.concat_map
+    (fun (family, codes) ->
+      List.map (fun (code, doc) -> (family ^ "/" ^ code, doc)) codes)
+    (Lint.rule_docs ())
+
 let () =
   let json = ref false in
+  let sarif = ref "" in
   let root = ref "." in
   let list_rules = ref false in
   let baseline = ref "" in
@@ -41,6 +48,9 @@ let () =
   let spec =
     [
       ("--json", Arg.Set json, " emit the report as JSON");
+      ( "--sarif",
+        Arg.Set_string sarif,
+        "FILE additionally write a SARIF 2.1.0 report to FILE" );
       ("--root", Arg.Set_string root, "DIR repository root (default: .)");
       ("--rules", Arg.Set list_rules, " list rule families and codes, then exit");
       ( "--baseline",
@@ -83,6 +93,14 @@ let () =
             prerr_endline ("smec_lint: " ^ why);
             exit 2
     in
+    if not (String.equal !sarif "") then begin
+      let oc = open_out !sarif in
+      output_string oc
+        (Analysis.Sarif.report ~tool:"smec-lint" ~rules:(sarif_rules ())
+           findings);
+      output_string oc "\n";
+      close_out oc
+    end;
     if !json then print_endline (Lint.render_json findings)
     else print_string (Lint.render_text findings);
     if not (List.is_empty errors) then exit 2;

@@ -5,17 +5,22 @@
    inferred types: SA1 domain-safety of top-level mutable state, SA2
    hot-path allocation audit, SA3 interprocedural exception escape,
    SA4 static protocol-topology certification against the lib/bounds
-   applicability table.  Suppress a finding with an
-   [(* sa: allow <code> *)] comment on the same or preceding line;
-   stale markers are flagged as [unused-suppression].
+   applicability table, SA5 purity/determinism certification of the
+   engine's transition entry points, canonicalization, lib/bounds and
+   the algorithm transitions, SA6 quorum-intersection safety
+   certification by exhaustive subset enumeration.  Suppress a finding
+   with an [(* sa: allow <code> *)] comment on the same or preceding
+   line; stale markers are flagged as [unused-suppression].
 
    Exit codes mirror smec-lint: 0 clean, 1 unsuppressed findings,
    2 the analysis itself could not run (unreadable .cmt, bad baseline,
    unknown pass).
 
    SMEC_SA_CANARY=1 deliberately inverts the gossip_rep entry of the
-   bound-applicability table before certification; the run MUST then
-   fail — check.sh uses this to prove the gate can actually fire.
+   bound-applicability table before certification; SMEC_SA_CANARY=2
+   weakens every SA6 quorum threshold by one before the discharge.
+   Either way the run MUST then fail — check.sh uses both to prove the
+   gate can actually fire.
 
    See docs/ANALYSIS.md for the pass catalogue and the approximations. *)
 
@@ -94,12 +99,13 @@ let () =
            (Analysis.Sa4_topology.profiles ctx));
       exit (match errors with [] -> 0 | _ -> 2)
     end;
-    let mistag =
+    let mistag, weaken =
       match Sys.getenv_opt "SMEC_SA_CANARY" with
-      | Some "1" -> Some "gossip_rep"
-      | _ -> None
+      | Some "1" -> (Some "gossip_rep", None)
+      | Some "2" -> (None, Some true)
+      | _ -> (None, None)
     in
-    match Analysis.run ~only:!passes ?mistag ctx with
+    match Analysis.run ~only:!passes ?mistag ?weaken ctx with
     | Error why ->
         prerr_endline ("smec_sa: " ^ why);
         exit 2

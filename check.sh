@@ -26,6 +26,25 @@ dune runtest
 SMEC_SA_CANARY=1 dune exec bin/smec_sa.exe -- --baseline analysis-baseline.json lib bin \
   && { echo "smec-sa canary NOT caught" >&2; exit 1; } \
   || true
+
+# SA6 quorum off-by-one canary: every threshold weakened by one must
+# fail the intersection discharge somewhere on the admitted grid
+SMEC_SA_CANARY=2 dune exec bin/smec_sa.exe -- --baseline analysis-baseline.json lib bin \
+  && { echo "smec-sa quorum canary NOT caught" >&2; exit 1; } \
+  || true
+
+# SA5 planted impure engine: the purity_pos fixture compiled at an
+# engine path must fail the purity gate
+canary_dir=_build/sa5-canary
+rm -rf "$canary_dir"
+mkdir -p "$canary_dir/lib/engine"
+cp test/fixtures/analysis/purity_pos.ml "$canary_dir/lib/engine/"
+( cd "$canary_dir" && ocamlc -bin-annot -w -a -c lib/engine/purity_pos.ml )
+dune exec bin/smec_sa.exe -- --root "$canary_dir" --build-dir "$canary_dir" --passes sa5-purity lib \
+  && { echo "smec-sa purity canary NOT caught" >&2; exit 1; } \
+  || true
+rm -rf "$canary_dir"
+
 dune exec bin/smec_sa.exe -- --baseline analysis-baseline.json lib bin
 
 # kernel == reference byte-identity across the (n, k) x shard grid

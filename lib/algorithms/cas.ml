@@ -74,12 +74,17 @@ type client_state = { next_rid : int; phase : client_phase }
 let cache_mutex = Mutex.create ()
 let code_cache : (int * int, Erasure.t) Hashtbl.t = Hashtbl.create 8
 
+(* SA5: the cache memoizes the pure function (n, k) -> Erasure.t, so
+   the value observed never depends on WHO filled the table, only on
+   the key — observably deterministic despite the global state. *)
 let code_of (p : params) =
   Mutex.protect cache_mutex (fun () ->
+      (* sa: allow global-read *)
       match Hashtbl.find_opt code_cache (p.n, p.k) with
       | Some c -> c
       | None ->
           let c = Erasure.create ~n:p.n ~k:p.k in
+          (* sa: allow global-write *)
           Hashtbl.add code_cache (p.n, p.k) c;
           c)
 
@@ -98,15 +103,19 @@ let workspace () = Domain.DLS.get ws_key
 let init_symbols_cache : (int * int * int, bytes array) Hashtbl.t =
   Hashtbl.create 8
 
+(* SA5: memo of the pure function (n, k, value_len) -> codeword, same
+   argument as [code_of] — deterministic in the key. *)
 let initial_symbols (p : params) =
   let key = (p.n, p.k, p.value_len) in
   (* resolve the code first: [cache_mutex] is not recursive *)
   let code = code_of p in
   Mutex.protect cache_mutex (fun () ->
+      (* sa: allow global-read *)
       match Hashtbl.find_opt init_symbols_cache key with
       | Some s -> s
       | None ->
           let s = Erasure.encode code (initial_value p) in
+          (* sa: allow global-write *)
           Hashtbl.add init_symbols_cache key s;
           s)
 

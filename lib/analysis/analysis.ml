@@ -16,6 +16,9 @@ module Sa1_domain = Sa1_domain
 module Sa2_alloc = Sa2_alloc
 module Sa3_exn = Sa3_exn
 module Sa4_topology = Sa4_topology
+module Sa5_purity = Sa5_purity
+module Sa6_quorum = Sa6_quorum
+module Dataflow = Dataflow
 module Sarif = Sarif
 
 let marker = "sa: allow"
@@ -26,6 +29,8 @@ let passes : Pass.t list =
     (module Sa2_alloc);
     (module Sa3_exn);
     (module Sa4_topology);
+    (module Sa5_purity);
+    (module Sa6_quorum);
   ]
 
 let pass_names = List.map (fun (module P : Pass.S) -> P.name) passes
@@ -82,7 +87,7 @@ let suppressor allows ~line ~rule ~code =
   in
   match on line with Some m -> Some m | None -> on (line - 1)
 
-let run ?(only = []) ?mistag (ctx : Pass.ctx) =
+let run ?(only = []) ?mistag ?weaken (ctx : Pass.ctx) =
   Result.map
     (fun selected ->
       let raw =
@@ -90,6 +95,8 @@ let run ?(only = []) ?mistag (ctx : Pass.ctx) =
           (fun (module P : Pass.S) ->
             if String.equal P.name Sa4_topology.name then
               Sa4_topology.check_with ?mistag ctx
+            else if String.equal P.name Sa6_quorum.name then
+              Sa6_quorum.check_with ?weaken ctx
             else P.check ctx)
           selected
       in

@@ -1,21 +1,27 @@
 (** smec-sa: typed-AST deep analysis over the dune build's .cmt files.
 
-    Four passes share one loaded tree and one interprocedural call
+    Six passes share one loaded tree and one interprocedural call
     graph ({!Callgraph}): SA1 domain-safety of top-level mutable state,
     SA2 hot-path allocation audit, SA3 interprocedural exception
     escape, SA4 static protocol-topology certification against the
-    lib/bounds applicability table.  The {!run} entry filters findings
-    through [(* sa: allow <code> *)] comments and reports stale
-    markers.  See docs/ANALYSIS.md. *)
+    lib/bounds applicability table, SA5 purity/determinism
+    certification of the certified set (a {!Dataflow} fixpoint), SA6
+    quorum-intersection safety certification by exhaustive subset
+    enumeration.  The {!run} entry filters findings through
+    [(* sa: allow <code> *)] comments and reports stale markers.  See
+    docs/ANALYSIS.md. *)
 
 module Names = Names
 module Cmt_loader = Cmt_loader
 module Callgraph = Callgraph
 module Pass = Pass
+module Dataflow = Dataflow
 module Sa1_domain = Sa1_domain
 module Sa2_alloc = Sa2_alloc
 module Sa3_exn = Sa3_exn
 module Sa4_topology = Sa4_topology
+module Sa5_purity = Sa5_purity
+module Sa6_quorum = Sa6_quorum
 module Sarif = Sarif
 
 val marker : string
@@ -36,8 +42,13 @@ type outcome = {
 }
 
 val run :
-  ?only:string list -> ?mistag:string -> Pass.ctx -> (outcome, string) result
+  ?only:string list ->
+  ?mistag:string ->
+  ?weaken:bool ->
+  Pass.ctx ->
+  (outcome, string) result
 (** Run the selected passes (all when [only] is empty) and filter
     through suppressions.  [mistag] inverts one bound-applicability
-    entry before SA4's certification — the gate's own canary
-    (SMEC_SA_CANARY).  [Error] reports unknown pass names. *)
+    entry before SA4's certification, [weaken] drops every SA6 quorum
+    threshold by one — the gate's own canaries (SMEC_SA_CANARY=1 and
+    =2).  [Error] reports unknown pass names. *)

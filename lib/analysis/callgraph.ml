@@ -103,8 +103,14 @@ let let_bound_names expr =
   names
 
 (* Walk one node body, filling in calls / value_refs / opaque / lock /
-   domain-entry facts. *)
-let analyze_node node =
+   domain-entry facts.  Runs after every node of every unit has been
+   inserted, so a bare-name call can be checked against the unit's own
+   top-level bindings: mutually recursive siblings from
+   [let rec ... and ...] (and forward uses inside them) resolve as
+   ordinary unit-internal calls instead of being misclassified as
+   opaque, which would otherwise poison every fixpoint built on the
+   graph with the join over all escaping nodes. *)
+let analyze_node t node =
   let locals = let_bound_names node.expr in
   let calls = ref [] and value_refs = ref [] in
   let in_entry_arg = ref false in
@@ -127,7 +133,8 @@ let analyze_node node =
             if Names.is_lock_intro name then node.locks <- true;
             if
               (not (String.contains name '.'))
-              && not (Hashtbl.mem locals name)
+              && (not (Hashtbl.mem locals name))
+              && not (Hashtbl.mem t.nodes (node.unit_mod ^ "." ^ name))
             then node.has_opaque_call <- true;
             if Names.is_domain_entry_intro name then begin
               node.introduces_domain <- true;
@@ -212,7 +219,7 @@ let build (units : Cmt_loader.unit_info list) =
         (structure_bindings ~rev_prefix:[] u.structure))
     units;
   let t = { nodes; order = List.rev !order } in
-  iter_nodes t analyze_node;
+  iter_nodes t (analyze_node t);
   t
 
 (* ----- reachability ----- *)

@@ -1,0 +1,107 @@
+(* A generic monotone-framework fixpoint over Callgraph.
+
+   Summaries are context-insensitive: one lattice element per node,
+   the least fixpoint of
+
+     S(n) = S(n) JOIN transfer(n, S restricted to n's callees)
+
+   computed with a worklist.  The engine discovers dependencies
+   dynamically: every [summary_of] lookup a transfer performs is
+   recorded as an edge, and when a node's summary later grows, exactly
+   the nodes that looked it up are re-queued.  This handles mutual
+   recursion (cycles simply iterate until their members stabilize) and
+   lets a transfer consult any node it can name, not only syntactic
+   call edges.
+
+   The previous summary is always joined into the new one, so the
+   per-node sequence is an ascending chain even for a transfer that is
+   not monotone; termination then needs only finite lattice height.
+   A generous iteration budget (1000 evaluations per node) turns an
+   infinite ascent — an unbounded lattice fed by a buggy transfer —
+   into a loud failure instead of a hang. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) = struct
+  type summaries = {
+    table : (string, L.t) Hashtbl.t;
+    evaluations : int;
+  }
+
+  let get s id =
+    match Hashtbl.find_opt s.table id with
+    | Some v -> v
+    | None -> L.bottom
+
+  let evaluations s = s.evaluations
+
+  let solve (g : Callgraph.t) ~transfer =
+    let table : (string, L.t) Hashtbl.t = Hashtbl.create 256 in
+    let dependents : (string, (string, unit) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let queue = Queue.create () in
+    let queued : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+    let push id =
+      if not (Hashtbl.mem queued id) then begin
+        Hashtbl.replace queued id ();
+        Queue.add id queue
+      end
+    in
+    let node_count = ref 0 in
+    Callgraph.iter_nodes g (fun n ->
+        incr node_count;
+        push n.id);
+    let budget = 1000 * max 1 !node_count in
+    let evaluations = ref 0 in
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      Hashtbl.remove queued id;
+      incr evaluations;
+      if !evaluations > budget then
+        failwith
+          "Dataflow.solve: fixpoint exceeded its iteration budget (is the \
+           lattice of finite height and the transfer ascending?)";
+      match Callgraph.find g id with
+      | None -> ()
+      | Some n ->
+          let summary_of name =
+            match Callgraph.resolve g ~unit_mod:n.unit_mod name with
+            | None -> None
+            | Some cid ->
+                let deps =
+                  match Hashtbl.find_opt dependents cid with
+                  | Some d -> d
+                  | None ->
+                      let d = Hashtbl.create 4 in
+                      Hashtbl.replace dependents cid d;
+                      d
+                in
+                Hashtbl.replace deps id ();
+                Some
+                  (match Hashtbl.find_opt table cid with
+                  | Some v -> v
+                  | None -> L.bottom)
+          in
+          let prev =
+            match Hashtbl.find_opt table id with
+            | Some v -> v
+            | None -> L.bottom
+          in
+          let next = L.join prev (transfer n ~summary_of) in
+          if not (Hashtbl.mem table id) || not (L.equal prev next) then begin
+            Hashtbl.replace table id next;
+            if not (L.equal prev next) then
+              match Hashtbl.find_opt dependents id with
+              | Some deps -> Hashtbl.iter (fun d () -> push d) deps
+              | None -> ()
+          end
+    done;
+    { table; evaluations = !evaluations }
+end

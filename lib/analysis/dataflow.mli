@@ -1,0 +1,58 @@
+(** Generic interprocedural dataflow: a monotone-framework worklist
+    fixpoint over {!Callgraph}, computing one context-insensitive
+    summary per top-level binding.
+
+    A client supplies a join-semilattice with bottom and a transfer
+    function; the engine iterates
+
+    {v S(n) = S(n) JOIN transfer(n, S|callees of n) v}
+
+    to its least fixpoint.  Dependencies are discovered dynamically:
+    each [summary_of] lookup the transfer makes is recorded, and a node
+    whose summary grows re-queues exactly its recorded dependents, so
+    mutually recursive bindings converge by iteration rather than a
+    single-visit approximation.  [summary_of] returns [None] for names
+    that resolve to no graph node (externals); the transfer owns the
+    policy for those — see docs/ANALYSIS.md for how SA5 classifies
+    them. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+
+  val equal : t -> t -> bool
+  (** Equality of abstract values; the fixpoint test.  Only needs to be
+      an equivalence compatible with [join] (witness-carrying lattices
+      may compare just the effect bits). *)
+
+  val join : t -> t -> t
+  (** Least upper bound.  Must be associative, commutative and
+      idempotent modulo [equal]; test/test_dataflow.ml checks these
+      laws with qcheck on SA5's instance. *)
+end
+
+module Make (L : LATTICE) : sig
+  type summaries
+
+  val solve :
+    Callgraph.t ->
+    transfer:
+      (Callgraph.node -> summary_of:(string -> L.t option) -> L.t) ->
+    summaries
+  (** Run to fixpoint.  [transfer n ~summary_of] computes n's summary
+      from its body plus the current approximation of any node it asks
+      [summary_of] about ([summary_of] resolves the name from [n]'s
+      unit, like {!Callgraph.resolve}).  The previous summary is joined
+      in, so the per-node chain ascends even under a non-monotone
+      transfer; termination requires finite lattice height.
+      @raise Failure if the fixpoint exceeds 1000 evaluations per node
+      (an infinite ascending chain). *)
+
+  val get : summaries -> string -> L.t
+  (** Summary of a node id; bottom for unknown ids. *)
+
+  val evaluations : summaries -> int
+  (** Number of transfer evaluations the fixpoint took (for tests and
+      budget assertions). *)
+end

@@ -97,6 +97,11 @@ let is_mutator name =
       "Stack.push";
       "Stack.pop";
       "Stack.clear";
+      (* gf256's unchecked byte store, declared [external] in-unit *)
+      "set64u";
+      (* writes its formatter argument; IO only when that formatter is
+         std_formatter, which SA5 flags at the std_formatter mention *)
+      "Format.fprintf";
     ]
     name
   || starts_with ~prefix:"Bytes.set" name
@@ -230,6 +235,204 @@ let raises_of_callee name =
   List.filter_map
     (fun (f, e) -> if String.equal f name then Some e else None)
     known_raisers
+
+(* ----- SA5 effect classification ----- *)
+
+(* Sources whose result depends on something other than the arguments:
+   randomness, clocks, the environment, scheduler identity.  Reaching
+   one from certified-pure code breaks schedule-determinism.  Hashtbl
+   traversals are included: their visit order depends on insertion
+   history and the polymorphic hash, which is exactly the kind of
+   incidental order the canonical encodings must not leak. *)
+let is_nondet_source name =
+  starts_with ~prefix:"Random." name
+  || starts_with ~prefix:"Unix." name
+  || member
+       [
+         "Sys.time";
+         "Sys.getenv";
+         "Sys.getenv_opt";
+         "Sys.argv";
+         "Sys.opaque_identity";
+         "Gc.stat";
+         "Gc.quick_stat";
+         "Gc.counters";
+         "Domain.spawn";
+         "Domain.join";
+         "Domain.self";
+         "Domain.is_main_domain";
+         "Domain.recommended_domain_count";
+         "Domain.cpu_relax";
+         "Hashtbl.iter";
+         "Hashtbl.fold";
+         "Hashtbl.to_seq";
+         "Hashtbl.to_seq_keys";
+         "Hashtbl.to_seq_values";
+         "Hashtbl.random_seed";
+       ]
+       name
+
+(* Calls that perform input/output or otherwise touch the world.  Pure
+   formatters (sprintf/asprintf) are deliberately absent. *)
+let is_io_primitive name =
+  starts_with ~prefix:"print_" name
+  || starts_with ~prefix:"prerr_" name
+  || starts_with ~prefix:"read_" name
+  || starts_with ~prefix:"output" name
+  || starts_with ~prefix:"input" name
+  || starts_with ~prefix:"open_" name
+  || starts_with ~prefix:"In_channel." name
+  || starts_with ~prefix:"Out_channel." name
+  || member
+       [
+         "exit";
+         "at_exit";
+         "close_in";
+         "close_out";
+         "flush";
+         "flush_all";
+         "really_input_string";
+         "Sys.command";
+         "Sys.remove";
+         "Sys.rename";
+         "Sys.mkdir";
+         "Sys.rmdir";
+         "Sys.chdir";
+         "Sys.readdir";
+         "Format.printf";
+         "Format.eprintf";
+         "Format.print_string";
+         "Format.print_newline";
+         "Format.open_box";
+         "Format.close_box";
+         "Printf.printf";
+         "Printf.eprintf";
+         "Printf.fprintf";
+       ]
+       name
+
+(* Representation-dependent encodings: equal abstract values need not
+   produce equal results, so a canonical encoding built on one is only
+   sound where the docs argue value identity (see encode_state). *)
+let is_repr_dependent name =
+  member
+    [
+      "Marshal.to_string";
+      "Marshal.to_bytes";
+      "Marshal.to_channel";
+      "Hashtbl.hash";
+      "Hashtbl.seeded_hash";
+      "Hashtbl.hash_param";
+    ]
+    name
+  || starts_with ~prefix:"Obj." name
+
+(* Dotted externals assumed effect-free for SA5 when nothing above (or
+   is_mutator on a global) matched first: the persistent collections,
+   string/byte/number kit, pure formatting, and the synchronization and
+   domain-local-storage primitives the engine's memo caches use (locks
+   serialize but do not alter values; DLS scratch is per-domain).  An
+   unlisted module falls through to the unclassified-external finding,
+   so this list fails closed. *)
+let pure_external_modules =
+  [
+    "List";
+    "ListLabels";
+    "Array";
+    "ArrayLabels";
+    "String";
+    "StringLabels";
+    "Bytes";
+    "BytesLabels";
+    "Char";
+    "Uchar";
+    "Int";
+    "Int32";
+    "Int64";
+    "Nativeint";
+    "Float";
+    "Bool";
+    "Option";
+    "Result";
+    "Either";
+    "Fun";
+    "Seq";
+    "Lazy";
+    "Map";
+    "Set";
+    "Queue";
+    "Stack";
+    "Buffer";
+    "Hashtbl";
+    "Filename";
+    "Digest";
+    "Printexc";
+    "Mutex";
+    "Atomic";
+    "Fqueue";
+    "Domain.DLS";
+  ]
+
+(* Pure-by-convention names for the functor-generated collection
+   modules (Int_set.cardinal, Chan_map.fold, Tag_map.add, ...): the
+   module is invisible to the .cmt reader once a functor made it, so we
+   trust the operation name.  Only names that no mutable-structure
+   module shares ambiguously matter here — Hashtbl.add is caught by
+   is_mutator before this list is consulted. *)
+let pure_collection_ops =
+  [
+    "empty"; "is_empty"; "mem"; "add"; "singleton"; "remove"; "union";
+    "inter"; "diff"; "cardinal"; "elements"; "min_elt"; "min_elt_opt";
+    "max_elt"; "max_elt_opt"; "choose"; "choose_opt"; "find"; "find_opt";
+    "find_first"; "find_last"; "iter"; "fold"; "for_all"; "exists";
+    "filter"; "filter_map"; "partition"; "map"; "mapi"; "split"; "subset";
+    "disjoint"; "bindings"; "of_list"; "to_list"; "of_seq"; "to_seq";
+    "update"; "merge"; "compare"; "equal"; "add_seq"; "push"; "pop";
+    "peek"; "to_rev_list";
+  ]
+
+(* Individually pure values of modules whose other members are not:
+   sprintf and friends format into a fresh string and never touch a
+   channel (Printf.printf/fprintf are caught by is_io_primitive, and
+   Format.fprintf by is_mutator, before purity is consulted). *)
+let pure_dotted_values =
+  [ "Printf.sprintf"; "Format.sprintf"; "Format.asprintf" ]
+
+let is_pure_external name =
+  match String.index_opt name '.' with
+  | None -> false
+  | Some i ->
+      let head = String.sub name 0 i in
+      let op = last_component name in
+      starts_with ~prefix:"Domain.DLS." name
+      || member pure_external_modules head
+      || member pure_collection_ops op
+      || member pure_dotted_values name
+
+(* Bare unresolved names are Stdlib top-level values after
+   normalization (locals and unit-internal bindings resolve in the
+   call graph first).  Everything outside this allowlist — e.g. an
+   applied function parameter — is opaque to SA5 and reported as an
+   unclassified external. *)
+let pure_bare_externals =
+  [
+    "max"; "min"; "abs"; "not"; "fst"; "snd"; "ignore"; "succ"; "pred";
+    "compare"; "string_of_int"; "string_of_float"; "string_of_bool";
+    "int_of_float"; "float_of_int"; "int_of_char"; "char_of_int";
+    "int_of_string"; "int_of_string_opt"; "float_of_string";
+    "float_of_string_opt"; "bool_of_string"; "bool_of_string_opt";
+    "invalid_arg"; "failwith"; "raise"; "raise_notrace"; "+"; "-"; "*";
+    "/"; "mod"; "land"; "lor"; "lxor"; "lnot"; "lsl"; "lsr"; "asr"; "+.";
+    "-."; "*."; "/."; "**"; "sqrt"; "exp"; "log"; "log10"; "log2"; "ceil";
+    "floor"; "abs_float"; "mod_float"; "truncate"; "="; "<>"; "<"; ">";
+    "<="; ">="; "=="; "!="; "&&"; "||"; "^"; "@"; "|>"; "@@"; "~-"; "~+";
+    "~-."; "~+."; "ref"; "!";
+    (* gf256's unchecked byte loads, declared [external] in-unit; the
+       matching store set64u is an is_mutator entry *)
+    "get64u"; "get16u"; "bswap64";
+  ]
+
+let is_pure_bare name = member pure_bare_externals name
 
 (* Domain-entry constructors: a function reaching Domain.spawn or
    handing a callback to Domain.DLS.new_key starts code that runs on

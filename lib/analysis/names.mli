@@ -38,6 +38,28 @@ val is_sub_copy : string -> bool
 val raises_of_callee : string -> string list
 (** Documented exceptions of well-known stdlib functions (SA3 seeds). *)
 
+val is_nondet_source : string -> bool
+(** Results depend on more than the arguments: randomness, clocks,
+    environment, domain identity, Hashtbl traversal order (SA5). *)
+
+val is_io_primitive : string -> bool
+(** Input/output and other world-touching calls (SA5). *)
+
+val is_repr_dependent : string -> bool
+(** Encodings sensitive to in-memory representation rather than value
+    ([Marshal], [Hashtbl.hash], [Obj]); only sound where value identity
+    is separately argued (SA5). *)
+
+val is_pure_external : string -> bool
+(** Dotted external assumed effect-free for SA5: persistent
+    collections, string/number kit, locks and DLS scratch.  Unlisted
+    modules fail closed to the unclassified-external finding. *)
+
+val is_pure_bare : string -> bool
+(** Bare (undotted) Stdlib values assumed effect-free for SA5; an
+    unlisted bare name (e.g. an applied function parameter) is
+    unclassified. *)
+
 val is_domain_entry_intro : string -> bool
 (** [Domain.spawn] / [Domain.DLS.new_key]: callbacks passed here run on
     other domains. *)

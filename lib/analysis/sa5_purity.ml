@@ -1,0 +1,526 @@
+(* SA5: purity and schedule-determinism certification.
+
+   The paper's executions are functions of the schedule: from one
+   configuration and one delivery choice, exactly one next
+   configuration.  The model checker leans on that (parallel
+   exploration merges states by canonical encoding), and the bounds in
+   lib/bounds are pure arithmetic.  This pass certifies it statically:
+
+   - every function gets an {e effect summary} — the pointwise-or
+     lattice over six effect bits (nondeterministic source, IO,
+     post-init global write, read of an open global, representation-
+     dependent encoding, unclassified external), each carrying a first
+     witness — computed as a Dataflow fixpoint over the call graph:
+     a function's summary is the join of its direct effects and its
+     resolved callees' summaries (mutual recursion converges by
+     iteration);
+
+   - the {e certified set} is the closure, over resolved call and
+     value-reference edges, of the certified roots: the engine's
+     transition entry points ([Config.step_deliver], [Config.invoke])
+     and its canonicalization ([encode_state]), every binding in
+     lib/bounds, and every algorithm transition binding in
+     lib/algorithms (the functions the engine invokes through the
+     [algo] record — this is how the engine's opaque record-projection
+     calls are covered);
+
+   - a finding is emitted at each {e introduction site} of an effect
+     inside the certified set, so an [(* sa: allow <code> *)] marker
+     sits exactly on the offending line with its rationale next to it.
+
+   Externals are classified by Names: nondet sources, IO primitives,
+   representation-dependent encoders, mutators (an effect only when
+   applied to a top-level mutable root), and the pure allowlists.
+   Anything else is reported as [unclassified-external] — the
+   classification fails closed.  Approximations (opaque calls through
+   the algo record, locks treated as effect-free, DLS scratch treated
+   as domain-local) are spelled out in docs/ANALYSIS.md. *)
+
+let name = "sa5-purity"
+
+let codes =
+  [
+    ( "nondet-source",
+      "certified-pure code reaches a nondeterministic source (Random, \
+       clocks, environment, domain identity, Hashtbl traversal order)" );
+    ("io-effect", "certified-pure code performs input/output");
+    ( "global-write",
+      "certified-pure code writes a top-level mutable value after module \
+       init" );
+    ( "global-read",
+      "certified-pure code reads a top-level mutable value that is written \
+       after module init" );
+    ( "repr-dependent",
+      "certified-pure code uses a representation-dependent encoding \
+       (Marshal, Hashtbl.hash, Obj)" );
+    ( "unclassified-external",
+      "certified-pure code calls an external or opaque value SA5 cannot \
+       classify; extend Names or restructure the call" );
+    ( "summary-escape",
+      "a certified root's effect summary is impure but no introduction \
+       site was found (value-position flow the site scan missed)" );
+  ]
+
+(* ----- the effect lattice ----- *)
+
+module Eff = struct
+  type witness = { prim : string; site : string }
+
+  type t = {
+    nondet : witness option;
+    io : witness option;
+    global_write : witness option;
+    global_read : witness option;
+    repr : witness option;
+    unclassified : witness option;
+  }
+
+  let bottom =
+    {
+      nondet = None;
+      io = None;
+      global_write = None;
+      global_read = None;
+      repr = None;
+      unclassified = None;
+    }
+
+  (* Keep the first (left) witness: joins accumulate along the
+     deterministic worklist order, and equality ignores witnesses, so
+     the lattice laws hold modulo [equal]. *)
+  let keep a b = match a with Some _ -> a | None -> b
+
+  let join a b =
+    {
+      nondet = keep a.nondet b.nondet;
+      io = keep a.io b.io;
+      global_write = keep a.global_write b.global_write;
+      global_read = keep a.global_read b.global_read;
+      repr = keep a.repr b.repr;
+      unclassified = keep a.unclassified b.unclassified;
+    }
+
+  let bits t =
+    [
+      Option.is_some t.nondet;
+      Option.is_some t.io;
+      Option.is_some t.global_write;
+      Option.is_some t.global_read;
+      Option.is_some t.repr;
+      Option.is_some t.unclassified;
+    ]
+
+  let equal a b = List.equal Bool.equal (bits a) (bits b)
+
+  let leq a b =
+    List.for_all2 (fun x y -> (not x) || y) (bits a) (bits b)
+
+  let is_pure t = List.for_all (fun b -> not b) (bits t)
+
+  let wit b = if b then Some { prim = "test"; site = "test" } else None
+
+  let make ?(nondet = false) ?(io = false) ?(global_write = false)
+      ?(global_read = false) ?(repr = false) ?(unclassified = false) () =
+    {
+      nondet = wit nondet;
+      io = wit io;
+      global_write = wit global_write;
+      global_read = wit global_read;
+      repr = wit repr;
+      unclassified = wit unclassified;
+    }
+
+  let to_string t =
+    let parts =
+      List.filter_map
+        (fun (label, w) ->
+          Option.map (fun w -> Printf.sprintf "%s:%s@%s" label w.prim w.site) w)
+        [
+          ("nondet", t.nondet);
+          ("io", t.io);
+          ("global-write", t.global_write);
+          ("global-read", t.global_read);
+          ("repr", t.repr);
+          ("unclassified", t.unclassified);
+        ]
+    in
+    match parts with
+    | [] -> "pure"
+    | _ -> "{" ^ String.concat "; " parts ^ "}"
+end
+
+(* ----- direct facts per node ----- *)
+
+type cat = Nondet | Io | Global_write | Global_read | Repr | Unclassified
+
+type fact = { cat : cat; prim : string; loc : Location.t }
+
+let member xs s = List.exists (String.equal s) xs
+
+let head_of typ =
+  match Types.get_desc typ with
+  | Types.Tconstr (p, _, _) -> Some (Names.normalize p)
+  | _ -> None
+
+(* Top-level mutable roots and the subset with post-init writes, as in
+   SA1: type-head mutable bindings plus setfield targets; a root only
+   counts as {e open} if some function-depth mutation exists. *)
+let mutable_roots (g : Callgraph.t) =
+  let roots : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  Callgraph.iter_nodes g (fun n ->
+      match head_of n.typ with
+      | Some h
+        when member Names.mutable_type_heads h
+             && not (member Names.safe_type_heads h) ->
+          Hashtbl.replace roots n.id h
+      | _ -> ());
+  let resolve (n : Callgraph.node) r =
+    Callgraph.resolve g ~unit_mod:n.unit_mod r
+  in
+  let root_ident n (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> resolve n (Names.normalize p)
+    | _ -> None
+  in
+  Callgraph.iter_nodes g (fun n ->
+      let super = Tast_iterator.default_iterator in
+      let expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+        (match e.exp_desc with
+        | Typedtree.Texp_setfield (r, _, _, _) -> (
+            match root_ident n r with
+            | Some id -> Hashtbl.replace roots id "record with mutable fields"
+            | None -> ())
+        | _ -> ());
+        super.expr it e
+      in
+      let it = { super with expr = expr_it } in
+      it.expr it n.expr);
+  let open_roots : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  Callgraph.iter_nodes g (fun n ->
+      let depth = ref 0 in
+      let super = Tast_iterator.default_iterator in
+      let rec expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+        match e.exp_desc with
+        | Typedtree.Texp_function _ ->
+            incr depth;
+            super.expr it e;
+            decr depth
+        | Typedtree.Texp_apply (fn, args) -> (
+            match fn.exp_desc with
+            | Typedtree.Texp_ident (p, _, _)
+              when Names.is_mutator (Names.normalize p) && !depth > 0 ->
+                List.iter
+                  (fun (_, a) ->
+                    Option.iter
+                      (fun a ->
+                        match root_ident n a with
+                        | Some id -> Hashtbl.replace open_roots id ()
+                        | None -> expr_it it a)
+                      a)
+                  args
+            | _ -> super.expr it e)
+        | Typedtree.Texp_setfield (r, _, _, v) ->
+            (if !depth > 0 then
+               match root_ident n r with
+               | Some id -> Hashtbl.replace open_roots id ()
+               | None -> expr_it it r);
+            expr_it it v
+        | _ -> super.expr it e
+      in
+      let it = { super with expr = expr_it } in
+      it.expr it n.expr);
+  (roots, open_roots)
+
+(* Names bound by [let] or as function parameters inside the body:
+   applying one is not an opaque external.  A let-bound lambda's body
+   is scanned where it is written; a function-typed parameter's effects
+   belong to whoever constructed the closure — every certified caller
+   is itself in the certified set, so the closure's body is scanned at
+   its creation site (the closure-creation approximation,
+   docs/ANALYSIS.md). *)
+let local_names expr =
+  let names : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec pat_vars : type k. k Typedtree.general_pattern -> unit =
+   fun p ->
+    match p.pat_desc with
+    | Typedtree.Tpat_var (_, n) -> Hashtbl.replace names n.txt ()
+    | Typedtree.Tpat_alias (q, _, n) ->
+        Hashtbl.replace names n.txt ();
+        pat_vars q
+    | Typedtree.Tpat_tuple ps -> List.iter pat_vars ps
+    | Typedtree.Tpat_construct (_, _, ps, _) -> List.iter pat_vars ps
+    | _ -> ()
+  in
+  let super = Tast_iterator.default_iterator in
+  let expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Typedtree.Texp_let (_, vbs, _) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) -> pat_vars vb.vb_pat)
+          vbs
+    | Typedtree.Texp_function { cases; _ } ->
+        List.iter (fun c -> pat_vars c.Typedtree.c_lhs) cases
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr = expr_it } in
+  it.expr it expr;
+  names
+
+let facts_of_node (g : Callgraph.t) ~roots ~open_roots (n : Callgraph.node) =
+  let locals = local_names n.expr in
+  let facts = ref [] in
+  let add cat prim loc = facts := { cat; prim; loc } :: !facts in
+  let depth = ref 0 in
+  let resolve r = Callgraph.resolve g ~unit_mod:n.unit_mod r in
+  let root_ident (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> (
+        match resolve (Names.normalize p) with
+        | Some id when Hashtbl.mem roots id -> Some id
+        | _ -> None)
+    | _ -> None
+  in
+  let classify_external fname loc =
+    if Names.is_nondet_source fname then add Nondet fname loc
+    else if Names.is_io_primitive fname then add Io fname loc
+    else if Names.is_repr_dependent fname then add Repr fname loc
+    else if Names.is_mutator fname then ()
+      (* handled at the apply site via the root-argument check *)
+    else if String.contains fname '.' then begin
+      if not (Names.is_pure_external fname) then add Unclassified fname loc
+    end
+    else if not (Names.is_pure_bare fname || Hashtbl.mem locals fname) then
+      add Unclassified fname loc
+  in
+  let super = Tast_iterator.default_iterator in
+  let rec expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_ident _ -> (
+        match root_ident e with
+        | Some id
+          when !depth > 0 && Hashtbl.mem open_roots id ->
+            add Global_read id e.exp_loc
+        | _ -> ())
+    | Typedtree.Texp_function _ ->
+        incr depth;
+        super.expr it e;
+        decr depth
+    | Typedtree.Texp_setfield (r, _, _, v) ->
+        (match root_ident r with
+        | Some id when !depth > 0 -> add Global_write id r.exp_loc
+        | _ -> expr_it it r);
+        expr_it it v
+    | Typedtree.Texp_apply (fn, args) -> (
+        match fn.exp_desc with
+        | Typedtree.Texp_ident (p, _, _) ->
+            let fname = Names.normalize p in
+            if Names.is_mutator fname then
+              List.iter
+                (fun (_, a) ->
+                  Option.iter
+                    (fun a ->
+                      match root_ident a with
+                      | Some id when !depth > 0 ->
+                          add Global_write id a.Typedtree.exp_loc
+                      | _ -> expr_it it a)
+                    a)
+                args
+            else begin
+              (if Option.is_none (resolve fname) then
+                 classify_external fname fn.exp_loc);
+              List.iter (fun (_, a) -> Option.iter (expr_it it) a) args
+            end
+        | _ ->
+            (* opaque application: covered by certifying the algorithm
+               transition bindings themselves (docs/ANALYSIS.md) *)
+            expr_it it fn;
+            List.iter (fun (_, a) -> Option.iter (expr_it it) a) args)
+    | _ -> super.expr it e
+  in
+  let it = { super with expr = expr_it } in
+  it.expr it n.expr;
+  List.rev !facts
+
+let eff_of_facts site facts =
+  List.fold_left
+    (fun acc f ->
+      let w = Some { Eff.prim = f.prim; site } in
+      Eff.join acc
+        (match f.cat with
+        | Nondet -> { Eff.bottom with nondet = w }
+        | Io -> { Eff.bottom with io = w }
+        | Global_write -> { Eff.bottom with global_write = w }
+        | Global_read -> { Eff.bottom with global_read = w }
+        | Repr -> { Eff.bottom with repr = w }
+        | Unclassified -> { Eff.bottom with unclassified = w }))
+    Eff.bottom facts
+
+(* ----- summaries: the Dataflow instance ----- *)
+
+module Solver = Dataflow.Make (Eff)
+
+let solve (ctx : Pass.ctx) =
+  let g = ctx.graph in
+  let roots, open_roots = mutable_roots g in
+  let cache : (string, fact list) Hashtbl.t = Hashtbl.create 256 in
+  let facts (n : Callgraph.node) =
+    match Hashtbl.find_opt cache n.id with
+    | Some fs -> fs
+    | None ->
+        let fs = facts_of_node g ~roots ~open_roots n in
+        Hashtbl.replace cache n.id fs;
+        fs
+  in
+  let summaries =
+    Solver.solve g ~transfer:(fun n ~summary_of ->
+        List.fold_left
+          (fun acc c ->
+            match summary_of c with Some s -> Eff.join acc s | None -> acc)
+          (eff_of_facts n.id (facts n))
+          n.calls)
+  in
+  (summaries, facts)
+
+let summaries ctx =
+  let s, _ = solve ctx in
+  let out = ref [] in
+  Callgraph.iter_nodes ctx.Pass.graph (fun n ->
+      out := (n.id, Solver.get s n.id) :: !out);
+  List.rev !out
+
+let summary ctx id =
+  let s, _ = solve ctx in
+  Solver.get s id
+
+(* ----- the certified set ----- *)
+
+let engine_entry_names = [ "step_deliver"; "invoke"; "encode_state" ]
+
+let transition_names =
+  [
+    "init_server"; "init_client"; "on_invoke"; "on_client_msg";
+    "on_server_msg"; "server_bits"; "encode_server"; "encode_msg";
+    "is_value_dependent";
+  ]
+
+let top_level (n : Callgraph.node) suffix =
+  String.equal n.id (n.unit_mod ^ "." ^ suffix)
+
+let is_certified_root (n : Callgraph.node) =
+  let last = Names.last_component n.id in
+  (Names.starts_with ~prefix:"lib/engine/" n.source_path
+  && member engine_entry_names last && top_level n last)
+  || Names.starts_with ~prefix:"lib/bounds/" n.source_path
+  || (Names.starts_with ~prefix:"lib/algorithms/" n.source_path
+     && member transition_names last && top_level n last)
+
+(* BFS over resolved call and value-reference edges; remembers the
+   first certified root that reaches each node. *)
+let certified_closure (ctx : Pass.ctx) =
+  let g = ctx.graph in
+  let root_of : (string, string) Hashtbl.t = Hashtbl.create 128 in
+  let queue = Queue.create () in
+  let push root id =
+    if not (Hashtbl.mem root_of id) then begin
+      Hashtbl.replace root_of id root;
+      Queue.add id queue
+    end
+  in
+  Callgraph.iter_nodes g (fun n -> if is_certified_root n then push n.id n.id);
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    match Callgraph.find g id with
+    | None -> ()
+    | Some n ->
+        let root =
+          match Hashtbl.find_opt root_of id with Some r -> r | None -> id
+        in
+        List.iter
+          (fun r ->
+            match Callgraph.resolve g ~unit_mod:n.unit_mod r with
+            | Some rid -> push root rid
+            | None -> ())
+          (n.calls @ n.value_refs)
+  done;
+  root_of
+
+let certified_roots (ctx : Pass.ctx) =
+  let out = ref [] in
+  Callgraph.iter_nodes ctx.Pass.graph (fun n ->
+      if is_certified_root n then out := n.id :: !out);
+  List.rev !out
+
+(* ----- certification ----- *)
+
+let code_of_cat = function
+  | Nondet -> "nondet-source"
+  | Io -> "io-effect"
+  | Global_write -> "global-write"
+  | Global_read -> "global-read"
+  | Repr -> "repr-dependent"
+  | Unclassified -> "unclassified-external"
+
+let describe cat prim =
+  match cat with
+  | Nondet ->
+      Printf.sprintf
+        "%s is a nondeterministic source: its result depends on more than \
+         the arguments, so executions stop being functions of the schedule"
+        prim
+  | Io -> Printf.sprintf "%s performs input/output" prim
+  | Global_write ->
+      Printf.sprintf
+        "writes top-level mutable value %s after module init; transition \
+         code must keep all state in the configuration" prim
+  | Global_read ->
+      Printf.sprintf
+        "reads top-level mutable value %s, which is written after module \
+         init; the value observed depends on global execution history" prim
+  | Repr ->
+      Printf.sprintf
+        "%s depends on in-memory representation, not abstract value; equal \
+         values may encode differently" prim
+  | Unclassified ->
+      Printf.sprintf
+        "calls %s, which SA5 cannot classify as pure; add it to the Names \
+         classification lists (with justification) or restructure the call"
+        prim
+
+let check (ctx : Pass.ctx) =
+  let g = ctx.graph in
+  let roots, open_roots = mutable_roots g in
+  let closure = certified_closure ctx in
+  let findings = ref [] in
+  Callgraph.iter_nodes g (fun n ->
+      match Hashtbl.find_opt closure n.id with
+      | None -> ()
+      | Some root ->
+          List.iter
+            (fun f ->
+              findings :=
+                Pass.diag ~file:n.source_path ~rule:name
+                  ~code:(code_of_cat f.cat) f.loc
+                  (Printf.sprintf
+                     "certified-pure code %s (in %s, reachable from \
+                      certified root %s)"
+                     (describe f.cat f.prim) n.id root)
+                :: !findings)
+            (facts_of_node g ~roots ~open_roots n));
+  (* backstop: a root whose fixpoint summary is impure while the site
+     scan above found nothing would mean an effect slipped in through a
+     path the scan cannot attribute; surface it at the root. *)
+  (if List.is_empty !findings then
+     let s, _ = solve ctx in
+     Callgraph.iter_nodes g (fun n ->
+         if is_certified_root n then
+           let e = Solver.get s n.id in
+           if not (Eff.is_pure e) then
+             findings :=
+               Pass.diag ~file:n.source_path ~rule:name ~code:"summary-escape"
+                 n.loc
+                 (Printf.sprintf
+                    "certified root %s has impure effect summary %s but no \
+                     introduction site was found" n.id (Eff.to_string e))
+               :: !findings));
+  List.sort_uniq Lint.Diagnostic.compare !findings

@@ -1,0 +1,52 @@
+(** SA5: purity and schedule-determinism certification.
+
+    Effect summaries per function (a {!Dataflow} fixpoint over the call
+    graph), and findings at each effect-introduction site inside the
+    certified set: the engine transition entry points
+    ([Config.step_deliver]/[invoke]) and canonicalization
+    ([encode_state]), all of lib/bounds, and the algorithm transition
+    bindings.  See docs/ANALYSIS.md for the lattice, the external
+    classification policy, and the soundness approximations. *)
+
+val name : string
+val codes : (string * string) list
+val check : Pass.ctx -> Lint.Diagnostic.t list
+
+(** The effect lattice: six effect bits with first-witness payloads;
+    join is pointwise-or, equality and order compare the bits only. *)
+module Eff : sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+
+  val leq : t -> t -> bool
+  (** Pointwise implication on the effect bits. *)
+
+  val is_pure : t -> bool
+
+  val make :
+    ?nondet:bool ->
+    ?io:bool ->
+    ?global_write:bool ->
+    ?global_read:bool ->
+    ?repr:bool ->
+    ?unclassified:bool ->
+    unit ->
+    t
+  (** Build an element with the given bits set (dummy witnesses); for
+      the qcheck lattice-law suite. *)
+
+  val to_string : t -> string
+  (** ["pure"] or the set effects with their [prim@site] witnesses. *)
+end
+
+val summaries : Pass.ctx -> (string * Eff.t) list
+(** Effect summary of every node, in graph order (fixpoint result). *)
+
+val summary : Pass.ctx -> string -> Eff.t
+(** Summary of one node id; bottom if unknown. *)
+
+val certified_roots : Pass.ctx -> string list
+(** The certified root set for this context, in graph order. *)

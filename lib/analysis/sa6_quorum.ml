@@ -1,0 +1,529 @@
+(* SA6: quorum-intersection safety certification.
+
+   The bounds presuppose that the protocols' phases wait on quorums
+   that intersect sufficiently: any read quorum must meet any write
+   quorum in at least k live servers (k = 1 under replication) even
+   after up to f crashes, and a quorum must survive every f-crash
+   pattern at all (liveness).  This pass certifies that from the typed
+   AST alone:
+
+   - {e extraction}: inside each algorithm's client transitions
+     ([on_invoke], [on_client_msg]) every application [fn p] whose
+     callee resolves — through [let quorum = cas_quorum]-style aliases —
+     to a function whose body is integer arithmetic over the parameter
+     fields {n, f, k} yields a threshold expression (abd:
+     [n - f]; cas/awe: [(n + k + 1) / 2]);
+
+   - {e obligations}: for every (n, f, k) the lib/bounds applicability
+     table admits with n <= 12, and every crash count c <= f, all pairs
+     of q-subsets of the n - c live servers are enumerated as bitmasks
+     and their intersections popcounted.  Crash patterns of equal size
+     are symmetric under server relabeling, so enumerating one live set
+     per c is exact, not an approximation;
+
+   - the {e regime} must match: a Coded entry whose threshold ignores k
+     (or a Replicated one depending on k) is a mistagged table row;
+
+   - the same machinery certifies lib/quorum's [majority] and
+     [cas_style] size formulas against exhaustive enumeration, pinning
+     the closed form [max 0 (2q - n)] that [Quorum.min_intersection]
+     uses for threshold systems.
+
+   SMEC_SA_CANARY=2 runs the discharge with every threshold weakened by
+   one ([q - 1]); the gate must then fail — check.sh and CI assert it. *)
+
+let name = "sa6-quorum"
+
+let codes =
+  [
+    ( "quorum-unsafe",
+      "a read/write quorum pair fails the intersection obligation (>= k \
+       live servers under <= f crashes) on an admitted (n, f, k)" );
+    ( "bound-precondition-violated",
+      "the applicability entry's quorum regime contradicts the extracted \
+       threshold (liveness under f crashes, or k-dependence mismatch)" );
+    ( "no-threshold",
+      "algorithm client transitions contain no application resolving to a \
+       quorum-threshold arithmetic over {n, f, k}" );
+    ("missing-entry", "algorithm module has no bound-applicability entry");
+  ]
+
+(* ----- threshold expressions ----- *)
+
+type var = N | F | K
+
+type expr =
+  | Lit of int
+  | Var of var
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+
+let rec eval e ~n ~f ~k =
+  match e with
+  | Lit i -> i
+  | Var N -> n
+  | Var F -> f
+  | Var K -> k
+  | Add (a, b) -> eval a ~n ~f ~k + eval b ~n ~f ~k
+  | Sub (a, b) -> eval a ~n ~f ~k - eval b ~n ~f ~k
+  | Mul (a, b) -> eval a ~n ~f ~k * eval b ~n ~f ~k
+  | Div (a, b) ->
+      let d = eval b ~n ~f ~k in
+      if Int.equal d 0 then 0 else eval a ~n ~f ~k / d
+
+let rec expr_to_string = function
+  | Lit i -> string_of_int i
+  | Var N -> "n"
+  | Var F -> "f"
+  | Var K -> "k"
+  | Add (a, b) -> "(" ^ expr_to_string a ^ " + " ^ expr_to_string b ^ ")"
+  | Sub (a, b) -> "(" ^ expr_to_string a ^ " - " ^ expr_to_string b ^ ")"
+  | Mul (a, b) -> "(" ^ expr_to_string a ^ " * " ^ expr_to_string b ^ ")"
+  | Div (a, b) -> "(" ^ expr_to_string a ^ " / " ^ expr_to_string b ^ ")"
+
+let expr_equal a b = String.equal (expr_to_string a) (expr_to_string b)
+
+let var_of_name s =
+  match s with "n" -> Some N | "f" -> Some F | "k" -> Some K | _ -> None
+
+(* Integer arithmetic over {n, f, k}, read off the typedtree: literals,
+   [p.n]-style parameter projections, plain [n]/[f]/[k] identifiers
+   (labelled arguments), and + - * / applications. *)
+let rec parse_arith (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_constant (Asttypes.Const_int i) -> Some (Lit i)
+  | Typedtree.Texp_ident (p, _, _) ->
+      Option.map
+        (fun v -> Var v)
+        (var_of_name (Names.last_component (Names.normalize p)))
+  | Typedtree.Texp_field (_, _, ld) ->
+      Option.map (fun v -> Var v) (var_of_name ld.Types.lbl_name)
+  | Typedtree.Texp_apply (fn, args) -> (
+      let positional =
+        List.filter_map
+          (fun (lbl, a) ->
+            match lbl with Asttypes.Nolabel -> a | _ -> None)
+          args
+      in
+      match (fn.exp_desc, positional) with
+      | Typedtree.Texp_ident (p, _, _), [ a; b ] -> (
+          let op ctor =
+            match (parse_arith a, parse_arith b) with
+            | Some x, Some y -> Some (ctor x y)
+            | _ -> None
+          in
+          match Names.normalize p with
+          | "+" -> op (fun x y -> Add (x, y))
+          | "-" -> op (fun x y -> Sub (x, y))
+          | "*" -> op (fun x y -> Mul (x, y))
+          | "/" -> op (fun x y -> Div (x, y))
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let rec unwrap_fun (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_function { cases = [ c ]; _ } -> unwrap_fun c.Typedtree.c_rhs
+  | Typedtree.Texp_let (_, _, body) -> unwrap_fun body
+  | _ -> e
+
+(* The arithmetic a node computes, following up to three levels of
+   [let quorum = cas_quorum]-style identifier aliases. *)
+let arith_of_node (g : Callgraph.t) node =
+  let rec go depth (n : Callgraph.node) =
+    if depth > 3 then None
+    else
+      let body = unwrap_fun n.expr in
+      match parse_arith body with
+      | Some e -> Some e
+      | None -> (
+          match body.exp_desc with
+          | Typedtree.Texp_ident (p, _, _) -> (
+              match
+                Callgraph.resolve g ~unit_mod:n.unit_mod (Names.normalize p)
+              with
+              | Some id ->
+                  Option.bind (Callgraph.find g id) (go (depth + 1))
+              | None -> None)
+          | _ -> None)
+  in
+  go 0 node
+
+(* ----- extraction from algorithm client transitions ----- *)
+
+type threshold = {
+  algo : string;
+  unit_mod : string;
+  source_path : string;
+  via : string;  (* node id of the resolved threshold function *)
+  expr : expr;
+}
+
+let algo_unit (u : Cmt_loader.unit_info) =
+  Names.starts_with ~prefix:"lib/algorithms/" u.source_path
+  && not (String.equal (Filename.basename u.source_path) "common.ml")
+
+let client_transition_nodes (g : Callgraph.t) (u : Cmt_loader.unit_info) =
+  List.filter_map
+    (fun fn -> Callgraph.find g (u.modname ^ "." ^ fn))
+    [ "on_invoke"; "on_client_msg" ]
+
+let thresholds_of_unit (g : Callgraph.t) (u : Cmt_loader.unit_info) =
+  let algo = Filename.remove_extension (Filename.basename u.source_path) in
+  let found = ref [] in
+  let note via expr =
+    if
+      not
+        (List.exists
+           (fun t -> String.equal t.via via && expr_equal t.expr expr)
+           !found)
+    then
+      found :=
+        {
+          algo;
+          unit_mod = u.modname;
+          source_path = u.source_path;
+          via;
+          expr;
+        }
+        :: !found
+  in
+  List.iter
+    (fun (node : Callgraph.node) ->
+      List.iter
+        (fun callee ->
+          match Callgraph.resolve g ~unit_mod:node.unit_mod callee with
+          | None -> ()
+          | Some id -> (
+              match Callgraph.find g id with
+              | None -> ()
+              | Some target -> (
+                  match arith_of_node g target with
+                  | Some e -> note id e
+                  | None -> ())))
+        node.calls)
+    (client_transition_nodes g u);
+  List.rev !found
+
+let thresholds (ctx : Pass.ctx) =
+  ctx.units
+  |> List.filter algo_unit
+  |> List.concat_map (thresholds_of_unit ctx.graph)
+  |> List.sort (fun a b -> String.compare a.algo b.algo)
+
+(* ----- exhaustive discharge ----- *)
+
+(* Bit tricks sized for n <= 12: subsets are masks below 2^12. *)
+let popcount_table =
+  Array.init 4096 (fun i ->
+      let c = ref 0 and v = ref i in
+      while !v > 0 do
+        c := !c + (!v land 1);
+        v := !v lsr 1
+      done;
+      !c)
+
+let popcount m = popcount_table.(m)
+
+let binomial m q =
+  let q = min q (m - q) in
+  if q < 0 then 0
+  else begin
+    let acc = ref 1 in
+    for i = 0 to q - 1 do
+      acc := !acc * (m - i) / (i + 1)
+    done;
+    !acc
+  end
+
+(* All q-subsets of [0, m) as bitmasks, ascending (Gosper's hack). *)
+let subsets ~m ~q =
+  if q < 0 || q > m then [||]
+  else if Int.equal q 0 then [| 0 |]
+  else begin
+    let out = Array.make (binomial m q) 0 in
+    let c = ref ((1 lsl q) - 1) in
+    let limit = 1 lsl m in
+    let i = ref 0 in
+    while !c < limit do
+      out.(!i) <- !c;
+      incr i;
+      let x = !c land - !c in
+      let y = !c + x in
+      c := (((!c lxor y) / x) lsr 2) lor y
+    done;
+    out
+  end
+
+let mask_to_string m =
+  let out = ref [] in
+  for i = 11 downto 0 do
+    if not (Int.equal (m land (1 lsl i)) 0) then
+      out := string_of_int i :: !out
+  done;
+  "{" ^ String.concat "," !out ^ "}"
+
+(* Minimum |a AND b| over all pairs of q-subsets of [0, m), with a
+   witnessing pair. *)
+let min_pair_intersection ~m ~q =
+  let ss = subsets ~m ~q in
+  let len = Array.length ss in
+  if Int.equal len 0 then (q, 0, 0)
+  else begin
+    let best = ref q and wa = ref ss.(0) and wb = ref ss.(0) in
+    for i = 0 to len - 1 do
+      let a = ss.(i) in
+      for j = i to len - 1 do
+        let p = popcount (a land ss.(j)) in
+        if p < !best then begin
+          best := p;
+          wa := a;
+          wb := ss.(j)
+        end
+      done
+    done;
+    (!best, !wa, !wb)
+  end
+
+type failure = { code : string; msg : string }
+
+let depends_on_k e =
+  let probe n = not (Int.equal (eval e ~n ~f:1 ~k:1) (eval e ~n ~f:1 ~k:2)) in
+  probe 5 || probe 8 || probe 12
+
+(* Discharge every obligation the entry admits with n <= max_n.
+   [weaken] drops each threshold by one (the SMEC_SA_CANARY=2 planted
+   off-by-one); a sound threshold weakened by one must fail somewhere
+   on the admitted grid, which the tests assert. *)
+let certify ?(weaken = false) ?(max_n = 12)
+    (e : Bounds.Applicability.entry) expr =
+  let dep = depends_on_k expr in
+  match e.regime with
+  | Bounds.Applicability.Coded when not dep ->
+      Error
+        {
+          code = "bound-precondition-violated";
+          msg =
+            Printf.sprintf
+              "entry %s is in the coded regime (quorums must meet in k live \
+               servers) but its extracted threshold %s does not depend on k"
+              e.algo (expr_to_string expr);
+        }
+  | Bounds.Applicability.Replicated when dep ->
+      Error
+        {
+          code = "bound-precondition-violated";
+          msg =
+            Printf.sprintf
+              "entry %s is in the replicated regime (k = 1) but its \
+               extracted threshold %s depends on k"
+              e.algo (expr_to_string expr);
+        }
+  | _ ->
+      let bad = ref None in
+      List.iter
+        (fun (n, f, k) ->
+          if Option.is_none !bad then begin
+            let q0 = eval expr ~n ~f ~k in
+            let q = if weaken then q0 - 1 else q0 in
+            let req = Bounds.Applicability.required_intersection e ~k in
+            if q < 1 || q > n then
+              bad :=
+                Some
+                  {
+                    code = "quorum-unsafe";
+                    msg =
+                      Printf.sprintf
+                        "threshold %s = %d is out of range 1..n at \
+                         (n=%d, f=%d, k=%d)"
+                        (expr_to_string expr) q n f k;
+                  }
+            else if q > n - f then
+              bad :=
+                Some
+                  {
+                    code = "bound-precondition-violated";
+                    msg =
+                      Printf.sprintf
+                        "liveness: threshold %s = %d exceeds the n - f = %d \
+                         servers guaranteed live at (n=%d, f=%d, k=%d); a \
+                         phase may wait forever"
+                        (expr_to_string expr) q (n - f) n f k;
+                  }
+            else
+              for c = 0 to f do
+                if Option.is_none !bad then begin
+                  let m = n - c in
+                  let inter, wa, wb = min_pair_intersection ~m ~q in
+                  if inter < req then
+                    bad :=
+                      Some
+                        {
+                          code = "quorum-unsafe";
+                          msg =
+                            Printf.sprintf
+                              "at (n=%d, f=%d, k=%d) with %d crashed: live \
+                               quorums %s and %s of size %d intersect in %d \
+                               < %d live servers (threshold %s)"
+                              n f k c (mask_to_string wa) (mask_to_string wb)
+                              q inter req (expr_to_string expr);
+                        }
+                end
+              done
+          end)
+        (Bounds.Applicability.admissible_params ~max_n e);
+      (match !bad with Some x -> Error x | None -> Ok ())
+
+(* ----- lib/quorum closed-form certification ----- *)
+
+(* Extract the [size] expression of a [threshold ~n ~size:(...)] call in
+   a Quorum constructor body. *)
+let size_arg_of_node (n : Callgraph.node) =
+  let found = ref None in
+  let super = Tast_iterator.default_iterator in
+  let expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Typedtree.Texp_apply (fn, args) -> (
+        match fn.exp_desc with
+        | Typedtree.Texp_ident (p, _, _)
+          when String.equal
+                 (Names.last_component (Names.normalize p))
+                 "threshold" ->
+            List.iter
+              (fun (lbl, a) ->
+                match (lbl, a) with
+                | Asttypes.Labelled "size", Some a ->
+                    if Option.is_none !found then found := parse_arith a
+                | _ -> ())
+              args
+        | _ -> ())
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr = expr_it } in
+  it.expr it n.expr;
+  !found
+
+(* Certify a threshold-system size formula by enumeration for all
+   n <= max_n (and all k when the formula uses it): pairwise
+   intersection must reach [req k], and must equal the closed form
+   [max 0 (2q - n)] that Quorum.min_intersection computes without
+   enumerating. *)
+let certify_quorum_formula ?(weaken = false) ?(max_n = 12) ~req expr =
+  let bad = ref None in
+  let ks = if depends_on_k expr then fun n -> n else fun _ -> 1 in
+  for n = 1 to max_n do
+    for k = 1 to ks n do
+      if Option.is_none !bad then begin
+        let q0 = eval expr ~n ~f:0 ~k in
+        let q = if weaken then q0 - 1 else q0 in
+        if q >= 1 && q <= n then begin
+          let inter, wa, wb = min_pair_intersection ~m:n ~q in
+          let closed = max 0 ((2 * q) - n) in
+          if not (Int.equal inter closed) then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "enumerated minimum intersection %d of size-%d quorums \
+                    over %d servers contradicts the closed form \
+                    max 0 (2q - n) = %d"
+                   inter q n closed)
+          else if inter < req ~k then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "size formula %s = %d at (n=%d, k=%d): quorums %s and %s \
+                    intersect in %d < %d servers"
+                   (expr_to_string expr) q n k (mask_to_string wa)
+                   (mask_to_string wb) inter (req ~k))
+        end
+      end
+    done
+  done;
+  match !bad with Some m -> Error m | None -> Ok ()
+
+(* ----- the pass ----- *)
+
+let diag_at (source_path : string) ?(loc = Location.none) ~code msg =
+  let d = Pass.diag ~file:source_path ~rule:name ~code loc msg in
+  { d with line = max d.line 1; col = max d.col 0 }
+
+let check_with ?weaken (ctx : Pass.ctx) =
+  let g = ctx.graph in
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  (* algorithm thresholds against the applicability table *)
+  let ts = thresholds ctx in
+  List.iter
+    (fun t ->
+      match Bounds.Applicability.find t.algo with
+      | None ->
+          emit
+            (diag_at t.source_path ~code:"missing-entry"
+               (Printf.sprintf
+                  "algorithm %s has no bound-applicability entry to certify \
+                   its quorum threshold %s against"
+                  t.algo (expr_to_string t.expr)))
+      | Some e -> (
+          match certify ?weaken e t.expr with
+          | Ok () -> ()
+          | Error { code; msg } ->
+              emit
+                (diag_at t.source_path ~code
+                   (Printf.sprintf "%s (threshold via %s)" msg t.via))))
+    ts;
+  (* algorithm units whose client transitions yielded nothing *)
+  List.iter
+    (fun (u : Cmt_loader.unit_info) ->
+      if algo_unit u then
+        let algo = Filename.remove_extension (Filename.basename u.source_path) in
+        let has_client =
+          not (List.is_empty (client_transition_nodes g u))
+        in
+        let has_threshold =
+          List.exists (fun t -> String.equal t.algo algo) ts
+        in
+        if has_client && not has_threshold then
+          emit
+            (diag_at u.source_path ~code:"no-threshold"
+               (Printf.sprintf
+                  "no quorum-threshold arithmetic over {n, f, k} found in \
+                   %s's client transitions; SA6 cannot certify its \
+                   intersection obligations" algo)))
+    ctx.units;
+  (* lib/quorum size formulas *)
+  List.iter
+    (fun (u : Cmt_loader.unit_info) ->
+      if Names.starts_with ~prefix:"lib/quorum/" u.source_path then
+        List.iter
+          (fun (fn, req) ->
+            match Callgraph.find g (u.modname ^ "." ^ fn) with
+            | None -> ()
+            | Some node -> (
+                match size_arg_of_node node with
+                | None ->
+                    emit
+                      (diag_at u.source_path ~loc:node.loc ~code:"no-threshold"
+                         (Printf.sprintf
+                            "Quorum.%s has no extractable threshold-size \
+                             formula" fn))
+                | Some expr -> (
+                    match
+                      certify_quorum_formula ?weaken ~req expr
+                    with
+                    | Ok () -> ()
+                    | Error msg ->
+                        emit
+                          (diag_at u.source_path ~loc:node.loc
+                             ~code:"quorum-unsafe"
+                             (Printf.sprintf "Quorum.%s: %s" fn msg)))))
+          [
+            ("majority", fun ~k:_ -> 1);
+            ("cas_style", fun ~k -> k);
+          ])
+    ctx.units;
+  List.sort Lint.Diagnostic.compare !out
+
+let check ctx = check_with ctx

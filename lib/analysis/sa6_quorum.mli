@@ -1,0 +1,77 @@
+(** SA6: quorum-intersection safety certification.
+
+    Extracts each algorithm's quorum-threshold arithmetic over the
+    parameter fields {n, f, k} from its client transitions (following
+    [let quorum = cas_quorum]-style aliases through the call graph),
+    then discharges the intersection obligations — any read quorum
+    meets any write quorum in at least
+    {!Bounds.Applicability.required_intersection} live servers under
+    every crash pattern of size <= f — by exhaustive bitmask
+    enumeration for every admitted (n, f, k) with n <= 12.  Also
+    certifies lib/quorum's [majority] and [cas_style] size formulas
+    against enumeration and the [max 0 (2q - n)] closed form.  See
+    docs/ANALYSIS.md for the obligation derivation and the symmetry
+    argument that makes per-crash-count enumeration exact. *)
+
+val name : string
+val codes : (string * string) list
+val check : Pass.ctx -> Lint.Diagnostic.t list
+
+val check_with : ?weaken:bool -> Pass.ctx -> Lint.Diagnostic.t list
+(** [weaken:true] drops every extracted threshold by one before the
+    discharge — the [SMEC_SA_CANARY=2] planted fault.  A sound
+    threshold weakened by one must fail on some admitted parameter
+    point, so a clean run under [weaken] means the pass is blind. *)
+
+(** {1 Threshold expressions} *)
+
+type var = N | F | K
+
+type expr =
+  | Lit of int
+  | Var of var
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+
+val eval : expr -> n:int -> f:int -> k:int -> int
+(** Integer evaluation; division truncates toward zero and yields 0 on
+    a zero divisor (cannot arise from the shipped formulas). *)
+
+val expr_to_string : expr -> string
+
+type threshold = {
+  algo : string;  (** module basename, e.g. ["cas"] *)
+  unit_mod : string;
+  source_path : string;
+  via : string;  (** call-graph id of the resolved threshold function *)
+  expr : expr;
+}
+
+val thresholds : Pass.ctx -> threshold list
+(** Every threshold extracted from the context's algorithm units,
+    sorted by algorithm; the runtime differential test evaluates these
+    against observed per-phase message counts. *)
+
+(** {1 Discharge machinery} *)
+
+type failure = { code : string; msg : string }
+(** [code] is one of this pass's diagnostic codes. *)
+
+val certify :
+  ?weaken:bool ->
+  ?max_n:int ->
+  Bounds.Applicability.entry ->
+  expr ->
+  (unit, failure) result
+(** Discharge range, liveness, k-dependence and intersection
+    obligations for one entry/threshold pair over all admitted
+    (n, f, k) with n <= [max_n] (default 12). *)
+
+val subsets : m:int -> q:int -> int array
+(** All q-subsets of [0, m) as bitmasks, ascending; requires m <= 12. *)
+
+val min_pair_intersection : m:int -> q:int -> int * int * int
+(** [(min, a, b)]: the minimum popcount of [a land b] over all pairs of
+    q-subsets of [0, m), with a witnessing pair. *)

@@ -10,11 +10,14 @@
    differential test certifies SA4 against observed message traces, so
    a claim here cannot silently drift from the code. *)
 
+type regime = Replicated | Coded
+
 type entry = {
   algo : string;
   names : string list;
   no_server_gossip : bool;
   single_value_phase : bool;
+  regime : regime;
 }
 
 let table =
@@ -24,18 +27,21 @@ let table =
       names = [ "abd-swmr"; "swsr-regular" ];
       no_server_gossip = true;
       single_value_phase = true;
+      regime = Replicated;
     };
     {
       algo = "abd_mw";
       names = [ "abd-mwmr" ];
       no_server_gossip = true;
       single_value_phase = true;
+      regime = Replicated;
     };
     {
       algo = "cas";
       names = [ "cas" ];
       no_server_gossip = true;
       single_value_phase = true;
+      regime = Coded;
     };
     {
       algo = "awe";
@@ -44,6 +50,7 @@ let table =
       (* the writer announces the tag before sending coded symbols:
          two value-dependent phases, so Cor 6.6 does NOT apply *)
       single_value_phase = false;
+      regime = Coded;
     };
     {
       algo = "gossip_rep";
@@ -51,8 +58,36 @@ let table =
       (* servers forward values peer-to-peer: excluded from Thm 4.1 *)
       no_server_gossip = false;
       single_value_phase = true;
+      regime = Replicated;
     };
   ]
+
+(* Parameter admissibility per regime.  Replication stores whole values
+   (k = 1) and needs a strict majority of live servers, so n >= 2f + 1.
+   Coded algorithms (CAS-style) need k live servers in every quorum
+   intersection AND a live quorum under f crashes, which combine to
+   1 <= k <= n - 2f (the liveness condition of [5], also checked
+   dynamically by Algorithms.Common.check_cas_params). *)
+let admits e ~n ~f ~k =
+  n >= 1 && f >= 0 && f <= n
+  &&
+  match e.regime with
+  | Replicated -> Int.equal k 1 && n >= (2 * f) + 1
+  | Coded -> k >= 1 && k <= n - (2 * f)
+
+let required_intersection e ~k =
+  match e.regime with Replicated -> 1 | Coded -> k
+
+let admissible_params ?(max_n = 12) e =
+  let out = ref [] in
+  for n = max_n downto 1 do
+    for f = n downto 0 do
+      for k = n downto 1 do
+        if admits e ~n ~f ~k then out := (n, f, k) :: !out
+      done
+    done
+  done;
+  !out
 
 let find algo =
   List.find_opt

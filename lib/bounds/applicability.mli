@@ -7,6 +7,11 @@
     algorithm module; smec-sa's SA4 pass fails the build when an entry
     contradicts the protocol shape extracted from the typed AST. *)
 
+type regime = Replicated | Coded
+    (** Storage regime: [Replicated] keeps whole values (k = 1, strict
+        majorities), [Coded] stores MDS codeword symbols and needs any
+        two quorums to meet in [k] live servers. *)
+
 type entry = {
   algo : string;  (** module basename in [lib/algorithms], e.g. ["cas"] *)
   names : string list;  (** the [Algo.name] strings the module exports *)
@@ -15,6 +20,9 @@ type entry = {
   single_value_phase : bool;
       (** Thm 6.5 / Cor 6.6 applicable: writes have exactly one
           value-dependent phase *)
+  regime : regime;
+      (** quorum regime; determines the (n, f, k) the entry admits and
+          the intersection obligation SA6 discharges *)
 }
 
 val table : entry list
@@ -29,3 +37,15 @@ val check :
 (** Compare an entry against an observed/extracted protocol shape:
     [Ok []] means consistent, [Ok violations] lists each contradiction,
     [Error] means no entry exists for [algo]. *)
+
+val admits : entry -> n:int -> f:int -> k:int -> bool
+(** Does the entry's regime admit these parameters?  [Replicated]:
+    [k = 1] and [n >= 2f + 1]; [Coded]: [1 <= k <= n - 2f]. *)
+
+val required_intersection : entry -> k:int -> int
+(** Live servers every read/write quorum pair must share: 1 for
+    [Replicated], [k] for [Coded]. *)
+
+val admissible_params : ?max_n:int -> entry -> (int * int * int) list
+(** All admitted [(n, f, k)] with [n <= max_n] (default 12), ascending;
+    the grid SA6 discharges the intersection obligations over. *)

@@ -32,57 +32,70 @@ val params : n:int -> f:int -> params
 
 val singleton_total : params -> v_bits:float -> float
 (** Theorem B.1 / Corollary B.2: [n * v_bits / (n - f)].  Applies to
-    every SWSR regular algorithm; requires [f >= 1]. *)
+    every SWSR regular algorithm; requires [f >= 1].
+    @raise Invalid_argument outside the theorem's regime. *)
 
 val singleton_max : params -> v_bits:float -> float
-(** Corollary B.2 max-storage bound: [v_bits / (n - f)]. *)
+(** Corollary B.2 max-storage bound: [v_bits / (n - f)].
+    @raise Invalid_argument outside the theorem's regime. *)
 
 val no_gossip_total : params -> v_bits:float -> float
 (** Corollary 4.2 (servers never gossip):
     [n * (v_bits + log2(2^v_bits - 1) - log2(n - f)) / (n - f + 1)].
-    Requires [f >= 2] (hypothesis of Theorem 4.1). *)
+    Requires [f >= 2] (hypothesis of Theorem 4.1).
+    @raise Invalid_argument outside the theorem's regime. *)
 
 val no_gossip_max : params -> v_bits:float -> float
-(** Corollary 4.2 max-storage bound. *)
+(** Corollary 4.2 max-storage bound.
+    @raise Invalid_argument outside the theorem's regime. *)
 
 val universal_total : params -> v_bits:float -> float
 (** Corollary 5.2 (any algorithm, gossip allowed):
-    [n * (v_bits + log2(2^v_bits - 1) - 2*log2(n - f)) / (n - f + 2)]. *)
+    [n * (v_bits + log2(2^v_bits - 1) - 2*log2(n - f)) / (n - f + 2)].
+    @raise Invalid_argument outside the theorem's regime. *)
 
 val universal_max : params -> v_bits:float -> float
+(** @raise Invalid_argument outside the theorem's regime. *)
 
 val nu_star : params -> nu:int -> int
-(** [min nu (f + 1)], the effective concurrency of Theorem 6.5. *)
+(** [min nu (f + 1)], the effective concurrency of Theorem 6.5.
+    @raise Invalid_argument unless [nu >= 1]. *)
 
 val single_phase_exact : params -> nu:int -> v_bits:float -> float
 (** Theorem 6.5 exact form: a lower bound on the {e sum over
     N - f + nu_star - 1 servers} of state bits,
     [log2 C(2^v_bits - 1, nu_star) - nu_star log2(n - f + nu_star - 1) - log2(nu_star!)].
-    Requires [nu >= 1]. *)
+    Requires [nu >= 1].
+    @raise Invalid_argument outside the theorem's regime. *)
 
 val single_phase_total : params -> nu:int -> v_bits:float -> float
 (** Corollary 6.6 total-storage form:
     [nu_star * n / (n - f + nu_star - 1) * v_bits] (dominant term; the paper's
-    bound is this minus [o(v_bits)]). *)
+    bound is this minus [o(v_bits)]).
+    @raise Invalid_argument outside the theorem's regime. *)
 
 val single_phase_max : params -> nu:int -> v_bits:float -> float
-(** Corollary 6.6 max-storage form. *)
+(** Corollary 6.6 max-storage form.
+    @raise Invalid_argument outside the theorem's regime. *)
 
 (** {1 Upper bounds used for comparison (Figure 1)} *)
 
 val abd_total : params -> v_bits:float -> float
 (** Replication cost as plotted in Figure 1: [(f + 1) * v_bits]
     (replication needs only f+1 replicas of the value; ABD/Fan-Lynch
-    style provisioning). *)
+    style provisioning).
+    @raise Invalid_argument on parameters {!params} rejects. *)
 
 val abd_full_total : params -> v_bits:float -> float
 (** Replication at all [n] servers: [n * v_bits] (what an un-tuned ABD
-    deployment on n servers stores). *)
+    deployment on n servers stores).
+    @raise Invalid_argument on parameters {!params} rejects. *)
 
 val erasure_total : params -> nu:int -> v_bits:float -> float
 (** Worst-case storage of the erasure-coded algorithms
     [2,4,5,12] over executions with at most [nu] active writes:
-    [nu * n * v_bits / (n - f)]. *)
+    [nu * n * v_bits / (n - f)].
+    @raise Invalid_argument on parameters outside the regime. *)
 
 (** {1 Normalized forms (coefficient of log2 |V|, |V| -> infinity)} *)
 
@@ -96,13 +109,15 @@ val norm_universal : params -> float
 (** [2n / (n - f + 2)] — Theorem 5.1 curve of Figure 1. *)
 
 val norm_single_phase : params -> nu:int -> float
-(** [nu_star n / (n - f + nu_star - 1)] — Theorem 6.5 curve of Figure 1. *)
+(** [nu_star n / (n - f + nu_star - 1)] — Theorem 6.5 curve of Figure 1.
+    @raise Invalid_argument unless [nu >= 1]. *)
 
 val norm_abd : params -> float
 (** [f + 1] — ABD curve of Figure 1. *)
 
 val norm_erasure : params -> nu:int -> float
-(** [nu n / (n - f)] — erasure-coding curve of Figure 1. *)
+(** [nu n / (n - f)] — erasure-coding curve of Figure 1.
+    @raise Invalid_argument unless [nu >= 1]. *)
 
 (** {1 Derived analyses} *)
 
@@ -114,7 +129,8 @@ val crossover_nu : params -> int
 val dominant_lower_bound : params -> nu:int -> float
 (** Max over the normalized lower bounds that apply to single-phase
     algorithms at concurrency [nu] (Theorems B.1, 5.1, 6.5): the best
-    known floor of Section 7's summary. *)
+    known floor of Section 7's summary.
+    @raise Invalid_argument unless [nu >= 1]. *)
 
 val gap_single_phase : params -> nu:int -> float
 (** Ratio upper/lower within the single-phase bounded-concurrency
@@ -124,7 +140,8 @@ val gap_single_phase : params -> nu:int -> float
     here — it assumes liveness at unbounded concurrency, which the
     erasure-coded upper-bound algorithms do not provide, which is why
     Figure 1's EC curve may dip below the Theorem 5.1 line at small
-    [nu].) *)
+    [nu].)
+    @raise Invalid_argument unless [nu >= 1]. *)
 
 val log2_binomial : int -> int -> float
 (** [log2_binomial n k] = log2 (n choose k), computed in log-space so it
@@ -132,7 +149,8 @@ val log2_binomial : int -> int -> float
     [k > n] or [k < 0]. *)
 
 val log2_factorial : int -> float
-(** log2 (n!) in log-space. *)
+(** log2 (n!) in log-space.
+    @raise Invalid_argument when [n < 0]. *)
 
 (** {1 Figure 1 regeneration} *)
 
@@ -147,7 +165,8 @@ type figure1_row = {
 
 val figure1 : params -> nu_max:int -> figure1_row list
 (** The series of Figure 1: one row per [nu] in [1 .. nu_max].  The
-    paper instance is [params ~n:21 ~f:10], [nu_max = 16]. *)
+    paper instance is [params ~n:21 ~f:10], [nu_max = 16].
+    @raise Invalid_argument unless [nu_max >= 1]. *)
 
 val pp_figure1 : Format.formatter -> figure1_row list -> unit
 (** Renders the series as an aligned table, one row per [nu]. *)

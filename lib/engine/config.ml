@@ -328,6 +328,8 @@ let encode_state ~into:b algo c =
   Buffer.add_char b 'S';
   Array.iter (fun ss -> add_str (algo.encode_server ss)) c.servers;
   Buffer.add_char b 'C';
+  (* SA5: repr-dependence is exactly the soundness trade argued above —
+     split merges cost time, never correctness (* sa: allow repr-dependent *) *)
   Array.iter (fun cs -> add_str (Marshal.to_string cs [])) c.clients;
   Buffer.add_char b 'M';
   Chan_map.iter

@@ -40,7 +40,10 @@ val run :
   ('ss, 'cs, 'm) Config.t * outcome
 (** Schedule uniformly at random among enabled actions until [stop]
     holds, quiescence, or [max_steps].  [observer] sees every
-    post-step configuration (storage instrumentation hooks in here). *)
+    post-step configuration (storage instrumentation hooks in here).
+    @raise Invalid_argument propagated from {!Config.step_deliver}
+    (e.g. delivery on an empty channel), impossible when the enabled
+    set is computed as here. *)
 
 val run_to_quiescence :
   ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
@@ -49,6 +52,8 @@ val run_to_quiescence :
   ('ss, 'cs, 'm) Config.t ->
   rng:rng ->
   ('ss, 'cs, 'm) Config.t * outcome
+(** {!run} with [stop] never holding.
+    @raise Invalid_argument as {!run}. *)
 
 val run_allowed :
   ?max_steps:int ->
@@ -63,7 +68,8 @@ val run_allowed :
     restrictions ("the channels from the writers in C0 do not deliver
     any value-dependent messages", Section 6.4.2), which are weaker
     than freezing: a constrained client still receives messages and may
-    send, and have delivered, its value-independent ones. *)
+    send, and have delivered, its value-independent ones.
+    @raise Invalid_argument as {!run}. *)
 
 val run_trace :
   ?max_steps:int ->
@@ -73,7 +79,8 @@ val run_trace :
   stop:(('ss, 'cs, 'm) Config.t -> bool) ->
   ('ss, 'cs, 'm) Config.t list * outcome
 (** Like {!run} but returns every configuration passed through, oldest
-    first (including the start): the paper's points P_0 ... P_M. *)
+    first (including the start): the paper's points P_0 ... P_M.
+    @raise Invalid_argument as {!run}. *)
 
 val drain :
   ?max_steps:int ->
@@ -83,7 +90,8 @@ val drain :
   rng:rng ->
   ('ss, 'cs, 'm) Config.t
 (** Deliver only on channels passing [filter] until no such delivery is
-    enabled. *)
+    enabled.
+    @raise Invalid_argument as {!run}. *)
 
 val drain_heads :
   ?max_steps:int ->
@@ -94,7 +102,8 @@ val drain_heads :
   ('ss, 'cs, 'm) Config.t
 (** Like {!drain} but the predicate inspects the head message: a
     channel is eligible only while its head passes [pred].  Used to
-    withhold exactly the value-dependent messages (Theorem 6.5). *)
+    withhold exactly the value-dependent messages (Theorem 6.5).
+    @raise Invalid_argument as {!run}. *)
 
 val is_gossip_channel : src:endpoint -> dst:endpoint -> bool
 
@@ -105,7 +114,8 @@ val drain_gossip :
   rng:rng ->
   ('ss, 'cs, 'm) Config.t
 (** Deliver all server-to-server messages to the fixpoint: the gossip
-    closure taken at the R points of Theorem 5.1 (Definition 5.3). *)
+    closure taken at the R points of Theorem 5.1 (Definition 5.3).
+    @raise Invalid_argument as {!run}. *)
 
 val run_op_outcome :
   ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
@@ -119,7 +129,9 @@ val run_op_outcome :
 (** Invoke [op] at [client] and run fairly until it responds,
     additionally reporting how the run ended: [Stopped] (responded),
     [Starved] (quiescent with the op pending — nothing can complete
-    it), or [Step_limit]. *)
+    it), or [Step_limit].
+    @raise Invalid_argument from {!Config.invoke} on a bad [client] or
+    one with an operation already pending. *)
 
 val run_op :
   ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
@@ -132,7 +144,8 @@ val run_op :
   response option * ('ss, 'cs, 'm) Config.t
 (** {!run_op_outcome} without the outcome.  [None]
     when it did not terminate within [max_steps] (e.g. all quorums
-    frozen). *)
+    frozen).
+    @raise Invalid_argument as {!run_op_outcome}. *)
 
 val run_concurrent :
   ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
@@ -144,7 +157,9 @@ val run_concurrent :
   ('ss, 'cs, 'm) Config.t * outcome
 (** Invoke several operations (one per distinct client) and run until
     all respond; [Starved] when the run went quiescent with some
-    operation still pending. *)
+    operation still pending.
+    @raise Invalid_argument from {!Config.invoke} on a bad client, a
+    duplicated one, or one with an operation already pending. *)
 
 val write_exn :
   ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->

@@ -281,7 +281,11 @@ let plan_of (ws : workspace) c idxs ~count =
       | Some inv ->
           let rows = Linalg.to_arrays inv in
           if Hashtbl.length ws.plans >= plan_cache_capacity then begin
+            (* SA5: iteration order only breaks last_used ties, so it
+               picks WHICH entry to evict from a per-domain cache of a
+               pure function — decode output is unaffected. *)
             let victim =
+              (* sa: allow nondet-source *)
               Hashtbl.fold
                 (fun key p acc ->
                   match acc with

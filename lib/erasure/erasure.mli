@@ -38,7 +38,8 @@ val generator : t -> Linalg.t
 
 val shard_len : t -> value_len:int -> int
 (** Bytes per codeword symbol for a value of [value_len] bytes:
-    [ceil value_len/k] (at least 1 so that the empty value round-trips). *)
+    [ceil value_len/k] (at least 1 so that the empty value round-trips).
+    @raise Invalid_argument when [value_len < 0]. *)
 
 (** {1 Workspaces}
 
@@ -64,18 +65,23 @@ val ws_stats : workspace -> ws_stats
 val ws_symbols : workspace -> t -> value_len:int -> bytes array
 (** [n] reusable destination buffers of [shard_len] bytes for
     {!encode_into}, owned by the workspace and resized on demand.
-    Contents are overwritten by the next {!encode_into} into them. *)
+    Contents are overwritten by the next {!encode_into} into them.
+    @raise Invalid_argument when [value_len < 0]. *)
 
 (** {1 Encoding} *)
 
 val split : t -> string -> bytes array
 (** [split c value] is the [k] zero-padded data shards of [value] —
     the split-once entry point for callers that derive several symbols
-    from one value (see {!encode_symbol_of_shards}). *)
+    from one value (see {!encode_symbol_of_shards}).
+    @raise Invalid_argument only via internal blit bounds, unreachable
+    for any [value]. *)
 
 val encode : t -> string -> bytes array
 (** [encode c value] returns the [n] codeword symbols of [value] in
-    fresh buffers: one split, one fused pass per parity row. *)
+    fresh buffers: one split, one fused pass per parity row.
+    @raise Invalid_argument only via internal kernel bounds checks,
+    unreachable for any [value]. *)
 
 val encode_into : t -> string -> dst:bytes array -> unit
 (** Zero-allocation encode: writes the [n] symbols over [dst] (e.g.
@@ -87,7 +93,8 @@ val encode_symbol : t -> index:int -> string -> bytes
 (** Encode only the symbol for server [index]; used by write protocols
     that compute symbols lazily.  Equal to [(encode c value).(index)].
     A data symbol ([index < k]) extracts only its own slice of the
-    value; a parity symbol splits once and fuses its row. *)
+    value; a parity symbol splits once and fuses its row.
+    @raise Invalid_argument unless [0 <= index < n]. *)
 
 val encode_symbol_of_shards : t -> index:int -> bytes array -> bytes
 (** [encode_symbol_of_shards c ~index shards] is
@@ -112,26 +119,35 @@ val decode : t -> value_len:int -> (int * bytes) list -> string option
 val decode_with :
   workspace -> t -> value_len:int -> (int * bytes) list -> string option
 (** {!decode} against an explicit workspace (its plan cache and
-    counters). *)
+    counters).
+    @raise Invalid_argument as {!decode};
+    [Division_by_zero] is unreachable (plans invert MDS submatrices). *)
 
 (** {1 Reference scalar paths} *)
 
 val reference_encode : t -> string -> bytes array
 (** The retained pre-kernel encode (per-row scalar accumulation via
     {!Gf256.Scalar}); byte-identical to {!encode}, kept as the
-    differential-testing and bench oracle. *)
+    differential-testing and bench oracle.
+    @raise Invalid_argument only via internal kernel bounds checks,
+    unreachable for any [value]. *)
 
 val reference_decode : t -> value_len:int -> (int * bytes) list -> string option
 (** The retained pre-kernel decode: no plan cache, no systematic fast
-    path, one [Linalg.invert] per call; byte-identical to {!decode}. *)
+    path, one [Linalg.invert] per call; byte-identical to {!decode}.
+    @raise Invalid_argument as {!decode};
+    [Division_by_zero] is unreachable (MDS submatrices invert). *)
 
 (** {1 Properties} *)
 
 val is_mds : t -> bool
 (** Exhaustively checks the MDS property (every k-subset of rows
-    invertible).  Exponential; use on small codes in tests only. *)
+    invertible).  Exponential; use on small codes in tests only.
+    @raise Invalid_argument or [Division_by_zero] only via internal
+    elimination steps, unreachable for a {!create}-built code. *)
 
 val symbol_bits : t -> value_len:int -> int
-(** Storage in bits of one codeword symbol: [8 * shard_len]. *)
+(** Storage in bits of one codeword symbol: [8 * shard_len].
+    @raise Invalid_argument when [value_len < 0]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -32,13 +32,15 @@ val is_element : int -> bool
 (** [is_element x] is [true] iff [x] is in [0, 255]. *)
 
 val add : t -> t -> t
-(** Field addition (XOR). *)
+(** Field addition (XOR).
+    @raise Invalid_argument on a non-element. *)
 
 val sub : t -> t -> t
 (** Field subtraction; identical to {!add} in characteristic 2. *)
 
 val mul : t -> t -> t
-(** Field multiplication via the flat product table. *)
+(** Field multiplication via the flat product table.
+    @raise Invalid_argument on a non-element. *)
 
 val unsafe_mul : t -> t -> t
 (** Unchecked single-load product from the flat 64 KiB table.  The
@@ -54,7 +56,8 @@ val inv : t -> t
 (** Multiplicative inverse.  @raise Division_by_zero on [inv 0]. *)
 
 val neg : t -> t
-(** Additive inverse; the identity in characteristic 2. *)
+(** Additive inverse; the identity in characteristic 2.
+    @raise Invalid_argument on a non-element. *)
 
 val pow : t -> int -> t
 (** [pow a e] is [a^e].  Negative exponents invert; [pow 0 0 = 1],
@@ -70,7 +73,8 @@ val exp : int -> t
 val eval_poly : t array -> t -> t
 (** [eval_poly coeffs x] evaluates the polynomial
     [coeffs.(0) + coeffs.(1)*x + ...] at [x] (Horner).  Inputs are
-    validated once up front; the loop runs unchecked. *)
+    validated once up front; the loop runs unchecked.
+    @raise Invalid_argument on a non-element among the inputs. *)
 
 val add_bytes : bytes -> bytes -> bytes
 (** Element-wise field addition of two equal-length byte strings,
@@ -82,7 +86,8 @@ val add_bytes_into : bytes -> bytes -> unit
     @raise Invalid_argument on length mismatch. *)
 
 val scale_bytes : t -> bytes -> bytes
-(** [scale_bytes c b] multiplies every byte of [b] by [c]. *)
+(** [scale_bytes c b] multiplies every byte of [b] by [c].
+    @raise Invalid_argument on a non-element [c]. *)
 
 val scale_bytes_into : bytes -> t -> bytes -> unit
 (** [scale_bytes_into dst c src] writes [c * src.(i)] over [dst] in
@@ -122,9 +127,16 @@ val dot_into :
     differential tests and the kernel-vs-reference bench comparison. *)
 module Scalar : sig
   val mul : t -> t -> t
+  (** @raise Invalid_argument on a non-element. *)
+
   val add_bytes : bytes -> bytes -> bytes
+  (** @raise Invalid_argument on length mismatch. *)
+
   val scale_bytes : t -> bytes -> bytes
+  (** @raise Invalid_argument on a non-element [c]. *)
+
   val mul_add_into : bytes -> t -> bytes -> unit
+  (** @raise Invalid_argument on a non-element or length mismatch. *)
 end
 
 val pp : Format.formatter -> t -> unit

@@ -27,34 +27,45 @@ val get : t -> int -> int -> int
     @raise Invalid_argument when out of bounds. *)
 
 val set : t -> int -> int -> int -> t
-(** Functional update returning a new matrix. *)
+(** Functional update returning a new matrix.
+    @raise Invalid_argument on out-of-bounds indices or an entry
+    outside [0, 255]. *)
 
 val identity : int -> t
-(** [identity n] is the n×n identity. *)
+(** [identity n] is the n×n identity.
+    @raise Invalid_argument when [n <= 0]. *)
 
 val vandermonde : rows:int -> cols:int -> t
 (** [vandermonde ~rows ~cols] has entry (i, j) = [alpha^(i*j)] where
     rows are indexed by distinct evaluation points [alpha^i].  Any
-    [cols] rows of it are linearly independent when [rows <= 255]. *)
+    [cols] rows of it are linearly independent when [rows <= 255].
+    @raise Invalid_argument on non-positive dims or [rows > 255]. *)
 
 val cauchy : rows:int -> cols:int -> t
 (** Cauchy matrix with entry (i, j) = 1/(x_i + y_j) for
     x_i = i + cols, y_j = j; every square submatrix is invertible
-    while [rows + cols <= 256]. *)
+    while [rows + cols <= 256].
+    @raise Invalid_argument on non-positive dims or [rows + cols > 256];
+    [Division_by_zero] is impossible within that range. *)
 
 val transpose : t -> t
+(** @raise Invalid_argument only via defensive internal bounds checks,
+    unreachable for a well-formed [t]. *)
+
 val mul : t -> t -> t
 (** Matrix product.  @raise Invalid_argument on dimension mismatch. *)
 
 val mul_vec : t -> int array -> int array
-(** Matrix-vector product. *)
+(** Matrix-vector product.
+    @raise Invalid_argument on dimension mismatch. *)
 
 val augment : t -> t -> t
 (** [augment a b] places [b]'s columns to the right of [a]'s.
     @raise Invalid_argument when row counts differ. *)
 
 val sub_matrix : t -> row_off:int -> col_off:int -> rows:int -> cols:int -> t
-(** Extracts a rectangular block. *)
+(** Extracts a rectangular block.
+    @raise Invalid_argument when the block exceeds the matrix. *)
 
 val row : t -> int -> int array
 (** [row m i] copies row [i] out as a coefficient array; used to feed
@@ -62,24 +73,31 @@ val row : t -> int -> int array
     @raise Invalid_argument when out of bounds. *)
 
 val select_rows : t -> int list -> t
-(** [select_rows m idxs] keeps the given rows, in the given order. *)
+(** [select_rows m idxs] keeps the given rows, in the given order.
+    @raise Invalid_argument on an out-of-range index. *)
 
 val swap_rows : t -> int -> int -> t
+(** @raise Invalid_argument on out-of-bounds row indices. *)
 
 val rank : t -> int
-(** Rank via Gaussian elimination. *)
+(** Rank via Gaussian elimination.
+    @raise Division_by_zero only via GF(2^8) division by a zero pivot,
+    unreachable because pivots are selected non-zero. *)
 
 val invert : t -> t option
 (** Inverse of a square matrix, or [None] if singular.
     @raise Invalid_argument if the matrix is not square. *)
 
 val solve : t -> int array -> int array option
-(** [solve a b] finds x with [a x = b] for square invertible [a]. *)
+(** [solve a b] finds x with [a x = b] for square invertible [a].
+    @raise Invalid_argument when [a] is not square or [b]'s length
+    differs from [a]'s row count. *)
 
 val is_mds_generator : t -> bool
 (** [is_mds_generator g] for an n×k matrix ([n >= k]) checks that every
     k×k row-submatrix is invertible, i.e. that [g] generates an MDS
-    code.  Exponential in general; intended for small test instances. *)
+    code.  Exponential in general; intended for small test instances.
+    @raise Invalid_argument when [rows < cols]. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

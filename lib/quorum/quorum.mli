@@ -19,16 +19,19 @@ val threshold : n:int -> size:int -> t
     @raise Invalid_argument unless [1 <= size <= n]. *)
 
 val majority : n:int -> t
-(** Threshold with size [n/2 + 1]. *)
+(** Threshold with size [n/2 + 1].
+    @raise Invalid_argument unless [n >= 1]. *)
 
 val cas_style : n:int -> k:int -> t
 (** Threshold with size [ceil (n+k)/2]: any two quorums intersect in at
-    least [k] elements ({!min_intersection}). *)
+    least [k] elements ({!min_intersection}).
+    @raise Invalid_argument unless [1 <= k <= n]. *)
 
 val grid : rows:int -> cols:int -> t
 (** The grid system on [rows * cols] servers: a quorum is one full row
     together with one full column.  Quorum size
-    [rows + cols - 1], always pairwise intersecting. *)
+    [rows + cols - 1], always pairwise intersecting.
+    @raise Invalid_argument unless both dimensions are positive. *)
 
 val explicit : n:int -> int list list -> t
 (** An explicit collection of quorums.
@@ -44,21 +47,29 @@ val is_quorum : t -> int list -> bool
 val min_quorum_size : t -> int
 
 val is_intersecting : t -> bool
-(** Every two quorums intersect — the consistency requirement. *)
+(** Every two quorums intersect — the consistency requirement.
+    @raise Invalid_argument when quorum enumeration overflows the
+    {!quorums} cap. *)
 
 val min_intersection : t -> int
 (** Minimum intersection cardinality over all quorum pairs (the [k]
     that makes erasure-coded reads decodable).  For threshold systems
-    computed in closed form; for explicit/grid systems by enumeration. *)
+    computed in closed form; for explicit/grid systems by enumeration.
+    @raise Invalid_argument when quorum enumeration overflows the
+    {!quorums} cap. *)
 
 val available : t -> failed:int list -> bool
-(** Some quorum avoids all failed servers. *)
+(** Some quorum avoids all failed servers.
+    @raise Invalid_argument when quorum enumeration overflows the
+    {!quorums} cap. *)
 
 val fault_tolerance : t -> int
 (** Largest [f] such that {e every} failure pattern of [f] servers
     leaves a live quorum.  Closed form for threshold ([n - size]);
     minimal-transversal search for grid/explicit (exponential — small
-    systems only). *)
+    systems only).
+    @raise Invalid_argument when quorum enumeration overflows the
+    {!quorums} cap. *)
 
 val quorums : t -> int list list
 (** Enumerate all (minimal) quorums.

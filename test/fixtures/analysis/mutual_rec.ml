@@ -1,0 +1,13 @@
+(* Callgraph regression fixture: module-level [let rec ... and ...].
+   Both bare names are unit-level bindings, so calls in either
+   direction must resolve (not be treated as opaque externals).  The
+   nondet effect sits in [tock], the *later* binding of the group:
+   [tick] and [entry] are evaluated first by any worklist that follows
+   source order, pick up a bottom summary for [tock], and must be
+   re-evaluated once [tock]'s summary grows — a single-visit traversal
+   gets [entry] wrong. *)
+
+let rec tick n = if Int.equal n 0 then 0 else tock (n - 1)
+and tock n = if Int.equal n 1 then Random.int 3 else tick (n - 1)
+
+let entry n = tick n

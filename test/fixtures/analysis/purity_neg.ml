@@ -1,0 +1,14 @@
+(* SA5 negative fixture — the pure twin of purity_pos: the same
+   certified-root names, each a function of its arguments alone.
+   sa5-purity must stay silent. *)
+
+let encode_state st =
+  String.concat "|" [ st; string_of_int (String.length st) ]
+
+let step_deliver st = st ^ "."
+
+(* local helpers, let-bound lambdas and higher-order parameters are all
+   locals to SA5 — applying them is not an opaque external *)
+let invoke st =
+  let twice f x = f (f x) in
+  twice step_deliver (encode_state st)

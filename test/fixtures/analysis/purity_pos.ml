@@ -1,0 +1,22 @@
+(* SA5 positive fixture — the planted impure engine: compiled under
+   lib/engine/ so [encode_state], [step_deliver] and [invoke] are
+   certified roots, then each breaks schedule-determinism its own way.
+   sa5-purity must flag every one of them (check.sh asserts the gate
+   actually fails on this file). *)
+
+let salt = ref 0
+
+(* canonicalization consults a nondeterministic source: two runs of the
+   same schedule encode the same configuration differently *)
+let encode_state st = st ^ string_of_int (Random.int 256)
+
+(* transition performs IO *)
+let step_deliver st =
+  print_endline st;
+  st
+
+(* transition keeps state outside the configuration: a post-init write
+   (and read) of a top-level mutable value *)
+let invoke st =
+  salt := !salt + 1;
+  st ^ string_of_int !salt

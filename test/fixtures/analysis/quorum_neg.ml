@@ -1,0 +1,18 @@
+(* SA6 negative fixture (and the no-threshold positive):
+
+   - under lib/quorum/ the real formulas — majority (n/2)+1 and
+     CAS-style (n+k+1)/2 — certify silently against exhaustive
+     enumeration;
+   - under lib/algorithms/ the client transition exists but contains no
+     quorum-threshold arithmetic over {n, f, k}, so SA6 must report
+     no-threshold rather than certify vacuously. *)
+
+type q = Threshold of int
+
+let threshold ~n ~size =
+  ignore n;
+  Threshold size
+
+let majority n = threshold ~n ~size:((n / 2) + 1)
+let cas_style ~n ~k = threshold ~n ~size:((n + k + 1) / 2)
+let on_invoke msgs = List.length msgs

@@ -1,0 +1,21 @@
+(* SA6 positive fixture, compiled twice at different paths:
+
+   - under lib/quorum/ the size formulas are certified by enumeration:
+     [majority] is not a majority (n/2 quorums need not intersect) and
+     [cas_style] is one short of the k-overlap bound — both must raise
+     quorum-unsafe;
+   - under lib/algorithms/ the client transition's threshold (n - f)
+     extracts fine but the unit has no bound-applicability entry, so
+     missing-entry must fire. *)
+
+type params = { n : int; f : int; k : int }
+type q = Threshold of int
+
+let threshold ~n ~size =
+  ignore n;
+  Threshold size
+
+let majority n = threshold ~n ~size:(n / 2)
+let cas_style ~n ~k = threshold ~n ~size:((n + k) / 2)
+let quorum p = p.n - p.f
+let on_invoke p = quorum p

@@ -219,6 +219,190 @@ let test_sa4_profiles_json () =
       {|"write_value_phases":2|};
     ]
 
+(* ----- callgraph: module-level mutual recursion ----- *)
+
+let test_callgraph_mutual_rec () =
+  let ctx = compile_ctx "mutual-rec" [ ("mutual_rec.ml", "mutual_rec.ml") ] in
+  let g = ctx.Analysis.Pass.graph in
+  let node id =
+    match Analysis.Callgraph.find g id with
+    | Some n -> n
+    | None -> Alcotest.fail ("no node " ^ id)
+  in
+  let calls id = (node id).Analysis.Callgraph.calls in
+  Alcotest.(check bool) "tick calls tock" true
+    (List.exists (String.equal "tock") (calls "Mutual_rec.tick"));
+  Alcotest.(check bool) "tock calls tick" true
+    (List.exists (String.equal "tick") (calls "Mutual_rec.tock"));
+  (* the later binding of the [let rec ... and] group must resolve from
+     the earlier one (the bug was treating it as an opaque external) *)
+  Alcotest.(check (option string))
+    "tock resolves from tick's unit" (Some "Mutual_rec.tock")
+    (Analysis.Callgraph.resolve g ~unit_mod:"Mutual_rec" "tock");
+  (* and the SA5 fixpoint carries the effect around the cycle *)
+  let s = Analysis.Sa5_purity.summary ctx "Mutual_rec.entry" in
+  Alcotest.(check bool) "entry inherits tick's nondet through the cycle"
+    true
+    (contains (Analysis.Sa5_purity.Eff.to_string s) "nondet")
+
+(* ----- SA5 purity certification ----- *)
+
+let purity_pos_ctx () =
+  compile_ctx "purity-pos" [ ("purity_pos.ml", "lib/engine/purity_pos.ml") ]
+
+let test_sa5_canary () =
+  let ctx = purity_pos_ctx () in
+  Alcotest.(check (list string))
+    "all three entry points are certified roots"
+    [
+      "Purity_pos.encode_state"; "Purity_pos.step_deliver";
+      "Purity_pos.invoke";
+    ]
+    (Analysis.Sa5_purity.certified_roots ctx);
+  let ds = Analysis.Sa5_purity.check ctx in
+  List.iter
+    (fun c -> Alcotest.(check bool) (c ^ " found") true (has_code c ds))
+    [ "nondet-source"; "io-effect"; "global-write"; "global-read" ];
+  List.iter
+    (fun d ->
+      Alcotest.(check string) "flagged file" "lib/engine/purity_pos.ml"
+        d.Lint.Diagnostic.file)
+    ds
+
+let test_sa5_clean () =
+  let ctx =
+    compile_ctx "purity-neg" [ ("purity_neg.ml", "lib/engine/purity_neg.ml") ]
+  in
+  Alcotest.(check (list string))
+    "pure twin is silent" []
+    (List.map Lint.Diagnostic.to_string (Analysis.Sa5_purity.check ctx));
+  Alcotest.(check bool) "invoke's summary is pure" true
+    (Analysis.Sa5_purity.Eff.is_pure
+       (Analysis.Sa5_purity.summary ctx "Purity_neg.invoke"))
+
+(* ----- SA6 quorum certification: fixtures ----- *)
+
+let test_sa6_bad_formulas () =
+  let ctx =
+    compile_ctx "quorum-pos" [ ("quorum_pos.ml", "lib/quorum/quorum_pos.ml") ]
+  in
+  let ds = Analysis.Sa6_quorum.check ctx in
+  Alcotest.(check bool) "unsafe sizes flagged" true (has_code "quorum-unsafe" ds);
+  List.iter
+    (fun fn ->
+      Alcotest.(check bool) (fn ^ " flagged") true
+        (List.exists
+           (fun d -> contains d.Lint.Diagnostic.message fn)
+           ds))
+    [ "majority"; "cas_style" ]
+
+let test_sa6_missing_entry () =
+  let ctx =
+    compile_ctx "quorum-pos-algo"
+      [ ("quorum_pos.ml", "lib/algorithms/quorum_pos.ml") ]
+  in
+  let ds = Analysis.Sa6_quorum.check ctx in
+  Alcotest.(check bool) "missing-entry reported" true
+    (has_code "missing-entry" ds);
+  (* the threshold itself extracted fine *)
+  match Analysis.Sa6_quorum.thresholds ctx with
+  | [ t ] ->
+      Alcotest.(check string) "extracted expr" "(n - f)"
+        (Analysis.Sa6_quorum.expr_to_string t.Analysis.Sa6_quorum.expr)
+  | ts -> Alcotest.fail (Printf.sprintf "%d thresholds" (List.length ts))
+
+let test_sa6_good_formulas_silent () =
+  let ctx =
+    compile_ctx "quorum-neg" [ ("quorum_neg.ml", "lib/quorum/quorum_neg.ml") ]
+  in
+  Alcotest.(check (list string))
+    "sound formulas certify silently" []
+    (List.map Lint.Diagnostic.to_string (Analysis.Sa6_quorum.check ctx))
+
+let test_sa6_no_threshold () =
+  let ctx =
+    compile_ctx "quorum-neg-algo"
+      [ ("quorum_neg.ml", "lib/algorithms/quorum_neg.ml") ]
+  in
+  Alcotest.(check bool) "no-threshold reported" true
+    (has_code "no-threshold" (Analysis.Sa6_quorum.check ctx))
+
+(* ----- SA6 against the real tree ----- *)
+
+let test_sa6_thresholds_extracted () =
+  let ts = Analysis.Sa6_quorum.thresholds (algo_ctx ()) in
+  Alcotest.(check (list string))
+    "every algorithm yields a threshold"
+    [ "abd"; "abd_mw"; "awe"; "cas"; "gossip_rep" ]
+    (List.sort_uniq String.compare
+       (List.map (fun t -> t.Analysis.Sa6_quorum.algo) ts));
+  let expr_of algo =
+    match
+      List.find_opt (fun t -> String.equal t.Analysis.Sa6_quorum.algo algo) ts
+    with
+    | Some t -> Analysis.Sa6_quorum.expr_to_string t.Analysis.Sa6_quorum.expr
+    | None -> Alcotest.fail ("no threshold for " ^ algo)
+  in
+  Alcotest.(check string) "abd majority" "(n - f)" (expr_of "abd");
+  Alcotest.(check string) "cas coded quorum" "(((n + k) + 1) / 2)"
+    (expr_of "cas")
+
+let test_sa6_certifies_clean () =
+  Alcotest.(check (list string))
+    "real tree certifies" []
+    (List.map Lint.Diagnostic.to_string
+       (Analysis.Sa6_quorum.check (algo_ctx ())))
+
+(* The SMEC_SA_CANARY=2 off-by-one: every sound threshold weakened by
+   one must fail somewhere on its admitted (n, f, k) grid. *)
+let test_sa6_weaken_fails () =
+  let ds = Analysis.Sa6_quorum.check_with ~weaken:true (algo_ctx ()) in
+  Alcotest.(check bool) "weakened thresholds fail" true
+    (has_code "quorum-unsafe" ds || has_code "bound-precondition-violated" ds)
+
+(* Direct regime cross-checks on hand-built entries. *)
+let test_sa6_regime_mismatch () =
+  let open Analysis.Sa6_quorum in
+  let entry regime =
+    {
+      Bounds.Applicability.algo = "synthetic"; names = [];
+      no_server_gossip = true; single_value_phase = true; regime;
+    }
+  in
+  let fails e expr code =
+    match certify e expr with
+    | Error f -> Alcotest.(check string) "failure code" code f.code
+    | Ok () -> Alcotest.fail "certified a mistagged entry"
+  in
+  (* coded entry, k-free threshold: the obligation cannot be met *)
+  fails (entry Bounds.Applicability.Coded) (Sub (Var N, Var F))
+    "bound-precondition-violated";
+  (* replicated entry, k-dependent threshold *)
+  fails (entry Bounds.Applicability.Replicated)
+    (Div (Add (Add (Var N, Var K), Lit 1), Lit 2))
+    "bound-precondition-violated";
+  (* and the sound pairings certify *)
+  Alcotest.(check bool) "replicated majority certifies" true
+    (Result.is_ok
+       (certify (entry Bounds.Applicability.Replicated) (Sub (Var N, Var F))));
+  Alcotest.(check bool) "coded cas-style certifies" true
+    (Result.is_ok
+       (certify (entry Bounds.Applicability.Coded)
+          (Div (Add (Add (Var N, Var K), Lit 1), Lit 2))))
+
+(* Enumeration spot checks against the closed form max 0 (2q - n). *)
+let test_sa6_enumeration () =
+  let open Analysis.Sa6_quorum in
+  Alcotest.(check int) "C(5,3) subsets" 10 (Array.length (subsets ~m:5 ~q:3));
+  List.iter
+    (fun (m, q) ->
+      let inter, _, _ = min_pair_intersection ~m ~q in
+      Alcotest.(check int)
+        (Printf.sprintf "min intersection m=%d q=%d" m q)
+        (max 0 ((2 * q) - m))
+        inter)
+    [ (5, 3); (4, 2); (6, 5); (12, 7); (3, 3); (7, 1) ]
+
 (* ----- baseline round trip (shared by smec-lint and smec-sa) ----- *)
 
 let test_baseline_roundtrip () =
@@ -272,6 +456,38 @@ let () =
           Alcotest.test_case "real tree certifies" `Quick test_sa4_certifies_clean;
           Alcotest.test_case "mis-tagged entry fails" `Quick test_sa4_mistag_fails;
           Alcotest.test_case "profiles json" `Quick test_sa4_profiles_json;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "mutual recursion resolves" `Quick
+            test_callgraph_mutual_rec;
+        ] );
+      ( "sa5-purity",
+        [
+          Alcotest.test_case "impure engine canary caught" `Quick
+            test_sa5_canary;
+          Alcotest.test_case "pure twin silent" `Quick test_sa5_clean;
+        ] );
+      ( "sa6-quorum",
+        [
+          Alcotest.test_case "bad size formulas flagged" `Quick
+            test_sa6_bad_formulas;
+          Alcotest.test_case "missing entry flagged" `Quick
+            test_sa6_missing_entry;
+          Alcotest.test_case "sound size formulas silent" `Quick
+            test_sa6_good_formulas_silent;
+          Alcotest.test_case "threshold-free transitions flagged" `Quick
+            test_sa6_no_threshold;
+          Alcotest.test_case "real-tree thresholds extracted" `Quick
+            test_sa6_thresholds_extracted;
+          Alcotest.test_case "real tree certifies" `Quick
+            test_sa6_certifies_clean;
+          Alcotest.test_case "weakened thresholds fail" `Quick
+            test_sa6_weaken_fails;
+          Alcotest.test_case "regime mismatch detected" `Quick
+            test_sa6_regime_mismatch;
+          Alcotest.test_case "enumeration matches closed form" `Quick
+            test_sa6_enumeration;
         ] );
       ( "baseline",
         [ Alcotest.test_case "round trip" `Quick test_baseline_roundtrip ] );

@@ -1,0 +1,150 @@
+(* The dataflow engine's contract, tested two ways:
+
+   - qcheck lattice laws on SA5's effect lattice (the LATTICE instance
+     the engine actually runs): join associative, commutative and
+     idempotent modulo [equal], bottom the identity, [leq] an order
+     with [join] its least upper bound, and the SA5-style transfer
+     (join facts into callee summaries) monotone;
+   - a worklist fixpoint over the mutual-recursion fixture with a tiny
+     boolean reachability lattice: the effect must propagate around the
+     [let rec ... and] cycle, which a single-visit traversal misses. *)
+
+module Eff = Analysis.Sa5_purity.Eff
+
+(* ----- generators ----- *)
+
+let eff_of_bits (a, b, c, d, e, f) =
+  Eff.make ~nondet:a ~io:b ~global_write:c ~global_read:d ~repr:e
+    ~unclassified:f ()
+
+let bits =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        match l with
+        | [ a; b; c; d; e; f ] -> (a, b, c, d, e, f)
+        | _ -> assert false)
+      (list_size (return 6) bool))
+
+let eff_arb =
+  QCheck.make
+    ~print:(fun t -> Eff.to_string (eff_of_bits t))
+    bits
+
+let pair3 = QCheck.triple eff_arb eff_arb eff_arb
+let pair2 = QCheck.pair eff_arb eff_arb
+
+let ( +! ) a b = Eff.join a b
+
+let law_assoc =
+  QCheck.Test.make ~name:"join associative" ~count:500 pair3
+    (fun (a, b, c) ->
+      let a = eff_of_bits a and b = eff_of_bits b and c = eff_of_bits c in
+      Eff.equal ((a +! b) +! c) (a +! (b +! c)))
+
+let law_comm =
+  QCheck.Test.make ~name:"join commutative" ~count:500 pair2 (fun (a, b) ->
+      let a = eff_of_bits a and b = eff_of_bits b in
+      Eff.equal (a +! b) (b +! a))
+
+let law_idem =
+  QCheck.Test.make ~name:"join idempotent" ~count:500 eff_arb (fun a ->
+      let a = eff_of_bits a in
+      Eff.equal (a +! a) a)
+
+let law_bottom =
+  QCheck.Test.make ~name:"bottom is the identity" ~count:500 eff_arb
+    (fun a ->
+      let a = eff_of_bits a in
+      Eff.equal (Eff.bottom +! a) a && Eff.equal (a +! Eff.bottom) a)
+
+let law_lub =
+  QCheck.Test.make ~name:"join is an upper bound, leq an order" ~count:500
+    pair2 (fun (a, b) ->
+      let a = eff_of_bits a and b = eff_of_bits b in
+      Eff.leq a (a +! b) && Eff.leq b (a +! b) && Eff.leq a a
+      && ((not (Eff.leq a b && Eff.leq b a)) || Eff.equal a b))
+
+(* The SA5 transfer shape: join a node's own facts into its callee
+   summaries.  Growing any callee summary can only grow the result. *)
+let law_transfer_monotone =
+  QCheck.Test.make ~name:"transfer monotone in the callee summaries"
+    ~count:500 pair3 (fun (base, a, b) ->
+      let base = eff_of_bits base
+      and a = eff_of_bits a
+      and b = eff_of_bits b in
+      let transfer callee = base +! callee in
+      (not (Eff.leq a b)) || Eff.leq (transfer a) (transfer b))
+
+(* ----- the fixpoint over a real cycle ----- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path text =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text)
+
+let mutual_rec_graph () =
+  let dir = "df-fixture-mutual-rec" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  write_file
+    (Filename.concat dir "mutual_rec.ml")
+    (read_file "fixtures/analysis/mutual_rec.ml");
+  let cmd =
+    Printf.sprintf "cd %s && ocamlc -bin-annot -w -a -c mutual_rec.ml"
+      (Filename.quote dir)
+  in
+  Alcotest.(check int) "ocamlc mutual_rec" 0 (Sys.command cmd);
+  let units, errors =
+    Analysis.Cmt_loader.load_tree ~build_root:dir ~dirs:[ "." ]
+  in
+  Alcotest.(check (list string)) "cmt load" [] errors;
+  Analysis.Callgraph.build units
+
+(* Boolean reachability: does this function reach Random.*?  [tock]
+   introduces it directly; [tick] and [entry] only through the cycle,
+   and both are visited before [tock] in source order. *)
+module Reach = Analysis.Dataflow.Make (struct
+  type t = bool
+
+  let bottom = false
+  let equal = Bool.equal
+  let join = ( || )
+end)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let test_fixpoint_cycle () =
+  let g = mutual_rec_graph () in
+  let s =
+    Reach.solve g ~transfer:(fun n ~summary_of ->
+        List.fold_left
+          (fun acc callee ->
+            acc
+            || starts_with ~prefix:"Random." callee
+            || Option.value ~default:false (summary_of callee))
+          false n.Analysis.Callgraph.calls)
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " reaches Random") true (Reach.get s id))
+    [ "Mutual_rec.tick"; "Mutual_rec.tock"; "Mutual_rec.entry" ];
+  Alcotest.(check bool) "unknown id is bottom" false (Reach.get s "No.Such");
+  (* the cycle forces re-evaluation: strictly more evaluations than
+     nodes means the worklist actually iterated *)
+  Alcotest.(check bool) "fixpoint iterated" true (Reach.evaluations s > 3)
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ( "lattice-laws",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            law_assoc; law_comm; law_idem; law_bottom; law_lub;
+            law_transfer_monotone;
+          ] );
+      ( "fixpoint",
+        [ Alcotest.test_case "mutual recursion converges" `Quick
+            test_fixpoint_cycle ] );
+    ]

@@ -1,0 +1,91 @@
+(* Static/runtime differential for SA6's quorum thresholds: the
+   threshold q that smec-sa extracts from an algorithm's .cmt files is
+   exactly the minimum number of responsive servers its write needs.
+
+   Runtime side: invoke a write and run under an [allow] predicate
+   that silences every channel touching a "crashed" server (one with
+   index >= live).  With [live = q] the operation must complete; with
+   [live = q - 1] the run must go quiescent with the operation still
+   pending.  Both directions together pin the runtime threshold to q —
+   off by one either way and a check fails, which is the runtime twin
+   of the SMEC_SA_CANARY=2 weakened-threshold gate. *)
+
+open Engine.Types
+
+(* ----- static side: one threshold value per algorithm ----- *)
+
+let thresholds =
+  lazy
+    (let units, errors =
+       Analysis.Cmt_loader.load_tree ~build_root:".." ~dirs:[ "lib/algorithms" ]
+     in
+     match errors with
+     | [] -> Analysis.Sa6_quorum.thresholds (Analysis.Pass.make_ctx ~root:".." units)
+     | why :: _ -> Alcotest.fail why)
+
+let static_q name ~n ~f ~k =
+  let ts =
+    List.filter
+      (fun t -> String.equal t.Analysis.Sa6_quorum.algo name)
+      (Lazy.force thresholds)
+  in
+  match
+    List.sort_uniq Int.compare
+      (List.map
+         (fun t -> Analysis.Sa6_quorum.eval t.Analysis.Sa6_quorum.expr ~n ~f ~k)
+         ts)
+  with
+  | [ q ] -> q
+  | [] -> Alcotest.fail ("no static threshold for " ^ name)
+  | qs ->
+      Alcotest.failf "%s: %d distinct threshold values" name (List.length qs)
+
+(* ----- runtime side: minimum responsive servers for a write ----- *)
+
+let write_completes (a : ('ss, 'cs, 'm) algo) p ~live ~value =
+  let c = Engine.Config.make a p ~clients:1 in
+  let _id, c = Engine.Config.invoke a c ~client:0 (Write value) in
+  let dead = function Server i -> i >= live | Client _ -> false in
+  let _c, outcome =
+    Engine.Driver.run_allowed a c
+      ~rng:(Engine.Driver.rng_of_seed 7)
+      ~stop:(fun c ->
+        Option.is_some (Engine.Config.last_response_for c ~client:0))
+      ~allow:(fun ~src ~dst _ -> not (dead src || dead dst))
+  in
+  match outcome with Engine.Driver.Stopped -> true | _ -> false
+
+let check_differential name (a : ('ss, 'cs, 'm) algo) ~n ~f ~k ~value () =
+  let p = params ~k ~n ~f ~value_len:(String.length value) () in
+  let q = static_q name ~n ~f ~k in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: write completes with exactly q=%d live" name q)
+    true
+    (write_completes a p ~live:q ~value);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: write starves with q-1=%d live" name (q - 1))
+    false
+    (write_completes a p ~live:(q - 1) ~value)
+
+let () =
+  Alcotest.run "quorum-differential"
+    [
+      ( "static-threshold-vs-runtime",
+        [
+          Alcotest.test_case "abd" `Quick
+            (check_differential "abd" Algorithms.Abd.algo ~n:4 ~f:1 ~k:1
+               ~value:"abc");
+          Alcotest.test_case "abd_mw" `Quick
+            (check_differential "abd_mw" Algorithms.Abd_mw.algo ~n:4 ~f:1 ~k:1
+               ~value:"abc");
+          Alcotest.test_case "gossip_rep" `Quick
+            (check_differential "gossip_rep" Algorithms.Gossip_rep.algo ~n:4
+               ~f:1 ~k:1 ~value:"abc");
+          Alcotest.test_case "cas" `Quick
+            (check_differential "cas" Algorithms.Cas.algo ~n:5 ~f:1 ~k:2
+               ~value:"abcd");
+          Alcotest.test_case "awe" `Quick
+            (check_differential "awe" Algorithms.Awe.algo ~n:5 ~f:1 ~k:2
+               ~value:"abcd");
+        ] );
+    ]
