@@ -567,6 +567,85 @@ let explore_throughput () =
      the sharded-digest determinism contract.  The CAS scope exceeds 10^5\n\
      distinct states, large enough that per-state work dominates setup.)"
 
+(* ----- n=5 exhaustive closure (the reduction stack's target scope) ----- *)
+
+(* Close the paper-scale two-writer spaces at n=5 f=2 under the full
+   reduction stack (DPOR sleep sets + server-symmetry + spillable
+   seen-set) and report states/sec and peak RSS.  Unreduced these
+   spaces are out of reach; the reductions' soundness is what the
+   differential suite (test_reduction) certifies, so the counts here
+   are exact closures.  Truncation fails the bench: "closed" is the
+   claim being benchmarked. *)
+
+let peak_rss_kb () =
+  (* VmHWM from /proc/self/status: the process-wide high-water mark,
+     so per-scope numbers are cumulative — the heavy scope last *)
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
+                Fun.id
+            else scan ()
+      in
+      let kb = scan () in
+      close_in ic;
+      kb
+
+let explore_n5 () =
+  section "explore-n5: exhaustive closure at n=5 f=2, two writers, --reduce all";
+  let spill_dir = Filename.temp_file "smec-n5-spill" "" in
+  Sys.remove spill_dir;
+  Sys.mkdir spill_dir 0o700;
+  let scripts =
+    [ (0, [ Engine.Types.Write "a" ]); (1, [ Engine.Types.Write "b" ]) ]
+  in
+  Printf.printf "%-24s %12s %10s %10s %12s %12s\n" "scope" "states" "terminals"
+    "secs" "states/sec" "peak RSS MB";
+  let scope (type ss cs m) name (algo : (ss, cs, m) Engine.Types.algo) params =
+    let c = Engine.Config.make algo params ~clients:2 in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Engine.Explore.run ~max_states:100_000_000 ~reduce:Engine.Reduction.all
+        ~spill_dir ~spill_threshold:20_000 algo c ~scripts
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let stats = r.Engine.Explore.stats in
+    if stats.Engine.Explore.truncated then begin
+      Printf.printf "explore-n5: %s did not close\n" name;
+      exit 1
+    end;
+    let states = stats.Engine.Explore.states_explored in
+    let rate = float_of_int states /. Float.max dt 1e-9 in
+    let rss = peak_rss_kb () in
+    Printf.printf "%-24s %12d %10d %10.1f %12.0f %12.1f\n" name states
+      stats.Engine.Explore.terminals dt rate
+      (float_of_int rss /. 1024.0);
+    json_explore :=
+      Printf.sprintf
+        {|{"name": %S, "reduce": "all", "states": %d, "terminals": %d, "secs": %.1f, "states_per_sec": %.0f, "peak_rss_kb": %d}|}
+        name states stats.Engine.Explore.terminals dt rate rss
+      :: !json_explore
+  in
+  scope "abd  n=5 f=2 2w" Algorithms.Abd.algo
+    (Engine.Types.params ~n:5 ~f:2 ~value_len:1 ());
+  scope "cas  n=5 f=2 2w" Algorithms.Cas.algo
+    (Engine.Types.params ~n:5 ~f:2 ~k:1 ~delta:2 ~value_len:1 ());
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat spill_dir f))
+    (Sys.readdir spill_dir);
+  Sys.rmdir spill_dir;
+  print_endline
+    "(Orbit representatives under the 5! server-symmetry group, with sleep\n\
+     sets pruning commuting interleavings; the seen-set spills settled\n\
+     digests to sorted runs so RSS stays bounded.  Single-core host: one\n\
+     domain.  test_reduction certifies these reductions against the\n\
+     unreduced oracle on scopes small enough to run both.)"
+
 (* ----- Hammer campaign throughput ----- *)
 
 (* Executions/sec of the fault-injection campaign per algorithm: the
@@ -740,6 +819,7 @@ let sections =
     ("coding-quick", run_coding ~quick:true);
     ("sched", sched_throughput);
     ("explore", explore_throughput);
+    ("explore-n5", explore_n5);
     ("hammer", hammer_throughput);
     ("bench", run_benchmarks);
   ]
@@ -766,8 +846,13 @@ let () =
               exit 2)
         picks
   | [] ->
-      (* `coding-quick` is the CI subset of `coding`; skip it on a full run *)
-      List.iter (fun (name, f) -> if name <> "coding-quick" then f ()) sections;
+      (* `coding-quick` is the CI subset of `coding`; `explore-n5` is
+         the manually-triggered heavy closure run: skip both on a full
+         run *)
+      List.iter
+        (fun (name, f) ->
+          if name <> "coding-quick" && name <> "explore-n5" then f ())
+        sections;
       line ();
       print_endline "bench: all experiment families regenerated.");
   match !json_out with Some path -> write_json path | None -> ()

@@ -223,24 +223,53 @@ let conjecture_cmd =
 (* ----- explore ----- *)
 
 let explore_cmd =
-  let run algo_name n f domains max_states show_progress =
+  let run algo_name n f domains max_states show_progress reduce_name spill_dir
+      writers readers =
+    let reduce =
+      match Engine.Reduction.of_string reduce_name with
+      | Ok r -> r
+      | Error msg ->
+          Printf.eprintf "--reduce: %s\n" msg;
+          exit 2
+    in
+    if writers < 1 || readers < 0 || writers + readers < 2 then begin
+      Printf.eprintf
+        "need at least one writer and two clients total (got %d writers, %d \
+         readers)\n"
+        writers readers;
+      exit 2
+    end;
     let params =
       Engine.Types.params ~n ~f ~k:(max 1 (n - (2 * f))) ~delta:2 ~value_len:1 ()
     in
     let init = Algorithms.Common.initial_value params in
+    (* writers first (distinct one-byte values), then readers: the
+       default 1w/1r is the historical write || read scope *)
     let scripts =
-      [ (0, [ Engine.Types.Write "a" ]); (1, [ Engine.Types.Read ]) ]
+      List.init (writers + readers) (fun c ->
+          if c < writers then
+            (c, [ Engine.Types.Write (String.make 1 (Char.chr (0x61 + c))) ])
+          else (c, [ Engine.Types.Read ]))
     in
     let go (type ss cs m) (algo : (ss, cs, m) Engine.Types.algo) checker
         condition =
-      let config = Engine.Config.make algo params ~clients:2 in
+      let config = Engine.Config.make algo params ~clients:(writers + readers) in
       let progress =
         if show_progress then
           Some (fun states -> Printf.eprintf "\r%d states...%!" states)
         else None
       in
       let r =
-        Engine.Explore.run ~max_states ~domains ?progress algo config ~scripts
+        match
+          Engine.Explore.run ~max_states ~domains ?progress ~reduce ?spill_dir
+            algo config ~scripts
+        with
+        | r -> r
+        | exception Invalid_argument msg ->
+            (* an unusable --spill-dir (missing, unwritable, leftover
+               runs) is a user error, not an internal one *)
+            Printf.eprintf "explore: %s\n" msg;
+            exit 2
       in
       if show_progress then Printf.eprintf "\r%!";
       let violations =
@@ -253,9 +282,11 @@ let explore_cmd =
       in
       let stats = r.Engine.Explore.stats in
       Printf.printf
-        "%s n=%d f=%d, write || read (%d domain%s): %d states, %d terminal \
-         histories, closed=%b, %s violations=%d\n"
-        algo.Engine.Types.name n f domains
+        "%s n=%d f=%d, %dw || %dr, reduce=%s (%d domain%s): %d states, %d \
+         terminal histories, closed=%b, %s violations=%d\n"
+        algo.Engine.Types.name n f writers readers
+        (Engine.Reduction.to_string reduce)
+        domains
         (if domains = 1 then "" else "s")
         stats.Engine.Explore.states_explored stats.Engine.Explore.terminals
         (not stats.Engine.Explore.truncated)
@@ -305,12 +336,44 @@ let explore_cmd =
       value & flag
       & info [ "progress" ] ~doc:"Report the state count on stderr as it grows.")
   in
+  let reduce =
+    Arg.(
+      value & opt string "none"
+      & info [ "reduce" ] ~docv:"RED"
+          ~doc:
+            "State-space reduction: none (the oracle), dpor (sleep sets), sym \
+             (server-symmetry canonicalization) or all.  Every choice yields \
+             the same terminal/deadlock history sets on a closed space.")
+  in
+  let spill_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:
+            "Spill settled seen-set entries to sorted runs in $(docv) (must \
+             exist, be writable, and hold no *.run files); enables closing \
+             spaces larger than RAM.")
+  in
+  let writers =
+    Arg.(
+      value & opt int 1
+      & info [ "writers" ] ~docv:"W"
+          ~doc:"Concurrent single-write clients (distinct values).")
+  in
+  let readers =
+    Arg.(
+      value & opt int 1
+      & info [ "readers" ] ~docv:"R" ~doc:"Concurrent single-read clients.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Exhaustively model-check a small instance over all interleavings, \
-          optionally fanned out across domains.")
-    Term.(const run $ algo $ n $ f $ domains $ max_states $ progress)
+          optionally fanned out across domains, with optional DPOR/symmetry \
+          reduction and an out-of-core seen-set.")
+    Term.(
+      const run $ algo $ n $ f $ domains $ max_states $ progress $ reduce
+      $ spill_dir $ writers $ readers)
 
 (* ----- hammer ----- *)
 

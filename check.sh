@@ -55,6 +55,13 @@ dune exec bench/main.exe -- coding-quick
 dune exec bin/smec.exe -- hammer --quick
 SMEC_HAMMER_CANARY=1 dune exec bin/smec.exe -- hammer --quick --algo abd
 
+# explore reduction canary: with the planted-unsound independence
+# relation (same-server deliveries declared independent) the
+# reduced-vs-exhaustive differential suite MUST fail
+SMEC_EXPLORE_CANARY=1 dune exec test/test_reduction.exe -- test differential-n3 \
+  && { echo "explore reduction canary NOT caught" >&2; exit 1; } \
+  || true
+
 if [ "$quick" -eq 0 ]; then
   dune exec bench/main.exe -- explore
 fi

@@ -152,6 +152,22 @@ let is_value_dependent = function
   | Put _ | Get_resp _ -> true
   | Put_ack _ | Get _ -> false
 
+(* Server indices appear in client state only as the unordered ack /
+   response sets; everything else (tags, values, rids) is index-free. *)
+let encode_client relab cs =
+  let phase =
+    match cs.phase with
+    | Idle -> "I"
+    | Writing { rid; acks } ->
+        Printf.sprintf "W%d[%s]" rid (encode_sid_set relab acks)
+    | Reading_query { rid; from; best_tag; best_value } ->
+        Printf.sprintf "Q%d[%s]%s:%S" rid (encode_sid_set relab from)
+          (tag_to_string best_tag) best_value
+    | Reading_wb { rid; value; acks } ->
+        Printf.sprintf "B%d[%s]%S" rid (encode_sid_set relab acks) value
+  in
+  Printf.sprintf "%d;%d;%s" cs.next_rid cs.last_seq phase
+
 let make ~write_back ~name : (server_state, client_state, msg) algo =
   {
     name;
@@ -167,8 +183,12 @@ let make ~write_back ~name : (server_state, client_state, msg) algo =
     on_server_msg;
     server_bits;
     encode_server;
+    encode_client;
     encode_msg;
     is_value_dependent;
+    (* replication: server state, messages and responses never mention
+       a server index, and [on_server_msg] ignores [me] *)
+    server_symmetric = (fun _ -> true);
   }
 
 let algo = make ~write_back:true ~name:"abd-swmr"

@@ -158,6 +158,25 @@ let is_value_dependent = function
   | Put _ | Get_resp _ -> true
   | Get_tag _ | Tag_resp _ | Put_ack _ | Get _ -> false
 
+(* As in {!Abd}: server indices live only in the unordered quorum
+   sets; tags/values/rids are index-free. *)
+let encode_client relab cs =
+  let phase =
+    match cs.phase with
+    | Idle -> "I"
+    | W_query { rid; value; from; best } ->
+        Printf.sprintf "Q%d%S[%s]%s" rid value (encode_sid_set relab from)
+          (tag_to_string best)
+    | W_put { rid; acks } ->
+        Printf.sprintf "P%d[%s]" rid (encode_sid_set relab acks)
+    | R_query { rid; from; best_tag; best_value } ->
+        Printf.sprintf "R%d[%s]%s:%S" rid (encode_sid_set relab from)
+          (tag_to_string best_tag) best_value
+    | R_wb { rid; value; acks } ->
+        Printf.sprintf "B%d[%s]%S" rid (encode_sid_set relab acks) value
+  in
+  Printf.sprintf "%d;%s" cs.next_rid phase
+
 let algo : (server_state, client_state, msg) algo =
   {
     name = "abd-mwmr";
@@ -173,6 +192,9 @@ let algo : (server_state, client_state, msg) algo =
     on_server_msg;
     server_bits;
     encode_server;
+    encode_client;
     encode_msg;
     is_value_dependent;
+    (* replication: index-free states and messages, [me] unused *)
+    server_symmetric = (fun _ -> true);
   }

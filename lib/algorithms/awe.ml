@@ -337,6 +337,39 @@ let is_value_dependent = function
   | Read_fin _ ->
       false
 
+(* Same conventions as {!Cas.encode_client}; [R_collect] additionally
+   carries the announced digest, which is index-free. *)
+let encode_client relab cs =
+  let enc_symbols syms =
+    List.map (fun (sid, b) -> (relab sid, hex b)) syms
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map (fun (sid, h) -> Printf.sprintf "%d:%s" sid h)
+    |> String.concat ","
+  in
+  let enc_digest = function Some d -> Printf.sprintf "%Lx" d | None -> "-" in
+  let phase =
+    match cs.phase with
+    | Idle -> "I"
+    | W_query { rid; value; from; best } ->
+        Printf.sprintf "Q%d%S[%s]%s" rid value (encode_sid_set relab from)
+          (tag_to_string best)
+    | W_announce { rid; tag; value; acks } ->
+        Printf.sprintf "A%d%s%S[%s]" rid (tag_to_string tag) value
+          (encode_sid_set relab acks)
+    | W_pre { rid; tag; acks } ->
+        Printf.sprintf "P%d%s[%s]" rid (tag_to_string tag)
+          (encode_sid_set relab acks)
+    | W_fin { rid; acks } ->
+        Printf.sprintf "F%d[%s]" rid (encode_sid_set relab acks)
+    | R_query { rid; from; best } ->
+        Printf.sprintf "R%d[%s]%s" rid (encode_sid_set relab from)
+          (tag_to_string best)
+    | R_collect { rid; tag; from; symbols; digest } ->
+        Printf.sprintf "C%d%s[%s]{%s}%s" rid (tag_to_string tag)
+          (encode_sid_set relab from) (enc_symbols symbols) (enc_digest digest)
+  in
+  Printf.sprintf "%d;%s" cs.next_rid phase
+
 let algo : (server_state, client_state, msg) algo =
   {
     name = "awe-two-phase";
@@ -349,6 +382,9 @@ let algo : (server_state, client_state, msg) algo =
     on_server_msg;
     server_bits;
     encode_server;
+    encode_client;
     encode_msg;
     is_value_dependent;
+    (* as for {!Cas}: symmetric exactly when [k = 1] *)
+    server_symmetric = (fun p -> p.k = 1);
   }

@@ -345,6 +345,36 @@ let is_value_dependent = function
   | Query_fin _ | Query_resp _ | Pre_ack _ | Fin _ | Fin_ack _ | Read_fin _ ->
       false
 
+(* Quorum sets are unordered as in {!Abd}; collected read symbols are
+   keyed by the server index they came from, so the key is relabeled
+   and the association list re-sorted by relabeled key. *)
+let encode_client relab cs =
+  let enc_symbols syms =
+    List.map (fun (sid, b) -> (relab sid, hex b)) syms
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map (fun (sid, h) -> Printf.sprintf "%d:%s" sid h)
+    |> String.concat ","
+  in
+  let phase =
+    match cs.phase with
+    | Idle -> "I"
+    | W_query { rid; value; from; best } ->
+        Printf.sprintf "Q%d%S[%s]%s" rid value (encode_sid_set relab from)
+          (tag_to_string best)
+    | W_pre { rid; tag; acks } ->
+        Printf.sprintf "P%d%s[%s]" rid (tag_to_string tag)
+          (encode_sid_set relab acks)
+    | W_fin { rid; acks } ->
+        Printf.sprintf "F%d[%s]" rid (encode_sid_set relab acks)
+    | R_query { rid; from; best } ->
+        Printf.sprintf "R%d[%s]%s" rid (encode_sid_set relab from)
+          (tag_to_string best)
+    | R_collect { rid; tag; from; symbols } ->
+        Printf.sprintf "C%d%s[%s]{%s}" rid (tag_to_string tag)
+          (encode_sid_set relab from) (enc_symbols symbols)
+  in
+  Printf.sprintf "%d;%s" cs.next_rid phase
+
 let algo : (server_state, client_state, msg) algo =
   {
     name = "cas";
@@ -357,6 +387,12 @@ let algo : (server_state, client_state, msg) algo =
     on_server_msg;
     server_bits;
     encode_server;
+    encode_client;
     encode_msg;
     is_value_dependent;
+    (* at [k = 1] every codeword symbol equals the value bytes (the
+       normalized code's first coefficient is 1), so nothing binds a
+       symbol to a server position; at [k >= 2] the codeword position
+       IS the server index and permutation breaks decoding *)
+    server_symmetric = (fun p -> p.k = 1);
   }

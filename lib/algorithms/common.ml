@@ -58,6 +58,18 @@ let to_all_servers (p : params) payload =
 
 module Int_set = Set.Make (Int)
 
+(** Canonical encoding of a server-index set under a relabeling: the
+    relabeled elements re-sorted ascending, comma-separated.  Shared by
+    the [encode_client] implementations — membership sets (acks, quorum
+    responses) are unordered, so the canonical form must not depend on
+    the order the relabeling visits them. *)
+let encode_sid_set relab s =
+  Int_set.elements s
+  |> List.map relab
+  |> List.sort Int.compare
+  |> List.map string_of_int
+  |> String.concat ","
+
 (** FNV-1a 64-bit hash.  Stands in for the cryptographic digests the
     Byzantine-tolerant algorithms [2, 15] attach to values: what
     matters for the storage analysis is only that the digest is

@@ -47,6 +47,13 @@ val to_all_servers :
 
 module Int_set : Set.S with type elt = int
 
+val encode_sid_set : (int -> int) -> Int_set.t -> string
+(** Canonical encoding of a server-index set under a relabeling: the
+    relabeled elements re-sorted ascending, comma-separated.  Shared by
+    the [encode_client] implementations — membership sets (acks, quorum
+    responses) are unordered, so the canonical form must not depend on
+    the order the relabeling visits them. *)
+
 val fnv1a64 : string -> int64
 (** FNV-1a 64-bit hash; the value digest of the two-phase protocols
     [2, 15] ({!Awe}).  Value-dependent but [o(log |V|)]-sized. *)

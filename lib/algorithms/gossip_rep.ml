@@ -133,6 +133,18 @@ let is_value_dependent = function
   | Put _ | Gossip _ | Get_resp _ -> true
   | Put_ack _ | Get _ -> false
 
+let encode_client relab cs =
+  let phase =
+    match cs.phase with
+    | Idle -> "I"
+    | Writing { rid; acks } ->
+        Printf.sprintf "W%d[%s]" rid (encode_sid_set relab acks)
+    | Reading { rid; from; best_tag; best_value } ->
+        Printf.sprintf "R%d[%s]%s:%S" rid (encode_sid_set relab from)
+          (tag_to_string best_tag) best_value
+  in
+  Printf.sprintf "%d;%d;%s" cs.next_rid cs.last_seq phase
+
 let algo : (server_state, client_state, msg) algo =
   {
     name = "gossip-replication";
@@ -148,6 +160,11 @@ let algo : (server_state, client_state, msg) algo =
     on_server_msg;
     server_bits;
     encode_server;
+    encode_client;
     encode_msg;
     is_value_dependent;
+    (* gossiping servers address each other ([on_server_msg] reads
+       [me] to skip itself), so the symmetry reduction stays off even
+       though the client-visible protocol is index-oblivious *)
+    server_symmetric = (fun _ -> false);
   }

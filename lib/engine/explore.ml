@@ -106,12 +106,10 @@ let history_key events =
   List.iter (add_event b) events;
   Buffer.contents b
 
-(* The dedup key of a search state, as a 16-byte digest.  [scratch] is
-   a per-worker reusable buffer: key construction is the per-edge hot
-   path, so it must not allocate a fresh buffer every call. *)
-let state_digest scratch algo config scripts =
-  Buffer.clear scratch;
-  Config.encode_state ~into:scratch algo config;
+(* Scripts and history are client-indexed, so they are invariant under
+   server relabeling: the same tail serves the plain and the canonical
+   (symmetry-reduced) digests. *)
+let add_digest_tail scratch config scripts =
   Buffer.add_char scratch '#';
   List.iter
     (fun (client, ops) ->
@@ -120,8 +118,32 @@ let state_digest scratch algo config scripts =
       Buffer.add_char scratch '|')
     scripts;
   Buffer.add_char scratch '#';
-  List.iter (add_event scratch) (renumber_history (Config.history config));
+  List.iter (add_event scratch) (renumber_history (Config.history config))
+
+(* The dedup key of a search state, as a 16-byte digest.  [scratch] is
+   a per-worker reusable buffer: key construction is the per-edge hot
+   path, so it must not allocate a fresh buffer every call. *)
+let state_digest scratch algo config scripts =
+  Buffer.clear scratch;
+  Config.encode_state ~into:scratch algo config;
+  add_digest_tail scratch config scripts;
   Digest.string (Buffer.contents scratch)
+
+(* Digest plus the canonical server permutation.  Under symmetry
+   reduction the state section is the orbit representative's encoding,
+   so every configuration in one orbit (with equal history) collapses
+   to one digest; the returned permutation converts between the
+   concrete frame of this configuration and the canonical frame sleep
+   sets are stored in.  [[||]] stands for the identity. *)
+let digest_and_canon scratch ~symmetric algo config scripts =
+  if not symmetric then (state_digest scratch algo config scripts, [||])
+  else begin
+    let perm = Reduction.canonical_perm algo config in
+    Buffer.clear scratch;
+    Reduction.encode_canonical ~into:scratch ~perm algo config;
+    add_digest_tail scratch config scripts;
+    (Digest.string (Buffer.contents scratch), perm)
+  end
 
 (* ---------- moves ---------- *)
 
@@ -140,6 +162,12 @@ let moves config scripts =
       scripts
   in
   invokes @ List.map (fun a -> Do a) (Config.enabled config)
+
+(* Move code in the concrete frame (see {!Reduction} for the integer
+   encoding sleep sets operate on). *)
+let move_code = function
+  | Invoke_next c -> Reduction.invoke_code c
+  | Do (Config.Deliver (src, dst)) -> Reduction.deliver_code src dst
 
 let apply algo config scripts = function
   | Invoke_next client ->
@@ -177,15 +205,26 @@ let apply algo config scripts = function
    domain count. *)
 let shard_count = 256
 
+(* Each entry maps a state digest to its stored sleep set (canonical
+   frame, [] when DPOR is off).  [watermarks] drive the optional spill
+   store: when a shard's table grows past its watermark, settled
+   entries (empty sleep — nothing left to re-expand there) are
+   compacted to a sorted on-disk run and dropped from RAM. *)
 type shard_set = {
   locks : Mutex.t array;
-  tables : (string, unit) Hashtbl.t array;
+  tables : (string, int list) Hashtbl.t array;
+  watermarks : int array;
+  spill : Reduction.Spill.t option;
+  spill_threshold : int;
 }
 
-let shard_create () =
+let shard_create ?spill ?(spill_threshold = max_int) () =
   {
     locks = Array.init shard_count (fun _ -> Mutex.create ());
     tables = Array.init shard_count (fun _ -> Hashtbl.create 512);
+    watermarks = Array.make shard_count spill_threshold;
+    spill;
+    spill_threshold;
   }
 
 (* Atomically insert [key]; true iff it was fresh. *)
@@ -193,15 +232,84 @@ let shard_add t key =
   let i = Char.code (String.unsafe_get key 0) in
   Mutex.lock t.locks.(i);
   let fresh = not (Hashtbl.mem t.tables.(i) key) in
-  if fresh then Hashtbl.replace t.tables.(i) key ();
+  if fresh then Hashtbl.replace t.tables.(i) key [];
   Mutex.unlock t.locks.(i);
   fresh
+
+(* Check-and-insert with sleep sets (Godefroid's state-caching rule):
+
+   - fresh digest: store [sleep], expand the child normally;
+   - seen with stored sleep [Zs <= sleep]: everything this arrival
+     would explore is asleep in a subtree already covered — prune;
+   - seen with [Zs] not included in [sleep]: the state was first
+     explored with MORE moves asleep than now.  Store the intersection
+     and re-expand exactly the moves [D = Zs \ sleep] that were asleep
+     then but awake now ([Again]).  Stored sets strictly shrink, so
+     revisits terminate.
+
+   With DPOR off every sleep set is [] and this degenerates to
+   [shard_add].  A hit in the spill store is a settled (empty-sleep)
+   entry, hence always a prune. *)
+type probe_result = Fresh | Dup | Again of int list * int list
+
+let shard_probe t key sleep =
+  let i = Char.code (String.unsafe_get key 0) in
+  Mutex.lock t.locks.(i);
+  let tbl = t.tables.(i) in
+  let result =
+    match Hashtbl.find_opt tbl key with
+    | Some stored ->
+        if Reduction.Iset.subset stored sleep then Dup
+        else begin
+          let inter = Reduction.Iset.inter stored sleep in
+          let d = Reduction.Iset.diff stored sleep in
+          Hashtbl.replace tbl key inter;
+          Again (d, inter)
+        end
+    | None ->
+        let spilled =
+          match t.spill with
+          | None -> false
+          | Some sp -> Reduction.Spill.mem sp ~shard:i key
+        in
+        if spilled then Dup
+        else begin
+          Hashtbl.replace tbl key sleep;
+          (match t.spill with
+          | Some sp when Hashtbl.length tbl >= t.watermarks.(i) ->
+              let settled =
+                Hashtbl.fold
+                  (fun k v acc -> match v with [] -> k :: acc | _ :: _ -> acc)
+                  tbl []
+              in
+              (match List.sort String.compare settled with
+              | [] -> ()
+              | sorted ->
+                  Reduction.Spill.spill sp ~shard:i sorted;
+                  List.iter (Hashtbl.remove tbl) sorted);
+              (* re-arm relative to what stayed resident, so shards
+                 whose entries rarely settle do not rescan on every
+                 insert *)
+              t.watermarks.(i) <- Hashtbl.length tbl + t.spill_threshold
+          | _ -> ());
+          Fresh
+        end
+  in
+  Mutex.unlock t.locks.(i);
+  result
 
 (* ---------- per-worker stack and the shared pool ---------- *)
 
 type ('ss, 'cs, 'm) task = {
   t_config : ('ss, 'cs, 'm) Config.t;
   t_scripts : (int * op list) list;
+  t_sleep : int list;
+      (** sleep set in the state's canonical frame; [] without DPOR *)
+  t_canon : int array;
+      (** canonical server permutation of [t_config] ([[||]] = id) *)
+  t_only : int list option;
+      (** [Some d]: re-expansion visit — expand exactly the moves in
+          [d] (canonical codes), not the full enabled set *)
 }
 
 (* Growable array stack; [dummy] fills freed slots so popped tasks do
@@ -324,15 +432,35 @@ let validate_scripts config scripts =
    runs user code that need not be thread-safe); the internal
    collection of terminal/deadlock histories is always on. *)
 let search ?(max_states = 250_000) ?(domains = 1) ?(share_batch = 32)
-    ?progress ?(progress_interval = 25_000) ?on_terminal algo config ~scripts =
+    ?progress ?(progress_interval = 25_000) ?on_terminal
+    ?(reduce = Reduction.none) ?spill_dir ?(spill_threshold = 100_000) algo
+    config ~scripts =
   validate_scripts config scripts;
   if domains < 1 then invalid_arg "Explore.search: domains must be >= 1";
   if share_batch < 1 then invalid_arg "Explore.search: share_batch must be >= 1";
+  if spill_threshold < 1 then
+    invalid_arg "Explore.search: spill_threshold must be >= 1";
   (match on_terminal with
   | Some _ when domains > 1 ->
       invalid_arg "Explore.search: on_terminal requires domains = 1"
   | _ -> ());
-  let seen = shard_create () in
+  (* symmetry applies only where the algorithm declares every
+     transition permutation-equivariant at these parameters; elsewhere
+     the request silently degrades (documented in the .mli) so one
+     [--reduce all] flag serves every algorithm *)
+  let symmetric =
+    reduce.Reduction.sym && algo.server_symmetric (Config.params config)
+  in
+  let dpor = reduce.Reduction.dpor in
+  let spill =
+    match spill_dir with
+    | None -> None
+    | Some dir -> (
+        match Reduction.Spill.create ~dir with
+        | Ok sp -> Some sp
+        | Error msg -> invalid_arg ("Explore.search: " ^ msg))
+  in
+  let seen = shard_create ?spill ~spill_threshold () in
   let term_seen = shard_create () in
   let dead_seen = shard_create () in
   let states = Atomic.make 0 in
@@ -341,7 +469,19 @@ let search ?(max_states = 250_000) ?(domains = 1) ?(share_batch = 32)
   let pool = pool_create () in
   let terminal_acc = Array.make domains [] in
   let deadlock_acc = Array.make domains [] in
-  let root = { t_config = config; t_scripts = scripts } in
+  let root_digest, root_canon =
+    let scratch = Buffer.create 1024 in
+    digest_and_canon scratch ~symmetric algo config scripts
+  in
+  let root =
+    {
+      t_config = config;
+      t_scripts = scripts;
+      t_sleep = [];
+      t_canon = root_canon;
+      t_only = None;
+    }
+  in
   let count_state () =
     Atomic.incr states;
     match progress with
@@ -383,20 +523,94 @@ let search ?(max_states = 250_000) ?(domains = 1) ?(share_batch = 32)
         else if shard_add dead_seen (Digest.string key) then
           deadlock_acc.(wid) <- (key, hist) :: deadlock_acc.(wid)
     | ms ->
+        (* concrete moves -> canonical codes through this state's
+           canonical permutation; independence is relabel-invariant, so
+           sleep-set filtering runs directly on canonical codes *)
+        let self_code =
+          if symmetric then
+            let r = task.t_canon in
+            fun m -> Reduction.relabel_code (fun s -> r.(s)) (move_code m)
+          else move_code
+        in
+        let inv_self =
+          if symmetric then Reduction.inverse_perm task.t_canon else [||]
+        in
+        (* canonical codes of the moves already expanded from this
+           state in THIS visit: the e_1 .. e_{i-1} of the sleep-set
+           rule.  Moves asleep on arrival are never added here — they
+           are in [t_sleep] already; moves outside [t_only] on a
+           re-expansion visit were expanded on the ORIGINAL visit,
+           whose subtrees had the [t_only] moves asleep, so they must
+           NOT be put to sleep under the re-expanded children. *)
+        let explored = ref [] in
         List.iter
           (fun m ->
-            match apply algo cfg task.t_scripts m with
-            | None -> ()
-            | Some (config', scripts') ->
-                if Atomic.get states >= max_states then
-                  Atomic.set truncated true
-                else begin
-                  let d = state_digest scratch algo config' scripts' in
-                  if shard_add seen d then begin
-                    count_state ();
-                    push { t_config = config'; t_scripts = scripts' }
-                  end
-                end)
+            let cm = if dpor then self_code m else 0 in
+            let skip =
+              dpor
+              && (Reduction.Iset.mem cm task.t_sleep
+                 ||
+                 match task.t_only with
+                 | Some d -> not (Reduction.Iset.mem cm d)
+                 | None -> false)
+            in
+            if not skip then
+              match apply algo cfg task.t_scripts m with
+              | None -> ()
+              | Some (config', scripts') ->
+                  if Atomic.get states >= max_states then
+                    Atomic.set truncated true
+                  else begin
+                    (* the child's sleep set in this state's frame:
+                       every independent member of Z U {e_1..e_{i-1}} *)
+                    let sleep_self =
+                      if dpor then
+                        List.filter
+                          (fun o -> Reduction.independent o cm)
+                          (Reduction.Iset.union task.t_sleep !explored)
+                      else []
+                    in
+                    let d, canon' =
+                      digest_and_canon scratch ~symmetric algo config' scripts'
+                    in
+                    (* convert to the child's canonical frame: a code in
+                       this state's frame names a concrete move through
+                       [inv_self]; the child names it through [canon'] *)
+                    let sleep_child =
+                      if dpor && symmetric then
+                        Reduction.Iset.of_list
+                          (List.map
+                             (Reduction.relabel_code (fun s ->
+                                  canon'.(inv_self.(s))))
+                             sleep_self)
+                      else sleep_self
+                    in
+                    (match shard_probe seen d sleep_child with
+                    | Fresh ->
+                        count_state ();
+                        push
+                          {
+                            t_config = config';
+                            t_scripts = scripts';
+                            t_sleep = sleep_child;
+                            t_canon = canon';
+                            t_only = None;
+                          }
+                    | Dup -> ()
+                    | Again (d_only, inter) ->
+                        (* revisit with fewer moves asleep: re-expand
+                           exactly the difference (not a new state —
+                           [states_explored] counts first visits) *)
+                        push
+                          {
+                            t_config = config';
+                            t_scripts = scripts';
+                            t_sleep = inter;
+                            t_canon = canon';
+                            t_only = Some d_only;
+                          });
+                    if dpor then explored := Reduction.Iset.add cm !explored
+                  end)
           ms
   in
   let worker wid () =
@@ -429,19 +643,19 @@ let search ?(max_states = 250_000) ?(domains = 1) ?(share_batch = 32)
     loop ()
   in
   (* seed: the root is state #1 *)
-  let root_digest =
-    let scratch = Buffer.create 1024 in
-    state_digest scratch algo config scripts
-  in
-  ignore (shard_add seen root_digest : bool);
+  ignore (shard_probe seen root_digest [] : probe_result);
   count_state ();
   Atomic.incr pool.pending;
   pool_push pool [ root ];
-  let spawned =
-    List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
-  in
-  worker 0 ();
-  List.iter Domain.join spawned;
+  Fun.protect
+    ~finally:(fun () ->
+      match spill with Some sp -> Reduction.Spill.close sp | None -> ())
+    (fun () ->
+      let spawned =
+        List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+      in
+      worker 0 ();
+      List.iter Domain.join spawned);
   (match Atomic.get pool.poisoned with Some e -> raise e | None -> ());
   let collect acc =
     Array.to_list acc |> List.concat
@@ -470,10 +684,10 @@ let search ?(max_states = 250_000) ?(domains = 1) ?(share_batch = 32)
 (** [run algo config ~scripts] — enumerate all interleavings, possibly
     across several domains, and return the merged, deterministically
     sorted terminal and deadlock histories.  See the .mli. *)
-let run ?max_states ?domains ?share_batch ?progress ?progress_interval algo
-    config ~scripts =
-  search ?max_states ?domains ?share_batch ?progress ?progress_interval algo
-    config ~scripts
+let run ?max_states ?domains ?share_batch ?progress ?progress_interval ?reduce
+    ?spill_dir ?spill_threshold algo config ~scripts =
+  search ?max_states ?domains ?share_batch ?progress ?progress_interval ?reduce
+    ?spill_dir ?spill_threshold algo config ~scripts
 
 (** [explore algo config ~scripts ~on_terminal] — sequential
     enumeration; [on_terminal] receives every distinct terminal

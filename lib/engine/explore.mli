@@ -54,6 +54,9 @@ val run :
   ?share_batch:int ->
   ?progress:(int -> unit) ->
   ?progress_interval:int ->
+  ?reduce:Reduction.t ->
+  ?spill_dir:string ->
+  ?spill_threshold:int ->
   ('ss, 'cs, 'm) Types.algo ->
   ('ss, 'cs, 'm) Config.t ->
   scripts:(int * Types.op list) list ->
@@ -70,14 +73,35 @@ val run :
     current state count, from whichever worker crosses the threshold —
     it must be thread-safe when [domains > 1].
 
+    [reduce] (default {!Reduction.none}) switches on DPOR sleep sets
+    and/or symmetry reduction.  On a closed space every reduction
+    yields exactly the same sorted terminal and deadlock history sets
+    as [Reduction.none] (the differential suite enforces this); with
+    symmetry, [states_explored] counts orbit representatives instead
+    of raw states.  A symmetry request is silently ignored when
+    [algo.server_symmetric params] is false (gossip protocols; coded
+    protocols at [k >= 2]), so [--reduce all] is safe everywhere.
+    With [Reduction.none] the search is byte-identical to the
+    pre-reduction explorer — it is the oracle the reductions are
+    differentially tested against.
+
+    [spill_dir] enables the out-of-core seen-set: when a shard of the
+    digest table outgrows [spill_threshold] (default 100000) resident
+    entries, its settled entries move to sorted runs in [spill_dir]
+    with Bloom-filtered membership probes.  The directory must exist,
+    be writable, and hold no [*.run] files (a partial previous spill
+    is refused rather than silently double-counted); run files are
+    removed when the search finishes.
+
     Exploration stops inserting new states once [max_states] (default
     250000) have been visited; [truncated] reports whether that
     happened.  When truncated, the verification is partial but still
     sound for every terminal reached; counts may then differ across
     domain counts (the budget cut-off is racy), so differential
     comparisons should use closing scopes.
-    @raise Invalid_argument on a script for an unknown client or
-    non-positive [domains]/[share_batch]. *)
+    @raise Invalid_argument on a script for an unknown client,
+    non-positive [domains]/[share_batch]/[spill_threshold], or an
+    unusable [spill_dir]. *)
 
 val explore :
   ?max_states:int ->

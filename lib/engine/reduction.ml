@@ -1,0 +1,421 @@
+(** State-space reductions for {!Explore}: the move independence
+    relation backing DPOR sleep sets, server-symmetry
+    canonicalization, and the out-of-core spill store.  The soundness
+    arguments live in docs/MODEL_CHECKING.md; the comments here only
+    anchor the code to them. *)
+
+open Types
+
+type t = { dpor : bool; sym : bool }
+
+let none = { dpor = false; sym = false }
+let dpor = { dpor = true; sym = false }
+let sym = { dpor = false; sym = true }
+let all = { dpor = true; sym = true }
+
+let of_string = function
+  | "none" -> Ok none
+  | "dpor" -> Ok dpor
+  | "sym" -> Ok sym
+  | "all" -> Ok all
+  | s -> Error (Printf.sprintf "unknown reduction %S (expected none|dpor|sym|all)" s)
+
+let to_string = function
+  | { dpor = false; sym = false } -> "none"
+  | { dpor = true; sym = false } -> "dpor"
+  | { dpor = false; sym = true } -> "sym"
+  | { dpor = true; sym = true } -> "all"
+
+(* Read once, eagerly, into an immutable binding: the differential
+   gate flips this via the environment of a fresh process, and a lazy
+   read would be a cross-domain race (SA1). *)
+let canary =
+  match Sys.getenv_opt "SMEC_EXPLORE_CANARY" with Some "1" -> true | _ -> false
+
+(* ---------- move codes ----------
+
+   Endpoint code: server i -> 2i, client j -> 2j + 1 (parity = kind).
+   Move code: invocation at client c -> -(c + 1); delivery on channel
+   (src, dst) -> (ep src) lsl 16 lor ep dst.  Injective for systems
+   with < 2^15 endpoints of each kind — astronomically beyond any
+   explorable scope. *)
+
+let ep_code = function Server i -> 2 * i | Client j -> (2 * j) + 1
+
+let invoke_code c = -(c + 1)
+let deliver_code src dst = (ep_code src lsl 16) lor ep_code dst
+
+let relabel_ep relab e = if e land 1 = 0 then 2 * relab (e lsr 1) else e
+
+let relabel_code relab code =
+  if code < 0 then code
+  else
+    let src = relabel_ep relab (code lsr 16) in
+    let dst = relabel_ep relab (code land 0xffff) in
+    (src lsl 16) lor dst
+
+(* Destination endpoint code of a move: the node whose local state the
+   move touches.  An invocation runs at its client; a delivery runs at
+   the channel's destination. *)
+let dst_ep code =
+  if code < 0 then (2 * (-code - 1)) + 1 else code land 0xffff
+
+(* Two moves commute iff they touch different nodes and at most one of
+   them is a history-event producer (only client-destination moves
+   record Invoke/Respond events or allocate op_ids).  Deliveries pop
+   one channel head and append to others, so distinct-destination
+   moves never disable each other and compose to the same state in
+   either order — the per-pair argument is in the docs.  The relation
+   is relabel-invariant: parity and equality of endpoint codes are
+   preserved by any server permutation.
+
+   The canary deliberately breaks this: deliveries to the SAME server
+   are declared independent, yet their order decides which of two
+   equal-tag writes the server adopts first (first arrival wins under
+   strict [tag_lt]).  The reduced-vs-exhaustive differential must
+   catch the divergence. *)
+let independent m1 m2 =
+  let d1 = dst_ep m1 and d2 = dst_ep m2 in
+  if not (Int.equal d1 d2) then d1 land 1 = 0 || d2 land 1 = 0
+  else canary && m1 >= 0 && m2 >= 0 && d1 land 1 = 0 && not (Int.equal m1 m2)
+
+(* ---------- sorted integer sets ---------- *)
+
+module Iset = struct
+  let rec mem x = function
+    | [] -> false
+    | y :: rest -> if y < x then mem x rest else Int.equal y x
+
+  let rec add x = function
+    | [] -> [ x ]
+    | y :: rest as l ->
+        if y < x then y :: add x rest else if Int.equal y x then l else x :: l
+
+  let rec subset a b =
+    match (a, b) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: a', y :: b' ->
+        if Int.equal x y then subset a' b'
+        else if y < x then subset a b'
+        else false
+
+  let rec inter a b =
+    match (a, b) with
+    | [], _ | _, [] -> []
+    | x :: a', y :: b' ->
+        if Int.equal x y then x :: inter a' b'
+        else if x < y then inter a' b
+        else inter a b'
+
+  let rec diff a b =
+    match (a, b) with
+    | [], _ -> []
+    | _, [] -> a
+    | x :: a', y :: b' ->
+        if Int.equal x y then diff a' b'
+        else if x < y then x :: diff a' b
+        else diff a b'
+
+  let rec union a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: a', y :: b' ->
+        if Int.equal x y then x :: union a' b'
+        else if x < y then x :: union a' b
+        else y :: union a b'
+
+  let of_list l = List.sort_uniq Int.compare l
+end
+
+(* ---------- symmetry canonicalization ---------- *)
+
+(* Length-prefix every variable-length component so signature strings
+   are self-delimiting — encode_server / encode_msg output could
+   otherwise collide across component boundaries. *)
+let add_int b i =
+  Buffer.add_string b (string_of_int i);
+  Buffer.add_char b ';'
+
+let add_str b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+(* Observational signature of server [i]: everything any behaviour can
+   distinguish about it without naming its index — status, encoded
+   state, per-client channel contents both ways, and where it appears
+   inside each client state ([encode_client] under the indicator
+   relabeling i -> 1, _ -> 0).  Equal signatures imply the transposition
+   of the two servers is an automorphism of the configuration (no
+   server-to-server channels exist for symmetric algorithms), so ties
+   may be broken arbitrarily. *)
+let signature algo c i =
+  let b = Buffer.create 256 in
+  Buffer.add_char b (if Config.is_failed c i then 'F' else '-');
+  Buffer.add_char b (if Config.is_frozen c (Server i) then 'Z' else '-');
+  add_str b (algo.encode_server (Config.server_state c i));
+  let nc = Config.num_clients c in
+  let indicator j = if Int.equal j i then 1 else 0 in
+  for j = 0 to nc - 1 do
+    Buffer.add_char b '>';
+    List.iter
+      (fun m -> add_str b (algo.encode_msg m))
+      (Config.channel c ~src:(Client j) ~dst:(Server i));
+    Buffer.add_char b '<';
+    List.iter
+      (fun m -> add_str b (algo.encode_msg m))
+      (Config.channel c ~src:(Server i) ~dst:(Client j));
+    Buffer.add_char b '^';
+    add_str b (algo.encode_client indicator (Config.client_state c j))
+  done;
+  Buffer.contents b
+
+let canonical_perm algo c =
+  let n = (Config.params c).n in
+  let sigs = Array.init n (fun i -> signature algo c i) in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      match String.compare sigs.(i) sigs.(j) with
+      | 0 -> Int.compare i j
+      | cmp -> cmp)
+    order;
+  let r = Array.make n 0 in
+  Array.iteri (fun pos old -> r.(old) <- pos) order;
+  r
+
+let inverse_perm r =
+  let inv = Array.make (Array.length r) 0 in
+  Array.iteri (fun old pos -> inv.(pos) <- old) r;
+  inv
+
+(* The canonical mirror of {!Config.encode_state}: same sections, same
+   delimiters, but servers listed in canonical order, client states
+   rendered by [encode_client perm] (canonical and relabeling-aware
+   where Marshal is neither), and channel keys / failure / freeze sets
+   relabeled then re-sorted.  Orbit-equivalent configurations produce
+   identical bytes; distinct configurations in one orbit frame produce
+   distinct bytes because every section is injective given the
+   algorithm's injective encoders. *)
+let encode_canonical ~into:b ~perm algo c =
+  let n = (Config.params c).n in
+  let inv = inverse_perm perm in
+  let relab i = perm.(i) in
+  let relab_endpoint = function
+    | Server i -> Server perm.(i)
+    | Client _ as e -> e
+  in
+  let add_endpoint = function
+    | Server i ->
+        Buffer.add_char b 's';
+        add_int b i
+    | Client i ->
+        Buffer.add_char b 'c';
+        add_int b i
+  in
+  Buffer.add_char b 'S';
+  for pos = 0 to n - 1 do
+    add_str b (algo.encode_server (Config.server_state c inv.(pos)))
+  done;
+  Buffer.add_char b 'C';
+  for j = 0 to Config.num_clients c - 1 do
+    add_str b (algo.encode_client relab (Config.client_state c j))
+  done;
+  Buffer.add_char b 'M';
+  Config.channels c
+  |> List.map (fun (src, dst, ms) -> (relab_endpoint src, relab_endpoint dst, ms))
+  |> List.sort (fun (s1, d1, _) (s2, d2, _) ->
+         match compare_endpoint s1 s2 with
+         | 0 -> compare_endpoint d1 d2
+         | cmp -> cmp)
+  |> List.iter (fun (src, dst, ms) ->
+         add_endpoint src;
+         add_endpoint dst;
+         List.iter (fun m -> add_str b (algo.encode_msg m)) ms;
+         Buffer.add_char b '|');
+  Buffer.add_char b 'F';
+  Config.failed c |> List.map relab |> List.sort Int.compare
+  |> List.iter (add_int b);
+  Buffer.add_char b 'Z';
+  let frozen = ref [] in
+  for j = Config.num_clients c - 1 downto 0 do
+    if Config.is_frozen c (Client j) then frozen := Client j :: !frozen
+  done;
+  for i = n - 1 downto 0 do
+    if Config.is_frozen c (Server i) then frozen := Server perm.(i) :: !frozen
+  done;
+  List.sort compare_endpoint !frozen |> List.iter add_endpoint;
+  Buffer.add_char b 'P';
+  for j = 0 to Config.num_clients c - 1 do
+    match Config.pending_op c j with
+    | None -> Buffer.add_char b '-'
+    | Some (op_id, op) -> (
+        add_int b op_id;
+        match op with
+        | Read -> Buffer.add_char b 'R'
+        | Write v ->
+            Buffer.add_char b 'W';
+            add_str b v)
+  done
+
+(* ---------- spill store ---------- *)
+
+module Spill = struct
+  let digest_len = 16
+  let bits_per_key = 16
+  let hashes = 8
+
+  (* Bloom filter over 16-byte digests.  The digest IS the hash: h1 =
+     bytes 0-7, h2 = bytes 8-15, g_i = h1 + i * h2 (Kirsch-Mitzenmacher
+     double hashing).  ~16 bits/key with 8 probes gives a false-positive
+     rate around 5e-4 — a rare extra binary search, never an error. *)
+  type bloom = { bits : Bytes.t; m : int }
+
+  let bloom_make count =
+    let m = max 64 (count * bits_per_key) in
+    { bits = Bytes.make ((m + 7) / 8) '\000'; m }
+
+  let bloom_index bl h1 h2 i =
+    let g = Int64.add h1 (Int64.mul (Int64.of_int i) h2) in
+    Int64.to_int (Int64.unsigned_rem g (Int64.of_int bl.m))
+
+  let bloom_add bl key =
+    let h1 = String.get_int64_le key 0 and h2 = String.get_int64_le key 8 in
+    for i = 0 to hashes - 1 do
+      let idx = bloom_index bl h1 h2 i in
+      let byte = idx lsr 3 and bit = idx land 7 in
+      Bytes.set bl.bits byte
+        (Char.chr (Char.code (Bytes.get bl.bits byte) lor (1 lsl bit)))
+    done
+
+  let bloom_mem bl key =
+    let h1 = String.get_int64_le key 0 and h2 = String.get_int64_le key 8 in
+    let rec probe i =
+      i >= hashes
+      ||
+      let idx = bloom_index bl h1 h2 i in
+      Char.code (Bytes.get bl.bits (idx lsr 3)) land (1 lsl (idx land 7)) <> 0
+      && probe (i + 1)
+    in
+    probe 0
+
+  type run = { file : string; ic : in_channel; count : int; bloom : bloom }
+
+  type t = {
+    dir : string;
+    per_shard : run list array;  (** newest first; guarded per shard *)
+    mutable next_id : int;  (** under [id_lock] *)
+    id_lock : Mutex.t;
+    mutable closed : bool;
+  }
+
+  let create ~dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      Error (Printf.sprintf "spill dir %s does not exist" dir)
+    else
+      let leftovers =
+        Array.exists
+          (fun f -> Filename.check_suffix f ".run")
+          (Sys.readdir dir)
+      in
+      if leftovers then
+        Error
+          (Printf.sprintf
+             "spill dir %s holds *.run files from a previous exploration; \
+              refusing to resume over them (their digests would be treated \
+              as already explored)"
+             dir)
+      else begin
+        match
+          let probe = Filename.concat dir ".spill-probe" in
+          let oc = open_out probe in
+          close_out oc;
+          Sys.remove probe
+        with
+        | () ->
+            Ok
+              {
+                dir;
+                per_shard = Array.make 256 [];
+                next_id = 0;
+                id_lock = Mutex.create ();
+                closed = false;
+              }
+        | exception Sys_error e ->
+            Error (Printf.sprintf "spill dir %s is not writable: %s" dir e)
+      end
+
+  let spill t ~shard digests =
+    if t.closed then invalid_arg "Spill.spill: closed";
+    let count = List.length digests in
+    if count = 0 then invalid_arg "Spill.spill: empty run";
+    let rec check_sorted = function
+      | a :: (b :: _ as rest) ->
+          if String.compare a b >= 0 then
+            invalid_arg "Spill.spill: digests not strictly sorted"
+          else check_sorted rest
+      | [ _ ] | [] -> ()
+    in
+    check_sorted digests;
+    List.iter
+      (fun d ->
+        if String.length d <> digest_len then
+          invalid_arg "Spill.spill: digest of wrong length")
+      digests;
+    let id =
+      Mutex.protect t.id_lock (fun () ->
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          id)
+    in
+    let file =
+      Filename.concat t.dir (Printf.sprintf "shard%03d-%06d.run" shard id)
+    in
+    let bloom = bloom_make count in
+    let oc = open_out_bin file in
+    List.iter
+      (fun d ->
+        output_string oc d;
+        bloom_add bloom d)
+      digests;
+    close_out oc;
+    let ic = open_in_bin file in
+    t.per_shard.(shard) <- { file; ic; count; bloom } :: t.per_shard.(shard)
+
+  let run_mem r key =
+    let buf = Bytes.create digest_len in
+    let rec search lo hi =
+      if lo > hi then false
+      else begin
+        let mid = (lo + hi) / 2 in
+        seek_in r.ic (mid * digest_len);
+        really_input r.ic buf 0 digest_len;
+        match String.compare key (Bytes.unsafe_to_string buf) with
+        | 0 -> true
+        | cmp when cmp < 0 -> search lo (mid - 1)
+        | _ -> search (mid + 1) hi
+      end
+    in
+    search 0 (r.count - 1)
+
+  let mem t ~shard key =
+    List.exists
+      (fun r -> bloom_mem r.bloom key && run_mem r key)
+      t.per_shard.(shard)
+
+  let runs t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.per_shard
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      Array.iteri
+        (fun i rs ->
+          List.iter
+            (fun r ->
+              close_in_noerr r.ic;
+              try Sys.remove r.file with Sys_error _ -> ())
+            rs;
+          t.per_shard.(i) <- [])
+        t.per_shard
+    end
+end

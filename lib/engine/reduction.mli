@@ -1,0 +1,145 @@
+(** State-space reductions for the model checker ({!Explore}): DPOR
+    sleep sets over an independence relation on moves, symmetry
+    reduction over server-index permutations, and an out-of-core spill
+    store for the seen-set.  See docs/MODEL_CHECKING.md for the
+    soundness arguments; this interface only states the contracts.
+
+    All three reductions preserve the {e exact} sets of terminal and
+    deadlock history keys of a closed exploration — they are tested
+    against the unreduced search as an oracle. *)
+
+(** Which reductions are switched on. *)
+type t = { dpor : bool; sym : bool }
+
+val none : t
+val dpor : t
+val sym : t
+val all : t
+
+val of_string : string -> (t, string) result
+(** Parses ["none"], ["dpor"], ["sym"], ["all"]. *)
+
+val to_string : t -> string
+
+val canary : bool
+(** True iff [SMEC_EXPLORE_CANARY=1] was set when the process started:
+    the independence relation then deliberately over-approximates
+    (deliveries to the {e same} server are declared independent, which
+    is unsound — their order decides which tag the server adopts
+    first).  Exists so the reduced-vs-exhaustive differential suite can
+    prove it would catch an unsound reduction; never set it outside
+    that gate. *)
+
+(** {1 Move codes}
+
+    Sleep sets store moves as integers so set operations are
+    allocation-light and frame conversion (symmetry) is a pure index
+    remap.  A code is [< 0] for an invocation and [>= 0] for a
+    delivery. *)
+
+val invoke_code : int -> int
+(** Code of "client [c] invokes its next scripted operation". *)
+
+val deliver_code : Types.endpoint -> Types.endpoint -> int
+(** Code of "deliver the head of channel (src, dst)". *)
+
+val relabel_code : (int -> int) -> int -> int
+(** Applies a server-index relabeling to every server endpoint embedded
+    in a move code; client indices are untouched. *)
+
+val independent : int -> int -> bool
+(** [independent m1 m2] — the two moves commute: executing them in
+    either order from any state where both are enabled yields the same
+    configuration {e and} the same recorded history, and neither
+    disables the other.  True iff the destination endpoints differ and
+    at least one is a server (server deliveries produce no history
+    events and touch only their own server state; see the docs for the
+    per-pair commutation argument).  Invariant under {!relabel_code}
+    with any permutation.  Under {!canary} the relation is deliberately
+    (unsoundly) coarsened. *)
+
+(** {1 Sorted integer sets}
+
+    Sleep sets as strictly-increasing [int list]s. *)
+
+module Iset : sig
+  val mem : int -> int list -> bool
+  val add : int -> int list -> int list
+  val subset : int list -> int list -> bool
+  val inter : int list -> int list -> int list
+  val diff : int list -> int list -> int list
+  val union : int list -> int list -> int list
+  val of_list : int list -> int list
+  (** Sort and dedup. *)
+end
+
+(** {1 Symmetry canonicalization}
+
+    For a [server_symmetric] algorithm, every permutation of the server
+    indices maps reachable states to reachable states with identical
+    client-visible behaviour.  [canonical_perm] picks a representative
+    of the orbit: servers are sorted by an observational signature
+    (failure/freeze status, encoded server state, per-client channel
+    contents in both directions, and the server's visibility inside
+    every client state via [encode_client]).  Servers with equal
+    signatures are interchangeable — no server-to-server channels exist
+    for symmetric algorithms — so any tie-break yields the same
+    canonical encoding. *)
+
+val canonical_perm :
+  ('ss, 'cs, 'm) Types.algo -> ('ss, 'cs, 'm) Config.t -> int array
+(** [canonical_perm algo c] is the relabeling [r] with [r.(i)] the
+    canonical position of server [i].  Requires
+    [algo.server_symmetric (Config.params c)]. *)
+
+val inverse_perm : int array -> int array
+
+val encode_canonical :
+  into:Buffer.t ->
+  perm:int array ->
+  ('ss, 'cs, 'm) Types.algo ->
+  ('ss, 'cs, 'm) Config.t ->
+  unit
+(** Appends the canonical state encoding under [perm]: the mirror of
+    {!Config.encode_state} with servers listed in canonical order,
+    client states rendered by [encode_client perm] (instead of
+    [Marshal]), and channel keys / failure / freeze sets relabeled and
+    re-sorted.  Two configurations in the same orbit produce identical
+    bytes. *)
+
+(** {1 Spill store}
+
+    Out-of-core extension of the explorer's sharded seen-set: cold
+    shards compact their settled entries (empty sleep set — nothing
+    left to re-expand) into sorted on-disk runs of 16-byte digests,
+    each fronted by an in-memory Bloom filter.  Membership in a run
+    means the state was fully expanded, so a spilled hit is always a
+    prune.
+
+    Thread-safety contract: {!spill} and {!mem} for one shard must be
+    called under that shard's lock (the explorer's discipline);
+    {!create} and {!close} are whole-store operations for one thread. *)
+
+module Spill : sig
+  type t
+
+  val create : dir:string -> (t, string) result
+  (** Validates that [dir] exists, is writable (probe file), and holds
+      no leftover [*.run] files — resuming over a partially-spilled
+      directory would silently treat foreign digests as already
+      explored, so it is refused with [Error]. *)
+
+  val spill : t -> shard:int -> string list -> unit
+  (** Appends one sorted run of 16-byte digests for [shard].
+      @raise Invalid_argument if the digests are not sorted, not
+      16 bytes, or the list is empty. *)
+
+  val mem : t -> shard:int -> string -> bool
+  (** Bloom-gated binary search over every run of [shard]. *)
+
+  val runs : t -> int
+  (** Number of run files written so far (all shards). *)
+
+  val close : t -> unit
+  (** Closes and deletes every run file this store owns.  Idempotent. *)
+end

@@ -136,8 +136,24 @@ type ('ss, 'cs, 'm) algo = {
     params -> me:int -> 'ss -> src:endpoint -> 'm -> 'ss * 'm envelope list;
   server_bits : params -> 'ss -> int;
   encode_server : 'ss -> string;
+  encode_client : (int -> int) -> 'cs -> string;
+      (** [encode_client relab cs] is a canonical, injective encoding
+          of a client state with every embedded {e server} index [i]
+          replaced by [relab i] (unordered server-index sets re-sorted
+          after relabeling).  [encode_client Fun.id] is the plain
+          canonical encoding; the model checker's symmetry reduction
+          feeds it the orbit-representative permutation. *)
   encode_msg : 'm -> string;
   is_value_dependent : 'm -> bool;
       (** classifies messages for the Theorem 6.5 machinery: does this
           message's content depend on the value being written? *)
+  server_symmetric : params -> bool;
+      (** true when every transition commutes with a permutation of the
+          server indices at these parameters: states, messages and
+          responses must not depend on {e which} server holds a role,
+          only on how many.  Replication protocols qualify; coded
+          protocols only when [k = 1] (at [k >= 2] the codeword
+          position is bound to the server index); gossip protocols are
+          excluded here because their servers address each other.
+          Gates the model checker's symmetry reduction. *)
 }

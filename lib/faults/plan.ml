@@ -357,3 +357,44 @@ let rotating_starve ~n ~period ~rounds =
     (List.init rounds (fun r ->
          Set_policy
            { step = r * period; policy = Starve (Server (r mod n)) }))
+
+(* Recover a replayable workload from an explorer history.  Scripts
+   are exactly the operations each client invoked, in invocation
+   order; a client whose last invocation never responded was held back
+   by the adversary, which a permanent freeze from step 0 reproduces
+   conservatively (its messages never deliver, so the operation can
+   never complete — same observable suspension, any schedule). *)
+let of_history events =
+  let module Imap = Map.Make (Int) in
+  let ops_by_client, responded, invoked =
+    List.fold_left
+      (fun (ops, responded, invoked) ev ->
+        match ev with
+        | Engine.Types.Invoke { op_id; client; op; _ } ->
+            let prev = Option.value ~default:[] (Imap.find_opt client ops) in
+            (Imap.add client (op :: prev) ops, responded, (op_id, client) :: invoked)
+        | Engine.Types.Respond { op_id; _ } ->
+            (ops, op_id :: responded, invoked))
+      (Imap.empty, [], []) events
+  in
+  let scripts =
+    Imap.fold
+      (fun client rev_ops acc ->
+        { Workload.client; ops = List.rev rev_ops } :: acc)
+      ops_by_client []
+    |> List.rev
+  in
+  let stuck =
+    List.filter_map
+      (fun (op_id, client) ->
+        if List.exists (Int.equal op_id) responded then None else Some client)
+      invoked
+    |> List.sort_uniq Int.compare
+  in
+  let plan =
+    make
+      (List.map
+         (fun c -> Freeze { step = 0; until = None; endpoint = Client c })
+         stuck)
+  in
+  (scripts, plan)

@@ -107,6 +107,22 @@ val expectation : t -> n:int -> required:int -> expectation option
     quorum-killing crash set scheduled after step 0 may land before or
     after the operations complete). *)
 
+(** {1 History conversion} *)
+
+val of_history :
+  Engine.Types.event list -> Workload.script list * t
+(** Recover a replayable workload from a model-checker history
+    ({!Engine.Explore}): the per-client scripts (each client's invoked
+    operations, in invocation order) and the plan reproducing the
+    history's suspensions — every client with an invocation that never
+    responded is frozen permanently from step 0, so a replay through
+    {!Injector} starves exactly the operations the explorer left
+    pending (and must complete every other one).  For a terminal
+    history the plan is {!empty}.
+    @raise Invalid_argument only through {!make}'s validation, which
+    cannot trigger on the step-0 permanent freezes built here — the
+    tag records the propagation for the exception-escape analysis. *)
+
 (** {1 Generators} *)
 
 val random :

@@ -36,8 +36,10 @@ module Echo = struct
           | Pong -> invalid_arg "server got pong");
       server_bits = (fun _ ss -> ss.pings);
       encode_server = (fun ss -> string_of_int ss.pings);
+      encode_client = (fun _ cs -> if cs.waiting then "w" else "i");
       encode_msg = (function Ping -> "ping" | Pong -> "pong");
       is_value_dependent = (fun _ -> false);
+      server_symmetric = (fun _ -> true);
     }
 end
 
@@ -308,8 +310,11 @@ module Seq_proto = struct
           ({ received = i :: ss.received }, []));
       server_bits = (fun _ _ -> 0);
       encode_server = (fun ss -> String.concat "," (List.map string_of_int ss.received));
+      encode_client = (fun _ cs -> string_of_int cs.next);
       encode_msg = (fun (Numbered i) -> string_of_int i);
       is_value_dependent = (fun _ -> false);
+      (* all messages target server 0 by index *)
+      server_symmetric = (fun _ -> false);
     }
 end
 

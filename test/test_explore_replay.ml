@@ -1,0 +1,151 @@
+(* Model-checker → fault-injector replay bridge (ROADMAP item 5d):
+   the deepest schedules the explorer closes over become regression
+   scenarios for [Faults.Injector] via [Plan.of_history].
+
+   A terminal explorer history has every invocation responded, so
+   [of_history] recovers the per-client scripts and an EMPTY plan; the
+   injector must then drive the same workload to [Completed] with a
+   consistent history.  A history left pending at a frozen client
+   recovers a permanent-freeze plan, and the injector must starve
+   exactly those clients. *)
+
+open Engine
+
+let params31 = Types.params ~n:3 ~f:1 ~k:1 ~delta:2 ~value_len:1 ()
+let init = String.make 1 '\000'
+
+let check_atomic events =
+  let h = Consistency.History.of_events events in
+  match Consistency.Checker.atomic ~init h with
+  | Consistency.Checker.Valid -> Ok ()
+  | Consistency.Checker.Invalid why -> Error why
+
+(* the [count] deepest (most events, ties by key) histories *)
+let deepest count histories =
+  List.stable_sort
+    (fun a b ->
+      match Int.compare (List.length b) (List.length a) with
+      | 0 -> String.compare (Explore.history_key a) (Explore.history_key b)
+      | c -> c)
+    histories
+  |> List.filteri (fun i _ -> i < count)
+
+(* Close a scope with the full reduction stack, then replay its 10
+   deepest terminal schedules through the injector. *)
+let replay_terminals ?(check = true) algo params ~clients ~scripts () =
+  let r =
+    Explore.run ~max_states:300_000 ~reduce:Reduction.all algo
+      (Config.make algo params ~clients)
+      ~scripts
+  in
+  Alcotest.(check bool) "space closed" false r.Explore.stats.Explore.truncated;
+  let picked = deepest 10 r.Explore.histories in
+  Alcotest.(check bool) "picked some schedules" true (picked <> []);
+  List.iter
+    (fun history ->
+      let wscripts, plan = Faults.Plan.of_history history in
+      Alcotest.(check bool)
+        "terminal history has no stuck clients" true
+        (Faults.Plan.is_empty plan);
+      let res =
+        Faults.Injector.run algo
+          (Config.make algo params ~clients)
+          ~plan ~scripts:wscripts
+          ~required:(params.Types.n - params.Types.f)
+          ~seed:42
+      in
+      (match res.Faults.Injector.outcome with
+      | Faults.Injector.Completed -> ()
+      | o ->
+          Alcotest.failf "replay did not complete: %a" Faults.Injector.pp_outcome
+            o);
+      if check then
+        match check_atomic (Config.history res.Faults.Injector.config) with
+        | Ok () -> ()
+        | Error why -> Alcotest.failf "replayed history not atomic: %s" why)
+    picked
+
+let test_replay_abd () =
+  replay_terminals Algorithms.Abd.algo params31 ~clients:2
+    ~scripts:[ (0, [ Types.Write "a" ]); (1, [ Types.Read ]) ]
+    ()
+
+let test_replay_cas () =
+  replay_terminals Algorithms.Cas.algo params31 ~clients:2
+    ~scripts:[ (0, [ Types.Write "a" ]); (1, [ Types.Read ]) ]
+    ()
+
+(* ABD is single-writer: with two concurrent writers the replays must
+   still complete deterministically, but atomicity is genuinely
+   violable (colliding tags), so only liveness is asserted. *)
+let test_replay_abd_two_writers () =
+  let params = Types.params ~n:2 ~f:0 ~k:1 ~delta:2 ~value_len:1 () in
+  replay_terminals ~check:false Algorithms.Abd.algo params ~clients:3
+    ~scripts:
+      [ (0, [ Types.Write "a" ]); (1, [ Types.Write "b" ]); (2, [ Types.Read ]) ]
+    ()
+
+(* A client frozen from the start: the explorer treats its pending
+   operation as an intended suspension (terminal, not deadlock);
+   [of_history] must recover a freeze plan for exactly that client and
+   the injector must starve it — and only it. *)
+let test_replay_frozen_client () =
+  let algo = Algorithms.Abd.algo in
+  let scripts = [ (0, [ Types.Write "a" ]); (1, [ Types.Read ]) ] in
+  let config0 =
+    Config.freeze (Config.make algo params31 ~clients:2) (Types.Client 1)
+  in
+  let r =
+    Explore.run ~max_states:300_000 ~reduce:Reduction.all algo config0 ~scripts
+  in
+  Alcotest.(check bool) "space closed" false r.Explore.stats.Explore.truncated;
+  (* histories where the frozen reader got its invocation in before the
+     space quiesced: pending forever *)
+  let stuck_histories =
+    List.filter
+      (fun h ->
+        List.exists
+          (function Types.Invoke { client = 1; _ } -> true | _ -> false)
+          h
+        && not
+             (List.exists
+                (function Types.Respond { client = 1; _ } -> true | _ -> false)
+                h))
+      r.Explore.histories
+  in
+  Alcotest.(check bool) "found suspended schedules" true (stuck_histories <> []);
+  List.iter
+    (fun history ->
+      let wscripts, plan = Faults.Plan.of_history history in
+      Alcotest.(check bool) "plan freezes the stuck client" false
+        (Faults.Plan.is_empty plan);
+      Alcotest.(check bool) "freeze is permanent+client" true
+        (Faults.Plan.has_permanent_client_freeze plan);
+      let res =
+        Faults.Injector.run algo
+          (Config.make algo params31 ~clients:2)
+          ~plan ~scripts:wscripts ~required:2 ~seed:7
+      in
+      match res.Faults.Injector.outcome with
+      | Faults.Injector.Starved { pending_clients; _ } ->
+          Alcotest.(check (list int)) "exactly the frozen client starves" [ 1 ]
+            pending_clients
+      | o ->
+          Alcotest.failf "expected starvation, got %a"
+            Faults.Injector.pp_outcome o)
+    (deepest 5 stuck_histories)
+
+let () =
+  Alcotest.run "explore-replay"
+    [
+      ( "terminal replay",
+        [
+          Alcotest.test_case "abd n=3" `Quick test_replay_abd;
+          Alcotest.test_case "cas n=3" `Quick test_replay_cas;
+          Alcotest.test_case "abd two writers n=2" `Quick
+            test_replay_abd_two_writers;
+        ] );
+      ( "suspension replay",
+        [ Alcotest.test_case "frozen reader" `Quick test_replay_frozen_client ]
+      );
+    ]
