@@ -47,6 +47,7 @@ let json_coding : string list ref = ref []
 let json_sched : string list ref = ref []
 let json_explore : string list ref = ref []
 let json_hammer : string list ref = ref []
+let json_engine : string list ref = ref []
 
 (* only sections that actually pushed rows appear in the file, so a
    targeted run (`main.exe hammer --json BENCH_hammer.json`) writes a
@@ -61,6 +62,7 @@ let write_json path =
         ("sched", json_sched);
         ("explore", json_explore);
         ("hammer", json_hammer);
+        ("engine", json_engine);
       ]
   in
   let oc = open_out path in
@@ -551,10 +553,19 @@ let explore_throughput () =
         :: !json_explore
     in
     report 1 base base_dt;
+    (* multi-domain rows only prove something with actual cores to run
+       on; on a smaller host they are skipped (annotated, not silently
+       dropped) rather than reported as if they measured a speedup *)
+    let cores = Domain.recommended_domain_count () in
     List.iter
       (fun domains ->
-        let r, dt = exec domains in
-        report domains r dt)
+        if domains > cores then
+          Printf.printf "%-28s %8d %10s %14s   skipped (host has %d core%s)\n"
+            "" domains "-" "-" cores
+            (if cores = 1 then "" else "s")
+        else
+          let r, dt = exec domains in
+          report domains r dt)
       [ 2; 4 ];
     print_endline ""
   in
@@ -690,6 +701,166 @@ let hammer_throughput () =
     "(Each execution = seeded fault plan x workload x schedule, consistency-\n\
      and liveness-checked; see docs/FAULTS.md.  Rates include checking.)"
 
+(* ----- Engine comparison: arena vs pure ----- *)
+
+(* Pure-vs-arena throughput on the three forward-only driver layers the
+   arena engine rewired: the workload scheduler, the model checker at
+   one domain, and the hammer campaign.  Results are asserted identical
+   across engines before any rate is reported (run_result equality for
+   the explorer, report JSON byte-equality for the hammer; the workload
+   step counts must match) — the speedup column is only meaningful for
+   equal work.  `main.exe engine --json BENCH_engine.json` records the
+   rows; docs/ENGINE.md discusses them. *)
+let engine_throughput () =
+  section "engine: arena vs pure engine throughput (identical traces)";
+  let push layer name engine metric rate speedup =
+    json_engine :=
+      Printf.sprintf
+        {|{"layer": %S, "name": %S, "engine": %S, "%s": %.0f, "speedup": %.2f}|}
+        layer name engine metric rate speedup
+      :: !json_engine
+  in
+  let row layer name metric rp ra =
+    let speedup = ra /. Float.max rp 1e-9 in
+    Printf.printf "%-30s %12.0f %12.0f %8.2fx\n" name rp ra speedup;
+    push layer name "pure" metric rp 1.0;
+    push layer name "arena" metric ra speedup
+  in
+  Printf.printf "%-30s %12s %12s %9s\n" "sched (steps/sec)" "pure" "arena"
+    "speedup";
+  let sched_row name algo ~n ~f ~clients ~value_len ~reps =
+    let p = Engine.Types.params ~n ~f ~value_len () in
+    let values = Workload.unique_values ~count:clients ~len:value_len ~seed:11 in
+    let steps_pure = ref 0 and steps_arena = ref 0 in
+    let pure () =
+      let observer (_ : _ Engine.Config.t) = incr steps_pure in
+      let t0 = Unix.gettimeofday () in
+      for seed = 1 to reps do
+        let c = Engine.Config.make algo p ~clients in
+        ignore
+          (Workload.concurrent_writes ~observer ~max_steps:2_000_000 algo c
+             ~values ~seed
+            : _ Engine.Config.t)
+      done;
+      float_of_int !steps_pure /. Float.max (Unix.gettimeofday () -. t0) 1e-9
+    in
+    let arena () =
+      let observer (_ : _ Engine.Mconfig.t) = incr steps_arena in
+      let base = Engine.Mconfig.make algo p ~clients in
+      let t0 = Unix.gettimeofday () in
+      for seed = 1 to reps do
+        let c = Engine.Mconfig.reset algo base in
+        ignore
+          (Workload.Arena.concurrent_writes ~observer ~max_steps:2_000_000 algo
+             c ~values ~seed
+            : _ Engine.Mconfig.t)
+      done;
+      float_of_int !steps_arena /. Float.max (Unix.gettimeofday () -. t0) 1e-9
+    in
+    let rp = pure () in
+    let ra = arena () in
+    if !steps_pure <> !steps_arena then begin
+      Printf.printf "ENGINE MISMATCH on sched %s: %d vs %d steps\n" name
+        !steps_pure !steps_arena;
+      exit 1
+    end;
+    row "sched" name "steps_per_sec" rp ra
+  in
+  sched_row "abd-mw    n=11 f=2  nu=8" Algorithms.Abd_mw.algo ~n:11 ~f:2
+    ~clients:8 ~value_len:32 ~reps:200;
+  sched_row "cas       n=11 f=2  nu=8" Algorithms.Cas.algo ~n:11 ~f:2 ~clients:8
+    ~value_len:32 ~reps:200;
+  sched_row "gossip    n=11 f=2  nu=4" Algorithms.Gossip_rep.algo ~n:11 ~f:2
+    ~clients:4 ~value_len:32 ~reps:100;
+  Printf.printf "\n%-30s %12s %12s %9s\n" "explore, 1 domain (states/sec)"
+    "pure" "arena" "speedup";
+  let explore_row (type ss cs m) name (algo : (ss, cs, m) Engine.Types.algo)
+      params =
+    let scripts =
+      [ (0, [ Engine.Types.Write "a" ]); (1, [ Engine.Types.Read ]) ]
+    in
+    let exec engine =
+      let c = Engine.Config.make algo params ~clients:2 in
+      let t0 = Unix.gettimeofday () in
+      let r = Engine.Explore.run ~max_states:1_000_000 ~engine algo c ~scripts in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let rp, dtp = exec Engine.Engine_sig.Pure in
+    let ra, dta = exec Engine.Engine_sig.Arena in
+    if rp <> ra then begin
+      Printf.printf "ENGINE MISMATCH on explore %s\n" name;
+      exit 1
+    end;
+    let states =
+      float_of_int rp.Engine.Explore.stats.Engine.Explore.states_explored
+    in
+    row "explore" name "states_per_sec"
+      (states /. Float.max dtp 1e-9)
+      (states /. Float.max dta 1e-9)
+  in
+  explore_row "abd      n=3 f=1 w||r" Algorithms.Abd.algo
+    (Engine.Types.params ~n:3 ~f:1 ~value_len:1 ());
+  explore_row "cas      n=3 f=1 w||r" Algorithms.Cas.algo
+    (Engine.Types.params ~n:3 ~f:1 ~k:1 ~delta:2 ~value_len:1 ());
+  Printf.printf "\n%-30s %12s %12s %9s\n" "hammer (execs/sec)" "pure" "arena"
+    "speedup";
+  let hammer_row algo =
+    (* enough executions that each timed region spans tens of ms;
+       200-exec regions are a single major-GC slice wide and noisy *)
+    let execs = 1000 in
+    let time engine =
+      let t0 = Unix.gettimeofday () in
+      let r = Faults.Hammer.campaign ~execs ~seed:42 ~algos:[ algo ] ~engine () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let rp, dtp = time Engine.Engine_sig.Pure in
+    let ra, dta = time Engine.Engine_sig.Arena in
+    if Faults.Hammer.report_to_json rp <> Faults.Hammer.report_to_json ra then begin
+      Printf.printf "ENGINE MISMATCH on hammer %s\n" algo;
+      exit 1
+    end;
+    row "hammer" algo "execs_per_sec"
+      (float_of_int execs /. Float.max dtp 1e-9)
+      (float_of_int execs /. Float.max dta 1e-9)
+  in
+  List.iter hammer_row Faults.Hammer.algo_names;
+  print_endline
+    "\n\
+     (Same seeds, same decisions, byte-identical results -- asserted above;\n\
+     the arena engine just mutates one preallocated configuration in place\n\
+     instead of copying persistent structures per step.)"
+
+(* CI smoke for the arena scheduler: a conservative floor that catches
+   an order-of-magnitude regression (a journal accidentally left on, an
+   allocation reintroduced on the step path) without being sensitive to
+   host speed.  The measured rate is far above the floor -- see
+   BENCH_engine.json. *)
+let sched_quick () =
+  section "sched-quick: arena scheduler smoke (CI floor)";
+  let algo = Algorithms.Abd_mw.algo in
+  let p = Engine.Types.params ~n:11 ~f:2 ~value_len:32 () in
+  let clients = 8 in
+  let values = Workload.unique_values ~count:clients ~len:32 ~seed:11 in
+  let steps = ref 0 in
+  let observer (_ : _ Engine.Mconfig.t) = incr steps in
+  let base = Engine.Mconfig.make algo p ~clients in
+  let t0 = Unix.gettimeofday () in
+  for seed = 1 to 50 do
+    let c = Engine.Mconfig.reset algo base in
+    ignore
+      (Workload.Arena.concurrent_writes ~observer ~max_steps:2_000_000 algo c
+         ~values ~seed
+        : _ Engine.Mconfig.t)
+  done;
+  let rate = float_of_int !steps /. Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+  let floor = 1_000_000.0 in
+  Printf.printf "arena abd-mw n=11 nu=8: %d steps, %.0f steps/sec (floor %.0f)\n"
+    !steps rate floor;
+  if rate < floor then begin
+    print_endline "sched-quick: BELOW FLOOR";
+    exit 1
+  end
+
 (* ----- Bechamel microbenchmarks ----- *)
 
 open Bechamel
@@ -818,9 +989,11 @@ let sections =
     ("coding", run_coding ~quick:false);
     ("coding-quick", run_coding ~quick:true);
     ("sched", sched_throughput);
+    ("sched-quick", sched_quick);
     ("explore", explore_throughput);
     ("explore-n5", explore_n5);
     ("hammer", hammer_throughput);
+    ("engine", engine_throughput);
     ("bench", run_benchmarks);
   ]
 
@@ -846,12 +1019,15 @@ let () =
               exit 2)
         picks
   | [] ->
-      (* `coding-quick` is the CI subset of `coding`; `explore-n5` is
-         the manually-triggered heavy closure run: skip both on a full
-         run *)
+      (* `coding-quick` and `sched-quick` are the CI subsets of their
+         full sections; `explore-n5` is the manually-triggered heavy
+         closure run: skip all three on a full run *)
       List.iter
         (fun (name, f) ->
-          if name <> "coding-quick" && name <> "explore-n5" then f ())
+          if
+            name <> "coding-quick" && name <> "sched-quick"
+            && name <> "explore-n5"
+          then f ())
         sections;
       line ();
       print_endline "bench: all experiment families regenerated.");

@@ -62,6 +62,17 @@ SMEC_EXPLORE_CANARY=1 dune exec test/test_reduction.exe -- test differential-n3 
   && { echo "explore reduction canary NOT caught" >&2; exit 1; } \
   || true
 
+# engine differential canary: with the planted undo corruption (first
+# server-state restore skipped per undo_to) the pure-vs-arena
+# differential suite MUST fail
+SMEC_ENGINE_CANARY=1 dune exec test/test_engine_diff.exe \
+  && { echo "engine differential canary NOT caught" >&2; exit 1; } \
+  || true
+
+# arena scheduler floor: catches an order-of-magnitude step-path
+# regression (journal left on, allocation reintroduced)
+dune exec bench/main.exe -- sched-quick
+
 if [ "$quick" -eq 0 ]; then
   dune exec bench/main.exe -- explore
 fi

@@ -1,6 +1,6 @@
 (* SA2: allocation audit of the coding hot paths.
 
-   Two tiers of scrutiny:
+   Three tiers of scrutiny:
 
    - {e kernel} units (lib/gf256, lib/erasure): allocating calls and
      closure creation inside for/while loops, copying slices
@@ -9,7 +9,13 @@
    - {e engine-hot} nodes (the transitive callees of Engine.Driver and
      Config.step_deliver inside lib/engine): allocating calls inside
      for/while loops only — the scheduler uses persistent structures
-     whose legitimate consing would drown the signal otherwise.
+     whose legitimate consing would drown the signal otherwise;
+   - {e arena} nodes (the transitive callees of Mconfig.step_deliver
+     and Mconfig.step_deliver_n inside lib/engine): allocating calls
+     {e anywhere}, not just in loops — the arena engine's contract is
+     that a journal-off delivery step allocates nothing, so every
+     allocator on that path is either a bug or carries an explicit
+     rationale (arena growth doubling, raise-path message formatting).
 
    Everything here is advisory-by-suppression: a finding whose
    allocation is the function's API (Erasure.decode returning an
@@ -28,6 +34,9 @@ let codes =
        exists" );
     ("boxed-return", "tuple/option return boxes on every call of a hot kernel");
     ("float-box", "float ref allocates a box per assignment on a hot path");
+    ( "alloc-on-step-path",
+      "allocating call reachable from the arena engine's delivery step; the \
+       journal-off step path must not allocate" );
   ]
 
 let kernel_unit (n : Callgraph.node) =
@@ -38,8 +47,14 @@ let engine_hot_seed (n : Callgraph.node) =
   Names.starts_with ~prefix:"Engine.Driver." n.id
   || String.equal n.id "Engine.Config.step_deliver"
 
-(* Transitive callees of the driver seeds, restricted to lib/engine. *)
-let engine_hot_set (g : Callgraph.t) =
+(* The arena engine's forward delivery step (journal off): the fused
+   scheduler loop and the single-action step it shares its body with. *)
+let arena_seed (n : Callgraph.node) =
+  String.equal n.id "Engine.Mconfig.step_deliver"
+  || String.equal n.id "Engine.Mconfig.step_deliver_n"
+
+(* Transitive callees of the [seed] nodes, restricted to lib/engine. *)
+let closure_of ~seed (g : Callgraph.t) =
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   let queue = Queue.create () in
   let push id =
@@ -48,7 +63,7 @@ let engine_hot_set (g : Callgraph.t) =
       Queue.add id queue
     end
   in
-  Callgraph.iter_nodes g (fun n -> if engine_hot_seed n then push n.id);
+  Callgraph.iter_nodes g (fun n -> if seed n then push n.id);
   while not (Queue.is_empty queue) do
     let id = Queue.pop queue in
     match Callgraph.find g id with
@@ -67,7 +82,10 @@ let engine_hot_set (g : Callgraph.t) =
   done;
   seen
 
-type tier = Kernel | Engine_hot
+let engine_hot_set = closure_of ~seed:engine_hot_seed
+let arena_set = closure_of ~seed:arena_seed
+
+type tier = Kernel | Engine_hot | Arena
 
 let result_type typ =
   let rec go t =
@@ -113,11 +131,20 @@ let audit_node ~tier (n : Callgraph.node) =
     | Typedtree.Texp_apply (fn, args) ->
         (match fn_name fn with
         | Some f ->
-            if !in_loop > 0 && Names.is_allocator f then
-              emit "alloc-in-loop" e.exp_loc
-                (Printf.sprintf
-                   "%s calls %s inside a loop; every iteration allocates — \
-                    hoist or reuse a buffer" n.id f);
+            (match tier with
+            | Arena ->
+                (* the step path must not allocate at all, loop or not *)
+                if Names.is_allocator f then
+                  emit "alloc-on-step-path" e.exp_loc
+                    (Printf.sprintf
+                       "%s calls %s on the arena delivery step path; a \
+                        journal-off step must not allocate" n.id f)
+            | Kernel | Engine_hot ->
+                if !in_loop > 0 && Names.is_allocator f then
+                  emit "alloc-in-loop" e.exp_loc
+                    (Printf.sprintf
+                       "%s calls %s inside a loop; every iteration allocates — \
+                        hoist or reuse a buffer" n.id f));
             (match tier with
             | Kernel ->
                 if Names.is_sub_copy f then
@@ -138,7 +165,7 @@ let audit_node ~tier (n : Callgraph.node) =
                                 cell" n.id)
                       | _ -> ())
                   | _ -> ())
-            | Engine_hot -> ())
+            | Engine_hot | Arena -> ())
         | None -> ());
         super.expr it e
     | _ -> super.expr it e
@@ -166,9 +193,13 @@ let audit_node ~tier (n : Callgraph.node) =
 
 let check_with ~kernel_pred (ctx : Pass.ctx) =
   let hot = engine_hot_set ctx.graph in
+  let arena = arena_set ctx.graph in
   let out = ref [] in
   Callgraph.iter_nodes ctx.graph (fun n ->
       if kernel_pred n then out := audit_node ~tier:Kernel n :: !out
+      else if Hashtbl.mem arena n.id then
+        (* the strictest tier wins for nodes on both driver paths *)
+        out := audit_node ~tier:Arena n :: !out
       else if Hashtbl.mem hot n.id then
         out := audit_node ~tier:Engine_hot n :: !out);
   List.sort Lint.Diagnostic.compare (List.concat !out)

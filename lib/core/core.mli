@@ -41,7 +41,9 @@ val measure_storage :
   float
 (** Peak total storage, normalized by the value size in bits, of [algo]
     under [nu] concurrent writers — one measured point of the Figure 1
-    companion experiment. *)
+    companion experiment.
+    @raise Invalid_argument on parameters the model rejects (propagated
+    from [Types.params] / the engine's well-formedness checks). *)
 
 type measured_row = {
   nu : int;
@@ -61,10 +63,14 @@ val figure1_measured :
   unit ->
   measured_row list
 (** Figure 1, measured: normalized peak storage of CAS and multi-writer
-    ABD at each concurrency level 1 .. nu_max. *)
+    ABD at each concurrency level 1 .. nu_max.
+    @raise Invalid_argument on parameters the model rejects (propagated
+    from [Types.params] / the engine's well-formedness checks). *)
 
 val experiment_b1 : ?n:int -> ?f:int -> ?v:int -> unit -> Valency.Singleton.report
-(** Theorem B.1 census at its default small instance (n=3, f=1, |V|=4). *)
+(** Theorem B.1 census at its default small instance (n=3, f=1, |V|=4).
+    @raise Invalid_argument on parameters the model rejects (propagated
+    from [Types.params] / the engine's well-formedness checks). *)
 
 val experiment_41 : ?n:int -> ?f:int -> ?v:int -> unit -> Valency.Critical.report
 (** Theorem 4.1 critical-pair census (no gossip; regular SWSR ABD). *)

@@ -57,6 +57,14 @@ let make algo params ~clients:nc =
     next_op_id = 0;
   }
 
+(* Persistent configurations are their own snapshots: keeping the old
+   value is free.  The mutable arena engine ([Mconfig]) deep-copies
+   here; drivers written against the engine signature call [snapshot]
+   wherever they intend to retain a configuration across steps. *)
+let snapshot c = c
+
+let reset algo c = make algo c.params ~clients:(Array.length c.clients)
+
 let params c = c.params
 let time c = c.time
 let history c = List.rev c.history
@@ -100,6 +108,16 @@ let peek_channel c ~src ~dst =
   match Chan_map.find_opt (src, dst) c.chans with
   | Some q -> Fqueue.peek q
   | None -> None
+
+let iter_channel c ~src ~dst f =
+  match Chan_map.find_opt (src, dst) c.chans with
+  | Some q -> Fqueue.iter f q
+  | None -> ()
+
+let channel_length c ~src ~dst =
+  match Chan_map.find_opt (src, dst) c.chans with
+  | Some q -> Fqueue.length q
+  | None -> 0
 
 let channels c =
   Chan_map.fold
@@ -271,6 +289,30 @@ let invoke algo c ~client:i op =
   pending.(i) <- Some (op_id, op);
   let c = record { c with clients; pending } (Invoke { op_id; client = i; op; time = c.time }) in
   (op_id, enqueue algo c ~src:(Client i) out)
+
+(* Fused delivery loop: pick uniformly among enabled actions, deliver,
+   repeat — the exact per-step semantics of [Driver.run], moved behind
+   the engine signature so the arena engine can run it without
+   rebuilding an action array per step.  RNG consumption is one
+   [Random.State.int] per step with a non-empty enabled set, matching
+   the one-step-at-a-time loop bit for bit. *)
+let step_deliver_n ?observer ?stop algo c ~rng ~max =
+  let stopped c = match stop with Some f -> f c | None -> false in
+  let rec loop c steps =
+    if stopped c then (c, steps, Run_stopped)
+    else if steps >= max then (c, steps, Run_limit)
+    else
+      match enabled_arr c with
+      | [||] -> (c, steps, Run_quiescent)
+      | acts -> (
+          let act = acts.(Random.State.int rng (Array.length acts)) in
+          match step_deliver algo c act with
+          | None -> loop c (steps + 1) (* lost a race with freezing; retry *)
+          | Some c' ->
+              (match observer with Some f -> f c' | None -> ());
+              loop c' (steps + 1))
+  in
+  loop c 0
 
 (** Total storage cost of the configuration under the algorithm's
     natural encoding, in bits, summed over non-failed servers. *)

@@ -19,6 +19,18 @@ val make : ('ss, 'cs, 'm) algo -> params -> clients:int -> ('ss, 'cs, 'm) t
     @raise Invalid_argument when [clients < 1] or the algorithm rejects
     the parameters. *)
 
+val snapshot : ('ss, 'cs, 'm) t -> ('ss, 'cs, 'm) t
+(** A configuration that stays valid across further steps.  The
+    identity here (persistence makes every value a snapshot); a deep
+    copy in the arena engine.  Engine-generic drivers call this
+    wherever they retain a configuration. *)
+
+val reset : ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> ('ss, 'cs, 'm) t
+(** A fresh initial configuration with the same parameters and client
+    count.  The arena engine reinitializes its storage in place;
+    here it is just {!make} again.
+    @raise Invalid_argument as {!make}. *)
+
 (** {1 Observation} *)
 
 val params : ('ss, 'cs, 'm) t -> params
@@ -56,6 +68,14 @@ val channel : ('ss, 'cs, 'm) t -> src:endpoint -> dst:endpoint -> 'm list
 
 val peek_channel : ('ss, 'cs, 'm) t -> src:endpoint -> dst:endpoint -> 'm option
 (** Head message of one channel. *)
+
+val iter_channel :
+  ('ss, 'cs, 'm) t -> src:endpoint -> dst:endpoint -> ('m -> unit) -> unit
+(** Iterate one channel front first, without building the list
+    {!channel} would allocate; the inspection paths the reduction
+    machinery hits per explored state use this. *)
+
+val channel_length : ('ss, 'cs, 'm) t -> src:endpoint -> dst:endpoint -> int
 
 val channels : ('ss, 'cs, 'm) t -> (endpoint * endpoint * 'm list) list
 (** All non-empty channels. *)
@@ -115,6 +135,24 @@ val invoke :
 (** Invoke an operation; returns its fresh [op_id].  Well-formedness:
     one outstanding operation per client.
     @raise Invalid_argument on a busy client or bad index. *)
+
+val step_deliver_n :
+  ?observer:(('ss, 'cs, 'm) t -> unit) ->
+  ?stop:(('ss, 'cs, 'm) t -> bool) ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) t ->
+  rng:Random.State.t ->
+  max:int ->
+  ('ss, 'cs, 'm) t * int * run_stop
+(** Fused scheduler loop: uniformly-random enabled deliveries until
+    [stop] holds, quiescence, or [max] steps; returns the final
+    configuration, the step count, and why it returned.  [observer]
+    sees every post-step configuration.  Semantics and RNG consumption
+    are exactly those of the equivalent [step_deliver] loop — this
+    exists so the arena engine can run the hot loop without per-step
+    action-array allocation.
+    @raise Invalid_argument propagated from {!step_deliver} (protocol
+    bugs are made loud). *)
 
 (** {1 Storage accounting} *)
 

@@ -1,12 +1,17 @@
 (** Execution drivers: fair randomized scheduling, targeted delivery,
-    and operation-level helpers on top of {!Config}.
+    and operation-level helpers on top of an engine.
 
     The scheduler realizes the paper's fair executions: at each step it
     picks uniformly at random (from a seeded, reproducible PRNG) among
     the enabled delivery actions, so every continuously-enabled action
     is eventually taken with probability 1.  Deterministic seeds make
-    whole executions replayable, which the census experiments rely
-    on. *)
+    whole executions replayable, which the census experiments rely on.
+
+    The driver is a functor over {!Engine_sig.S}: the toplevel
+    functions run on the pure {!Config} (source-compatible with every
+    existing caller), and {!Arena} is the same driver over {!Mconfig}.
+    Both consume the RNG identically, so a seed names the same
+    execution on either engine. *)
 
 open Types
 
@@ -32,240 +37,366 @@ let pp_outcome fmt = function
 
 let default_max_steps = 1_000_000
 
-(* Uniform pick from an array of enabled actions: the array is built in
-   one channel-map traversal by Config and indexed in O(1), where the
-   old list idiom rescanned the list twice per pick. *)
-let pick rng = function
-  | [||] -> None
-  | acts -> Some acts.(Random.State.int rng (Array.length acts))
+module type S = sig
+  type ('ss, 'cs, 'm) cfg
 
-(* Pick an enabled action uniformly at random. *)
-let pick_enabled c rng = pick rng (Config.enabled_arr c)
+  val pick : rng -> Config.action array -> Config.action option
 
-let run ?observer ?(max_steps = default_max_steps) algo c ~rng ~stop =
-  let rec loop c steps =
-    if stop c then (c, Stopped)
-    else if steps >= max_steps then (c, Step_limit)
-    else
-      match pick_enabled c rng with
-      | None -> (c, Quiescent)
-      | Some act -> (
-          match Config.step_deliver algo c act with
-          | None -> loop c (steps + 1) (* lost a race with freezing; retry *)
-          | Some c' ->
-              (match observer with Some f -> f c' | None -> ());
-              loop c' (steps + 1))
-  in
-  loop c 0
+  val run :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    rng:rng ->
+    stop:(('ss, 'cs, 'm) cfg -> bool) ->
+    ('ss, 'cs, 'm) cfg * outcome
 
-let run_to_quiescence ?observer ?max_steps algo c ~rng =
-  run ?observer ?max_steps algo c ~rng ~stop:(fun _ -> false)
+  val run_to_quiescence :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg * outcome
 
-(** Like {!run}, but only delivery actions whose head message passes
-    [allow] are ever scheduled.  This realizes the paper's partial
-    restrictions on executions — e.g. "the channels from the writers in
-    C0 do not deliver any value-dependent messages" (Section 6.4.2) —
-    which are weaker than freezing a client outright: the constrained
-    client still receives messages and may send and have delivered its
-    value-{e independent} messages. *)
-let run_allowed ?(max_steps = default_max_steps) algo c ~rng ~stop ~allow =
-  let eligible c =
-    Config.enabled_where c ~f:(fun (Config.Deliver (src, dst)) ->
-        match Config.peek_channel c ~src ~dst with
-        | Some m -> allow ~src ~dst m
-        | None -> false)
-  in
-  let rec loop c steps =
-    if stop c then (c, Stopped)
-    else if steps >= max_steps then (c, Step_limit)
-    else
-      match pick rng (eligible c) with
-      | None -> (c, Quiescent)
-      | Some act -> (
-          match Config.step_deliver algo c act with
-          | None -> loop c (steps + 1)
-          | Some c' -> loop c' (steps + 1))
-  in
-  loop c 0
+  val run_allowed :
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    rng:rng ->
+    stop:(('ss, 'cs, 'm) cfg -> bool) ->
+    allow:(src:endpoint -> dst:endpoint -> 'm -> bool) ->
+    ('ss, 'cs, 'm) cfg * outcome
 
-(** Like {!run} but records every intermediate configuration, oldest
-    first, including the starting one.  This is the sequence of points
-    P_0, P_1, ..., P_M of the paper's executions. *)
-let run_trace ?(max_steps = default_max_steps) algo c ~rng ~stop =
-  let rec loop c steps acc =
-    if stop c then (List.rev (c :: acc), Stopped)
-    else if steps >= max_steps then (List.rev (c :: acc), Step_limit)
-    else
-      match pick_enabled c rng with
-      | None -> (List.rev (c :: acc), Quiescent)
-      | Some act -> (
-          match Config.step_deliver algo c act with
-          | None -> loop c (steps + 1) acc
-          | Some c' -> loop c' (steps + 1) (c :: acc))
-  in
-  loop c 0 []
+  val run_trace :
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    rng:rng ->
+    stop:(('ss, 'cs, 'm) cfg -> bool) ->
+    ('ss, 'cs, 'm) cfg list * outcome
 
-(** Deliver only messages on channels satisfying [filter] until no such
-    delivery is enabled.  Used for the paper's controlled deliveries:
-    gossip closure (Theorem 5.1's points R) and the nested
-    value-dependent delivery prefixes of Theorem 6.5. *)
-let drain ?(max_steps = default_max_steps) algo c ~filter ~rng =
-  let eligible c =
-    Config.enabled_where c ~f:(fun (Config.Deliver (src, dst)) ->
-        filter ~src ~dst)
-  in
-  let rec loop c steps =
-    if steps >= max_steps then c
-    else
-      match pick rng (eligible c) with
-      | None -> c
-      | Some act -> (
-          match Config.step_deliver algo c act with
-          | None -> loop c (steps + 1)
-          | Some c' -> loop c' (steps + 1))
-  in
-  loop c 0
+  val drain :
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    filter:(src:endpoint -> dst:endpoint -> bool) ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg
 
-(** Like {!drain} but the filter inspects the message at the head of
-    each channel, not just the channel's endpoints.  This realizes the
-    Theorem 6.5 adversary, which withholds exactly the value-dependent
-    messages while letting everything else through: a channel is
-    eligible only while its head message passes [pred]. *)
-let drain_heads ?(max_steps = default_max_steps) algo c ~pred ~rng =
-  let eligible c =
-    Config.enabled_where c ~f:(fun (Config.Deliver (src, dst)) ->
-        match Config.peek_channel c ~src ~dst with
-        | Some m -> pred ~src ~dst m
-        | None -> false)
-  in
-  let rec loop c steps =
-    if steps >= max_steps then c
-    else
-      match pick rng (eligible c) with
-      | None -> c
-      | Some act -> (
-          match Config.step_deliver algo c act with
-          | None -> loop c (steps + 1)
-          | Some c' -> loop c' (steps + 1))
-  in
-  loop c 0
+  val drain_heads :
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    pred:(src:endpoint -> dst:endpoint -> 'm -> bool) ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg
 
-let is_gossip_channel ~src ~dst =
-  match (src, dst) with Server _, Server _ -> true | _ -> false
+  val is_gossip_channel : src:endpoint -> dst:endpoint -> bool
 
-(** Deliver all messages currently queued between servers (the gossip
-    closure taken at the paper's points R of Theorem 5.1).  Gossip
-    deliveries may enqueue further gossip; we drain to the fixpoint. *)
-let drain_gossip ?max_steps algo c ~rng =
-  drain ?max_steps algo c ~filter:is_gossip_channel ~rng
+  val drain_gossip :
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg
 
-(** Invoke [op] at [client] and run (fairly, over all enabled actions)
-    until the operation responds.  Returns the response, how the run
-    ended, and the final configuration.  A [Quiescent] end with the
-    operation still pending is reported as [Starved]: the enabled
-    action set reached the empty fixpoint with the op outstanding, so
-    no continuation of this execution completes it. *)
-let run_op_outcome ?observer ?max_steps algo c ~client ~op ~rng =
-  let _op_id, c = Config.invoke algo c ~client op in
-  let stop c = Option.is_none (Config.pending_op c client) in
-  let c, outcome = run ?observer ?max_steps algo c ~rng ~stop in
-  let outcome =
-    match outcome with
-    | Quiescent when Option.is_some (Config.pending_op c client) -> Starved
-    | o -> o
-  in
-  let response =
-    match outcome with
-    | Stopped ->
-        (* the newest Respond event for this client is ours; the
-           newest-first accessor makes this O(1), not O(|history|) *)
-        Config.last_response_for c ~client
-    | Quiescent | Starved | Step_limit -> None
-  in
-  (response, outcome, c)
+  val run_op_outcome :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    client:int ->
+    op:op ->
+    rng:rng ->
+    response option * outcome * ('ss, 'cs, 'm) cfg
 
-let run_op ?observer ?max_steps algo c ~client ~op ~rng =
-  let response, _outcome, c = run_op_outcome ?observer ?max_steps algo c ~client ~op ~rng in
-  (response, c)
+  val run_op :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    client:int ->
+    op:op ->
+    rng:rng ->
+    response option * ('ss, 'cs, 'm) cfg
 
-(** Invoke several operations concurrently (one per distinct client)
-    and run until all respond.  Returns the final configuration; use
-    [Config.history] to extract the concurrent history.  [Quiescent]
-    with some operation still pending is reported as [Starved]. *)
-let run_concurrent ?observer ?max_steps algo c ~ops ~rng =
-  let c =
-    List.fold_left
-      (fun c (client, op) -> snd (Config.invoke algo c ~client op))
-      c ops
-  in
-  let clients = List.map fst ops in
-  let stop c =
-    List.for_all (fun cl -> Option.is_none (Config.pending_op c cl)) clients
-  in
-  let c, outcome = run ?observer ?max_steps algo c ~rng ~stop in
-  let outcome =
-    match outcome with
-    | Quiescent when not (stop c) -> Starved
-    | o -> o
-  in
-  (c, outcome)
+  val run_concurrent :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    ops:(int * op) list ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg * outcome
 
-(* Replayable non-termination diagnostics: the client, its pending op,
-   the structured outcome (starved vs step-limit), the scheduler seed
-   when the caller supplied one, and the failure/freeze pattern —
-   everything needed to re-run the execution from the message alone. *)
-let nontermination_message ~fn ~client ~outcome ?seed c =
-  let pending =
-    match Config.pending_op c client with
-    | None -> "none"
-    | Some (op_id, op) -> Format.asprintf "#%d %a" op_id pp_op op
-  in
-  let seed_s =
-    match seed with
-    | Some s -> Printf.sprintf "%d (replay via Driver.rng_of_seed %d)" s s
-    | None -> "<not supplied>"
-  in
-  let failed =
-    match Config.failed c with
-    | [] -> "none"
-    | l -> String.concat "," (List.map string_of_int l)
-  in
-  Printf.sprintf
-    "Driver.%s: operation by client %d did not terminate: outcome %s, pending \
-     op %s, scheduler seed %s, crashed servers [%s], client frozen %b, at \
-     simulated time %d"
-    fn client
-    (Format.asprintf "%a" pp_outcome outcome)
-    pending seed_s failed
-    (Config.is_frozen c (Client client))
-    (Config.time c)
+  val nontermination_message :
+    fn:string ->
+    client:int ->
+    outcome:outcome ->
+    ?seed:int ->
+    ('ss, 'cs, 'm) cfg ->
+    string
 
-(** Convenience: a complete write of [value] by [client], expected to
-    terminate.  @raise Failure when the operation does not respond;
-    the message carries the outcome ([Starved] vs [Step_limit]), the
-    pending-op state, and — when [seed] is given — the scheduler seed,
-    so the failure is replayable from the message alone. *)
-let write_exn ?observer ?max_steps ?seed algo c ~client ~value ~rng =
-  match
-    run_op_outcome ?observer ?max_steps algo c ~client ~op:(Write value) ~rng
-  with
-  | Some Write_ack, _, c -> c
-  | Some (Read_ack _), _, _ ->
-      failwith "Driver.write_exn: protocol answered a write with a read ack"
-  | None, outcome, c ->
-      failwith (nontermination_message ~fn:"write_exn" ~client ~outcome ?seed c)
+  val write_exn :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ?seed:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    client:int ->
+    value:string ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg
 
-(** Convenience: a complete read by [client].
-    @raise Failure when the operation does not respond (message as in
-    {!write_exn}). *)
-let read_exn ?observer ?max_steps ?seed algo c ~client ~rng =
-  match run_op_outcome ?observer ?max_steps algo c ~client ~op:Read ~rng with
-  | Some (Read_ack v), _, c -> (v, c)
-  | Some Write_ack, _, _ ->
-      failwith "Driver.read_exn: protocol answered a read with a write ack"
-  | None, outcome, c ->
-      failwith (nontermination_message ~fn:"read_exn" ~client ~outcome ?seed c)
+  val read_exn :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ?seed:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    client:int ->
+    rng:rng ->
+    string * ('ss, 'cs, 'm) cfg
 
-(** Freeze a client and every channel touching it: the paper's
-    "messages from and to the writer are delayed indefinitely". *)
-let freeze_client c ~client = Config.freeze c (Client client)
+  val freeze_client : ('ss, 'cs, 'm) cfg -> client:int -> ('ss, 'cs, 'm) cfg
+end
+
+module Make (E : Engine_sig.S) = struct
+  (* Uniform pick from an array of enabled actions: the array is built
+     in one traversal by the engine and indexed in O(1).  An empty
+     array consumes no randomness — both engines and every driver
+     agree on this, which is what keeps seeds portable. *)
+  let pick rng = function
+    | [||] -> None
+    | acts -> Some acts.(Random.State.int rng (Array.length acts))
+
+  (* The hot loop lives in the engine ([step_deliver_n]): the arena
+     implementation refreshes a reused enabled scratch and delivers in
+     place, with pick order and RNG consumption identical to the
+     explicit loop below in [run_allowed]. *)
+  let run ?observer ?(max_steps = default_max_steps) algo c ~rng ~stop =
+    let c, _steps, r = E.step_deliver_n ?observer ~stop algo c ~rng ~max:max_steps in
+    ( c,
+      match r with
+      | Run_stopped -> Stopped
+      | Run_quiescent -> Quiescent
+      | Run_limit -> Step_limit )
+
+  let run_to_quiescence ?observer ?max_steps algo c ~rng =
+    run ?observer ?max_steps algo c ~rng ~stop:(fun _ -> false)
+
+  (** Like {!run}, but only delivery actions whose head message passes
+      [allow] are ever scheduled.  This realizes the paper's partial
+      restrictions on executions — e.g. "the channels from the writers
+      in C0 do not deliver any value-dependent messages" (Section
+      6.4.2) — which are weaker than freezing a client outright: the
+      constrained client still receives messages and may send and have
+      delivered its value-{e independent} messages. *)
+  let run_allowed ?(max_steps = default_max_steps) algo c ~rng ~stop ~allow =
+    let eligible c =
+      E.enabled_where c ~f:(fun (Config.Deliver (src, dst)) ->
+          match E.peek_channel c ~src ~dst with
+          | Some m -> allow ~src ~dst m
+          | None -> false)
+    in
+    let rec loop c steps =
+      if stop c then (c, Stopped)
+      else if steps >= max_steps then (c, Step_limit)
+      else
+        match pick rng (eligible c) with
+        | None -> (c, Quiescent)
+        | Some act -> (
+            match E.step_deliver algo c act with
+            | None -> loop c (steps + 1)
+            | Some c' -> loop c' (steps + 1))
+    in
+    loop c 0
+
+  (** Like {!run} but records every intermediate configuration, oldest
+      first, including the starting one.  This is the sequence of
+      points P_0, P_1, ..., P_M of the paper's executions.  Retained
+      configurations go through {!Engine_sig.S.snapshot}, so this works
+      on the mutable engine too (at a copy per step). *)
+  let run_trace ?(max_steps = default_max_steps) algo c ~rng ~stop =
+    let rec loop c steps acc =
+      if stop c then (List.rev (E.snapshot c :: acc), Stopped)
+      else if steps >= max_steps then (List.rev (E.snapshot c :: acc), Step_limit)
+      else
+        match pick rng (E.enabled_arr c) with
+        | None -> (List.rev (E.snapshot c :: acc), Quiescent)
+        | Some act -> (
+            let snap = E.snapshot c in
+            match E.step_deliver algo c act with
+            | None -> loop c (steps + 1) acc
+            | Some c' -> loop c' (steps + 1) (snap :: acc))
+    in
+    loop c 0 []
+
+  (** Deliver only messages on channels satisfying [filter] until no
+      such delivery is enabled.  Used for the paper's controlled
+      deliveries: gossip closure (Theorem 5.1's points R) and the
+      nested value-dependent delivery prefixes of Theorem 6.5. *)
+  let drain ?(max_steps = default_max_steps) algo c ~filter ~rng =
+    let eligible c =
+      E.enabled_where c ~f:(fun (Config.Deliver (src, dst)) -> filter ~src ~dst)
+    in
+    let rec loop c steps =
+      if steps >= max_steps then c
+      else
+        match pick rng (eligible c) with
+        | None -> c
+        | Some act -> (
+            match E.step_deliver algo c act with
+            | None -> loop c (steps + 1)
+            | Some c' -> loop c' (steps + 1))
+    in
+    loop c 0
+
+  (** Like {!drain} but the filter inspects the message at the head of
+      each channel, not just the channel's endpoints: a channel is
+      eligible only while its head message passes [pred] (the Theorem
+      6.5 adversary, which withholds exactly the value-dependent
+      messages while letting everything else through). *)
+  let drain_heads ?(max_steps = default_max_steps) algo c ~pred ~rng =
+    let eligible c =
+      E.enabled_where c ~f:(fun (Config.Deliver (src, dst)) ->
+          match E.peek_channel c ~src ~dst with
+          | Some m -> pred ~src ~dst m
+          | None -> false)
+    in
+    let rec loop c steps =
+      if steps >= max_steps then c
+      else
+        match pick rng (eligible c) with
+        | None -> c
+        | Some act -> (
+            match E.step_deliver algo c act with
+            | None -> loop c (steps + 1)
+            | Some c' -> loop c' (steps + 1))
+    in
+    loop c 0
+
+  let is_gossip_channel ~src ~dst =
+    match (src, dst) with Server _, Server _ -> true | _ -> false
+
+  (** Deliver all messages currently queued between servers (the gossip
+      closure taken at the paper's points R of Theorem 5.1).  Gossip
+      deliveries may enqueue further gossip; we drain to the fixpoint. *)
+  let drain_gossip ?max_steps algo c ~rng =
+    drain ?max_steps algo c ~filter:is_gossip_channel ~rng
+
+  (** Invoke [op] at [client] and run (fairly, over all enabled
+      actions) until the operation responds.  Returns the response, how
+      the run ended, and the final configuration.  A [Quiescent] end
+      with the operation still pending is reported as [Starved]: the
+      enabled action set reached the empty fixpoint with the op
+      outstanding, so no continuation of this execution completes it. *)
+  let run_op_outcome ?observer ?max_steps algo c ~client ~op ~rng =
+    let _op_id, c = E.invoke algo c ~client op in
+    let stop c = Option.is_none (E.pending_op c client) in
+    let c, outcome = run ?observer ?max_steps algo c ~rng ~stop in
+    let outcome =
+      match outcome with
+      | Quiescent when Option.is_some (E.pending_op c client) -> Starved
+      | o -> o
+    in
+    let response =
+      match outcome with
+      | Stopped ->
+          (* the newest Respond event for this client is ours; the
+             newest-first accessor makes this O(1), not O(|history|) *)
+          E.last_response_for c ~client
+      | Quiescent | Starved | Step_limit -> None
+    in
+    (response, outcome, c)
+
+  let run_op ?observer ?max_steps algo c ~client ~op ~rng =
+    let response, _outcome, c =
+      run_op_outcome ?observer ?max_steps algo c ~client ~op ~rng
+    in
+    (response, c)
+
+  (** Invoke several operations concurrently (one per distinct client)
+      and run until all respond.  Returns the final configuration; use
+      the engine's [history] to extract the concurrent history.
+      [Quiescent] with some operation still pending is reported as
+      [Starved]. *)
+  let run_concurrent ?observer ?max_steps algo c ~ops ~rng =
+    let c =
+      List.fold_left (fun c (client, op) -> snd (E.invoke algo c ~client op)) c ops
+    in
+    let clients = List.map fst ops in
+    let stop c =
+      List.for_all (fun cl -> Option.is_none (E.pending_op c cl)) clients
+    in
+    let c, outcome = run ?observer ?max_steps algo c ~rng ~stop in
+    let outcome =
+      match outcome with Quiescent when not (stop c) -> Starved | o -> o
+    in
+    (c, outcome)
+
+  (* Replayable non-termination diagnostics: the client, its pending
+     op, the structured outcome (starved vs step-limit), the scheduler
+     seed when the caller supplied one, and the failure/freeze pattern
+     — everything needed to re-run the execution from the message
+     alone. *)
+  let nontermination_message ~fn ~client ~outcome ?seed c =
+    let pending =
+      match E.pending_op c client with
+      | None -> "none"
+      | Some (op_id, op) -> Format.asprintf "#%d %a" op_id pp_op op
+    in
+    let seed_s =
+      match seed with
+      | Some s -> Printf.sprintf "%d (replay via Driver.rng_of_seed %d)" s s
+      | None -> "<not supplied>"
+    in
+    let failed =
+      match E.failed c with
+      | [] -> "none"
+      | l -> String.concat "," (List.map string_of_int l)
+    in
+    Printf.sprintf
+      "Driver.%s: operation by client %d did not terminate: outcome %s, \
+       pending op %s, scheduler seed %s, crashed servers [%s], client frozen \
+       %b, at simulated time %d"
+      fn client
+      (Format.asprintf "%a" pp_outcome outcome)
+      pending seed_s failed
+      (E.is_frozen c (Client client))
+      (E.time c)
+
+  (** Convenience: a complete write of [value] by [client], expected to
+      terminate.  @raise Failure when the operation does not respond;
+      the message carries the outcome ([Starved] vs [Step_limit]), the
+      pending-op state, and — when [seed] is given — the scheduler
+      seed, so the failure is replayable from the message alone. *)
+  let write_exn ?observer ?max_steps ?seed algo c ~client ~value ~rng =
+    match
+      run_op_outcome ?observer ?max_steps algo c ~client ~op:(Write value) ~rng
+    with
+    | Some Write_ack, _, c -> c
+    | Some (Read_ack _), _, _ ->
+        failwith "Driver.write_exn: protocol answered a write with a read ack"
+    | None, outcome, c ->
+        failwith (nontermination_message ~fn:"write_exn" ~client ~outcome ?seed c)
+
+  (** Convenience: a complete read by [client].
+      @raise Failure when the operation does not respond (message as in
+      {!write_exn}). *)
+  let read_exn ?observer ?max_steps ?seed algo c ~client ~rng =
+    match run_op_outcome ?observer ?max_steps algo c ~client ~op:Read ~rng with
+    | Some (Read_ack v), _, c -> (v, c)
+    | Some Write_ack, _, _ ->
+        failwith "Driver.read_exn: protocol answered a read with a write ack"
+    | None, outcome, c ->
+        failwith (nontermination_message ~fn:"read_exn" ~client ~outcome ?seed c)
+
+  (** Freeze a client and every channel touching it: the paper's
+      "messages from and to the writer are delayed indefinitely". *)
+  let freeze_client c ~client = E.freeze c (Client client)
+end
+
+include Make (Config)
+module Arena = Make (Mconfig)

@@ -1,10 +1,16 @@
-(** Execution drivers on top of {!Config}: fair randomized scheduling,
+(** Execution drivers on top of an engine: fair randomized scheduling,
     targeted delivery, and operation-level helpers.
 
     The random scheduler realizes the paper's fair executions: every
     continuously enabled action is eventually scheduled with
     probability 1, and a fixed seed makes whole executions replayable
-    (the census experiments depend on this). *)
+    (the census experiments depend on this).
+
+    The driver is a functor over {!Engine_sig.S}.  The toplevel values
+    are the pure-engine instantiation (source-compatible with all
+    existing callers); {!Arena} is the identical driver over
+    {!Mconfig}.  A seed names the same execution on either engine:
+    both consume the PRNG step for step in the same way. *)
 
 open Types
 
@@ -19,8 +25,8 @@ type outcome =
   | Stopped  (** the [stop] predicate held *)
   | Step_limit  (** gave up after [max_steps] *)
   | Starved
-      (** reported by the operation-level helpers ({!run_op_outcome},
-          {!run_concurrent}): the enabled-action set reached the empty
+      (** reported by the operation-level helpers ([run_op_outcome],
+          [run_concurrent]): the enabled-action set reached the empty
           fixpoint with an operation still pending, so no continuation
           of the run completes it.  Fault schedules that can re-enable
           deliveries (thaw epochs) are handled by [Faults.Injector],
@@ -30,164 +36,167 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val default_max_steps : int
 
-val run :
-  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  rng:rng ->
-  stop:(('ss, 'cs, 'm) Config.t -> bool) ->
-  ('ss, 'cs, 'm) Config.t * outcome
-(** Schedule uniformly at random among enabled actions until [stop]
-    holds, quiescence, or [max_steps].  [observer] sees every
-    post-step configuration (storage instrumentation hooks in here).
-    @raise Invalid_argument propagated from {!Config.step_deliver}
-    (e.g. delivery on an empty channel), impossible when the enabled
-    set is computed as here. *)
+(** The driver API over one engine's configurations. *)
+module type S = sig
+  type ('ss, 'cs, 'm) cfg
 
-val run_to_quiescence :
-  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  rng:rng ->
-  ('ss, 'cs, 'm) Config.t * outcome
-(** {!run} with [stop] never holding.
-    @raise Invalid_argument as {!run}. *)
+  val pick : rng -> Config.action array -> Config.action option
+  (** Uniform pick; an empty array consumes no randomness. *)
 
-val run_allowed :
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  rng:rng ->
-  stop:(('ss, 'cs, 'm) Config.t -> bool) ->
-  allow:(src:endpoint -> dst:endpoint -> 'm -> bool) ->
-  ('ss, 'cs, 'm) Config.t * outcome
-(** Like {!run} but only delivery actions whose {e head message} passes
-    [allow] are ever scheduled.  Realizes the paper's partial
-    restrictions ("the channels from the writers in C0 do not deliver
-    any value-dependent messages", Section 6.4.2), which are weaker
-    than freezing: a constrained client still receives messages and may
-    send, and have delivered, its value-independent ones.
-    @raise Invalid_argument as {!run}. *)
+  val run :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    rng:rng ->
+    stop:(('ss, 'cs, 'm) cfg -> bool) ->
+    ('ss, 'cs, 'm) cfg * outcome
+  (** Schedule uniformly at random among enabled actions until [stop]
+      holds, quiescence, or [max_steps].  [observer] sees every
+      post-step configuration (storage instrumentation hooks in
+      here). *)
 
-val run_trace :
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  rng:rng ->
-  stop:(('ss, 'cs, 'm) Config.t -> bool) ->
-  ('ss, 'cs, 'm) Config.t list * outcome
-(** Like {!run} but returns every configuration passed through, oldest
-    first (including the start): the paper's points P_0 ... P_M.
-    @raise Invalid_argument as {!run}. *)
+  val run_to_quiescence :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg * outcome
+  (** {!run} with [stop] never holding. *)
 
-val drain :
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  filter:(src:endpoint -> dst:endpoint -> bool) ->
-  rng:rng ->
-  ('ss, 'cs, 'm) Config.t
-(** Deliver only on channels passing [filter] until no such delivery is
-    enabled.
-    @raise Invalid_argument as {!run}. *)
+  val run_allowed :
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    rng:rng ->
+    stop:(('ss, 'cs, 'm) cfg -> bool) ->
+    allow:(src:endpoint -> dst:endpoint -> 'm -> bool) ->
+    ('ss, 'cs, 'm) cfg * outcome
+  (** Like {!run} but only delivery actions whose {e head message}
+      passes [allow] are ever scheduled (the paper's partial
+      restrictions, Section 6.4.2). *)
 
-val drain_heads :
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  pred:(src:endpoint -> dst:endpoint -> 'm -> bool) ->
-  rng:rng ->
-  ('ss, 'cs, 'm) Config.t
-(** Like {!drain} but the predicate inspects the head message: a
-    channel is eligible only while its head passes [pred].  Used to
-    withhold exactly the value-dependent messages (Theorem 6.5).
-    @raise Invalid_argument as {!run}. *)
+  val run_trace :
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    rng:rng ->
+    stop:(('ss, 'cs, 'm) cfg -> bool) ->
+    ('ss, 'cs, 'm) cfg list * outcome
+  (** Like {!run} but returns every configuration passed through,
+      oldest first (including the start): the paper's points
+      P_0 ... P_M.  Retained configurations are snapshots, so this is
+      safe (and costs a copy per step) on the mutable engine. *)
 
-val is_gossip_channel : src:endpoint -> dst:endpoint -> bool
+  val drain :
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    filter:(src:endpoint -> dst:endpoint -> bool) ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg
+  (** Deliver only on channels passing [filter] until no such delivery
+      is enabled. *)
 
-val drain_gossip :
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  rng:rng ->
-  ('ss, 'cs, 'm) Config.t
-(** Deliver all server-to-server messages to the fixpoint: the gossip
-    closure taken at the R points of Theorem 5.1 (Definition 5.3).
-    @raise Invalid_argument as {!run}. *)
+  val drain_heads :
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    pred:(src:endpoint -> dst:endpoint -> 'm -> bool) ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg
+  (** Like {!drain} but the predicate inspects the head message
+      (Theorem 6.5's withholding adversary). *)
 
-val run_op_outcome :
-  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  client:int ->
-  op:op ->
-  rng:rng ->
-  response option * outcome * ('ss, 'cs, 'm) Config.t
-(** Invoke [op] at [client] and run fairly until it responds,
-    additionally reporting how the run ended: [Stopped] (responded),
-    [Starved] (quiescent with the op pending — nothing can complete
-    it), or [Step_limit].
-    @raise Invalid_argument from {!Config.invoke} on a bad [client] or
-    one with an operation already pending. *)
+  val is_gossip_channel : src:endpoint -> dst:endpoint -> bool
 
-val run_op :
-  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  client:int ->
-  op:op ->
-  rng:rng ->
-  response option * ('ss, 'cs, 'm) Config.t
-(** {!run_op_outcome} without the outcome.  [None]
-    when it did not terminate within [max_steps] (e.g. all quorums
-    frozen).
-    @raise Invalid_argument as {!run_op_outcome}. *)
+  val drain_gossip :
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg
+  (** Deliver all server-to-server messages to the fixpoint (the gossip
+      closure of Theorem 5.1 / Definition 5.3). *)
 
-val run_concurrent :
-  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  ops:(int * op) list ->
-  rng:rng ->
-  ('ss, 'cs, 'm) Config.t * outcome
-(** Invoke several operations (one per distinct client) and run until
-    all respond; [Starved] when the run went quiescent with some
-    operation still pending.
-    @raise Invalid_argument from {!Config.invoke} on a bad client, a
-    duplicated one, or one with an operation already pending. *)
+  val run_op_outcome :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    client:int ->
+    op:op ->
+    rng:rng ->
+    response option * outcome * ('ss, 'cs, 'm) cfg
+  (** Invoke [op] at [client] and run fairly until it responds,
+      additionally reporting how the run ended: [Stopped] (responded),
+      [Starved] (quiescent with the op pending), or [Step_limit]. *)
 
-val write_exn :
-  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
-  ?max_steps:int ->
-  ?seed:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  client:int ->
-  value:string ->
-  rng:rng ->
-  ('ss, 'cs, 'm) Config.t
-(** A complete write.  @raise Failure when it does not terminate; the
-    message carries the client, its pending-op state, the structured
-    outcome ([starved] vs [step-limit]), the crash/freeze pattern and
-    — when [seed] (the seed [rng] was built from) is supplied — the
-    scheduler seed, so failures replay from the message alone. *)
+  val run_op :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    client:int ->
+    op:op ->
+    rng:rng ->
+    response option * ('ss, 'cs, 'm) cfg
+  (** {!run_op_outcome} without the outcome. *)
 
-val read_exn :
-  ?observer:(('ss, 'cs, 'm) Config.t -> unit) ->
-  ?max_steps:int ->
-  ?seed:int ->
-  ('ss, 'cs, 'm) algo ->
-  ('ss, 'cs, 'm) Config.t ->
-  client:int ->
-  rng:rng ->
-  string * ('ss, 'cs, 'm) Config.t
-(** A complete read.  @raise Failure when it does not terminate
-    (diagnostics as in {!write_exn}). *)
+  val run_concurrent :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    ops:(int * op) list ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg * outcome
+  (** Invoke several operations (one per distinct client) and run until
+      all respond; [Starved] when the run went quiescent with some
+      operation still pending. *)
 
-val freeze_client : ('ss, 'cs, 'm) Config.t -> client:int -> ('ss, 'cs, 'm) Config.t
-(** Freeze a client and every channel touching it. *)
+  val nontermination_message :
+    fn:string ->
+    client:int ->
+    outcome:outcome ->
+    ?seed:int ->
+    ('ss, 'cs, 'm) cfg ->
+    string
+
+  val write_exn :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ?seed:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    client:int ->
+    value:string ->
+    rng:rng ->
+    ('ss, 'cs, 'm) cfg
+  (** A complete write.  @raise Failure when it does not terminate; the
+      message carries the client, its pending-op state, the structured
+      outcome, the crash/freeze pattern and — when [seed] is supplied —
+      the scheduler seed, so failures replay from the message alone. *)
+
+  val read_exn :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ?seed:int ->
+    ('ss, 'cs, 'm) algo ->
+    ('ss, 'cs, 'm) cfg ->
+    client:int ->
+    rng:rng ->
+    string * ('ss, 'cs, 'm) cfg
+  (** A complete read.  @raise Failure when it does not terminate. *)
+
+  val freeze_client : ('ss, 'cs, 'm) cfg -> client:int -> ('ss, 'cs, 'm) cfg
+  (** Freeze a client and every channel touching it. *)
+end
+
+module Make (E : Engine_sig.S) : S with type ('ss, 'cs, 'm) cfg := ('ss, 'cs, 'm) E.t
+
+include S with type ('ss, 'cs, 'm) cfg := ('ss, 'cs, 'm) Config.t
+
+module Arena : S with type ('ss, 'cs, 'm) cfg := ('ss, 'cs, 'm) Mconfig.t
+(** The same driver over the mutable arena engine. *)

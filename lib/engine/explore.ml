@@ -108,8 +108,9 @@ let history_key events =
 
 (* Scripts and history are client-indexed, so they are invariant under
    server relabeling: the same tail serves the plain and the canonical
-   (symmetry-reduced) digests. *)
-let add_digest_tail scratch config scripts =
+   (symmetry-reduced) digests — and both engines, which is why it takes
+   the history rather than a configuration. *)
+let add_digest_tail scratch history scripts =
   Buffer.add_char scratch '#';
   List.iter
     (fun (client, ops) ->
@@ -118,7 +119,7 @@ let add_digest_tail scratch config scripts =
       Buffer.add_char scratch '|')
     scripts;
   Buffer.add_char scratch '#';
-  List.iter (add_event scratch) (renumber_history (Config.history config))
+  List.iter (add_event scratch) (renumber_history history)
 
 (* The dedup key of a search state, as a 16-byte digest.  [scratch] is
    a per-worker reusable buffer: key construction is the per-edge hot
@@ -126,7 +127,7 @@ let add_digest_tail scratch config scripts =
 let state_digest scratch algo config scripts =
   Buffer.clear scratch;
   Config.encode_state ~into:scratch algo config;
-  add_digest_tail scratch config scripts;
+  add_digest_tail scratch (Config.history config) scripts;
   Digest.string (Buffer.contents scratch)
 
 (* Digest plus the canonical server permutation.  Under symmetry
@@ -141,7 +142,7 @@ let digest_and_canon scratch ~symmetric algo config scripts =
     let perm = Reduction.canonical_perm algo config in
     Buffer.clear scratch;
     Reduction.encode_canonical ~into:scratch ~perm algo config;
-    add_digest_tail scratch config scripts;
+    add_digest_tail scratch (Config.history config) scripts;
     (Digest.string (Buffer.contents scratch), perm)
   end
 
@@ -681,13 +682,283 @@ let search ?(max_states = 250_000) ?(domains = 1) ?(share_batch = 32)
     deadlocks;
   }
 
+(* ---------- the arena search ---------- *)
+
+(* The same search on the mutable arena engine, as a sequential
+   recursive DFS: one {!Mconfig} is threaded through the whole
+   exploration, each edge is [mark] -> mutate in place -> recurse ->
+   [undo_to].  No persistent configurations are ever built, so the
+   per-edge cost drops from O(state copy) to O(journal records of one
+   transition).  The digests — hence [states_explored], the terminal
+   set and the deadlock set of a closed space — are byte-identical to
+   {!search}'s: [Mconfig.encode_state] matches the pure encoding and
+   the digest tail is engine-agnostic (the differential suite checks
+   the whole [run_result]). *)
+
+module Mcanon = Reduction.Canon (Mconfig)
+
+let mstate_digest scratch algo a scripts =
+  Buffer.clear scratch;
+  Mconfig.encode_state ~into:scratch algo a;
+  add_digest_tail scratch (Mconfig.history a) scripts;
+  Digest.string (Buffer.contents scratch)
+
+let mdigest_and_canon scratch ~symmetric algo a scripts =
+  if not symmetric then (mstate_digest scratch algo a scripts, [||])
+  else begin
+    let perm = Mcanon.canonical_perm algo a in
+    Buffer.clear scratch;
+    Mcanon.encode_canonical ~into:scratch ~perm algo a;
+    add_digest_tail scratch (Mconfig.history a) scripts;
+    (Digest.string (Buffer.contents scratch), perm)
+  end
+
+let mmoves a scripts =
+  let invokes =
+    List.filter_map
+      (fun (client, ops) ->
+        match (ops, Mconfig.pending_op a client) with
+        | _ :: _, None -> Some (Invoke_next client)
+        | _ -> None)
+      scripts
+  in
+  invokes @ List.map (fun act -> Do act) (Mconfig.enabled a)
+
+(* In-place [apply]: mutates [a] and returns the remaining scripts.
+   [None] means the move was not applicable (nothing was mutated). *)
+let mapply algo a scripts = function
+  | Invoke_next client ->
+      let ops =
+        match
+          List.find_map
+            (fun (c, ops) -> if Int.equal c client then Some ops else None)
+            scripts
+        with
+        | Some ops -> ops
+        | None -> invalid_arg "Explore.apply: unknown client"
+      in
+      let op, rest =
+        match ops with o :: r -> (o, r) | [] -> assert false
+      in
+      let _ = Mconfig.invoke algo a ~client op in
+      Some
+        (List.map
+           (fun (c, o) -> if Int.equal c client then (c, rest) else (c, o))
+           scripts)
+  | Do action -> (
+      match Mconfig.step_deliver algo a action with
+      | Some _ -> Some scripts
+      | None -> None)
+
+(* The arena search starts from its own [Mconfig.make]: a general
+   pure-to-arena conversion would have to rebuild arbitrary
+   mid-execution states (channels hold algorithm-typed messages every
+   engine represents differently), and no explorer caller needs one —
+   they all start from an initial configuration, at most with faults
+   pre-applied (the valency adversary freezes endpoints; pure fault
+   operations do not advance time).  So exactly that shape is accepted
+   and anything else refused loudly. *)
+let arena_of_initial algo config =
+  let prm = Config.params config in
+  let nc = Config.num_clients config in
+  let rec no_pending j =
+    j >= nc || (Option.is_none (Config.pending_op config j) && no_pending (j + 1))
+  in
+  if
+    Config.time config <> 0
+    || Config.history config <> []
+    || Config.channels config <> []
+    || not (no_pending 0)
+  then
+    invalid_arg
+      "Explore.run: the arena engine explores from an initial configuration \
+       (time 0, no history, empty channels, no pending operation)";
+  let a = Mconfig.make algo prm ~clients:nc in
+  List.iter (fun i -> ignore (Mconfig.fail_server a i)) (Config.failed config);
+  for i = 0 to prm.n - 1 do
+    if Config.is_frozen config (Server i) then ignore (Mconfig.freeze a (Server i))
+  done;
+  for j = 0 to nc - 1 do
+    if Config.is_frozen config (Client j) then ignore (Mconfig.freeze a (Client j))
+  done;
+  a
+
+let search_arena ?(max_states = 250_000) ?progress
+    ?(progress_interval = 25_000) ?(reduce = Reduction.none) ?spill_dir
+    ?(spill_threshold = 100_000) algo config ~scripts =
+  validate_scripts config scripts;
+  if spill_threshold < 1 then
+    invalid_arg "Explore.search: spill_threshold must be >= 1";
+  let a = arena_of_initial algo config in
+  Mconfig.set_journal a true;
+  let symmetric =
+    reduce.Reduction.sym && algo.server_symmetric (Config.params config)
+  in
+  let dpor = reduce.Reduction.dpor in
+  let spill =
+    match spill_dir with
+    | None -> None
+    | Some dir -> (
+        match Reduction.Spill.create ~dir with
+        | Ok sp -> Some sp
+        | Error msg -> invalid_arg ("Explore.search: " ^ msg))
+  in
+  let seen = shard_create ?spill ~spill_threshold () in
+  let term_seen = shard_create () in
+  let dead_seen = shard_create () in
+  let states = ref 0 in
+  let truncated = ref false in
+  let next_report = ref progress_interval in
+  let terminals = ref [] in
+  let deadlocks = ref [] in
+  let scratch = Buffer.create 1024 in
+  let nc = Mconfig.num_clients a in
+  let count_state () =
+    incr states;
+    match progress with
+    | None -> ()
+    | Some report ->
+        if !states >= !next_report then begin
+          next_report := !next_report + progress_interval;
+          report !states
+        end
+  in
+  (* [visit]: the recursive analogue of [search]'s [expand]; [sleep],
+     [canon] and [only] are the popped task's fields, the configuration
+     is the arena's current (mutated) state.  Recursion depth is the
+     DFS path length — bounded by the scripts' total op count plus the
+     messages they generate, a few hundred at explorable scopes. *)
+  let rec visit ~sleep ~canon ~only scripts =
+    match mmoves a scripts with
+    | [] ->
+        let rec idle i =
+          i >= nc
+          || (Option.is_none (Mconfig.pending_op a i)
+              || Mconfig.is_frozen a (Types.Client i))
+             && idle (i + 1)
+        in
+        let hist = renumber_history (Mconfig.history a) in
+        let key = history_key hist in
+        if idle 0 then begin
+          if shard_add term_seen (Digest.string key) then
+            terminals := (key, hist) :: !terminals
+        end
+        else if shard_add dead_seen (Digest.string key) then
+          deadlocks := (key, hist) :: !deadlocks
+    | ms ->
+        let self_code =
+          if symmetric then
+            let r = canon in
+            fun m -> Reduction.relabel_code (fun s -> r.(s)) (move_code m)
+          else move_code
+        in
+        let inv_self =
+          if symmetric then Reduction.inverse_perm canon else [||]
+        in
+        let explored = ref [] in
+        List.iter
+          (fun m ->
+            let cm = if dpor then self_code m else 0 in
+            let skip =
+              dpor
+              && (Reduction.Iset.mem cm sleep
+                 ||
+                 match only with
+                 | Some d -> not (Reduction.Iset.mem cm d)
+                 | None -> false)
+            in
+            if not skip then begin
+              let m0 = Mconfig.mark a in
+              match mapply algo a scripts m with
+              | None -> Mconfig.undo_to a m0
+              | Some scripts' ->
+                  (if !states >= max_states then truncated := true
+                   else begin
+                     let sleep_self =
+                       if dpor then
+                         List.filter
+                           (fun o -> Reduction.independent o cm)
+                           (Reduction.Iset.union sleep !explored)
+                       else []
+                     in
+                     let d, canon' =
+                       mdigest_and_canon scratch ~symmetric algo a scripts'
+                     in
+                     let sleep_child =
+                       if dpor && symmetric then
+                         Reduction.Iset.of_list
+                           (List.map
+                              (Reduction.relabel_code (fun s ->
+                                   canon'.(inv_self.(s))))
+                              sleep_self)
+                       else sleep_self
+                     in
+                     (match shard_probe seen d sleep_child with
+                     | Fresh ->
+                         count_state ();
+                         visit ~sleep:sleep_child ~canon:canon' ~only:None
+                           scripts'
+                     | Dup -> ()
+                     | Again (d_only, inter) ->
+                         visit ~sleep:inter ~canon:canon' ~only:(Some d_only)
+                           scripts');
+                     if dpor then explored := Reduction.Iset.add cm !explored
+                   end);
+                  Mconfig.undo_to a m0
+            end)
+          ms
+  in
+  let root_digest, root_canon =
+    mdigest_and_canon scratch ~symmetric algo a scripts
+  in
+  ignore (shard_probe seen root_digest [] : probe_result);
+  count_state ();
+  Fun.protect
+    ~finally:(fun () ->
+      match spill with Some sp -> Reduction.Spill.close sp | None -> ())
+    (fun () -> visit ~sleep:[] ~canon:root_canon ~only:None scripts);
+  let collect acc =
+    List.sort (fun (ka, _) (kb, _) -> String.compare ka kb) acc
+    |> List.map snd
+  in
+  let histories = collect !terminals in
+  let deadlocks = collect !deadlocks in
+  let outcome =
+    match deadlocks with
+    | d :: _ -> Deadlock d
+    | [] -> if !truncated then Truncated else Closed
+  in
+  {
+    stats =
+      {
+        states_explored = !states;
+        terminals = List.length histories;
+        truncated = !truncated;
+        outcome;
+      };
+    histories;
+    deadlocks;
+  }
+
 (** [run algo config ~scripts] — enumerate all interleavings, possibly
     across several domains, and return the merged, deterministically
     sorted terminal and deadlock histories.  See the .mli. *)
 let run ?max_states ?domains ?share_batch ?progress ?progress_interval ?reduce
-    ?spill_dir ?spill_threshold algo config ~scripts =
-  search ?max_states ?domains ?share_batch ?progress ?progress_interval ?reduce
-    ?spill_dir ?spill_threshold algo config ~scripts
+    ?spill_dir ?spill_threshold ?(engine = Engine_sig.Pure) algo config
+    ~scripts =
+  match engine with
+  | Engine_sig.Pure ->
+      search ?max_states ?domains ?share_batch ?progress ?progress_interval
+        ?reduce ?spill_dir ?spill_threshold algo config ~scripts
+  | Engine_sig.Arena ->
+      (match domains with
+      | Some d when d > 1 ->
+          invalid_arg
+            "Explore.run: the arena engine searches sequentially (domains = \
+             1); use ~engine:Pure for a parallel search"
+      | _ -> ());
+      search_arena ?max_states ?progress ?progress_interval ?reduce ?spill_dir
+        ?spill_threshold algo config ~scripts
 
 (** [explore algo config ~scripts ~on_terminal] — sequential
     enumeration; [on_terminal] receives every distinct terminal

@@ -57,6 +57,7 @@ val run :
   ?reduce:Reduction.t ->
   ?spill_dir:string ->
   ?spill_threshold:int ->
+  ?engine:Engine_sig.kind ->
   ('ss, 'cs, 'm) Types.algo ->
   ('ss, 'cs, 'm) Config.t ->
   scripts:(int * Types.op list) list ->
@@ -99,9 +100,21 @@ val run :
     sound for every terminal reached; counts may then differ across
     domain counts (the budget cut-off is racy), so differential
     comparisons should use closing scopes.
+
+    [engine] (default [Pure]) selects the execution engine.  [Arena]
+    runs the same search as a sequential recursive DFS on one mutable
+    {!Mconfig}, backtracking through the undo journal instead of
+    keeping persistent configurations — several times faster at
+    [domains = 1], and byte-identical in its [run_result] on a closed
+    space (the differential suite enforces this).  The arena search
+    requires [config] to be initial (time 0, no history, empty
+    channels, nothing pending; pre-applied failures and freezes are
+    fine) and refuses [domains > 1] — keep the pure engine for
+    parallel searches.
     @raise Invalid_argument on a script for an unknown client,
-    non-positive [domains]/[share_batch]/[spill_threshold], or an
-    unusable [spill_dir]. *)
+    non-positive [domains]/[share_batch]/[spill_threshold], an
+    unusable [spill_dir], or (arena engine) a non-initial [config] or
+    [domains > 1]. *)
 
 val explore :
   ?max_states:int ->

@@ -24,4 +24,21 @@ let to_list q = q.front @ List.rev q.back
 
 let of_list l = { front = l; back = []; len = List.length l }
 
-let fold f acc q = List.fold_left f acc (to_list q)
+(* Front-to-back iteration without materializing [to_list]: the front
+   list is already in order; the back list is newest-first, so it is
+   visited on the way *out* of the recursion.  Channel queues are a
+   handful of messages, so the non-tail recursion is safe. *)
+let iter f q =
+  List.iter f q.front;
+  let rec back = function
+    | [] -> ()
+    | x :: rest ->
+        back rest;
+        f x
+  in
+  back q.back
+
+let fold f acc q =
+  let acc = List.fold_left f acc q.front in
+  let rec back = function [] -> acc | x :: rest -> f (back rest) x in
+  back q.back

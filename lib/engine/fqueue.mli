@@ -18,5 +18,10 @@ val to_list : 'a t -> 'a list
 (** Front-to-back order. *)
 
 val of_list : 'a list -> 'a t
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back iteration, without materializing an intermediate
+    list (unlike [to_list]): inspection paths stay allocation-free. *)
+
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
-(** Front-to-back fold. *)
+(** Front-to-back fold, also list-free. *)

@@ -1,0 +1,852 @@
+(** Mutable-arena configurations: the fast engine behind {!Engine_sig.S}.
+
+    Same observable API and byte-identical traces as the pure {!Config}
+    (the oracle — see docs/ENGINE.md for the refinement argument), but
+    every step mutates a preallocated arena instead of rebuilding
+    persistent structures:
+
+    - endpoints are numbered [0 .. n+nc-1] (servers first, then
+      clients, which is exactly the pure engine's [compare_endpoint]
+      order), and the channel from endpoint [s] to endpoint [d] lives
+      at index [s*(n+nc) + d] of a flat array of growable ring
+      buffers — so numeric channel-index order coincides with the
+      [Chan_map] key order the pure engine enumerates in;
+    - server/client states are in-place array slots; [failed]/[frozen]
+      are byte flags; the history is a bump-allocated arena;
+    - bitsets of non-empty and enabled channel indices make the
+      per-step bookkeeping O(1) (set/clear a bit) and the scheduler's
+      uniform pick a popcount rank-select, with ascending bit order
+      matching the pure engine's channel-key enumeration;
+    - per-server storage bits, server/client encodings, and per-message
+      encodings are cached next to the data they describe and
+      invalidated on write, making the storage observer O(1) amortized
+      and [encode_state] a concatenation of cached strings;
+    - an undo log (journal of cell-level old values per mutation) lets
+      the model checker backtrack by popping records.  Forward-only
+      drivers run with the journal disabled, in which case a delivery
+      step allocates nothing beyond what the algorithm's own transition
+      functions return (gated by the smec-sa arena audit).
+
+    Backtracking protocol: [set_journal t true], then [mark t] before a
+    probe, step freely, and [undo_to t m] to return.  [undo_to] replays
+    the journal newest-first, so nested marks unwind correctly. *)
+
+open Types
+
+(* Planted-divergence canary: with SMEC_ENGINE_CANARY=1 every [undo_to]
+   deterministically skips the first server-state restore it encounters,
+   so backtracking corrupts the configuration.  The differential suite
+   must catch this (check.sh / CI gate); read eagerly so the gate cannot
+   be dodged by setting the variable after module init. *)
+let canary =
+  match Sys.getenv_opt "SMEC_ENGINE_CANARY" with Some "1" -> true | _ -> false
+
+(* Physically unique sentinel marking an absent cached encoding: cache
+   slots are compared with [==], so a legitimate encoding equal to this
+   string is still cached correctly. *)
+let no_enc = String.make 1 '\255'
+
+(* One journal record per mutated cell, holding the old value.  Undoing
+   a record restores the cell exactly, including the caches that hung
+   off it, so [undo_to] needs no algorithm record. *)
+type ('ss, 'cs, 'm) undo =
+  | U_server of { i : int; ss : 'ss; bits : int; enc : string }
+  | U_client of { i : int; cs : 'cs; enc : string }
+  | U_pop of { ci : int; m : 'm }  (** undo: push [m] back on the front *)
+  | U_push of { ci : int }  (** undo: drop the newest element *)
+  | U_pending of { i : int; p : (int * op) option }
+  | U_time of int
+  | U_hist  (** undo: forget the newest history event *)
+  | U_next_op of int
+  | U_fail of { i : int; was : bool }
+  | U_frozen of { e : int; was : bool }
+
+(* A growable ring buffer holding one channel, its per-slot encoding
+   cache, and the preallocated [Deliver] action for this channel (so
+   hot paths never construct endpoint or action blocks). *)
+type 'm chan = {
+  mutable buf : 'm array;  (** [[||]] until the first push *)
+  mutable enc : string array;  (** cached [encode_msg] per slot *)
+  mutable head : int;
+  mutable len : int;
+  act : Config.action;
+}
+
+type ('ss, 'cs, 'm) t = {
+  params : params;
+  n : int;
+  nc : int;
+  ne : int;  (** endpoints: [n] servers then [nc] clients *)
+  servers : 'ss array;
+  clients : 'cs array;
+  chans : 'm chan array;  (** [ne * ne]; channel (s,d) at [s*ne + d] *)
+  csrc : int array;  (** channel index -> source endpoint index *)
+  cdst : int array;  (** channel index -> destination endpoint index *)
+  nonempty : int array;
+      (** bitset (32 bits per word) of non-empty channel indices;
+          ascending bit order = pure engine's channel-key order *)
+  failed : Bytes.t;
+  frozen : Bytes.t;
+  mutable time : int;
+  mutable hist : event array;  (** bump arena, oldest first *)
+  mutable hist_len : int;
+  pending : (int * op) option array;
+  mutable next_op_id : int;
+  senc : string array;  (** cached [encode_server] per server *)
+  cenc : string array;  (** cached [Marshal] bytes per client *)
+  sbits : int array;  (** cached [server_bits]; [-1] = stale *)
+  enb : int array;
+      (** bitset of enabled channels: when [enb_dirty] is false this is
+          exactly the deliverable subset of [nonempty] (with [enb_n]
+          its population count), maintained incrementally as channels
+          empty and fill; faults, freezes, and their undos mark it
+          dirty and the next {!refresh_enb} rebuilds in O(words +
+          active).  O(1) set/clear per step replaces the sorted-array
+          insertions whose [Array.blit] paid the OCaml 5 write barrier
+          per element — the dominant cost of the previous layout. *)
+  mutable enb_n : int;
+  mutable enb_dirty : bool;
+  mutable jon : bool;  (** journal enabled *)
+  mutable jbuf : ('ss, 'cs, 'm) undo array;
+  mutable jlen : int;
+}
+
+(* ---------- bitsets (32 bits per word, stored as OCaml ints) ---------- *)
+
+let bs_mem bs i = (Array.unsafe_get bs (i lsr 5) lsr (i land 31)) land 1 = 1
+
+let bs_set bs i =
+  let w = i lsr 5 in
+  Array.unsafe_set bs w (Array.unsafe_get bs w lor (1 lsl (i land 31)))
+
+let bs_clear bs i =
+  let w = i lsr 5 in
+  Array.unsafe_set bs w (Array.unsafe_get bs w land lnot (1 lsl (i land 31)))
+
+let bs_zero bs =
+  for w = 0 to Array.length bs - 1 do
+    Array.unsafe_set bs w 0
+  done
+
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (* the multiply spreads sums above bit 31 on OCaml's 63-bit ints, so
+     truncate to the byte holding the total *)
+  ((x * 0x01010101) lsr 24) land 0xFF
+
+(* Call [f] on every set bit in ascending order; the hot paths pass a
+   closure the compiler can inline, the cold paths don't care. *)
+let bs_iter f bs =
+  for w = 0 to Array.length bs - 1 do
+    let x = ref (Array.unsafe_get bs w) in
+    let base = w * 32 in
+    while !x <> 0 do
+      let b = !x land - !x in
+      f (base + popcount32 (b - 1));
+      x := !x land (!x - 1)
+    done
+  done
+
+(* Index of the [r]-th set bit (ascending, 0-based); [r] must be less
+   than the population count. *)
+let bs_select bs r =
+  let rec word w r =
+    let x = Array.unsafe_get bs w in
+    let c = popcount32 x in
+    if r < c then
+      let rec bit x r =
+        let b = x land -x in
+        if r = 0 then (w * 32) + popcount32 (b - 1) else bit (x land (x - 1)) (r - 1)
+      in
+      bit x r
+    else word (w + 1) (r - c)
+  in
+  word 0 r
+
+let make algo (params : params) ~clients:nc =
+  if nc < 1 then invalid_arg "Config.make: need at least one client";
+  let n = params.n in
+  let ne = n + nc in
+  let ep i = if i < n then Server i else Client (i - n) in
+  {
+    params;
+    n;
+    nc;
+    ne;
+    servers = Array.init n (fun i -> algo.init_server params i);
+    clients = Array.init nc (fun i -> algo.init_client params i);
+    chans =
+      Array.init (ne * ne) (fun ci ->
+          {
+            buf = [||];
+            enc = [||];
+            head = 0;
+            len = 0;
+            act = Config.Deliver (ep (ci / ne), ep (ci mod ne));
+          });
+    csrc = Array.init (ne * ne) (fun ci -> ci / ne);
+    cdst = Array.init (ne * ne) (fun ci -> ci mod ne);
+    nonempty = Array.make (((ne * ne) + 31) / 32) 0;
+    failed = Bytes.make n '\000';
+    frozen = Bytes.make ne '\000';
+    time = 0;
+    hist = [||];
+    hist_len = 0;
+    pending = Array.make nc None;
+    next_op_id = 0;
+    senc = Array.make n no_enc;
+    cenc = Array.make nc no_enc;
+    sbits = Array.make n (-1);
+    enb = Array.make (((ne * ne) + 31) / 32) 0;
+    enb_n = 0;
+    enb_dirty = true;
+    jon = false;
+    jbuf = [||];
+    jlen = 0;
+  }
+
+let reset algo t =
+  for i = 0 to t.n - 1 do
+    t.servers.(i) <- algo.init_server t.params i;
+    t.senc.(i) <- no_enc;
+    t.sbits.(i) <- -1
+  done;
+  for j = 0 to t.nc - 1 do
+    t.clients.(j) <- algo.init_client t.params j;
+    t.cenc.(j) <- no_enc
+  done;
+  bs_iter
+    (fun ci ->
+      let ch = t.chans.(ci) in
+      ch.head <- 0;
+      ch.len <- 0)
+    t.nonempty;
+  bs_zero t.nonempty;
+  Bytes.fill t.failed 0 t.n '\000';
+  Bytes.fill t.frozen 0 t.ne '\000';
+  t.time <- 0;
+  t.hist_len <- 0;
+  Array.fill t.pending 0 t.nc None;
+  t.next_op_id <- 0;
+  t.enb_dirty <- true;
+  t.jlen <- 0;
+  t
+
+let snapshot t =
+  {
+    t with
+    servers = Array.copy t.servers;
+    clients = Array.copy t.clients;
+    chans =
+      Array.map
+        (fun ch -> { ch with buf = Array.copy ch.buf; enc = Array.copy ch.enc })
+        t.chans;
+    nonempty = Array.copy t.nonempty;
+    failed = Bytes.copy t.failed;
+    frozen = Bytes.copy t.frozen;
+    hist = Array.copy t.hist;
+    pending = Array.copy t.pending;
+    senc = Array.copy t.senc;
+    cenc = Array.copy t.cenc;
+    sbits = Array.copy t.sbits;
+    enb = Array.copy t.enb;
+    jon = false;
+    jbuf = [||];
+    jlen = 0;
+  }
+
+(* ---------- journal ---------- *)
+
+let jpush t u =
+  (* allocation here is on the journal-enabled (backtracking) path only *)
+  (if t.jlen = Array.length t.jbuf then
+     (* sa: allow alloc *)
+     let nb = Array.make (max 64 (2 * t.jlen)) u in
+     Array.blit t.jbuf 0 nb 0 t.jlen;
+     t.jbuf <- nb);
+  t.jbuf.(t.jlen) <- u;
+  t.jlen <- t.jlen + 1
+
+let set_journal t on =
+  t.jon <- on;
+  if not on then t.jlen <- 0
+
+let journal_enabled t = t.jon
+let mark t = t.jlen
+
+(* ---------- non-empty / enabled channel bitsets ---------- *)
+
+(* Same predicate as the pure engine: non-empty channel, destination
+   alive, neither endpoint frozen.  [ci] must be non-empty. *)
+let deliverable t ci =
+  let di = Array.unsafe_get t.cdst ci in
+  (di >= t.n || Bytes.unsafe_get t.failed di = '\000')
+  && Bytes.unsafe_get t.frozen di = '\000'
+  && Bytes.unsafe_get t.frozen (Array.unsafe_get t.csrc ci) = '\000'
+
+(* Incremental maintenance of the enabled bitset: a channel's
+   deliverability only changes through faults and freezes (which mark
+   the bitset dirty), so while clean it suffices to mirror the
+   non-empty transitions, filtered by [deliverable].  Callers only
+   fire on a genuine 0/1-length boundary, so the bit always flips. *)
+let active_add t ci =
+  bs_set t.nonempty ci;
+  if (not t.enb_dirty) && deliverable t ci then begin
+    bs_set t.enb ci;
+    t.enb_n <- t.enb_n + 1
+  end
+
+let active_remove t ci =
+  bs_clear t.nonempty ci;
+  if (not t.enb_dirty) && bs_mem t.enb ci then begin
+    bs_clear t.enb ci;
+    t.enb_n <- t.enb_n - 1
+  end
+
+(* ---------- ring buffers ---------- *)
+
+let ch_grow ch m =
+  (* amortized ring growth; steady-state pushes reuse the buffer *)
+  let cap = Array.length ch.buf in
+  let ncap = if cap = 0 then 8 else 2 * cap in
+  (* sa: allow alloc *)
+  let nbuf = Array.make ncap m and nenc = Array.make ncap no_enc in
+  for k = 0 to ch.len - 1 do
+    let pos = (ch.head + k) mod cap in
+    nbuf.(k) <- ch.buf.(pos);
+    nenc.(k) <- ch.enc.(pos)
+  done;
+  ch.buf <- nbuf;
+  ch.enc <- nenc;
+  ch.head <- 0
+
+let ch_push t ci m =
+  let ch = Array.unsafe_get t.chans ci in
+  if ch.len = Array.length ch.buf then ch_grow ch m;
+  let cap = Array.length ch.buf in
+  let pos = ch.head + ch.len in
+  let pos = if pos >= cap then pos - cap else pos in
+  Array.unsafe_set ch.buf pos m;
+  Array.unsafe_set ch.enc pos no_enc;
+  ch.len <- ch.len + 1;
+  if ch.len = 1 then active_add t ci
+
+let ch_pop t ci =
+  let ch = Array.unsafe_get t.chans ci in
+  let m = Array.unsafe_get ch.buf ch.head in
+  let h = ch.head + 1 in
+  ch.head <- (if h = Array.length ch.buf then 0 else h);
+  ch.len <- ch.len - 1;
+  if ch.len = 0 then active_remove t ci;
+  m
+
+(* Undo helpers: [ch_push_front] reverses a pop (the popped message is
+   stored in the journal record, so ring growth between pop and undo is
+   harmless), [ch_drop_back] reverses a push. *)
+let ch_push_front t ci m =
+  let ch = t.chans.(ci) in
+  let cap = Array.length ch.buf in
+  let h = if ch.head = 0 then cap - 1 else ch.head - 1 in
+  ch.head <- h;
+  ch.buf.(h) <- m;
+  ch.enc.(h) <- no_enc;
+  ch.len <- ch.len + 1;
+  if ch.len = 1 then active_add t ci
+
+let ch_drop_back t ci =
+  let ch = t.chans.(ci) in
+  ch.len <- ch.len - 1;
+  if ch.len = 0 then active_remove t ci
+
+let undo_to t mk =
+  if mk < 0 || mk > t.jlen then invalid_arg "Mconfig.undo_to: bad mark";
+  let rec go j dropped =
+    if j >= mk then begin
+      let dropped =
+        match Array.unsafe_get t.jbuf j with
+        | U_server { i; ss; bits; enc } ->
+            (* [dropped] starts false only under SMEC_ENGINE_CANARY: the
+               first server restore of each [undo_to] is then skipped —
+               the planted divergence the differential gate must catch. *)
+            if dropped then begin
+              t.servers.(i) <- ss;
+              t.sbits.(i) <- bits;
+              t.senc.(i) <- enc
+            end;
+            true
+        | U_client { i; cs; enc } ->
+            t.clients.(i) <- cs;
+            t.cenc.(i) <- enc;
+            dropped
+        | U_pop { ci; m } ->
+            ch_push_front t ci m;
+            dropped
+        | U_push { ci } ->
+            ch_drop_back t ci;
+            dropped
+        | U_pending { i; p } ->
+            t.pending.(i) <- p;
+            dropped
+        | U_time v ->
+            t.time <- v;
+            dropped
+        | U_hist ->
+            t.hist_len <- t.hist_len - 1;
+            dropped
+        | U_next_op v ->
+            t.next_op_id <- v;
+            dropped
+        | U_fail { i; was } ->
+            Bytes.set t.failed i (if was then '\001' else '\000');
+            t.enb_dirty <- true;
+            dropped
+        | U_frozen { e; was } ->
+            Bytes.set t.frozen e (if was then '\001' else '\000');
+            t.enb_dirty <- true;
+            dropped
+      in
+      go (j - 1) dropped
+    end
+  in
+  go (t.jlen - 1) (not canary);
+  t.jlen <- mk
+
+(* ---------- observation ---------- *)
+
+let params t = t.params
+let time t = t.time
+let history t = List.init t.hist_len (fun k -> t.hist.(k))
+
+let rev_history t =
+  List.init t.hist_len (fun k -> t.hist.(t.hist_len - 1 - k))
+
+let last_response_for t ~client =
+  let rec find k =
+    if k < 0 then None
+    else
+      match t.hist.(k) with
+      | Respond { client = cl; response; _ } when equal_client cl client ->
+          Some response
+      | _ -> find (k - 1)
+  in
+  find (t.hist_len - 1)
+
+let server_state t i = t.servers.(i)
+let client_state t i = t.clients.(i)
+let num_clients t = t.nc
+let is_failed t i = i >= 0 && i < t.n && Bytes.get t.failed i <> '\000'
+
+let failed t =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if Bytes.get t.failed i <> '\000' then i :: acc else acc)
+  in
+  go (t.n - 1) []
+
+(* Endpoint -> arena index; [-1] for endpoints outside this system (the
+   pure engine treats those as never-failed/never-frozen/empty-channel,
+   and so do we). *)
+let idx t = function
+  | Server i -> if i >= 0 && i < t.n then i else -1
+  | Client j -> if j >= 0 && j < t.nc then t.n + j else -1
+
+let ep_of t i = if i < t.n then Server i else Client (i - t.n)
+
+let is_frozen t e =
+  let i = idx t e in
+  i >= 0 && Bytes.get t.frozen i <> '\000'
+
+let pending_op t i = t.pending.(i)
+
+let chan_of t ~src ~dst =
+  let si = idx t src and di = idx t dst in
+  if si < 0 || di < 0 then None else Some t.chans.((si * t.ne) + di)
+
+let channel t ~src ~dst =
+  match chan_of t ~src ~dst with
+  | None -> []
+  | Some ch ->
+      let cap = Array.length ch.buf in
+      List.init ch.len (fun k -> ch.buf.((ch.head + k) mod cap))
+
+let peek_channel t ~src ~dst =
+  match chan_of t ~src ~dst with
+  | Some ch when ch.len > 0 -> Some ch.buf.(ch.head)
+  | _ -> None
+
+let iter_channel t ~src ~dst f =
+  match chan_of t ~src ~dst with
+  | None -> ()
+  | Some ch ->
+      let cap = Array.length ch.buf in
+      for k = 0 to ch.len - 1 do
+        f ch.buf.((ch.head + k) mod cap)
+      done
+
+let channel_length t ~src ~dst =
+  match chan_of t ~src ~dst with None -> 0 | Some ch -> ch.len
+
+(* Built by consing in ascending key order, so the result is
+   descending — the same order [Config.channels]'s fold produces. *)
+let channels t =
+  let acc = ref [] in
+  bs_iter
+    (fun ci ->
+      let ch = t.chans.(ci) in
+      let cap = Array.length ch.buf in
+      acc :=
+        ( ep_of t t.csrc.(ci),
+          ep_of t t.cdst.(ci),
+          List.init ch.len (fun k -> ch.buf.((ch.head + k) mod cap)) )
+        :: !acc)
+    t.nonempty;
+  !acc
+
+(* ---------- faults ---------- *)
+
+let fail_server t i =
+  if i < 0 || i >= t.n then invalid_arg "Config.fail_server: bad index";
+  if t.jon then jpush t (U_fail { i; was = Bytes.get t.failed i <> '\000' });
+  Bytes.set t.failed i '\001';
+  t.enb_dirty <- true;
+  t
+
+let freeze t e =
+  let i = idx t e in
+  if i < 0 then invalid_arg "Mconfig.freeze: endpoint out of range";
+  if t.jon then jpush t (U_frozen { e = i; was = Bytes.get t.frozen i <> '\000' });
+  Bytes.set t.frozen i '\001';
+  t.enb_dirty <- true;
+  t
+
+let thaw t e =
+  let i = idx t e in
+  if i < 0 then invalid_arg "Mconfig.thaw: endpoint out of range";
+  if t.jon then jpush t (U_frozen { e = i; was = Bytes.get t.frozen i <> '\000' });
+  Bytes.set t.frozen i '\000';
+  t.enb_dirty <- true;
+  t
+
+let freeze_all t es = List.fold_left freeze t es
+
+(* ---------- enabled set ---------- *)
+
+(* Rebuild the enabled bitset from the non-empty bitset when dirty:
+   O(words + active), no allocation, ascending bit order = channel-key
+   order.  While clean, [enb] is maintained incrementally and this is
+   O(1). *)
+let refresh_enb t =
+  if t.enb_dirty then begin
+    bs_zero t.enb;
+    let k = ref 0 in
+    bs_iter
+      (fun ci ->
+        if deliverable t ci then begin
+          bs_set t.enb ci;
+          incr k
+        end)
+      t.nonempty;
+    t.enb_n <- !k;
+    t.enb_dirty <- false
+  end
+
+let enabled t =
+  refresh_enb t;
+  let acc = ref [] in
+  bs_iter (fun ci -> acc := t.chans.(ci).act :: !acc) t.enb;
+  List.rev !acc
+
+let enabled_arr t =
+  refresh_enb t;
+  if t.enb_n = 0 then [||]
+  else begin
+    let arr = Array.make t.enb_n t.chans.(bs_select t.enb 0).act in
+    let k = ref 0 in
+    bs_iter
+      (fun ci ->
+        arr.(!k) <- t.chans.(ci).act;
+        incr k)
+      t.enb;
+    arr
+  end
+
+let enabled_where t ~f =
+  refresh_enb t;
+  let m = ref 0 in
+  bs_iter (fun ci -> if f t.chans.(ci).act then incr m) t.enb;
+  if !m = 0 then [||]
+  else begin
+    let arr = Array.make !m t.chans.(bs_select t.enb 0).act in
+    let k = ref 0 in
+    bs_iter
+      (fun ci ->
+        let act = t.chans.(ci).act in
+        if f act then begin
+          arr.(!k) <- act;
+          incr k
+        end)
+      t.enb;
+    arr
+  end
+
+let has_enabled t =
+  refresh_enb t;
+  t.enb_n > 0
+
+(* ---------- transitions ---------- *)
+
+let hist_push t ev =
+  if t.jon then jpush t U_hist;
+  (if t.hist_len = Array.length t.hist then begin
+     (* sa: allow alloc *)
+     let nh = Array.make (max 32 (2 * t.hist_len)) ev in
+     Array.blit t.hist 0 nh 0 t.hist_len;
+     t.hist <- nh
+   end);
+  t.hist.(t.hist_len) <- ev;
+  t.hist_len <- t.hist_len + 1
+
+(* Enqueue the envelopes a transition emitted, from source endpoint
+   index [src_i].  Same no-gossip discipline (and message) as the pure
+   engine.  Recursive rather than [List.iter] so the hot path builds no
+   closure. *)
+let rec enqueue_list t algo ~src_i = function
+  | [] -> ()
+  | { dst; payload } :: rest ->
+      let di = idx t dst in
+      if di < 0 then invalid_arg "Mconfig.enqueue: destination out of range";
+      if src_i < t.n && di < t.n && not algo.uses_gossip then
+        invalid_arg
+          (* sa: allow alloc *)
+          (Printf.sprintf
+             "Config.enqueue: algorithm %s declares no gossip but sent a \
+              server-to-server message"
+             algo.name);
+      if t.jon then jpush t (U_push { ci = (src_i * t.ne) + di });
+      ch_push t ((src_i * t.ne) + di) payload;
+      enqueue_list t algo ~src_i rest
+
+(* The body of a delivery once channel [ci] is known enabled. *)
+let deliver_ci algo t ci =
+  if t.jon then jpush t (U_time t.time);
+  t.time <- t.time + 1;
+  let ch = Array.unsafe_get t.chans ci in
+  let (Config.Deliver (src, _)) = ch.act in
+  if t.jon then jpush t (U_pop { ci; m = ch.buf.(ch.head) });
+  let m = ch_pop t ci in
+  let di = Array.unsafe_get t.cdst ci in
+  if di < t.n then begin
+    let ss, out = algo.on_server_msg t.params ~me:di t.servers.(di) ~src m in
+    if t.jon then
+      jpush t
+        (U_server
+           { i = di; ss = t.servers.(di); bits = t.sbits.(di); enc = t.senc.(di) });
+    t.servers.(di) <- ss;
+    Array.unsafe_set t.sbits di (-1);
+    Array.unsafe_set t.senc di no_enc;
+    enqueue_list t algo ~src_i:di out
+  end
+  else begin
+    let i = di - t.n in
+    let cs, out, resp = algo.on_client_msg t.params ~me:i t.clients.(i) ~src m in
+    if t.jon then
+      jpush t (U_client { i; cs = t.clients.(i); enc = t.cenc.(i) });
+    t.clients.(i) <- cs;
+    Array.unsafe_set t.cenc i no_enc;
+    (match resp with
+    | None -> ()
+    | Some response -> (
+        match t.pending.(i) with
+        | None ->
+            invalid_arg
+              (* sa: allow alloc *)
+              (Printf.sprintf
+                 "Config.step: client %d responded with no pending op" i)
+        | Some (op_id, _) ->
+            if t.jon then jpush t (U_pending { i; p = t.pending.(i) });
+            t.pending.(i) <- None;
+            hist_push t
+              (Respond { op_id; client = i; response; time = t.time })));
+    enqueue_list t algo ~src_i:di out
+  end
+
+let step_deliver algo t (Config.Deliver (src, dst)) =
+  let si = idx t src and di = idx t dst in
+  if si < 0 || di < 0 then None
+  else
+    let ci = (si * t.ne) + di in
+    if t.chans.(ci).len = 0 || not (deliverable t ci) then None
+    else begin
+      deliver_ci algo t ci;
+      Some t
+    end
+
+let step_deliver_n ?observer ?stop algo t ~rng ~max =
+  let stopped () = match stop with Some f -> f t | None -> false in
+  let rec loop steps =
+    if stopped () then (t, steps, Run_stopped)
+    else if steps >= max then (t, steps, Run_limit)
+    else begin
+      refresh_enb t;
+      if t.enb_n = 0 then (t, steps, Run_quiescent)
+      else begin
+        let ci = bs_select t.enb (Random.State.int rng t.enb_n) in
+        deliver_ci algo t ci;
+        (match observer with Some f -> f t | None -> ());
+        loop (steps + 1)
+      end
+    end
+  in
+  loop 0
+
+let invoke algo t ~client:i op =
+  if i < 0 || i >= t.nc then invalid_arg "Config.invoke: bad client index";
+  (match t.pending.(i) with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Config.invoke: client %d already has a pending op" i)
+  | None -> ());
+  let op_id = t.next_op_id in
+  if t.jon then begin
+    jpush t (U_next_op t.next_op_id);
+    jpush t (U_time t.time)
+  end;
+  t.next_op_id <- op_id + 1;
+  t.time <- t.time + 1;
+  let cs, out = algo.on_invoke t.params ~me:i t.clients.(i) op in
+  if t.jon then jpush t (U_client { i; cs = t.clients.(i); enc = t.cenc.(i) });
+  t.clients.(i) <- cs;
+  t.cenc.(i) <- no_enc;
+  if t.jon then jpush t (U_pending { i; p = None });
+  t.pending.(i) <- Some (op_id, op);
+  hist_push t (Invoke { op_id; client = i; op; time = t.time });
+  enqueue_list t algo ~src_i:(t.n + i) out;
+  (op_id, t)
+
+(* ---------- storage accounting, cached ---------- *)
+
+let sbits_cached algo t i =
+  let b = Array.unsafe_get t.sbits i in
+  if b >= 0 then b
+  else begin
+    let b = algo.server_bits t.params t.servers.(i) in
+    Array.unsafe_set t.sbits i b;
+    b
+  end
+
+let total_storage_bits algo t =
+  let rec go i acc =
+    if i >= t.n then acc
+    else if Bytes.unsafe_get t.failed i <> '\000' then go (i + 1) acc
+    else go (i + 1) (acc + sbits_cached algo t i)
+  in
+  go 0 0
+
+let max_storage_bits algo t =
+  let rec go i acc =
+    if i >= t.n then acc
+    else if Bytes.unsafe_get t.failed i <> '\000' then go (i + 1) acc
+    else go (i + 1) (max acc (sbits_cached algo t i))
+  in
+  go 0 0
+
+(* ---------- canonical encoding, cached ---------- *)
+
+let senc_cached algo t i =
+  let s = t.senc.(i) in
+  if s != no_enc then s
+  else begin
+    let s = algo.encode_server t.servers.(i) in
+    t.senc.(i) <- s;
+    s
+  end
+
+let cenc_cached t j =
+  let s = t.cenc.(j) in
+  if s != no_enc then s
+  else begin
+    (* Same repr-dependence trade as the pure engine; identical values
+       built by identical transitions marshal to identical bytes, so
+       the cache preserves byte-equality with the oracle
+       (* sa: allow repr-dependent *) *)
+    let s = Marshal.to_string t.clients.(j) [] in
+    t.cenc.(j) <- s;
+    s
+  end
+
+let menc_cached algo ch pos =
+  let s = ch.enc.(pos) in
+  if s != no_enc then s
+  else begin
+    let s = algo.encode_msg ch.buf.(pos) in
+    ch.enc.(pos) <- s;
+    s
+  end
+
+let server_encodings algo t = Array.init t.n (fun i -> senc_cached algo t i)
+
+(* Byte-for-byte the pure engine's [encode_state] layout; every
+   section enumerates in the same order (numeric index order =
+   [compare_endpoint] order). *)
+let encode_state ~into:b algo t =
+  let add_int i =
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b ';'
+  in
+  let add_str s =
+    add_int (String.length s);
+    Buffer.add_string b s
+  in
+  let add_endpoint_i i =
+    if i < t.n then begin
+      Buffer.add_char b 's';
+      add_int i
+    end
+    else begin
+      Buffer.add_char b 'c';
+      add_int (i - t.n)
+    end
+  in
+  Buffer.add_char b 'S';
+  for i = 0 to t.n - 1 do
+    add_str (senc_cached algo t i)
+  done;
+  Buffer.add_char b 'C';
+  for j = 0 to t.nc - 1 do
+    add_str (cenc_cached t j)
+  done;
+  Buffer.add_char b 'M';
+  bs_iter
+    (fun ci ->
+      let ch = t.chans.(ci) in
+      add_endpoint_i t.csrc.(ci);
+      add_endpoint_i t.cdst.(ci);
+      let cap = Array.length ch.buf in
+      for k = 0 to ch.len - 1 do
+        add_str (menc_cached algo ch ((ch.head + k) mod cap))
+      done;
+      Buffer.add_char b '|')
+    t.nonempty;
+  Buffer.add_char b 'F';
+  for i = 0 to t.n - 1 do
+    if Bytes.get t.failed i <> '\000' then add_int i
+  done;
+  Buffer.add_char b 'Z';
+  for e = 0 to t.ne - 1 do
+    if Bytes.get t.frozen e <> '\000' then add_endpoint_i e
+  done;
+  Buffer.add_char b 'P';
+  Array.iter
+    (fun p ->
+      match p with
+      | None -> Buffer.add_char b '-'
+      | Some (op_id, op) -> (
+          add_int op_id;
+          match op with
+          | Read -> Buffer.add_char b 'R'
+          | Write v ->
+              Buffer.add_char b 'W';
+              add_str v))
+    t.pending

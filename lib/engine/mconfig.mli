@@ -1,0 +1,138 @@
+(** Mutable-arena configurations: the fast engine.
+
+    Implements the same observable API as the pure {!Config} (both
+    satisfy {!Engine_sig.S}) with byte-identical traces — equal
+    histories, [encode_state] bytes, enabled orders, and storage
+    counters under identical driving decisions (the differential suite
+    [test/test_engine_diff.ml] enforces this; docs/ENGINE.md spells out
+    the layout and the refinement argument).  The difference is
+    operational: transitions mutate a preallocated arena in place, so
+    {e the value returned by [step_deliver]/[invoke]/[fail_server]/
+    [freeze]/[thaw] is the argument itself}.  Callers that branch
+    executions must either {!snapshot} or use the undo journal.
+
+    Forward-only drivers leave the journal off (the default): a
+    delivery step then allocates nothing in the engine (the smec-sa
+    arena audit gates this).  The model checker turns it on and
+    backtracks with {!mark}/{!undo_to}. *)
+
+open Types
+
+type ('ss, 'cs, 'm) t
+
+val make : ('ss, 'cs, 'm) algo -> params -> clients:int -> ('ss, 'cs, 'm) t
+(** @raise Invalid_argument when [clients < 1]. *)
+
+val snapshot : ('ss, 'cs, 'm) t -> ('ss, 'cs, 'm) t
+(** Deep copy; the copy has an empty, disabled journal. *)
+
+val reset : ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> ('ss, 'cs, 'm) t
+(** Reinitialize in place to the initial configuration (same params and
+    client count), reusing every arena; clears the journal.  Returns
+    its argument.  This is what lets a hammer campaign run thousands of
+    executions without re-allocating a configuration each time. *)
+
+(** {1 Undo journal}
+
+    With the journal on, every mutation pushes a record of the old cell
+    value.  [mark] takes the current journal length; [undo_to] pops
+    records newest-first down to a mark, restoring the configuration
+    (including cached encodings and storage bits) exactly. *)
+
+val set_journal : ('ss, 'cs, 'm) t -> bool -> unit
+(** Turning the journal off also discards it. *)
+
+val journal_enabled : ('ss, 'cs, 'm) t -> bool
+
+val mark : ('ss, 'cs, 'm) t -> int
+
+val undo_to : ('ss, 'cs, 'm) t -> int -> unit
+(** Roll back to a mark obtained after the journal was enabled.
+    Marks unwind in LIFO order: undoing to [m] invalidates all marks
+    greater than [m].  @raise Invalid_argument on a mark outside the
+    journal. *)
+
+(** {1 The engine API — see {!Engine_sig.S} and {!Config} for docs} *)
+
+val params : ('ss, 'cs, 'm) t -> params
+val time : ('ss, 'cs, 'm) t -> int
+val history : ('ss, 'cs, 'm) t -> event list
+val rev_history : ('ss, 'cs, 'm) t -> event list
+val last_response_for : ('ss, 'cs, 'm) t -> client:int -> response option
+val server_state : ('ss, 'cs, 'm) t -> int -> 'ss
+val client_state : ('ss, 'cs, 'm) t -> int -> 'cs
+val num_clients : ('ss, 'cs, 'm) t -> int
+val is_failed : ('ss, 'cs, 'm) t -> int -> bool
+val failed : ('ss, 'cs, 'm) t -> int list
+val is_frozen : ('ss, 'cs, 'm) t -> endpoint -> bool
+val pending_op : ('ss, 'cs, 'm) t -> int -> (int * op) option
+val channel : ('ss, 'cs, 'm) t -> src:endpoint -> dst:endpoint -> 'm list
+val peek_channel : ('ss, 'cs, 'm) t -> src:endpoint -> dst:endpoint -> 'm option
+
+val iter_channel :
+  ('ss, 'cs, 'm) t -> src:endpoint -> dst:endpoint -> ('m -> unit) -> unit
+
+val channel_length : ('ss, 'cs, 'm) t -> src:endpoint -> dst:endpoint -> int
+val channels : ('ss, 'cs, 'm) t -> (endpoint * endpoint * 'm list) list
+val fail_server : ('ss, 'cs, 'm) t -> int -> ('ss, 'cs, 'm) t
+(** @raise Invalid_argument on a bad index. *)
+
+val freeze : ('ss, 'cs, 'm) t -> endpoint -> ('ss, 'cs, 'm) t
+(** @raise Invalid_argument on an endpoint outside this system (the
+    pure engine silently records such endpoints; nothing ever freezes
+    one, so loud is safer here). *)
+
+val thaw : ('ss, 'cs, 'm) t -> endpoint -> ('ss, 'cs, 'm) t
+(** @raise Invalid_argument as {!freeze}. *)
+
+val freeze_all : ('ss, 'cs, 'm) t -> endpoint list -> ('ss, 'cs, 'm) t
+val enabled : ('ss, 'cs, 'm) t -> Config.action list
+val enabled_arr : ('ss, 'cs, 'm) t -> Config.action array
+
+val enabled_where :
+  ('ss, 'cs, 'm) t -> f:(Config.action -> bool) -> Config.action array
+
+val has_enabled : ('ss, 'cs, 'm) t -> bool
+
+val step_deliver :
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) t ->
+  Config.action ->
+  ('ss, 'cs, 'm) t option
+(** @raise Invalid_argument on the same protocol bugs as
+    [Config.step_deliver] (no-gossip violation, response with no
+    pending operation). *)
+
+val step_deliver_n :
+  ?observer:(('ss, 'cs, 'm) t -> unit) ->
+  ?stop:(('ss, 'cs, 'm) t -> bool) ->
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) t ->
+  rng:Random.State.t ->
+  max:int ->
+  ('ss, 'cs, 'm) t * int * run_stop
+(** The fused zero-allocation scheduler loop: enabled-set refresh into
+    a reused scratch, uniform pick, in-place delivery.  Pick order and
+    RNG consumption are identical to the pure engine's loop.
+    @raise Invalid_argument as {!step_deliver}. *)
+
+val invoke :
+  ('ss, 'cs, 'm) algo ->
+  ('ss, 'cs, 'm) t ->
+  client:int ->
+  op ->
+  int * ('ss, 'cs, 'm) t
+(** @raise Invalid_argument on a busy client or bad index. *)
+
+val total_storage_bits : ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> int
+(** O(n) integer scan over cached per-server bit counts; at most one
+    [algo.server_bits] call per server write since the last query. *)
+
+val max_storage_bits : ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> int
+val server_encodings : ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> string array
+
+val encode_state :
+  into:Buffer.t -> ('ss, 'cs, 'm) algo -> ('ss, 'cs, 'm) t -> unit
+(** Byte-for-byte the pure engine's encoding, assembled from cached
+    server/client/message encodings (invalidated on write, restored on
+    undo). *)

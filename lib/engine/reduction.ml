@@ -141,122 +141,134 @@ let add_str b s =
   add_int b (String.length s);
   Buffer.add_string b s
 
-(* Observational signature of server [i]: everything any behaviour can
-   distinguish about it without naming its index — status, encoded
-   state, per-client channel contents both ways, and where it appears
-   inside each client state ([encode_client] under the indicator
-   relabeling i -> 1, _ -> 0).  Equal signatures imply the transposition
-   of the two servers is an automorphism of the configuration (no
-   server-to-server channels exist for symmetric algorithms), so ties
-   may be broken arbitrarily. *)
-let signature algo c i =
-  let b = Buffer.create 256 in
-  Buffer.add_char b (if Config.is_failed c i then 'F' else '-');
-  Buffer.add_char b (if Config.is_frozen c (Server i) then 'Z' else '-');
-  add_str b (algo.encode_server (Config.server_state c i));
-  let nc = Config.num_clients c in
-  let indicator j = if Int.equal j i then 1 else 0 in
-  for j = 0 to nc - 1 do
-    Buffer.add_char b '>';
-    List.iter
-      (fun m -> add_str b (algo.encode_msg m))
-      (Config.channel c ~src:(Client j) ~dst:(Server i));
-    Buffer.add_char b '<';
-    List.iter
-      (fun m -> add_str b (algo.encode_msg m))
-      (Config.channel c ~src:(Server i) ~dst:(Client j));
-    Buffer.add_char b '^';
-    add_str b (algo.encode_client indicator (Config.client_state c j))
-  done;
-  Buffer.contents b
-
-let canonical_perm algo c =
-  let n = (Config.params c).n in
-  let sigs = Array.init n (fun i -> signature algo c i) in
-  let order = Array.init n Fun.id in
-  Array.sort
-    (fun i j ->
-      match String.compare sigs.(i) sigs.(j) with
-      | 0 -> Int.compare i j
-      | cmp -> cmp)
-    order;
-  let r = Array.make n 0 in
-  Array.iteri (fun pos old -> r.(old) <- pos) order;
-  r
-
 let inverse_perm r =
   let inv = Array.make (Array.length r) 0 in
   Array.iteri (fun old pos -> inv.(pos) <- old) r;
   inv
 
-(* The canonical mirror of {!Config.encode_state}: same sections, same
-   delimiters, but servers listed in canonical order, client states
-   rendered by [encode_client perm] (canonical and relabeling-aware
-   where Marshal is neither), and channel keys / failure / freeze sets
-   relabeled then re-sorted.  Orbit-equivalent configurations produce
-   identical bytes; distinct configurations in one orbit frame produce
-   distinct bytes because every section is injective given the
-   algorithm's injective encoders. *)
-let encode_canonical ~into:b ~perm algo c =
-  let n = (Config.params c).n in
-  let inv = inverse_perm perm in
-  let relab i = perm.(i) in
-  let relab_endpoint = function
-    | Server i -> Server perm.(i)
-    | Client _ as e -> e
-  in
-  let add_endpoint = function
-    | Server i ->
-        Buffer.add_char b 's';
-        add_int b i
-    | Client i ->
-        Buffer.add_char b 'c';
-        add_int b i
-  in
-  Buffer.add_char b 'S';
-  for pos = 0 to n - 1 do
-    add_str b (algo.encode_server (Config.server_state c inv.(pos)))
-  done;
-  Buffer.add_char b 'C';
-  for j = 0 to Config.num_clients c - 1 do
-    add_str b (algo.encode_client relab (Config.client_state c j))
-  done;
-  Buffer.add_char b 'M';
-  Config.channels c
-  |> List.map (fun (src, dst, ms) -> (relab_endpoint src, relab_endpoint dst, ms))
-  |> List.sort (fun (s1, d1, _) (s2, d2, _) ->
-         match compare_endpoint s1 s2 with
-         | 0 -> compare_endpoint d1 d2
-         | cmp -> cmp)
-  |> List.iter (fun (src, dst, ms) ->
-         add_endpoint src;
-         add_endpoint dst;
-         List.iter (fun m -> add_str b (algo.encode_msg m)) ms;
-         Buffer.add_char b '|');
-  Buffer.add_char b 'F';
-  Config.failed c |> List.map relab |> List.sort Int.compare
-  |> List.iter (add_int b);
-  Buffer.add_char b 'Z';
-  let frozen = ref [] in
-  for j = Config.num_clients c - 1 downto 0 do
-    if Config.is_frozen c (Client j) then frozen := Client j :: !frozen
-  done;
-  for i = n - 1 downto 0 do
-    if Config.is_frozen c (Server i) then frozen := Server perm.(i) :: !frozen
-  done;
-  List.sort compare_endpoint !frozen |> List.iter add_endpoint;
-  Buffer.add_char b 'P';
-  for j = 0 to Config.num_clients c - 1 do
-    match Config.pending_op c j with
-    | None -> Buffer.add_char b '-'
-    | Some (op_id, op) -> (
-        add_int b op_id;
-        match op with
-        | Read -> Buffer.add_char b 'R'
-        | Write v ->
-            Buffer.add_char b 'W';
-            add_str b v)
-  done
+(* The canonicalization machinery over any engine: {!Explore}'s pure
+   search uses [Canon (Config)] (included below), its arena DFS
+   [Canon (Mconfig)]. *)
+module Canon (E : Engine_sig.S) = struct
+  (* Observational signature of server [i]: everything any behaviour can
+     distinguish about it without naming its index — status, encoded
+     state, per-client channel contents both ways, and where it appears
+     inside each client state ([encode_client] under the indicator
+     relabeling i -> 1, _ -> 0).  Equal signatures imply the transposition
+     of the two servers is an automorphism of the configuration (no
+     server-to-server channels exist for symmetric algorithms), so ties
+     may be broken arbitrarily. *)
+  let signature algo c i =
+    let b = Buffer.create 256 in
+    Buffer.add_char b (if E.is_failed c i then 'F' else '-');
+    Buffer.add_char b (if E.is_frozen c (Server i) then 'Z' else '-');
+    add_str b (algo.encode_server (E.server_state c i));
+    let nc = E.num_clients c in
+    let indicator j = if Int.equal j i then 1 else 0 in
+    for j = 0 to nc - 1 do
+      Buffer.add_char b '>';
+      E.iter_channel c ~src:(Client j) ~dst:(Server i) (fun m ->
+          add_str b (algo.encode_msg m));
+      Buffer.add_char b '<';
+      E.iter_channel c ~src:(Server i) ~dst:(Client j) (fun m ->
+          add_str b (algo.encode_msg m));
+      Buffer.add_char b '^';
+      add_str b (algo.encode_client indicator (E.client_state c j))
+    done;
+    Buffer.contents b
+
+  let canonical_perm algo c =
+    let n = (E.params c).n in
+    let sigs = Array.init n (fun i -> signature algo c i) in
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun i j ->
+        match String.compare sigs.(i) sigs.(j) with
+        | 0 -> Int.compare i j
+        | cmp -> cmp)
+      order;
+    let r = Array.make n 0 in
+    Array.iteri (fun pos old -> r.(old) <- pos) order;
+    r
+
+  (* The canonical mirror of {!E.encode_state}: same sections, same
+     delimiters, but servers listed in canonical order, client states
+     rendered by [encode_client perm] (canonical and relabeling-aware
+     where Marshal is neither), and channel keys / failure / freeze sets
+     relabeled then re-sorted.  Orbit-equivalent configurations produce
+     identical bytes; distinct configurations in one orbit frame produce
+     distinct bytes because every section is injective given the
+     algorithm's injective encoders. *)
+  let encode_canonical ~into:b ~perm algo c =
+    let n = (E.params c).n in
+    let inv = inverse_perm perm in
+    let relab i = perm.(i) in
+    let add_endpoint = function
+      | Server i ->
+          Buffer.add_char b 's';
+          add_int b i
+      | Client i ->
+          Buffer.add_char b 'c';
+          add_int b i
+    in
+    Buffer.add_char b 'S';
+    for pos = 0 to n - 1 do
+      add_str b (algo.encode_server (E.server_state c inv.(pos)))
+    done;
+    Buffer.add_char b 'C';
+    for j = 0 to E.num_clients c - 1 do
+      add_str b (algo.encode_client relab (E.client_state c j))
+    done;
+    Buffer.add_char b 'M';
+    (* Non-empty channels in ascending relabeled (src, dst) order.
+       [compare_endpoint] sorts servers (by index) before clients (by
+       index), so walking canonical endpoint positions directly —
+       servers [0..n-1] then clients — and mapping each back through
+       [inv] visits exactly the sequence the former
+       channels-map-sort-iter pipeline produced, without materializing
+       a channel list per canonicalized state. *)
+    let nc = E.num_clients c in
+    let orig pos = if pos < n then Server inv.(pos) else Client (pos - n) in
+    let canon pos = if pos < n then Server pos else Client (pos - n) in
+    for sp = 0 to n + nc - 1 do
+      let src = orig sp in
+      for dp = 0 to n + nc - 1 do
+        let dst = orig dp in
+        if E.channel_length c ~src ~dst > 0 then begin
+          add_endpoint (canon sp);
+          add_endpoint (canon dp);
+          E.iter_channel c ~src ~dst (fun m -> add_str b (algo.encode_msg m));
+          Buffer.add_char b '|'
+        end
+      done
+    done;
+    Buffer.add_char b 'F';
+    E.failed c |> List.map relab |> List.sort Int.compare
+    |> List.iter (add_int b);
+    Buffer.add_char b 'Z';
+    let frozen = ref [] in
+    for j = E.num_clients c - 1 downto 0 do
+      if E.is_frozen c (Client j) then frozen := Client j :: !frozen
+    done;
+    for i = n - 1 downto 0 do
+      if E.is_frozen c (Server i) then frozen := Server perm.(i) :: !frozen
+    done;
+    List.sort compare_endpoint !frozen |> List.iter add_endpoint;
+    Buffer.add_char b 'P';
+    for j = 0 to E.num_clients c - 1 do
+      match E.pending_op c j with
+      | None -> Buffer.add_char b '-'
+      | Some (op_id, op) -> (
+          add_int b op_id;
+          match op with
+          | Read -> Buffer.add_char b 'R'
+          | Write v ->
+              Buffer.add_char b 'W';
+              add_str b v)
+    done
+end
+
+include Canon (Config)
 
 (* ---------- spill store ---------- *)
 

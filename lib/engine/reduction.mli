@@ -86,6 +86,24 @@ end
     for symmetric algorithms — so any tie-break yields the same
     canonical encoding. *)
 
+(** The canonicalization machinery over any engine; the toplevel
+    [canonical_perm]/[encode_canonical] are [Canon (Config)].  The
+    per-server signature walks channels with the engine's
+    [iter_channel], so it allocates no intermediate message lists. *)
+module Canon (E : Engine_sig.S) : sig
+  val signature : ('ss, 'cs, 'm) Types.algo -> ('ss, 'cs, 'm) E.t -> int -> string
+  (** Observational signature of one server (see above). *)
+
+  val canonical_perm : ('ss, 'cs, 'm) Types.algo -> ('ss, 'cs, 'm) E.t -> int array
+
+  val encode_canonical :
+    into:Buffer.t ->
+    perm:int array ->
+    ('ss, 'cs, 'm) Types.algo ->
+    ('ss, 'cs, 'm) E.t ->
+    unit
+end
+
 val canonical_perm :
   ('ss, 'cs, 'm) Types.algo -> ('ss, 'cs, 'm) Config.t -> int array
 (** [canonical_perm algo c] is the relabeling [r] with [r.(i)] the

@@ -92,6 +92,12 @@ let params ?(k = 1) ?(delta = 1) ~n ~f ~value_len () =
   if value_len < 0 then invalid_arg "Types.params: negative value_len";
   { n; f; k; delta; value_len }
 
+(** Why a fused delivery loop ([step_deliver_n] in either engine)
+    returned: the caller's stop predicate held, no action was enabled,
+    or the step budget ran out.  Lives here (not in [Driver]) so both
+    engines can implement the loop without depending on the driver. *)
+type run_stop = Run_stopped | Run_quiescent | Run_limit
+
 (** An outbound message: destination and payload. *)
 type 'm envelope = { dst : endpoint; payload : 'm }
 

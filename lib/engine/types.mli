@@ -62,6 +62,11 @@ val params :
     @raise Invalid_argument unless [n >= 1], [0 <= f < n], [1 <= k <= n]
     and [delta >= 1]. *)
 
+(** Why a fused delivery loop ([step_deliver_n] in either engine)
+    returned: the caller's stop predicate held, no action was enabled,
+    or the step budget ran out. *)
+type run_stop = Run_stopped | Run_quiescent | Run_limit
+
 (** An outbound message: destination and payload. *)
 type 'm envelope = { dst : endpoint; payload : 'm }
 

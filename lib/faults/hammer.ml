@@ -176,46 +176,6 @@ let scripts_for ~(params : params) ~writers ~readers ~seed =
   in
   Workload.mixed_scripts ~writers ~readers ~values ~reads_per_reader:2
 
-(* ----- violation detection ----- *)
-
-let violation_of ~checker ~(params : params) ~required plan
-    (res : ('ss, 'cs, 'm) Injector.result) =
-  let h = Consistency.History.of_events (Engine.Config.history res.config) in
-  match checker h with
-  | Consistency.Checker.Invalid why -> Some ("consistency", why)
-  | Consistency.Checker.Valid -> (
-      let expect = Plan.expectation plan ~n:params.n ~required in
-      match res.outcome with
-      | Injector.Completed -> (
-          match expect with
-          | Some Plan.Must_starve ->
-              Some
-                ( "missed-starvation",
-                  "all operations completed under a quorum-killing plan" )
-          | Some Plan.Must_complete | None -> None)
-      | Injector.Starved { step; pending_clients; reason } -> (
-          match (expect, reason) with
-          | Some Plan.Must_complete, _ ->
-              Some
-                ( "liveness",
-                  Format.asprintf
-                    "starved at step %d (%a) under a plan that must complete"
-                    step Oracle.pp_reason reason )
-          | _, Oracle.No_progress ->
-              Some
-                ( "liveness",
-                  Printf.sprintf
-                    "starved at step %d with a live quorum and no frozen \
-                     client (pending [%s])"
-                    step
-                    (String.concat ","
-                       (List.map string_of_int pending_clients)) )
-          | ( (Some Plan.Must_starve | None),
-              (Oracle.Quorum_lost _ | Oracle.Client_partitioned _) ) ->
-              None)
-      | Injector.Step_limit ->
-          Some ("step-limit", "hit the step limit without quiescing"))
-
 (* ----- the campaign ----- *)
 
 let shrink_budget = 5
@@ -226,138 +186,241 @@ let count_ops scripts =
     (fun acc (s : Workload.script) -> acc + List.length s.ops)
     0 scripts
 
-let run_algo ~setup ~execs ~seed ~canary =
-  let { key; writers; readers; n; f; k; atomic } = setup in
-  dispatch ~key ~canary
-    {
-      use =
-        (fun algo ->
-          (* delta must cover every write that can overlap a read: a
-             read delayed by a crash epoch spans the whole rest of the
-             run, so the honest concurrency bound is the workload's
-             total write count — otherwise CAS/AWE garbage collection
-             may discard the symbols a blocked read still needs (their
-             documented liveness caveat, not a bug). *)
-          let params =
-            Engine.Types.params ~n ~f ~k ~delta:(2 * writers) ~value_len:6 ()
-          in
-          let clients = writers + readers in
-          let required = Oracle.required_quorum ~algo_name:algo.name params in
-          let init = Algorithms.Common.initial_value params in
-          let checker h =
-            if atomic then Consistency.Checker.atomic ~init h
-            else Consistency.Checker.regular ~init h
-          in
-          let peak = Storage.create_peak () in
-          let observer = Storage.peak_observer algo peak in
-          let run_exec ?(observe = false) ~plan ~scripts ~exec_seed () =
-            let config = Engine.Config.make algo params ~clients in
-            if observe then
-              Injector.run ~observer ~max_steps algo config ~plan ~scripts
-                ~required ~seed:exec_seed
-            else
-              Injector.run ~max_steps algo config ~plan ~scripts ~required
-                ~seed:exec_seed
-          in
-          let completed = ref 0 in
-          let starved_expected = ref 0 in
-          let deliveries = ref 0 in
-          let violations = ref [] in
-          let n_shrunk = ref 0 in
-          let mix = Array.make (Array.length class_names) 0 in
-          for exec = 0 to execs - 1 do
+(* ----- the execution harness, engine-generic ----- *)
+
+(* One harness drives both engines: the arena engine is the default
+   (campaigns reuse a single mutable configuration via [E.reset]);
+   the pure engine remains available as the differential oracle.
+   Reports and replays are byte-identical across engines. *)
+module Exec (E : Engine.Engine_sig.S) = struct
+  module I = Injector.Make (E)
+
+  let violation_of ~checker ~(params : params) ~required plan
+      (res : ('ss, 'cs, 'm) I.result) =
+    let h = Consistency.History.of_events (E.history res.config) in
+    match checker h with
+    | Consistency.Checker.Invalid why -> Some ("consistency", why)
+    | Consistency.Checker.Valid -> (
+        let expect = Plan.expectation plan ~n:params.n ~required in
+        match res.outcome with
+        | Injector.Completed -> (
+            match expect with
+            | Some Plan.Must_starve ->
+                Some
+                  ( "missed-starvation",
+                    "all operations completed under a quorum-killing plan" )
+            | Some Plan.Must_complete | None -> None)
+        | Injector.Starved { step; pending_clients; reason } -> (
+            match (expect, reason) with
+            | Some Plan.Must_complete, _ ->
+                Some
+                  ( "liveness",
+                    Format.asprintf
+                      "starved at step %d (%a) under a plan that must complete"
+                      step Oracle.pp_reason reason )
+            | _, Oracle.No_progress ->
+                Some
+                  ( "liveness",
+                    Printf.sprintf
+                      "starved at step %d with a live quorum and no frozen \
+                       client (pending [%s])"
+                      step
+                      (String.concat ","
+                         (List.map string_of_int pending_clients)) )
+            | ( (Some Plan.Must_starve | None),
+                (Oracle.Quorum_lost _ | Oracle.Client_partitioned _) ) ->
+                None)
+        | Injector.Step_limit ->
+            Some ("step-limit", "hit the step limit without quiescing"))
+
+  let run_algo ~setup ~execs ~seed ~canary =
+    let { key; writers; readers; n; f; k; atomic } = setup in
+    dispatch ~key ~canary
+      {
+        use =
+          (fun algo ->
+            (* delta must cover every write that can overlap a read: a
+               read delayed by a crash epoch spans the whole rest of the
+               run, so the honest concurrency bound is the workload's
+               total write count — otherwise CAS/AWE garbage collection
+               may discard the symbols a blocked read still needs (their
+               documented liveness caveat, not a bug). *)
+            let params =
+              Engine.Types.params ~n ~f ~k ~delta:(2 * writers) ~value_len:6 ()
+            in
+            let clients = writers + readers in
+            let required = Oracle.required_quorum ~algo_name:algo.name params in
+            let init = Algorithms.Common.initial_value params in
+            let checker h =
+              if atomic then Consistency.Checker.atomic ~init h
+              else Consistency.Checker.regular ~init h
+            in
+            let peak = Storage.create_peak () in
+            let observer c =
+              Storage.peak_observe peak
+                ~total:(E.total_storage_bits algo c)
+                ~max_server:(E.max_storage_bits algo c)
+            in
+            (* one configuration per algorithm; [E.reset] reuses the
+               arena across every execution of the campaign *)
+            let base_config = E.make algo params ~clients in
+            let run_exec ?(observe = false) ~plan ~scripts ~exec_seed () =
+              let config = E.reset algo base_config in
+              if observe then
+                I.run ~observer ~max_steps algo config ~plan ~scripts
+                  ~required ~seed:exec_seed
+              else
+                I.run ~max_steps algo config ~plan ~scripts ~required
+                  ~seed:exec_seed
+            in
+            let completed = ref 0 in
+            let starved_expected = ref 0 in
+            let deliveries = ref 0 in
+            let violations = ref [] in
+            let n_shrunk = ref 0 in
+            let mix = Array.make (Array.length class_names) 0 in
+            for exec = 0 to execs - 1 do
+              let es = exec_seed ~key ~seed ~exec in
+              let scripts = scripts_for ~params ~writers ~readers ~seed:es in
+              let probe () =
+                (run_exec ~plan:Plan.empty ~scripts ~exec_seed:es ())
+                  .I.vd_receipts
+              in
+              let class_name, plan =
+                plan_for ~params ~clients ~required ~exec ~seed:es ~probe
+              in
+              mix.(exec mod 10) <- mix.(exec mod 10) + 1;
+              let res = run_exec ~observe:true ~plan ~scripts ~exec_seed:es () in
+              deliveries := !deliveries + res.I.deliveries;
+              match violation_of ~checker ~params ~required plan res with
+              | None -> (
+                  match res.I.outcome with
+                  | Injector.Completed -> incr completed
+                  | Injector.Starved _ -> incr starved_expected
+                  | Injector.Step_limit -> ())
+              | Some (kind, detail) ->
+                  let shrunk =
+                    if !n_shrunk >= shrink_budget then None
+                    else begin
+                      incr n_shrunk;
+                      let check p ss =
+                        (* an op-less workload "completes" vacuously, so
+                           it can never witness a failure *)
+                        count_ops ss > 0
+                        &&
+                        let res = run_exec ~plan:p ~scripts:ss ~exec_seed:es () in
+                        match
+                          violation_of ~checker ~params ~required p res
+                        with
+                        | Some (k, _) -> String.equal k kind
+                        | None -> false
+                      in
+                      Some
+                        (Shrink.minimize ~check ~max_evals:shrink_max_evals plan
+                           scripts)
+                    end
+                  in
+                  let v =
+                    {
+                      exec;
+                      class_name;
+                      kind;
+                      detail;
+                      seed = es;
+                      plan = Plan.to_string plan;
+                      shrunk_plan =
+                        Option.map
+                          (fun (p, _, _) -> Plan.to_string p)
+                          shrunk;
+                      shrunk_ops =
+                        Option.map (fun (_, ss, _) -> count_ops ss) shrunk;
+                      shrink_evals =
+                        Option.map
+                          (fun (_, _, (st : Shrink.stats)) -> st.evals)
+                          shrunk;
+                    }
+                  in
+                  violations := v :: !violations
+            done;
+            let bp = Bounds.params ~n ~f in
+            let upper_norm =
+              if String.equal key "cas" || String.equal key "awe" then
+                Bounds.norm_erasure bp ~nu:writers
+              else float_of_int n
+            in
+            {
+              algo = key;
+              proto = algo.name;
+              execs;
+              completed = !completed;
+              starved_expected = !starved_expected;
+              deliveries = !deliveries;
+              violations = List.rev !violations;
+              plan_mix =
+                List.filter
+                  (fun (_, count) -> count > 0)
+                  (List.mapi
+                     (fun i name -> (name, mix.(i)))
+                     (Array.to_list class_names));
+              peak_norm =
+                (if Storage.peak_samples peak = 0 then 0.0
+                 else
+                   Storage.normalized peak ~value_len:params.value_len);
+              upper_norm;
+              lower_norm = Bounds.norm_singleton bp;
+            })
+      }
+
+  let replay ~algo:key ~exec ~seed ~canary =
+    let setup = find_setup key in
+    let { key; writers; readers; n; f; k; atomic = _ } = setup in
+    dispatch ~key ~canary:(canary && String.equal key "abd")
+      {
+        use =
+          (fun algo ->
+            let params =
+              Engine.Types.params ~n ~f ~k ~delta:(2 * writers) ~value_len:6 ()
+            in
+            let clients = writers + readers in
+            let required = Oracle.required_quorum ~algo_name:algo.name params in
             let es = exec_seed ~key ~seed ~exec in
             let scripts = scripts_for ~params ~writers ~readers ~seed:es in
-            let probe () =
-              (run_exec ~plan:Plan.empty ~scripts ~exec_seed:es ())
-                .Injector.vd_receipts
+            let base_config = E.make algo params ~clients in
+            let run_exec ~plan =
+              let config = E.reset algo base_config in
+              I.run ~max_steps algo config ~plan ~scripts ~required
+                ~seed:es
             in
+            let probe () = (run_exec ~plan:Plan.empty).I.vd_receipts in
             let class_name, plan =
               plan_for ~params ~clients ~required ~exec ~seed:es ~probe
             in
-            mix.(exec mod 10) <- mix.(exec mod 10) + 1;
-            let res = run_exec ~observe:true ~plan ~scripts ~exec_seed:es () in
-            deliveries := !deliveries + res.Injector.deliveries;
-            match violation_of ~checker ~params ~required plan res with
-            | None -> (
-                match res.Injector.outcome with
-                | Injector.Completed -> incr completed
-                | Injector.Starved _ -> incr starved_expected
-                | Injector.Step_limit -> ())
-            | Some (kind, detail) ->
-                let shrunk =
-                  if !n_shrunk >= shrink_budget then None
-                  else begin
-                    incr n_shrunk;
-                    let check p ss =
-                      (* an op-less workload "completes" vacuously, so
-                         it can never witness a failure *)
-                      count_ops ss > 0
-                      &&
-                      let res = run_exec ~plan:p ~scripts:ss ~exec_seed:es () in
-                      match
-                        violation_of ~checker ~params ~required p res
-                      with
-                      | Some (k, _) -> String.equal k kind
-                      | None -> false
-                    in
-                    Some
-                      (Shrink.minimize ~check ~max_evals:shrink_max_evals plan
-                         scripts)
-                  end
-                in
-                let v =
-                  {
-                    exec;
-                    class_name;
-                    kind;
-                    detail;
-                    seed = es;
-                    plan = Plan.to_string plan;
-                    shrunk_plan =
-                      Option.map
-                        (fun (p, _, _) -> Plan.to_string p)
-                        shrunk;
-                    shrunk_ops =
-                      Option.map (fun (_, ss, _) -> count_ops ss) shrunk;
-                    shrink_evals =
-                      Option.map
-                        (fun (_, _, (st : Shrink.stats)) -> st.evals)
-                        shrunk;
-                  }
-                in
-                violations := v :: !violations
-          done;
-          let bp = Bounds.params ~n ~f in
-          let upper_norm =
-            if String.equal key "cas" || String.equal key "awe" then
-              Bounds.norm_erasure bp ~nu:writers
-            else float_of_int n
-          in
-          {
-            algo = key;
-            proto = algo.name;
-            execs;
-            completed = !completed;
-            starved_expected = !starved_expected;
-            deliveries = !deliveries;
-            violations = List.rev !violations;
-            plan_mix =
-              List.filter
-                (fun (_, count) -> count > 0)
-                (List.mapi
-                   (fun i name -> (name, mix.(i)))
-                   (Array.to_list class_names));
-            peak_norm =
-              (if Storage.peak_samples peak = 0 then 0.0
-               else
-                 Storage.normalized peak ~value_len:params.value_len);
-            upper_norm;
-            lower_norm = Bounds.norm_singleton bp;
-          })
-    }
+            let res = run_exec ~plan in
+            let buf = Buffer.create 512 in
+            Buffer.add_string buf
+              (Printf.sprintf "algo %s exec %d seed %d class %s plan %S\n" key
+                 exec es class_name (Plan.to_string plan));
+            Buffer.add_string buf
+              (Format.asprintf "outcome %a, %d steps, %d deliveries\n"
+                 Injector.pp_outcome res.I.outcome res.I.steps
+                 res.I.deliveries);
+            List.iter
+              (fun e ->
+                Buffer.add_string buf (Format.asprintf "%a\n" pp_event e))
+              (E.history res.I.config);
+            Buffer.contents buf)
+      }
+end
 
-let campaign ?(execs = 1000) ?(seed = 42) ?(canary = false) ?algos () =
+module Exec_pure = Exec (Engine.Config)
+module Exec_arena = Exec (Engine.Mconfig)
+
+let exec_for = function
+  | Engine.Engine_sig.Pure -> (Exec_pure.run_algo, Exec_pure.replay)
+  | Engine.Engine_sig.Arena -> (Exec_arena.run_algo, Exec_arena.replay)
+
+let campaign ?(execs = 1000) ?(seed = 42) ?(canary = false) ?algos
+    ?(engine = Engine.Engine_sig.Arena) () =
   if execs < 1 then invalid_arg "Hammer.campaign: execs must be >= 1";
   let selected =
     match algos with
@@ -371,6 +434,7 @@ let campaign ?(execs = 1000) ?(seed = 42) ?(canary = false) ?algos () =
     algos =
       List.map
         (fun setup ->
+          let run_algo, _ = exec_for engine in
           run_algo ~setup ~execs ~seed
             ~canary:(canary && String.equal setup.key "abd"))
         selected;
@@ -467,43 +531,6 @@ let report_to_json r =
     r.base_seed r.execs_per_algo r.canary
     (String.concat ", " (List.map algo_to_json r.algos))
 
-(* ----- single-execution replay ----- *)
-
-let replay ~algo:key ~exec ~seed ~canary =
-  let setup = find_setup key in
-  let { key; writers; readers; n; f; k; atomic = _ } = setup in
-  dispatch ~key ~canary:(canary && String.equal key "abd")
-    {
-      use =
-        (fun algo ->
-          let params =
-            Engine.Types.params ~n ~f ~k ~delta:(2 * writers) ~value_len:6 ()
-          in
-          let clients = writers + readers in
-          let required = Oracle.required_quorum ~algo_name:algo.name params in
-          let es = exec_seed ~key ~seed ~exec in
-          let scripts = scripts_for ~params ~writers ~readers ~seed:es in
-          let run_exec ~plan =
-            let config = Engine.Config.make algo params ~clients in
-            Injector.run ~max_steps algo config ~plan ~scripts ~required
-              ~seed:es
-          in
-          let probe () = (run_exec ~plan:Plan.empty).Injector.vd_receipts in
-          let class_name, plan =
-            plan_for ~params ~clients ~required ~exec ~seed:es ~probe
-          in
-          let res = run_exec ~plan in
-          let buf = Buffer.create 512 in
-          Buffer.add_string buf
-            (Printf.sprintf "algo %s exec %d seed %d class %s plan %S\n" key
-               exec es class_name (Plan.to_string plan));
-          Buffer.add_string buf
-            (Format.asprintf "outcome %a, %d steps, %d deliveries\n"
-               Injector.pp_outcome res.Injector.outcome res.Injector.steps
-               res.Injector.deliveries);
-          List.iter
-            (fun e ->
-              Buffer.add_string buf (Format.asprintf "%a\n" pp_event e))
-            (Engine.Config.history res.Injector.config);
-          Buffer.contents buf)
-    }
+let replay ?(engine = Engine.Engine_sig.Arena) ~algo ~exec ~seed ~canary () =
+  let _, replay = exec_for engine in
+  replay ~algo ~exec ~seed ~canary

@@ -64,13 +64,22 @@ val algo_names : string list
     [["abd"; "abd-mw"; "cas"; "gossip-rep"; "awe"]]. *)
 
 val campaign :
-  ?execs:int -> ?seed:int -> ?canary:bool -> ?algos:string list -> unit -> report
+  ?execs:int ->
+  ?seed:int ->
+  ?canary:bool ->
+  ?algos:string list ->
+  ?engine:Engine.Engine_sig.kind ->
+  unit ->
+  report
 (** Run [execs] (default 1000) executions per selected algorithm
     (default: all).  [canary] (default false) replaces ABD's client
     with a quorum-off-by-one saboteur that counts a phantom extra ack
     per server response — the planted bug the harness must catch.
     The first few violations per algorithm are shrunk
-    ({!Shrink.minimize}) before reporting.
+    ({!Shrink.minimize}) before reporting.  [engine] (default [Arena])
+    selects the execution engine; reports are byte-identical across
+    engines — the arena engine just reuses one mutable configuration
+    per algorithm via [reset] instead of allocating one per execution.
     @raise Invalid_argument on an unknown algorithm key or
     [execs < 1]. *)
 
@@ -80,9 +89,17 @@ val pp_report : Format.formatter -> report -> unit
 
 val report_to_json : report -> string
 
-val replay : algo:string -> exec:int -> seed:int -> canary:bool -> string
+val replay :
+  ?engine:Engine.Engine_sig.kind ->
+  algo:string ->
+  exec:int ->
+  seed:int ->
+  canary:bool ->
+  unit ->
+  string
 (** Re-run one campaign execution and render it: plan class and plan,
     outcome, step/delivery counts, and the full event history.  Calling
-    twice with equal arguments returns byte-identical strings — the
-    determinism contract counterexample reports rely on.
+    twice with equal arguments returns byte-identical strings — across
+    engines too — the determinism contract counterexample reports rely
+    on.
     @raise Invalid_argument on an unknown algorithm key. *)

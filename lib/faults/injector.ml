@@ -19,13 +19,7 @@ let pp_outcome fmt = function
         Oracle.pp_reason reason
   | Step_limit -> Format.fprintf fmt "step-limit"
 
-type ('ss, 'cs, 'm) result = {
-  config : ('ss, 'cs, 'm) Engine.Config.t;
-  outcome : outcome;
-  steps : int;
-  deliveries : int;
-  vd_receipts : (int * int) list;
-}
+
 
 (* The plan expanded into an ordered event stream.  Within one step,
    thaws apply before freezes so adjacent epochs of one endpoint
@@ -66,178 +60,197 @@ let timeline_of_plan plan =
       | c -> c)
     events
 
-let validate_inputs config ~plan ~scripts =
-  let params = Engine.Config.params config in
-  let clients = Engine.Config.num_clients config in
-  let check_endpoint = function
-    | Server i ->
-        if i < 0 || i >= params.n then
-          invalid_arg
-            (Printf.sprintf "Injector.run: plan touches server %d, n = %d" i
-               params.n)
-    | Client i ->
-        if i < 0 || i >= clients then
-          invalid_arg
-            (Printf.sprintf "Injector.run: plan touches client %d, clients = %d"
-               i clients)
-  in
-  List.iter
-    (fun fl ->
-      match (fl : Plan.fault) with
-      | Crash { server; _ } -> check_endpoint (Server server)
-      | Freeze { endpoint; _ } -> check_endpoint endpoint
-      | Set_policy { policy = Starve e; _ } -> check_endpoint e
-      | Set_policy { policy = Uniform | First_key | Last_key; _ } -> ())
-    (Plan.faults plan);
-  let seen = Array.make (max 1 clients) false in
-  List.iter
-    (fun (s : Workload.script) ->
-      if s.client < 0 || s.client >= clients then
-        invalid_arg
-          (Printf.sprintf "Injector.run: script client %d out of range [0, %d)"
-             s.client clients);
-      if seen.(s.client) then
-        invalid_arg
-          (Printf.sprintf "Injector.run: duplicate script for client %d"
-             s.client);
-      seen.(s.client) <- true)
-    scripts
+(* The injector proper, engine-generic: one implementation drives the
+   pure oracle engine and the mutable arena engine.  With the arena
+   engine [run] mutates its argument in place and [result.config] is
+   that same value — snapshot it if it must survive a reset. *)
+module Make (E : Engine.Engine_sig.S) = struct
+  module O = Oracle.Make (E)
 
-let touches e (Engine.Config.Deliver (src, dst)) =
-  equal_endpoint src e || equal_endpoint dst e
-
-let run ?observer ?(max_steps = Engine.Driver.default_max_steps) algo config
-    ~plan ~scripts ~required ~seed =
-  validate_inputs config ~plan ~scripts;
-  let rng = Engine.Driver.rng_of_seed seed in
-  let clients = Engine.Config.num_clients config in
-  let queues = Array.make (max 1 clients) [] in
-  List.iter (fun (s : Workload.script) -> queues.(s.client) <- s.ops) scripts;
-  let script_clients = List.map (fun (s : Workload.script) -> s.client) scripts in
-  let policy = ref Plan.Uniform in
-  let deliveries = ref 0 in
-  let vd_receipts = ref [] in
-  (* apply every event due at or before [step]; returns the rest *)
-  let rec apply_due c timeline step =
-    match timeline with
-    | { at; ev; _ } :: rest when at <= step ->
-        let c =
-          match ev with
-          | Thaw_ev e -> Engine.Config.thaw c e
-          | Freeze_ev e -> Engine.Config.freeze c e
-          | Crash_ev s ->
-              if Engine.Config.is_failed c s then c
-              else Engine.Config.fail_server c s
-          | Policy_ev p ->
-              policy := p;
-              c
-        in
-        apply_due c rest step
-    | _ -> (c, timeline)
-  in
-  let rec next_thaw = function
-    | [] -> None
-    | { at; ev = Thaw_ev _; _ } :: _ -> Some at
-    | _ :: rest -> next_thaw rest
-  in
-  (* idle scripted clients flip a coin to invoke their next op *)
-  let maybe_invoke c =
-    let c = ref c in
-    for client = 0 to clients - 1 do
-      match queues.(client) with
-      | op :: rest
-        when Option.is_none (Engine.Config.pending_op !c client)
-             && Random.State.bool rng ->
-          queues.(client) <- rest;
-          c := snd (Engine.Config.invoke algo !c ~client op)
-      | _ -> ()
-    done;
-    !c
-  in
-  let force_invoke c =
-    let rec go client =
-      if client >= clients then None
-      else
-        match queues.(client) with
-        | op :: rest when Option.is_none (Engine.Config.pending_op c client) ->
-            queues.(client) <- rest;
-            Some (snd (Engine.Config.invoke algo c ~client op))
-        | _ -> go (client + 1)
-    in
-    go 0
-  in
-  let pick_action c =
-    let acts = Engine.Config.enabled_arr c in
-    let len = Array.length acts in
-    if len = 0 then None
-    else
-      match !policy with
-      | Plan.Uniform -> Some acts.(Random.State.int rng len)
-      | Plan.First_key -> Some acts.(0)
-      | Plan.Last_key -> Some acts.(len - 1)
-      | Plan.Starve e -> (
-          let others = Engine.Config.enabled_where c ~f:(fun a -> not (touches e a)) in
-          match Array.length others with
-          | 0 -> Some acts.(Random.State.int rng len)
-          | m -> Some others.(Random.State.int rng m))
-  in
-  let deliver c (Engine.Config.Deliver (src, dst) as act) step =
-    (match dst with
-    | Server i when not (Engine.Config.is_failed c i) -> (
-        match Engine.Config.peek_channel c ~src ~dst with
-        | Some m when algo.is_value_dependent m ->
-            vd_receipts := (i, step) :: !vd_receipts
-        | Some _ | None -> ())
-    | Server _ | Client _ -> ());
-    match Engine.Config.step_deliver algo c act with
-    | Some c' ->
-        incr deliveries;
-        (match observer with Some f -> f c' | None -> ());
-        Some c'
-    | None -> None
-  in
-  let all_done c =
-    Array.for_all (function [] -> true | _ :: _ -> false) queues
-    && List.for_all
-         (fun client -> Option.is_none (Engine.Config.pending_op c client))
-         script_clients
-  in
-  let rec loop c timeline step =
-    if step > max_steps then (c, Step_limit, step)
-    else begin
-      let c, timeline = apply_due c timeline step in
-      let c = maybe_invoke c in
-      match pick_action c with
-      | Some act -> (
-          match deliver c act step with
-          | Some c' -> loop c' timeline (step + 1)
-          | None ->
-              (* race with a fault applied this step; just move on *)
-              loop c timeline (step + 1))
-      | None -> (
-          if all_done c then (c, Completed, step)
-          else
-            match force_invoke c with
-            | Some c' -> loop c' timeline (step + 1)
-            | None -> (
-                match next_thaw timeline with
-                | Some t when t > step -> loop c timeline t
-                | Some _ | None ->
-                    let pending_clients =
-                      List.filter
-                        (fun client ->
-                          Option.is_some (Engine.Config.pending_op c client))
-                        script_clients
-                    in
-                    let reason = Oracle.classify c ~required in
-                    (c, Starved { step; pending_clients; reason }, step)))
-    end
-  in
-  let config, outcome, steps = loop config (timeline_of_plan plan) 0 in
-  {
-    config;
-    outcome;
-    steps;
-    deliveries = !deliveries;
-    vd_receipts = List.rev !vd_receipts;
+  type ('ss, 'cs, 'm) result = {
+    config : ('ss, 'cs, 'm) E.t;
+    outcome : outcome;
+    steps : int;
+    deliveries : int;
+    vd_receipts : (int * int) list;
   }
+
+  let validate_inputs config ~plan ~scripts =
+    let params = E.params config in
+    let clients = E.num_clients config in
+    let check_endpoint = function
+      | Server i ->
+          if i < 0 || i >= params.n then
+            invalid_arg
+              (Printf.sprintf "Injector.run: plan touches server %d, n = %d" i
+                 params.n)
+      | Client i ->
+          if i < 0 || i >= clients then
+            invalid_arg
+              (Printf.sprintf "Injector.run: plan touches client %d, clients = %d"
+                 i clients)
+    in
+    List.iter
+      (fun fl ->
+        match (fl : Plan.fault) with
+        | Crash { server; _ } -> check_endpoint (Server server)
+        | Freeze { endpoint; _ } -> check_endpoint endpoint
+        | Set_policy { policy = Starve e; _ } -> check_endpoint e
+        | Set_policy { policy = Uniform | First_key | Last_key; _ } -> ())
+      (Plan.faults plan);
+    let seen = Array.make (max 1 clients) false in
+    List.iter
+      (fun (s : Workload.script) ->
+        if s.client < 0 || s.client >= clients then
+          invalid_arg
+            (Printf.sprintf "Injector.run: script client %d out of range [0, %d)"
+               s.client clients);
+        if seen.(s.client) then
+          invalid_arg
+            (Printf.sprintf "Injector.run: duplicate script for client %d"
+               s.client);
+        seen.(s.client) <- true)
+      scripts
+
+  let touches e (Engine.Config.Deliver (src, dst)) =
+    equal_endpoint src e || equal_endpoint dst e
+
+  let run ?observer ?(max_steps = Engine.Driver.default_max_steps) algo config
+      ~plan ~scripts ~required ~seed =
+    validate_inputs config ~plan ~scripts;
+    let rng = Engine.Driver.rng_of_seed seed in
+    let clients = E.num_clients config in
+    let queues = Array.make (max 1 clients) [] in
+    List.iter (fun (s : Workload.script) -> queues.(s.client) <- s.ops) scripts;
+    let script_clients = List.map (fun (s : Workload.script) -> s.client) scripts in
+    let policy = ref Plan.Uniform in
+    let deliveries = ref 0 in
+    let vd_receipts = ref [] in
+    (* apply every event due at or before [step]; returns the rest *)
+    let rec apply_due c timeline step =
+      match timeline with
+      | { at; ev; _ } :: rest when at <= step ->
+          let c =
+            match ev with
+            | Thaw_ev e -> E.thaw c e
+            | Freeze_ev e -> E.freeze c e
+            | Crash_ev s ->
+                if E.is_failed c s then c
+                else E.fail_server c s
+            | Policy_ev p ->
+                policy := p;
+                c
+          in
+          apply_due c rest step
+      | _ -> (c, timeline)
+    in
+    let rec next_thaw = function
+      | [] -> None
+      | { at; ev = Thaw_ev _; _ } :: _ -> Some at
+      | _ :: rest -> next_thaw rest
+    in
+    (* idle scripted clients flip a coin to invoke their next op *)
+    let maybe_invoke c =
+      let c = ref c in
+      for client = 0 to clients - 1 do
+        match queues.(client) with
+        | op :: rest
+          when Option.is_none (E.pending_op !c client)
+               && Random.State.bool rng ->
+            queues.(client) <- rest;
+            c := snd (E.invoke algo !c ~client op)
+        | _ -> ()
+      done;
+      !c
+    in
+    let force_invoke c =
+      let rec go client =
+        if client >= clients then None
+        else
+          match queues.(client) with
+          | op :: rest when Option.is_none (E.pending_op c client) ->
+              queues.(client) <- rest;
+              Some (snd (E.invoke algo c ~client op))
+          | _ -> go (client + 1)
+      in
+      go 0
+    in
+    let pick_action c =
+      let acts = E.enabled_arr c in
+      let len = Array.length acts in
+      if len = 0 then None
+      else
+        match !policy with
+        | Plan.Uniform -> Some acts.(Random.State.int rng len)
+        | Plan.First_key -> Some acts.(0)
+        | Plan.Last_key -> Some acts.(len - 1)
+        | Plan.Starve e -> (
+            let others = E.enabled_where c ~f:(fun a -> not (touches e a)) in
+            match Array.length others with
+            | 0 -> Some acts.(Random.State.int rng len)
+            | m -> Some others.(Random.State.int rng m))
+    in
+    let deliver c (Engine.Config.Deliver (src, dst) as act) step =
+      (match dst with
+      | Server i when not (E.is_failed c i) -> (
+          match E.peek_channel c ~src ~dst with
+          | Some m when algo.is_value_dependent m ->
+              vd_receipts := (i, step) :: !vd_receipts
+          | Some _ | None -> ())
+      | Server _ | Client _ -> ());
+      match E.step_deliver algo c act with
+      | Some c' ->
+          incr deliveries;
+          (match observer with Some f -> f c' | None -> ());
+          Some c'
+      | None -> None
+    in
+    let all_done c =
+      Array.for_all (function [] -> true | _ :: _ -> false) queues
+      && List.for_all
+           (fun client -> Option.is_none (E.pending_op c client))
+           script_clients
+    in
+    let rec loop c timeline step =
+      if step > max_steps then (c, Step_limit, step)
+      else begin
+        let c, timeline = apply_due c timeline step in
+        let c = maybe_invoke c in
+        match pick_action c with
+        | Some act -> (
+            match deliver c act step with
+            | Some c' -> loop c' timeline (step + 1)
+            | None ->
+                (* race with a fault applied this step; just move on *)
+                loop c timeline (step + 1))
+        | None -> (
+            if all_done c then (c, Completed, step)
+            else
+              match force_invoke c with
+              | Some c' -> loop c' timeline (step + 1)
+              | None -> (
+                  match next_thaw timeline with
+                  | Some t when t > step -> loop c timeline t
+                  | Some _ | None ->
+                      let pending_clients =
+                        List.filter
+                          (fun client ->
+                            Option.is_some (E.pending_op c client))
+                          script_clients
+                      in
+                      let reason = O.classify c ~required in
+                      (c, Starved { step; pending_clients; reason }, step)))
+      end
+    in
+    let config, outcome, steps = loop config (timeline_of_plan plan) 0 in
+    {
+      config;
+      outcome;
+      steps;
+      deliveries = !deliveries;
+      vd_receipts = List.rev !vd_receipts;
+    }
+end
+
+include Make (Engine.Config)
+module Arena = Make (Engine.Mconfig)

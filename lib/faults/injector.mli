@@ -42,7 +42,43 @@ type outcome =
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-type ('ss, 'cs, 'm) result = {
+(** The injector over any engine.  The toplevel [result]/[run] are
+    [Make (Engine.Config)]; {!Arena} is the same scheduler on the
+    mutable arena engine, where [run] mutates its argument in place and
+    [result.config] is that same value (snapshot it if it must survive
+    a later reset). *)
+module Make (E : Engine.Engine_sig.S) : sig
+  type ('ss, 'cs, 'm) result = {
+    config : ('ss, 'cs, 'm) E.t;  (** final configuration *)
+    outcome : outcome;
+    steps : int;  (** injector steps taken *)
+    deliveries : int;  (** messages actually delivered *)
+    vd_receipts : (int * int) list;
+        (** [(server, step)] for every value-dependent message delivered
+            to a live server, in delivery order — the observations
+            {!Plan.targeted} turns into an adversary. *)
+  }
+
+  val run :
+    ?observer:(('ss, 'cs, 'm) E.t -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) Engine.Types.algo ->
+    ('ss, 'cs, 'm) E.t ->
+    plan:Plan.t ->
+    scripts:Workload.script list ->
+    required:int ->
+    seed:int ->
+    ('ss, 'cs, 'm) result
+  (** Run [scripts] against the configuration under [plan].  [required]
+      is the quorum size used by the starvation oracle
+      ({!Oracle.required_quorum}).  [observer] sees every post-delivery
+      configuration (storage instrumentation hooks in here).
+      @raise Invalid_argument on duplicate client scripts, an
+      out-of-range script client, or a plan touching an out-of-range
+      server or client. *)
+end
+
+type ('ss, 'cs, 'm) result = ('ss, 'cs, 'm) Make(Engine.Config).result = {
   config : ('ss, 'cs, 'm) Engine.Config.t;  (** final configuration *)
   outcome : outcome;
   steps : int;  (** injector steps taken *)
@@ -63,10 +99,22 @@ val run :
   required:int ->
   seed:int ->
   ('ss, 'cs, 'm) result
-(** Run [scripts] against the configuration under [plan].  [required]
-    is the quorum size used by the starvation oracle
-    ({!Oracle.required_quorum}).  [observer] sees every post-delivery
-    configuration (storage instrumentation hooks in here).
-    @raise Invalid_argument on duplicate client scripts, an
-    out-of-range script client, or a plan touching an out-of-range
-    server or client. *)
+(** [Make (Engine.Config)]'s [run]: the pure-engine injector.
+    @raise Invalid_argument as documented on {!Make.run}. *)
+
+module Arena : sig
+  type ('ss, 'cs, 'm) result = ('ss, 'cs, 'm) Make(Engine.Mconfig).result
+
+  val run :
+    ?observer:(('ss, 'cs, 'm) Engine.Mconfig.t -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) Engine.Types.algo ->
+    ('ss, 'cs, 'm) Engine.Mconfig.t ->
+    plan:Plan.t ->
+    scripts:Workload.script list ->
+    required:int ->
+    seed:int ->
+    ('ss, 'cs, 'm) result
+  (** The arena-engine injector; mutates the configuration in place.
+      @raise Invalid_argument as documented on {!Make.run}. *)
+end

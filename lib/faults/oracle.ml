@@ -21,29 +21,30 @@ let pp_reason fmt = function
 
 let reason_to_string r = Format.asprintf "%a" pp_reason r
 
-let usable_servers c =
-  let params = Engine.Config.params c in
-  let live = ref 0 in
-  for i = 0 to params.n - 1 do
-    if
-      (not (Engine.Config.is_failed c i))
-      && not (Engine.Config.is_frozen c (Server i))
-    then incr live
-  done;
-  !live
-
-let classify c ~required =
-  let live = usable_servers c in
-  if live < required then Quorum_lost { live; required }
-  else begin
-    let partitioned = ref None in
-    for client = Engine.Config.num_clients c - 1 downto 0 do
-      if
-        Option.is_some (Engine.Config.pending_op c client)
-        && Engine.Config.is_frozen c (Client client)
-      then partitioned := Some client
+module Make (E : Engine.Engine_sig.S) = struct
+  let usable_servers c =
+    let params = E.params c in
+    let live = ref 0 in
+    for i = 0 to params.n - 1 do
+      if (not (E.is_failed c i)) && not (E.is_frozen c (Server i)) then
+        incr live
     done;
-    match !partitioned with
-    | Some client -> Client_partitioned { client }
-    | None -> No_progress
-  end
+    !live
+
+  let classify c ~required =
+    let live = usable_servers c in
+    if live < required then Quorum_lost { live; required }
+    else begin
+      let partitioned = ref None in
+      for client = E.num_clients c - 1 downto 0 do
+        if Option.is_some (E.pending_op c client) && E.is_frozen c (Client client)
+        then partitioned := Some client
+      done;
+      match !partitioned with
+      | Some client -> Client_partitioned { client }
+      | None -> No_progress
+    end
+end
+
+include Make (Engine.Config)
+module Arena = Make (Engine.Mconfig)

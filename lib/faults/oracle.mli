@@ -41,3 +41,15 @@ val classify :
 
 val usable_servers : ('ss, 'cs, 'm) Engine.Config.t -> int
 (** Servers neither crashed nor frozen. *)
+
+(** The same oracle over any engine; the toplevel functions are
+    [Make (Engine.Config)]. *)
+module Make (E : Engine.Engine_sig.S) : sig
+  val classify : ('ss, 'cs, 'm) E.t -> required:int -> reason
+  val usable_servers : ('ss, 'cs, 'm) E.t -> int
+end
+
+module Arena : sig
+  val classify : ('ss, 'cs, 'm) Engine.Mconfig.t -> required:int -> reason
+  val usable_servers : ('ss, 'cs, 'm) Engine.Mconfig.t -> int
+end

@@ -81,12 +81,15 @@ let create_peak () = { total = 0; max_server = 0; samples = 0 }
 
 (** Observer to thread through {!Engine.Driver.run}: records the peak
     natural-encoding storage over all points of the execution. *)
-let peak_observer algo peak config =
+let peak_observe peak ~total ~max_server =
   peak.samples <- peak.samples + 1;
-  let total = Engine.Config.total_storage_bits algo config in
   if total > peak.total then peak.total <- total;
-  let m = Engine.Config.max_storage_bits algo config in
-  if m > peak.max_server then peak.max_server <- m
+  if max_server > peak.max_server then peak.max_server <- max_server
+
+let peak_observer algo peak config =
+  peak_observe peak
+    ~total:(Engine.Config.total_storage_bits algo config)
+    ~max_server:(Engine.Config.max_storage_bits algo config)
 
 let peak_total peak = peak.total
 let peak_max_server peak = peak.max_server

@@ -58,6 +58,12 @@ type peak
 
 val create_peak : unit -> peak
 
+val peak_observe : peak -> total:int -> max_server:int -> unit
+(** Record one execution point from already-computed bit counts — the
+    engine-agnostic primitive behind {!peak_observer} (drivers running
+    on the arena engine build their observer from this plus the
+    engine's own [total_storage_bits]/[max_storage_bits]). *)
+
 val peak_observer :
   ('ss, 'cs, 'm) Engine.Types.algo -> peak -> ('ss, 'cs, 'm) Engine.Config.t -> unit
 (** Observer for {!Engine.Driver.run}: records the peak total and

@@ -18,7 +18,9 @@ type cell = {
 type grid = { experiment : string; cells : cell list }
 
 val singleton : ?pairs:(int * int) list -> ?vs:int list -> unit -> grid
-(** Theorem B.1 over the regular SWSR protocol; [pairs] are (n, f). *)
+(** Theorem B.1 over the regular SWSR protocol; [pairs] are (n, f).
+    @raise Invalid_argument on (n, f) pairs the model rejects
+    (propagated from [Types.params]). *)
 
 val critical : ?pairs:(int * int) list -> ?vs:int list -> unit -> grid
 (** Theorem 4.1 (no-gossip critical pairs). *)

@@ -47,130 +47,170 @@ let small_domain ~base ~len =
 (** A per-client script of operations. *)
 type script = { client : int; ops : op list }
 
-(** Run scripts to completion with random overlap: an idle client with
-    remaining operations invokes its next one with probability 1/2
-    whenever the scheduler visits it.  Crashes [failures] servers at
-    random points.  Returns the final configuration (history included).
-    An observer sees every configuration, including intermediate
-    ones.
+module type DRIVERS = sig
+  type ('ss, 'cs, 'm) cfg
 
-    [failures] is validated against the configuration's parameters:
-    duplicate or out-of-range server ids are rejected, and crashing
-    more than [f] servers — which can leave operations unable to ever
-    complete — requires the explicit [~allow_over_f:true] opt-in (the
-    fault injector's structured [Starved] handling lives in
-    [Faults.Injector]; this driver would just burn [max_steps]). *)
-let run_scripts ?observer ?(max_steps = 2_000_000) ?(failures = [])
-    ?(allow_over_f = false) algo config scripts ~seed =
-  let params = Engine.Config.params config in
-  let seen = Array.make (max 1 params.n) false in
-  List.iter
-    (fun s ->
-      if s < 0 || s >= params.n then
-        invalid_arg
-          (Printf.sprintf
-             "Workload.run_scripts: failure server id %d out of range [0, %d)"
-             s params.n);
-      if seen.(s) then
-        invalid_arg
-          (Printf.sprintf "Workload.run_scripts: duplicate failure server id %d"
-             s);
-      seen.(s) <- true)
-    failures;
-  let n_failures = List.length failures in
-  if n_failures > params.f && not allow_over_f then
-    invalid_arg
-      (Printf.sprintf
-         "Workload.run_scripts: %d failures exceed the tolerance f = %d; \
-          operations may never terminate.  Pass ~allow_over_f:true to opt \
-          into an intentional over-crash run"
-         n_failures params.f);
-  let rng = Engine.Driver.rng_of_seed seed in
-  let queues = Hashtbl.create 8 in
-  List.iter
-    (fun s ->
-      if Hashtbl.mem queues s.client then
-        invalid_arg "Workload.run_scripts: duplicate client script";
-      Hashtbl.replace queues s.client s.ops)
-    scripts;
-  let to_fail = ref failures in
-  let steps = ref 0 in
-  let rec loop c =
-    incr steps;
-    if !steps > max_steps then c
-    else begin
-      (* maybe crash a server *)
-      let c =
-        match !to_fail with
-        | s :: rest when Random.State.int rng 100 < 2 ->
-            to_fail := rest;
-            Engine.Config.fail_server c s
-        | _ -> c
-      in
-      (* maybe invoke pending scripts *)
-      let c =
-        Hashtbl.fold
-          (fun client ops c ->
-            match ops with
-            | op :: rest
-              when Option.is_none (Engine.Config.pending_op c client)
-                   && Random.State.bool rng ->
-                Hashtbl.replace queues client rest;
-                snd (Engine.Config.invoke algo c ~client op)
-            | _ -> c)
-          queues c
-      in
-      (* one delivery step *)
-      let acts = Engine.Config.enabled_arr c in
-      let c, progressed =
-        match acts with
-        | [||] -> (c, false)
-        | _ -> (
-            let act = acts.(Random.State.int rng (Array.length acts)) in
-            match Engine.Config.step_deliver algo c act with
-            | Some c' ->
-                (match observer with Some f -> f c' | None -> ());
-                (c', true)
-            | None -> (c, false))
-      in
-      let scripts_left = Hashtbl.fold (fun _ ops acc -> acc || ops <> []) queues false in
-      let pending_left =
-        List.exists
-          (fun s -> Option.is_some (Engine.Config.pending_op c s.client))
-          scripts
-      in
-      if (not progressed) && not scripts_left then c
-      else if (not scripts_left) && not pending_left then c
-      else loop c
-    end
-  in
-  loop config
+  val run_scripts :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ?failures:int list ->
+    ?allow_over_f:bool ->
+    ('ss, 'cs, 'm) Engine.Types.algo ->
+    ('ss, 'cs, 'm) cfg ->
+    script list ->
+    seed:int ->
+    ('ss, 'cs, 'm) cfg
 
-(** The maximal-concurrency pattern behind the Figure 1 x-axis:
-    [nu] distinct writers all invoke distinct values before any message
-    is delivered, so all [nu] writes are simultaneously active; then the
-    system runs fairly until all complete.  Returns the final config. *)
-let concurrent_writes ?observer ?max_steps algo config ~values ~seed =
-  let rng = Engine.Driver.rng_of_seed seed in
-  let c, clients =
-    List.fold_left
-      (fun (c, clients) (client, v) ->
-        let _, c = Engine.Config.invoke algo c ~client (Write v) in
-        (c, client :: clients))
-      (config, [])
-      (List.mapi (fun i v -> (i, v)) values)
-  in
-  let stop c =
-    List.for_all
-      (fun cl -> Option.is_none (Engine.Config.pending_op c cl))
-      clients
-  in
-  let c, outcome = Engine.Driver.run ?observer ?max_steps algo c ~rng ~stop in
-  match outcome with
-  | Engine.Driver.Stopped -> c
-  | Engine.Driver.Quiescent | Engine.Driver.Starved | Engine.Driver.Step_limit
-    ->
-      failwith "Workload.concurrent_writes: writes did not all terminate"
+  val concurrent_writes :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) Engine.Types.algo ->
+    ('ss, 'cs, 'm) cfg ->
+    values:string list ->
+    seed:int ->
+    ('ss, 'cs, 'm) cfg
+end
+
+(** {1 Experiment drivers, engine-generic}
+
+    The drivers are written once against {!Engine.Engine_sig.S} and
+    instantiated for both engines: the toplevel [run_scripts] /
+    [concurrent_writes] run on the pure engine (source compatibility),
+    [Arena] on the mutable arena engine.  With the arena engine the
+    observer sees the same mutable value at every call — snapshot it if
+    it must be retained. *)
+
+module Make (E : Engine.Engine_sig.S) = struct
+  module D = Engine.Driver.Make (E)
+
+  (** Run scripts to completion with random overlap: an idle client with
+      remaining operations invokes its next one with probability 1/2
+      whenever the scheduler visits it.  Crashes [failures] servers at
+      random points.  Returns the final configuration (history included).
+      An observer sees every configuration, including intermediate
+      ones.
+
+      [failures] is validated against the configuration's parameters:
+      duplicate or out-of-range server ids are rejected, and crashing
+      more than [f] servers — which can leave operations unable to ever
+      complete — requires the explicit [~allow_over_f:true] opt-in (the
+      fault injector's structured [Starved] handling lives in
+      [Faults.Injector]; this driver would just burn [max_steps]). *)
+  let run_scripts ?observer ?(max_steps = 2_000_000) ?(failures = [])
+      ?(allow_over_f = false) algo config scripts ~seed =
+    let params = E.params config in
+    let seen = Array.make (max 1 params.n) false in
+    List.iter
+      (fun s ->
+        if s < 0 || s >= params.n then
+          invalid_arg
+            (Printf.sprintf
+               "Workload.run_scripts: failure server id %d out of range [0, %d)"
+               s params.n);
+        if seen.(s) then
+          invalid_arg
+            (Printf.sprintf "Workload.run_scripts: duplicate failure server id %d"
+               s);
+        seen.(s) <- true)
+      failures;
+    let n_failures = List.length failures in
+    if n_failures > params.f && not allow_over_f then
+      invalid_arg
+        (Printf.sprintf
+           "Workload.run_scripts: %d failures exceed the tolerance f = %d; \
+            operations may never terminate.  Pass ~allow_over_f:true to opt \
+            into an intentional over-crash run"
+           n_failures params.f);
+    let rng = Engine.Driver.rng_of_seed seed in
+    let queues = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        if Hashtbl.mem queues s.client then
+          invalid_arg "Workload.run_scripts: duplicate client script";
+        Hashtbl.replace queues s.client s.ops)
+      scripts;
+    let to_fail = ref failures in
+    let steps = ref 0 in
+    let rec loop c =
+      incr steps;
+      if !steps > max_steps then c
+      else begin
+        (* maybe crash a server *)
+        let c =
+          match !to_fail with
+          | s :: rest when Random.State.int rng 100 < 2 ->
+              to_fail := rest;
+              E.fail_server c s
+          | _ -> c
+        in
+        (* maybe invoke pending scripts *)
+        let c =
+          Hashtbl.fold
+            (fun client ops c ->
+              match ops with
+              | op :: rest
+                when Option.is_none (E.pending_op c client)
+                     && Random.State.bool rng ->
+                  Hashtbl.replace queues client rest;
+                  snd (E.invoke algo c ~client op)
+              | _ -> c)
+            queues c
+        in
+        (* one delivery step *)
+        let acts = E.enabled_arr c in
+        let c, progressed =
+          match acts with
+          | [||] -> (c, false)
+          | _ -> (
+              let act = acts.(Random.State.int rng (Array.length acts)) in
+              match E.step_deliver algo c act with
+              | Some c' ->
+                  (match observer with Some f -> f c' | None -> ());
+                  (c', true)
+              | None -> (c, false))
+        in
+        let scripts_left = Hashtbl.fold (fun _ ops acc -> acc || ops <> []) queues false in
+        let pending_left =
+          List.exists
+            (fun s -> Option.is_some (E.pending_op c s.client))
+            scripts
+        in
+        if (not progressed) && not scripts_left then c
+        else if (not scripts_left) && not pending_left then c
+        else loop c
+      end
+    in
+    loop config
+
+  (** The maximal-concurrency pattern behind the Figure 1 x-axis:
+      [nu] distinct writers all invoke distinct values before any message
+      is delivered, so all [nu] writes are simultaneously active; then the
+      system runs fairly until all complete.  Returns the final config. *)
+  let concurrent_writes ?observer ?max_steps algo config ~values ~seed =
+    let rng = Engine.Driver.rng_of_seed seed in
+    let c, clients =
+      List.fold_left
+        (fun (c, clients) (client, v) ->
+          let _, c = E.invoke algo c ~client (Write v) in
+          (c, client :: clients))
+        (config, [])
+        (List.mapi (fun i v -> (i, v)) values)
+    in
+    let stop c =
+      List.for_all
+        (fun cl -> Option.is_none (E.pending_op c cl))
+        clients
+    in
+    let c, outcome = D.run ?observer ?max_steps algo c ~rng ~stop in
+    match outcome with
+    | Engine.Driver.Stopped -> c
+    | Engine.Driver.Quiescent | Engine.Driver.Starved | Engine.Driver.Step_limit
+      ->
+        failwith "Workload.concurrent_writes: writes did not all terminate"
+end
+
+include Make (Engine.Config)
+module Arena = Make (Engine.Mconfig)
 
 (** Crash schedule: [f] distinct random servers. *)
 let random_failures ~n ~f ~seed =

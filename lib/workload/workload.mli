@@ -3,7 +3,13 @@
     The paper's bounds quantify over execution families — fair
     executions with at most [f] failures, executions with at most [nu]
     active writes (Theorem 6.5).  This module generates members of
-    those families against a concrete algorithm. *)
+    those families against a concrete algorithm.
+
+    The generators are engine-independent; the drivers are functorized
+    over {!Engine.Engine_sig.S} and instantiated for both engines.  The
+    toplevel [run_scripts]/[concurrent_writes] run on the pure engine
+    (existing callers unchanged); {!Arena} runs the same drivers on the
+    mutable arena engine with zero per-step allocation. *)
 
 val unique_values : count:int -> len:int -> seed:int -> string list
 (** Pairwise-distinct printable values of exactly [len] bytes,
@@ -19,38 +25,54 @@ val small_domain : base:int -> len:int -> string list
 (** A per-client operation script. *)
 type script = { client : int; ops : Engine.Types.op list }
 
-val run_scripts :
-  ?observer:(('ss, 'cs, 'm) Engine.Config.t -> unit) ->
-  ?max_steps:int ->
-  ?failures:int list ->
-  ?allow_over_f:bool ->
-  ('ss, 'cs, 'm) Engine.Types.algo ->
-  ('ss, 'cs, 'm) Engine.Config.t ->
-  script list ->
-  seed:int ->
-  ('ss, 'cs, 'm) Engine.Config.t
-(** Run all scripts to completion with random overlap; servers in
-    [failures] crash at random points.  The final configuration's
-    history is the workload's concurrent history.
-    @raise Invalid_argument on duplicate client scripts, on duplicate
-    or out-of-range entries in [failures], and when
-    [List.length failures > f] without [~allow_over_f:true]
-    (intentional over-crash runs must opt in; prefer
-    [Faults.Injector], whose starvation oracle turns the resulting
-    non-termination into a structured verdict). *)
+(** The engine-generic drivers.  [cfg] is the configuration type of the
+    underlying engine; with the arena engine the observer sees the same
+    mutable value at every call — snapshot it if it must outlive the
+    run. *)
+module type DRIVERS = sig
+  type ('ss, 'cs, 'm) cfg
 
-val concurrent_writes :
-  ?observer:(('ss, 'cs, 'm) Engine.Config.t -> unit) ->
-  ?max_steps:int ->
-  ('ss, 'cs, 'm) Engine.Types.algo ->
-  ('ss, 'cs, 'm) Engine.Config.t ->
-  values:string list ->
-  seed:int ->
-  ('ss, 'cs, 'm) Engine.Config.t
-(** The maximal-concurrency pattern of the Figure 1 x-axis: client [i]
-    writes the [i]-th value, all invoked before any delivery, so all
-    writes are simultaneously active; runs until all complete.
-    @raise Failure when some write does not terminate. *)
+  val run_scripts :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ?failures:int list ->
+    ?allow_over_f:bool ->
+    ('ss, 'cs, 'm) Engine.Types.algo ->
+    ('ss, 'cs, 'm) cfg ->
+    script list ->
+    seed:int ->
+    ('ss, 'cs, 'm) cfg
+  (** Run all scripts to completion with random overlap; servers in
+      [failures] crash at random points.  The final configuration's
+      history is the workload's concurrent history.
+      @raise Invalid_argument on duplicate client scripts, on duplicate
+      or out-of-range entries in [failures], and when
+      [List.length failures > f] without [~allow_over_f:true]
+      (intentional over-crash runs must opt in; prefer
+      [Faults.Injector], whose starvation oracle turns the resulting
+      non-termination into a structured verdict). *)
+
+  val concurrent_writes :
+    ?observer:(('ss, 'cs, 'm) cfg -> unit) ->
+    ?max_steps:int ->
+    ('ss, 'cs, 'm) Engine.Types.algo ->
+    ('ss, 'cs, 'm) cfg ->
+    values:string list ->
+    seed:int ->
+    ('ss, 'cs, 'm) cfg
+  (** The maximal-concurrency pattern of the Figure 1 x-axis: client [i]
+      writes the [i]-th value, all invoked before any delivery, so all
+      writes are simultaneously active; runs until all complete.
+      @raise Failure when some write does not terminate. *)
+end
+
+module Make (E : Engine.Engine_sig.S) :
+  DRIVERS with type ('ss, 'cs, 'm) cfg := ('ss, 'cs, 'm) E.t
+
+include DRIVERS with type ('ss, 'cs, 'm) cfg := ('ss, 'cs, 'm) Engine.Config.t
+
+module Arena :
+  DRIVERS with type ('ss, 'cs, 'm) cfg := ('ss, 'cs, 'm) Engine.Mconfig.t
 
 val random_failures : n:int -> f:int -> seed:int -> int list
 (** [f] distinct random server indices. *)

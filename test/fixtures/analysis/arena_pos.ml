@@ -1,0 +1,38 @@
+(* SA2 arena-tier fixture: a miniature engine whose delivery step path
+   allocates.  The test places this file at lib/engine/engine.ml so the
+   node ids read Engine.Mconfig.* / Engine.Driver.* and both the arena
+   and engine-hot closure restrictions see them.  Callees live in
+   sibling modules so the call sites are dotted references the
+   callgraph resolves under the unit namespace.
+
+   [Arena.record] allocates in straight-line code (no loop) and is
+   reached from Mconfig.step_deliver{,_n}: only the arena tier may flag
+   it.  [Dhelp.helper] does the same shape under the engine-hot seeds
+   (Driver callees), where the loop-only policy must stay silent. *)
+
+module Arena = struct
+  type t = { mutable hist : int array; mutable len : int }
+
+  let record t x =
+    let grown = Array.make (t.len + 1) x in
+    t.hist <- grown;
+    t.len <- t.len + 1
+end
+
+module Mconfig = struct
+  let step_deliver t x =
+    Arena.record t x;
+    Some t
+
+  let step_deliver_n t x =
+    Arena.record t x;
+    (t, 1)
+end
+
+module Dhelp = struct
+  let helper x = Array.make 4 x
+end
+
+module Driver = struct
+  let run x = Dhelp.helper x
+end

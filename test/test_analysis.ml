@@ -88,6 +88,27 @@ let test_sa2_clean () =
     "reuse-style code is silent" []
     (List.map Lint.Diagnostic.to_string (Analysis.Sa2_alloc.check ctx))
 
+(* Arena tier: an allocation transitively reachable from
+   Mconfig.step_deliver{,_n} is flagged even in straight-line code,
+   while the engine-hot tier (Driver callees) stays loop-only. *)
+let test_sa2_arena_tier () =
+  let ctx =
+    compile_ctx "alloc-arena" [ ("arena_pos.ml", "lib/engine/engine.ml") ]
+  in
+  let ds = Analysis.Sa2_alloc.check ctx in
+  Alcotest.(check bool)
+    "straight-line alloc on the step path caught" true
+    (has_code "alloc-on-step-path" ds);
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        "only the step-path code fires" "alloc-on-step-path"
+        d.Lint.Diagnostic.code;
+      Alcotest.(check bool)
+        "the allocating callee is named" true
+        (contains d.Lint.Diagnostic.message "Engine.Arena.record"))
+    ds
+
 (* The runner drops the (* sa: allow sub-copy *)-suppressed finding and
    keeps the rest; no marker in alloc_pos is stale. *)
 let test_runner_suppression () =
@@ -437,6 +458,8 @@ let () =
         [
           Alcotest.test_case "all codes fire" `Quick test_sa2_all_codes;
           Alcotest.test_case "clean unit silent" `Quick test_sa2_clean;
+          Alcotest.test_case "arena tier flags straight-line allocs" `Quick
+            test_sa2_arena_tier;
         ] );
       ( "runner",
         [

@@ -1,0 +1,317 @@
+(* Differential tests: the mutable arena engine (Mconfig) against the
+   pure engine (Config) as oracle.  Both are driven in lockstep by one
+   shared decision stream — invocations, crashes, freeze/thaw, and
+   uniformly-picked deliveries — and every observable is compared at
+   every step: encode_state bytes, histories, storage counters, enabled
+   sets, pending operations.  Backtracking is exercised by excursions:
+   mark the arena journal, walk forward on both engines, undo the arena
+   back to the mark and compare it against the retained pure value
+   (persistence makes the oracle's snapshot free).
+
+   Under SMEC_ENGINE_CANARY=1 the arena deliberately corrupts its first
+   server-state restore per undo, so this suite MUST fail — check.sh
+   asserts that. *)
+
+open Engine
+
+(* ----- comparison helpers ----- *)
+
+let buf_p = Buffer.create 4096
+let buf_a = Buffer.create 4096
+
+let digest_pure algo c =
+  Buffer.clear buf_p;
+  Config.encode_state ~into:buf_p algo c;
+  Buffer.contents buf_p
+
+let digest_arena algo t =
+  Buffer.clear buf_a;
+  Mconfig.encode_state ~into:buf_a algo t;
+  Buffer.contents buf_a
+
+let first_diff a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let frag s i =
+  let lo = max 0 (i - 12) in
+  let hi = min (String.length s) (i + 24) in
+  String.sub s lo (hi - lo)
+
+let check_digest ~ctx algo p a =
+  let dp = digest_pure algo p and da = digest_arena algo a in
+  if not (String.equal dp da) then
+    let i = first_diff dp da in
+    Alcotest.failf "%s: encode_state diverges at byte %d: pure ...%S... arena ...%S..."
+      ctx i (frag dp i) (frag da i)
+
+let check_equal ~ctx algo p a =
+  check_digest ~ctx algo p a;
+  if Config.time p <> Mconfig.time a then
+    Alcotest.failf "%s: time %d vs %d" ctx (Config.time p) (Mconfig.time a);
+  if Config.history p <> Mconfig.history a then
+    Alcotest.failf "%s: histories diverge (lengths %d vs %d)" ctx
+      (List.length (Config.history p))
+      (List.length (Mconfig.history a));
+  if Config.failed p <> Mconfig.failed a then Alcotest.failf "%s: failed sets diverge" ctx;
+  if Config.enabled_arr p <> Mconfig.enabled_arr a then
+    Alcotest.failf "%s: enabled_arr diverges (%d vs %d actions)" ctx
+      (Array.length (Config.enabled_arr p))
+      (Array.length (Mconfig.enabled_arr a));
+  if Config.total_storage_bits algo p <> Mconfig.total_storage_bits algo a then
+    Alcotest.failf "%s: total_storage_bits %d vs %d" ctx
+      (Config.total_storage_bits algo p)
+      (Mconfig.total_storage_bits algo a);
+  if Config.max_storage_bits algo p <> Mconfig.max_storage_bits algo a then
+    Alcotest.failf "%s: max_storage_bits diverges" ctx;
+  for j = 0 to Config.num_clients p - 1 do
+    if Config.pending_op p j <> Mconfig.pending_op a j then
+      Alcotest.failf "%s: pending_op %d diverges" ctx j
+  done
+
+(* ----- shared decision stream ----- *)
+
+let random_value rng len = String.init len (fun _ -> Char.chr (97 + Random.State.int rng 26))
+
+let random_endpoint rng p nc =
+  let n = (Config.params p).Types.n in
+  let i = Random.State.int rng (n + nc) in
+  if i < n then Types.Server i else Types.Client (i - n)
+
+(* One lockstep step.  Decisions are computed from the pure oracle's
+   state only, then applied to both engines. *)
+let lockstep (type ss cs m) (algo : (ss, cs, m) Types.algo) ~writers ~rng step p a =
+  let prm = Config.params p in
+  let nc = Config.num_clients p in
+  let ctx = Printf.sprintf "%s step %d" algo.Types.name step in
+  let roll = Random.State.int rng 100 in
+  let idle = List.filter (fun j -> Config.pending_op p j = None) (List.init nc Fun.id) in
+  let crashable =
+    List.filter (fun i -> not (Config.is_failed p i)) (List.init prm.Types.n Fun.id)
+  in
+  let deliver () =
+    match Config.enabled_arr p with
+    | [||] -> (p, a)
+    | acts ->
+        let act = acts.(Random.State.int rng (Array.length acts)) in
+        let p' =
+          match Config.step_deliver algo p act with
+          | Some p' -> p'
+          | None -> Alcotest.failf "%s: pure refused enabled action" ctx
+        in
+        let a' =
+          match Mconfig.step_deliver algo a act with
+          | Some a' -> a'
+          | None -> Alcotest.failf "%s: arena refused enabled action" ctx
+        in
+        (p', a')
+  in
+  let p', a' =
+    if roll < 10 && idle <> [] then (
+      let j = List.nth idle (Random.State.int rng (List.length idle)) in
+      let op =
+        if List.mem j writers then Types.Write (random_value rng prm.Types.value_len)
+        else Types.Read
+      in
+      let id_p, p' = Config.invoke algo p ~client:j op in
+      let id_a, a' = Mconfig.invoke algo a ~client:j op in
+      if id_p <> id_a then Alcotest.failf "%s: op_id %d vs %d" ctx id_p id_a;
+      (p', a'))
+    else if roll < 13 && List.length (Config.failed p) < prm.Types.f && crashable <> []
+    then (
+      let i = List.nth crashable (Random.State.int rng (List.length crashable)) in
+      (Config.fail_server p i, Mconfig.fail_server a i))
+    else if roll < 19 then (
+      let e = random_endpoint rng p nc in
+      (Config.freeze p e, Mconfig.freeze a e))
+    else if roll < 25 then (
+      let e = random_endpoint rng p nc in
+      (Config.thaw p e, Mconfig.thaw a e))
+    else deliver ()
+  in
+  check_equal ~ctx algo p' a';
+  (p', a')
+
+(* Forward-only walk, journal off: the zero-allocation path. *)
+let walk (type ss cs m) (algo : (ss, cs, m) Types.algo) prm ~clients ~writers ~seed ~steps
+    =
+  let rng = Random.State.make [| seed; 0xd1ff |] in
+  let p = ref (Config.make algo prm ~clients) in
+  let a = Mconfig.make algo prm ~clients in
+  check_equal ~ctx:(algo.Types.name ^ " initial") algo !p a;
+  let ar = ref a in
+  for step = 1 to steps do
+    let p', a' = lockstep algo ~writers ~rng step !p !ar in
+    p := p';
+    ar := a'
+  done
+
+(* Walk with backtracking excursions: every [period] steps, mark the
+   arena, walk both engines [depth] further steps, undo the arena to
+   the mark and compare against the retained pure value; then resume
+   the main walk from the pre-excursion point on both engines. *)
+let walk_undo (type ss cs m) (algo : (ss, cs, m) Types.algo) prm ~clients ~writers ~seed
+    ~steps ~period ~depth =
+  let rng = Random.State.make [| seed; 0xbac6 |] in
+  let p = ref (Config.make algo prm ~clients) in
+  let a = Mconfig.make algo prm ~clients in
+  Mconfig.set_journal a true;
+  let ar = ref a in
+  for step = 1 to steps do
+    let p', a' = lockstep algo ~writers ~rng step !p !ar in
+    p := p';
+    ar := a';
+    if step mod period = 0 then begin
+      let p0 = Config.snapshot !p in
+      let m0 = Mconfig.mark !ar in
+      let ex = Random.State.make [| Random.State.bits rng; 0xe8c |] in
+      let pe = ref !p and ae = ref !ar in
+      for estep = 1 to depth do
+        let p', a' = lockstep algo ~writers ~rng:ex (1000 + estep) !pe !ae in
+        pe := p';
+        ae := a'
+      done;
+      Mconfig.undo_to !ar m0;
+      check_equal ~ctx:(Printf.sprintf "%s undo@%d" algo.Types.name step) algo p0 !ar;
+      p := p0
+    end
+  done
+
+(* The fused scheduler loop: both engines consume identically-seeded
+   RNG streams, so steps, stop reason and final state must agree. *)
+let fused (type ss cs m) (algo : (ss, cs, m) Types.algo) prm ~clients ~writers ~seed =
+  let invoke_all mk_invoke cfg =
+    List.fold_left
+      (fun (c, j) w ->
+        let op =
+          if List.mem w writers then Types.Write (random_value (Random.State.make [| seed; w |]) prm.Types.value_len)
+          else Types.Read
+        in
+        let _, c' = mk_invoke c w op in
+        (c', j + 1))
+      (cfg, 0)
+      (List.init clients Fun.id)
+    |> fst
+  in
+  let p = invoke_all (fun c w op -> Config.invoke algo c ~client:w op) (Config.make algo prm ~clients) in
+  let a = invoke_all (fun c w op -> Mconfig.invoke algo c ~client:w op) (Mconfig.make algo prm ~clients) in
+  let rng_p = Random.State.make [| seed; 0xf5ed |] in
+  let rng_a = Random.State.make [| seed; 0xf5ed |] in
+  let obs_p = ref 0 and obs_a = ref 0 in
+  let p', sp, rp =
+    Config.step_deliver_n ~observer:(fun _ -> incr obs_p) algo p ~rng:rng_p ~max:5000
+  in
+  let a', sa, ra =
+    Mconfig.step_deliver_n ~observer:(fun _ -> incr obs_a) algo a ~rng:rng_a ~max:5000
+  in
+  Alcotest.(check int) (algo.Types.name ^ " fused steps") sp sa;
+  Alcotest.(check bool) (algo.Types.name ^ " fused stop reason") true (rp = ra);
+  Alcotest.(check int) (algo.Types.name ^ " fused observer calls") !obs_p !obs_a;
+  check_equal ~ctx:(algo.Types.name ^ " fused final") algo p' a'
+
+(* ----- per-algorithm instances (geometry mirrors the hammer setups) ----- *)
+
+type runner = {
+  run :
+    'ss 'cs 'm.
+    ('ss, 'cs, 'm) Types.algo -> Types.params -> clients:int -> writers:int list -> unit;
+}
+
+let algos_walk { run } =
+  run Algorithms.Abd.algo (Types.params ~n:3 ~f:1 ~value_len:4 ()) ~clients:3
+    ~writers:[ 0 ];
+  run Algorithms.Abd_mw.algo (Types.params ~n:3 ~f:1 ~value_len:4 ()) ~clients:4
+    ~writers:[ 0; 1 ];
+  run Algorithms.Cas.algo
+    (Types.params ~n:4 ~f:1 ~k:2 ~delta:4 ~value_len:6 ())
+    ~clients:4 ~writers:[ 0; 1 ];
+  run Algorithms.Gossip_rep.algo (Types.params ~n:3 ~f:1 ~value_len:4 ()) ~clients:3
+    ~writers:[ 0 ];
+  run Algorithms.Awe.algo
+    (Types.params ~n:4 ~f:1 ~k:2 ~delta:4 ~value_len:6 ())
+    ~clients:4 ~writers:[ 0; 1 ]
+
+let test_forward_walks () =
+  algos_walk { run = (fun a p ~clients ~writers -> walk a p ~clients ~writers ~seed:42 ~steps:400) }
+
+let test_undo_walks () =
+  algos_walk
+    {
+      run =
+        (fun a p ~clients ~writers ->
+          walk_undo a p ~clients ~writers ~seed:7 ~steps:200 ~period:17 ~depth:12);
+    }
+
+let test_fused_loops () =
+  algos_walk { run = (fun a p ~clients ~writers -> fused a p ~clients ~writers ~seed:5) }
+
+(* Nested marks unwind in LIFO order. *)
+let test_nested_marks () =
+  let algo = Algorithms.Abd_mw.algo in
+  let prm = Types.params ~n:3 ~f:1 ~value_len:3 () in
+  let rng = Random.State.make [| 99; 0xdeed |] in
+  let p = ref (Config.make algo prm ~clients:3) in
+  let a = Mconfig.make algo prm ~clients:3 in
+  Mconfig.set_journal a true;
+  let ar = ref a in
+  let advance k =
+    for step = 1 to k do
+      let p', a' = lockstep algo ~writers:[ 0; 1 ] ~rng step !p !ar in
+      p := p';
+      ar := a'
+    done
+  in
+  advance 20;
+  let p1 = !p and m1 = Mconfig.mark !ar in
+  advance 15;
+  let p2 = !p and m2 = Mconfig.mark !ar in
+  advance 15;
+  Mconfig.undo_to !ar m2;
+  check_equal ~ctx:"nested inner undo" algo p2 !ar;
+  Mconfig.undo_to !ar m1;
+  check_equal ~ctx:"nested outer undo" algo p1 !ar;
+  p := p1;
+  advance 25
+
+(* reset reuses the arena and lands byte-identical to a fresh make. *)
+let test_reset () =
+  let algo = Algorithms.Cas.algo in
+  let prm = Types.params ~n:4 ~f:1 ~k:2 ~delta:4 ~value_len:6 () in
+  let rng = Random.State.make [| 3; 0x5e7 |] in
+  let p = ref (Config.make algo prm ~clients:4) in
+  let a = ref (Mconfig.make algo prm ~clients:4) in
+  for step = 1 to 120 do
+    let p', a' = lockstep algo ~writers:[ 0; 1 ] ~rng step !p !a in
+    p := p';
+    a := a'
+  done;
+  let a' = Mconfig.reset algo !a in
+  check_equal ~ctx:"reset vs fresh" algo (Config.make algo prm ~clients:4) a'
+
+(* qcheck: any seed produces byte-identical lockstep walks (with undo
+   excursions) on a representative gossip algorithm and on CAS. *)
+let qcheck_walks =
+  QCheck.Test.make ~name:"pure/arena lockstep equal for any seed" ~count:25
+    QCheck.small_int (fun seed ->
+      walk_undo Algorithms.Abd_mw.algo
+        (Types.params ~n:3 ~f:1 ~value_len:3 ())
+        ~clients:3 ~writers:[ 0; 1 ] ~seed ~steps:80 ~period:13 ~depth:9;
+      walk_undo Algorithms.Cas.algo
+        (Types.params ~n:4 ~f:1 ~k:2 ~delta:4 ~value_len:6 ())
+        ~clients:3 ~writers:[ 0 ] ~seed ~steps:60 ~period:11 ~depth:7;
+      true)
+
+let () =
+  Alcotest.run "engine_diff"
+    [
+      ( "lockstep",
+        [
+          Alcotest.test_case "forward walks, all algorithms" `Quick test_forward_walks;
+          Alcotest.test_case "undo excursions, all algorithms" `Quick test_undo_walks;
+          Alcotest.test_case "fused loops, all algorithms" `Quick test_fused_loops;
+          Alcotest.test_case "nested marks" `Quick test_nested_marks;
+          Alcotest.test_case "arena reset" `Quick test_reset;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_walks ]);
+    ]

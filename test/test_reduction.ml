@@ -33,13 +33,33 @@ let check_closed name (r : Explore.run_result) =
    heavyweight scopes run at one domain. *)
 let differential ?(domains_list = [ 1 ]) ?(oracle_domains = 1)
     ~name ~max_states algo params ~clients ~scripts () =
-  let run ~domains ~reduce =
-    Explore.run ~max_states ~domains ~reduce algo
+  let run ?engine ~domains ~reduce () =
+    Explore.run ~max_states ~domains ?engine ~reduce algo
       (Config.make algo params ~clients)
       ~scripts
   in
-  let oracle = run ~domains:oracle_domains ~reduce:Reduction.none in
+  (* arena-vs-pure at equal settings: the undo-log DFS must reproduce
+     the pure search's run_result exactly — same digests, so same
+     state count, terminal set and deadlock set on a closed space *)
+  let check_arena tag (r : Explore.run_result) ~reduce =
+    let ra = run ~engine:Engine_sig.Arena ~domains:1 ~reduce () in
+    check_closed (tag ^ "/arena") ra;
+    Alcotest.(check (list string))
+      (tag ^ "/arena: terminal keys")
+      (keys r.Explore.histories)
+      (keys ra.Explore.histories);
+    Alcotest.(check (list string))
+      (tag ^ "/arena: deadlock keys")
+      (keys r.Explore.deadlocks)
+      (keys ra.Explore.deadlocks);
+    Alcotest.(check int)
+      (tag ^ "/arena: states")
+      r.Explore.stats.Explore.states_explored
+      ra.Explore.stats.Explore.states_explored
+  in
+  let oracle = run ~domains:oracle_domains ~reduce:Reduction.none () in
   check_closed (name ^ "/oracle") oracle;
+  check_arena (name ^ "/none") oracle ~reduce:Reduction.none;
   List.iter
     (fun reduce ->
       List.iter
@@ -47,7 +67,7 @@ let differential ?(domains_list = [ 1 ]) ?(oracle_domains = 1)
           let tag =
             Printf.sprintf "%s/%s/d%d" name (Reduction.to_string reduce) domains
           in
-          let r = run ~domains ~reduce in
+          let r = run ~domains ~reduce () in
           check_closed tag r;
           Alcotest.(check (list string))
             (tag ^ ": terminal keys")
@@ -62,7 +82,8 @@ let differential ?(domains_list = [ 1 ]) ?(oracle_domains = 1)
             Alcotest.(check int)
               (tag ^ ": states preserved")
               oracle.Explore.stats.Explore.states_explored
-              r.Explore.stats.Explore.states_explored)
+              r.Explore.stats.Explore.states_explored;
+          if domains = 1 then check_arena tag r ~reduce)
         domains_list)
     [ Reduction.dpor; Reduction.sym; Reduction.all ]
 
