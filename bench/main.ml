@@ -48,6 +48,7 @@ let json_sched : string list ref = ref []
 let json_explore : string list ref = ref []
 let json_hammer : string list ref = ref []
 let json_engine : string list ref = ref []
+let json_serve : string list ref = ref []
 
 (* only sections that actually pushed rows appear in the file, so a
    targeted run (`main.exe hammer --json BENCH_hammer.json`) writes a
@@ -63,6 +64,7 @@ let write_json path =
         ("explore", json_explore);
         ("hammer", json_hammer);
         ("engine", json_engine);
+        ("serve", json_serve);
       ]
   in
   let oc = open_out path in
@@ -861,6 +863,143 @@ let sched_quick () =
     exit 1
   end
 
+(* ----- Wire runtime: smec serve over unix sockets ----- *)
+
+(* The serving loop and the load generator run in this one process
+   (server on a thread, client on the bench thread) over unix-domain
+   sockets, so the numbers measure the runtime itself -- framing,
+   select loops, dedup bookkeeping, trace logging, Marshal -- with no
+   network and both sides contending for the same cores.  Two rows per
+   algorithm: `capacity` drives an open-loop arrival rate far above
+   what the runtime can serve and reports the achieved ops/sec
+   (latency there is queueing, not service time, and is omitted);
+   `latency` runs well below capacity and reports honest p50/p99.
+   Every run's traces are replayed through the pure engine; a
+   refinement violation fails the bench.  `main.exe serve --json
+   BENCH_serve.json` records the rows -- see docs/TRANSPORT.md for the
+   measured numbers and their caveats. *)
+let serve_throughput () =
+  section "serve: wire runtime over unix sockets (in-process, single host)";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "smec-bench-serve-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let clients = 8 in
+  (* delta must cover the worst-case write concurrency (all clients)
+     or CAS servers GC symbols that in-flight readers still need *)
+  let params =
+    Engine.Types.params ~n:5 ~f:1 ~k:3 ~delta:clients ~value_len:16 ()
+  in
+  let addrs =
+    Array.init params.Engine.Types.n (fun i ->
+        Transport.Conn.Uds (Filename.concat dir (Printf.sprintf "s%d.sock" i)))
+  in
+  Printf.printf "%-12s %-9s %9s %9s %9s %7s %7s %7s\n" "algo" "mode" "ops/s"
+    "p50 ms" "p99 ms" "retx" "dedup" "ops";
+  List.iter
+    (fun key ->
+      Faults.Hammer.dispatch ~key ~canary:false
+        {
+          use =
+            (fun algo ->
+              List.iter
+                (fun (mode, rate, duration_s, max_wall_s) ->
+                  let strace = Filename.concat dir "server.trace"
+                  and ctrace = Filename.concat dir "client.trace" in
+                  let sw = Transport.Trace.open_writer strace in
+                  let stop = ref false and ready = ref false in
+                  let sstats = ref None in
+                  let th =
+                    Thread.create
+                      (fun () ->
+                        sstats :=
+                          Some
+                            (Transport.Server.serve algo params ~algo_key:key
+                               ~addrs ~clients ~trace:sw
+                               ~stop:(fun () -> !stop)
+                               ~on_ready:(fun () -> ready := true)
+                               ()))
+                      ()
+                  in
+                  while not !ready do
+                    Thread.delay 0.002
+                  done;
+                  let cw = Transport.Trace.open_writer ctrace in
+                  let gen =
+                    Workload.Open_loop.make ~rate ~read_pct:50 ~value_len:16
+                      ~seed:11
+                  in
+                  let cs =
+                    Transport.Client.run algo params ~addrs ~clients
+                      ~source:(Transport.Client.Load { gen; duration_s })
+                      ~seed:11 ~op_deadline_s:30.0 ~drain_s:30.0 ~max_wall_s
+                      ~trace:cw ()
+                  in
+                  Transport.Trace.close cw;
+                  stop := true;
+                  Thread.join th;
+                  Transport.Trace.close sw;
+                  let ss =
+                    match !sstats with
+                    | Some s -> s
+                    | None ->
+                        print_endline "serve bench: server thread died";
+                        exit 1
+                  in
+                  let _, server_events = Transport.Trace.load strace in
+                  let _, client_events = Transport.Trace.load ctrace in
+                  let r =
+                    Transport.Refine.run algo params ~clients ~server_events
+                      ~client_streams:[ client_events ]
+                  in
+                  if not r.Transport.Refine.ok then begin
+                    Format.printf "serve bench: refinement violation@.%a@."
+                      Transport.Refine.pp_report r;
+                    exit 1
+                  end;
+                  let ops_per_sec =
+                    float_of_int cs.Transport.Client.completed
+                    /. Float.max cs.Transport.Client.wall_s 1e-9
+                  in
+                  let saturated = String.equal mode "capacity" in
+                  let p50_ms = 1e3 *. cs.Transport.Client.p50_s
+                  and p99_ms = 1e3 *. cs.Transport.Client.p99_s in
+                  if saturated then
+                    Printf.printf "%-12s %-9s %9.0f %9s %9s %7d %7d %7d\n" key
+                      mode ops_per_sec "-" "-" cs.Transport.Client.retransmits
+                      ss.Transport.Server.dedup_hits
+                      cs.Transport.Client.completed
+                  else
+                    Printf.printf "%-12s %-9s %9.0f %9.2f %9.2f %7d %7d %7d\n"
+                      key mode ops_per_sec p50_ms p99_ms
+                      cs.Transport.Client.retransmits
+                      ss.Transport.Server.dedup_hits
+                      cs.Transport.Client.completed;
+                  json_serve :=
+                    Printf.sprintf
+                      {|{"algo": %S, "mode": %S, "ops_per_sec": %.1f, "p50_ms": %.3f, "p99_ms": %.3f, "completed": %d, "starved": %d, "retransmits": %d, "reconnects": %d, "dedup_hits": %d, "refined_events": %d, "bits_mismatches": %d}|}
+                      key mode ops_per_sec
+                      (if saturated then 0.0 else p50_ms)
+                      (if saturated then 0.0 else p99_ms)
+                      cs.Transport.Client.completed cs.Transport.Client.starved
+                      cs.Transport.Client.retransmits
+                      cs.Transport.Client.reconnects
+                      ss.Transport.Server.dedup_hits r.Transport.Refine.replayed
+                      r.Transport.Refine.bits_mismatches
+                    :: !json_serve)
+                (* capacity queues rate*duration open-loop arrivals, far
+                   above single-host service capacity; max_wall bounds
+                   the run and the achieved ops/sec is what's reported *)
+                [ ("latency", 300.0, 3.0, 60.0); ("capacity", 5_000.0, 2.0, 20.0) ]);
+        })
+    [ "abd"; "cas" ];
+  print_endline
+    "(Single host, in-process server+client sharing cores; latency rows run\n\
+     at 300 ops/sec arrival, capacity rows at open-loop saturation.  Every\n\
+     run is certified by the refinement harness before its rate is printed.)"
+
 (* ----- Bechamel microbenchmarks ----- *)
 
 open Bechamel
@@ -994,6 +1133,7 @@ let sections =
     ("explore-n5", explore_n5);
     ("hammer", hammer_throughput);
     ("engine", engine_throughput);
+    ("serve", serve_throughput);
     ("bench", run_benchmarks);
   ]
 

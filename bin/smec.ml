@@ -580,6 +580,437 @@ let trace_cmd =
        ~doc:"Draw one execution as an ASCII message-sequence chart.")
     Term.(const run $ algo $ n $ f $ seed_arg)
 
+(* ----- wire runtime: serve / load / client / nemesis / refine ----- *)
+
+let install_stop () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = ref false in
+  let h = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigint h;
+  Sys.set_signal Sys.sigterm h;
+  fun () -> !stop
+
+(* [delta] (the CAS garbage collector's bound on concurrent writes)
+   must cover every client this deployment can serve, or servers GC
+   coded symbols that in-flight readers still need and those reads
+   starve on a healthy network.  Server and load invocations agree on
+   it because both derive it from --clients. *)
+let wire_params ~n ~f ~k ~value_len ~clients =
+  let k = match k with Some k -> k | None -> max 1 (n - (2 * f)) in
+  Engine.Types.params ~k ~n ~f ~value_len ~delta:(max 1 clients) ()
+
+let wire_addrs ~n ~dir ~tcp =
+  match (dir, tcp) with
+  | Some d, None ->
+      Array.init n (fun i ->
+          Transport.Conn.Uds (Filename.concat d (Printf.sprintf "s%d.sock" i)))
+  | None, Some hostbase -> (
+      match String.rindex_opt hostbase ':' with
+      | Some j -> (
+          let host = String.sub hostbase 0 j in
+          let base =
+            String.sub hostbase (j + 1) (String.length hostbase - j - 1)
+          in
+          match int_of_string_opt base with
+          | Some b when b > 0 && b + n < 65536 && String.length host > 0 ->
+              Array.init n (fun i -> Transport.Conn.Tcp (host, b + i))
+          | _ ->
+              Printf.eprintf "--tcp: expected HOST:BASEPORT, got %S\n" hostbase;
+              exit 2)
+      | None ->
+          Printf.eprintf "--tcp: expected HOST:BASEPORT, got %S\n" hostbase;
+          exit 2)
+  | Some _, Some _ ->
+      Printf.eprintf "use either --dir or --tcp, not both\n";
+      exit 2
+  | None, None ->
+      Printf.eprintf "need --dir DIR (unix sockets) or --tcp HOST:BASEPORT\n";
+      exit 2
+
+let check_algo_key key =
+  if not (List.exists (String.equal key) Faults.Hammer.algo_names) then begin
+    Printf.eprintf "unknown algorithm %S (use %s)\n" key
+      (String.concat ", " Faults.Hammer.algo_names);
+    exit 2
+  end
+
+let wire_algo_arg =
+  Arg.(
+    value & opt string "abd"
+    & info [ "algo" ] ~docv:"ALGO" ~doc:"One of abd, abd-mw, cas, gossip-rep, awe.")
+
+let wire_n_arg = Arg.(value & opt int 5 & info [ "n" ] ~docv:"N")
+let wire_f_arg = Arg.(value & opt int 1 & info [ "f" ] ~docv:"F")
+
+let wire_k_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "k" ] ~docv:"K" ~doc:"Erasure-code dimension (default max 1 (n-2f)).")
+
+let value_len_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "value-len" ] ~docv:"BYTES" ~doc:"Length of every written value.")
+
+let dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:"Unix-socket directory: server i listens at DIR/si.sock.")
+
+let tcp_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:BASE" ~doc:"TCP: server i at port BASE+i.")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write the wire trace for smec refine to FILE.")
+
+let serve_cmd =
+  let run algo_key n f k value_len clients dir tcp trace_path =
+    check_algo_key algo_key;
+    let params = wire_params ~n ~f ~k ~value_len ~clients in
+    let addrs = wire_addrs ~n ~dir ~tcp in
+    let canary =
+      match Sys.getenv_opt "SMEC_SERVE_CANARY" with
+      | Some "1" -> true
+      | Some _ | None -> false
+    in
+    let stop = install_stop () in
+    let trace = Option.map Transport.Trace.open_writer trace_path in
+    Printf.printf "serve: algo=%s n=%d f=%d k=%d value_len=%d clients<=%d%s\n%!"
+      algo_key n f params.Engine.Types.k value_len clients
+      (if canary then "  [CANARY ARMED]" else "");
+    let stats =
+      Faults.Hammer.dispatch ~key:algo_key ~canary:false
+        {
+          use =
+            (fun algo ->
+              Transport.Server.serve algo params ~algo_key ~addrs ~clients
+                ~canary ?trace ~stop ());
+        }
+    in
+    Option.iter Transport.Trace.close trace;
+    let bp = Bounds.params ~n ~f in
+    Printf.printf
+      "serve: applies=%d (gossip %d) dedup_hits=%d canary_fires=%d accepts=%d\n\
+       serve: frames in/out %d/%d, bytes in/out %d/%d, trace events %d\n\
+       serve: peak storage %d bits total, %d bits max-server, %.3f x value_len \
+       (singleton lower bound %.3f)\n"
+      stats.Transport.Server.applies stats.Transport.Server.gossip_applies
+      stats.Transport.Server.dedup_hits stats.Transport.Server.canary_fires
+      stats.Transport.Server.accepts stats.Transport.Server.frames_in
+      stats.Transport.Server.frames_out stats.Transport.Server.bytes_in
+      stats.Transport.Server.bytes_out stats.Transport.Server.trace_events
+      stats.Transport.Server.peak_total_bits
+      stats.Transport.Server.peak_max_server_bits
+      stats.Transport.Server.peak_norm (Bounds.norm_singleton bp)
+  in
+  let clients =
+    Arg.(
+      value & opt int 16
+      & info [ "clients" ] ~docv:"C" ~doc:"Upper bound on wire client ids.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Host all n servers of one emulated register on real sockets \
+          (SMEC_SERVE_CANARY=1 plants a dedup double-apply for the \
+          refinement harness to catch).  Stop with SIGINT/SIGTERM.")
+    Term.(
+      const run $ wire_algo_arg $ wire_n_arg $ wire_f_arg $ wire_k_arg
+      $ value_len_arg $ clients $ dir_arg $ tcp_arg $ trace_arg)
+
+let load_stats_json ~algo_key (s : Transport.Client.stats) =
+  let ops_per_sec =
+    if s.wall_s > 0.0 then float_of_int s.completed /. s.wall_s else 0.0
+  in
+  Printf.sprintf
+    {|{"algo": "%s", "invoked": %d, "completed": %d, "late": %d, "starved": %d, "quorum_lost": %d, "client_cut_off": %d, "no_progress": %d, "retransmits": %d, "reconnects": %d, "dup_replies": %d, "frames_in": %d, "frames_out": %d, "wall_s": %.3f, "ops_per_sec": %.1f, "mean_latency_s": %.6f, "p50_s": %.6f, "p99_s": %.6f, "max_latency_s": %.6f}|}
+    algo_key s.invoked s.completed s.late_completions s.starved s.quorum_lost
+    s.client_cut_off s.no_progress s.retransmits s.reconnects s.dup_replies
+    s.frames_in s.frames_out s.wall_s ops_per_sec s.mean_latency_s s.p50_s
+    s.p99_s s.max_latency_s
+
+let load_cmd =
+  let run algo_key n f k value_len clients client_base dir tcp rate read_pct
+      duration seed deadline retransmit trace_path json =
+    check_algo_key algo_key;
+    let params = wire_params ~n ~f ~k ~value_len ~clients in
+    let addrs = wire_addrs ~n ~dir ~tcp in
+    let (_ : unit -> bool) = install_stop () in
+    let trace = Option.map Transport.Trace.open_writer trace_path in
+    let gen =
+      Workload.Open_loop.make ~rate ~read_pct ~value_len ~seed
+    in
+    let stats =
+      Faults.Hammer.dispatch ~key:algo_key ~canary:false
+        {
+          use =
+            (fun algo ->
+              Transport.Client.run algo params ~addrs ~clients ~client_base
+                ~source:
+                  (Transport.Client.Load { gen; duration_s = duration })
+                ~seed ~op_deadline_s:deadline ~retransmit_s:retransmit ?trace
+                ());
+        }
+    in
+    Option.iter Transport.Trace.close trace;
+    print_string (load_stats_json ~algo_key stats);
+    print_newline ();
+    (match json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (load_stats_json ~algo_key stats);
+        output_string oc "\n";
+        close_out oc
+    | None -> ());
+    if stats.Transport.Client.no_progress > 0 then exit 1
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"C" ~doc:"Virtual clients in this process.")
+  in
+  let client_base =
+    Arg.(
+      value & opt int 0
+      & info [ "client-base" ] ~docv:"BASE"
+          ~doc:"First wire client id (distinct per load process).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 500.0
+      & info [ "rate" ] ~docv:"OPS" ~doc:"Open-loop arrival rate, ops/second.")
+  in
+  let read_pct =
+    Arg.(
+      value & opt int 50
+      & info [ "read-pct" ] ~docv:"PCT" ~doc:"Percentage of reads.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Load duration.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 5.0
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-operation deadline.")
+  in
+  let retransmit =
+    Arg.(
+      value & opt float 0.25
+      & info [ "retransmit" ] ~docv:"SECONDS"
+          ~doc:"Base retransmission interval (backs off per link).")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the stats JSON to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive open-loop read/write load against smec serve, with \
+          supervised reconnects, deadlines and retransmission; prints a \
+          stats JSON line.  Exit 1 on a no-progress starvation (a liveness \
+          bug).")
+    Term.(
+      const run $ wire_algo_arg $ wire_n_arg $ wire_f_arg $ wire_k_arg
+      $ value_len_arg $ clients $ client_base $ dir_arg $ tcp_arg $ rate
+      $ read_pct $ duration $ seed_arg $ deadline $ retransmit $ trace_arg
+      $ json)
+
+let client_cmd =
+  let run algo_key n f k value_len dir tcp client op_str seed deadline
+      trace_path =
+    check_algo_key algo_key;
+    let params = wire_params ~n ~f ~k ~value_len ~clients:1 in
+    let addrs = wire_addrs ~n ~dir ~tcp in
+    let (_ : unit -> bool) = install_stop () in
+    let op =
+      if String.equal op_str "read" then Engine.Types.Read
+      else
+        match String.index_opt op_str ':' with
+        | Some i when String.equal (String.sub op_str 0 i) "write" ->
+            let v = String.sub op_str (i + 1) (String.length op_str - i - 1) in
+            let v =
+              if String.length v >= value_len then String.sub v 0 value_len
+              else v ^ String.make (value_len - String.length v) '.'
+            in
+            Engine.Types.Write v
+        | _ ->
+            Printf.eprintf "--op: expected read or write:VALUE, got %S\n" op_str;
+            exit 2
+    in
+    let trace = Option.map Transport.Trace.open_writer trace_path in
+    let stats =
+      Faults.Hammer.dispatch ~key:algo_key ~canary:false
+        {
+          use =
+            (fun algo ->
+              Transport.Client.run algo params ~addrs ~clients:1
+                ~client_base:client
+                ~source:(Transport.Client.Script [| [ op ] |])
+                ~seed ~op_deadline_s:deadline ~max_wall_s:(deadline +. 5.0)
+                ?trace ());
+        }
+    in
+    Option.iter Transport.Trace.close trace;
+    match stats.Transport.Client.responses with
+    | (_, Engine.Types.Read_ack v) :: _ -> Printf.printf "read: %S\n" v
+    | (_, Engine.Types.Write_ack) :: _ -> print_string "write: ok\n"
+    | [] ->
+        Printf.eprintf "operation did not complete (starved=%d: %s)\n"
+          stats.Transport.Client.starved
+          (if stats.Transport.Client.client_cut_off > 0 then
+             "no server reachable"
+           else if stats.Transport.Client.quorum_lost > 0 then "quorum lost"
+           else "no progress");
+        exit 1
+  in
+  let client =
+    Arg.(
+      value & opt int 0 & info [ "client" ] ~docv:"ID" ~doc:"Wire client id.")
+  in
+  let op =
+    Arg.(
+      value & opt string "read"
+      & info [ "op" ] ~docv:"OP" ~doc:"read, or write:VALUE.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 5.0
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Operation deadline.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Run one read or write against smec serve and print the result.")
+    Term.(
+      const run $ wire_algo_arg $ wire_n_arg $ wire_f_arg $ wire_k_arg
+      $ value_len_arg $ dir_arg $ tcp_arg $ client $ op $ seed_arg $ deadline
+      $ trace_arg)
+
+let nemesis_cmd =
+  let run n listen_dir listen_tcp forward_dir forward_tcp plan_str seed =
+    let listen = wire_addrs ~n ~dir:listen_dir ~tcp:listen_tcp in
+    let forward = wire_addrs ~n ~dir:forward_dir ~tcp:forward_tcp in
+    let plan =
+      match Faults.Plan.of_string plan_str with
+      | p -> p
+      | exception Invalid_argument msg ->
+          Printf.eprintf "--plan: %s\n" msg;
+          exit 2
+    in
+    let stop = install_stop () in
+    Printf.printf "nemesis: %d proxies, plan %s\n%!" n
+      (if Faults.Plan.is_empty plan then "(empty)"
+       else Faults.Plan.to_string plan);
+    let stats = Transport.Nemesis.run ~listen ~forward ~plan ~seed ~stop () in
+    Printf.printf
+      "nemesis: pairs=%d forwarded=%d dropped=%d duplicated=%d delayed=%d \
+       reordered=%d severed=%d\n"
+      stats.Transport.Nemesis.pairs_opened stats.Transport.Nemesis.forwarded
+      stats.Transport.Nemesis.dropped stats.Transport.Nemesis.duplicated
+      stats.Transport.Nemesis.delayed stats.Transport.Nemesis.reordered
+      stats.Transport.Nemesis.severed
+  in
+  let listen_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "listen-dir" ] ~docv:"DIR" ~doc:"Proxy listens at DIR/si.sock.")
+  in
+  let listen_tcp =
+    Arg.(
+      value & opt (some string) None
+      & info [ "listen-tcp" ] ~docv:"HOST:BASE")
+  in
+  let forward_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "forward-dir" ] ~docv:"DIR"
+          ~doc:"Real servers at DIR/si.sock (smec serve --dir).")
+  in
+  let forward_tcp =
+    Arg.(
+      value & opt (some string) None
+      & info [ "forward-tcp" ] ~docv:"HOST:BASE")
+  in
+  let plan =
+    Arg.(
+      value & opt string ""
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan (Faults.Plan syntax); only net@... faults act here, \
+             with step/until in milliseconds, e.g. \
+             'net@0..=drop:20;net@1000..3000=delay:10-50;net@2000=sever:s1'.")
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:
+         "Frame-aware misbehaving proxy between smec load and smec serve: \
+          drops, delays, duplicates, reorders and severs scheduled by a \
+          fault plan.  Stop with SIGINT/SIGTERM.")
+    Term.(
+      const run $ wire_n_arg $ listen_dir $ listen_tcp $ forward_dir
+      $ forward_tcp $ plan $ seed_arg)
+
+let refine_cmd =
+  let run server_trace client_traces =
+    let load path =
+      match Transport.Trace.load path with
+      | r -> r
+      | exception Invalid_argument msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2
+    in
+    let header, server_events =
+      match load server_trace with
+      | Some h, evs -> (h, evs)
+      | None, _ ->
+          Printf.eprintf "%s: no trace header (need the serve-side trace)\n"
+            server_trace;
+          exit 2
+    in
+    let client_streams = List.map (fun p -> snd (load p)) client_traces in
+    let report =
+      Faults.Hammer.dispatch ~key:header.Transport.Trace.algo ~canary:false
+        {
+          use =
+            (fun algo ->
+              Transport.Refine.run algo header.Transport.Trace.params
+                ~clients:header.Transport.Trace.clients ~server_events
+                ~client_streams);
+        }
+    in
+    Format.printf "%a@." Transport.Refine.pp_report report;
+    if not report.Transport.Refine.ok then exit 1
+  in
+  let server_trace =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "server-trace" ] ~docv:"FILE" ~doc:"Trace from smec serve.")
+  in
+  let client_traces =
+    Arg.(
+      value & opt_all string []
+      & info [ "client-trace" ] ~docv:"FILE"
+          ~doc:"Trace from smec load (repeatable, one per load process).")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Replay wire traces through the pure engine: every live apply must \
+          pop the matching engine channel head and every response must \
+          match — exactly-once delivery, FIFO channels and storage-bit \
+          accounting certified.  Exit 1 on any violation.")
+    Term.(const run $ server_trace $ client_traces)
+
 let main =
   Cmd.group
     (Cmd.info "smec" ~version:Core.version
@@ -597,6 +1028,11 @@ let main =
       explore_cmd;
       hammer_cmd;
       trace_cmd;
+      serve_cmd;
+      load_cmd;
+      client_cmd;
+      nemesis_cmd;
+      refine_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -73,6 +73,10 @@ SMEC_ENGINE_CANARY=1 dune exec test/test_engine_diff.exe \
 # regression (journal left on, allocation reintroduced)
 dune exec bench/main.exe -- sched-quick
 
+# wire runtime smoke + planted dedup canary (see scripts/serve_smoke.sh):
+# a real server behind the nemesis proxy, refinement as the oracle
+sh scripts/serve_smoke.sh
+
 if [ "$quick" -eq 0 ]; then
   dune exec bench/main.exe -- explore
 fi

@@ -42,6 +42,8 @@ type ('ss, 'cs, 'm) t = {
   next_op_id : int;
 }
 
+let kind = Pure
+
 let make algo params ~clients:nc =
   if nc < 1 then invalid_arg "Config.make: need at least one client";
   {

@@ -13,6 +13,9 @@ open Types
 type ('ss, 'cs, 'm) t
 (** A configuration of a system running an [('ss, 'cs, 'm) algo]. *)
 
+val kind : engine_kind
+(** [Pure] — stamped into replay diagnostics. *)
+
 val make : ('ss, 'cs, 'm) algo -> params -> clients:int -> ('ss, 'cs, 'm) t
 (** Initial configuration: fresh server and client states, empty
     channels, no failures, empty history.

@@ -359,11 +359,13 @@ module Make (E : Engine_sig.S) = struct
     in
     Printf.sprintf
       "Driver.%s: operation by client %d did not terminate: outcome %s, \
-       pending op %s, scheduler seed %s, crashed servers [%s], client frozen \
-       %b, at simulated time %d"
+       pending op %s, engine %s, scheduler seed %s, crashed servers [%s], \
+       client frozen %b, at simulated time %d"
       fn client
       (Format.asprintf "%a" pp_outcome outcome)
-      pending seed_s failed
+      pending
+      (engine_kind_to_string E.kind)
+      seed_s failed
       (E.is_frozen c (Client client))
       (E.time c)
 

@@ -24,17 +24,21 @@ open Types
     default for the valency probes (which branch executions and need
     persistence); the arena engine is the default for the forward-only
     paths (hammer, workload, explore at one domain). *)
-type kind = Pure | Arena
+type kind = Types.engine_kind = Pure | Arena
 
 let kind_of_string = function
   | "pure" -> Some Pure
   | "arena" -> Some Arena
   | _ -> None
 
-let kind_to_string = function Pure -> "pure" | Arena -> "arena"
+let kind_to_string = Types.engine_kind_to_string
 
 module type S = sig
   type ('ss, 'cs, 'm) t
+
+  val kind : kind
+  (** Which engine this is — stamped into replay diagnostics so a
+      failure message names the engine that produced it. *)
 
   val make : ('ss, 'cs, 'm) algo -> params -> clients:int -> ('ss, 'cs, 'm) t
   val snapshot : ('ss, 'cs, 'm) t -> ('ss, 'cs, 'm) t

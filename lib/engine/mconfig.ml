@@ -165,6 +165,8 @@ let bs_select bs r =
   in
   word 0 r
 
+let kind = Arena
+
 let make algo (params : params) ~clients:nc =
   if nc < 1 then invalid_arg "Config.make: need at least one client";
   let n = params.n in

@@ -20,6 +20,9 @@ open Types
 
 type ('ss, 'cs, 'm) t
 
+val kind : engine_kind
+(** [Arena] — stamped into replay diagnostics. *)
+
 val make : ('ss, 'cs, 'm) algo -> params -> clients:int -> ('ss, 'cs, 'm) t
 (** @raise Invalid_argument when [clients < 1]. *)
 

@@ -92,6 +92,14 @@ let params ?(k = 1) ?(delta = 1) ~n ~f ~value_len () =
   if value_len < 0 then invalid_arg "Types.params: negative value_len";
   { n; f; k; delta; value_len }
 
+(** Which engine implementation a configuration lives on.  The
+    vocabulary lives here (not in [Engine_sig]) because the engines
+    themselves stamp their kind ([Engine_sig] depends on [Config] for
+    the action type, so the engines cannot depend on it). *)
+type engine_kind = Pure | Arena
+
+let engine_kind_to_string = function Pure -> "pure" | Arena -> "arena"
+
 (** Why a fused delivery loop ([step_deliver_n] in either engine)
     returned: the caller's stop predicate held, no action was enabled,
     or the step budget ran out.  Lives here (not in [Driver]) so both

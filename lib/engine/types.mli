@@ -62,6 +62,13 @@ val params :
     @raise Invalid_argument unless [n >= 1], [0 <= f < n], [1 <= k <= n]
     and [delta >= 1]. *)
 
+(** Which engine implementation a configuration lives on; stamped into
+    replay diagnostics.  Lives here because [Engine_sig] depends on
+    [Config] for the action type, so the engines cannot name it there. *)
+type engine_kind = Pure | Arena
+
+val engine_kind_to_string : engine_kind -> string
+
 (** Why a fused delivery loop ([step_deliver_n] in either engine)
     returned: the caller's stop predicate held, no action was enabled,
     or the step budget ran out. *)

@@ -398,8 +398,10 @@ module Exec (E : Engine.Engine_sig.S) = struct
             let res = run_exec ~plan in
             let buf = Buffer.create 512 in
             Buffer.add_string buf
-              (Printf.sprintf "algo %s exec %d seed %d class %s plan %S\n" key
-                 exec es class_name (Plan.to_string plan));
+              (Printf.sprintf "algo %s exec %d seed %d engine %s class %s plan %S\n"
+                 key exec es
+                 (Engine.Types.engine_kind_to_string E.kind)
+                 class_name (Plan.to_string plan));
             Buffer.add_string buf
               (Format.asprintf "outcome %a, %d steps, %d deliveries\n"
                  Injector.pp_outcome res.I.outcome res.I.steps

@@ -63,6 +63,19 @@ val algo_names : string list
 (** Campaign keys, in campaign order:
     [["abd"; "abd-mw"; "cas"; "gossip-rep"; "awe"]]. *)
 
+type 'r algo_user = {
+  use : 'ss 'cs 'm. ('ss, 'cs, 'm) Engine.Types.algo -> 'r;
+}
+(** Existential dispatch over the campaign algorithms: a caller that
+    works for any state/message types. *)
+
+val dispatch : key:string -> canary:bool -> 'r algo_user -> 'r
+(** Run [use] on the algorithm named by a campaign [key] ([canary]
+    swaps in the sabotaged ABD client when the key is ["abd"]).  Also
+    the dispatch point for the wire runtime ([smec serve] / [smec
+    load] / [smec refine]), which needs the same key-to-record map.
+    @raise Invalid_argument on an unknown key. *)
+
 val campaign :
   ?execs:int ->
   ?seed:int ->

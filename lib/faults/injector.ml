@@ -50,7 +50,10 @@ let timeline_of_plan plan =
             | None -> [ fr ]
             | Some u -> [ fr; { at = u; prio = 0; ev = Thaw_ev endpoint } ])
         | Set_policy { step; policy } ->
-            [ { at = step; prio = 1; ev = Policy_ev policy } ])
+            [ { at = step; prio = 1; ev = Policy_ev policy } ]
+        (* socket-level faults: inert here — the engine's channels are
+           reliable; only the live nemesis proxy interprets them *)
+        | Net _ -> [])
       (Plan.faults plan)
   in
   List.stable_sort
@@ -96,7 +99,9 @@ module Make (E : Engine.Engine_sig.S) = struct
         | Crash { server; _ } -> check_endpoint (Server server)
         | Freeze { endpoint; _ } -> check_endpoint endpoint
         | Set_policy { policy = Starve e; _ } -> check_endpoint e
-        | Set_policy { policy = Uniform | First_key | Last_key; _ } -> ())
+        | Set_policy { policy = Uniform | First_key | Last_key; _ } -> ()
+        | Net { scope = Some e; _ } -> check_endpoint e
+        | Net { scope = None; _ } -> ())
       (Plan.faults plan);
     let seen = Array.make (max 1 clients) false in
     List.iter

@@ -8,15 +8,39 @@ type policy =
   | Last_key
   | Starve of endpoint
 
+type net_op =
+  | Net_drop of { pct : int }
+  | Net_delay of { ms_lo : int; ms_hi : int }
+  | Net_dup of { pct : int }
+  | Net_reorder of { pct : int }
+  | Net_sever
+
 type fault =
   | Crash of { step : int; server : int }
   | Freeze of { step : int; until : int option; endpoint : endpoint }
   | Set_policy of { step : int; policy : policy }
+  | Net of { step : int; until : int option; scope : endpoint option; op : net_op }
 
 type t = { faults : fault list (* sorted by step, stable *) }
 
 let fault_step = function
-  | Crash { step; _ } | Freeze { step; _ } | Set_policy { step; _ } -> step
+  | Crash { step; _ } | Freeze { step; _ } | Set_policy { step; _ }
+  | Net { step; _ } ->
+      step
+
+let validate_net_op ~until = function
+  | Net_drop { pct } | Net_dup { pct } | Net_reorder { pct } ->
+      if pct < 1 || pct > 100 then
+        invalid_arg "Plan.make: net fault probability must be in [1, 100]"
+  | Net_delay { ms_lo; ms_hi } ->
+      if ms_lo < 0 || ms_hi < ms_lo then
+        invalid_arg
+          "Plan.make: net delay window must satisfy 0 <= ms_lo <= ms_hi"
+  | Net_sever -> (
+      match until with
+      | None -> ()
+      | Some _ ->
+          invalid_arg "Plan.make: sever is instantaneous (no until window)")
 
 let make faults =
   List.iter
@@ -26,6 +50,9 @@ let make faults =
       match fl with
       | Freeze { step; until = Some u; _ } when u <= step ->
           invalid_arg "Plan.make: freeze window must satisfy until > step"
+      | Net { step; until = Some u; _ } when u <= step ->
+          invalid_arg "Plan.make: net fault window must satisfy until > step"
+      | Net { until; op; _ } -> validate_net_op ~until op
       | Freeze _ | Crash _ | Set_policy _ -> ())
     faults;
   (* reject overlapping freeze epochs of one endpoint: their thaws
@@ -34,7 +61,7 @@ let make faults =
     List.filter_map
       (function
         | Freeze { step; until; endpoint } -> Some (endpoint, step, until)
-        | Crash _ | Set_policy _ -> None)
+        | Crash _ | Set_policy _ | Net _ -> None)
       faults
   in
   List.iteri
@@ -95,6 +122,13 @@ let policy_of_string s =
         Starve (endpoint_of_string (String.sub s 7 (String.length s - 7)))
       else invalid_arg (Printf.sprintf "Plan.of_string: bad policy %S" s)
 
+let net_op_to_string = function
+  | Net_drop { pct } -> Printf.sprintf "drop:%d" pct
+  | Net_delay { ms_lo; ms_hi } -> Printf.sprintf "delay:%d-%d" ms_lo ms_hi
+  | Net_dup { pct } -> Printf.sprintf "dup:%d" pct
+  | Net_reorder { pct } -> Printf.sprintf "reorder:%d" pct
+  | Net_sever -> "sever"
+
 let fault_to_string = function
   | Crash { step; server } -> Printf.sprintf "crash@%d=s%d" step server
   | Freeze { step; until; endpoint } ->
@@ -103,6 +137,19 @@ let fault_to_string = function
         (endpoint_to_string endpoint)
   | Set_policy { step; policy } ->
       Printf.sprintf "policy@%d=%s" step (policy_to_string policy)
+  | Net { step; until; scope; op } ->
+      let window =
+        match (op, until) with
+        | Net_sever, _ -> string_of_int step
+        | _, Some u -> Printf.sprintf "%d..%d" step u
+        | _, None -> Printf.sprintf "%d.." step
+      in
+      let scope_s =
+        match scope with
+        | None -> ""
+        | Some e -> ":" ^ endpoint_to_string e
+      in
+      Printf.sprintf "net@%s=%s%s" window (net_op_to_string op) scope_s
 
 let to_string p = String.concat ";" (List.map fault_to_string p.faults)
 let pp fmt p = Format.pp_print_string fmt (to_string p)
@@ -143,6 +190,54 @@ let fault_of_string item =
       | "policy", Some (step, pol) ->
           Set_policy
             { step = int_field ~what:"step" step; policy = policy_of_string pol }
+      | "net", Some (window, spec) ->
+          let step, until =
+            match split_once ~on:'.' window with
+            | Some (a, rest2)
+              when String.length rest2 > 0 && Char.equal rest2.[0] '.' ->
+                let b = String.sub rest2 1 (String.length rest2 - 1) in
+                let until =
+                  if String.length b = 0 then None
+                  else Some (int_field ~what:"net until" b)
+                in
+                (int_field ~what:"step" a, until)
+            | Some _ -> bad ()
+            | None -> (int_field ~what:"step" window, None)
+          in
+          let kind_s, args =
+            match split_once ~on:':' spec with
+            | Some (k, rest) -> (k, String.split_on_char ':' rest)
+            | None -> (spec, [])
+          in
+          let pct_of s =
+            let p = int_field ~what:"net probability" s in
+            if p < 1 || p > 100 then bad () else p
+          in
+          let scope_of = function
+            | [] -> None
+            | [ e ] -> Some (endpoint_of_string e)
+            | _ -> bad ()
+          in
+          let op, scope =
+            match (kind_s, args) with
+            | "drop", p :: rest -> (Net_drop { pct = pct_of p }, scope_of rest)
+            | "dup", p :: rest -> (Net_dup { pct = pct_of p }, scope_of rest)
+            | "reorder", p :: rest ->
+                (Net_reorder { pct = pct_of p }, scope_of rest)
+            | "delay", w :: rest -> (
+                match split_once ~on:'-' w with
+                | Some (lo, hi) ->
+                    ( Net_delay
+                        {
+                          ms_lo = int_field ~what:"delay lo" lo;
+                          ms_hi = int_field ~what:"delay hi" hi;
+                        },
+                      scope_of rest )
+                | None -> bad ())
+            | "sever", rest -> (Net_sever, scope_of rest)
+            | _, _ -> bad ()
+          in
+          Net { step; until; scope; op }
       | _, _ -> bad ())
 
 let of_string s =
@@ -162,6 +257,25 @@ let to_json p =
     | Set_policy { step; policy } ->
         Printf.sprintf {|{"kind": "policy", "step": %d, "policy": "%s"}|} step
           (policy_to_string policy)
+    | Net { step; until; scope; op } ->
+        let op_fields =
+          match op with
+          | Net_drop { pct } -> Printf.sprintf {|"op": "drop", "pct": %d|} pct
+          | Net_dup { pct } -> Printf.sprintf {|"op": "dup", "pct": %d|} pct
+          | Net_reorder { pct } ->
+              Printf.sprintf {|"op": "reorder", "pct": %d|} pct
+          | Net_delay { ms_lo; ms_hi } ->
+              Printf.sprintf {|"op": "delay", "ms_lo": %d, "ms_hi": %d|} ms_lo
+                ms_hi
+          | Net_sever -> {|"op": "sever"|}
+        in
+        Printf.sprintf
+          {|{"kind": "net", "step": %d, "until": %s, "scope": %s, %s}|} step
+          (match until with Some u -> string_of_int u | None -> "null")
+          (match scope with
+          | Some e -> Printf.sprintf "%S" (endpoint_to_string e)
+          | None -> "null")
+          op_fields
   in
   "[" ^ String.concat ", " (List.map item p.faults) ^ "]"
 
@@ -174,14 +288,14 @@ let crashed_servers p =
     (List.fold_left
        (fun acc -> function
          | Crash { server; _ } -> Int_set.add server acc
-         | Freeze _ | Set_policy _ -> acc)
+         | Freeze _ | Set_policy _ | Net _ -> acc)
        Int_set.empty p.faults)
 
 let permanently_frozen p =
   List.filter_map
     (function
       | Freeze { until = None; endpoint; _ } -> Some endpoint
-      | Freeze { until = Some _; _ } | Crash _ | Set_policy _ -> None)
+      | Freeze { until = Some _; _ } | Crash _ | Set_policy _ | Net _ -> None)
     p.faults
 
 let dead_servers p =
@@ -220,7 +334,7 @@ let expectation p ~n ~required =
             | Freeze { step; until = None; endpoint = Server i }
               when at_step0 step ->
                 Int_set.add i acc
-            | Crash _ | Freeze _ | Set_policy _ -> acc)
+            | Crash _ | Freeze _ | Set_policy _ | Net _ -> acc)
           Int_set.empty p.faults
       in
       n - Int_set.cardinal dead0 < required)
@@ -228,10 +342,23 @@ let expectation p ~n ~required =
            (function
              | Freeze { step; until = None; endpoint = Client _ } ->
                  at_step0 step
-             | Freeze _ | Crash _ | Set_policy _ -> false)
+             | Freeze _ | Crash _ | Set_policy _ | Net _ -> false)
            p.faults
     in
     if fatal_from_start then Some Must_starve else None
+
+(* Net faults are inert under the simulated injector (the engine's
+   channels are reliable); they are interpreted only by the live
+   nemesis proxy, which reads them out through this accessor with
+   step/until reinterpreted as milliseconds since nemesis start. *)
+let net_faults p =
+  List.filter_map
+    (function
+      | Net { step; until; scope; op } -> Some (step, until, scope, op)
+      | Crash _ | Freeze _ | Set_policy _ -> None)
+    p.faults
+
+let has_net p = match net_faults p with [] -> false | _ :: _ -> true
 
 (* ----- generators ----- *)
 

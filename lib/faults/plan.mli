@@ -13,7 +13,13 @@
       bounded or not.  These model partitions;
     - {b policy switches} — the scheduler changes its pick rule at a
       step (uniform, deterministic first/last channel-key, or
-      de-prioritizing one endpoint).
+      de-prioritizing one endpoint);
+    - {b network faults} — socket-level drop/delay/duplicate/reorder/
+      sever directives for the live wire runtime's nemesis proxy
+      ([Transport.Nemesis]).  These are {e inert} under the simulated
+      injector (the engine's channels are reliable by construction);
+      the nemesis reinterprets their [step]/[until] fields as
+      {e milliseconds since nemesis start}.
 
     Plans serialize to a compact single-line string ({!to_string} /
     {!of_string} round-trip exactly) so a failing execution replays
@@ -37,6 +43,21 @@ type policy =
       (** avoid delivering from/to the endpoint while anything else is
           enabled *)
 
+(** Socket-level fault applied by the live nemesis proxy to the
+    frames crossing it. *)
+type net_op =
+  | Net_drop of { pct : int }  (** drop [pct]% of frames, [1..100] *)
+  | Net_delay of { ms_lo : int; ms_hi : int }
+      (** hold each frame for a uniform [ms_lo..ms_hi] milliseconds,
+          [0 <= ms_lo <= ms_hi] *)
+  | Net_dup of { pct : int }  (** duplicate [pct]% of frames *)
+  | Net_reorder of { pct : int }
+      (** swap [pct]% of frames with their successor *)
+  | Net_sever
+      (** close both sides of the connection(s); the supervisor's
+          reconnect path takes over.  Instantaneous, so it carries no
+          [until] window. *)
+
 type fault =
   | Crash of { step : int; server : int }
   | Freeze of {
@@ -45,14 +66,26 @@ type fault =
       endpoint : Engine.Types.endpoint;
     }
   | Set_policy of { step : int; policy : policy }
+  | Net of {
+      step : int;  (** milliseconds since nemesis start *)
+      until : int option;
+          (** exclusive window end in milliseconds; [None] = until the
+              nemesis stops.  Always [None] for {!Net_sever}. *)
+      scope : Engine.Types.endpoint option;
+          (** limit to connections of one server/client; [None] = all *)
+      op : net_op;
+    }
 
 type t
 
 val make : fault list -> t
 (** Normalizes (stable-sorts by step).  @raise Invalid_argument on a
-    negative step, a freeze window with [until <= step], or two freeze
+    negative step, a freeze window with [until <= step], two freeze
     epochs of the same endpoint that overlap (their thaws would
-    interleave ambiguously). *)
+    interleave ambiguously), or an invalid network fault: percentage
+    outside [1..100], a delay window with [ms_lo < 0] or
+    [ms_hi < ms_lo], a [Net] window with [until <= step], or a
+    [Net_sever] carrying an [until]. *)
 
 val empty : t
 val is_empty : t -> bool
@@ -66,7 +99,9 @@ val fault_count : t -> int
 val to_string : t -> string
 (** Compact single line, e.g.
     ["crash@12=s3;freeze@5..40=s1;freeze@9..=c0;policy@0=starve:s2"];
-    the empty plan is [""]. *)
+    network faults print as ["net@500..2000=drop:30:s2"] (scope
+    suffix optional), ["net@0..=delay:10-50"] for an unbounded window,
+    and ["net@1000=sever"]; the empty plan is [""]. *)
 
 val of_string : string -> t
 (** Inverse of {!to_string}.  @raise Invalid_argument on a malformed
@@ -91,6 +126,16 @@ val dead_servers : t -> int list
     help an operation. *)
 
 val has_permanent_client_freeze : t -> bool
+
+val net_faults :
+  t -> (int * int option * Engine.Types.endpoint option * net_op) list
+(** The plan's network faults as [(step_ms, until_ms, scope, op)],
+    sorted by step — the nemesis proxy's schedule.  Network faults are
+    excluded from every other analysis here ({!crashed_servers},
+    {!dead_servers}, {!expectation}): they never affect the simulated
+    injector. *)
+
+val has_net : t -> bool
 
 (** What a plan statically guarantees about liveness, given the
     quorum size [required] an operation needs among [n] servers. *)

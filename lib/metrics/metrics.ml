@@ -38,6 +38,86 @@ let latencies (h : Consistency.History.t) ~kind =
       | _ -> None)
     h
 
+(* ----- wall clock -----
+
+   lib/metrics is (with bench/) the only place allowed to read the wall
+   clock (smec-lint's determinism rule); the live transport runtime
+   threads every timestamp through here so simulated code can never
+   pick it up by accident. *)
+
+let now_s () = Unix.gettimeofday ()
+
+(* ----- log-bucketed latency histogram -----
+
+   Geometric buckets at ~7% relative resolution from 1 microsecond up:
+   bucket i covers [lo * gamma^i, lo * gamma^(i+1)).  512 buckets reach
+   ~1e6 seconds, far past any latency we can observe; quantiles report
+   the geometric midpoint of the holding bucket.  Constant memory, O(1)
+   add — fit for the open-loop load generator's hot path. *)
+
+module Hist = struct
+  let buckets = 512
+  let lo = 1e-6
+  let log_gamma = log 1.07
+
+  type t = {
+    counts : int array;
+    mutable n : int;
+    mutable sum : float;
+    mutable max : float;
+  }
+
+  let create () = { counts = Array.make buckets 0; n = 0; sum = 0.0; max = 0.0 }
+
+  let clear h =
+    Array.fill h.counts 0 buckets 0;
+    h.n <- 0;
+    h.sum <- 0.0;
+    h.max <- 0.0
+
+  let index x =
+    if x <= lo then 0
+    else
+      let i = int_of_float (log (x /. lo) /. log_gamma) in
+      if i >= buckets then buckets - 1 else i
+
+  let add h x =
+    let x = if x < 0.0 then 0.0 else x in
+    let i = index x in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. x;
+    if x > h.max then h.max <- x
+
+  let count h = h.n
+  let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+  let max_value h = h.max
+
+  (* value at the geometric midpoint of bucket [i] *)
+  let bucket_mid i = lo *. exp (log_gamma *. (float_of_int i +. 0.5))
+
+  let quantile h q =
+    if h.n = 0 then 0.0
+    else begin
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      let rank = int_of_float (ceil (q *. float_of_int h.n)) in
+      let rank = if rank < 1 then 1 else rank in
+      let rec walk i seen =
+        if i >= buckets then h.max
+        else
+          let seen = seen + h.counts.(i) in
+          if seen >= rank then bucket_mid i else walk (i + 1) seen
+      in
+      walk 0 0
+    end
+
+  let merge_into src ~into =
+    Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+    into.n <- into.n + src.n;
+    into.sum <- into.sum +. src.sum;
+    if src.max > into.max then into.max <- src.max
+end
+
 type op_cost = { deliveries : int; in_flight : int }
 
 let isolated_op_cost (type ss cs m) (algo : (ss, cs, m) Engine.Types.algo)

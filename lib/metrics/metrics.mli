@@ -28,6 +28,33 @@ val latencies :
 (** Response-minus-invocation step counts of the completed operations
     of the given kind. *)
 
+val now_s : unit -> float
+(** Wall-clock seconds.  lib/metrics is (with bench/) the only module
+    allowed to read the wall clock — smec-lint's determinism rule —
+    so the live transport runtime threads every timestamp through
+    here. *)
+
+(** Log-bucketed latency histogram: geometric buckets at ~7% relative
+    resolution from 1 µs, constant memory, O(1) add.  Quantiles report
+    the geometric midpoint of the holding bucket. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val add : t -> float -> unit
+  (** Record one sample in seconds; negatives clamp to 0. *)
+
+  val count : t -> int
+  val mean : t -> float
+  val max_value : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile h 0.99] is the p99 in seconds; [0.] on empty. *)
+
+  val merge_into : t -> into:t -> unit
+end
+
 type op_cost = {
   deliveries : int;  (** messages delivered before the op responded *)
   in_flight : int;  (** messages still queued when it responded *)

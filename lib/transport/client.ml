@@ -1,0 +1,530 @@
+(* The load-side wire runtime.  See client.mli. *)
+
+open Engine.Types
+
+type source =
+  | Load of { gen : Workload.Open_loop.t; duration_s : float }
+  | Script of op list array
+
+type stats = {
+  invoked : int;
+  completed : int;
+  late_completions : int;
+  starved : int;
+  quorum_lost : int;
+  client_cut_off : int;
+  no_progress : int;
+  retransmits : int;
+  reconnects : int;
+  dup_replies : int;
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  wall_s : float;
+  mean_latency_s : float;
+  p50_s : float;
+  p99_s : float;
+  max_latency_s : float;
+  trace_events : int;
+  responses : (int * response) list;
+      (** (wire client id, response) of completed operations, in
+          completion order — the one-shot [smec client] result path *)
+}
+
+(* Client half of the per-(client, server) reliable channel: request
+   retransmission state and the reply reorder buffer.  [unacked]
+   requests are resent until the server's cumulative [req_applied]
+   covers them — even after the operation that sent them completed,
+   because the next request's dense seq is only applicable once every
+   earlier one has been. *)
+type chan = {
+  mutable next_req_seq : int;
+  mutable server_applied : int;
+  mutable unacked : (int * string * float ref) list;
+      (* (seq, payload, last send time), ascending seq *)
+  mutable reply_watermark : int;
+  reply_buf : (int, string) Hashtbl.t;
+}
+
+type link = {
+  sid : int;
+  addr : Conn.addr;
+  mutable conn : Conn.t option;
+  retry : Retry.t;
+  mutable retry_at : float;  (* next reconnect attempt when down *)
+  mutable retx_at : float;  (* next retransmission sweep when up *)
+  retx : Retry.t;
+  mutable reconnects : int;
+  mutable closed_frames_in : int;
+  mutable closed_frames_out : int;
+  mutable closed_bytes_in : int;
+  mutable closed_bytes_out : int;
+}
+
+type 'cs vclient = {
+  idx : int;  (* local index; wire id = base + idx *)
+  mutable cs : 'cs;
+  mutable busy : busy option;
+}
+
+and busy = {
+  op_id : int;
+  op : op;
+  arrival : float;  (* scheduled arrival — latency includes queueing *)
+  started : float;
+  deadline : float;
+  mutable starved_reported : bool;
+}
+
+let run (type ss cs m) (algo : (ss, cs, m) algo) (params : params)
+    ~(addrs : Conn.addr array) ~(clients : int) ?(client_base = 0)
+    ~(source : source) ~(seed : int) ?(op_deadline_s = 5.0)
+    ?(retransmit_s = 0.25) ?(drain_s = 5.0) ?(max_wall_s = 120.0) ?trace ()
+    : stats =
+  ignore (fun (_ : ss) -> ());
+  if Array.length addrs <> params.n then
+    invalid_arg "Client.run: need one address per server";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if clients < 1 then invalid_arg "Client.run: clients must be >= 1";
+  let n = params.n in
+  let rng = Random.State.make [| seed; 0x7a5 |] in
+  let start = Metrics.now_s () in
+  let session =
+    int_of_float (Float.rem (start *. 1_000_000.0) 1e15)
+    lxor (Unix.getpid () * 0x9e3779b9)
+  in
+  let links =
+    Array.init n (fun sid ->
+        {
+          sid;
+          addr = addrs.(sid);
+          conn = None;
+          retry = Retry.create ~rng ();
+          retry_at = start;
+          retx_at = start +. retransmit_s;
+          retx = Retry.create ~base_s:retransmit_s ~cap_s:(8.0 *. retransmit_s)
+              ~rng ();
+          reconnects = -1;
+          (* first successful connect is not a reconnect *)
+          closed_frames_in = 0;
+          closed_frames_out = 0;
+          closed_bytes_in = 0;
+          closed_bytes_out = 0;
+        })
+  in
+  let chans =
+    Array.init clients (fun _ ->
+        Array.init n (fun _ ->
+            {
+              next_req_seq = 0;
+              server_applied = 0;
+              unacked = [];
+              reply_watermark = 0;
+              reply_buf = Hashtbl.create 8;
+            }))
+  in
+  let vclients =
+    Array.init clients (fun idx ->
+        { idx; cs = algo.init_client params (client_base + idx); busy = None })
+  in
+  let invoked = ref 0
+  and completed = ref 0
+  and late_completions = ref 0
+  and starved = ref 0
+  and quorum_lost = ref 0
+  and client_cut_off = ref 0
+  and no_progress = ref 0
+  and retransmits = ref 0
+  and dup_replies = ref 0
+  and op_counter = ref 0
+  and responses = ref [] in
+  let hist = Metrics.Hist.create () in
+  let wire_ids = List.init clients (fun i -> client_base + i) in
+  let required = Faults.Oracle.required_quorum ~algo_name:algo.name params in
+
+  let link_up l = match l.conn with Some c -> not (Conn.is_closed c) | None -> false in
+  let send_req l ~cid_wire ~seq ~payload =
+    match l.conn with
+    | Some conn when not (Conn.is_closed conn) ->
+        let ch = chans.(cid_wire - client_base).(l.sid) in
+        Conn.send conn
+          (Frame.Req
+             { client = cid_wire; seq; ack = ch.reply_watermark; payload })
+    | _ -> ()
+  in
+  let send_envelope ~cid_wire (env : m envelope) =
+    match env.dst with
+    | Server s ->
+        let ch = chans.(cid_wire - client_base).(s) in
+        let seq = ch.next_req_seq + 1 in
+        ch.next_req_seq <- seq;
+        let payload = Marshal.to_string env.payload [] in
+        ch.unacked <- ch.unacked @ [ (seq, payload, ref (Metrics.now_s ())) ];
+        send_req links.(s) ~cid_wire ~seq ~payload
+    | Client _ -> ()
+  in
+  let invoke vc ~arrival op =
+    let now = Metrics.now_s () in
+    incr op_counter;
+    incr invoked;
+    let cid_wire = client_base + vc.idx in
+    let cs', envs = algo.on_invoke params ~me:cid_wire vc.cs op in
+    vc.cs <- cs';
+    vc.busy <-
+      Some
+        {
+          op_id = !op_counter;
+          op;
+          arrival;
+          started = now;
+          deadline = now +. op_deadline_s;
+          starved_reported = false;
+        };
+    (match trace with
+    | Some w ->
+        Trace.write w (Trace.Inv { client = cid_wire; op_id = !op_counter; op })
+    | None -> ());
+    List.iter (fun env -> send_envelope ~cid_wire env) envs
+  in
+  let complete vc (b : busy) (resp : response) =
+    let now = Metrics.now_s () in
+    let cid_wire = client_base + vc.idx in
+    (match trace with
+    | Some w ->
+        Trace.write w
+          (Trace.Res { client = cid_wire; op_id = b.op_id; response = resp })
+    | None -> ());
+    if b.starved_reported then incr late_completions
+    else begin
+      incr completed;
+      Metrics.Hist.add hist (now -. b.arrival)
+    end;
+    responses := (cid_wire, resp) :: !responses;
+    vc.busy <- None
+  in
+  let apply_reply vc ~sid ~seq (msg : m) =
+    let cid_wire = client_base + vc.idx in
+    (match trace with
+    | Some w ->
+        Trace.write w
+          (Trace.Del
+             {
+               client = cid_wire;
+               server = sid;
+               seq;
+               digest = Trace.msg_digest algo.encode_msg msg;
+             })
+    | None -> ());
+    let cs', envs, resp =
+      algo.on_client_msg params ~me:cid_wire vc.cs ~src:(Server sid) msg
+    in
+    vc.cs <- cs';
+    List.iter (fun env -> send_envelope ~cid_wire env) envs;
+    match (resp, vc.busy) with
+    | Some r, Some b -> complete vc b r
+    | Some _, None -> ()  (* response with no pending op: ignore *)
+    | None, _ -> ()
+  in
+  let on_reply ~client ~server ~seq ~req_applied payload =
+    let idx = client - client_base in
+    if idx >= 0 && idx < clients && server >= 0 && server < n then begin
+      let ch = chans.(idx).(server) in
+      if req_applied > ch.server_applied then begin
+        ch.server_applied <- req_applied;
+        ch.unacked <- List.filter (fun (s, _, _) -> s > req_applied) ch.unacked;
+        (* ack progress: reset this link's retransmission backoff *)
+        Retry.reset links.(server).retx
+      end;
+      if seq <= ch.reply_watermark then incr dup_replies
+      else begin
+        if not (Hashtbl.mem ch.reply_buf seq) then
+          Hashtbl.replace ch.reply_buf seq payload;
+        let continue = ref true in
+        while !continue do
+          match Hashtbl.find_opt ch.reply_buf (ch.reply_watermark + 1) with
+          | Some p ->
+              ch.reply_watermark <- ch.reply_watermark + 1;
+              Hashtbl.remove ch.reply_buf ch.reply_watermark;
+              let msg : m = Marshal.from_string p 0 in
+              apply_reply vclients.(idx) ~sid:server ~seq:ch.reply_watermark msg
+          | None -> continue := false
+        done
+      end
+    end
+  in
+  let on_frame l = function
+    | Frame.Reply { client; server; seq; req_applied; payload } ->
+        on_reply ~client ~server ~seq ~req_applied payload
+    | Frame.Hello_ack _ -> ()
+    | Frame.Hello _ | Frame.Req _ | Frame.Bye -> (
+        (* protocol violation from the server side; drop and reconnect *)
+        match l.conn with Some c -> Conn.close c | None -> ())
+  in
+  let archive_conn l c =
+    l.closed_frames_in <- l.closed_frames_in + Conn.frames_in c;
+    l.closed_frames_out <- l.closed_frames_out + Conn.frames_out c;
+    l.closed_bytes_in <- l.closed_bytes_in + Conn.bytes_in c;
+    l.closed_bytes_out <- l.closed_bytes_out + Conn.bytes_out c
+  in
+  (* Resend the unacked requests that have aged past the retransmit
+     interval.  Age is per entry, not per link: a busy link whose other
+     channels keep making progress must still retransmit the one
+     channel whose head request was lost.  Returns the resend count. *)
+  let resend_aged l ~now =
+    let sent = ref 0 in
+    Array.iteri
+      (fun idx row ->
+        let ch = row.(l.sid) in
+        List.iter
+          (fun (seq, payload, sent_at) ->
+            if now -. !sent_at >= retransmit_s then begin
+              sent_at := now;
+              incr retransmits;
+              incr sent;
+              send_req l ~cid_wire:(client_base + idx) ~seq ~payload
+            end)
+          ch.unacked)
+      chans;
+    !sent
+  in
+  let try_connect l =
+    match Conn.connect l.addr with
+    | fd ->
+        let conn = Conn.of_fd fd in
+        l.conn <- Some conn;
+        l.reconnects <- l.reconnects + 1;
+        Retry.reset l.retry;
+        Conn.send conn (Frame.Hello { session; clients = wire_ids });
+        (* the server dedups, so resending everything outstanding is
+           safe and heals any loss from the previous incarnation *)
+        let now = Metrics.now_s () in
+        Array.iteri
+          (fun idx row ->
+            let ch = row.(l.sid) in
+            List.iter
+              (fun (seq, payload, sent_at) ->
+                sent_at := now;
+                send_req l ~cid_wire:(client_base + idx) ~seq ~payload)
+              ch.unacked)
+          chans
+    | exception (Unix.Unix_error _ | Failure _) ->
+        l.retry_at <- Metrics.now_s () +. Retry.next_delay l.retry
+  in
+  let classify_starvation () =
+    let ups = Array.fold_left (fun a l -> if link_up l then a + 1 else a) 0 links in
+    if ups = 0 then (incr client_cut_off; Faults.Oracle.Client_partitioned { client = client_base })
+    else if ups < required then (incr quorum_lost; Faults.Oracle.Quorum_lost { live = ups; required })
+    else (incr no_progress; Faults.Oracle.No_progress)
+  in
+
+  (* ----- arrivals ----- *)
+  let pending_arrivals : (float * op) Queue.t = Queue.create () in
+  let scripts =
+    match source with
+    | Script s ->
+        if Array.length s <> clients then
+          invalid_arg "Client.run: one script per client";
+        Array.map (fun ops -> ref ops) s
+    | Load _ -> [||]
+  in
+  let gen_state =
+    match source with
+    | Load { gen; duration_s } ->
+        let off, op = Workload.Open_loop.next gen in
+        Some (gen, duration_s, ref (Some (off, op)))
+    | Script _ -> None
+  in
+  let pump_arrivals now =
+    match gen_state with
+    | Some (gen, duration_s, next_ref) ->
+        let continue = ref true in
+        while !continue do
+          match !next_ref with
+          | Some (off, op) when off <= duration_s && start +. off <= now ->
+              Queue.add (start +. off, op) pending_arrivals;
+              next_ref := Some (Workload.Open_loop.next gen)
+          | Some (off, _) when off > duration_s ->
+              next_ref := None;
+              continue := false
+          | _ -> continue := false
+        done
+    | None -> ()
+  in
+  let dispatch () =
+    match source with
+    | Load _ ->
+        let idle = ref [] in
+        Array.iter
+          (fun vc -> if Option.is_none vc.busy then idle := vc :: !idle)
+          vclients;
+        let rec go = function
+          | [] -> ()
+          | vc :: rest ->
+              if Queue.is_empty pending_arrivals then ()
+              else begin
+                let arrival, op = Queue.pop pending_arrivals in
+                invoke vc ~arrival op;
+                go rest
+              end
+        in
+        go !idle
+    | Script _ ->
+        Array.iter
+          (fun vc ->
+            if Option.is_none vc.busy then
+              match !(scripts.(vc.idx)) with
+              | op :: rest ->
+                  scripts.(vc.idx) := rest;
+                  invoke vc ~arrival:(Metrics.now_s ()) op
+              | [] -> ())
+          vclients
+  in
+  let source_exhausted now =
+    (match gen_state with
+    | Some (_, duration_s, next_ref) ->
+        Option.is_none !next_ref || now >= start +. duration_s
+    | None -> true)
+    && Queue.is_empty pending_arrivals
+    && (match source with
+       | Script _ -> Array.for_all (fun s -> match !s with [] -> true | _ -> false) scripts
+       | Load _ -> true)
+  in
+  let all_idle () = Array.for_all (fun vc -> Option.is_none vc.busy) vclients in
+
+  (* ----- main loop ----- *)
+  let hard_stop = start +. max_wall_s in
+  let finished = ref false in
+  while not !finished do
+    let now = Metrics.now_s () in
+    pump_arrivals now;
+    dispatch ();
+    (* supervisors: reconnect links that are down *)
+    Array.iter
+      (fun l ->
+        (match l.conn with
+        | Some c when Conn.is_closed c ->
+            archive_conn l c;
+            l.conn <- None;
+            l.retry_at <- now +. Retry.next_delay l.retry
+        | _ -> ());
+        if Option.is_none l.conn && now >= l.retry_at then try_connect l)
+      links;
+    (* retransmission sweeps with per-link backoff *)
+    Array.iter
+      (fun l ->
+        if link_up l && now >= l.retx_at then
+          if resend_aged l ~now > 0 then
+            (* losses persist on this link: back off (reset on ack) *)
+            l.retx_at <- now +. Retry.next_delay l.retx
+          else l.retx_at <- now +. retransmit_s)
+      links;
+    (* per-operation deadlines *)
+    Array.iter
+      (fun vc ->
+        match vc.busy with
+        | Some b when (not b.starved_reported) && now > b.deadline ->
+            b.starved_reported <- true;
+            incr starved;
+            ignore (classify_starvation ())
+        | _ -> ())
+      vclients;
+    (* poll sockets *)
+    let read_fds =
+      Array.fold_left
+        (fun acc l ->
+          match l.conn with
+          | Some c when not (Conn.is_closed c) -> Conn.fd c :: acc
+          | _ -> acc)
+        [] links
+    in
+    let write_fds =
+      Array.fold_left
+        (fun acc l ->
+          match l.conn with
+          | Some c when Conn.want_write c -> Conn.fd c :: acc
+          | _ -> acc)
+        [] links
+    in
+    let readable, writable, _ =
+      try Unix.select read_fds write_fds [] 0.02
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    Array.iter
+      (fun l ->
+        match l.conn with
+        | Some c when not (Conn.is_closed c) ->
+            if List.memq (Conn.fd c) readable then begin
+              (match Conn.handle_readable c with `Ok | `Eof | `Closed -> ());
+              let continue = ref true in
+              while !continue do
+                match Conn.next_frame c with
+                | Some (Ok f) -> on_frame l f
+                | Some (Error _) ->
+                    Conn.close c;
+                    continue := false
+                | None -> continue := false
+              done
+            end;
+            if (not (Conn.is_closed c)) && List.memq (Conn.fd c) writable then
+              Conn.handle_writable c
+        | _ -> ())
+      links;
+    let now = Metrics.now_s () in
+    if now > hard_stop then finished := true
+    else if source_exhausted now && all_idle () then finished := true
+    else if
+      source_exhausted now
+      && (match source with
+         | Load { duration_s; _ } -> now > start +. duration_s +. drain_s
+         | Script _ -> false)
+    then finished := true
+  done;
+  (* abandoned operations at drain end count as starved *)
+  Array.iter
+    (fun vc ->
+      match vc.busy with
+      | Some b when not b.starved_reported ->
+          incr starved;
+          ignore (classify_starvation ())
+      | _ -> ())
+    vclients;
+  (* graceful close *)
+  Array.iter
+    (fun l ->
+      match l.conn with
+      | Some c ->
+          if not (Conn.is_closed c) then begin
+            Conn.send c Frame.Bye;
+            Conn.drain_blocking c ~timeout_s:0.2
+          end;
+          archive_conn l c;
+          Conn.close c
+      | None -> ())
+    links;
+  (match trace with Some w -> Trace.flush w | None -> ());
+  let sum f = Array.fold_left (fun a l -> a + f l) 0 links in
+  {
+    invoked = !invoked;
+    completed = !completed;
+    late_completions = !late_completions;
+    starved = !starved;
+    quorum_lost = !quorum_lost;
+    client_cut_off = !client_cut_off;
+    no_progress = !no_progress;
+    retransmits = !retransmits;
+    reconnects = sum (fun l -> max 0 l.reconnects);
+    dup_replies = !dup_replies;
+    frames_in = sum (fun l -> l.closed_frames_in);
+    frames_out = sum (fun l -> l.closed_frames_out);
+    bytes_in = sum (fun l -> l.closed_bytes_in);
+    bytes_out = sum (fun l -> l.closed_bytes_out);
+    wall_s = Metrics.now_s () -. start;
+    mean_latency_s = Metrics.Hist.mean hist;
+    p50_s = Metrics.Hist.quantile hist 0.5;
+    p99_s = Metrics.Hist.quantile hist 0.99;
+    max_latency_s = Metrics.Hist.max_value hist;
+    trace_events =
+      (match trace with Some w -> Trace.events_written w | None -> 0);
+    responses = List.rev !responses;
+  }

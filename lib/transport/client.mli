@@ -1,0 +1,84 @@
+(** The load-side wire runtime: one single-threaded process
+    multiplexing [clients] virtual clients of the {e unchanged}
+    algorithm transition records over one supervised connection per
+    server.
+
+    Resilience:
+
+    - {b supervised connections} — every server link has a reconnect
+      supervisor with capped exponential backoff and jitter
+      ({!Retry}); on reconnect the client re-handshakes and resends
+      everything outstanding (the server dedups);
+    - {b deadlines and retransmission} — requests carry dense
+      per-(client, server) sequence numbers and are retransmitted
+      (with per-link backoff, reset on progress) until the server's
+      cumulative ack covers them — {e even after} the operation that
+      sent them completed, so the dense numbering never stalls;
+    - {b graceful degradation} — operations need only the algorithm's
+      quorum ([n - f], or the CAS/AWE quorum) to complete; an
+      operation exceeding its deadline is reported with the
+      {!Faults.Oracle} starvation taxonomy (quorum lost / client cut
+      off / no progress) and kept running — a late completion is
+      counted separately rather than double-counted.
+
+    Replies are reordered back into dense per-(server, client) order
+    and applied exactly once, so every applied message corresponds to
+    one engine channel pop — the property {!Refine} checks. *)
+
+type source =
+  | Load of { gen : Workload.Open_loop.t; duration_s : float }
+      (** open-loop Poisson arrivals dispatched to idle virtual
+          clients (latency includes queueing delay) *)
+  | Script of Engine.Types.op list array
+      (** one operation list per virtual client, run sequentially *)
+
+type stats = {
+  invoked : int;
+  completed : int;
+  late_completions : int;  (** completed after their deadline fired *)
+  starved : int;  (** deadline expired (or abandoned at drain) *)
+  quorum_lost : int;
+  client_cut_off : int;  (** starved with zero live links *)
+  no_progress : int;  (** starved with a live quorum — a real bug *)
+  retransmits : int;
+  reconnects : int;  (** successful re-connects after the first *)
+  dup_replies : int;  (** replies discarded by the reorder watermark *)
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  wall_s : float;
+  mean_latency_s : float;
+  p50_s : float;
+  p99_s : float;
+  max_latency_s : float;
+  trace_events : int;
+  responses : (int * Engine.Types.response) list;
+      (** (wire client id, response) in completion order — the
+          one-shot [smec client] result path *)
+}
+
+val run :
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  Engine.Types.params ->
+  addrs:Conn.addr array ->
+  clients:int ->
+  ?client_base:int ->
+  source:source ->
+  seed:int ->
+  ?op_deadline_s:float ->
+  ?retransmit_s:float ->
+  ?drain_s:float ->
+  ?max_wall_s:float ->
+  ?trace:Trace.w ->
+  unit ->
+  stats
+(** Run the load to completion: until the source is exhausted and all
+    operations completed, bounded by the drain window and a hard
+    [max_wall_s] wall-clock cap.  Wire client ids are
+    [client_base .. client_base + clients - 1] (they must stay below
+    the serving process' [--clients] bound).  Defaults:
+    [op_deadline_s = 5], [retransmit_s = 0.25], [drain_s = 5],
+    [max_wall_s = 120].
+    @raise Invalid_argument when [addrs] does not match [params.n],
+    [clients < 1], or a [Script] source is not one list per client. *)

@@ -1,0 +1,228 @@
+(* Nonblocking buffered connections.  See conn.mli. *)
+
+type addr = Uds of string | Tcp of string * int
+
+let addr_to_string = function
+  | Uds path -> "uds:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.equal (String.sub s 0 i) "uds" ->
+      let path = String.sub s (i + 1) (String.length s - i - 1) in
+      if String.length path = 0 then
+        invalid_arg "Conn.addr_of_string: empty uds path"
+      else Uds path
+  | Some i when String.equal (String.sub s 0 i) "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | Some j -> (
+          let host = String.sub rest 0 j in
+          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 && String.length host > 0 ->
+              Tcp (host, p)
+          | _ ->
+              invalid_arg
+                (Printf.sprintf "Conn.addr_of_string: bad tcp address %S" s))
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Conn.addr_of_string: bad tcp address %S" s))
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Conn.addr_of_string: expected uds:PATH or tcp:HOST:PORT, got %S" s)
+
+let sockaddr_of_addr = function
+  | Uds path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+          | _ ->
+              failwith
+                (Printf.sprintf "Conn.sockaddr_of_addr: cannot resolve host %S"
+                   host))
+      in
+      Unix.ADDR_INET (ip, port)
+
+let domain_of_addr = function
+  | Uds _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+let listen ?(backlog = 64) addr =
+  (match addr with
+  | Uds path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  let fd = Unix.socket (domain_of_addr addr) Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (sockaddr_of_addr addr);
+     Unix.listen fd backlog;
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let connect addr =
+  let fd = Unix.socket (domain_of_addr addr) Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (sockaddr_of_addr addr);
+    (match addr with
+    | Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+    | Uds _ -> ());
+    Unix.set_nonblock fd;
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+(* ----- buffered connection ----- *)
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Frame.Decoder.t;
+  mutable out : bytes;  (* pending write bytes, [out_start, out_start+out_len) *)
+  mutable out_start : int;
+  mutable out_len : int;
+  rbuf : bytes;  (* scratch read buffer *)
+  mutable closed : bool;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+let of_fd fd =
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+  {
+    fd;
+    dec = Frame.Decoder.create ();
+    out = Bytes.create 8192;
+    out_start = 0;
+    out_len = 0;
+    rbuf = Bytes.create 65536;
+    closed = false;
+    frames_in = 0;
+    frames_out = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+  }
+
+let accept lfd =
+  match Unix.accept lfd with
+  | fd, _ -> Some (of_fd fd)
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    ->
+      None
+
+let fd t = t.fd
+let is_closed t = t.closed
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let out_ensure t extra =
+  let cap = Bytes.length t.out in
+  if t.out_start + t.out_len + extra > cap then
+    if t.out_len + extra <= cap then begin
+      Bytes.blit t.out t.out_start t.out 0 t.out_len;
+      t.out_start <- 0
+    end
+    else begin
+      let cap' = max (cap * 2) (t.out_len + extra) in
+      let out' = Bytes.create cap' in
+      Bytes.blit t.out t.out_start out' 0 t.out_len;
+      t.out <- out';
+      t.out_start <- 0
+    end
+
+let send_bytes t s =
+  if not t.closed then begin
+    let n = String.length s in
+    out_ensure t n;
+    Bytes.blit_string s 0 t.out (t.out_start + t.out_len) n;
+    t.out_len <- t.out_len + n
+  end
+
+let send t f =
+  send_bytes t (Frame.encode f);
+  t.frames_out <- t.frames_out + 1
+
+let want_write t = (not t.closed) && t.out_len > 0
+
+let handle_writable t =
+  if not t.closed then
+    let continue = ref true in
+    while !continue && t.out_len > 0 do
+      match Unix.write t.fd t.out t.out_start t.out_len with
+      | 0 -> continue := false
+      | n ->
+          t.out_start <- t.out_start + n;
+          t.out_len <- t.out_len - n;
+          t.bytes_out <- t.bytes_out + n;
+          if t.out_len = 0 then t.out_start <- 0
+      | exception
+          Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+        ->
+          continue := false
+      | exception Unix.Unix_error _ ->
+          (* hard error (EPIPE, ECONNRESET, ...): the fd is gone after
+             [close], so the loop must stop or it would spin on EBADF *)
+          close t;
+          continue := false
+    done
+
+let handle_readable t =
+  if t.closed then `Closed
+  else
+    match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+    | 0 ->
+        close t;
+        `Eof
+    | n ->
+        t.bytes_in <- t.bytes_in + n;
+        Frame.Decoder.feed t.dec t.rbuf 0 n;
+        `Ok
+    | exception
+        Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+        `Ok
+    | exception Unix.Unix_error _ ->
+        close t;
+        `Eof
+
+let next_frame t =
+  match Frame.Decoder.next t.dec with
+  | Some (Ok f) ->
+      t.frames_in <- t.frames_in + 1;
+      Some (Ok f)
+  | other -> other
+
+let frames_in t = t.frames_in
+let frames_out t = t.frames_out
+let bytes_in t = t.bytes_in
+let bytes_out t = t.bytes_out
+
+(* The fd stays nonblocking: clearing it would let a single
+   [Unix.write] to a peer that stopped reading block past the deadline
+   (two endpoints draining into each other deadlock that way).  Waits
+   for writability in [select] slices bounded by the deadline instead. *)
+let drain_blocking t ~timeout_s =
+  let deadline = Metrics.now_s () +. timeout_s in
+  let continue = ref true in
+  while !continue && want_write t do
+    let remaining = deadline -. Metrics.now_s () in
+    if remaining <= 0.0 then continue := false
+    else
+      match Unix.select [] [ t.fd ] [] remaining with
+      | _, _ :: _, _ -> handle_writable t
+      | _ -> continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done

@@ -1,0 +1,79 @@
+(** Nonblocking buffered stream connections (Unix-domain or TCP) with
+    frame-level send/receive on top of {!Frame}.
+
+    A {!t} owns one socket plus an outbound byte buffer (writes batch:
+    {!send} only appends; {!handle_writable} flushes as much as the
+    kernel accepts) and an inbound {!Frame.Decoder} ({!handle_readable}
+    pulls bytes, {!next_frame} yields reassembled frames).  All
+    sockets are nonblocking; callers multiplex with [Unix.select].
+
+    Errors degrade to the closed state rather than raising: a reset or
+    broken pipe marks the connection {!is_closed} and the supervisor
+    layer decides whether to reconnect. *)
+
+type addr = Uds of string | Tcp of string * int
+
+val addr_to_string : addr -> string
+(** ["uds:/path"] or ["tcp:host:port"]. *)
+
+val addr_of_string : string -> addr
+(** Inverse of {!addr_to_string}.
+    @raise Invalid_argument on a malformed address. *)
+
+val listen : ?backlog:int -> addr -> Unix.file_descr
+(** Bound, listening, nonblocking socket.  A stale Unix-domain socket
+    file is unlinked first.
+    @raise Unix.Unix_error when binding fails. *)
+
+val connect : addr -> Unix.file_descr
+(** Connected nonblocking socket ([TCP_NODELAY] on TCP).
+    @raise Unix.Unix_error when the peer is unreachable.
+    @raise Failure when a TCP hostname does not resolve. *)
+
+type t
+
+val of_fd : Unix.file_descr -> t
+(** Wrap an already-connected socket (made nonblocking). *)
+
+val accept : Unix.file_descr -> t option
+(** Accept one pending connection; [None] when none is pending.
+    @raise Unix.Unix_error on listener failure. *)
+
+val fd : t -> Unix.file_descr
+val is_closed : t -> bool
+
+val close : t -> unit
+(** Idempotent; shuts down and closes the socket. *)
+
+val send : t -> Frame.t -> unit
+(** Append the frame to the outbound buffer (no syscall; dropped
+    silently on a closed connection — the reliability layer above
+    retransmits).
+    @raise Invalid_argument if the frame encodes above
+      {!Frame.max_frame_len} (a payload no peer would accept). *)
+
+val want_write : t -> bool
+(** Buffered outbound bytes remain — poll the fd for writability. *)
+
+val handle_writable : t -> unit
+(** Flush as much outbound data as the socket accepts right now; a
+    hard write error closes the connection. *)
+
+val handle_readable : t -> [ `Ok | `Eof | `Closed ]
+(** Read once into the decoder.  [`Eof] also covers hard read errors
+    (the connection is closed either way).
+    @raise Invalid_argument never for byte counts the read path
+      produces (decoder feed bounds are checked defensively). *)
+
+val next_frame : t -> (Frame.t, Frame.error) result option
+(** Next reassembled inbound frame; an [Error] means a corrupt stream
+    — close the connection. *)
+
+val frames_in : t -> int
+val frames_out : t -> int
+val bytes_in : t -> int
+val bytes_out : t -> int
+
+val drain_blocking : t -> timeout_s:float -> unit
+(** Best-effort blocking flush of the outbound buffer, bounded by
+    [timeout_s] — the graceful-shutdown path. *)

@@ -1,0 +1,222 @@
+(* Length-prefixed binary frame codec.  See frame.mli. *)
+
+type t =
+  | Hello of { session : int; clients : int list }
+  | Hello_ack of { server : int; session : int }
+  | Req of { client : int; seq : int; ack : int; payload : string }
+  | Reply of {
+      client : int;
+      server : int;
+      seq : int;
+      req_applied : int;
+      payload : string;
+    }
+  | Bye
+
+type error =
+  | Oversized of int
+  | Bad_length of int
+  | Bad_tag of int
+  | Short_frame of { tag : int; len : int }
+
+let error_to_string = function
+  | Oversized l -> Printf.sprintf "frame length %d exceeds maximum" l
+  | Bad_length l -> Printf.sprintf "bad frame length %d" l
+  | Bad_tag t -> Printf.sprintf "unknown frame tag %d" t
+  | Short_frame { tag; len } ->
+      Printf.sprintf "frame with tag %d too short (%d bytes)" tag len
+
+type frame = t
+
+let max_frame_len = 1 lsl 22
+let max_hello_clients = 1 lsl 16
+
+let tag = function
+  | Hello _ -> 1
+  | Hello_ack _ -> 2
+  | Req _ -> 3
+  | Reply _ -> 4
+  | Bye -> 5
+
+(* Fixed-width big-endian fields: 4-byte node indices and list counts,
+   8-byte sequence numbers and session nonces.  Sequence numbers stay
+   far below 2^62 in any run, so the int <-> int64 conversions are
+   lossless. *)
+
+let put_u32 buf v = Buffer.add_int32_be buf (Int32.of_int v)
+let put_u64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off)
+let get_u64 b off = Int64.to_int (Bytes.get_int64_be b off)
+
+let body_len = function
+  | Hello { clients; _ } -> 1 + 8 + 4 + (4 * List.length clients)
+  | Hello_ack _ -> 1 + 4 + 8
+  | Req { payload; _ } -> 1 + 4 + 8 + 8 + String.length payload
+  | Reply { payload; _ } -> 1 + 4 + 4 + 8 + 8 + String.length payload
+  | Bye -> 1
+
+let encode_into buf f =
+  let len = body_len f in
+  if len > max_frame_len then
+    invalid_arg "Frame.encode: payload exceeds max_frame_len";
+  put_u32 buf len;
+  Buffer.add_uint8 buf (tag f);
+  match f with
+  | Hello { session; clients } ->
+      put_u64 buf session;
+      put_u32 buf (List.length clients);
+      List.iter (fun c -> put_u32 buf c) clients
+  | Hello_ack { server; session } ->
+      put_u32 buf server;
+      put_u64 buf session
+  | Req { client; seq; ack; payload } ->
+      put_u32 buf client;
+      put_u64 buf seq;
+      put_u64 buf ack;
+      Buffer.add_string buf payload
+  | Reply { client; server; seq; req_applied; payload } ->
+      put_u32 buf client;
+      put_u32 buf server;
+      put_u64 buf seq;
+      put_u64 buf req_applied;
+      Buffer.add_string buf payload
+  | Bye -> ()
+
+let encode f =
+  let buf = Buffer.create (4 + body_len f) in
+  encode_into buf f;
+  Buffer.contents buf
+
+(* [decode_body b off len]: [len] bytes at [off] are one frame body
+   (tag byte included, length prefix stripped). *)
+let decode_body b off len =
+  if len < 1 then Error (Bad_length len)
+  else
+    let tag = Bytes.get_uint8 b off in
+    let short () = Error (Short_frame { tag; len }) in
+    match tag with
+    | 1 ->
+        if len < 13 then short ()
+        else
+          let session = get_u64 b (off + 1) in
+          let count = get_u32 b (off + 9) in
+          if count < 0 || count > max_hello_clients then short ()
+          else if len <> 13 + (4 * count) then short ()
+          else
+            let clients =
+              List.init count (fun i -> get_u32 b (off + 13 + (4 * i)))
+            in
+            Ok (Hello { session; clients })
+    | 2 ->
+        if len <> 13 then short ()
+        else
+          Ok
+            (Hello_ack
+               { server = get_u32 b (off + 1); session = get_u64 b (off + 5) })
+    | 3 ->
+        if len < 21 then short ()
+        else
+          Ok
+            (Req
+               {
+                 client = get_u32 b (off + 1);
+                 seq = get_u64 b (off + 5);
+                 ack = get_u64 b (off + 13);
+                 payload = Bytes.sub_string b (off + 21) (len - 21);
+               })
+    | 4 ->
+        if len < 25 then short ()
+        else
+          Ok
+            (Reply
+               {
+                 client = get_u32 b (off + 1);
+                 server = get_u32 b (off + 5);
+                 seq = get_u64 b (off + 9);
+                 req_applied = get_u64 b (off + 17);
+                 payload = Bytes.sub_string b (off + 25) (len - 25);
+               })
+    | 5 -> if len <> 1 then short () else Ok Bye
+    | t -> Error (Bad_tag t)
+
+module Decoder = struct
+  type d = {
+    mutable buf : bytes;
+    mutable start : int;  (* first unconsumed byte *)
+    mutable len : int;  (* unconsumed byte count *)
+  }
+
+  type nonrec t = d
+
+  let create () = { buf = Bytes.create 4096; start = 0; len = 0 }
+
+  let ensure d extra =
+    let cap = Bytes.length d.buf in
+    if d.start + d.len + extra > cap then
+      if d.len + extra <= cap then begin
+        (* compact in place *)
+        Bytes.blit d.buf d.start d.buf 0 d.len;
+        d.start <- 0
+      end
+      else begin
+        let cap' = max (cap * 2) (d.len + extra) in
+        let buf' = Bytes.create cap' in
+        Bytes.blit d.buf d.start buf' 0 d.len;
+        d.buf <- buf';
+        d.start <- 0
+      end
+
+  let feed d src off n =
+    if n < 0 || off < 0 || off + n > Bytes.length src then
+      invalid_arg "Frame.Decoder.feed: bad slice";
+    ensure d n;
+    Bytes.blit src off d.buf (d.start + d.len) n;
+    d.len <- d.len + n
+
+  let feed_string d s = feed d (Bytes.unsafe_of_string s) 0 (String.length s)
+  let pending d = d.len
+
+  let next d =
+    if d.len < 4 then None
+    else
+      let l = get_u32 d.buf d.start in
+      if l < 1 then Some (Error (Bad_length l))
+      else if l > max_frame_len then Some (Error (Oversized l))
+      else if d.len < 4 + l then None
+      else begin
+        let r = decode_body d.buf (d.start + 4) l in
+        d.start <- d.start + 4 + l;
+        d.len <- d.len - 4 - l;
+        if d.len = 0 then d.start <- 0;
+        Some r
+      end
+end
+
+let to_short_string = function
+  | Hello { session; clients } ->
+      Printf.sprintf "hello[session=%d,clients=%s]" session
+        (String.concat "," (List.map string_of_int clients))
+  | Hello_ack { server; session } ->
+      Printf.sprintf "hello_ack[s%d,session=%d]" server session
+  | Req { client; seq; ack; payload } ->
+      Printf.sprintf "req[c%d,seq=%d,ack=%d,%dB]" client seq ack
+        (String.length payload)
+  | Reply { client; server; seq; req_applied; payload } ->
+      Printf.sprintf "reply[c%d<-s%d,seq=%d,req=%d,%dB]" client server seq
+        req_applied (String.length payload)
+  | Bye -> "bye"
+
+let equal a b =
+  match (a, b) with
+  | Hello a, Hello b ->
+      a.session = b.session && List.equal Int.equal a.clients b.clients
+  | Hello_ack a, Hello_ack b -> a.server = b.server && a.session = b.session
+  | Req a, Req b ->
+      a.client = b.client && a.seq = b.seq && a.ack = b.ack
+      && String.equal a.payload b.payload
+  | Reply a, Reply b ->
+      a.client = b.client && a.server = b.server && a.seq = b.seq
+      && a.req_applied = b.req_applied
+      && String.equal a.payload b.payload
+  | Bye, Bye -> true
+  | (Hello _ | Hello_ack _ | Req _ | Reply _ | Bye), _ -> false

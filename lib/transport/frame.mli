@@ -1,0 +1,95 @@
+(** Length-prefixed binary frame codec for the wire runtime.
+
+    Every frame is [4-byte big-endian body length][1-byte tag][fields];
+    sequence numbers and session nonces are 8-byte, node indices
+    4-byte, payloads raw trailing bytes (an algorithm message,
+    marshalled by the peer that owns the type).
+
+    The codec is deliberately dumb: framing and field layout only.  The
+    reliability machinery (dense per-channel sequence numbers,
+    cumulative acks, dedup) lives in {!Server} and {!Client}; the
+    nemesis proxy parses frames with the same {!Decoder} so it can
+    drop, delay, duplicate and reorder {e whole frames} without ever
+    corrupting the byte stream. *)
+
+type t =
+  | Hello of { session : int; clients : int list }
+      (** opens (or re-opens) a connection: the client process'
+          incarnation nonce and the virtual-client ids it multiplexes.
+          A changed [session] resets the server's per-client sessions;
+          an unchanged one resumes them (reconnect). *)
+  | Hello_ack of { server : int; session : int }
+  | Req of { client : int; seq : int; ack : int; payload : string }
+      (** client request: [seq] is the dense per-(client, server)
+          request number, [ack] the highest reply number the client
+          has applied (cumulative — the server may drop its cached
+          replies up to [ack]). *)
+  | Reply of {
+      client : int;
+      server : int;
+      seq : int;  (** dense per-(server, client) reply number *)
+      req_applied : int;
+          (** highest request number the server has applied for this
+              client (cumulative ack; the client drops retransmission
+              state up to it) *)
+      payload : string;
+    }
+  | Bye  (** graceful close *)
+
+type error =
+  | Oversized of int  (** declared body length above {!max_frame_len} *)
+  | Bad_length of int  (** declared body length below 1 *)
+  | Bad_tag of int
+  | Short_frame of { tag : int; len : int }
+      (** body too short (or mis-sized) for its tag's fields *)
+
+val error_to_string : error -> string
+
+val max_frame_len : int
+(** Upper bound on the body length a decoder will accept; an encoder
+    never produces more unless handed a payload this large. *)
+
+val max_hello_clients : int
+(** Upper bound on the client-id count a {!t.Hello} may carry — a
+    decoder-side allocation guard. *)
+
+val encode : t -> string
+(** The frame's wire bytes, length prefix included.
+    @raise Invalid_argument when the body would exceed
+    {!max_frame_len}. *)
+
+val encode_into : Buffer.t -> t -> unit
+(** Append the wire bytes to a buffer (the write path's batching).
+    @raise Invalid_argument when the body would exceed
+    {!max_frame_len}. *)
+
+type frame = t
+(** Alias so {!Decoder}'s signature can name the frame type. *)
+
+(** Incremental decoder: feed arbitrary byte chunks, pull complete
+    frames.  Reassembles frames split across reads; a decode [error]
+    means the stream is corrupt and the connection must be dropped
+    (after an error the decoder's state is unspecified). *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> int -> int -> unit
+  (** [feed d b off n] appends [b.[off .. off+n-1]].
+      @raise Invalid_argument on a bad slice. *)
+
+  val feed_string : t -> string -> unit
+
+  val next : t -> (frame, error) result option
+  (** Next complete frame, [None] when more bytes are needed. *)
+
+  val pending : t -> int
+  (** Unconsumed byte count — nonzero at stream end means the peer
+      sent a truncated frame. *)
+end
+
+val to_short_string : t -> string
+(** One-line rendering for diagnostics. *)
+
+val equal : t -> t -> bool

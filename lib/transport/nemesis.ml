@@ -1,0 +1,301 @@
+(* Socket-level nemesis proxy.  See nemesis.mli. *)
+
+type stats = {
+  pairs_opened : int;
+  forwarded : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  reordered : int;
+  severed : int;
+}
+
+type pair = {
+  proxy : int;
+  a : Conn.t;  (* client side *)
+  b : Conn.t;  (* server side *)
+  mutable clients : int list;  (* wire client ids seen in Hello *)
+  mutable held_ab : (float * Frame.t) option;  (* reorder hold, a->b *)
+  mutable held_ba : (float * Frame.t) option;
+}
+
+let reorder_hold_s = 0.05
+
+let frame_clients = function
+  | Frame.Hello { clients; _ } -> clients
+  | Frame.Req { client; _ } | Frame.Reply { client; _ } -> [ client ]
+  | Frame.Hello_ack _ | Frame.Bye -> []
+
+let scope_matches scope ~proxy ~frame =
+  match scope with
+  | None -> true
+  | Some (Engine.Types.Server i) -> Int.equal i proxy
+  | Some (Engine.Types.Client c) ->
+      List.exists (Int.equal c) (frame_clients frame)
+
+let run ~(listen : Conn.addr array) ~(forward : Conn.addr array)
+    ~(plan : Faults.Plan.t) ~(seed : int) ?(stop = fun () -> false)
+    ?on_ready () : stats =
+  let np = Array.length listen in
+  if Array.length forward <> np then
+    invalid_arg "Nemesis.run: listen/forward arity mismatch";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let rng = Random.State.make [| seed; 0xbad |] in
+  let start = Metrics.now_s () in
+  let net = Faults.Plan.net_faults plan in
+  let sever_fired = Array.make (List.length net) false in
+  let listeners = Array.map Conn.listen listen in
+  (match on_ready with Some f -> f () | None -> ());
+  let pairs = ref [] in
+  let pairs_opened = ref 0
+  and forwarded = ref 0
+  and dropped = ref 0
+  and duplicated = ref 0
+  and delayed_n = ref 0
+  and reordered = ref 0
+  and severed = ref 0 in
+  (* frames being held back by an active delay window: emitted to their
+     destination once [release] passes *)
+  let delayed : (float * Frame.t * Conn.t) list ref = ref [] in
+  let elapsed_ms now = int_of_float ((now -. start) *. 1000.0) in
+  let active now ~proxy ~frame =
+    let e = elapsed_ms now in
+    List.filter
+      (fun (step, until, scope, _op) ->
+        step <= e
+        && (match until with None -> true | Some u -> e < u)
+        && scope_matches scope ~proxy ~frame)
+      net
+    |> List.map (fun (_, _, _, op) -> op)
+  in
+  let pct_hit pct = Random.State.int rng 100 < pct in
+  let emit now ~ops frame dst =
+    (* the delay stage: last in the pipeline *)
+    let delay_ms =
+      List.fold_left
+        (fun acc (op : Faults.Plan.net_op) ->
+          match op with
+          | Net_delay { ms_lo; ms_hi } ->
+              let d = ms_lo + Random.State.int rng (ms_hi - ms_lo + 1) in
+              max acc d
+          | Net_drop _ | Net_dup _ | Net_reorder _ | Net_sever -> acc)
+        0 ops
+    in
+    if delay_ms > 0 then begin
+      incr delayed_n;
+      delayed :=
+        (now +. (float_of_int delay_ms /. 1000.0), frame, dst) :: !delayed
+    end
+    else begin
+      incr forwarded;
+      Conn.send dst frame
+    end
+  in
+  let pipeline pair ~dir frame dst =
+    let now = Metrics.now_s () in
+    let ops = active now ~proxy:pair.proxy ~frame in
+    let drop_pct =
+      List.fold_left
+        (fun acc (op : Faults.Plan.net_op) ->
+          match op with Net_drop { pct } -> max acc pct | _ -> acc)
+        0 ops
+    and dup_pct =
+      List.fold_left
+        (fun acc (op : Faults.Plan.net_op) ->
+          match op with Net_dup { pct } -> max acc pct | _ -> acc)
+        0 ops
+    and reorder_pct =
+      List.fold_left
+        (fun acc (op : Faults.Plan.net_op) ->
+          match op with Net_reorder { pct } -> max acc pct | _ -> acc)
+        0 ops
+    in
+    if drop_pct > 0 && pct_hit drop_pct then incr dropped
+    else begin
+      let copies =
+        if dup_pct > 0 && pct_hit dup_pct then begin
+          incr duplicated;
+          [ frame; frame ]
+        end
+        else [ frame ]
+      in
+      let held =
+        match dir with `Ab -> pair.held_ab | `Ba -> pair.held_ba
+      in
+      let set_held v =
+        match dir with
+        | `Ab -> pair.held_ab <- v
+        | `Ba -> pair.held_ba <- v
+      in
+      List.iter
+        (fun f ->
+          match held with
+          | Some (_, h) ->
+              (* a frame was held back: this one overtakes it *)
+              set_held None;
+              emit now ~ops f dst;
+              emit now ~ops h dst
+          | None ->
+              if reorder_pct > 0 && pct_hit reorder_pct then begin
+                incr reordered;
+                set_held (Some (now +. reorder_hold_s, f))
+              end
+              else emit now ~ops f dst)
+        copies
+    end
+  in
+  let close_pair p =
+    Conn.drain_blocking p.a ~timeout_s:0.1;
+    Conn.drain_blocking p.b ~timeout_s:0.1;
+    Conn.close p.a;
+    Conn.close p.b
+  in
+  let fire_severs now =
+    let e = elapsed_ms now in
+    List.iteri
+      (fun i (step, _until, scope, (op : Faults.Plan.net_op)) ->
+        match op with
+        | Net_sever when (not sever_fired.(i)) && step <= e ->
+            sever_fired.(i) <- true;
+            List.iter
+              (fun p ->
+                let matches =
+                  match scope with
+                  | None -> true
+                  | Some (Engine.Types.Server s) -> Int.equal s p.proxy
+                  | Some (Engine.Types.Client c) ->
+                      List.exists (Int.equal c) p.clients
+                in
+                if matches && not (Conn.is_closed p.a) then begin
+                  incr severed;
+                  Conn.close p.a;
+                  Conn.close p.b
+                end)
+              !pairs
+        | _ -> ())
+      net
+  in
+  let running = ref true in
+  while !running do
+    let now = Metrics.now_s () in
+    fire_severs now;
+    (* release delayed frames *)
+    let due, still =
+      List.partition (fun (t, _, _) -> t <= now) !delayed
+    in
+    delayed := still;
+    List.iter
+      (fun (_, f, dst) ->
+        incr forwarded;
+        Conn.send dst f)
+      (List.sort (fun (t1, _, _) (t2, _, _) -> Float.compare t1 t2) due);
+    (* flush reorder holds whose partner never came *)
+    List.iter
+      (fun p ->
+        (match p.held_ab with
+        | Some (t, f) when t <= now ->
+            p.held_ab <- None;
+            emit now ~ops:[] f p.b
+        | _ -> ());
+        match p.held_ba with
+        | Some (t, f) when t <= now ->
+            p.held_ba <- None;
+            emit now ~ops:[] f p.a
+        | _ -> ())
+      !pairs;
+    let read_fds = Array.to_list listeners in
+    let read_fds =
+      List.fold_left
+        (fun acc p ->
+          let acc = if Conn.is_closed p.a then acc else Conn.fd p.a :: acc in
+          if Conn.is_closed p.b then acc else Conn.fd p.b :: acc)
+        read_fds !pairs
+    in
+    let write_fds =
+      List.fold_left
+        (fun acc p ->
+          let acc = if Conn.want_write p.a then Conn.fd p.a :: acc else acc in
+          if Conn.want_write p.b then Conn.fd p.b :: acc else acc)
+        [] !pairs
+    in
+    let readable, writable, _ =
+      try Unix.select read_fds write_fds [] 0.02
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    Array.iteri
+      (fun proxy lfd ->
+        if List.memq lfd readable then
+          match Conn.accept lfd with
+          | Some a -> (
+              match Conn.connect forward.(proxy) with
+              | fd ->
+                  incr pairs_opened;
+                  pairs :=
+                    {
+                      proxy;
+                      a;
+                      b = Conn.of_fd fd;
+                      clients = [];
+                      held_ab = None;
+                      held_ba = None;
+                    }
+                    :: !pairs
+              | exception (Unix.Unix_error _ | Failure _) -> Conn.close a)
+          | None -> ())
+      listeners;
+    let read_side p ~dir src dst =
+      if (not (Conn.is_closed src)) && List.memq (Conn.fd src) readable then begin
+        (match Conn.handle_readable src with `Ok | `Eof | `Closed -> ());
+        let continue = ref true in
+        while !continue do
+          match Conn.next_frame src with
+          | Some (Ok f) ->
+              (match f with
+              | Frame.Hello { clients; _ } ->
+                  p.clients <-
+                    List.sort_uniq Int.compare (clients @ p.clients)
+              | _ -> ());
+              pipeline p ~dir f dst
+          | Some (Error _) ->
+              Conn.close src;
+              continue := false
+          | None -> continue := false
+        done;
+        if Conn.is_closed src then close_pair p
+      end
+    in
+    List.iter
+      (fun p ->
+        read_side p ~dir:`Ab p.a p.b;
+        read_side p ~dir:`Ba p.b p.a)
+      !pairs;
+    List.iter
+      (fun p ->
+        if (not (Conn.is_closed p.a)) && List.memq (Conn.fd p.a) writable then
+          Conn.handle_writable p.a;
+        if (not (Conn.is_closed p.b)) && List.memq (Conn.fd p.b) writable then
+          Conn.handle_writable p.b)
+      !pairs;
+    pairs :=
+      List.filter
+        (fun p ->
+          if Conn.is_closed p.a || Conn.is_closed p.b then begin
+            close_pair p;
+            false
+          end
+          else true)
+        !pairs;
+    if stop () then running := false
+  done;
+  List.iter close_pair !pairs;
+  Array.iter (fun lfd -> try Unix.close lfd with Unix.Unix_error _ -> ())
+    listeners;
+  {
+    pairs_opened = !pairs_opened;
+    forwarded = !forwarded;
+    dropped = !dropped;
+    duplicated = !duplicated;
+    delayed = !delayed_n;
+    reordered = !reordered;
+    severed = !severed;
+  }

@@ -1,0 +1,40 @@
+(** Socket-level nemesis: a frame-aware proxy that sits between the
+    load clients and the serving process and misbehaves on schedule.
+
+    One listener per server fronts the real server address; every
+    proxied byte stream is re-parsed into {!Frame}s so the nemesis
+    can {b drop}, {b delay}, {b duplicate} and {b reorder} whole
+    frames — never corrupting the stream itself — and {b sever} live
+    connections (both sides closed; the client supervisor's reconnect
+    path takes over).
+
+    The schedule is the [Net] faults of a {!Faults.Plan} (see
+    [Faults.Plan.net_faults]), with [step]/[until] read as
+    milliseconds since the proxy started; scoping by server applies
+    to one proxy's connections, scoping by client to the frames that
+    carry that wire client id.  All randomness (percentages, delay
+    sampling) is drawn from the given seed. *)
+
+type stats = {
+  pairs_opened : int;
+  forwarded : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  reordered : int;
+  severed : int;  (** connections severed *)
+}
+
+val run :
+  listen:Conn.addr array ->
+  forward:Conn.addr array ->
+  plan:Faults.Plan.t ->
+  seed:int ->
+  ?stop:(unit -> bool) ->
+  ?on_ready:(unit -> unit) ->
+  unit ->
+  stats
+(** Proxy [listen.(i)] to [forward.(i)] until [stop ()] holds.
+    [on_ready] fires once all proxy listeners are bound.
+    @raise Invalid_argument on a listen/forward arity mismatch.
+    @raise Unix.Unix_error when a proxy listener cannot be bound. *)

@@ -1,0 +1,253 @@
+(* Wire-trace refinement against the pure engine.  See refine.mli. *)
+
+open Engine.Types
+module Config = Engine.Config
+
+type violation = { stream : string; pos : int; detail : string }
+
+type report = {
+  ok : bool;
+  replayed : int;
+  server_events : int;
+  client_events : int;
+  completed_ops : int;
+  bits_checked : int;
+  bits_mismatches : int;
+  violations : violation list;
+  peak_total_bits : int;
+  peak_max_server_bits : int;
+  peak_norm : float;
+  lower_norm : float;
+}
+
+let describe_ev = function
+  | Trace.Apply { server; src; seq; digest; _ } ->
+      Printf.sprintf "apply at s%d of %s-seq %d (digest %s)" server
+        (match src with
+        | Server i -> Printf.sprintf "s%d" i
+        | Client i -> Printf.sprintf "c%d" i)
+        seq
+        (String.sub digest 0 (min 8 (String.length digest)))
+  | Trace.Inv { client; op_id; op } ->
+      Format.asprintf "invoke op %d at c%d: %a" op_id client pp_op op
+  | Trace.Del { client; server; seq; _ } ->
+      Printf.sprintf "apply at c%d of reply seq %d from s%d" client seq server
+  | Trace.Res { client; op_id; response } ->
+      Format.asprintf "response of op %d at c%d: %a" op_id client pp_response
+        response
+
+type stream = { label : string; evs : Trace.ev array; mutable i : int }
+
+let run (type ss cs m) (algo : (ss, cs, m) algo) (params : params)
+    ~(clients : int) ~(server_events : Trace.ev list)
+    ~(client_streams : Trace.ev list list) : report =
+  let streams =
+    { label = "server"; evs = Array.of_list server_events; i = 0 }
+    :: List.mapi
+         (fun j evs ->
+           {
+             label =
+               (if List.compare_length_with client_streams 1 = 0 then "client"
+                else Printf.sprintf "client#%d" j);
+             evs = Array.of_list evs;
+             i = 0;
+           })
+         client_streams
+  in
+  let streams = Array.of_list streams in
+  let cfg = ref (Config.make algo params ~clients) in
+  let peak = Storage.create_peak () in
+  let bits_checked = ref 0
+  and bits_mismatches = ref 0
+  and completed = ref 0
+  and replayed = ref 0 in
+  let violations = ref [] in
+  let cur_stream = ref "" and cur_pos = ref 0 in
+  let note_violation detail =
+    if List.length !violations < 8 then
+      violations :=
+        { stream = !cur_stream; pos = !cur_pos; detail } :: !violations
+  in
+  let observe_storage c =
+    Storage.peak_observe peak
+      ~total:(Config.total_storage_bits algo c)
+      ~max_server:(Config.max_storage_bits algo c)
+  in
+  (* Try to replay one traced event on the current configuration.
+     [`Stuck reason] is not yet a violation: the event may only be
+     waiting on another stream's causal predecessors. *)
+  let try_ev (ev : Trace.ev) : [ `Ok | `Stuck of string ] =
+    match ev with
+    | Trace.Apply { server; src; seq = _; digest; bits } -> (
+        if server < 0 || server >= params.n then `Stuck "server out of range"
+        else
+          match Config.peek_channel !cfg ~src ~dst:(Server server) with
+          | None -> `Stuck "engine channel is empty"
+          | Some m ->
+              let d = Trace.msg_digest algo.encode_msg m in
+              if not (String.equal d digest) then
+                `Stuck
+                  (Printf.sprintf
+                     "engine channel head has digest %s, trace says %s"
+                     (String.sub d 0 8)
+                     (String.sub digest 0 (min 8 (String.length digest))))
+              else (
+                match
+                  Config.step_deliver algo !cfg
+                    (Config.Deliver (src, Server server))
+                with
+                | None -> `Stuck "delivery not enabled"
+                | Some c' ->
+                    cfg := c';
+                    incr bits_checked;
+                    let engine_bits =
+                      algo.server_bits params (Config.server_state c' server)
+                    in
+                    if not (Int.equal engine_bits bits) then begin
+                      incr bits_mismatches;
+                      note_violation
+                        (Printf.sprintf
+                           "storage bits at s%d: live runtime reported %d, \
+                            engine says %d"
+                           server bits engine_bits)
+                    end;
+                    observe_storage c';
+                    `Ok))
+    | Trace.Inv { client; op_id = _; op } -> (
+        if client < 0 || client >= clients then `Stuck "client out of range"
+        else
+          match Config.pending_op !cfg client with
+          | Some _ -> `Stuck "client already has a pending operation"
+          | None -> (
+              match Config.invoke algo !cfg ~client op with
+              | _, c' ->
+                  cfg := c';
+                  `Ok
+              | exception Invalid_argument msg -> `Stuck msg))
+    | Trace.Del { client; server; seq = _; digest } -> (
+        if client < 0 || client >= clients || server < 0 || server >= params.n
+        then `Stuck "endpoint out of range"
+        else
+          let src = Server server and dst = Client client in
+          match Config.peek_channel !cfg ~src ~dst with
+          | None -> `Stuck "engine channel is empty"
+          | Some m ->
+              let d = Trace.msg_digest algo.encode_msg m in
+              if not (String.equal d digest) then
+                `Stuck
+                  (Printf.sprintf
+                     "engine channel head has digest %s, trace says %s"
+                     (String.sub d 0 8)
+                     (String.sub digest 0 (min 8 (String.length digest))))
+              else (
+                match
+                  Config.step_deliver algo !cfg (Config.Deliver (src, dst))
+                with
+                | None -> `Stuck "delivery not enabled"
+                | Some c' ->
+                    cfg := c';
+                    `Ok))
+    | Trace.Res { client; op_id = _; response } -> (
+        if client < 0 || client >= clients then `Stuck "client out of range"
+        else
+          match Config.pending_op !cfg client with
+          | Some _ -> `Stuck "operation still pending in the engine"
+          | None -> (
+              match Config.last_response_for !cfg ~client with
+              | Some r when equal_response r response ->
+                  incr completed;
+                  `Ok
+              | Some r ->
+                  `Stuck
+                    (Format.asprintf
+                       "engine responded %a, live runtime observed %a"
+                       pp_response r pp_response response)
+              | None -> `Stuck "engine has no response for this client"))
+  in
+  (* Causally-greedy merge.  The server stream consumes only
+     (client -> server) and in-process (server -> server) channels;
+     each client stream consumes only (server -> client) channels of
+     its own clients.  No stream can consume what another stream's
+     pending events would consume, so an enabled event stays enabled
+     and greedy interleaving is complete: if the merged trace is
+     engine-reachable at all this loop finds a witness, and a wedge
+     with every head stuck is a genuine refinement violation (e.g.
+     the dedup canary's double apply, which re-pops an
+     already-consumed message). *)
+  let exhausted s = s.i >= Array.length s.evs in
+  let all_done () = Array.for_all exhausted streams in
+  let stuck = ref false in
+  while (not !stuck) && not (all_done ()) do
+    let progressed = ref false in
+    Array.iter
+      (fun s ->
+        let continue = ref true in
+        while !continue && not (exhausted s) do
+          cur_stream := s.label;
+          cur_pos := s.i;
+          match try_ev s.evs.(s.i) with
+          | `Ok ->
+              s.i <- s.i + 1;
+              incr replayed;
+              progressed := true
+          | `Stuck _ -> continue := false
+        done)
+      streams;
+    if not !progressed then begin
+      stuck := true;
+      let reasons =
+        Array.to_list streams
+        |> List.map (fun s ->
+               if exhausted s then Printf.sprintf "%s exhausted" s.label
+               else begin
+                 cur_stream := s.label;
+                 cur_pos := s.i;
+                 match try_ev s.evs.(s.i) with
+                 | `Stuck r ->
+                     Printf.sprintf "%s[%d] %s: %s" s.label s.i
+                       (describe_ev s.evs.(s.i)) r
+                 | `Ok -> Printf.sprintf "%s: (spurious)" s.label
+               end)
+      in
+      cur_stream := "merge";
+      cur_pos := !replayed;
+      note_violation
+        (Printf.sprintf "replay wedged — %s" (String.concat "; " reasons))
+    end
+  done;
+  let bp = Bounds.params ~n:params.n ~f:params.f in
+  {
+    ok = (match !violations with [] -> true | _ -> false);
+    replayed = !replayed;
+    server_events = List.length server_events;
+    client_events =
+      List.fold_left (fun a evs -> a + List.length evs) 0 client_streams;
+    completed_ops = !completed;
+    bits_checked = !bits_checked;
+    bits_mismatches = !bits_mismatches;
+    violations = List.rev !violations;
+    peak_total_bits = Storage.peak_total peak;
+    peak_max_server_bits = Storage.peak_max_server peak;
+    peak_norm =
+      (if Storage.peak_samples peak = 0 then 0.0
+       else Storage.normalized peak ~value_len:params.value_len);
+    lower_norm = Bounds.norm_singleton bp;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>replayed %d/%d events (%d server, %d client), %d completed ops@,\
+     storage bits checked %d (mismatches %d), peak %.3f x value_len \
+     (singleton lower bound %.3f)@,%s@]"
+    r.replayed
+    (r.server_events + r.client_events)
+    r.server_events r.client_events r.completed_ops r.bits_checked
+    r.bits_mismatches r.peak_norm r.lower_norm
+    (match r.violations with
+    | [] -> "refinement OK: trace is engine-reachable"
+    | vs ->
+        String.concat "\n"
+          (List.map
+             (fun v ->
+               Printf.sprintf "VIOLATION at %s[%d]: %s" v.stream v.pos v.detail)
+             vs))

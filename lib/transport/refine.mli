@@ -1,0 +1,63 @@
+(** Refinement of live wire traces against the pure engine — the
+    IronFleet-style check that the socket runtime implements the
+    engine's transition system.
+
+    Inputs are the two process-local total orders logged by
+    {!Server} and {!Client}.  The harness merges them {e causally
+    greedily} and replays each event on a fresh pure
+    [Engine.Config]:
+
+    - a server {!Trace.ev.Apply} must pop the head of the matching
+      engine channel with the {e same message digest}, and the
+      server's storage-bit counter logged live must equal
+      [algo.server_bits] of the replayed state — the live storage
+      telemetry is certified exact, and its peak is reported against
+      the [lib/bounds] normalized curves;
+    - a client {!Trace.ev.Del} must pop the matching reply;
+    - a {!Trace.ev.Res} must match the engine's recorded response.
+
+    Greedy merging is complete here: the server stream consumes only
+    client-to-server (and in-process server-to-server) channels, the
+    client stream only server-to-client channels, so an enabled event
+    can never be disabled by the other stream and a wedged merge
+    means {e no} interleaving replays — a genuine violation (e.g. the
+    dedup canary's double apply, which re-pops an already-consumed
+    message).  Exactly-once delivery, FIFO per channel, and
+    linearizable responses all follow from reachability. *)
+
+type violation = { stream : string; pos : int; detail : string }
+
+type report = {
+  ok : bool;
+  replayed : int;
+  server_events : int;
+  client_events : int;
+  completed_ops : int;
+  bits_checked : int;
+  bits_mismatches : int;
+  violations : violation list;  (** at most 8, in discovery order *)
+  peak_total_bits : int;
+  peak_max_server_bits : int;
+  peak_norm : float;  (** peak total bits / value_len *)
+  lower_norm : float;  (** [Bounds.norm_singleton] at these params *)
+}
+
+val run :
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  Engine.Types.params ->
+  clients:int ->
+  server_events:Trace.ev list ->
+  client_streams:Trace.ev list list ->
+  report
+(** Replay the traces (each in file order) through the pure engine.
+    [client_streams] is one stream per load {e process}; streams must
+    not share wire client ids (distinct [--client-base] ranges), or
+    the per-stream total orders stop being causal orders and a wedge
+    may be a merge artifact rather than a violation.  Never raises on
+    trace content: out-of-range endpoints, digest mismatches and
+    wedges are reported as violations.
+    @raise Invalid_argument if [params]/[clients] themselves are
+      invalid (e.g. [clients <= 0]) — config construction validates
+      them before any replay starts. *)
+
+val pp_report : Format.formatter -> report -> unit

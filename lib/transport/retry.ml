@@ -1,0 +1,25 @@
+(* Capped exponential backoff with jitter.  See retry.mli. *)
+
+type t = {
+  base_s : float;
+  cap_s : float;
+  rng : Random.State.t;
+  mutable attempts : int;
+}
+
+let create ?(base_s = 0.05) ?(cap_s = 2.0) ~rng () =
+  if base_s <= 0.0 || cap_s < base_s then
+    invalid_arg "Retry.create: need 0 < base_s <= cap_s";
+  { base_s; cap_s; rng; attempts = 0 }
+
+let attempts t = t.attempts
+let reset t = t.attempts <- 0
+
+(* Delay for attempt [k] (0-based): d = min cap (base * 2^k), jittered
+   uniformly over [d/2, d] so a fleet of reconnecting clients spreads
+   out instead of thundering back in lockstep. *)
+let next_delay t =
+  let k = min t.attempts 30 in
+  t.attempts <- t.attempts + 1;
+  let d = Float.min t.cap_s (t.base_s *. Float.of_int (1 lsl k)) in
+  (d /. 2.0) +. (Random.State.float t.rng (d /. 2.0))

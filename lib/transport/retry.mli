@@ -1,0 +1,25 @@
+(** Capped exponential backoff with jitter — the reconnect and
+    retransmission pacing policy of the wire runtime's supervisors.
+
+    Attempt [k] (0-based) waits [min cap_s (base_s * 2^k)] seconds,
+    jittered uniformly down to half that value, so repeated failures
+    back off geometrically up to the cap and concurrently-failing
+    peers decorrelate.  Randomness comes from the caller's seeded
+    [Random.State] — the whole runtime stays replayable from its
+    seed. *)
+
+type t
+
+val create : ?base_s:float -> ?cap_s:float -> rng:Random.State.t -> unit -> t
+(** Defaults: [base_s = 0.05], [cap_s = 2.0].
+    @raise Invalid_argument unless [0 < base_s <= cap_s]. *)
+
+val next_delay : t -> float
+(** Seconds to wait before the next attempt; increments the attempt
+    counter. *)
+
+val attempts : t -> int
+(** Attempts taken since creation or the last {!reset}. *)
+
+val reset : t -> unit
+(** Back to attempt 0 — call on success. *)

@@ -1,0 +1,370 @@
+(* The serve-side wire runtime.  See server.mli. *)
+
+open Engine.Types
+
+type stats = {
+  applies : int;
+  gossip_applies : int;
+  dedup_hits : int;
+  canary_fires : int;
+  accepts : int;
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  peak_total_bits : int;
+  peak_max_server_bits : int;
+  peak_norm : float;
+  trace_events : int;
+}
+
+(* Per-(server, client) session: the server half of the reliable
+   exactly-once FIFO virtual channel.  Request seqs are dense from 1;
+   [applied] is the highest applied, [pending] buffers out-of-order
+   arrivals (frames can be reordered by the nemesis even though each
+   socket is ordered).  Replies are cached until the client's
+   cumulative ack covers them, so a dedup hit or a reconnect can
+   resend them verbatim. *)
+type slot = {
+  cid : int;
+  mutable session : int;
+  mutable applied : int;
+  pending : (int, string) Hashtbl.t;
+  mutable next_reply_seq : int;
+  cache : (int, Frame.t) Hashtbl.t;
+  mutable acked : int;
+  mutable conn : Conn.t option;
+}
+
+let fresh_slot cid =
+  {
+    cid;
+    session = min_int;
+    applied = 0;
+    pending = Hashtbl.create 8;
+    next_reply_seq = 0;
+    cache = Hashtbl.create 16;
+    acked = 0;
+    conn = None;
+  }
+
+type 'ss instance = {
+  sid : int;
+  mutable ss : 'ss;
+  lfd : Unix.file_descr;
+  mutable conns : Conn.t list;
+  slots : (int, slot) Hashtbl.t;
+  mutable bits : int;
+}
+
+let find_slot inst cid =
+  match Hashtbl.find_opt inst.slots cid with
+  | Some s -> s
+  | None ->
+      let s = fresh_slot cid in
+      Hashtbl.replace inst.slots cid s;
+      s
+
+let reset_slot s ~session =
+  s.session <- session;
+  s.applied <- 0;
+  Hashtbl.reset s.pending;
+  s.next_reply_seq <- 0;
+  Hashtbl.reset s.cache;
+  s.acked <- 0
+
+let sorted_cache_seqs slot ~above =
+  Hashtbl.fold (fun seq _ acc -> if seq > above then seq :: acc else acc)
+    slot.cache []
+  |> List.sort Int.compare
+
+let serve (type ss cs m) (algo : (ss, cs, m) algo) (params : params)
+    ~(algo_key : string) ~(addrs : Conn.addr array) ~(clients : int)
+    ?(canary = false) ?(drop_first_conns = 0) ?trace
+    ?(stop = fun () -> false) ?on_ready () =
+  if Array.length addrs <> params.n then
+    invalid_arg "Server.serve: need one address per server";
+  (* a peer can vanish between select and write; EPIPE must be an
+     error return, not a process kill *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let applies = ref 0
+  and gossip_applies = ref 0
+  and dedup_hits = ref 0
+  and canary_fires = ref 0
+  and arch_frames_in = ref 0
+  and arch_frames_out = ref 0
+  and arch_bytes_in = ref 0
+  and arch_bytes_out = ref 0
+  and accepts = ref 0
+  and to_drop = ref drop_first_conns
+  and canary_armed = ref canary in
+  let peak = Storage.create_peak () in
+  let instances =
+    Array.init params.n (fun sid ->
+        {
+          sid;
+          ss = algo.init_server params sid;
+          lfd = Conn.listen addrs.(sid);
+          conns = [];
+          slots = Hashtbl.create 16;
+          bits = algo.server_bits params (algo.init_server params sid);
+        })
+  in
+  (match trace with
+  | Some w -> Trace.write_header w { Trace.algo = algo_key; params; clients }
+  | None -> ());
+  (match on_ready with Some f -> f () | None -> ());
+  let observe_storage () =
+    let total = ref 0 and mx = ref 0 in
+    Array.iter
+      (fun inst ->
+        total := !total + inst.bits;
+        if inst.bits > !mx then mx := inst.bits)
+      instances;
+    Storage.peak_observe peak ~total:!total ~max_server:!mx
+  in
+  (* in-process gossip deliveries: (dst server, src server, message) *)
+  let gossip_q : (int * int * m) Queue.t = Queue.create () in
+  let rec apply_msg inst ~src ~seq (msg : m) =
+    let ss', outs = algo.on_server_msg params ~me:inst.sid inst.ss ~src msg in
+    inst.ss <- ss';
+    inst.bits <- algo.server_bits params ss';
+    incr applies;
+    (match src with Server _ -> incr gossip_applies | Client _ -> ());
+    (match trace with
+    | Some w ->
+        Trace.write w
+          (Trace.Apply
+             {
+               server = inst.sid;
+               src;
+               seq;
+               digest = Trace.msg_digest algo.encode_msg msg;
+               bits = inst.bits;
+             })
+    | None -> ());
+    observe_storage ();
+    List.iter
+      (fun (env : m envelope) ->
+        match env.dst with
+        | Client c -> send_reply inst c env.payload
+        | Server j -> Queue.add (j, inst.sid, env.payload) gossip_q)
+      outs;
+    while not (Queue.is_empty gossip_q) do
+      let j, from, m = Queue.pop gossip_q in
+      apply_msg instances.(j) ~src:(Server from) ~seq:0 m
+    done
+
+  and send_reply inst cid (msg : m) =
+    let slot = find_slot inst cid in
+    let seq = slot.next_reply_seq + 1 in
+    slot.next_reply_seq <- seq;
+    let frame =
+      Frame.Reply
+        {
+          client = cid;
+          server = inst.sid;
+          seq;
+          req_applied = slot.applied;
+          payload = Marshal.to_string msg [];
+        }
+    in
+    Hashtbl.replace slot.cache seq frame;
+    match slot.conn with
+    | Some conn when not (Conn.is_closed conn) -> Conn.send conn frame
+    | _ -> ()
+  in
+  let resend_cached slot =
+    match slot.conn with
+    | Some conn when not (Conn.is_closed conn) ->
+        List.iter
+          (fun seq -> Conn.send conn (Hashtbl.find slot.cache seq))
+          (sorted_cache_seqs slot ~above:slot.acked)
+    | _ -> ()
+  in
+  let apply_req inst slot seq payload =
+    let msg : m = Marshal.from_string payload 0 in
+    apply_msg inst ~src:(Client slot.cid) ~seq msg;
+    slot.applied <- seq
+  in
+  let on_req inst conn ~client ~seq ~ack payload =
+    let slot = find_slot inst client in
+    slot.conn <- Some conn;
+    if ack > slot.acked then begin
+      for s = slot.acked + 1 to ack do
+        Hashtbl.remove slot.cache s
+      done;
+      slot.acked <- ack
+    end;
+    if seq <= slot.applied then begin
+      (* retransmitted request we already applied *)
+      incr dedup_hits;
+      if !canary_armed then begin
+        (* planted bug (SMEC_SERVE_CANARY): apply the retried phase a
+           second time instead of resending the cached replies — the
+           refinement harness must catch the double apply *)
+        canary_armed := false;
+        incr canary_fires;
+        apply_req inst slot seq payload
+      end
+      else resend_cached slot
+    end
+    else begin
+      if not (Hashtbl.mem slot.pending seq) then
+        Hashtbl.replace slot.pending seq payload;
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt slot.pending (slot.applied + 1) with
+        | Some p ->
+            let s = slot.applied + 1 in
+            Hashtbl.remove slot.pending s;
+            apply_req inst slot s p
+        | None -> continue := false
+      done
+    end
+  in
+  let on_frame inst conn = function
+    | Frame.Hello { session; clients = cs } ->
+        List.iter
+          (fun cid ->
+            let slot = find_slot inst cid in
+            if slot.session <> session then reset_slot slot ~session;
+            slot.conn <- Some conn;
+            resend_cached slot)
+          cs;
+        Conn.send conn (Frame.Hello_ack { server = inst.sid; session })
+    | Frame.Req { client; seq; ack; payload } ->
+        on_req inst conn ~client ~seq ~ack payload
+    | Frame.Bye -> Conn.close conn
+    | Frame.Hello_ack _ | Frame.Reply _ ->
+        (* protocol violation from a peer; drop the connection *)
+        Conn.close conn
+  in
+  let running = ref true in
+  while !running do
+    let read_fds =
+      Array.fold_left (fun acc inst -> inst.lfd :: acc) [] instances
+    in
+    let read_fds =
+      Array.fold_left
+        (fun acc inst ->
+          List.fold_left
+            (fun acc c -> if Conn.is_closed c then acc else Conn.fd c :: acc)
+            acc inst.conns)
+        read_fds instances
+    in
+    let write_fds =
+      Array.fold_left
+        (fun acc inst ->
+          List.fold_left
+            (fun acc c -> if Conn.want_write c then Conn.fd c :: acc else acc)
+            acc inst.conns)
+        [] instances
+    in
+    let readable, writable, _ =
+      try Unix.select read_fds write_fds [] 0.2
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    Array.iter
+      (fun inst ->
+        if List.memq inst.lfd readable then
+          match Conn.accept inst.lfd with
+          | Some conn ->
+              incr accepts;
+              if !to_drop > 0 then begin
+                (* test hook: crash-mid-handshake — close before any
+                   frame exchange; the client supervisor must retry *)
+                decr to_drop;
+                Conn.close conn
+              end
+              else inst.conns <- conn :: inst.conns
+          | None -> ())
+      instances;
+    Array.iter
+      (fun inst ->
+        List.iter
+          (fun conn ->
+            if (not (Conn.is_closed conn)) && List.memq (Conn.fd conn) readable
+            then begin
+              (match Conn.handle_readable conn with
+              | `Ok | `Eof | `Closed -> ());
+              let continue = ref true in
+              while !continue do
+                match Conn.next_frame conn with
+                | Some (Ok f) -> on_frame inst conn f
+                | Some (Error _) ->
+                    Conn.close conn;
+                    continue := false
+                | None -> continue := false
+              done
+            end)
+          inst.conns)
+      instances;
+    Array.iter
+      (fun inst ->
+        List.iter
+          (fun conn ->
+            if (not (Conn.is_closed conn)) && List.memq (Conn.fd conn) writable
+            then Conn.handle_writable conn)
+          inst.conns)
+      instances;
+    Array.iter
+      (fun inst ->
+        if List.exists Conn.is_closed inst.conns then begin
+          Hashtbl.iter
+            (fun _ slot ->
+              match slot.conn with
+              | Some c when Conn.is_closed c -> slot.conn <- None
+              | _ -> ())
+            inst.slots;
+          List.iter
+            (fun c ->
+              if Conn.is_closed c then begin
+                arch_frames_in := !arch_frames_in + Conn.frames_in c;
+                arch_frames_out := !arch_frames_out + Conn.frames_out c;
+                arch_bytes_in := !arch_bytes_in + Conn.bytes_in c;
+                arch_bytes_out := !arch_bytes_out + Conn.bytes_out c
+              end)
+            inst.conns;
+          inst.conns <- List.filter (fun c -> not (Conn.is_closed c)) inst.conns
+        end)
+      instances;
+    if stop () then running := false
+  done;
+  (* graceful drain: flush buffered replies, then close everything *)
+  let frames_in = ref !arch_frames_in
+  and frames_out = ref !arch_frames_out
+  and bytes_in = ref !arch_bytes_in
+  and bytes_out = ref !arch_bytes_out in
+  Array.iter
+    (fun inst ->
+      List.iter
+        (fun conn ->
+          Conn.drain_blocking conn ~timeout_s:0.5;
+          frames_in := !frames_in + Conn.frames_in conn;
+          frames_out := !frames_out + Conn.frames_out conn;
+          bytes_in := !bytes_in + Conn.bytes_in conn;
+          bytes_out := !bytes_out + Conn.bytes_out conn;
+          Conn.close conn)
+        inst.conns;
+      try Unix.close inst.lfd with Unix.Unix_error _ -> ())
+    instances;
+  (match trace with Some w -> Trace.flush w | None -> ());
+  {
+    applies = !applies;
+    gossip_applies = !gossip_applies;
+    dedup_hits = !dedup_hits;
+    canary_fires = !canary_fires;
+    accepts = !accepts;
+    frames_in = !frames_in;
+    frames_out = !frames_out;
+    bytes_in = !bytes_in;
+    bytes_out = !bytes_out;
+    peak_total_bits = Storage.peak_total peak;
+    peak_max_server_bits = Storage.peak_max_server peak;
+    peak_norm =
+      (if Storage.peak_samples peak = 0 then 0.0
+       else Storage.normalized peak ~value_len:params.value_len);
+    trace_events =
+      (match trace with Some w -> Trace.events_written w | None -> 0);
+  }

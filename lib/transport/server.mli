@@ -1,0 +1,64 @@
+(** The serve-side wire runtime: all [n] servers of one emulated
+    register hosted in a single-threaded [Unix.select] loop, each with
+    its own listener (so the nemesis proxy can target servers
+    individually), driving the {e unchanged} algorithm transition
+    records from [lib/algorithms].
+
+    Reliability: each (server, client) pair forms a reliable
+    exactly-once FIFO virtual channel over arbitrarily lossy
+    connections — dense request sequence numbers with an out-of-order
+    arrival buffer, at-most-once application (a retransmitted request
+    is answered from the reply cache, never re-applied), reply caching
+    until the client's cumulative ack, and full resend on reconnect.
+    This reconstructs exactly the reliable-channel abstraction the
+    engine assumes, which is what makes the {!Refine} replay sound.
+
+    Server-to-server gossip messages are delivered in-process (all
+    instances share the loop), preserving the same per-channel FIFO
+    discipline.
+
+    The [canary] flag plants a deliberate exactly-once violation (the
+    first retransmitted request that hits the dedup path is applied a
+    second time instead of being answered from cache) used by CI to
+    prove the refinement harness actually catches double applies. *)
+
+type stats = {
+  applies : int;  (** messages applied to server states *)
+  gossip_applies : int;  (** subset of [applies] with a server source *)
+  dedup_hits : int;  (** retransmitted requests answered from cache *)
+  canary_fires : int;
+  accepts : int;
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  peak_total_bits : int;
+  peak_max_server_bits : int;
+  peak_norm : float;
+      (** peak total storage / value_len bits — comparable with the
+          [lib/bounds] normalized curves *)
+  trace_events : int;
+}
+
+val serve :
+  ('ss, 'cs, 'm) Engine.Types.algo ->
+  Engine.Types.params ->
+  algo_key:string ->
+  addrs:Conn.addr array ->
+  clients:int ->
+  ?canary:bool ->
+  ?drop_first_conns:int ->
+  ?trace:Trace.w ->
+  ?stop:(unit -> bool) ->
+  ?on_ready:(unit -> unit) ->
+  unit ->
+  stats
+(** Run until [stop ()] holds (polled a few times per second), then
+    drain buffered replies and close.  [addrs] must have one listen
+    address per server; [clients] is the upper bound on wire client
+    ids, recorded in the trace header for replay.  [drop_first_conns]
+    is a test hook: the first that many accepted connections are
+    closed before any frame exchange (crash-mid-handshake).
+    [on_ready] fires once all listeners are bound.
+    @raise Invalid_argument when [addrs] does not match [params.n].
+    @raise Unix.Unix_error when a listener cannot be bound. *)

@@ -1,0 +1,193 @@
+(* Wire-trace events and their line format.  See trace.mli. *)
+
+open Engine.Types
+
+type ev =
+  | Apply of {
+      server : int;
+      src : endpoint;
+      seq : int;
+      digest : string;
+      bits : int;
+    }
+  | Inv of { client : int; op_id : int; op : op }
+  | Del of { client : int; server : int; seq : int; digest : string }
+  | Res of { client : int; op_id : int; response : response }
+
+type header = { algo : string; params : params; clients : int }
+
+let msg_digest enc m = Digest.to_hex (Digest.string (enc m))
+
+(* ----- hex ----- *)
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then invalid_arg "Trace: odd-length hex";
+  String.init (n / 2) (fun i ->
+      let d c =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Trace: bad hex digit"
+      in
+      Char.chr ((d h.[2 * i] * 16) + d h.[(2 * i) + 1]))
+
+let endpoint_to_token = function
+  | Server i -> Printf.sprintf "s%d" i
+  | Client i -> Printf.sprintf "c%d" i
+
+let endpoint_of_token s =
+  if String.length s < 2 then invalid_arg "Trace: bad endpoint token"
+  else
+    let i =
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some i when i >= 0 -> i
+      | _ -> invalid_arg "Trace: bad endpoint token"
+    in
+    match s.[0] with
+    | 's' -> Server i
+    | 'c' -> Client i
+    | _ -> invalid_arg "Trace: bad endpoint token"
+
+(* ----- lines ----- *)
+
+let to_line = function
+  | Apply { server; src; seq; digest; bits } ->
+      Printf.sprintf "A %d %s %d %s %d" server (endpoint_to_token src) seq
+        digest bits
+  | Inv { client; op_id; op = Read } -> Printf.sprintf "I %d %d R" client op_id
+  | Inv { client; op_id; op = Write v } ->
+      Printf.sprintf "I %d %d W %s" client op_id (hex_of_string v)
+  | Del { client; server; seq; digest } ->
+      Printf.sprintf "D %d %d %d %s" client server seq digest
+  | Res { client; op_id; response = Write_ack } ->
+      Printf.sprintf "R %d %d W" client op_id
+  | Res { client; op_id; response = Read_ack v } ->
+      Printf.sprintf "R %d %d R %s" client op_id (hex_of_string v)
+
+let bad line = invalid_arg (Printf.sprintf "Trace: malformed line %S" line)
+
+let int_of s line = match int_of_string_opt s with Some i -> i | None -> bad line
+
+let of_line line =
+  match String.split_on_char ' ' line with
+  | [ "A"; server; src; seq; digest; bits ] ->
+      Apply
+        {
+          server = int_of server line;
+          src = endpoint_of_token src;
+          seq = int_of seq line;
+          digest;
+          bits = int_of bits line;
+        }
+  | [ "I"; client; op_id; "R" ] ->
+      Inv { client = int_of client line; op_id = int_of op_id line; op = Read }
+  | [ "I"; client; op_id; "W"; v ] ->
+      Inv
+        {
+          client = int_of client line;
+          op_id = int_of op_id line;
+          op = Write (string_of_hex v);
+        }
+  | [ "D"; client; server; seq; digest ] ->
+      Del
+        {
+          client = int_of client line;
+          server = int_of server line;
+          seq = int_of seq line;
+          digest;
+        }
+  | [ "R"; client; op_id; "W" ] ->
+      Res
+        {
+          client = int_of client line;
+          op_id = int_of op_id line;
+          response = Write_ack;
+        }
+  | [ "R"; client; op_id; "R"; v ] ->
+      Res
+        {
+          client = int_of client line;
+          op_id = int_of op_id line;
+          response = Read_ack (string_of_hex v);
+        }
+  | _ -> bad line
+
+let header_to_line h =
+  Printf.sprintf "# smec-trace v1 algo=%s n=%d f=%d k=%d delta=%d value_len=%d clients=%d"
+    h.algo h.params.n h.params.f h.params.k h.params.delta h.params.value_len
+    h.clients
+
+let header_of_line line =
+  match String.split_on_char ' ' line with
+  | "#" :: "smec-trace" :: "v1" :: fields ->
+      let assoc =
+        List.map
+          (fun f ->
+            match String.index_opt f '=' with
+            | Some i ->
+                (String.sub f 0 i, String.sub f (i + 1) (String.length f - i - 1))
+            | None -> bad line)
+          fields
+      in
+      let get k =
+        match
+          List.find_map
+            (fun (k', v) -> if String.equal k k' then Some v else None)
+            assoc
+        with
+        | Some v -> v
+        | None -> bad line
+      in
+      let geti k = int_of (get k) line in
+      let params =
+        Engine.Types.params ~k:(geti "k") ~delta:(geti "delta") ~n:(geti "n")
+          ~f:(geti "f") ~value_len:(geti "value_len") ()
+      in
+      { algo = get "algo"; params; clients = geti "clients" }
+  | _ -> bad line
+
+(* ----- writer / reader ----- *)
+
+type w = { oc : out_channel; mutable events : int }
+
+let open_writer path = { oc = open_out path; events = 0 }
+
+let write_header w h =
+  output_string w.oc (header_to_line h);
+  output_char w.oc '\n'
+
+let write w ev =
+  output_string w.oc (to_line ev);
+  output_char w.oc '\n';
+  w.events <- w.events + 1
+
+let events_written w = w.events
+let flush w = Stdlib.flush w.oc
+
+let close w =
+  Stdlib.flush w.oc;
+  close_out w.oc
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = ref None in
+      let evs = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line = 0 then ()
+           else if line.[0] = '#' then header := Some (header_of_line line)
+           else evs := of_line line :: !evs
+         done
+       with End_of_file -> ());
+      (!header, List.rev !evs))

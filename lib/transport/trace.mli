@@ -1,0 +1,69 @@
+(** Wire traces: the refinement harness' evidence.
+
+    Both live processes log every {e engine-visible} transition they
+    take, in their own process-local order:
+
+    - the serve process logs one {!ev.Apply} per message application
+      at a server (message digest + the server's storage bits right
+      after the apply);
+    - the load process logs {!ev.Inv} (operation invoked),
+      {!ev.Del} (a reply applied to the client state — exactly once
+      per (server, reply seq)) and {!ev.Res} (operation completed).
+
+    Because each process is single-threaded, each trace file is a
+    total order of that side's transitions; {!Refine} merges the two
+    and replays them through the pure engine.  The digest is
+    [Digest.string] of the algorithm's canonical message encoding, so
+    replay can check that the live runtime applied {e exactly} the
+    message the engine's channel holds.
+
+    The format is line-oriented text — one event per line, values
+    hex-encoded — with a [#]-prefixed header line naming the
+    algorithm and parameters, so [smec refine] needs nothing but the
+    trace files. *)
+
+type ev =
+  | Apply of {
+      server : int;
+      src : Engine.Types.endpoint;
+      seq : int;  (** wire request seq; [0] for in-process gossip *)
+      digest : string;
+      bits : int;  (** [algo.server_bits] right after the apply *)
+    }
+  | Inv of { client : int; op_id : int; op : Engine.Types.op }
+  | Del of { client : int; server : int; seq : int; digest : string }
+  | Res of { client : int; op_id : int; response : Engine.Types.response }
+
+type header = { algo : string; params : Engine.Types.params; clients : int }
+
+val msg_digest : ('m -> string) -> 'm -> string
+(** [msg_digest encode m] — hex digest of the canonical encoding. *)
+
+val to_line : ev -> string
+
+val of_line : string -> ev
+(** @raise Invalid_argument on a malformed line. *)
+
+val header_to_line : header -> string
+
+val header_of_line : string -> header
+(** @raise Invalid_argument on a malformed header (including invalid
+    parameters rejected by [Engine.Types.params]). *)
+
+(** {1 Writer} *)
+
+type w
+
+val open_writer : string -> w
+(** @raise Sys_error when the path cannot be created. *)
+
+val write_header : w -> header -> unit
+val write : w -> ev -> unit
+val events_written : w -> int
+val flush : w -> unit
+val close : w -> unit
+
+val load : string -> header option * ev list
+(** Parse a trace file (header, events in file order).
+    @raise Invalid_argument on a malformed line.
+    @raise Sys_error when the file cannot be read. *)

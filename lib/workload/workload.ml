@@ -243,3 +243,56 @@ let mixed_scripts ~writers ~readers ~values ~reads_per_reader =
         { client = writers + r; ops = List.init reads_per_reader (fun _ -> Read) })
   in
   write_scripts @ read_scripts
+
+(* ----- open-loop arrival schedule ----- *)
+
+module Open_loop = struct
+  type t = {
+    rate : float;
+    read_pct : int;
+    value_len : int;
+    rng : Random.State.t;
+    mutable clock : float;  (* next arrival offset, seconds *)
+    mutable written : int;  (* distinct-value counter *)
+  }
+
+  let make ~rate ~read_pct ~value_len ~seed =
+    if rate <= 0.0 then invalid_arg "Open_loop.make: rate must be > 0";
+    if read_pct < 0 || read_pct > 100 then
+      invalid_arg "Open_loop.make: read_pct must be in [0, 100]";
+    if value_len < 8 then
+      invalid_arg "Open_loop.make: value_len must be >= 8 (distinct values)";
+    {
+      rate;
+      read_pct;
+      value_len;
+      rng = Random.State.make [| seed; 0x10ad |];
+      clock = 0.0;
+      written = 0;
+    }
+
+  (* Pairwise-distinct write values: an 8-hex-digit counter padded to
+     value_len.  Distinctness is what keeps the atomicity check (and
+     hence live refinement) polynomial, exactly as in the simulated
+     workloads. *)
+  let fresh_value g =
+    let id = g.written in
+    g.written <- id + 1;
+    let tag = Printf.sprintf "%08x" (id land 0xffffffff) in
+    let b = Bytes.make g.value_len 'v' in
+    Bytes.blit_string tag 0 b (g.value_len - 8) 8;
+    Bytes.unsafe_to_string b
+
+  let next g =
+    (* Poisson arrivals: exponential inter-arrival gaps at [rate] per
+       second.  1 - u > 0 because [Random.State.float] is in [0, 1). *)
+    let u = Random.State.float g.rng 1.0 in
+    g.clock <- g.clock +. (-.log (1.0 -. u) /. g.rate);
+    let op =
+      if Random.State.int g.rng 100 < g.read_pct then Engine.Types.Read
+      else Engine.Types.Write (fresh_value g)
+    in
+    (g.clock, op)
+
+  let writes_issued g = g.written
+end

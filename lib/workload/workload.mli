@@ -87,3 +87,26 @@ val mixed_scripts :
     [0 .. writers-1]) and give each of [readers] clients
     [reads_per_reader] reads.  @raise Invalid_argument without a
     writer. *)
+
+(** Open-loop arrival schedule for the live transport's load generator:
+    Poisson arrivals at a fixed target rate with a read/write mix,
+    deterministic in [seed].  Arrivals are issued on schedule regardless
+    of completions (open-loop), so measured latency includes queueing
+    delay under saturation. *)
+module Open_loop : sig
+  type t
+
+  val make : rate:float -> read_pct:int -> value_len:int -> seed:int -> t
+  (** [rate] in operations/second.
+      @raise Invalid_argument unless [rate > 0], [0 <= read_pct <= 100]
+      and [value_len >= 8] (writes embed an 8-hex-digit counter so all
+      written values are pairwise distinct, which keeps the atomicity
+      check polynomial). *)
+
+  val next : t -> float * Engine.Types.op
+  (** The next arrival: (offset in seconds since the schedule's start,
+      operation).  Offsets are nondecreasing. *)
+
+  val writes_issued : t -> int
+  (** Number of write operations generated so far. *)
+end

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Wire-runtime smoke: a real `smec serve` process over unix sockets
+# behind the nemesis proxy (drop + delay), a short load, then the wire
+# traces replayed through the pure engine — zero refinement violations.
+# Afterwards the planted dedup double-apply canary (SMEC_SERVE_CANARY=1
+# re-applies a retried phase instead of resending the cached replies)
+# must wedge the same replay, proving the oracle has teeth.
+#
+#   scripts/serve_smoke.sh [path-to-smec.exe]
+#
+# The load's own exit code is not gated: under a fault plan, tail ops
+# may legitimately exhaust their deadline; refinement is the oracle.
+# The three processes run concurrently, so they must invoke the built
+# binary directly: a backgrounded `dune exec` would hold the dune lock
+# and deadlock the other two.  The binary is held in a plain variable,
+# not a shell function: backgrounding a function call makes $! the pid
+# of a wrapper subshell that ignores SIGINT, so the server would never
+# see the shutdown.
+set -e
+
+smec=${1:-./_build/default/bin/smec.exe}
+serve_dir=$(mktemp -d /tmp/smec-check-serve.XXXXXX)
+proxy_dir=$(mktemp -d /tmp/smec-check-proxy.XXXXXX)
+trap 'rm -rf "$serve_dir" "$proxy_dir"' EXIT
+
+"$smec" serve --algo cas -n 5 -f 1 --clients 4 \
+  --dir "$serve_dir" --trace "$serve_dir/server.trace" > "$serve_dir/serve.log" 2>&1 &
+serve_pid=$!
+sleep 0.5
+"$smec" nemesis --listen-dir "$proxy_dir" --forward-dir "$serve_dir" \
+  -n 5 --plan 'net@0..=drop:10;net@0..=delay:1-10' --seed 3 > "$serve_dir/nemesis.log" 2>&1 &
+nemesis_pid=$!
+sleep 0.5
+"$smec" load --algo cas -n 5 -f 1 --clients 4 --rate 20 \
+  --duration 2 --dir "$proxy_dir" --trace "$serve_dir/client.trace" --seed 3 \
+  > "$serve_dir/load.json" || true
+kill -INT "$nemesis_pid" 2>/dev/null || true
+kill -INT "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+wait "$nemesis_pid" 2>/dev/null || true
+grep -q '"completed": 0' "$serve_dir/load.json" \
+  && { echo "serve smoke: no operation completed" >&2; cat "$serve_dir/load.json" >&2; exit 1; } \
+  || true
+"$smec" refine --server-trace "$serve_dir/server.trace" \
+  --client-trace "$serve_dir/client.trace"
+
+SMEC_SERVE_CANARY=1 "$smec" serve --algo abd -n 5 -f 1 --clients 4 \
+  --dir "$serve_dir" --trace "$serve_dir/canary-server.trace" > "$serve_dir/canary-serve.log" 2>&1 &
+serve_pid=$!
+sleep 0.5
+"$smec" load --algo abd -n 5 -f 1 --clients 4 --rate 40 \
+  --duration 2 --retransmit 0.005 --dir "$serve_dir" \
+  --trace "$serve_dir/canary-client.trace" --seed 3 > "$serve_dir/canary-load.json" || true
+kill -INT "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+grep -q 'canary_fires=0' "$serve_dir/canary-serve.log" \
+  && { echo "serve canary never armed (no dedup hit — raise the load)" >&2; exit 1; } \
+  || true
+"$smec" refine --server-trace "$serve_dir/canary-server.trace" \
+  --client-trace "$serve_dir/canary-client.trace" \
+  && { echo "serve canary NOT caught by refinement" >&2; exit 1; } \
+  || true
+
+echo "serve smoke OK (refinement clean, canary caught)"

@@ -183,7 +183,20 @@ let test_exn_diagnostics () =
       has "structured outcome" "starved";
       has "pending op" "pending op #";
       has "replay seed" "seed 7";
-      has "crashed servers" "crashed servers [0,1]"
+      has "crashed servers" "crashed servers [0,1]";
+      has "names the engine" "engine pure";
+      (* the arena driver reports its own engine kind *)
+      let mc = Mconfig.make algo params ~clients:1 in
+      let mc = Mconfig.fail_server mc 0 in
+      let mc = Mconfig.fail_server mc 1 in
+      (match
+         Driver.Arena.write_exn ~seed:7 algo mc ~client:0 ~value:"a"
+           ~rng:(Driver.rng_of_seed 7)
+       with
+      | _ -> Alcotest.fail "expected Failure from the arena driver"
+      | exception Failure msg2 ->
+          Alcotest.(check bool) "names the arena engine" true
+            (contains msg2 "engine arena"))
 
 let test_channel_introspection () =
   let c = Config.make Echo.algo params ~clients:1 in

@@ -110,6 +110,142 @@ let test_expectation () =
       Alcotest.failf "random plan %s must-starve" (Plan.to_string p)
   done
 
+(* ----- Plan: network faults (the nemesis schedule) ----- *)
+
+let net_sample () =
+  Plan.make
+    [
+      Plan.Net { step = 0; until = None; scope = None;
+                 op = Plan.Net_drop { pct = 30 } };
+      Plan.Net { step = 500; until = Some 2000;
+                 scope = Some (Engine.Types.Server 2);
+                 op = Plan.Net_delay { ms_lo = 10; ms_hi = 50 } };
+      Plan.Net { step = 100; until = Some 900;
+                 scope = Some (Engine.Types.Client 1);
+                 op = Plan.Net_dup { pct = 5 } };
+      Plan.Net { step = 200; until = None; scope = None;
+                 op = Plan.Net_reorder { pct = 10 } };
+      Plan.Net { step = 1000; until = None;
+                 scope = Some (Engine.Types.Server 0); op = Plan.Net_sever };
+    ]
+
+let test_net_round_trip () =
+  let p = net_sample () in
+  let s = Plan.to_string p in
+  Alcotest.(check string) "round trip" s (Plan.to_string (Plan.of_string s));
+  Alcotest.(check int) "all five survive" 5
+    (Plan.fault_count (Plan.of_string s));
+  Alcotest.(check bool) "has_net" true (Plan.has_net p);
+  Alcotest.(check bool) "no net in plain plan" false
+    (Plan.has_net (sample_plan ()));
+  (* net faults listed in step order with windows and scopes intact *)
+  (match Plan.net_faults p with
+  | [ (0, None, None, Plan.Net_drop { pct = 30 });
+      (100, Some 900, Some (Engine.Types.Client 1), Plan.Net_dup { pct = 5 });
+      (200, None, None, Plan.Net_reorder { pct = 10 });
+      (500, Some 2000, Some (Engine.Types.Server 2),
+       Plan.Net_delay { ms_lo = 10; ms_hi = 50 });
+      (1000, None, Some (Engine.Types.Server 0), Plan.Net_sever) ] ->
+      ()
+  | _ -> Alcotest.fail "net_faults: wrong schedule");
+  (* JSON mentions every op *)
+  let j = Plan.to_json p in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in json") true (contains j needle))
+    [ "\"net\""; "drop"; "delay"; "dup"; "reorder"; "sever"; "ms_lo" ]
+
+let test_net_qcheck_round_trip () =
+  let gen =
+    QCheck2.Gen.(
+      let* step = 0 -- 5000 in
+      let* until =
+        oneof [ return None; map (fun d -> Some (step + 1 + d)) (0 -- 5000) ]
+      in
+      let* scope =
+        oneof
+          [
+            return None;
+            map (fun i -> Some (Engine.Types.Server i)) (0 -- 4);
+            map (fun i -> Some (Engine.Types.Client i)) (0 -- 4);
+          ]
+      in
+      let* op =
+        oneof
+          [
+            map (fun pct -> Plan.Net_drop { pct }) (1 -- 100);
+            map (fun pct -> Plan.Net_dup { pct }) (1 -- 100);
+            map (fun pct -> Plan.Net_reorder { pct }) (1 -- 100);
+            (let* lo = 0 -- 200 in
+             let* d = 0 -- 200 in
+             return (Plan.Net_delay { ms_lo = lo; ms_hi = lo + d }));
+            return Plan.Net_sever;
+          ]
+      in
+      let until = match op with Plan.Net_sever -> None | _ -> until in
+      return (Plan.Net { step; until; scope; op }))
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:200 ~name:"net fault codec round-trips"
+       QCheck2.Gen.(list_size (1 -- 6) gen)
+       (fun faults ->
+         let p = Plan.make faults in
+         let s = Plan.to_string p in
+         String.equal s (Plan.to_string (Plan.of_string s))
+         && Plan.fault_count (Plan.of_string s) = List.length faults))
+
+let test_net_validation () =
+  let expect_invalid what faults =
+    match Plan.make faults with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "pct 0"
+    [ Plan.Net { step = 0; until = None; scope = None;
+                 op = Plan.Net_drop { pct = 0 } } ];
+  expect_invalid "pct 101"
+    [ Plan.Net { step = 0; until = None; scope = None;
+                 op = Plan.Net_dup { pct = 101 } } ];
+  expect_invalid "negative delay"
+    [ Plan.Net { step = 0; until = None; scope = None;
+                 op = Plan.Net_delay { ms_lo = -1; ms_hi = 5 } } ];
+  expect_invalid "inverted delay window"
+    [ Plan.Net { step = 0; until = None; scope = None;
+                 op = Plan.Net_delay { ms_lo = 9; ms_hi = 3 } } ];
+  expect_invalid "empty net window"
+    [ Plan.Net { step = 7; until = Some 7; scope = None;
+                 op = Plan.Net_drop { pct = 10 } } ];
+  expect_invalid "sever with window"
+    [ Plan.Net { step = 0; until = Some 5; scope = None;
+                 op = Plan.Net_sever } ];
+  (match Plan.of_string "net@0..=drop:999" with
+  | _ -> Alcotest.fail "malformed net pct accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_net_inert_in_injector () =
+  (* the simulated injector ignores net faults entirely: same outcome
+     with and without them *)
+  let algo = Algorithms.Abd.algo in
+  let params = Engine.Types.params ~n:3 ~f:1 ~value_len:4 () in
+  let scripts =
+    [ { Workload.client = 0; ops = [ Engine.Types.Write "abcd" ] };
+      { Workload.client = 1; ops = [ Engine.Types.Read ] } ]
+  in
+  let run plan =
+    let c = Engine.Config.make algo params ~clients:2 in
+    let r = Injector.run algo c ~plan ~scripts ~required:2 ~seed:5 in
+    ( Format.asprintf "%a" Injector.pp_outcome r.Injector.outcome,
+      r.Injector.steps )
+  in
+  let with_net =
+    Plan.make
+      [ Plan.Net { step = 0; until = None; scope = None;
+                   op = Plan.Net_drop { pct = 50 } } ]
+  in
+  let o0, s0 = run Plan.empty and o1, s1 = run with_net in
+  Alcotest.(check string) "same outcome" o0 o1;
+  Alcotest.(check int) "same steps" s0 s1
+
 (* ----- Oracle ----- *)
 
 let test_required_quorum () =
@@ -339,6 +475,11 @@ let () =
           Alcotest.test_case "analysis" `Quick test_plan_analysis;
           Alcotest.test_case "exhaustive count" `Quick test_exhaustive_count;
           Alcotest.test_case "expectation" `Quick test_expectation;
+          Alcotest.test_case "net round trip" `Quick test_net_round_trip;
+          Alcotest.test_case "net qcheck codec" `Quick test_net_qcheck_round_trip;
+          Alcotest.test_case "net validation" `Quick test_net_validation;
+          Alcotest.test_case "net inert in injector" `Quick
+            test_net_inert_in_injector;
         ] );
       ( "oracle",
         [ Alcotest.test_case "required quorum" `Quick test_required_quorum ] );

@@ -1,0 +1,201 @@
+(* Tests for the wire frame codec: encode/decode round-trips (qcheck
+   over every constructor), incremental reassembly from arbitrary
+   chunk boundaries, and rejection of malformed input. *)
+
+module Frame = Transport.Frame
+
+let dec_all bytes_s =
+  let d = Frame.Decoder.create () in
+  Frame.Decoder.feed_string d bytes_s;
+  let rec go acc =
+    match Frame.Decoder.next d with
+    | None -> List.rev acc
+    | Some r -> go (r :: acc)
+  in
+  go []
+
+let enc f =
+  let b = Buffer.create 64 in
+  Frame.encode_into b f;
+  Buffer.contents b
+
+(* ----- generators ----- *)
+
+let gen_payload =
+  QCheck2.Gen.(
+    oneof
+      [
+        return "";
+        string_size ~gen:(char_range '\000' '\255') (0 -- 200);
+        (* payloads containing newline / NUL / frame-header-like bytes *)
+        return "\x00\x00\x00\x01\x05\ntricky";
+      ])
+
+let gen_frame =
+  QCheck2.Gen.(
+    oneof
+      [
+        (let* session = 0 -- 0x3fffffff in
+         let* clients = list_size (0 -- 5) (0 -- 1000) in
+         return (Frame.Hello { session; clients }));
+        (let* server = 0 -- 100 in
+         let* session = 0 -- 0x3fffffff in
+         return (Frame.Hello_ack { server; session }));
+        (let* client = 0 -- 1000 in
+         let* seq = 1 -- 1_000_000 in
+         let* ack = 0 -- 1_000_000 in
+         let* payload = gen_payload in
+         return (Frame.Req { client; seq; ack; payload }));
+        (let* client = 0 -- 1000 in
+         let* server = 0 -- 100 in
+         let* seq = 1 -- 1_000_000 in
+         let* req_applied = 0 -- 1_000_000 in
+         let* payload = gen_payload in
+         return (Frame.Reply { client; server; seq; req_applied; payload }));
+        return Frame.Bye;
+      ])
+
+(* ----- round trips ----- *)
+
+let test_round_trip_qcheck () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:500 ~name:"frame round-trips"
+       QCheck2.Gen.(list_size (1 -- 8) gen_frame)
+       (fun frames ->
+         let wire = String.concat "" (List.map enc frames) in
+         let got = dec_all wire in
+         List.length got = List.length frames
+         && List.for_all2
+              (fun g f -> match g with Ok g -> Frame.equal g f | Error _ -> false)
+              got frames))
+
+let test_reassembly_byte_at_a_time () =
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:100 ~name:"byte-at-a-time reassembly"
+       QCheck2.Gen.(list_size (1 -- 5) gen_frame)
+       (fun frames ->
+         let wire = String.concat "" (List.map enc frames) in
+         let d = Frame.Decoder.create () in
+         let got = ref [] in
+         String.iter
+           (fun c ->
+             Frame.Decoder.feed_string d (String.make 1 c);
+             let rec drain () =
+               match Frame.Decoder.next d with
+               | Some (Ok f) ->
+                   got := f :: !got;
+                   drain ()
+               | Some (Error _) -> ()
+               | None -> ()
+             in
+             drain ())
+           wire;
+         let got = List.rev !got in
+         List.length got = List.length frames
+         && List.for_all2 Frame.equal got frames))
+
+let test_truncated_pending () =
+  (* a frame cut anywhere before its end decodes to nothing, with the
+     partial bytes held pending *)
+  let f =
+    Frame.Req { client = 3; seq = 17; ack = 4; payload = "hello world" }
+  in
+  let wire = enc f in
+  for cut = 1 to String.length wire - 1 do
+    let d = Frame.Decoder.create () in
+    Frame.Decoder.feed_string d (String.sub wire 0 cut);
+    (match Frame.Decoder.next d with
+    | None -> ()
+    | Some _ -> Alcotest.failf "cut at %d yielded a frame" cut);
+    Alcotest.(check int)
+      (Printf.sprintf "pending at cut %d" cut)
+      cut
+      (Frame.Decoder.pending d);
+    (* feeding the rest completes it *)
+    Frame.Decoder.feed_string d
+      (String.sub wire cut (String.length wire - cut));
+    match Frame.Decoder.next d with
+    | Some (Ok g) ->
+        Alcotest.(check bool) "frame survives the seam" true (Frame.equal f g)
+    | _ -> Alcotest.failf "cut at %d did not reassemble" cut
+  done
+
+(* ----- malformed input ----- *)
+
+let test_oversized_rejected () =
+  let d = Frame.Decoder.create () in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int (Frame.max_frame_len + 1));
+  Frame.Decoder.feed_string d (Bytes.to_string b);
+  (match Frame.Decoder.next d with
+  | Some (Error (Frame.Oversized n)) ->
+      Alcotest.(check int) "reported length" (Frame.max_frame_len + 1) n
+  | _ -> Alcotest.fail "oversized length accepted");
+  (* encoding oversized payloads is also refused *)
+  match enc (Frame.Req { client = 0; seq = 1; ack = 0;
+                         payload = String.make (Frame.max_frame_len + 1) 'x' })
+  with
+  | _ -> Alcotest.fail "oversized encode accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_bad_tag_rejected () =
+  let d = Frame.Decoder.create () in
+  (* body = single unknown tag byte 9 *)
+  Frame.Decoder.feed_string d "\x00\x00\x00\x01\x09";
+  match Frame.Decoder.next d with
+  | Some (Error (Frame.Bad_tag 9)) -> ()
+  | _ -> Alcotest.fail "unknown tag accepted"
+
+let test_zero_length_rejected () =
+  let d = Frame.Decoder.create () in
+  Frame.Decoder.feed_string d "\x00\x00\x00\x00";
+  match Frame.Decoder.next d with
+  | Some (Error (Frame.Bad_length 0)) -> ()
+  | _ -> Alcotest.fail "zero-length body accepted"
+
+let test_short_body_rejected () =
+  (* a Req tag whose body is too short for the Req header *)
+  let d = Frame.Decoder.create () in
+  Frame.Decoder.feed_string d "\x00\x00\x00\x02\x03\x00";
+  match Frame.Decoder.next d with
+  | Some (Error (Frame.Short_frame _)) -> ()
+  | _ -> Alcotest.fail "short Req body accepted"
+
+let test_hello_client_bound () =
+  (* Hello advertising an absurd client count must not allocate *)
+  let b = Buffer.create 32 in
+  Buffer.add_string b "\x00\x00\x00\x0d\x01";
+  let t8 = Bytes.create 8 in
+  Bytes.set_int64_be t8 0 1234L;
+  Buffer.add_bytes b t8;
+  let t4 = Bytes.create 4 in
+  Bytes.set_int32_be t4 0 (Int32.of_int (Frame.max_hello_clients + 1));
+  Buffer.add_bytes b t4;
+  (* no client entries follow; length check fires first *)
+  let d = Frame.Decoder.create () in
+  Frame.Decoder.feed_string d (Buffer.contents b);
+  match Frame.Decoder.next d with
+  | Some (Error _) -> ()
+  | Some (Ok f) ->
+      Alcotest.failf "bogus Hello decoded: %s" (Frame.to_short_string f)
+  | None -> Alcotest.fail "bogus Hello still pending"
+
+let () =
+  Alcotest.run "frame"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "qcheck round trip" `Quick test_round_trip_qcheck;
+          Alcotest.test_case "byte-at-a-time reassembly" `Quick
+            test_reassembly_byte_at_a_time;
+          Alcotest.test_case "truncation pends" `Quick test_truncated_pending;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "oversized" `Quick test_oversized_rejected;
+          Alcotest.test_case "bad tag" `Quick test_bad_tag_rejected;
+          Alcotest.test_case "zero length" `Quick test_zero_length_rejected;
+          Alcotest.test_case "short body" `Quick test_short_body_rejected;
+          Alcotest.test_case "hello client bound" `Quick test_hello_client_bound;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* End-to-end tests for the wire runtime: server and load client run
+   in-process (server on a thread, client on the test thread) over
+   unix-domain sockets, and every run's traces are replayed through
+   the pure engine by the refinement harness.
+
+   The suite covers the resilience machinery specifically:
+   retransmission-induced duplicates deduplicated server-side (applied
+   at most once), the planted dedup canary caught by refinement,
+   reconnect after a nemesis sever, and the crash-mid-handshake
+   regression (connections closed before any frame exchange). *)
+
+open Engine.Types
+module Conn = Transport.Conn
+module Trace = Transport.Trace
+module Server = Transport.Server
+module Client = Transport.Client
+module Refine = Transport.Refine
+module Nemesis = Transport.Nemesis
+
+let algo = Algorithms.Abd.algo
+let params = Engine.Types.params ~n:5 ~f:1 ~value_len:8 ()
+let clients = 4
+
+let fresh_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "smec-tt-%d-%d" (Unix.getpid ()) !ctr)
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let addrs_in dir =
+  Array.init params.n (fun i ->
+      Conn.Uds (Filename.concat dir (Printf.sprintf "s%d.sock" i)))
+
+(* Run the serving loop on a thread for the duration of [f]. *)
+let with_server ?canary ?drop_first_conns ~dir f =
+  let addrs = addrs_in dir in
+  let stop = ref false and ready = ref false in
+  let strace = Filename.concat dir "server.trace" in
+  let w = Trace.open_writer strace in
+  let result = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        result :=
+          Some
+            (Server.serve algo params ~algo_key:"abd" ~addrs ~clients ?canary
+               ?drop_first_conns ~trace:w
+               ~stop:(fun () -> !stop)
+               ~on_ready:(fun () -> ready := true)
+               ()))
+      ()
+  in
+  while not !ready do
+    Thread.delay 0.005
+  done;
+  let out = f addrs in
+  stop := true;
+  Thread.join th;
+  Trace.close w;
+  match !result with
+  | Some stats -> (stats, strace, out)
+  | None -> Alcotest.fail "server thread died without stats"
+
+let run_client ?(client_count = clients) ?op_deadline_s ?retransmit_s ~dir
+    ~addrs source =
+  let ctrace = Filename.concat dir "client.trace" in
+  let w = Trace.open_writer ctrace in
+  let stats =
+    Client.run algo params ~addrs ~clients:client_count ~source ~seed:11
+      ?op_deadline_s ?retransmit_s ~trace:w ()
+  in
+  Trace.close w;
+  (stats, ctrace)
+
+let refine ~strace ~ctrace =
+  let _, server_events = Trace.load strace in
+  let _, client_events = Trace.load ctrace in
+  Refine.run algo params ~clients ~server_events
+    ~client_streams:[ client_events ]
+
+let script_source =
+  (* every virtual client writes a distinct value, then reads *)
+  Client.Script
+    (Array.init clients (fun i ->
+         [ Write (Printf.sprintf "w%06d" i); Read ]))
+
+let load_source ~rate ~duration_s =
+  Client.Load
+    {
+      gen = Workload.Open_loop.make ~rate ~read_pct:50 ~value_len:8 ~seed:11;
+      duration_s;
+    }
+
+(* ----- the happy path, refined ----- *)
+
+let test_uds_round_trip () =
+  let dir = fresh_dir () in
+  let sstats, strace, (cstats, ctrace) =
+    with_server ~dir (fun addrs -> run_client ~dir ~addrs script_source)
+  in
+  Alcotest.(check int) "all ops completed" (2 * clients)
+    cstats.Client.completed;
+  Alcotest.(check int) "no starvation" 0 cstats.Client.starved;
+  Alcotest.(check bool) "server applied something" true
+    (sstats.Server.applies > 0);
+  Alcotest.(check int) "no canary" 0 sstats.Server.canary_fires;
+  let r = refine ~strace ~ctrace in
+  Alcotest.(check bool)
+    (Format.asprintf "refinement ok: %a" Refine.pp_report r)
+    true r.Refine.ok;
+  Alcotest.(check int) "every op certified" (2 * clients)
+    r.Refine.completed_ops;
+  Alcotest.(check bool) "storage bits certified" true
+    (r.Refine.bits_checked > 0 && r.Refine.bits_mismatches = 0)
+
+(* ----- dedup: a retried phase is applied at most once ----- *)
+
+let test_retransmit_dedup_applied_once () =
+  let dir = fresh_dir () in
+  (* a retransmit interval far below the round-trip time forces
+     spurious retransmissions; the server must answer every one from
+     its reply cache without re-applying *)
+  let sstats, strace, (cstats, ctrace) =
+    with_server ~dir (fun addrs ->
+        run_client ~dir ~addrs ~retransmit_s:0.002
+          (load_source ~rate:150.0 ~duration_s:1.0))
+  in
+  Alcotest.(check bool) "spurious retransmits happened" true
+    (cstats.Client.retransmits > 0);
+  Alcotest.(check bool) "server deduplicated them" true
+    (sstats.Server.dedup_hits > 0);
+  Alcotest.(check int) "no starvation" 0 cstats.Client.starved;
+  let r = refine ~strace ~ctrace in
+  Alcotest.(check bool)
+    (Format.asprintf "exactly-once holds under retransmission: %a"
+       Refine.pp_report r)
+    true r.Refine.ok
+
+let test_canary_caught () =
+  let dir = fresh_dir () in
+  let sstats, strace, (_cstats, ctrace) =
+    with_server ~canary:true ~dir (fun addrs ->
+        run_client ~dir ~addrs ~retransmit_s:0.002
+          (load_source ~rate:150.0 ~duration_s:1.0))
+  in
+  Alcotest.(check int) "canary fired exactly once" 1
+    sstats.Server.canary_fires;
+  let r = refine ~strace ~ctrace in
+  Alcotest.(check bool) "refinement must reject the double apply" false
+    r.Refine.ok;
+  Alcotest.(check bool) "violations reported" true
+    (match r.Refine.violations with [] -> false | _ :: _ -> true)
+
+(* ----- reconnect: severed connections are re-established ----- *)
+
+let test_reconnect_after_sever () =
+  let dir = fresh_dir () in
+  let proxy_dir = fresh_dir () in
+  let sstats, strace, (cstats, ctrace) =
+    with_server ~dir (fun real_addrs ->
+        let proxy_addrs = addrs_in proxy_dir in
+        let nstop = ref false and nready = ref false in
+        let nstats = ref None in
+        let nth =
+          Thread.create
+            (fun () ->
+              nstats :=
+                Some
+                  (Nemesis.run ~listen:proxy_addrs ~forward:real_addrs
+                     ~plan:
+                       (Faults.Plan.make
+                          [
+                            Faults.Plan.Net
+                              {
+                                step = 300;
+                                until = None;
+                                scope = None;
+                                op = Faults.Plan.Net_sever;
+                              };
+                          ])
+                     ~seed:3
+                     ~stop:(fun () -> !nstop)
+                     ~on_ready:(fun () -> nready := true)
+                     ()))
+            ()
+        in
+        while not !nready do
+          Thread.delay 0.005
+        done;
+        let out =
+          run_client ~dir ~addrs:proxy_addrs ~op_deadline_s:10.0
+            (load_source ~rate:30.0 ~duration_s:1.2)
+        in
+        nstop := true;
+        Thread.join nth;
+        (match !nstats with
+        | Some ns ->
+            Alcotest.(check bool) "nemesis severed connections" true
+              (ns.Nemesis.severed > 0)
+        | None -> Alcotest.fail "nemesis thread died");
+        out)
+  in
+  Alcotest.(check bool) "client reconnected" true
+    (cstats.Client.reconnects > 0);
+  Alcotest.(check bool) "ops completed across the sever" true
+    (cstats.Client.completed > 0);
+  Alcotest.(check int) "no op lost" cstats.Client.invoked
+    (cstats.Client.completed + cstats.Client.late_completions);
+  Alcotest.(check bool) "server saw a second wave of connects" true
+    (sstats.Server.accepts > params.n);
+  let r = refine ~strace ~ctrace in
+  Alcotest.(check bool)
+    (Format.asprintf "refinement ok across reconnect: %a" Refine.pp_report r)
+    true r.Refine.ok
+
+(* ----- regression: connection killed before any frame exchange ----- *)
+
+let test_crash_mid_handshake () =
+  let dir = fresh_dir () in
+  let sstats, strace, (cstats, ctrace) =
+    with_server ~drop_first_conns:2 ~dir (fun addrs ->
+        run_client ~dir ~addrs ~op_deadline_s:10.0 script_source)
+  in
+  Alcotest.(check bool) "first connections were dropped" true
+    (sstats.Server.accepts > params.n);
+  Alcotest.(check bool) "client retried the handshake" true
+    (cstats.Client.reconnects > 0);
+  Alcotest.(check int) "all ops still completed" (2 * clients)
+    cstats.Client.completed;
+  let r = refine ~strace ~ctrace in
+  Alcotest.(check bool)
+    (Format.asprintf "refinement ok after handshake crash: %a" Refine.pp_report
+       r)
+    true r.Refine.ok
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "uds round trip, refined" `Quick
+            test_uds_round_trip;
+          Alcotest.test_case "retried phase applied once" `Quick
+            test_retransmit_dedup_applied_once;
+          Alcotest.test_case "dedup canary caught" `Quick test_canary_caught;
+          Alcotest.test_case "reconnect after sever" `Quick
+            test_reconnect_after_sever;
+          Alcotest.test_case "crash mid-handshake" `Quick
+            test_crash_mid_handshake;
+        ] );
+    ]
